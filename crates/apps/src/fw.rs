@@ -1,0 +1,361 @@
+//! A firewall daemon — the "security" item on the paper's list of
+//! control-plane topics yanc should free researchers to work on.
+//!
+//! Two modes, both file-driven:
+//!
+//! * **static rules** — `/net/security/rules` holds one rule per line
+//!   (`deny <cidr> [tcp-port]`); the daemon compiles each into a
+//!   high-priority drop flow (empty action list) on every switch. Editing
+//!   the file with `echo`/shell tools reprograms the network.
+//! * **anomaly blocking** — source IPs generating more than `threshold`
+//!   table misses get auto-blocked: a drop flow everywhere plus an audit
+//!   record in `/net/security/blocked/<ip>`.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use yanc::{EventSubscription, FlowSpec, YancFs};
+use yanc_openflow::{FlowMatch, Ipv4Prefix};
+use yanc_packet::PacketSummary;
+use yanc_vfs::{EventKind, EventMask, Mode};
+
+/// A parsed deny rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenyRule {
+    /// Source prefix to block.
+    pub src: Ipv4Prefix,
+    /// Optional TCP destination port restriction.
+    pub tp_dst: Option<u16>,
+}
+
+/// Parse the rules file format.
+pub fn parse_rules(text: &str) -> Result<Vec<DenyRule>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("deny") {
+            return Err(format!("line {}: rules start with 'deny'", i + 1));
+        }
+        let cidr = toks
+            .next()
+            .ok_or_else(|| format!("line {}: missing prefix", i + 1))?;
+        let src = Ipv4Prefix::parse(cidr).ok_or_else(|| format!("line {}: bad CIDR", i + 1))?;
+        let tp_dst = match toks.next() {
+            Some(p) => Some(p.parse().map_err(|_| format!("line {}: bad port", i + 1))?),
+            None => None,
+        };
+        out.push(DenyRule { src, tp_dst });
+    }
+    Ok(out)
+}
+
+/// The firewall daemon.
+pub struct Firewall {
+    yfs: YancFs,
+    sub: EventSubscription,
+    rules_rx: crossbeam::channel::Receiver<yanc_vfs::Event>,
+    _rules_watch: yanc_vfs::WatchId,
+    /// Miss counts per source IP (anomaly detector).
+    misses: HashMap<Ipv4Addr, u32>,
+    /// Misses before a source is auto-blocked (0 disables).
+    pub threshold: u32,
+    /// IPs auto-blocked so far.
+    pub blocked: Vec<Ipv4Addr>,
+    /// Rules currently compiled.
+    pub active_rules: Vec<DenyRule>,
+}
+
+impl Firewall {
+    /// Subscribe as `fw`; create `/net/security/` and watch the rules file.
+    pub fn new(yfs: YancFs, threshold: u32) -> yanc::YancResult<Self> {
+        let sub = yfs.subscribe_events("fw")?;
+        let fs = yfs.filesystem();
+        let dir = yfs.root().join("security");
+        fs.mkdir_all(dir.join("blocked").as_str(), Mode::DIR_DEFAULT, yfs.creds())?;
+        if !fs.exists(dir.join("rules").as_str(), yfs.creds()) {
+            fs.write_file(
+                dir.join("rules").as_str(),
+                b"# deny <cidr> [tcp-port]\n",
+                yfs.creds(),
+            )?;
+        }
+        let (w, rules_rx) = fs.watch_path(dir.join("rules").as_str(), EventMask::MODIFY);
+        let mut fw = Firewall {
+            yfs,
+            sub,
+            rules_rx,
+            _rules_watch: w,
+            misses: HashMap::new(),
+            threshold,
+            blocked: Vec::new(),
+            active_rules: Vec::new(),
+        };
+        fw.reload_rules();
+        Ok(fw)
+    }
+
+    fn rule_flow(rule: &DenyRule) -> FlowSpec {
+        FlowSpec {
+            m: FlowMatch {
+                dl_type: Some(0x0800),
+                nw_proto: rule.tp_dst.map(|_| 6),
+                nw_src: Some(rule.src),
+                tp_dst: rule.tp_dst,
+                ..Default::default()
+            },
+            actions: Vec::new(), // empty action list = drop
+            priority: 60000,
+            ..Default::default()
+        }
+    }
+
+    fn rule_name(rule: &DenyRule) -> String {
+        let mut n = format!("fw_{}", rule.src.to_string().replace(['.', '/'], "_"));
+        if let Some(p) = rule.tp_dst {
+            n.push_str(&format!("_p{p}"));
+        }
+        n
+    }
+
+    /// Re-read the rules file and (re)install drop flows on every switch.
+    pub fn reload_rules(&mut self) {
+        let path = self.yfs.root().join("security").join("rules");
+        let text = match self
+            .yfs
+            .filesystem()
+            .read_to_string(path.as_str(), self.yfs.creds())
+        {
+            Ok(t) => t,
+            Err(_) => return,
+        };
+        let rules = match parse_rules(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                // Report through the fs, like everything else.
+                let p = self.yfs.root().join("security").join("rules.error");
+                let _ =
+                    self.yfs
+                        .filesystem()
+                        .write_file(p.as_str(), e.as_bytes(), self.yfs.creds());
+                return;
+            }
+        };
+        let _ = self.yfs.filesystem().unlink(
+            self.yfs
+                .root()
+                .join("security")
+                .join("rules.error")
+                .as_str(),
+            self.yfs.creds(),
+        );
+        let switches = self.yfs.list_switches().unwrap_or_default();
+        // Remove flows for rules that vanished.
+        for old in &self.active_rules {
+            if !rules.contains(old) {
+                for sw in &switches {
+                    let _ = self.yfs.delete_flow(sw, &Self::rule_name(old));
+                }
+            }
+        }
+        for rule in &rules {
+            for sw in &switches {
+                let _ = self
+                    .yfs
+                    .write_flow(sw, &Self::rule_name(rule), &Self::rule_flow(rule));
+            }
+        }
+        self.active_rules = rules;
+    }
+
+    /// Drain rule edits and packet-ins (anomaly detection).
+    pub fn run_once(&mut self) -> bool {
+        let mut worked = false;
+        if self
+            .rules_rx
+            .try_iter()
+            .any(|e| e.kind == EventKind::CloseWrite)
+        {
+            worked = true;
+            self.reload_rules();
+        }
+        for rec in self.sub.drain_all() {
+            worked = true;
+            if self.threshold == 0 {
+                continue;
+            }
+            let Ok(summary) = PacketSummary::parse(&rec.data) else {
+                continue;
+            };
+            let Some(src) = summary.nw_src else { continue };
+            if summary.dl_type != 0x0800 {
+                continue; // count only IP traffic (ARP storms are L2's issue)
+            }
+            let n = self.misses.entry(src).or_insert(0);
+            *n += 1;
+            if *n > self.threshold && !self.blocked.contains(&src) {
+                self.blocked.push(src);
+                let rule = DenyRule {
+                    src: Ipv4Prefix::host(src),
+                    tp_dst: None,
+                };
+                for sw in self.yfs.list_switches().unwrap_or_default() {
+                    let _ =
+                        self.yfs
+                            .write_flow(&sw, &Self::rule_name(&rule), &Self::rule_flow(&rule));
+                }
+                let p = self
+                    .yfs
+                    .root()
+                    .join("security")
+                    .join("blocked")
+                    .join(&src.to_string());
+                let _ = self.yfs.filesystem().write_file(
+                    p.as_str(),
+                    format!("misses={n}").as_bytes(),
+                    self.yfs.creds(),
+                );
+            }
+        }
+        worked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_driver::Runtime;
+    use yanc_openflow::Version;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn settle(rt: &mut Runtime, fw: &mut Firewall) {
+        loop {
+            let a = rt.pump();
+            let b = fw.run_once();
+            if a <= 1 && !b {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn rules_parse() {
+        let rules = parse_rules("# comment\ndeny 10.9.0.0/16\ndeny 10.0.0.66 22\n").unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].src.prefix_len, 16);
+        assert_eq!(rules[1].tp_dst, Some(22));
+        assert!(parse_rules("allow 10.0.0.1").is_err());
+        assert!(parse_rules("deny notacidr").is_err());
+        assert!(parse_rules("deny 10.0.0.1 notaport").is_err());
+    }
+
+    #[test]
+    fn static_rules_install_drop_flows_and_drop_traffic() {
+        let mut rt = Runtime::new();
+        rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_3], Version::V1_3);
+        let h1 = rt.net.add_host("h1", ip("10.9.1.1")); // inside the denied /16
+        let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
+        rt.net.attach_host(h1, (0x1, 1), None);
+        rt.net.attach_host(h2, (0x1, 2), None);
+        rt.pump();
+        // Baseline forwarding so traffic *would* flow.
+        let fwd = FlowSpec {
+            m: FlowMatch::any(),
+            actions: vec![yanc_openflow::Action::out(yanc_openflow::port_no::FLOOD)],
+            priority: 1,
+            ..Default::default()
+        };
+        rt.yfs.write_flow("sw1", "flood", &fwd).unwrap();
+        rt.pump();
+
+        let mut fw = Firewall::new(rt.yfs.clone(), 0).unwrap();
+        // Edit the rules file the way an admin would.
+        rt.yfs
+            .filesystem()
+            .write_file("/net/security/rules", b"deny 10.9.0.0/16\n", rt.yfs.creds())
+            .unwrap();
+        settle(&mut rt, &mut fw);
+        assert_eq!(fw.active_rules.len(), 1);
+        assert_eq!(rt.net.switches[&0x1].flow_count(), 2); // flood + drop
+
+        // h1 (denied) pings h2: ARP resolves (L2), but the ICMP is dropped.
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1);
+        settle(&mut rt, &mut fw);
+        assert!(
+            rt.net.hosts[&h1].ping_replies.is_empty(),
+            "denied source must not connect"
+        );
+        // h2 → h1: the *request* (src 10.0.0.2) passes and h1 answers, but
+        // the reply (src 10.9.1.1) is dropped too — the ACL is stateless,
+        // like a real one-line deny.
+        rt.net.host_ping(h2, ip("10.9.1.1"), 2);
+        settle(&mut rt, &mut fw);
+        assert_eq!(rt.net.hosts[&h1].pings_answered.len(), 1);
+        assert!(rt.net.hosts[&h2].ping_replies.is_empty());
+
+        // Removing the rule reopens the path.
+        rt.yfs
+            .filesystem()
+            .write_file("/net/security/rules", b"# empty\n", rt.yfs.creds())
+            .unwrap();
+        settle(&mut rt, &mut fw);
+        assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
+        rt.net.host_ping(h1, ip("10.0.0.2"), 3);
+        settle(&mut rt, &mut fw);
+        assert_eq!(rt.net.hosts[&h1].ping_replies.len(), 1);
+    }
+
+    #[test]
+    fn anomalous_source_is_auto_blocked() {
+        let mut rt = Runtime::new();
+        rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_0], Version::V1_0);
+        let h1 = rt.net.add_host("h1", ip("10.0.0.1"));
+        rt.net.attach_host(h1, (0x1, 1), None);
+        rt.pump();
+        let mut fw = Firewall::new(rt.yfs.clone(), 3).unwrap();
+        // h1 scans: many misses (no flows installed → every probe misses).
+        let h1mac = rt.net.hosts[&h1].mac;
+        for port in 1..=5u16 {
+            let frame = yanc_packet::build_tcp_syn(
+                h1mac,
+                yanc_packet::MacAddr::from_seed(0xeeee),
+                ip("10.0.0.1"),
+                ip("10.0.0.99"),
+                40000 + port,
+                port,
+            );
+            rt.net.inject(0x1, 1, frame);
+            settle(&mut rt, &mut fw);
+        }
+        assert_eq!(fw.blocked, vec![ip("10.0.0.1")]);
+        // The block is visible in the fs and in hardware.
+        assert!(rt
+            .yfs
+            .filesystem()
+            .exists("/net/security/blocked/10.0.0.1", rt.yfs.creds()));
+        assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
+        // Further probes hit the drop flow: no more packet-ins counted.
+        let before = fw.misses[&ip("10.0.0.1")];
+        let frame = yanc_packet::build_tcp_syn(
+            h1mac,
+            yanc_packet::MacAddr::from_seed(0xeeee),
+            ip("10.0.0.1"),
+            ip("10.0.0.99"),
+            41000,
+            80,
+        );
+        rt.net.inject(0x1, 1, frame);
+        settle(&mut rt, &mut fw);
+        assert_eq!(
+            fw.misses[&ip("10.0.0.1")],
+            before,
+            "drop flow absorbs the scan"
+        );
+    }
+}

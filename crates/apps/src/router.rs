@@ -1,0 +1,319 @@
+//! The router daemon (paper §8): "handles all table misses and sets up
+//! paths based on exact match through the network".
+//!
+//! Reactive control in its purest form: every packet-in is either flooded
+//! (unknown destination) or answered by installing exact-match flow entries
+//! along the shortest path — written as flow *files*, committed by version
+//! bump, and installed by whichever driver manages each switch. The daemon
+//! learns host locations from packets arriving on edge ports (ports with
+//! no `peer` symlink).
+
+use std::collections::HashMap;
+
+use yanc::{EventSubscription, FlowSpec, PacketInRecord, YancFs};
+use yanc_openflow::{port_no, Action, FlowMatch};
+use yanc_packet::{EtherType, MacAddr, PacketSummary};
+
+use crate::topology::{ingress_ports, shortest_path};
+
+/// The reactive router.
+pub struct RouterDaemon {
+    yfs: YancFs,
+    sub: EventSubscription,
+    /// Learned MAC locations: `(switch, port)`.
+    locations: HashMap<MacAddr, (String, u16)>,
+    /// Idle timeout for installed paths (seconds; 0 = permanent).
+    pub idle_timeout: u16,
+    /// Count of path installations (metrics).
+    pub paths_installed: usize,
+    /// Count of floods (metrics).
+    pub floods: usize,
+    seq: u64,
+}
+
+impl RouterDaemon {
+    /// Subscribe as `router`.
+    pub fn new(yfs: YancFs) -> yanc::YancResult<Self> {
+        let sub = yfs.subscribe_events("router")?;
+        Ok(RouterDaemon {
+            yfs,
+            sub,
+            locations: HashMap::new(),
+            idle_timeout: 60,
+            paths_installed: 0,
+            floods: 0,
+            seq: 0,
+        })
+    }
+
+    /// Where the daemon believes a MAC lives.
+    pub fn location_of(&self, mac: MacAddr) -> Option<&(String, u16)> {
+        self.locations.get(&mac)
+    }
+
+    /// Process pending packet-ins. Returns whether any work happened.
+    pub fn run_once(&mut self) -> bool {
+        let records = self.sub.drain_all();
+        let worked = !records.is_empty();
+        for rec in records {
+            self.handle(rec);
+        }
+        worked
+    }
+
+    fn handle(&mut self, rec: PacketInRecord) {
+        let summary = match PacketSummary::parse(&rec.data) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if summary.dl_type == EtherType::LLDP.0 {
+            return; // the topology daemon's department
+        }
+        // Learn the source if it entered on an edge port, and record it in
+        // the hosts/ directory (Figure 2) for other applications to read.
+        let is_edge = matches!(self.yfs.peer(&rec.switch, rec.in_port), Ok(None));
+        if is_edge && !summary.dl_src.is_multicast() {
+            let loc = (rec.switch.clone(), rec.in_port);
+            if self.locations.insert(summary.dl_src, loc.clone()) != Some(loc.clone()) {
+                let name = summary.dl_src.to_string().replace(':', "-");
+                let dir = self.yfs.root().join("hosts").join(&name);
+                let fs = self.yfs.filesystem();
+                let _ = fs.mkdir_all(dir.as_str(), yanc_vfs::Mode::DIR_DEFAULT, self.yfs.creds());
+                let _ = fs.write_file(
+                    dir.join("mac").as_str(),
+                    summary.dl_src.to_string().as_bytes(),
+                    self.yfs.creds(),
+                );
+                let _ = fs.write_file(
+                    dir.join("location").as_str(),
+                    format!("{}:{}", loc.0, loc.1).as_bytes(),
+                    self.yfs.creds(),
+                );
+                if let Some(ip) = summary.nw_src {
+                    let _ = fs.write_file(
+                        dir.join("ip").as_str(),
+                        ip.to_string().as_bytes(),
+                        self.yfs.creds(),
+                    );
+                }
+            }
+        }
+
+        let dst = self.locations.get(&summary.dl_dst).cloned();
+        match dst {
+            None => self.flood(&rec),
+            Some((dst_sw, dst_port)) => {
+                if self
+                    .install_path(&rec, &summary, &dst_sw, dst_port)
+                    .is_none()
+                {
+                    self.flood(&rec);
+                }
+            }
+        }
+    }
+
+    /// Flood toward hosts only: the packet is emitted on every *edge*
+    /// port (ports without a `peer` symlink) of every switch, never on
+    /// inter-switch links. Unlike a naive FLOOD action this cannot storm a
+    /// looped fabric (e.g. a fat tree), which is how production
+    /// controllers handle broadcasts too.
+    fn flood(&mut self, rec: &PacketInRecord) {
+        self.floods += 1;
+        let switches = match self.yfs.list_switches() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        for sw in switches {
+            let ports = match self.yfs.list_ports(&sw) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            for port in ports {
+                if sw == rec.switch && port == rec.in_port {
+                    continue; // never back out the ingress
+                }
+                if matches!(self.yfs.peer(&sw, port), Ok(None)) {
+                    self.emit_data(&sw, rec, port);
+                }
+            }
+        }
+    }
+
+    /// Packet-out `rec`'s frame bytes on a specific switch/port (data
+    /// form; buffer ids are only valid on the originating switch).
+    fn emit_data(&self, sw: &str, rec: &PacketInRecord, out: u16) {
+        let line = format!(
+            "buffer=none in_port={} out={} data={}\n",
+            port_no::NONE,
+            out,
+            yanc::hex_encode(&rec.data)
+        );
+        let path = self.yfs.switch_dir(sw).join("packet_out");
+        let _ = self
+            .yfs
+            .filesystem()
+            .append_file(path.as_str(), line.as_bytes(), self.yfs.creds());
+    }
+
+    fn packet_out(&self, sw: &str, rec: &PacketInRecord, out: u16) {
+        let line = match rec.buffer_id {
+            Some(id) => {
+                format!("buffer={id} in_port={} out={}\n", rec.in_port, out)
+            }
+            None => format!(
+                "buffer=none in_port={} out={} data={}\n",
+                rec.in_port,
+                out,
+                yanc::hex_encode(&rec.data)
+            ),
+        };
+        let path = self.yfs.switch_dir(sw).join("packet_out");
+        let _ = self
+            .yfs
+            .filesystem()
+            .append_file(path.as_str(), line.as_bytes(), self.yfs.creds());
+    }
+
+    /// Install exact-match entries along the shortest path and release the
+    /// packet. Returns `None` when no path exists.
+    fn install_path(
+        &mut self,
+        rec: &PacketInRecord,
+        summary: &PacketSummary,
+        dst_sw: &str,
+        dst_port: u16,
+    ) -> Option<()> {
+        let hops = shortest_path(&self.yfs, &rec.switch, dst_sw).ok()??;
+        let ingresses = ingress_ports(&self.yfs, &hops).ok()?;
+        if ingresses.len() != hops.len() {
+            return None; // topology changed between the two reads
+        }
+        // Egress ports per switch along the path, ending at the host port.
+        // hops[i] = (switch_i, egress_i); switch_{i+1} ingress = ingresses[i].
+        let mut plan: Vec<(String, u16, u16)> = Vec::new(); // (sw, in, out)
+        let mut in_port = rec.in_port;
+        for (i, (sw, egress)) in hops.iter().enumerate() {
+            plan.push((sw.clone(), in_port, *egress));
+            in_port = ingresses[i].1;
+        }
+        plan.push((dst_sw.to_string(), in_port, dst_port));
+
+        self.seq += 1;
+        let first_out = plan[0].2;
+        for (sw, inp, outp) in plan {
+            let m = FlowMatch {
+                in_port: Some(inp),
+                ..FlowMatch::exact(summary, inp)
+            };
+            let spec = FlowSpec {
+                m,
+                actions: vec![Action::out(outp)],
+                priority: 40000,
+                idle_timeout: self.idle_timeout,
+                cookie: self.seq,
+                ..Default::default()
+            };
+            let name = format!("rt{}_{}", self.seq, sw);
+            if self.yfs.write_flow(&sw, &name, &spec).is_err() {
+                return None;
+            }
+        }
+        self.paths_installed += 1;
+        // Release the buffered packet along the installed path.
+        self.packet_out(&rec.switch, rec, first_out);
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_driver::Runtime;
+    use yanc_openflow::Version;
+
+    fn ip(s: &str) -> std::net::Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// Pump runtime + router until quiescent.
+    fn settle(rt: &mut Runtime, router: &mut RouterDaemon) {
+        loop {
+            let a = rt.pump();
+            let b = router.run_once();
+            if a <= 1 && !b {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn single_switch_reactive_forwarding() {
+        let mut rt = Runtime::new();
+        let _sw = rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_0], Version::V1_0);
+        let h1 = rt.net.add_host("h1", ip("10.0.0.1"));
+        let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
+        rt.net.attach_host(h1, (0x1, 1), None);
+        rt.net.attach_host(h2, (0x1, 2), None);
+        rt.pump();
+        let mut router = RouterDaemon::new(rt.yfs.clone()).unwrap();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1);
+        settle(&mut rt, &mut router);
+        assert_eq!(rt.net.hosts[&h1].ping_replies, vec![(ip("10.0.0.2"), 1)]);
+        // The ICMP exchange after ARP runs over installed exact paths.
+        assert!(
+            router.paths_installed >= 1,
+            "paths: {}",
+            router.paths_installed
+        );
+        assert!(rt.net.switches[&0x1].flow_count() >= 2);
+        // Second ping: no new packet-ins needed (hardware path).
+        let flows_before = rt.net.switches[&0x1].flow_count();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 2);
+        settle(&mut rt, &mut router);
+        assert_eq!(rt.net.hosts[&h1].ping_replies.len(), 2);
+        assert_eq!(rt.net.switches[&0x1].flow_count(), flows_before);
+        // Learned hosts appear in the hosts/ directory (Figure 2 in use).
+        let m1 = rt.net.hosts[&h1].mac.to_string().replace(':', "-");
+        let loc = rt
+            .yfs
+            .filesystem()
+            .read_to_string(&format!("/net/hosts/{m1}/location"), rt.yfs.creds())
+            .unwrap();
+        assert_eq!(loc, "sw1:1");
+    }
+
+    #[test]
+    fn multi_hop_path_installation() {
+        // h1 - s1 - s2 - s3 - h2, with topology links recorded in the fs.
+        let mut rt = Runtime::new();
+        for d in 1..=3u64 {
+            rt.add_switch_with_driver(d, 4, 1, vec![Version::V1_3], Version::V1_3);
+        }
+        rt.net.link_switches((1, 3), (2, 1), None);
+        rt.net.link_switches((2, 3), (3, 1), None);
+        let h1 = rt.net.add_host("h1", ip("10.0.0.1"));
+        let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
+        rt.net.attach_host(h1, (1, 1), None);
+        rt.net.attach_host(h2, (3, 2), None);
+        rt.pump();
+        // Record topology in the fs (as the topology daemon would).
+        rt.yfs.set_peer("sw1", 3, "sw2", 1).unwrap();
+        rt.yfs.set_peer("sw2", 1, "sw1", 3).unwrap();
+        rt.yfs.set_peer("sw2", 3, "sw3", 1).unwrap();
+        rt.yfs.set_peer("sw3", 1, "sw2", 3).unwrap();
+
+        let mut router = RouterDaemon::new(rt.yfs.clone()).unwrap();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 7);
+        settle(&mut rt, &mut router);
+        assert_eq!(rt.net.hosts[&h1].ping_replies, vec![(ip("10.0.0.2"), 7)]);
+        // Exact-match entries exist on every switch along the path.
+        for d in 1..=3u64 {
+            assert!(
+                rt.net.switches[&d].flow_count() >= 1,
+                "switch {d} has no flows"
+            );
+        }
+        assert!(router.paths_installed >= 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! The topology discovery daemon (paper §4.3).
+//!
+//! "A topology application will handle LLDP messages for discovery and
+//! create symbolic links which connect source to destination ports."
+//!
+//! The daemon is an ordinary yanc application: it installs an
+//! LLDP-to-controller flow on every switch (through flow files), emits LLDP
+//! probes through each switch's `packet_out` file, and when a probe shows
+//! up as a packet-in on a neighbouring switch, records the link as a `peer`
+//! symlink. Everything it knows, it knows through the file system.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use yanc::{EventSubscription, FlowSpec, YancFs};
+use yanc_openflow::{port_no, Action, FlowMatch};
+use yanc_packet::{EtherType, EthernetFrame, LldpPacket, MacAddr};
+
+/// The discovery daemon.
+pub struct TopologyDaemon {
+    yfs: YancFs,
+    sub: EventSubscription,
+    /// Switches we've already provisioned with the LLDP capture flow.
+    provisioned: HashSet<String>,
+    /// Links created so far (for idempotence/metrics).
+    pub links_found: usize,
+}
+
+impl TopologyDaemon {
+    /// Subscribe as `topod`.
+    pub fn new(yfs: YancFs) -> yanc::YancResult<Self> {
+        let sub = yfs.subscribe_events("topod")?;
+        Ok(TopologyDaemon {
+            yfs,
+            sub,
+            provisioned: HashSet::new(),
+            links_found: 0,
+        })
+    }
+
+    /// Ensure every switch captures LLDP to the controller, then emit one
+    /// LLDP probe out of every port of every switch.
+    pub fn probe(&mut self) -> yanc::YancResult<()> {
+        for sw in self.yfs.list_switches()? {
+            if !self.provisioned.contains(&sw) {
+                let spec = FlowSpec {
+                    m: FlowMatch {
+                        dl_type: Some(EtherType::LLDP.0),
+                        ..Default::default()
+                    },
+                    actions: vec![Action::out(port_no::CONTROLLER)],
+                    priority: 65000,
+                    ..Default::default()
+                };
+                self.yfs.write_flow(&sw, "lldp_capture", &spec)?;
+                self.provisioned.insert(sw.clone());
+            }
+            for port in self.yfs.list_ports(&sw)? {
+                let frame = yanc_packet::build_lldp(
+                    MacAddr::from_seed(0x11dd_0000 | u64::from(port)),
+                    &sw,
+                    &port.to_string(),
+                );
+                let line = format!(
+                    "buffer=none in_port={} out={} data={}\n",
+                    port_no::NONE,
+                    port,
+                    yanc::hex_encode(&frame)
+                );
+                let path = self.yfs.switch_dir(&sw).join("packet_out");
+                self.yfs.filesystem().append_file(
+                    path.as_str(),
+                    line.as_bytes(),
+                    self.yfs.creds(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume pending packet-ins; LLDP ones become `peer` symlinks.
+    /// Returns whether any progress was made.
+    pub fn run_once(&mut self) -> bool {
+        let mut worked = false;
+        for rec in self.sub.drain_all() {
+            worked = true;
+            let eth = match EthernetFrame::parse(&rec.data) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            if eth.ethertype != EtherType::LLDP {
+                continue;
+            }
+            let lldp = match LldpPacket::parse(&eth.payload) {
+                Ok(l) => l,
+                Err(_) => continue,
+            };
+            let src_port: u16 = match lldp.port_id.parse() {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            // The probe left (lldp.chassis_id, src_port) and arrived at
+            // (rec.switch, rec.in_port): that's a link; record both ends.
+            if self
+                .yfs
+                .set_peer(&rec.switch, rec.in_port, &lldp.chassis_id, src_port)
+                .is_ok()
+            {
+                let _ = self
+                    .yfs
+                    .set_peer(&lldp.chassis_id, src_port, &rec.switch, rec.in_port);
+                self.links_found += 1;
+            }
+        }
+        worked
+    }
+}
+
+/// BFS shortest path between two switches over the fs topology (`peer`
+/// symlinks). Returns hops as `(switch, egress port)` ending with the hop
+/// out of `to`'s predecessor — i.e. the ports to wire a path
+/// `from → … → to`. Empty when `from == to`.
+pub fn shortest_path(
+    yfs: &YancFs,
+    from: &str,
+    to: &str,
+) -> yanc::YancResult<Option<Vec<(String, u16)>>> {
+    if from == to {
+        return Ok(Some(Vec::new()));
+    }
+    // adjacency: switch -> [(egress port, neighbour switch)]
+    let mut adj: HashMap<String, Vec<(u16, String)>> = HashMap::new();
+    for (sw, port, peer_sw, _pp) in yfs.topology()? {
+        adj.entry(sw).or_default().push((port, peer_sw));
+    }
+    for nbrs in adj.values_mut() {
+        nbrs.sort(); // deterministic paths
+    }
+    let mut prev: HashMap<String, (String, u16)> = HashMap::new();
+    let mut q = VecDeque::new();
+    q.push_back(from.to_string());
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(from.to_string());
+    while let Some(cur) = q.pop_front() {
+        if cur == to {
+            // Reconstruct.
+            let mut hops = Vec::new();
+            let mut node = to.to_string();
+            while node != from {
+                let (p, port) = prev[&node].clone();
+                hops.push((p.clone(), port));
+                node = p;
+            }
+            hops.reverse();
+            return Ok(Some(hops));
+        }
+        for (port, nbr) in adj.get(&cur).cloned().unwrap_or_default() {
+            if seen.insert(nbr.clone()) {
+                prev.insert(nbr.clone(), (cur.clone(), port));
+                q.push_back(nbr);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The ingress port on each switch along a path: for consecutive hops the
+/// packet enters hop `i+1` on the peer port of hop `i`'s egress.
+pub fn ingress_ports(yfs: &YancFs, hops: &[(String, u16)]) -> yanc::YancResult<Vec<(String, u16)>> {
+    let mut out = Vec::new();
+    for (sw, port) in hops {
+        if let Some((peer_sw, peer_port)) = yfs.peer(sw, *port)? {
+            out.push((peer_sw, peer_port));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use yanc_vfs::Filesystem;
+
+    fn yfs_with_line(n: usize) -> YancFs {
+        // line: sw0 -p2- sw1 -p2- sw2 … (port1 faces down, port2 faces up)
+        let y = YancFs::init(Arc::new(Filesystem::new()), "/net").unwrap();
+        for i in 0..n {
+            let name = format!("s{i}");
+            y.create_switch(&name, i as u64, 0, 0, 0, 1).unwrap();
+            for p in 1..=3u16 {
+                y.create_port(&name, p, "02:00:00:00:00:01", 0, 0).unwrap();
+            }
+        }
+        for i in 0..n - 1 {
+            y.set_peer(&format!("s{i}"), 2, &format!("s{}", i + 1), 1)
+                .unwrap();
+            y.set_peer(&format!("s{}", i + 1), 1, &format!("s{i}"), 2)
+                .unwrap();
+        }
+        y
+    }
+
+    #[test]
+    fn bfs_on_line() {
+        let y = yfs_with_line(4);
+        let path = shortest_path(&y, "s0", "s3").unwrap().unwrap();
+        assert_eq!(
+            path,
+            vec![
+                ("s0".to_string(), 2),
+                ("s1".to_string(), 2),
+                ("s2".to_string(), 2)
+            ]
+        );
+        let ins = ingress_ports(&y, &path).unwrap();
+        assert_eq!(
+            ins,
+            vec![
+                ("s1".to_string(), 1),
+                ("s2".to_string(), 1),
+                ("s3".to_string(), 1)
+            ]
+        );
+        assert_eq!(shortest_path(&y, "s2", "s2").unwrap().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let y = yfs_with_line(2);
+        y.create_switch("island", 99, 0, 0, 0, 1).unwrap();
+        assert_eq!(shortest_path(&y, "s0", "island").unwrap(), None);
+    }
+
+    #[test]
+    fn bfs_picks_shorter_branch() {
+        let y = yfs_with_line(3); // s0-s1-s2
+                                  // Add a direct s0<->s2 link on port 3.
+        y.set_peer("s0", 3, "s2", 3).unwrap();
+        y.set_peer("s2", 3, "s0", 3).unwrap();
+        let path = shortest_path(&y, "s0", "s2").unwrap().unwrap();
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0], ("s0".to_string(), 3));
+    }
+}

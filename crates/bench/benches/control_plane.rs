@@ -1,0 +1,140 @@
+//! E4 + E8 — control-plane operations end to end: flow-commit latency vs
+//! field count (through a live driver), and LLDP topology-discovery cost
+//! vs topology size/diameter.
+//!
+//! Shape expectations: commit cost grows roughly linearly in the number of
+//! field files (each is a create+write+close); discovery work grows with
+//! link count, and the discovered topology always equals ground truth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc::FlowSpec;
+use yanc_apps::TopologyDaemon;
+use yanc_driver::Runtime;
+use yanc_harness::{build_fat_tree, build_line, build_ring, build_tree, settle, PumpApp};
+use yanc_openflow::{Action, FlowMatch, Ipv4Prefix, Version};
+use yanc_packet::MacAddr;
+
+/// A field-setter on a match under construction.
+type FieldSetter = Box<dyn Fn(&mut FlowMatch)>;
+
+/// A spec with exactly `k` populated match fields (k ≤ 10).
+fn spec_with_fields(k: usize) -> FlowSpec {
+    let mut m = FlowMatch::any();
+    let setters: Vec<FieldSetter> = vec![
+        Box::new(|m| m.in_port = Some(1)),
+        Box::new(|m| m.dl_src = Some(MacAddr::from_seed(1))),
+        Box::new(|m| m.dl_dst = Some(MacAddr::from_seed(2))),
+        Box::new(|m| m.dl_type = Some(0x0800)),
+        Box::new(|m| m.nw_tos = Some(0x20)),
+        Box::new(|m| m.nw_proto = Some(6)),
+        Box::new(|m| m.nw_src = Ipv4Prefix::parse("10.0.0.0/24")),
+        Box::new(|m| m.nw_dst = Ipv4Prefix::parse("10.1.0.0/16")),
+        Box::new(|m| m.tp_src = Some(1000)),
+        Box::new(|m| m.tp_dst = Some(22)),
+    ];
+    for s in setters.iter().take(k) {
+        s(&mut m);
+    }
+    FlowSpec {
+        m,
+        actions: vec![Action::out(2)],
+        priority: 500,
+        ..Default::default()
+    }
+}
+
+fn bench_flow_commit(c: &mut Criterion) {
+    println!("\nE4: syscalls per flow commit, by populated match-field count");
+    println!("{:>8} {:>10}", "fields", "syscalls");
+    for k in [1usize, 4, 7, 10] {
+        let mut rt = Runtime::new();
+        rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
+        rt.pump();
+        let before = rt.yfs.filesystem().counters().snapshot();
+        rt.yfs.write_flow("sw1", "f", &spec_with_fields(k)).unwrap();
+        let used = rt.yfs.filesystem().counters().snapshot().since(&before);
+        println!("{k:>8} {:>10}", used.total());
+    }
+    println!();
+
+    let mut g = c.benchmark_group("flow_commit_e2e");
+    g.sample_size(10);
+    for k in [1usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("fields", k), &k, |b, &k| {
+            let mut rt = Runtime::new();
+            rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
+            rt.pump();
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                rt.yfs
+                    .write_flow("sw1", &format!("f{i}"), &spec_with_fields(k))
+                    .unwrap();
+                rt.pump();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    println!("E8: LLDP discovery — links found / events processed per topology");
+    println!(
+        "{:>16} {:>10} {:>10} {:>12}",
+        "topology", "switches", "links", "net events"
+    );
+    type TopoBuilder = Box<dyn Fn(&mut Runtime) -> yanc_harness::Topo>;
+    let shapes: Vec<(&str, TopoBuilder)> = vec![
+        ("line-8", Box::new(|rt| build_line(rt, 8, Version::V1_0))),
+        ("ring-8", Box::new(|rt| build_ring(rt, 8, Version::V1_0))),
+        (
+            "tree-d3f2",
+            Box::new(|rt| build_tree(rt, 3, 2, Version::V1_0)),
+        ),
+        (
+            "fat-tree-2",
+            Box::new(|rt| build_fat_tree(rt, 2, Version::V1_0)),
+        ),
+    ];
+    for (label, build) in &shapes {
+        let mut rt = Runtime::new();
+        let topo = build(&mut rt);
+        let ev_before = rt.net.stats.events;
+        let mut topod = TopologyDaemon::new(rt.yfs.clone()).unwrap();
+        topod.probe().unwrap();
+        settle(&mut rt, &mut [&mut topod as &mut dyn PumpApp]);
+        let links = rt.yfs.topology().unwrap().len();
+        println!(
+            "{label:>16} {:>10} {links:>10} {:>12}",
+            topo.switches.len(),
+            rt.net.stats.events - ev_before
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("topo_discovery");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("line", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let mut rt = Runtime::new();
+                    build_line(&mut rt, n, Version::V1_0);
+                    rt
+                },
+                |mut rt| {
+                    let mut topod = TopologyDaemon::new(rt.yfs.clone()).unwrap();
+                    topod.probe().unwrap();
+                    settle(&mut rt, &mut [&mut topod as &mut dyn PumpApp]);
+                    assert_eq!(rt.yfs.topology().unwrap().len(), 2 * (n - 1));
+                    rt
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_commit, bench_discovery);
+criterion_main!(benches);

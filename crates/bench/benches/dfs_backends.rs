@@ -1,0 +1,112 @@
+//! E11 + E12 — distributed-controller trade-offs: write-visibility latency
+//! and message cost per backend, vs node count and link latency (§6's
+//! "varying trade-offs", measured).
+//!
+//! Shape expectations (on the virtual clock, deterministic): central —
+//! non-primary writes cost 2·latency, primary writes 1·latency, every op
+//! funnels through the primary (message hotspot); DHT — same per-write
+//! latencies but ordering load spreads over nodes; policy/eventual —
+//! every write is 1·latency. Wall-clock replication throughput should
+//! degrade gracefully with node count for all backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc_dfs::{Backend, Cluster};
+use yanc_vfs::Credentials;
+
+fn visibility_table() {
+    println!("\nE12: write-visibility latency (virtual µs, link latency 100µs)");
+    println!(
+        "{:>8} {:>22} {:>18} {:>18}",
+        "nodes", "central(non-primary)", "dht(mean of 8)", "eventual"
+    );
+    for nodes in [2usize, 4, 8] {
+        let mut central = Cluster::new(nodes, Backend::Central { primary: 0 }, 100, "/net");
+        let c = central.timed_write(nodes - 1, "/net/x", b"1");
+
+        let mut dht = Cluster::new(nodes, Backend::Dht, 100, "/net");
+        let mut total = 0;
+        for i in 0..8 {
+            total += dht.timed_write(nodes - 1, &format!("/net/k{i}"), b"1");
+        }
+        let d = total / 8;
+
+        let mut pol = Cluster::new(nodes, Backend::Policy, 100, "/net");
+        for n in &pol.nodes {
+            n.fs.mkdir_all("/net/ev", yanc_vfs::Mode::DIR_DEFAULT, &Credentials::root())
+                .unwrap();
+            n.fs.set_xattr(
+                "/net/ev",
+                "user.consistency",
+                b"eventual",
+                &Credentials::root(),
+            )
+            .unwrap();
+        }
+        pol.pump();
+        let e = pol.timed_write(nodes - 1, "/net/ev/x", b"1");
+        println!("{nodes:>8} {c:>22} {d:>18} {e:>18}");
+    }
+
+    println!("\nE12: ordering-hotspot messages per backend (16 writes from 4 nodes)");
+    for (label, backend) in [
+        ("central", Backend::Central { primary: 0 }),
+        ("dht", Backend::Dht),
+    ] {
+        let mut cl = Cluster::new(4, backend, 10, "/net");
+        for i in 0..16 {
+            cl.nodes[i % 4]
+                .fs
+                .write_file(&format!("/net/k{i}"), b"v", &Credentials::root())
+                .unwrap();
+        }
+        cl.pump();
+        println!(
+            "  {label:<8} forwarded={:<4} total messages={}",
+            cl.stats.forwarded, cl.stats.messages
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    visibility_table();
+
+    let mut g = c.benchmark_group("dfs_replication_throughput");
+    g.sample_size(10);
+    for nodes in [2usize, 4, 8] {
+        for (label, backend) in [
+            ("central", Backend::Central { primary: 0 }),
+            ("dht", Backend::Dht),
+            ("policy", Backend::Policy),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, nodes),
+                &(nodes, backend),
+                |b, &(n, backend)| {
+                    b.iter_with_setup(
+                        || Cluster::new(n, backend, 10, "/net"),
+                        |mut cl| {
+                            for i in 0..50 {
+                                cl.nodes[i % n]
+                                    .fs
+                                    .write_file(
+                                        &format!("/net/k{i}"),
+                                        b"value",
+                                        &Credentials::root(),
+                                    )
+                                    .unwrap();
+                            }
+                            cl.pump();
+                            cl
+                        },
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E14 — the headline §8.1 reproduction: "writing flow entries to
+//! thousands of nodes will result in tens of thousands of context
+//! switches", against libyanc's shared-memory fastpath.
+//!
+//! Two measurements per (switches, flows/switch) point:
+//!   * deterministic **simulated-syscall counts** (printed once — the
+//!     paper's context-switch proxy; exact, machine-independent),
+//!   * wall-clock time per full write burst (criterion series).
+//!
+//! Shape expectation: fs-path syscalls grow as Θ(fields × flows ×
+//! switches) — tens of thousands at 1000 switches — while the fastpath
+//! performs zero file-system operations and is an order of magnitude
+//! faster end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use libyanc::FlowChannel;
+use std::sync::Arc;
+use yanc::{FlowSpec, YancFs};
+use yanc_openflow::{Action, FlowMatch};
+use yanc_vfs::Filesystem;
+
+fn spec(i: u16) -> FlowSpec {
+    FlowSpec {
+        m: FlowMatch {
+            dl_type: Some(0x0800),
+            nw_proto: Some(6),
+            tp_dst: Some(i),
+            nw_src: yanc_openflow::Ipv4Prefix::parse("10.0.0.0/24"),
+            ..Default::default()
+        },
+        actions: vec![Action::out(2)],
+        priority: 1000 + i,
+        idle_timeout: 30,
+        ..Default::default()
+    }
+}
+
+/// Fresh tree with `n` switch skeletons.
+fn world(n: usize) -> YancFs {
+    let yfs = YancFs::init(Arc::new(Filesystem::new()), "/net").unwrap();
+    for i in 0..n {
+        yfs.create_switch(&format!("sw{i}"), i as u64, 0, 0, 0, 1)
+            .unwrap();
+    }
+    yfs
+}
+
+fn fs_path_burst(yfs: &YancFs, switches: usize, flows: u16) {
+    for s in 0..switches {
+        let sw = format!("sw{s}");
+        for f in 0..flows {
+            yfs.write_flow(&sw, &format!("f{f}"), &spec(f)).unwrap();
+        }
+    }
+}
+
+fn fastpath_burst(ch: &FlowChannel, switches: usize, flows: u16) {
+    for s in 0..switches {
+        let sw = format!("sw{s}");
+        for f in 0..flows {
+            ch.install(&sw, &format!("f{f}"), spec(f)).unwrap();
+        }
+    }
+    // Drain as the driver would (without a network, to isolate path cost).
+    let _ = ch.drain();
+}
+
+fn bench(c: &mut Criterion) {
+    // Deterministic syscall table (the paper's actual claim), printed once.
+    println!("\nE14: simulated syscalls per flow-write burst (fs path vs libyanc fastpath)");
+    println!(
+        "{:>9} {:>12} {:>14} {:>14}",
+        "switches", "flows/sw", "fs syscalls", "fastpath"
+    );
+    for (switches, flows) in [(10usize, 1u16), (100, 1), (1000, 1), (100, 10), (1000, 10)] {
+        let yfs = world(switches);
+        let before = yfs.filesystem().counters().snapshot();
+        fs_path_burst(&yfs, switches, flows);
+        let used = yfs.filesystem().counters().snapshot().since(&before);
+        println!("{switches:>9} {flows:>12} {:>14} {:>14}", used.total(), 0);
+    }
+    println!();
+
+    let mut g = c.benchmark_group("fastpath_vs_fs");
+    g.sample_size(10);
+    for switches in [10usize, 100, 500] {
+        g.bench_with_input(BenchmarkId::new("fs_path", switches), &switches, |b, &n| {
+            b.iter_with_setup(|| world(n), |yfs| fs_path_burst(&yfs, n, 1))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("fastpath", switches),
+            &switches,
+            |b, &n| b.iter_with_setup(|| FlowChannel::new(n * 2), |ch| fastpath_burst(&ch, n, 1)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

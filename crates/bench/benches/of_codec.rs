@@ -1,0 +1,83 @@
+//! E17 — OpenFlow codec soundness & speed (substrate validation).
+//!
+//! Series: encode/decode throughput for FlowMod and PacketIn, both
+//! protocol versions. Shape expectation: both versions within the same
+//! order of magnitude; 1.3 slightly slower (OXM TLVs vs fixed struct).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use yanc_openflow::{
+    decode, encode, Action, FlowMatch, FlowMod, FrameCodec, Ipv4Prefix, Message, Version,
+};
+use yanc_packet::MacAddr;
+
+fn sample_flow_mod() -> Message {
+    let m = FlowMatch {
+        in_port: Some(3),
+        dl_src: Some(MacAddr::from_seed(1)),
+        dl_type: Some(0x0800),
+        nw_proto: Some(6),
+        nw_src: Ipv4Prefix::parse("10.0.0.0/24"),
+        nw_dst: Ipv4Prefix::parse("10.1.0.0/16"),
+        tp_dst: Some(22),
+        ..Default::default()
+    };
+    let mut fm = FlowMod::add(
+        m,
+        900,
+        vec![
+            Action::SetDlDst(MacAddr::from_seed(9)),
+            Action::SetNwTos(0x20),
+            Action::out(2),
+        ],
+    );
+    fm.idle_timeout = 30;
+    fm.cookie = 0xfeed;
+    Message::FlowMod(fm)
+}
+
+fn sample_packet_in() -> Message {
+    Message::PacketIn {
+        buffer_id: Some(42),
+        total_len: 1500,
+        in_port: 7,
+        reason: yanc_openflow::PacketInReason::NoMatch,
+        table_id: 0,
+        data: bytes::Bytes::from(vec![0xa5u8; 128]),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("of_codec");
+    g.sample_size(20);
+    for v in [Version::V1_0, Version::V1_3] {
+        for (label, msg) in [
+            ("flow_mod", sample_flow_mod()),
+            ("packet_in", sample_packet_in()),
+        ] {
+            let wire = encode(v, &msg, 1).unwrap();
+            g.throughput(Throughput::Bytes(wire.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("encode/{label}"), v),
+                &msg,
+                |b, m| b.iter(|| encode(v, m, 1).unwrap()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("decode/{label}"), v),
+                &wire,
+                |b, w| {
+                    b.iter(|| {
+                        let mut codec = FrameCodec::new();
+                        codec.feed(w);
+                        let frame = codec.next_frame().unwrap().unwrap();
+                        decode(&frame).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! E5 + E15 + E16 — packet-in fan-out cost vs subscriber count (file path
+//! vs zero-copy bus), and notify delivery scaling vs watch count.
+//!
+//! Shape expectations: file-path fan-out cost grows linearly in
+//! subscribers (each gets a private hex copy) while the bus cost is flat
+//! apart from ring pushes; notify emit cost grows with the number of
+//! *matching* watches and stays near-flat for non-matching ones.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use libyanc::{FastPacketIn, PacketBus};
+use yanc::{PacketInRecord, YancFs};
+use yanc_vfs::{EventMask, Filesystem};
+
+fn bench_fanout(c: &mut Criterion) {
+    // Deterministic syscall series for EXPERIMENTS.md.
+    println!("\nE5/E15: fs syscalls per packet-in publish, by subscriber count");
+    println!("{:>12} {:>12}", "subscribers", "syscalls");
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let yfs = YancFs::init(Arc::new(Filesystem::new()), "/net").unwrap();
+        let _subs: Vec<_> = (0..n)
+            .map(|i| yfs.subscribe_events(&format!("app{i}")).unwrap())
+            .collect();
+        let rec = PacketInRecord {
+            switch: "sw1".into(),
+            in_port: 1,
+            buffer_id: None,
+            reason: "no_match".into(),
+            data: Bytes::from(vec![0u8; 256]),
+        };
+        let before = yfs.filesystem().counters().snapshot();
+        yfs.publish_packet_in(&rec).unwrap();
+        let used = yfs.filesystem().counters().snapshot().since(&before);
+        println!("{n:>12} {:>12}", used.total());
+    }
+    println!();
+
+    let mut g = c.benchmark_group("packetin_fanout");
+    g.sample_size(10);
+    for n in [1usize, 8, 32] {
+        // File path.
+        g.bench_with_input(BenchmarkId::new("fs_path", n), &n, |b, &n| {
+            let yfs = YancFs::init(Arc::new(Filesystem::new()), "/net").unwrap();
+            let subs: Vec<_> = (0..n)
+                .map(|i| yfs.subscribe_events(&format!("app{i}")).unwrap())
+                .collect();
+            let rec = PacketInRecord {
+                switch: "sw1".into(),
+                in_port: 1,
+                buffer_id: None,
+                reason: "no_match".into(),
+                data: Bytes::from(vec![0u8; 1500]),
+            };
+            b.iter(|| {
+                yfs.publish_packet_in(&rec).unwrap();
+                for s in &subs {
+                    let got = s.drain_all();
+                    assert_eq!(got.len(), 1);
+                }
+            })
+        });
+        // Zero-copy bus.
+        g.bench_with_input(BenchmarkId::new("zero_copy_bus", n), &n, |b, &n| {
+            let bus = PacketBus::new(16);
+            let rings: Vec<_> = (0..n).map(|i| bus.subscribe(&format!("app{i}"))).collect();
+            let pkt = FastPacketIn {
+                switch: "sw1".into(),
+                in_port: 1,
+                buffer_id: None,
+                data: Bytes::from(vec![0u8; 1500]),
+            };
+            b.iter(|| {
+                assert_eq!(bus.publish(&pkt), n);
+                for r in &rings {
+                    r.pop().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_payload_sweep(c: &mut Criterion) {
+    // E15: cost vs payload size. The fs path hex-encodes (2x expansion +
+    // copy per subscriber); the bus clones a refcount.
+    let mut g = c.benchmark_group("zerocopy_packetin_payload");
+    g.sample_size(10);
+    for size in [64usize, 512, 1500, 9000] {
+        g.bench_with_input(BenchmarkId::new("fs_path_4subs", size), &size, |b, &sz| {
+            let yfs = YancFs::init(Arc::new(Filesystem::new()), "/net").unwrap();
+            let subs: Vec<_> = (0..4)
+                .map(|i| yfs.subscribe_events(&format!("a{i}")).unwrap())
+                .collect();
+            let rec = PacketInRecord {
+                switch: "sw1".into(),
+                in_port: 1,
+                buffer_id: None,
+                reason: "no_match".into(),
+                data: Bytes::from(vec![0u8; sz]),
+            };
+            b.iter(|| {
+                yfs.publish_packet_in(&rec).unwrap();
+                for s in &subs {
+                    s.drain_all();
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bus_4subs", size), &size, |b, &sz| {
+            let bus = PacketBus::new(16);
+            let rings: Vec<_> = (0..4).map(|i| bus.subscribe(&format!("a{i}"))).collect();
+            let pkt = FastPacketIn {
+                switch: "sw1".into(),
+                in_port: 1,
+                buffer_id: None,
+                data: Bytes::from(vec![0u8; sz]),
+            };
+            b.iter(|| {
+                bus.publish(&pkt);
+                for r in &rings {
+                    r.pop().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_notify(c: &mut Criterion) {
+    // E16: emit cost with k watches on the same directory vs k watches
+    // elsewhere.
+    let mut g = c.benchmark_group("notify_scaling");
+    g.sample_size(10);
+    for k in [1usize, 10, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("matching_watches", k), &k, |b, &k| {
+            let fs = Filesystem::new();
+            let creds = yanc_vfs::Credentials::root();
+            fs.mkdir_all("/watched", yanc_vfs::Mode::DIR_DEFAULT, &creds)
+                .unwrap();
+            let watches: Vec<_> = (0..k)
+                .map(|_| fs.watch_path("/watched", EventMask::ALL))
+                .collect();
+            b.iter(|| {
+                fs.write_file("/watched/f", b"x", &creds).unwrap();
+                for (_, rx) in &watches {
+                    while rx.try_recv().is_ok() {}
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("nonmatching_watches", k), &k, |b, &k| {
+            let fs = Filesystem::new();
+            let creds = yanc_vfs::Credentials::root();
+            fs.mkdir_all("/watched", yanc_vfs::Mode::DIR_DEFAULT, &creds)
+                .unwrap();
+            fs.mkdir_all("/elsewhere", yanc_vfs::Mode::DIR_DEFAULT, &creds)
+                .unwrap();
+            let _watches: Vec<_> = (0..k)
+                .map(|_| fs.watch_path("/elsewhere", EventMask::ALL))
+                .collect();
+            b.iter(|| fs.write_file("/watched/f", b"x", &creds).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fanout, bench_payload_sweep, bench_notify);
+criterion_main!(benches);

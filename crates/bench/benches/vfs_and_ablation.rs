@@ -1,0 +1,188 @@
+//! Substrate micro-benchmarks + ablations of the design choices DESIGN.md
+//! calls out:
+//!
+//! * raw vfs operation latencies (the per-"syscall" cost everything else
+//!   multiplies),
+//! * ablation A1 — semantic hooks on vs off (what does the schema layer
+//!   cost per mkdir?),
+//! * ablation A2 — notify fan-out on vs off for plain writes (watching is
+//!   "free" for non-watchers),
+//! * ablation A3 — flow-table lookup vs table size and match specificity
+//!   (priority scan cost in the simulated switch).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc::YancHook;
+use yanc_dataplane::{entry, FlowTable};
+use yanc_openflow::{Action, FlowMatch};
+use yanc_packet::{build_tcp_syn, MacAddr, PacketSummary};
+use yanc_vfs::{Credentials, EventMask, Filesystem, Mode};
+
+fn bench_vfs_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vfs_ops");
+    g.sample_size(20);
+    let fs = Filesystem::new();
+    let creds = Credentials::root();
+    fs.mkdir_all("/net/switches/sw1/flows", Mode::DIR_DEFAULT, &creds)
+        .unwrap();
+    fs.write_file("/net/switches/sw1/id", b"0x1", &creds)
+        .unwrap();
+
+    g.bench_function("stat", |b| {
+        b.iter(|| fs.stat("/net/switches/sw1/id", &creds).unwrap())
+    });
+    g.bench_function("read_small_file", |b| {
+        b.iter(|| fs.read_file("/net/switches/sw1/id", &creds).unwrap())
+    });
+    g.bench_function("write_small_file", |b| {
+        b.iter(|| {
+            fs.write_file("/net/switches/sw1/scratch", b"xyz", &creds)
+                .unwrap()
+        })
+    });
+    let mut i = 0u64;
+    g.bench_function("create_unlink", |b| {
+        b.iter(|| {
+            i += 1;
+            let p = format!("/net/switches/sw1/flows/tmp{i}");
+            fs.write_file(&p, b"1", &creds).unwrap();
+            fs.unlink(&p, &creds).unwrap();
+        })
+    });
+    g.bench_function("deep_path_resolution", |b| {
+        fs.mkdir_all("/a/b/c/d/e/f/g/h", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.write_file("/a/b/c/d/e/f/g/h/leaf", b"x", &creds)
+            .unwrap();
+        b.iter(|| fs.read_file("/a/b/c/d/e/f/g/h/leaf", &creds).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_hook_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hooks");
+    g.sample_size(20);
+    let creds = Credentials::root();
+    let mut i = 0u64;
+    g.bench_function("mkdir_flow_without_hooks", |b| {
+        let fs = Filesystem::new();
+        fs.mkdir_all("/net/switches/sw1/flows", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        b.iter(|| {
+            i += 1;
+            fs.mkdir(
+                &format!("/net/switches/sw1/flows/f{i}"),
+                Mode::DIR_DEFAULT,
+                &creds,
+            )
+            .unwrap()
+        })
+    });
+    let mut j = 0u64;
+    g.bench_function("mkdir_flow_with_hooks", |b| {
+        let fs = Filesystem::new();
+        fs.mkdir_all("/net/switches/sw1/flows", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.add_hook(Arc::new(YancHook::new("/net")));
+        b.iter(|| {
+            j += 1;
+            // The hook auto-creates version + counters — 2 extra objects.
+            fs.mkdir(
+                &format!("/net/switches/sw1/flows/g{j}"),
+                Mode::DIR_DEFAULT,
+                &creds,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_notify_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_notify");
+    g.sample_size(20);
+    let creds = Credentials::root();
+    g.bench_function("write_no_watchers", |b| {
+        let fs = Filesystem::new();
+        b.iter(|| fs.write_file("/f", b"x", &creds).unwrap())
+    });
+    g.bench_function("write_100_unrelated_watchers", |b| {
+        let fs = Filesystem::new();
+        fs.mkdir_all("/other", Mode::DIR_DEFAULT, &creds).unwrap();
+        let _w: Vec<_> = (0..100)
+            .map(|_| fs.watch_path("/other", EventMask::ALL))
+            .collect();
+        b.iter(|| fs.write_file("/f", b"x", &creds).unwrap())
+    });
+    g.bench_function("write_one_subtree_watcher", |b| {
+        let fs = Filesystem::new();
+        let (_, rx) = fs.watch_subtree("/", EventMask::ALL);
+        b.iter(|| {
+            fs.write_file("/f", b"x", &creds).unwrap();
+            while rx.try_recv().is_ok() {}
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_flow_table_lookup");
+    g.sample_size(20);
+    let frame = build_tcp_syn(
+        MacAddr::from_seed(1),
+        MacAddr::from_seed(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        40000,
+        22,
+    );
+    let pkt = PacketSummary::parse(&frame).unwrap();
+    for size in [10usize, 100, 1000] {
+        // Worst case: the matching entry is the lowest priority.
+        g.bench_with_input(
+            BenchmarkId::new("miss_then_hit_last", size),
+            &size,
+            |b, &n| {
+                let mut t = FlowTable::new();
+                for i in 0..n {
+                    // Non-matching specific entries at high priority.
+                    let m = FlowMatch {
+                        tp_dst: Some(30000 + i as u16),
+                        ..Default::default()
+                    };
+                    t.add(entry(m, 1000 + i as u16, vec![Action::out(1)]), 0);
+                }
+                t.add(entry(FlowMatch::any(), 1, vec![Action::out(2)]), 0);
+                b.iter(|| t.lookup(&pkt, 1, 64, 0).unwrap())
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("hit_first", size), &size, |b, &n| {
+            let mut t = FlowTable::new();
+            for i in 0..n {
+                let m = FlowMatch {
+                    tp_dst: Some(30000 + i as u16),
+                    ..Default::default()
+                };
+                t.add(entry(m, 100, vec![Action::out(1)]), 0);
+            }
+            let m = FlowMatch {
+                tp_dst: Some(22),
+                ..Default::default()
+            };
+            t.add(entry(m, 60000, vec![Action::out(2)]), 0);
+            b.iter(|| t.lookup(&pkt, 1, 64, 0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vfs_ops,
+    bench_hook_ablation,
+    bench_notify_ablation,
+    bench_flow_table
+);
+criterion_main!(benches);

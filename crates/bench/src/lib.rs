@@ -1,0 +1,1 @@
+//! yanc-bench: see benches/

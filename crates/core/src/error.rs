@@ -1,0 +1,80 @@
+//! Error type for yanc-core operations.
+
+use std::fmt;
+
+use yanc_vfs::VfsError;
+
+/// Errors from the yanc schema layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YancError {
+    /// An underlying file-system error.
+    Vfs(VfsError),
+    /// A file's contents didn't parse as the schema requires.
+    Parse {
+        /// The offending path or field.
+        what: String,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A referenced object does not exist or the schema was violated.
+    Schema {
+        /// What was violated.
+        reason: String,
+    },
+}
+
+impl YancError {
+    /// Construct a parse error.
+    pub fn parse(what: impl Into<String>, reason: impl Into<String>) -> Self {
+        YancError::Parse {
+            what: what.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Construct a schema error.
+    pub fn schema(reason: impl Into<String>) -> Self {
+        YancError::Schema {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for YancError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YancError::Vfs(e) => write!(f, "vfs: {e}"),
+            YancError::Parse { what, reason } => write!(f, "parse {what}: {reason}"),
+            YancError::Schema { reason } => write!(f, "schema: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for YancError {}
+
+impl From<VfsError> for YancError {
+    fn from(e: VfsError) -> Self {
+        YancError::Vfs(e)
+    }
+}
+
+/// Result alias for yanc-core.
+pub type YancResult<T> = Result<T, YancError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_vfs::Errno;
+
+    #[test]
+    fn display_variants() {
+        let v: YancError = VfsError::new(Errno::ENOENT, "/net/x").into();
+        assert!(v.to_string().contains("ENOENT"));
+        assert!(YancError::parse("match.dl_type", "not hex")
+            .to_string()
+            .contains("match.dl_type"));
+        assert!(YancError::schema("peer must point at a port")
+            .to_string()
+            .contains("peer"));
+    }
+}

@@ -1,0 +1,422 @@
+//! The flow ↔ files codec (paper §3.4, Figure 3).
+//!
+//! A yanc flow is a directory: every match field is a separate `match.*`
+//! file (absence = wildcard, IP fields take CIDR notation), actions are
+//! `action.*` files, and scalars (`priority`, timeouts, `cookie`,
+//! `version`) are their own files. This module converts between that file
+//! map and a typed [`FlowSpec`].
+//!
+//! Because directory entries are unordered while OpenFlow actions are a
+//! list, the codec fixes a canonical application order: all field rewrites
+//! (VLAN, L2, L3, L4), then `strip_vlan`, then `enqueue`, then `out` —
+//! which covers every pattern a file-driven flow pusher needs.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use yanc_openflow::{port_no, Action, FlowMatch, Ipv4Prefix};
+use yanc_packet::MacAddr;
+
+use crate::error::{YancError, YancResult};
+
+/// A typed flow: what a flow directory means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// The match (wildcard fields omitted from the directory).
+    pub m: FlowMatch,
+    /// Actions in canonical order.
+    pub actions: Vec<Action>,
+    /// Priority (defaults to 32768, the OpenFlow convention).
+    pub priority: u16,
+    /// Idle timeout seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Multi-table continuation (requires an OpenFlow ≥1.1 driver).
+    pub goto_table: Option<u8>,
+    /// Commit counter; drivers act when this increases.
+    pub version: u64,
+}
+
+impl Default for FlowSpec {
+    fn default() -> Self {
+        FlowSpec {
+            m: FlowMatch::any(),
+            actions: Vec::new(),
+            priority: 32768,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            cookie: 0,
+            goto_table: None,
+            version: 0,
+        }
+    }
+}
+
+fn parse_u64(what: &str, s: &str) -> YancResult<u64> {
+    let t = s.trim();
+    let r = if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    };
+    r.map_err(|_| YancError::parse(what, format!("bad number {t:?}")))
+}
+
+fn parse_u16(what: &str, s: &str) -> YancResult<u16> {
+    let v = parse_u64(what, s)?;
+    u16::try_from(v).map_err(|_| YancError::parse(what, format!("{v} out of range")))
+}
+
+fn parse_u8(what: &str, s: &str) -> YancResult<u8> {
+    let v = parse_u64(what, s)?;
+    u8::try_from(v).map_err(|_| YancError::parse(what, format!("{v} out of range")))
+}
+
+fn parse_mac(what: &str, s: &str) -> YancResult<MacAddr> {
+    s.trim()
+        .parse()
+        .map_err(|_| YancError::parse(what, format!("bad MAC {:?}", s.trim())))
+}
+
+fn parse_ip(what: &str, s: &str) -> YancResult<Ipv4Addr> {
+    s.trim()
+        .parse()
+        .map_err(|_| YancError::parse(what, format!("bad IPv4 {:?}", s.trim())))
+}
+
+fn parse_prefix(what: &str, s: &str) -> YancResult<Ipv4Prefix> {
+    Ipv4Prefix::parse(s.trim())
+        .ok_or_else(|| YancError::parse(what, format!("bad CIDR {:?}", s.trim())))
+}
+
+/// Parse an output-port token: a number or a reserved-port name.
+pub fn parse_port_token(what: &str, tok: &str) -> YancResult<u16> {
+    match tok.to_ascii_lowercase().as_str() {
+        "flood" => Ok(port_no::FLOOD),
+        "controller" => Ok(port_no::CONTROLLER),
+        "all" => Ok(port_no::ALL),
+        "in_port" => Ok(port_no::IN_PORT),
+        "local" => Ok(port_no::LOCAL),
+        "normal" => Ok(port_no::NORMAL),
+        "table" => Ok(port_no::TABLE),
+        _ => parse_u16(what, tok),
+    }
+}
+
+/// Render an output port as its friendly name where one exists.
+pub fn port_token(port: u16) -> String {
+    match port {
+        port_no::FLOOD => "flood".into(),
+        port_no::CONTROLLER => "controller".into(),
+        port_no::ALL => "all".into(),
+        port_no::IN_PORT => "in_port".into(),
+        port_no::LOCAL => "local".into(),
+        port_no::NORMAL => "normal".into(),
+        port_no::TABLE => "table".into(),
+        p => p.to_string(),
+    }
+}
+
+impl FlowSpec {
+    /// Serialize to the `(file name, contents)` map that makes up the flow
+    /// directory. `version` is included; counters are not (drivers own
+    /// those).
+    pub fn to_files(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        let m = &self.m;
+        let mut mf = |name: &str, v: Option<String>| {
+            if let Some(v) = v {
+                out.push((format!("match.{name}"), v));
+            }
+        };
+        mf("in_port", m.in_port.map(|v| v.to_string()));
+        mf("dl_src", m.dl_src.map(|v| v.to_string()));
+        mf("dl_dst", m.dl_dst.map(|v| v.to_string()));
+        mf("dl_vlan", m.dl_vlan.map(|v| v.to_string()));
+        mf("dl_vlan_pcp", m.dl_vlan_pcp.map(|v| v.to_string()));
+        mf("dl_type", m.dl_type.map(|v| format!("0x{v:04x}")));
+        mf("nw_tos", m.nw_tos.map(|v| v.to_string()));
+        mf("nw_proto", m.nw_proto.map(|v| v.to_string()));
+        mf("nw_src", m.nw_src.map(|v| v.to_string()));
+        mf("nw_dst", m.nw_dst.map(|v| v.to_string()));
+        mf("tp_src", m.tp_src.map(|v| v.to_string()));
+        mf("tp_dst", m.tp_dst.map(|v| v.to_string()));
+
+        let mut outs: Vec<String> = Vec::new();
+        for a in &self.actions {
+            match a {
+                Action::Output { port, .. } => outs.push(port_token(*port)),
+                Action::SetVlanVid(v) => out.push(("action.set_vlan_vid".into(), v.to_string())),
+                Action::SetVlanPcp(v) => out.push(("action.set_vlan_pcp".into(), v.to_string())),
+                Action::StripVlan => out.push(("action.strip_vlan".into(), "1".into())),
+                Action::SetDlSrc(v) => out.push(("action.set_dl_src".into(), v.to_string())),
+                Action::SetDlDst(v) => out.push(("action.set_dl_dst".into(), v.to_string())),
+                Action::SetNwSrc(v) => out.push(("action.set_nw_src".into(), v.to_string())),
+                Action::SetNwDst(v) => out.push(("action.set_nw_dst".into(), v.to_string())),
+                Action::SetNwTos(v) => out.push(("action.set_nw_tos".into(), v.to_string())),
+                Action::SetTpSrc(v) => out.push(("action.set_tp_src".into(), v.to_string())),
+                Action::SetTpDst(v) => out.push(("action.set_tp_dst".into(), v.to_string())),
+                Action::Enqueue { port, queue_id } => {
+                    out.push(("action.enqueue".into(), format!("{port}:{queue_id}")))
+                }
+            }
+        }
+        if !outs.is_empty() {
+            out.push(("action.out".into(), outs.join(" ")));
+        }
+        if self.priority != 32768 {
+            out.push(("priority".into(), self.priority.to_string()));
+        }
+        if self.idle_timeout != 0 {
+            out.push(("idle_timeout".into(), self.idle_timeout.to_string()));
+        }
+        if self.hard_timeout != 0 {
+            out.push(("hard_timeout".into(), self.hard_timeout.to_string()));
+        }
+        if self.cookie != 0 {
+            out.push(("cookie".into(), format!("0x{:x}", self.cookie)));
+        }
+        if let Some(t) = self.goto_table {
+            out.push(("goto_table".into(), t.to_string()));
+        }
+        out.push(("version".into(), self.version.to_string()));
+        out
+    }
+
+    /// Parse a flow directory's `(file name, contents)` map. Unknown files
+    /// are rejected (the semantic hook normally prevents them existing).
+    pub fn from_files<'a>(
+        files: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> YancResult<FlowSpec> {
+        let map: BTreeMap<&str, &str> = files.into_iter().collect();
+        let mut spec = FlowSpec::default();
+        let m = &mut spec.m;
+        for (name, raw) in &map {
+            let v = raw.trim();
+            match *name {
+                "match.in_port" => m.in_port = Some(parse_u16(name, v)?),
+                "match.dl_src" => m.dl_src = Some(parse_mac(name, v)?),
+                "match.dl_dst" => m.dl_dst = Some(parse_mac(name, v)?),
+                "match.dl_vlan" => m.dl_vlan = Some(parse_u16(name, v)?),
+                "match.dl_vlan_pcp" => m.dl_vlan_pcp = Some(parse_u8(name, v)?),
+                "match.dl_type" => m.dl_type = Some(parse_u16(name, v)?),
+                "match.nw_tos" => m.nw_tos = Some(parse_u8(name, v)?),
+                "match.nw_proto" => m.nw_proto = Some(parse_u8(name, v)?),
+                "match.nw_src" => m.nw_src = Some(parse_prefix(name, v)?),
+                "match.nw_dst" => m.nw_dst = Some(parse_prefix(name, v)?),
+                "match.tp_src" => m.tp_src = Some(parse_u16(name, v)?),
+                "match.tp_dst" => m.tp_dst = Some(parse_u16(name, v)?),
+                "priority" => spec.priority = parse_u16(name, v)?,
+                "idle_timeout" | "timeout" => spec.idle_timeout = parse_u16(name, v)?,
+                "hard_timeout" => spec.hard_timeout = parse_u16(name, v)?,
+                "cookie" => spec.cookie = parse_u64(name, v)?,
+                "goto_table" => spec.goto_table = Some(parse_u8(name, v)?),
+                "version" => spec.version = parse_u64(name, v)?,
+                "error" => {} // driver-owned report, not part of the spec
+                n if n.starts_with("action.") => {} // second pass below
+                other => {
+                    return Err(YancError::parse(other, "unknown flow file"));
+                }
+            }
+        }
+        // Actions, canonical order.
+        let mut actions: Vec<Action> = Vec::new();
+        let get = |k: &str| map.get(k).map(|s| s.trim());
+        if let Some(v) = get("action.set_vlan_vid") {
+            actions.push(Action::SetVlanVid(parse_u16("action.set_vlan_vid", v)?));
+        }
+        if let Some(v) = get("action.set_vlan_pcp") {
+            actions.push(Action::SetVlanPcp(parse_u8("action.set_vlan_pcp", v)?));
+        }
+        if let Some(v) = get("action.set_dl_src") {
+            actions.push(Action::SetDlSrc(parse_mac("action.set_dl_src", v)?));
+        }
+        if let Some(v) = get("action.set_dl_dst") {
+            actions.push(Action::SetDlDst(parse_mac("action.set_dl_dst", v)?));
+        }
+        if let Some(v) = get("action.set_nw_src") {
+            actions.push(Action::SetNwSrc(parse_ip("action.set_nw_src", v)?));
+        }
+        if let Some(v) = get("action.set_nw_dst") {
+            actions.push(Action::SetNwDst(parse_ip("action.set_nw_dst", v)?));
+        }
+        if let Some(v) = get("action.set_nw_tos") {
+            actions.push(Action::SetNwTos(parse_u8("action.set_nw_tos", v)?));
+        }
+        if let Some(v) = get("action.set_tp_src") {
+            actions.push(Action::SetTpSrc(parse_u16("action.set_tp_src", v)?));
+        }
+        if let Some(v) = get("action.set_tp_dst") {
+            actions.push(Action::SetTpDst(parse_u16("action.set_tp_dst", v)?));
+        }
+        if let Some(v) = get("action.strip_vlan") {
+            if v != "0" {
+                actions.push(Action::StripVlan);
+            }
+        }
+        if let Some(v) = get("action.enqueue") {
+            let (p, q) = v
+                .split_once(':')
+                .ok_or_else(|| YancError::parse("action.enqueue", "want port:queue"))?;
+            actions.push(Action::Enqueue {
+                port: parse_port_token("action.enqueue", p)?,
+                queue_id: parse_u64("action.enqueue", q)? as u32,
+            });
+        }
+        if let Some(v) = get("action.out") {
+            for tok in v.split([' ', ',']).filter(|t| !t.is_empty()) {
+                actions.push(Action::out(parse_port_token("action.out", tok)?));
+            }
+        }
+        // Validate action names we didn't consume.
+        for name in map.keys().filter(|n| n.starts_with("action.")) {
+            let suffix = &name["action.".len()..];
+            if !crate::schema::ACTION_FIELDS.contains(&suffix) {
+                return Err(YancError::parse(*name, "unknown action file"));
+            }
+        }
+        spec.actions = actions;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: &FlowSpec) -> FlowSpec {
+        let files = spec.to_files();
+        let view: Vec<(&str, &str)> = files
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        FlowSpec::from_files(view).unwrap()
+    }
+
+    #[test]
+    fn default_roundtrip() {
+        let spec = FlowSpec::default();
+        assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let spec = FlowSpec {
+            m: FlowMatch {
+                in_port: Some(3),
+                dl_src: Some(MacAddr::from_seed(1)),
+                dl_dst: Some(MacAddr::from_seed(2)),
+                dl_vlan: Some(100),
+                dl_vlan_pcp: Some(5),
+                dl_type: Some(0x0800),
+                nw_tos: Some(0x10),
+                nw_proto: Some(6),
+                nw_src: Ipv4Prefix::parse("10.0.0.0/24"),
+                nw_dst: Ipv4Prefix::parse("10.0.1.5"),
+                tp_src: Some(1000),
+                tp_dst: Some(22),
+            },
+            actions: vec![
+                Action::SetVlanVid(200),
+                Action::SetDlDst(MacAddr::from_seed(9)),
+                Action::SetNwDst("10.2.2.2".parse().unwrap()),
+                Action::SetTpDst(2222),
+                Action::Enqueue {
+                    port: 7,
+                    queue_id: 3,
+                },
+                Action::out(1),
+                Action::out(port_no::CONTROLLER),
+            ],
+            priority: 500,
+            idle_timeout: 30,
+            hard_timeout: 600,
+            cookie: 0xdead,
+            goto_table: Some(1),
+            version: 4,
+        };
+        assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn fig3_arp_flow_parses() {
+        // The paper's Figure 3 flow: match ARP, match source MAC, output.
+        let spec = FlowSpec::from_files([
+            ("match.dl_type", "0x0806"),
+            ("match.dl_src", "aa:bb:cc:dd:ee:ff"),
+            ("action.out", "controller"),
+            ("priority", "1000"),
+            ("timeout", "60"),
+            ("version", "1"),
+        ])
+        .unwrap();
+        assert_eq!(spec.m.dl_type, Some(0x0806));
+        assert_eq!(spec.m.dl_src, Some("aa:bb:cc:dd:ee:ff".parse().unwrap()));
+        assert_eq!(spec.actions, vec![Action::out(port_no::CONTROLLER)]);
+        assert_eq!(spec.priority, 1000);
+        assert_eq!(spec.idle_timeout, 60);
+        assert_eq!(spec.version, 1);
+    }
+
+    #[test]
+    fn absent_match_file_is_wildcard() {
+        let spec = FlowSpec::from_files([("version", "0")]).unwrap();
+        assert_eq!(spec.m, FlowMatch::any());
+    }
+
+    #[test]
+    fn cidr_and_hex_forms() {
+        let spec = FlowSpec::from_files([
+            ("match.dl_type", "2048"), // decimal accepted too
+            ("match.nw_src", "192.168.0.0/16"),
+            ("version", "0"),
+        ])
+        .unwrap();
+        assert_eq!(spec.m.dl_type, Some(0x0800));
+        assert_eq!(spec.m.nw_src.unwrap().prefix_len, 16);
+    }
+
+    #[test]
+    fn multiple_output_ports() {
+        let spec = FlowSpec::from_files([("action.out", "1, 2 flood"), ("version", "0")]).unwrap();
+        assert_eq!(
+            spec.actions,
+            vec![Action::out(1), Action::out(2), Action::out(port_no::FLOOD)]
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let e = FlowSpec::from_files([("match.dl_src", "zz:zz"), ("version", "0")]).unwrap_err();
+        assert!(e.to_string().contains("dl_src"));
+        let e = FlowSpec::from_files([("match.tp_dst", "99999"), ("version", "0")]).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+        let e = FlowSpec::from_files([("bogus", "1"), ("version", "0")]).unwrap_err();
+        assert!(e.to_string().contains("unknown"));
+        let e =
+            FlowSpec::from_files([("action.enqueue", "noports"), ("version", "0")]).unwrap_err();
+        assert!(e.to_string().contains("port:queue"));
+    }
+
+    #[test]
+    fn strip_vlan_zero_means_absent() {
+        let spec = FlowSpec::from_files([("action.strip_vlan", "0"), ("version", "0")]).unwrap();
+        assert!(spec.actions.is_empty());
+    }
+
+    #[test]
+    fn port_tokens_roundtrip() {
+        for p in [
+            1u16,
+            42,
+            port_no::FLOOD,
+            port_no::CONTROLLER,
+            port_no::IN_PORT,
+        ] {
+            assert_eq!(parse_port_token("t", &port_token(p)).unwrap(), p);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The yanc semantic hook: what makes `/net` more than a plain directory
+//! tree (paper §3.1–§3.4).
+//!
+//! * `mkdir views/<v>` auto-creates `hosts/ switches/ views/` inside it,
+//! * `mkdir switches/<sw>` auto-creates the switch skeleton,
+//! * `mkdir …/flows/<f>` auto-creates the `version` commit file,
+//! * object directories (switches, flows, ports, views, event buffers)
+//!   remove recursively on `rmdir`,
+//! * a port's `peer` symlink may only point at another port,
+//! * files inside a flow directory must be schema fields
+//!   (`match.*`/`action.*`/scalars) — `match.bogus` is `EINVAL`.
+
+use yanc_vfs::{Errno, Filesystem, Mode, SemanticHook, VPath, VfsError, VfsResult};
+
+use crate::schema::{classify, valid_flow_file, SchemaPos, VIEW_CHILDREN};
+
+/// The hook; register with [`Filesystem::add_hook`] (done by
+/// [`crate::YancFs::init`]).
+pub struct YancHook {
+    root: VPath,
+}
+
+impl YancHook {
+    /// A hook governing the schema rooted at `root` (usually `/net`).
+    pub fn new(root: &str) -> Self {
+        YancHook {
+            root: VPath::new(root),
+        }
+    }
+}
+
+impl SemanticHook for YancHook {
+    fn post_mkdir(&self, fs: &Filesystem, path: &VPath, creds: &yanc_vfs::Credentials) {
+        match classify(&self.root, path) {
+            SchemaPos::ViewDir { .. } => {
+                for child in VIEW_CHILDREN {
+                    let _ = fs.mkdir(path.join(child).as_str(), Mode::DIR_DEFAULT, creds);
+                }
+            }
+            SchemaPos::SwitchDir { .. } => {
+                for child in crate::schema::SWITCH_DIRS {
+                    let _ = fs.mkdir(path.join(child).as_str(), Mode::DIR_DEFAULT, creds);
+                }
+            }
+            SchemaPos::FlowDir { .. } => {
+                let _ = fs.write_file(path.join("version").as_str(), b"0", creds);
+                let _ = fs.mkdir(path.join("counters").as_str(), Mode::DIR_DEFAULT, creds);
+            }
+            SchemaPos::PortDir { .. } => {
+                let _ = fs.mkdir(path.join("counters").as_str(), Mode::DIR_DEFAULT, creds);
+            }
+            _ => {}
+        }
+    }
+
+    fn rmdir_recursive(&self, path: &VPath) -> bool {
+        !matches!(classify(&self.root, path), SchemaPos::Other) || is_event_entry(&self.root, path)
+    }
+
+    fn validate_symlink(&self, fs: &Filesystem, path: &VPath, target: &str) -> VfsResult<()> {
+        if path.file_name() != Some("peer") {
+            return Ok(());
+        }
+        // Only ports have peers.
+        if !matches!(
+            classify(&self.root, &path.parent()),
+            SchemaPos::PortDir { .. }
+        ) {
+            return Ok(());
+        }
+        // "It is currently an error to point this symbolic link at anything
+        // other than a port."
+        let abs = if target.starts_with('/') {
+            VPath::new(target)
+        } else {
+            path.parent().join_path(target)
+        };
+        let canon = fs
+            .canonicalize(abs.as_str(), &yanc_vfs::Credentials::root())
+            .map_err(|_| VfsError::new(Errno::EINVAL, path.as_str()))?;
+        match classify(&self.root, &canon) {
+            SchemaPos::PortDir { .. } => Ok(()),
+            _ => Err(VfsError::new(Errno::EINVAL, path.as_str())),
+        }
+    }
+
+    fn validate_create(&self, _fs: &Filesystem, path: &VPath) -> VfsResult<()> {
+        if let SchemaPos::FlowFile { file, .. } = classify(&self.root, path) {
+            if !valid_flow_file(&file) {
+                return Err(VfsError::new(Errno::EINVAL, path.as_str()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `events/<app>/<entry>` — consumed packet-in records, removed as a unit.
+fn is_event_entry(root: &VPath, path: &VPath) -> bool {
+    match path.strip_prefix(root) {
+        Some(rel) => {
+            let comps: Vec<&str> = rel.split('/').filter(|c| !c.is_empty()).collect();
+            comps.len() == 3 && comps[0] == crate::schema::EVENTS
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use yanc_vfs::Credentials;
+
+    fn setup() -> (Arc<Filesystem>, Credentials) {
+        let fs = Arc::new(Filesystem::new());
+        let creds = Credentials::root();
+        fs.mkdir_all("/net/switches", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir_all("/net/views", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir_all("/net/events", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.add_hook(Arc::new(YancHook::new("/net")));
+        (fs, creds)
+    }
+
+    #[test]
+    fn mkdir_view_autopopulates() {
+        let (fs, creds) = setup();
+        fs.mkdir("/net/views/new_view", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        for c in ["hosts", "switches", "views"] {
+            assert!(fs
+                .stat(&format!("/net/views/new_view/{c}"), &creds)
+                .unwrap()
+                .is_dir());
+        }
+        // Nested views too.
+        fs.mkdir("/net/views/new_view/views/inner", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        assert!(fs.exists("/net/views/new_view/views/inner/switches", &creds));
+    }
+
+    #[test]
+    fn mkdir_switch_creates_skeleton() {
+        let (fs, creds) = setup();
+        fs.mkdir("/net/switches/sw1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        for d in ["counters", "flows", "ports"] {
+            assert!(fs
+                .stat(&format!("/net/switches/sw1/{d}"), &creds)
+                .unwrap()
+                .is_dir());
+        }
+    }
+
+    #[test]
+    fn mkdir_flow_creates_version() {
+        let (fs, creds) = setup();
+        fs.mkdir("/net/switches/sw1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir("/net/switches/sw1/flows/arp", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        assert_eq!(
+            fs.read_to_string("/net/switches/sw1/flows/arp/version", &creds)
+                .unwrap(),
+            "0"
+        );
+        assert!(fs.exists("/net/switches/sw1/flows/arp/counters", &creds));
+    }
+
+    #[test]
+    fn switch_rmdir_is_recursive() {
+        let (fs, creds) = setup();
+        fs.mkdir("/net/switches/sw1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir("/net/switches/sw1/flows/f1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.write_file("/net/switches/sw1/flows/f1/priority", b"5", &creds)
+            .unwrap();
+        fs.rmdir("/net/switches/sw1", &creds).unwrap();
+        assert!(!fs.exists("/net/switches/sw1", &creds));
+        // The collections themselves keep POSIX semantics.
+        fs.mkdir("/net/switches/sw2", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        assert_eq!(
+            fs.rmdir("/net/switches", &creds).unwrap_err().errno,
+            Errno::ENOTEMPTY
+        );
+    }
+
+    #[test]
+    fn peer_symlink_validated() {
+        let (fs, creds) = setup();
+        fs.mkdir("/net/switches/sw1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir("/net/switches/sw2", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir("/net/switches/sw1/ports/p1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir("/net/switches/sw2/ports/p3", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        // Pointing at a port: fine.
+        fs.symlink(
+            "/net/switches/sw2/ports/p3",
+            "/net/switches/sw1/ports/p1/peer",
+            &creds,
+        )
+        .unwrap();
+        // Pointing at a switch: EINVAL.
+        fs.mkdir("/net/switches/sw1/ports/p2", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        let e = fs
+            .symlink(
+                "/net/switches/sw2",
+                "/net/switches/sw1/ports/p2/peer",
+                &creds,
+            )
+            .unwrap_err();
+        assert_eq!(e.errno, Errno::EINVAL);
+        // Dangling target: EINVAL.
+        let e = fs
+            .symlink(
+                "/net/switches/sw9/ports/p1",
+                "/net/switches/sw1/ports/p2/peer",
+                &creds,
+            )
+            .unwrap_err();
+        assert_eq!(e.errno, Errno::EINVAL);
+        // Non-peer symlinks elsewhere are unrestricted.
+        fs.symlink("/net/switches/sw2", "/net/favourite", &creds)
+            .unwrap();
+    }
+
+    #[test]
+    fn flow_files_validated() {
+        let (fs, creds) = setup();
+        fs.mkdir("/net/switches/sw1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.mkdir("/net/switches/sw1/flows/f1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.write_file(
+            "/net/switches/sw1/flows/f1/match.dl_type",
+            b"0x0800",
+            &creds,
+        )
+        .unwrap();
+        fs.write_file("/net/switches/sw1/flows/f1/action.out", b"flood", &creds)
+            .unwrap();
+        let e = fs
+            .write_file("/net/switches/sw1/flows/f1/match.bogus", b"x", &creds)
+            .unwrap_err();
+        assert_eq!(e.errno, Errno::EINVAL);
+        // Outside flow dirs anything goes.
+        fs.write_file("/net/switches/sw1/notes", b"hello", &creds)
+            .unwrap();
+    }
+
+    #[test]
+    fn event_entries_remove_recursively() {
+        let (fs, creds) = setup();
+        fs.mkdir_all("/net/events/router/1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        fs.write_file("/net/events/router/1/data", b"aa", &creds)
+            .unwrap();
+        fs.rmdir("/net/events/router/1", &creds).unwrap();
+        assert!(!fs.exists("/net/events/router/1", &creds));
+    }
+}

@@ -1,0 +1,331 @@
+//! The `/net` directory schema (paper §3, Figures 2 and 3).
+//!
+//! ```text
+//! /net
+//! ├── hosts
+//! ├── switches
+//! │   └── sw1
+//! │       ├── counters/
+//! │       ├── flows/
+//! │       │   └── arp_flow
+//! │       │       ├── counters/
+//! │       │       ├── match.dl_type
+//! │       │       ├── action.out
+//! │       │       ├── priority
+//! │       │       ├── timeout
+//! │       │       └── version
+//! │       ├── ports/
+//! │       │   └── p1
+//! │       │       ├── counters/
+//! │       │       ├── config.port_down
+//! │       │       ├── config.port_status
+//! │       │       ├── hw_addr
+//! │       │       ├── curr_speed
+//! │       │       └── peer -> ../../../sw2/ports/p3
+//! │       ├── actions
+//! │       ├── capabilities
+//! │       ├── id
+//! │       └── num_buffers
+//! ├── views
+//! │   └── <view>/{hosts,switches,views}      (auto-created on mkdir)
+//! └── events
+//!     └── <app>/<seq>/{switch,in_port,reason,buffer_id,data}
+//! ```
+//!
+//! This module only names things; behaviour lives in the hook and façade.
+
+use yanc_vfs::VPath;
+
+/// Default mount point.
+pub const NET_ROOT: &str = "/net";
+
+/// Top-level collection names.
+pub const SWITCHES: &str = "switches";
+/// Hosts collection.
+pub const HOSTS: &str = "hosts";
+/// Views collection.
+pub const VIEWS: &str = "views";
+/// Packet-in event buffers.
+pub const EVENTS: &str = "events";
+
+/// The subdirectories every view gets on creation (paper §3.1).
+pub const VIEW_CHILDREN: [&str; 3] = [HOSTS, SWITCHES, VIEWS];
+
+/// Per-switch metadata files.
+pub const SWITCH_FILES: [&str; 5] = ["id", "capabilities", "actions", "num_buffers", "num_tables"];
+/// Per-switch subdirectories.
+pub const SWITCH_DIRS: [&str; 3] = ["counters", "flows", "ports"];
+
+/// Flow files with fixed (non-prefixed) names. `error` is driver-owned:
+/// capability mismatches are reported as a file in the flow directory.
+pub const FLOW_SCALARS: [&str; 8] = [
+    "priority",
+    "idle_timeout",
+    "hard_timeout",
+    "cookie",
+    "version",
+    "timeout",
+    "goto_table",
+    "error",
+];
+
+/// Valid `match.*` suffixes (paper: "each field that can be matched is a
+/// separate file").
+pub const MATCH_FIELDS: [&str; 12] = [
+    "in_port",
+    "dl_src",
+    "dl_dst",
+    "dl_vlan",
+    "dl_vlan_pcp",
+    "dl_type",
+    "nw_tos",
+    "nw_proto",
+    "nw_src",
+    "nw_dst",
+    "tp_src",
+    "tp_dst",
+];
+
+/// Valid `action.*` suffixes.
+pub const ACTION_FIELDS: [&str; 12] = [
+    "out",
+    "set_vlan_vid",
+    "set_vlan_pcp",
+    "strip_vlan",
+    "set_dl_src",
+    "set_dl_dst",
+    "set_nw_src",
+    "set_nw_dst",
+    "set_nw_tos",
+    "set_tp_src",
+    "set_tp_dst",
+    "enqueue",
+];
+
+/// Per-port files.
+pub const PORT_FILES: [&str; 5] = [
+    "hw_addr",
+    "curr_speed",
+    "max_speed",
+    "config.port_down",
+    "config.port_status",
+];
+
+/// Where a path sits in the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaPos {
+    /// `<root>/switches/<sw>` — a switch object directory.
+    SwitchDir {
+        /// Switch name.
+        switch: String,
+    },
+    /// `<root>/switches/<sw>/flows/<flow>` — a flow object directory.
+    FlowDir {
+        /// Switch name.
+        switch: String,
+        /// Flow name.
+        flow: String,
+    },
+    /// A file directly inside a flow directory.
+    FlowFile {
+        /// Switch name.
+        switch: String,
+        /// Flow name.
+        flow: String,
+        /// File name, e.g. `match.dl_type`.
+        file: String,
+    },
+    /// `<root>/switches/<sw>/ports/<port>` — a port object directory.
+    PortDir {
+        /// Switch name.
+        switch: String,
+        /// Port name.
+        port: String,
+    },
+    /// `<views-dir>/<view>` — a view object directory (possibly nested).
+    ViewDir {
+        /// View name.
+        view: String,
+    },
+    /// `<root>/events/<app>` — an app's packet-in buffer.
+    EventBuffer {
+        /// Application name.
+        app: String,
+    },
+    /// Anywhere else.
+    Other,
+}
+
+/// Classify `path` relative to the schema rooted at `root`.
+///
+/// Views nest (`views/a/views/b/…`), so the classifier works on the last
+/// few components rather than absolute depth.
+pub fn classify(root: &VPath, path: &VPath) -> SchemaPos {
+    let rel = match path.strip_prefix(root) {
+        Some(r) => r,
+        None => return SchemaPos::Other,
+    };
+    let comps: Vec<&str> = rel.split('/').filter(|c| !c.is_empty()).collect();
+    let n = comps.len();
+    // events/<app>
+    if n == 2 && comps[0] == EVENTS {
+        return SchemaPos::EventBuffer {
+            app: comps[1].to_string(),
+        };
+    }
+    // …/views/<view> at any nesting depth.
+    if n >= 2 && comps[n - 2] == VIEWS {
+        return SchemaPos::ViewDir {
+            view: comps[n - 1].to_string(),
+        };
+    }
+    // switches/<sw> possibly under a view prefix: …/switches/<sw>[/…]
+    // Find the last "switches" component.
+    if let Some(i) = comps.iter().rposition(|c| *c == SWITCHES) {
+        match n - i {
+            2 => {
+                return SchemaPos::SwitchDir {
+                    switch: comps[i + 1].to_string(),
+                }
+            }
+            4 if comps[i + 2] == "flows" => {
+                return SchemaPos::FlowDir {
+                    switch: comps[i + 1].to_string(),
+                    flow: comps[i + 3].to_string(),
+                }
+            }
+            5 if comps[i + 2] == "flows" => {
+                return SchemaPos::FlowFile {
+                    switch: comps[i + 1].to_string(),
+                    flow: comps[i + 3].to_string(),
+                    file: comps[i + 4].to_string(),
+                }
+            }
+            4 if comps[i + 2] == "ports" => {
+                return SchemaPos::PortDir {
+                    switch: comps[i + 1].to_string(),
+                    port: comps[i + 3].to_string(),
+                }
+            }
+            _ => {}
+        }
+    }
+    SchemaPos::Other
+}
+
+/// Whether `file` is a legal name inside a flow directory.
+pub fn valid_flow_file(file: &str) -> bool {
+    if FLOW_SCALARS.contains(&file) {
+        return true;
+    }
+    if let Some(suffix) = file.strip_prefix("match.") {
+        return MATCH_FIELDS.contains(&suffix);
+    }
+    if let Some(suffix) = file.strip_prefix("action.") {
+        return ACTION_FIELDS.contains(&suffix);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> VPath {
+        VPath::new(NET_ROOT)
+    }
+
+    #[test]
+    fn classify_switch_and_flow() {
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/switches/sw1")),
+            SchemaPos::SwitchDir {
+                switch: "sw1".into()
+            }
+        );
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/switches/sw1/flows/arp")),
+            SchemaPos::FlowDir {
+                switch: "sw1".into(),
+                flow: "arp".into()
+            }
+        );
+        assert_eq!(
+            classify(
+                &root(),
+                &VPath::new("/net/switches/sw1/flows/arp/match.dl_type")
+            ),
+            SchemaPos::FlowFile {
+                switch: "sw1".into(),
+                flow: "arp".into(),
+                file: "match.dl_type".into()
+            }
+        );
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/switches/sw1/ports/p1")),
+            SchemaPos::PortDir {
+                switch: "sw1".into(),
+                port: "p1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn classify_views_nested() {
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/views/http")),
+            SchemaPos::ViewDir {
+                view: "http".into()
+            }
+        );
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/views/mgmt/views/inner")),
+            SchemaPos::ViewDir {
+                view: "inner".into()
+            }
+        );
+        // Switches inside a view still classify.
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/views/http/switches/vsw1")),
+            SchemaPos::SwitchDir {
+                switch: "vsw1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn classify_events_and_other() {
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/events/router")),
+            SchemaPos::EventBuffer {
+                app: "router".into()
+            }
+        );
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/hosts")),
+            SchemaPos::Other
+        );
+        assert_eq!(
+            classify(&root(), &VPath::new("/elsewhere/x")),
+            SchemaPos::Other
+        );
+        assert_eq!(
+            classify(&root(), &VPath::new("/net/switches")),
+            SchemaPos::Other
+        );
+    }
+
+    #[test]
+    fn flow_file_validation() {
+        assert!(valid_flow_file("match.dl_type"));
+        assert!(valid_flow_file("match.tp_dst"));
+        assert!(valid_flow_file("action.out"));
+        assert!(valid_flow_file("action.enqueue"));
+        assert!(valid_flow_file("priority"));
+        assert!(valid_flow_file("version"));
+        assert!(valid_flow_file("goto_table"));
+        assert!(!valid_flow_file("match.bogus"));
+        assert!(!valid_flow_file("action.fire_missiles"));
+        assert!(!valid_flow_file("random_file"));
+    }
+}

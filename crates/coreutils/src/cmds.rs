@@ -1,0 +1,823 @@
+//! The utility implementations behind [`crate::Shell`].
+//!
+//! Each is a small, faithful subset of the real tool — enough to run every
+//! one-liner the paper uses (`ls -l /net/switches`, `echo 1 >
+//! config.port_down`, `find /net -name tp.dst -exec grep 22`, `cp`/`mv` of
+//! middlebox state) plus the glue (`wc`, `sort`, `head`, pipes) that makes
+//! ad-hoc scripts pleasant.
+
+use yanc_vfs::{FileType, Gid, Mode, Uid, VPath};
+
+use crate::glob::glob_match;
+use crate::shell::{Output, Shell};
+
+fn flagless<'a>(args: &'a [&'a str]) -> impl Iterator<Item = &'a str> {
+    args.iter().copied().filter(|a| !a.starts_with('-'))
+}
+
+fn has_flag(args: &[&str], f: &str) -> bool {
+    args.contains(&f)
+}
+
+/// `ls [-l] [paths…]`.
+pub fn ls(sh: &Shell, args: &[&str]) -> Output {
+    let long = has_flag(args, "-l");
+    let mut paths: Vec<&str> = flagless(args).collect();
+    if paths.is_empty() {
+        paths.push(".");
+    }
+    let mut out = String::new();
+    let mut err = String::new();
+    let many = paths.len() > 1;
+    for (i, p) in paths.iter().enumerate() {
+        let vp = sh.resolve(p);
+        let st = match sh.namespace().stat(vp.as_str(), sh.creds()) {
+            Ok(s) => s,
+            Err(e) => {
+                err.push_str(&format!("ls: {e}\n"));
+                continue;
+            }
+        };
+        if many {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("{vp}:\n"));
+        }
+        if st.is_dir() {
+            match sh.namespace().readdir(vp.as_str(), sh.creds()) {
+                Ok(entries) => {
+                    for e in entries {
+                        if long {
+                            out.push_str(&long_line(sh, &vp.join(&e.name), &e.name));
+                        } else {
+                            out.push_str(&e.name);
+                            out.push('\n');
+                        }
+                    }
+                }
+                Err(e) => err.push_str(&format!("ls: {e}\n")),
+            }
+        } else if long {
+            out.push_str(&long_line(sh, &vp, vp.file_name().unwrap_or("/")));
+        } else {
+            out.push_str(&format!("{}\n", vp.file_name().unwrap_or("/")));
+        }
+    }
+    Output {
+        code: i32::from(!err.is_empty()),
+        out,
+        err,
+    }
+}
+
+fn long_line(sh: &Shell, path: &VPath, name: &str) -> String {
+    match sh.namespace().lstat(path.as_str(), sh.creds()) {
+        Ok(st) => {
+            let mut line = format!(
+                "{}{} {:>2} {:>4} {:>4} {:>8} {}",
+                st.file_type.ls_char(),
+                st.mode.ls_string(),
+                st.nlink,
+                st.uid.0,
+                st.gid.0,
+                st.size,
+                name
+            );
+            if st.is_symlink() {
+                if let Ok(t) = sh.namespace().readlink(path.as_str(), sh.creds()) {
+                    line.push_str(&format!(" -> {t}"));
+                }
+            }
+            line.push('\n');
+            line
+        }
+        Err(e) => format!("ls: {e}\n"),
+    }
+}
+
+/// `cat [files…]` (stdin when no files).
+pub fn cat(sh: &Shell, args: &[&str], stdin: &str) -> Output {
+    let files: Vec<&str> = flagless(args).collect();
+    if files.is_empty() {
+        return Output::ok(stdin.to_string());
+    }
+    let mut out = String::new();
+    for f in files {
+        let vp = sh.resolve(f);
+        match sh.namespace().read_to_string(vp.as_str(), sh.creds()) {
+            Ok(s) => out.push_str(&s),
+            Err(e) => return Output::fail(format!("cat: {e}")),
+        }
+    }
+    Output::ok(out)
+}
+
+/// `echo args…` (always newline-terminated).
+pub fn echo(args: &[&str]) -> Output {
+    Output::ok(format!("{}\n", args.join(" ")))
+}
+
+/// `grep [-r] [-H] [-v] pattern [files…]`; substring match, stdin fallback.
+pub fn grep(sh: &Shell, args: &[&str], stdin: &str) -> Output {
+    let recursive = has_flag(args, "-r");
+    let force_name = has_flag(args, "-H");
+    let invert = has_flag(args, "-v");
+    let mut rest = flagless(args);
+    let pattern = match rest.next() {
+        Some(p) => p.to_string(),
+        None => return Output::fail("grep: missing pattern"),
+    };
+    let files: Vec<&str> = rest.collect();
+
+    let matches = |line: &str| line.contains(&pattern) != invert;
+
+    if files.is_empty() && !recursive {
+        let out: String = stdin
+            .lines()
+            .filter(|l| matches(l))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let code = i32::from(out.is_empty());
+        return Output {
+            code,
+            out,
+            err: String::new(),
+        };
+    }
+
+    // Expand -r directories into file lists.
+    let mut targets: Vec<VPath> = Vec::new();
+    for f in &files {
+        let vp = sh.resolve(f);
+        match sh.namespace().stat(vp.as_str(), sh.creds()) {
+            Ok(st) if st.is_dir() && recursive => walk(sh, &vp, &mut |p, ft| {
+                if ft == FileType::Regular {
+                    targets.push(p.clone());
+                }
+            }),
+            Ok(_) => targets.push(vp),
+            Err(e) => return Output::fail(format!("grep: {e}")),
+        }
+    }
+    let with_names = force_name || targets.len() > 1;
+    let mut out = String::new();
+    for t in &targets {
+        if let Ok(content) = sh.namespace().read_to_string(t.as_str(), sh.creds()) {
+            for l in content.lines().filter(|l| matches(l)) {
+                if with_names {
+                    out.push_str(&format!("{t}:{l}\n"));
+                } else {
+                    out.push_str(&format!("{l}\n"));
+                }
+            }
+        }
+    }
+    let code = i32::from(out.is_empty());
+    Output {
+        code,
+        out,
+        err: String::new(),
+    }
+}
+
+/// Depth-first sorted walk (symlinks not followed).
+fn walk(sh: &Shell, dir: &VPath, f: &mut impl FnMut(&VPath, FileType)) {
+    if let Ok(entries) = sh.namespace().readdir(dir.as_str(), sh.creds()) {
+        for e in entries {
+            let p = dir.join(&e.name);
+            f(&p, e.file_type);
+            if e.file_type == FileType::Directory {
+                walk(sh, &p, f);
+            }
+        }
+    }
+}
+
+/// `find path… [-name glob] [-type f|d|l] [-exec cmd… [{}]]`.
+pub fn find(sh: &mut Shell, args: &[&str]) -> Output {
+    let mut paths: Vec<VPath> = Vec::new();
+    let mut name: Option<String> = None;
+    let mut ftype: Option<FileType> = None;
+    let mut exec: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i] {
+            "-name" => {
+                name = args.get(i + 1).map(|s| s.to_string());
+                i += 2;
+            }
+            "-type" => {
+                ftype = match args.get(i + 1) {
+                    Some(&"f") => Some(FileType::Regular),
+                    Some(&"d") => Some(FileType::Directory),
+                    Some(&"l") => Some(FileType::Symlink),
+                    _ => return Output::fail("find: bad -type"),
+                };
+                i += 2;
+            }
+            "-exec" => {
+                let mut cmd = Vec::new();
+                i += 1;
+                while i < args.len() && args[i] != ";" {
+                    cmd.push(args[i].to_string());
+                    i += 1;
+                }
+                i += 1; // skip ';' if present
+                exec = Some(cmd);
+            }
+            p if !p.starts_with('-') => {
+                paths.push(sh.resolve(p));
+                i += 1;
+            }
+            other => return Output::fail(format!("find: unknown predicate {other}")),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(sh.cwd().clone());
+    }
+    let mut found: Vec<VPath> = Vec::new();
+    for p in &paths {
+        // The start path itself participates, like real find.
+        if let Ok(st) = sh.namespace().lstat(p.as_str(), sh.creds()) {
+            consider(p, st.file_type, &name, &ftype, &mut found);
+        }
+        walk(sh, p, &mut |path, ft| {
+            consider(path, ft, &name, &ftype, &mut found)
+        });
+    }
+    match exec {
+        None => Output::ok(found.iter().map(|p| format!("{p}\n")).collect()),
+        Some(cmd) => {
+            let mut out = String::new();
+            let mut any_fail = false;
+            for p in &found {
+                let argv: Vec<String> = if cmd.iter().any(|c| c == "{}") {
+                    cmd.iter()
+                        .map(|c| {
+                            if c == "{}" {
+                                p.as_str().to_string()
+                            } else {
+                                c.clone()
+                            }
+                        })
+                        .collect()
+                } else {
+                    let mut v = cmd.clone();
+                    v.push(p.as_str().to_string());
+                    v
+                };
+                let r = sh.run(&argv.join(" "));
+                out.push_str(&r.out);
+                any_fail |= !r.err.is_empty();
+            }
+            Output {
+                code: i32::from(any_fail),
+                out,
+                err: String::new(),
+            }
+        }
+    }
+}
+
+fn consider(
+    path: &VPath,
+    ft: FileType,
+    name: &Option<String>,
+    ftype: &Option<FileType>,
+    found: &mut Vec<VPath>,
+) {
+    if let Some(pat) = name {
+        if !glob_match(pat, path.file_name().unwrap_or("")) {
+            return;
+        }
+    }
+    if let Some(t) = ftype {
+        if ft != *t {
+            return;
+        }
+    }
+    found.push(path.clone());
+}
+
+/// `tree [path]` — the Figure-2 rendering.
+pub fn tree(sh: &Shell, args: &[&str]) -> Output {
+    let root = sh.resolve(flagless(args).next().unwrap_or("."));
+    if sh.namespace().stat(root.as_str(), sh.creds()).is_err() {
+        return Output::fail(format!("tree: {root}: No such file or directory"));
+    }
+    let mut out = format!("{root}\n");
+    fn rec(sh: &Shell, dir: &VPath, prefix: &str, out: &mut String) {
+        let entries = match sh.namespace().readdir(dir.as_str(), sh.creds()) {
+            Ok(e) => e,
+            Err(_) => return,
+        };
+        let n = entries.len();
+        for (i, e) in entries.iter().enumerate() {
+            let last = i + 1 == n;
+            let branch = if last { "└── " } else { "├── " };
+            let p = dir.join(&e.name);
+            let suffix = if e.file_type == FileType::Symlink {
+                match sh.namespace().readlink(p.as_str(), sh.creds()) {
+                    Ok(t) => format!(" -> {t}"),
+                    Err(_) => String::new(),
+                }
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("{prefix}{branch}{}{suffix}\n", e.name));
+            if e.file_type == FileType::Directory {
+                let next = format!("{prefix}{}", if last { "    " } else { "│   " });
+                rec(sh, &p, &next, out);
+            }
+        }
+    }
+    rec(sh, &root, "", &mut out);
+    Output::ok(out)
+}
+
+/// `mkdir [-p] dirs…`.
+pub fn mkdir(sh: &Shell, args: &[&str]) -> Output {
+    let parents = has_flag(args, "-p");
+    for d in flagless(args) {
+        let vp = sh.resolve(d);
+        let r = if parents {
+            sh.namespace()
+                .mkdir_all(vp.as_str(), Mode::DIR_DEFAULT, sh.creds())
+        } else {
+            sh.namespace()
+                .mkdir(vp.as_str(), Mode::DIR_DEFAULT, sh.creds())
+        };
+        if let Err(e) = r {
+            return Output::fail(format!("mkdir: {e}"));
+        }
+    }
+    Output::ok(String::new())
+}
+
+/// `rmdir dirs…`.
+pub fn rmdir(sh: &Shell, args: &[&str]) -> Output {
+    for d in flagless(args) {
+        let vp = sh.resolve(d);
+        if let Err(e) = sh.namespace().rmdir(vp.as_str(), sh.creds()) {
+            return Output::fail(format!("rmdir: {e}"));
+        }
+    }
+    Output::ok(String::new())
+}
+
+/// `rm [-r] [-f] paths…`.
+pub fn rm(sh: &Shell, args: &[&str]) -> Output {
+    let recursive = has_flag(args, "-r") || has_flag(args, "-rf") || has_flag(args, "-fr");
+    let force = has_flag(args, "-f") || has_flag(args, "-rf") || has_flag(args, "-fr");
+    for p in flagless(args) {
+        let vp = sh.resolve(p);
+        let st = match sh.namespace().lstat(vp.as_str(), sh.creds()) {
+            Ok(s) => s,
+            Err(e) => {
+                if force {
+                    continue;
+                }
+                return Output::fail(format!("rm: {e}"));
+            }
+        };
+        let r = if st.is_dir() {
+            if !recursive {
+                return Output::fail(format!("rm: {vp}: is a directory"));
+            }
+            rm_tree(sh, &vp)
+        } else {
+            sh.namespace()
+                .unlink(vp.as_str(), sh.creds())
+                .map_err(|e| e.to_string())
+        };
+        if let Err(e) = r {
+            if !force {
+                return Output::fail(format!("rm: {e}"));
+            }
+        }
+    }
+    Output::ok(String::new())
+}
+
+fn rm_tree(sh: &Shell, dir: &VPath) -> Result<(), String> {
+    let entries = sh
+        .namespace()
+        .readdir(dir.as_str(), sh.creds())
+        .map_err(|e| e.to_string())?;
+    for e in entries {
+        let p = dir.join(&e.name);
+        if e.file_type == FileType::Directory {
+            rm_tree(sh, &p)?;
+        } else {
+            sh.namespace()
+                .unlink(p.as_str(), sh.creds())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    sh.namespace()
+        .rmdir(dir.as_str(), sh.creds())
+        .map_err(|e| e.to_string())
+}
+
+/// `ln -s target link`.
+pub fn ln(sh: &Shell, args: &[&str]) -> Output {
+    if !has_flag(args, "-s") {
+        return Output::fail("ln: only symbolic links (-s) are supported");
+    }
+    let rest: Vec<&str> = flagless(args).collect();
+    if rest.len() != 2 {
+        return Output::fail("ln: usage: ln -s TARGET LINK");
+    }
+    let link = sh.resolve(rest[1]);
+    match sh.namespace().symlink(rest[0], link.as_str(), sh.creds()) {
+        Ok(()) => Output::ok(String::new()),
+        Err(e) => Output::fail(format!("ln: {e}")),
+    }
+}
+
+/// `mv src dst`.
+pub fn mv(sh: &Shell, args: &[&str]) -> Output {
+    let rest: Vec<&str> = flagless(args).collect();
+    if rest.len() != 2 {
+        return Output::fail("mv: usage: mv SRC DST");
+    }
+    let src = sh.resolve(rest[0]);
+    let mut dst = sh.resolve(rest[1]);
+    // Moving into an existing directory keeps the source name.
+    if let Ok(st) = sh.namespace().stat(dst.as_str(), sh.creds()) {
+        if st.is_dir() {
+            if let Some(n) = src.file_name() {
+                dst = dst.join(n);
+            }
+        }
+    }
+    match sh
+        .namespace()
+        .rename(src.as_str(), dst.as_str(), sh.creds())
+    {
+        Ok(()) => Output::ok(String::new()),
+        Err(e) => Output::fail(format!("mv: {e}")),
+    }
+}
+
+/// `cp [-r] src dst`.
+pub fn cp(sh: &Shell, args: &[&str]) -> Output {
+    let recursive = has_flag(args, "-r");
+    let rest: Vec<&str> = flagless(args).collect();
+    if rest.len() != 2 {
+        return Output::fail("cp: usage: cp [-r] SRC DST");
+    }
+    let src = sh.resolve(rest[0]);
+    let mut dst = sh.resolve(rest[1]);
+    if let Ok(st) = sh.namespace().stat(dst.as_str(), sh.creds()) {
+        if st.is_dir() {
+            if let Some(n) = src.file_name() {
+                dst = dst.join(n);
+            }
+        }
+    }
+    match copy_any(sh, &src, &dst, recursive) {
+        Ok(()) => Output::ok(String::new()),
+        Err(e) => Output::fail(format!("cp: {e}")),
+    }
+}
+
+fn copy_any(sh: &Shell, src: &VPath, dst: &VPath, recursive: bool) -> Result<(), String> {
+    let st = sh
+        .namespace()
+        .lstat(src.as_str(), sh.creds())
+        .map_err(|e| e.to_string())?;
+    match st.file_type {
+        FileType::Regular => {
+            let data = sh
+                .namespace()
+                .read_file(src.as_str(), sh.creds())
+                .map_err(|e| e.to_string())?;
+            sh.namespace()
+                .write_file(dst.as_str(), &data, sh.creds())
+                .map_err(|e| e.to_string())
+        }
+        FileType::Symlink => {
+            let t = sh
+                .namespace()
+                .readlink(src.as_str(), sh.creds())
+                .map_err(|e| e.to_string())?;
+            sh.namespace()
+                .symlink(&t, dst.as_str(), sh.creds())
+                .map_err(|e| e.to_string())
+        }
+        FileType::Directory => {
+            if !recursive {
+                return Err(format!("{src}: is a directory (use -r)"));
+            }
+            if !sh.namespace().exists(dst.as_str(), sh.creds()) {
+                sh.namespace()
+                    .mkdir(dst.as_str(), Mode::DIR_DEFAULT, sh.creds())
+                    .map_err(|e| e.to_string())?;
+            }
+            let entries = sh
+                .namespace()
+                .readdir(src.as_str(), sh.creds())
+                .map_err(|e| e.to_string())?;
+            for e in entries {
+                copy_any(sh, &src.join(&e.name), &dst.join(&e.name), true)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `touch files…`.
+pub fn touch(sh: &Shell, args: &[&str]) -> Output {
+    for f in flagless(args) {
+        let vp = sh.resolve(f);
+        if !sh.namespace().exists(vp.as_str(), sh.creds()) {
+            if let Err(e) = sh.namespace().write_file(vp.as_str(), b"", sh.creds()) {
+                return Output::fail(format!("touch: {e}"));
+            }
+        }
+    }
+    Output::ok(String::new())
+}
+
+/// `stat paths…`.
+pub fn stat_cmd(sh: &Shell, args: &[&str]) -> Output {
+    let mut out = String::new();
+    for p in flagless(args) {
+        let vp = sh.resolve(p);
+        match sh.namespace().lstat(vp.as_str(), sh.creds()) {
+            Ok(st) => out.push_str(&format!(
+                "{}: type={:?} mode={} uid={} gid={} size={} nlink={} ino={}\n",
+                vp, st.file_type, st.mode, st.uid.0, st.gid.0, st.size, st.nlink, st.ino.0
+            )),
+            Err(e) => return Output::fail(format!("stat: {e}")),
+        }
+    }
+    Output::ok(out)
+}
+
+/// `readlink path`.
+pub fn readlink(sh: &Shell, args: &[&str]) -> Output {
+    let p = match flagless(args).next() {
+        Some(p) => p,
+        None => return Output::fail("readlink: missing operand"),
+    };
+    let vp = sh.resolve(p);
+    match sh.namespace().readlink(vp.as_str(), sh.creds()) {
+        Ok(t) => Output::ok(format!("{t}\n")),
+        Err(e) => Output::fail(format!("readlink: {e}")),
+    }
+}
+
+/// `chmod octal paths…`.
+pub fn chmod(sh: &Shell, args: &[&str]) -> Output {
+    let mut it = flagless(args);
+    let mode_s = match it.next() {
+        Some(m) => m,
+        None => return Output::fail("chmod: missing mode"),
+    };
+    let mode = match u16::from_str_radix(mode_s, 8) {
+        Ok(m) => Mode(m),
+        Err(_) => return Output::fail(format!("chmod: bad mode {mode_s}")),
+    };
+    for p in it {
+        let vp = sh.resolve(p);
+        if let Err(e) = sh.namespace().chmod(vp.as_str(), mode, sh.creds()) {
+            return Output::fail(format!("chmod: {e}"));
+        }
+    }
+    Output::ok(String::new())
+}
+
+/// `chown uid[:gid] paths…`.
+pub fn chown(sh: &Shell, args: &[&str]) -> Output {
+    let mut it = flagless(args);
+    let who = match it.next() {
+        Some(w) => w,
+        None => return Output::fail("chown: missing owner"),
+    };
+    let (uid_s, gid_s) = match who.split_once(':') {
+        Some((u, g)) => (u, Some(g)),
+        None => (who, None),
+    };
+    let uid: u32 = match uid_s.parse() {
+        Ok(u) => u,
+        Err(_) => return Output::fail("chown: numeric uid required"),
+    };
+    let gid: Option<u32> = match gid_s {
+        Some(g) => match g.parse() {
+            Ok(g) => Some(g),
+            Err(_) => return Output::fail("chown: numeric gid required"),
+        },
+        None => None,
+    };
+    for p in it {
+        let vp = sh.resolve(p);
+        if let Err(e) = sh
+            .namespace()
+            .chown(vp.as_str(), Some(Uid(uid)), gid.map(Gid), sh.creds())
+        {
+            return Output::fail(format!("chown: {e}"));
+        }
+    }
+    Output::ok(String::new())
+}
+
+/// `head [-n N]` over stdin or a file.
+pub fn head(sh: &Shell, args: &[&str], stdin: &str) -> Output {
+    let mut n = 10usize;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "-n" {
+            n = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(10);
+            i += 2;
+        } else {
+            file = Some(args[i]);
+            i += 1;
+        }
+    }
+    let content = match file {
+        Some(f) => {
+            let vp = sh.resolve(f);
+            match sh.namespace().read_to_string(vp.as_str(), sh.creds()) {
+                Ok(s) => s,
+                Err(e) => return Output::fail(format!("head: {e}")),
+            }
+        }
+        None => stdin.to_string(),
+    };
+    Output::ok(content.lines().take(n).map(|l| format!("{l}\n")).collect())
+}
+
+/// `wc -l` (line count only).
+pub fn wc(args: &[&str], stdin: &str) -> Output {
+    if !has_flag(args, "-l") {
+        return Output::fail("wc: only -l is supported");
+    }
+    Output::ok(format!("{}\n", stdin.lines().count()))
+}
+
+/// `sort [-r]` over stdin.
+pub fn sort(args: &[&str], stdin: &str) -> Output {
+    let mut lines: Vec<&str> = stdin.lines().collect();
+    lines.sort_unstable();
+    if has_flag(args, "-r") {
+        lines.reverse();
+    }
+    Output::ok(lines.iter().map(|l| format!("{l}\n")).collect())
+}
+
+/// `uniq` (adjacent duplicates) over stdin.
+pub fn uniq(stdin: &str) -> Output {
+    let mut out = String::new();
+    let mut last: Option<&str> = None;
+    for l in stdin.lines() {
+        if last != Some(l) {
+            out.push_str(l);
+            out.push('\n');
+        }
+        last = Some(l);
+    }
+    Output::ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use yanc_vfs::{Credentials, Filesystem};
+
+    fn sh() -> Shell {
+        let fs = Arc::new(Filesystem::new());
+        let c = Credentials::root();
+        fs.mkdir_all("/net/switches/sw1/flows/ssh", Mode::DIR_DEFAULT, &c)
+            .unwrap();
+        fs.mkdir_all("/net/switches/sw2/flows", Mode::DIR_DEFAULT, &c)
+            .unwrap();
+        fs.write_file("/net/switches/sw1/flows/ssh/tp.dst", b"22\n", &c)
+            .unwrap();
+        fs.write_file("/net/switches/sw1/flows/ssh/priority", b"100\n", &c)
+            .unwrap();
+        fs.write_file("/net/switches/sw1/id", b"0x1\n", &c).unwrap();
+        fs.write_file("/net/switches/sw2/id", b"0x2\n", &c).unwrap();
+        Shell::new(fs)
+    }
+
+    #[test]
+    fn ls_plain_and_long() {
+        let mut s = sh();
+        assert_eq!(s.run("ls /net/switches").out, "sw1\nsw2\n");
+        let long = s.run("ls -l /net/switches").out;
+        assert!(long.contains("drwxr-xr-x"));
+        assert!(long.lines().count() == 2);
+        assert!(!s.run("ls /nope").success());
+    }
+
+    #[test]
+    fn paper_oneliner_find_exec_grep() {
+        let mut s = sh();
+        // "$ find /net -name tp.dst -exec grep 22"
+        let out = s.run("find /net -name tp.dst -exec grep -H 22");
+        assert!(out.out.contains("/net/switches/sw1/flows/ssh/tp.dst:22"));
+    }
+
+    #[test]
+    fn find_filters() {
+        let mut s = sh();
+        let out = s.run("find /net -type d -name flows");
+        assert_eq!(
+            out.out,
+            "/net/switches/sw1/flows\n/net/switches/sw2/flows\n"
+        );
+        let out = s.run("find /net -name 'sw*' -type d");
+        assert!(out.out.contains("sw1"));
+        assert!(out.out.contains("sw2"));
+        let out = s.run("find /net -name id");
+        assert_eq!(out.out.lines().count(), 2);
+    }
+
+    #[test]
+    fn grep_file_stdin_recursive() {
+        let mut s = sh();
+        assert_eq!(s.run("grep 0x1 /net/switches/sw1/id").out, "0x1\n");
+        let out = s.run("grep -r 22 /net");
+        assert!(out.out.contains("tp.dst:22"));
+        let out = s.run("cat /net/switches/sw1/id | grep 0x");
+        assert_eq!(out.out, "0x1\n");
+        // -v inverts; exit code reflects match presence.
+        assert!(!s.run("grep nothinghere /net/switches/sw1/id").success());
+    }
+
+    #[test]
+    fn tree_renders_hierarchy() {
+        let mut s = sh();
+        let out = s.run("tree /net/switches/sw1").out;
+        assert!(out.contains("└── ssh") || out.contains("├── ssh"));
+        assert!(out.contains("tp.dst"));
+    }
+
+    #[test]
+    fn mkdir_rm_roundtrip() {
+        let mut s = sh();
+        assert!(s.run("mkdir -p /a/b/c").success());
+        assert!(s.run("touch /a/b/c/f").success());
+        assert!(!s.run("rm /a").success()); // dir without -r
+        assert!(s.run("rm -r /a").success());
+        assert!(!s.namespace().exists("/a", s.creds()));
+        assert!(!s.run("rm /missing").success());
+        assert!(s.run("rm -f /missing").success());
+    }
+
+    #[test]
+    fn ln_and_readlink() {
+        let mut s = sh();
+        assert!(s.run("ln -s /net/switches/sw1 /fav").success());
+        assert_eq!(s.run("readlink /fav").out, "/net/switches/sw1\n");
+        assert_eq!(s.run("cat /fav/id").out, "0x1\n");
+        assert!(!s.run("ln /a /b").success()); // hard links unsupported
+    }
+
+    #[test]
+    fn cp_recursive_and_mv() {
+        let mut s = sh();
+        assert!(s.run("cp -r /net/switches/sw1 /backup").success());
+        assert_eq!(s.run("cat /backup/flows/ssh/tp.dst").out, "22\n");
+        // mv into an existing directory keeps the name.
+        assert!(s.run("mkdir /archive").success());
+        assert!(s.run("mv /backup /archive").success());
+        assert!(s
+            .namespace()
+            .exists("/archive/backup/flows/ssh/tp.dst", s.creds()));
+        // cp without -r refuses directories.
+        assert!(!s.run("cp /net/switches/sw1 /x").success());
+    }
+
+    #[test]
+    fn chmod_chown_stat() {
+        let mut s = sh();
+        assert!(s.run("chmod 600 /net/switches/sw1/id").success());
+        let out = s.run("stat /net/switches/sw1/id").out;
+        assert!(out.contains("mode=0600"));
+        assert!(s.run("chown 1000:2000 /net/switches/sw1/id").success());
+        let out = s.run("stat /net/switches/sw1/id").out;
+        assert!(out.contains("uid=1000"));
+        assert!(out.contains("gid=2000"));
+        assert!(!s.run("chmod zzz /f").success());
+    }
+
+    #[test]
+    fn text_utilities() {
+        let mut s = sh();
+        assert_eq!(s.run("echo b | sort").out, "b\n");
+        s.namespace()
+            .write_file("/lines", b"b\na\nb\n", s.creds())
+            .unwrap();
+        assert_eq!(s.run("cat /lines | sort").out, "a\nb\nb\n");
+        assert_eq!(s.run("cat /lines | sort | uniq").out, "a\nb\n");
+        assert_eq!(s.run("cat /lines | wc -l").out, "3\n");
+        assert_eq!(s.run("cat /lines | head -n 1").out, "b\n");
+        assert_eq!(s.run("cat /lines | sort -r | head -n 1").out, "b\n");
+    }
+}

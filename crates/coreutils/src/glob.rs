@@ -1,0 +1,80 @@
+//! Minimal glob matching for `find -name` and shell wildcards:
+//! `*` (any run), `?` (any one char), everything else literal.
+
+/// Match `name` against `pattern`.
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    // Classic iterative wildcard match with backtracking on `*`.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut star_ni) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            star_ni = ni;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_ni += 1;
+            ni = star_ni;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Whether the string contains glob metacharacters.
+pub fn is_glob(s: &str) -> bool {
+    s.contains('*') || s.contains('?')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals() {
+        assert!(glob_match("tp.dst", "tp.dst"));
+        assert!(!glob_match("tp.dst", "tp.src"));
+        assert!(!glob_match("tp.dst", "tp.dst2"));
+    }
+
+    #[test]
+    fn star() {
+        assert!(glob_match("match.*", "match.dl_type"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("sw*", "sw1"));
+        assert!(glob_match("*flow*", "arp_flow_2"));
+        assert!(!glob_match("sw*", "host1"));
+    }
+
+    #[test]
+    fn question() {
+        assert!(glob_match("p?", "p1"));
+        assert!(!glob_match("p?", "p12"));
+        assert!(glob_match("??", "ab"));
+    }
+
+    #[test]
+    fn mixed_backtracking() {
+        assert!(glob_match("a*b*c", "aXbYc"));
+        assert!(glob_match("a*b*c", "abc"));
+        assert!(!glob_match("a*b*c", "acb"));
+        assert!(glob_match("*.port_down", "config.port_down"));
+    }
+
+    #[test]
+    fn is_glob_detection() {
+        assert!(is_glob("match.*"));
+        assert!(is_glob("p?"));
+        assert!(!is_glob("version"));
+    }
+}

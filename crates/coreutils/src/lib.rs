@@ -1,0 +1,17 @@
+//! # yanc-coreutils — standard utilities over the virtual file system
+//!
+//! The paper's §5.4: network administration via the "rich set of command
+//! line utilities" — `ls -l /net/switches`, `echo 1 > config.port_down`,
+//! `find /net -name tp.dst -exec grep 22`. This crate provides those
+//! utilities against [`yanc_vfs`], plus a tiny [`Shell`] with pipes,
+//! redirection and a cwd so one-liners and scripts run verbatim.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cmds;
+pub mod glob;
+pub mod shell;
+
+pub use glob::{glob_match, is_glob};
+pub use shell::{Output, Shell};

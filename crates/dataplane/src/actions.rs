@@ -1,0 +1,265 @@
+//! Applying OpenFlow action lists to real frame bytes.
+//!
+//! Actions are applied strictly in order, and each `Output` emits the frame
+//! *as modified so far* — matching the OpenFlow apply-actions semantics.
+//! Field rewrites reparse and re-encode the affected headers so checksums
+//! stay valid end to end (hosts verify them on receipt).
+
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+use yanc_openflow::Action;
+use yanc_packet::{
+    ip_proto, EtherType, EthernetFrame, Ipv4Packet, ParseResult, TcpSegment, UdpDatagram, VlanTag,
+};
+
+/// The result of running an action list.
+#[derive(Debug, Clone, Default)]
+pub struct ActionOutcome {
+    /// `(port, frame)` pairs in action order. Ports may be reserved numbers
+    /// (FLOOD, CONTROLLER, …) for the switch to interpret.
+    pub outputs: Vec<(u16, Bytes)>,
+    /// `(port, queue, frame)` outputs that went through an Enqueue action.
+    pub enqueued: Vec<(u16, u32, Bytes)>,
+    /// The frame after all field rewrites — what continues down a
+    /// multi-table pipeline.
+    pub final_frame: Bytes,
+}
+
+/// Apply `actions` to `frame`, producing the outputs.
+pub fn apply_actions(actions: &[Action], frame: &Bytes) -> ParseResult<ActionOutcome> {
+    let mut current = frame.clone();
+    let mut out = ActionOutcome::default();
+    for a in actions {
+        match a {
+            Action::Output { port, .. } => out.outputs.push((*port, current.clone())),
+            Action::Enqueue { port, queue_id } => {
+                out.enqueued.push((*port, *queue_id, current.clone()))
+            }
+            Action::SetVlanVid(vid) => {
+                current = edit_eth(&current, |e| {
+                    let pcp = e.vlan.map(|t| t.pcp).unwrap_or(0);
+                    e.vlan = Some(VlanTag {
+                        pcp,
+                        vid: *vid & 0x0fff,
+                    });
+                })?;
+            }
+            Action::SetVlanPcp(pcp) => {
+                current = edit_eth(&current, |e| {
+                    let vid = e.vlan.map(|t| t.vid).unwrap_or(0);
+                    e.vlan = Some(VlanTag {
+                        pcp: *pcp & 0x7,
+                        vid,
+                    });
+                })?;
+            }
+            Action::StripVlan => {
+                current = edit_eth(&current, |e| e.vlan = None)?;
+            }
+            Action::SetDlSrc(mac) => current = edit_eth(&current, |e| e.src = *mac)?,
+            Action::SetDlDst(mac) => current = edit_eth(&current, |e| e.dst = *mac)?,
+            Action::SetNwSrc(ip) => current = edit_ip(&current, |p| p.src = *ip)?,
+            Action::SetNwDst(ip) => current = edit_ip(&current, |p| p.dst = *ip)?,
+            Action::SetNwTos(tos) => current = edit_ip(&current, |p| p.tos = *tos)?,
+            Action::SetTpSrc(port) => current = edit_tp(&current, *port, true)?,
+            Action::SetTpDst(port) => current = edit_tp(&current, *port, false)?,
+        }
+    }
+    out.final_frame = current;
+    Ok(out)
+}
+
+fn edit_eth(frame: &Bytes, f: impl FnOnce(&mut EthernetFrame)) -> ParseResult<Bytes> {
+    let mut eth = EthernetFrame::parse(frame)?;
+    f(&mut eth);
+    Ok(eth.encode())
+}
+
+fn edit_ip(frame: &Bytes, f: impl FnOnce(&mut Ipv4Packet)) -> ParseResult<Bytes> {
+    let mut eth = EthernetFrame::parse(frame)?;
+    if eth.ethertype != EtherType::IPV4 {
+        return Ok(frame.clone()); // non-IP: rewrite is a no-op, as on hw
+    }
+    let mut ip = Ipv4Packet::parse(&eth.payload)?;
+    let (old_src, old_dst) = (ip.src, ip.dst);
+    f(&mut ip);
+    if ip.src != old_src || ip.dst != old_dst {
+        reencode_l4(&mut ip, old_src, old_dst)?;
+    }
+    eth.payload = ip.encode();
+    Ok(eth.encode())
+}
+
+/// L4 checksums cover the IP pseudo-header; recompute them after an
+/// address rewrite.
+fn reencode_l4(ip: &mut Ipv4Packet, old_src: Ipv4Addr, old_dst: Ipv4Addr) -> ParseResult<()> {
+    match ip.proto {
+        p if p == ip_proto::TCP => {
+            let seg = TcpSegment::parse(&ip.payload, old_src, old_dst)?;
+            ip.payload = seg.encode(ip.src, ip.dst);
+        }
+        p if p == ip_proto::UDP => {
+            let dg = UdpDatagram::parse(&ip.payload, old_src, old_dst)?;
+            ip.payload = dg.encode(ip.src, ip.dst);
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn edit_tp(frame: &Bytes, port: u16, src: bool) -> ParseResult<Bytes> {
+    let mut eth = EthernetFrame::parse(frame)?;
+    if eth.ethertype != EtherType::IPV4 {
+        return Ok(frame.clone());
+    }
+    let mut ip = Ipv4Packet::parse(&eth.payload)?;
+    match ip.proto {
+        p if p == ip_proto::TCP => {
+            let mut seg = TcpSegment::parse(&ip.payload, ip.src, ip.dst)?;
+            if src {
+                seg.src_port = port;
+            } else {
+                seg.dst_port = port;
+            }
+            ip.payload = seg.encode(ip.src, ip.dst);
+        }
+        p if p == ip_proto::UDP => {
+            let mut dg = UdpDatagram::parse(&ip.payload, ip.src, ip.dst)?;
+            if src {
+                dg.src_port = port;
+            } else {
+                dg.dst_port = port;
+            }
+            ip.payload = dg.encode(ip.src, ip.dst);
+        }
+        _ => return Ok(frame.clone()),
+    }
+    eth.payload = ip.encode();
+    Ok(eth.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_packet::{build_tcp_syn, build_udp, MacAddr, PacketSummary};
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn syn() -> Bytes {
+        build_tcp_syn(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            40000,
+            22,
+        )
+    }
+
+    #[test]
+    fn output_emits_current_frame_state() {
+        let frame = syn();
+        let out = apply_actions(
+            &[
+                Action::out(1),
+                Action::SetDlDst(MacAddr::from_seed(9)),
+                Action::out(2),
+            ],
+            &frame,
+        )
+        .unwrap();
+        assert_eq!(out.outputs.len(), 2);
+        // First output: unmodified.
+        let s0 = PacketSummary::parse(&out.outputs[0].1).unwrap();
+        assert_eq!(s0.dl_dst, MacAddr::from_seed(2));
+        // Second output: rewritten.
+        let s1 = PacketSummary::parse(&out.outputs[1].1).unwrap();
+        assert_eq!(s1.dl_dst, MacAddr::from_seed(9));
+        assert_eq!(out.outputs[0].0, 1);
+        assert_eq!(out.outputs[1].0, 2);
+    }
+
+    #[test]
+    fn nat_style_rewrite_keeps_checksums_valid() {
+        let frame = syn();
+        let out = apply_actions(
+            &[
+                Action::SetNwDst(ip("192.168.5.5")),
+                Action::SetTpDst(2222),
+                Action::out(1),
+            ],
+            &frame,
+        )
+        .unwrap();
+        // PacketSummary parses TCP only if the checksum (with the new
+        // pseudo-header) verifies.
+        let s = PacketSummary::parse(&out.outputs[0].1).unwrap();
+        assert_eq!(s.nw_dst, Some(ip("192.168.5.5")));
+        assert_eq!(s.tp_dst, Some(2222));
+        assert_eq!(s.tp_src, Some(40000));
+    }
+
+    #[test]
+    fn udp_rewrite() {
+        let frame = build_udp(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            68,
+            67,
+            Bytes::from_static(b"payload"),
+        );
+        let out =
+            apply_actions(&[Action::SetNwSrc(ip("10.0.9.9")), Action::out(3)], &frame).unwrap();
+        let s = PacketSummary::parse(&out.outputs[0].1).unwrap();
+        assert_eq!(s.nw_src, Some(ip("10.0.9.9")));
+        assert_eq!(s.tp_dst, Some(67));
+    }
+
+    #[test]
+    fn vlan_tag_untag() {
+        let frame = syn();
+        let out = apply_actions(&[Action::SetVlanVid(100), Action::out(1)], &frame).unwrap();
+        let s = PacketSummary::parse(&out.outputs[0].1).unwrap();
+        assert_eq!(s.dl_vlan, Some(100));
+        let stripped =
+            apply_actions(&[Action::StripVlan, Action::out(1)], &out.outputs[0].1).unwrap();
+        let s2 = PacketSummary::parse(&stripped.outputs[0].1).unwrap();
+        assert_eq!(s2.dl_vlan, None);
+        assert_eq!(stripped.outputs[0].1, frame);
+    }
+
+    #[test]
+    fn enqueue_collects_queue_outputs() {
+        let out = apply_actions(
+            &[Action::Enqueue {
+                port: 2,
+                queue_id: 7,
+            }],
+            &syn(),
+        )
+        .unwrap();
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.enqueued.len(), 1);
+        assert_eq!(out.enqueued[0].0, 2);
+        assert_eq!(out.enqueued[0].1, 7);
+    }
+
+    #[test]
+    fn empty_action_list_drops() {
+        let out = apply_actions(&[], &syn()).unwrap();
+        assert!(out.outputs.is_empty());
+        assert!(out.enqueued.is_empty());
+    }
+
+    #[test]
+    fn tos_rewrite() {
+        let out = apply_actions(&[Action::SetNwTos(0x28), Action::out(1)], &syn()).unwrap();
+        let s = PacketSummary::parse(&out.outputs[0].1).unwrap();
+        assert_eq!(s.nw_tos, Some(0x28));
+    }
+}

@@ -1,0 +1,412 @@
+//! A single OpenFlow flow table: priority-ordered matching, strict and
+//! loose modify/delete, timeout expiry, and per-entry counters.
+
+use yanc_openflow::{Action, FlowMatch, FlowRemovedReason};
+use yanc_packet::PacketSummary;
+
+/// One installed flow entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    /// Match.
+    pub m: FlowMatch,
+    /// Priority: higher wins.
+    pub priority: u16,
+    /// Actions applied on hit (empty = drop).
+    pub actions: Vec<Action>,
+    /// OpenFlow ≥1.1 goto-table continuation.
+    pub goto_table: Option<u8>,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Idle timeout in seconds (0 = never).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = never).
+    pub hard_timeout: u16,
+    /// `SEND_FLOW_REM` etc.
+    pub flags: u16,
+    /// Installation time (sim seconds).
+    pub installed_at: u64,
+    /// Last packet hit (sim seconds).
+    pub last_hit: u64,
+    /// Packets matched.
+    pub packets: u64,
+    /// Bytes matched.
+    pub bytes: u64,
+}
+
+impl FlowEntry {
+    /// Whether this entry forwards to `port` (for out_port-filtered deletes).
+    fn outputs_to(&self, port: u16) -> bool {
+        self.actions.iter().any(|a| match a {
+            Action::Output { port: p, .. } => *p == port,
+            Action::Enqueue { port: p, .. } => *p == port,
+            _ => false,
+        })
+    }
+}
+
+/// A removed entry plus the reason, for `FlowRemoved` generation.
+#[derive(Debug, Clone)]
+pub struct RemovedFlow {
+    /// The entry at removal time (with final counters).
+    pub entry: FlowEntry,
+    /// Why it was removed.
+    pub reason: FlowRemovedReason,
+}
+
+/// A priority-ordered flow table.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    /// Entries sorted by descending priority (stable within a priority).
+    entries: Vec<FlowEntry>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over entries (descending priority).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Insert an entry, replacing an existing identical (match, priority)
+    /// entry as OpenFlow ADD semantics require. Counters reset on replace.
+    pub fn add(&mut self, mut entry: FlowEntry, now: u64) {
+        entry.installed_at = now;
+        entry.last_hit = now;
+        entry.packets = 0;
+        entry.bytes = 0;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.priority == entry.priority && e.m == entry.m)
+        {
+            *e = entry;
+            return;
+        }
+        // Keep descending priority order; insert after equal priorities so
+        // earlier installs win ties (stable).
+        let pos = self
+            .entries
+            .partition_point(|e| e.priority >= entry.priority);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Loose modify: update actions of every entry subsumed by `m`.
+    /// Returns how many were changed.
+    pub fn modify(&mut self, m: &FlowMatch, actions: &[Action], goto_table: Option<u8>) -> usize {
+        let mut n = 0;
+        for e in self.entries.iter_mut().filter(|e| m.subsumes(&e.m)) {
+            e.actions = actions.to_vec();
+            e.goto_table = goto_table;
+            n += 1;
+        }
+        n
+    }
+
+    /// Strict modify: update only the exact (match, priority) entry.
+    pub fn modify_strict(
+        &mut self,
+        m: &FlowMatch,
+        priority: u16,
+        actions: &[Action],
+        goto_table: Option<u8>,
+    ) -> usize {
+        let mut n = 0;
+        for e in self
+            .entries
+            .iter_mut()
+            .filter(|e| e.priority == priority && e.m == *m)
+        {
+            e.actions = actions.to_vec();
+            e.goto_table = goto_table;
+            n += 1;
+        }
+        n
+    }
+
+    /// Loose delete: remove every entry subsumed by `m` (optionally
+    /// restricted to entries outputting to `out_port`).
+    pub fn delete(&mut self, m: &FlowMatch, out_port: Option<u16>) -> Vec<RemovedFlow> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            let hit = m.subsumes(&e.m) && out_port.map(|p| e.outputs_to(p)).unwrap_or(true);
+            if hit {
+                removed.push(RemovedFlow {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::Delete,
+                });
+            }
+            !hit
+        });
+        removed
+    }
+
+    /// Strict delete: remove only the exact (match, priority) entry.
+    pub fn delete_strict(&mut self, m: &FlowMatch, priority: u16) -> Vec<RemovedFlow> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            let hit = e.priority == priority && e.m == *m;
+            if hit {
+                removed.push(RemovedFlow {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::Delete,
+                });
+            }
+            !hit
+        });
+        removed
+    }
+
+    /// Find the highest-priority matching entry and update its counters.
+    /// Returns a clone of the matched entry.
+    pub fn lookup(
+        &mut self,
+        pkt: &PacketSummary,
+        in_port: u16,
+        frame_len: usize,
+        now: u64,
+    ) -> Option<FlowEntry> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.m.matches(pkt, in_port))?;
+        e.packets += 1;
+        e.bytes += frame_len as u64;
+        e.last_hit = now;
+        Some(e.clone())
+    }
+
+    /// Read-only lookup (no counter update).
+    pub fn peek(&self, pkt: &PacketSummary, in_port: u16) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.m.matches(pkt, in_port))
+    }
+
+    /// Remove entries whose idle or hard timeout has fired at `now`.
+    pub fn expire(&mut self, now: u64) -> Vec<RemovedFlow> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            let hard = e.hard_timeout > 0 && now >= e.installed_at + u64::from(e.hard_timeout);
+            let idle = e.idle_timeout > 0 && now >= e.last_hit + u64::from(e.idle_timeout);
+            if hard {
+                removed.push(RemovedFlow {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::HardTimeout,
+                });
+                false
+            } else if idle {
+                removed.push(RemovedFlow {
+                    entry: e.clone(),
+                    reason: FlowRemovedReason::IdleTimeout,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Aggregate (packets, bytes, flows) over entries subsumed by `m`.
+    pub fn aggregate(&self, m: &FlowMatch) -> (u64, u64, u32) {
+        let mut p = 0;
+        let mut b = 0;
+        let mut n = 0;
+        for e in self.entries.iter().filter(|e| m.subsumes(&e.m)) {
+            p += e.packets;
+            b += e.bytes;
+            n += 1;
+        }
+        (p, b, n)
+    }
+}
+
+/// Construct a fresh entry with zeroed counters.
+pub fn entry(m: FlowMatch, priority: u16, actions: Vec<Action>) -> FlowEntry {
+    FlowEntry {
+        m,
+        priority,
+        actions,
+        goto_table: None,
+        cookie: 0,
+        idle_timeout: 0,
+        hard_timeout: 0,
+        flags: 0,
+        installed_at: 0,
+        last_hit: 0,
+        packets: 0,
+        bytes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_openflow::Ipv4Prefix;
+    use yanc_packet::{build_tcp_syn, MacAddr};
+
+    fn pkt(dst_port: u16) -> PacketSummary {
+        let f = build_tcp_syn(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            40000,
+            dst_port,
+        );
+        PacketSummary::parse(&f).unwrap()
+    }
+
+    fn m_tp_dst(p: u16) -> FlowMatch {
+        FlowMatch {
+            tp_dst: Some(p),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new();
+        t.add(entry(FlowMatch::any(), 1, vec![Action::out(1)]), 0);
+        t.add(entry(m_tp_dst(22), 100, vec![Action::out(2)]), 0);
+        let hit = t.lookup(&pkt(22), 1, 64, 0).unwrap();
+        assert_eq!(hit.actions, vec![Action::out(2)]);
+        let hit = t.lookup(&pkt(80), 1, 64, 0).unwrap();
+        assert_eq!(hit.actions, vec![Action::out(1)]);
+    }
+
+    #[test]
+    fn add_replaces_same_match_and_priority() {
+        let mut t = FlowTable::new();
+        t.add(entry(m_tp_dst(22), 10, vec![Action::out(1)]), 0);
+        t.lookup(&pkt(22), 1, 64, 0).unwrap();
+        t.add(entry(m_tp_dst(22), 10, vec![Action::out(9)]), 5);
+        assert_eq!(t.len(), 1);
+        let e = t.peek(&pkt(22), 1).unwrap();
+        assert_eq!(e.actions, vec![Action::out(9)]);
+        assert_eq!(e.packets, 0); // counters reset on replace
+                                  // Same match at a different priority is a distinct entry.
+        t.add(entry(m_tp_dst(22), 11, vec![Action::out(3)]), 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new();
+        t.add(entry(FlowMatch::any(), 1, vec![]), 0);
+        t.lookup(&pkt(22), 1, 100, 1);
+        t.lookup(&pkt(22), 1, 50, 2);
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packets, 2);
+        assert_eq!(e.bytes, 150);
+        assert_eq!(e.last_hit, 2);
+        let (p, b, n) = t.aggregate(&FlowMatch::any());
+        assert_eq!((p, b, n), (2, 150, 1));
+    }
+
+    #[test]
+    fn loose_delete_uses_subsumption() {
+        let mut t = FlowTable::new();
+        t.add(entry(m_tp_dst(22), 5, vec![Action::out(1)]), 0);
+        t.add(entry(m_tp_dst(80), 5, vec![Action::out(1)]), 0);
+        let wide = FlowMatch::any();
+        let removed = t.delete(&wide, None);
+        assert_eq!(removed.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn out_port_filtered_delete() {
+        let mut t = FlowTable::new();
+        t.add(entry(m_tp_dst(22), 5, vec![Action::out(1)]), 0);
+        t.add(entry(m_tp_dst(80), 5, vec![Action::out(2)]), 0);
+        let removed = t.delete(&FlowMatch::any(), Some(2));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.peek(&pkt(22), 1).is_some());
+    }
+
+    #[test]
+    fn strict_delete_requires_exact_match() {
+        let mut t = FlowTable::new();
+        t.add(entry(m_tp_dst(22), 5, vec![]), 0);
+        assert!(t.delete_strict(&FlowMatch::any(), 5).is_empty());
+        assert!(t.delete_strict(&m_tp_dst(22), 6).is_empty());
+        assert_eq!(t.delete_strict(&m_tp_dst(22), 5).len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn modify_loose_and_strict() {
+        let mut t = FlowTable::new();
+        t.add(entry(m_tp_dst(22), 5, vec![Action::out(1)]), 0);
+        t.add(entry(m_tp_dst(80), 7, vec![Action::out(1)]), 0);
+        assert_eq!(t.modify(&FlowMatch::any(), &[Action::out(9)], None), 2);
+        assert!(t.iter().all(|e| e.actions == vec![Action::out(9)]));
+        assert_eq!(
+            t.modify_strict(&m_tp_dst(22), 5, &[Action::out(4)], Some(1)),
+            1
+        );
+        let e = t.peek(&pkt(22), 1).unwrap();
+        assert_eq!(e.actions, vec![Action::out(4)]);
+        assert_eq!(e.goto_table, Some(1));
+    }
+
+    #[test]
+    fn hard_timeout_expiry() {
+        let mut t = FlowTable::new();
+        let mut e = entry(FlowMatch::any(), 1, vec![]);
+        e.hard_timeout = 10;
+        t.add(e, 100);
+        assert!(t.expire(105).is_empty());
+        let removed = t.expire(110);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::HardTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_traffic() {
+        let mut t = FlowTable::new();
+        let mut e = entry(FlowMatch::any(), 1, vec![]);
+        e.idle_timeout = 10;
+        t.add(e, 0);
+        t.lookup(&pkt(22), 1, 64, 8); // traffic at t=8
+        assert!(t.expire(10).is_empty()); // would have idled without traffic
+        let removed = t.expire(18);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn tie_break_prefers_earlier_install() {
+        let mut t = FlowTable::new();
+        t.add(entry(m_tp_dst(22), 5, vec![Action::out(1)]), 0);
+        t.add(
+            entry(
+                FlowMatch {
+                    nw_dst: Some(Ipv4Prefix::parse("10.0.0.2").unwrap()),
+                    ..Default::default()
+                },
+                5,
+                vec![Action::out(2)],
+            ),
+            1,
+        );
+        // Both match the ssh packet at equal priority; first installed wins.
+        let hit = t.lookup(&pkt(22), 1, 64, 2).unwrap();
+        assert_eq!(hit.actions, vec![Action::out(1)]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Simulated end hosts with a miniature network stack: ARP resolution,
+//! ICMP echo, and UDP/TCP send/receive logging. Hosts are how experiments
+//! generate the "real traffic" that exercises reactive controllers (the
+//! paper's router daemon installs exact-match paths in response to pings).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use yanc_packet::{
+    build_arp_reply, build_arp_request, build_icmp_echo, build_tcp_syn, build_udp, icmp_type,
+    ip_proto, ArpOp, ArpPacket, EtherType, EthernetFrame, IcmpPacket, Ipv4Packet, MacAddr,
+    TcpSegment, UdpDatagram,
+};
+
+/// A queued transmission waiting for ARP resolution.
+#[derive(Debug, Clone)]
+enum Pending {
+    Ping {
+        dst: Ipv4Addr,
+        seq: u16,
+    },
+    Udp {
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+    },
+    TcpSyn {
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    },
+}
+
+/// A received UDP datagram, recorded for assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedUdp {
+    /// Sender address.
+    pub src: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// A simulated host.
+pub struct SimHost {
+    /// Host id (index in the network).
+    pub id: u64,
+    /// Name, e.g. `h1`.
+    pub name: String,
+    /// MAC address.
+    pub mac: MacAddr,
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    arp_table: HashMap<Ipv4Addr, MacAddr>,
+    pending: Vec<Pending>,
+    ident: u16,
+    /// Echo replies received: `(from, seq)`.
+    pub ping_replies: Vec<(Ipv4Addr, u16)>,
+    /// Echo requests we answered: `(from, seq)`.
+    pub pings_answered: Vec<(Ipv4Addr, u16)>,
+    /// UDP datagrams received.
+    pub udp_received: Vec<ReceivedUdp>,
+    /// TCP SYNs received: `(from, dst_port)`.
+    pub tcp_syns_received: Vec<(Ipv4Addr, u16)>,
+    /// Total frames received (any kind).
+    pub frames_received: u64,
+}
+
+impl SimHost {
+    /// Create a host; the MAC is derived deterministically from `id`.
+    pub fn new(id: u64, name: &str, ip: Ipv4Addr) -> Self {
+        SimHost {
+            id,
+            name: name.to_string(),
+            mac: MacAddr::from_seed(0xbeef_0000 | id),
+            ip,
+            arp_table: HashMap::new(),
+            pending: Vec::new(),
+            ident: 1,
+            ping_replies: Vec::new(),
+            pings_answered: Vec::new(),
+            udp_received: Vec::new(),
+            tcp_syns_received: Vec::new(),
+            frames_received: 0,
+        }
+    }
+
+    /// Pre-populate the ARP table (for tests that skip resolution).
+    pub fn learn_arp(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.arp_table.insert(ip, mac);
+    }
+
+    /// Start a ping; returns frames to transmit (the echo request, or an
+    /// ARP request with the ping queued behind it).
+    pub fn ping(&mut self, dst: Ipv4Addr, seq: u16) -> Vec<Bytes> {
+        match self.arp_table.get(&dst) {
+            Some(&mac) => {
+                vec![build_icmp_echo(
+                    self.mac, mac, self.ip, dst, self.ident, seq,
+                )]
+            }
+            None => {
+                self.pending.push(Pending::Ping { dst, seq });
+                vec![build_arp_request(self.mac, self.ip, dst)]
+            }
+        }
+    }
+
+    /// Send a UDP datagram (resolving the destination first if needed).
+    pub fn send_udp(
+        &mut self,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+    ) -> Vec<Bytes> {
+        match self.arp_table.get(&dst) {
+            Some(&mac) => vec![build_udp(
+                self.mac, mac, self.ip, dst, src_port, dst_port, payload,
+            )],
+            None => {
+                self.pending.push(Pending::Udp {
+                    dst,
+                    src_port,
+                    dst_port,
+                    payload,
+                });
+                vec![build_arp_request(self.mac, self.ip, dst)]
+            }
+        }
+    }
+
+    /// Send a TCP SYN (e.g. "ssh traffic" for slicing experiments).
+    pub fn send_tcp_syn(&mut self, dst: Ipv4Addr, src_port: u16, dst_port: u16) -> Vec<Bytes> {
+        match self.arp_table.get(&dst) {
+            Some(&mac) => vec![build_tcp_syn(
+                self.mac, mac, self.ip, dst, src_port, dst_port,
+            )],
+            None => {
+                self.pending.push(Pending::TcpSyn {
+                    dst,
+                    src_port,
+                    dst_port,
+                });
+                vec![build_arp_request(self.mac, self.ip, dst)]
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, ip: Ipv4Addr) -> Vec<Bytes> {
+        let mac = match self.arp_table.get(&ip) {
+            Some(m) => *m,
+            None => return Vec::new(),
+        };
+        let (ready, rest): (Vec<Pending>, Vec<Pending>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|p| match p {
+                Pending::Ping { dst, .. }
+                | Pending::Udp { dst, .. }
+                | Pending::TcpSyn { dst, .. } => *dst == ip,
+            });
+        self.pending = rest;
+        ready
+            .into_iter()
+            .map(|p| match p {
+                Pending::Ping { dst, seq } => {
+                    build_icmp_echo(self.mac, mac, self.ip, dst, self.ident, seq)
+                }
+                Pending::Udp {
+                    dst,
+                    src_port,
+                    dst_port,
+                    payload,
+                } => build_udp(self.mac, mac, self.ip, dst, src_port, dst_port, payload),
+                Pending::TcpSyn {
+                    dst,
+                    src_port,
+                    dst_port,
+                } => build_tcp_syn(self.mac, mac, self.ip, dst, src_port, dst_port),
+            })
+            .collect()
+    }
+
+    /// Process an incoming frame, returning frames to transmit in response.
+    pub fn handle_frame(&mut self, frame: &Bytes) -> Vec<Bytes> {
+        self.frames_received += 1;
+        let eth = match EthernetFrame::parse(frame) {
+            Ok(e) => e,
+            Err(_) => return Vec::new(),
+        };
+        if eth.dst != self.mac && !eth.dst.is_broadcast() && !eth.dst.is_multicast() {
+            return Vec::new(); // not for us (promiscuous hosts aren't modelled)
+        }
+        if eth.ethertype == EtherType::ARP {
+            if let Ok(arp) = ArpPacket::parse(&eth.payload) {
+                // Learn the sender either way.
+                self.arp_table.insert(arp.spa, arp.sha);
+                let mut out = self.flush_pending(arp.spa);
+                if arp.op == ArpOp::Request && arp.tpa == self.ip {
+                    out.push(build_arp_reply(self.mac, self.ip, arp.sha, arp.spa));
+                }
+                return out;
+            }
+            return Vec::new();
+        }
+        if eth.ethertype != EtherType::IPV4 {
+            return Vec::new();
+        }
+        let ip = match Ipv4Packet::parse(&eth.payload) {
+            Ok(p) => p,
+            Err(_) => return Vec::new(),
+        };
+        if ip.dst != self.ip {
+            return Vec::new();
+        }
+        match ip.proto {
+            p if p == ip_proto::ICMP => {
+                if let Ok(icmp) = IcmpPacket::parse(&ip.payload) {
+                    if icmp.icmp_type == icmp_type::ECHO_REQUEST {
+                        self.pings_answered.push((ip.src, icmp.seq));
+                        let reply = IcmpPacket {
+                            icmp_type: icmp_type::ECHO_REPLY,
+                            code: 0,
+                            ident: icmp.ident,
+                            seq: icmp.seq,
+                            payload: icmp.payload.clone(),
+                        };
+                        let ipr = Ipv4Packet {
+                            tos: 0,
+                            id: icmp.seq,
+                            ttl: 64,
+                            proto: ip_proto::ICMP,
+                            src: self.ip,
+                            dst: ip.src,
+                            payload: reply.encode(),
+                        };
+                        let back = EthernetFrame {
+                            dst: eth.src,
+                            src: self.mac,
+                            vlan: None,
+                            ethertype: EtherType::IPV4,
+                            payload: ipr.encode(),
+                        };
+                        return vec![back.encode()];
+                    } else if icmp.icmp_type == icmp_type::ECHO_REPLY {
+                        self.ping_replies.push((ip.src, icmp.seq));
+                    }
+                }
+            }
+            p if p == ip_proto::UDP => {
+                if let Ok(u) = UdpDatagram::parse(&ip.payload, ip.src, ip.dst) {
+                    self.udp_received.push(ReceivedUdp {
+                        src: ip.src,
+                        src_port: u.src_port,
+                        dst_port: u.dst_port,
+                        payload: u.payload,
+                    });
+                }
+            }
+            p if p == ip_proto::TCP => {
+                if let Ok(t) = TcpSegment::parse(&ip.payload, ip.src, ip.dst) {
+                    if t.flags.syn {
+                        self.tcp_syns_received.push((ip.src, t.dst_port));
+                    }
+                }
+            }
+            _ => {}
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_packet::PacketSummary;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pair() -> (SimHost, SimHost) {
+        (
+            SimHost::new(1, "h1", ip("10.0.0.1")),
+            SimHost::new(2, "h2", ip("10.0.0.2")),
+        )
+    }
+
+    /// Deliver frames directly between two hosts until quiescent.
+    fn exchange(a: &mut SimHost, b: &mut SimHost, mut frames: Vec<Bytes>) {
+        let mut from_a = true;
+        while !frames.is_empty() {
+            let mut next = Vec::new();
+            for f in frames {
+                let dst = if from_a { &mut *b } else { &mut *a };
+                next.extend(dst.handle_frame(&f));
+            }
+            frames = next;
+            from_a = !from_a;
+        }
+    }
+
+    #[test]
+    fn arp_then_ping_completes() {
+        let (mut a, mut b) = pair();
+        let frames = a.ping(b.ip, 1);
+        // First frame is an ARP request (no table entry yet).
+        let s = PacketSummary::parse(&frames[0]).unwrap();
+        assert_eq!(s.dl_type, EtherType::ARP.0);
+        exchange(&mut a, &mut b, frames);
+        assert_eq!(a.ping_replies, vec![(ip("10.0.0.2"), 1)]);
+        assert_eq!(b.pings_answered, vec![(ip("10.0.0.1"), 1)]);
+    }
+
+    #[test]
+    fn cached_arp_skips_resolution() {
+        let (mut a, mut b) = pair();
+        a.learn_arp(b.ip, b.mac);
+        let frames = a.ping(b.ip, 7);
+        let s = PacketSummary::parse(&frames[0]).unwrap();
+        assert_eq!(s.dl_type, EtherType::IPV4.0);
+        exchange(&mut a, &mut b, frames);
+        assert_eq!(a.ping_replies, vec![(ip("10.0.0.2"), 7)]);
+    }
+
+    #[test]
+    fn udp_delivery_recorded() {
+        let (mut a, mut b) = pair();
+        let frames = a.send_udp(b.ip, 5000, 53, Bytes::from_static(b"query"));
+        exchange(&mut a, &mut b, frames);
+        assert_eq!(b.udp_received.len(), 1);
+        assert_eq!(b.udp_received[0].dst_port, 53);
+        assert_eq!(&b.udp_received[0].payload[..], b"query");
+    }
+
+    #[test]
+    fn tcp_syn_recorded() {
+        let (mut a, mut b) = pair();
+        let frames = a.send_tcp_syn(b.ip, 40000, 22);
+        exchange(&mut a, &mut b, frames);
+        assert_eq!(b.tcp_syns_received, vec![(ip("10.0.0.1"), 22)]);
+    }
+
+    #[test]
+    fn foreign_traffic_ignored() {
+        let (mut a, b) = pair();
+        let mut c = SimHost::new(3, "h3", ip("10.0.0.3"));
+        a.learn_arp(b.ip, b.mac);
+        let frames = a.ping(b.ip, 1);
+        // Deliver to the wrong host: unicast to b's MAC, c ignores it.
+        let out = c.handle_frame(&frames[0]);
+        assert!(out.is_empty());
+        assert!(c.pings_answered.is_empty());
+    }
+
+    #[test]
+    fn arp_request_for_other_ip_learns_but_does_not_reply() {
+        let (mut a, mut b) = pair();
+        let frames = a.ping(ip("10.0.0.99"), 1); // ARP for a third party
+        let out = b.handle_frame(&frames[0]);
+        assert!(out.is_empty());
+        // …but b learned a's mapping opportunistically.
+        assert_eq!(b.arp_table.get(&a.ip), Some(&a.mac));
+    }
+}

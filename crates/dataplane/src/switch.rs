@@ -1,0 +1,997 @@
+//! A simulated OpenFlow switch.
+//!
+//! The switch's control interface is *real protocol bytes*: drivers feed it
+//! encoded OpenFlow 1.0/1.3 frames and it replies in kind, negotiating the
+//! version via HELLO exactly as hardware would. The data path runs the
+//! multi-table match→actions pipeline over frames from [`crate::actions`].
+//! Everything a driver can observe — packet-ins, flow-removed, port-status,
+//! stats — is produced here.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+
+use yanc_openflow::{
+    decode, encode, port_no, FlowMod, FlowModCommand, FlowStats, Message, PacketInReason, PortDesc,
+    PortReason, PortStats, StatsReply, StatsRequest, SwitchFeatures, Version,
+};
+use yanc_openflow::{flow_mod_flags, FrameCodec};
+use yanc_packet::{MacAddr, PacketSummary};
+
+use crate::actions::apply_actions;
+use crate::flow_table::{entry, FlowTable, RemovedFlow};
+
+/// Something the switch wants the outside world to do.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// Put `frame` on the wire out of `port`.
+    Transmit {
+        /// Egress port.
+        port: u16,
+        /// Frame bytes.
+        frame: Bytes,
+    },
+    /// Send protocol bytes to the attached controller.
+    Control(Bytes),
+}
+
+/// A switch port.
+#[derive(Debug, Clone)]
+pub struct SimPort {
+    /// Port number (1-based).
+    pub port_no: u16,
+    /// Hardware address.
+    pub hw_addr: MacAddr,
+    /// Interface name.
+    pub name: String,
+    /// Administratively down (set via PortMod or the yanc fs).
+    pub config_down: bool,
+    /// No link/peer present.
+    pub link_down: bool,
+    /// Current speed in kbps.
+    pub curr_speed: u32,
+    /// Maximum speed in kbps.
+    pub max_speed: u32,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Packets sent.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+    /// Frames dropped on ingress (port down).
+    pub rx_dropped: u64,
+    /// Frames dropped on egress (port down).
+    pub tx_dropped: u64,
+}
+
+impl SimPort {
+    fn desc(&self) -> PortDesc {
+        PortDesc {
+            port_no: self.port_no,
+            hw_addr: self.hw_addr,
+            name: self.name.clone(),
+            config_down: self.config_down,
+            link_down: self.link_down,
+            curr_speed: self.curr_speed,
+            max_speed: self.max_speed,
+        }
+    }
+
+    fn stats(&self) -> PortStats {
+        PortStats {
+            port_no: self.port_no,
+            rx_packets: self.rx_packets,
+            tx_packets: self.tx_packets,
+            rx_bytes: self.rx_bytes,
+            tx_bytes: self.tx_bytes,
+            rx_dropped: self.rx_dropped,
+            tx_dropped: self.tx_dropped,
+        }
+    }
+}
+
+/// A simulated OpenFlow switch.
+pub struct SimSwitch {
+    /// Datapath id.
+    pub dpid: u64,
+    /// Human-readable name (also used as the yanc directory name).
+    pub name: String,
+    supported: Vec<Version>,
+    negotiated: Option<Version>,
+    tables: Vec<FlowTable>,
+    /// Ports by number.
+    pub ports: BTreeMap<u16, SimPort>,
+    buffers: HashMap<u32, (u16, Bytes)>,
+    next_buffer: u32,
+    n_buffers: u32,
+    miss_send_len: u16,
+    codec: FrameCodec,
+    next_xid: u32,
+}
+
+impl SimSwitch {
+    /// Create a switch with `n_ports` ports and `n_tables` flow tables,
+    /// speaking the given protocol versions (highest preferred).
+    pub fn new(dpid: u64, name: &str, n_ports: u16, n_tables: u8, supported: Vec<Version>) -> Self {
+        assert!(n_tables >= 1, "switch needs at least one table");
+        let mut ports = BTreeMap::new();
+        for p in 1..=n_ports {
+            ports.insert(
+                p,
+                SimPort {
+                    port_no: p,
+                    hw_addr: MacAddr::from_seed(dpid << 16 | u64::from(p)),
+                    name: format!("{name}-eth{p}"),
+                    config_down: false,
+                    link_down: true,
+                    curr_speed: 1_000_000,
+                    max_speed: 10_000_000,
+                    rx_packets: 0,
+                    tx_packets: 0,
+                    rx_bytes: 0,
+                    tx_bytes: 0,
+                    rx_dropped: 0,
+                    tx_dropped: 0,
+                },
+            );
+        }
+        SimSwitch {
+            dpid,
+            name: name.to_string(),
+            supported,
+            negotiated: None,
+            tables: (0..n_tables).map(|_| FlowTable::new()).collect(),
+            ports,
+            buffers: HashMap::new(),
+            next_buffer: 1,
+            n_buffers: 256,
+            miss_send_len: 128,
+            codec: FrameCodec::new(),
+            next_xid: 1,
+        }
+    }
+
+    /// The negotiated protocol version, if the handshake completed.
+    pub fn negotiated(&self) -> Option<Version> {
+        self.negotiated
+    }
+
+    /// Highest protocol version this switch supports.
+    pub fn best_version(&self) -> Version {
+        self.supported
+            .iter()
+            .copied()
+            .max()
+            .expect("switch supports at least one version")
+    }
+
+    /// Change the supported version set (simulates a firmware upgrade; the
+    /// driver must re-handshake via [`SimSwitch::connect`]).
+    pub fn set_supported(&mut self, versions: Vec<Version>) {
+        assert!(!versions.is_empty());
+        self.supported = versions;
+        self.negotiated = None;
+    }
+
+    /// Total flow count across tables.
+    pub fn flow_count(&self) -> usize {
+        self.tables.iter().map(FlowTable::len).sum()
+    }
+
+    /// Access a table (tests/diagnostics).
+    pub fn table(&self, id: u8) -> Option<&FlowTable> {
+        self.tables.get(usize::from(id))
+    }
+
+    fn xid(&mut self) -> u32 {
+        self.next_xid += 1;
+        self.next_xid
+    }
+
+    fn ctrl(&mut self, msg: &Message) -> Option<Effect> {
+        let v = self.negotiated?;
+        let xid = self.xid();
+        match encode(v, msg, xid) {
+            Ok(b) => Some(Effect::Control(b)),
+            Err(_) => None, // message inexpressible in this version: drop
+        }
+    }
+
+    /// Begin (or restart) the controller handshake: emits our HELLO.
+    pub fn connect(&mut self) -> Vec<Effect> {
+        self.negotiated = None;
+        self.codec = FrameCodec::new();
+        let v = self.best_version();
+        let xid = self.xid();
+        vec![Effect::Control(
+            encode(v, &Message::Hello, xid).expect("hello encodes"),
+        )]
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    /// A frame arrived on `in_port` at sim-second `now`.
+    pub fn handle_frame(&mut self, in_port: u16, frame: Bytes, now: u64) -> Vec<Effect> {
+        let len = frame.len() as u64;
+        match self.ports.get_mut(&in_port) {
+            Some(p) if p.config_down => {
+                p.rx_dropped += 1;
+                return Vec::new();
+            }
+            Some(p) => {
+                p.rx_packets += 1;
+                p.rx_bytes += len;
+            }
+            None => return Vec::new(),
+        }
+        if PacketSummary::parse(&frame).is_err() {
+            return Vec::new(); // unparseable frames are dropped
+        }
+        self.pipeline(0, in_port, frame, now)
+    }
+
+    fn pipeline(&mut self, start_table: u8, in_port: u16, frame: Bytes, now: u64) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let mut table = usize::from(start_table);
+        let mut current = frame;
+        loop {
+            if table >= self.tables.len() {
+                break;
+            }
+            // Re-parse per table: earlier tables may have rewritten fields.
+            let summary = match PacketSummary::parse(&current) {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            let hit = self.tables[table].lookup(&summary, in_port, current.len(), now);
+            match hit {
+                None => {
+                    // Table miss: packet-in to the controller.
+                    effects.extend(self.packet_in(
+                        in_port,
+                        current,
+                        PacketInReason::NoMatch,
+                        table as u8,
+                    ));
+                    break;
+                }
+                Some(e) => {
+                    let outcome = match apply_actions(&e.actions, &current) {
+                        Ok(o) => o,
+                        Err(_) => break,
+                    };
+                    let mut to_emit: Vec<(u16, Bytes)> = outcome.outputs.clone();
+                    // Queues share the port path in the simulator.
+                    to_emit.extend(outcome.enqueued.iter().map(|(p, _q, f)| (*p, f.clone())));
+                    for (port, f) in to_emit {
+                        effects.extend(self.emit(port, in_port, f, table as u8));
+                    }
+                    match e.goto_table {
+                        Some(next) if usize::from(next) > table => {
+                            table = usize::from(next);
+                            // Field rewrites carry forward between tables.
+                            current = outcome.final_frame;
+                            continue;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        effects
+    }
+
+    /// Resolve an output port (possibly reserved) into transmit/control
+    /// effects.
+    fn emit(&mut self, port: u16, in_port: u16, frame: Bytes, table_id: u8) -> Vec<Effect> {
+        match port {
+            port_no::FLOOD | port_no::ALL => {
+                let targets: Vec<u16> = self
+                    .ports
+                    .values()
+                    .filter(|p| !p.config_down && !p.link_down && p.port_no != in_port)
+                    .map(|p| p.port_no)
+                    .collect();
+                targets
+                    .into_iter()
+                    .flat_map(|p| self.transmit(p, frame.clone()))
+                    .collect()
+            }
+            port_no::IN_PORT => self.transmit(in_port, frame),
+            port_no::CONTROLLER => self.packet_in(in_port, frame, PacketInReason::Action, table_id),
+            port_no::TABLE => {
+                // Packet-out back into the pipeline.
+                if PacketSummary::parse(&frame).is_ok() {
+                    self.pipeline(0, in_port, frame, 0)
+                } else {
+                    Vec::new()
+                }
+            }
+            port_no::NONE | port_no::LOCAL | port_no::NORMAL => Vec::new(),
+            p => self.transmit(p, frame),
+        }
+    }
+
+    fn transmit(&mut self, port: u16, frame: Bytes) -> Vec<Effect> {
+        match self.ports.get_mut(&port) {
+            Some(p) if !p.config_down && !p.link_down => {
+                p.tx_packets += 1;
+                p.tx_bytes += frame.len() as u64;
+                vec![Effect::Transmit { port, frame }]
+            }
+            Some(p) => {
+                p.tx_dropped += 1;
+                Vec::new()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn packet_in(
+        &mut self,
+        in_port: u16,
+        frame: Bytes,
+        reason: PacketInReason,
+        table_id: u8,
+    ) -> Vec<Effect> {
+        if self.negotiated.is_none() {
+            return Vec::new(); // no controller: miss means drop
+        }
+        let total_len = frame.len() as u16;
+        let buffer_id = if (self.buffers.len() as u32) < self.n_buffers {
+            let id = self.next_buffer;
+            self.next_buffer = self.next_buffer.wrapping_add(1).max(1);
+            self.buffers.insert(id, (in_port, frame.clone()));
+            Some(id)
+        } else {
+            None
+        };
+        let data = if buffer_id.is_some() {
+            frame.slice(..frame.len().min(usize::from(self.miss_send_len)))
+        } else {
+            frame
+        };
+        self.ctrl(&Message::PacketIn {
+            buffer_id,
+            total_len,
+            in_port,
+            reason,
+            table_id,
+            data,
+        })
+        .into_iter()
+        .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Control path
+    // ------------------------------------------------------------------
+
+    /// Bytes arrived from the controller; returns effects (replies,
+    /// transmissions triggered by packet-outs, …).
+    pub fn handle_control_bytes(&mut self, data: &[u8], now: u64) -> Vec<Effect> {
+        self.codec.feed(data);
+        let mut effects = Vec::new();
+        loop {
+            let raw = match self.codec.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => break, // desync: drop remaining bytes
+            };
+            // HELLO handles version negotiation before decode dispatch.
+            if raw.msg_type == 0 {
+                let their_best = raw.version;
+                let ours: Option<Version> = self
+                    .supported
+                    .iter()
+                    .copied()
+                    .filter(|v| v.wire() <= their_best)
+                    .max();
+                match ours {
+                    Some(v) => self.negotiated = Some(v),
+                    None => {
+                        // No common version: OFPET_HELLO_FAILED.
+                        let v = self.best_version();
+                        let xid = self.xid();
+                        if let Ok(b) = encode(
+                            v,
+                            &Message::Error {
+                                err_type: 0,
+                                code: 0,
+                                data: Bytes::from_static(b"incompatible version"),
+                            },
+                            xid,
+                        ) {
+                            effects.push(Effect::Control(b));
+                        }
+                    }
+                }
+                continue;
+            }
+            let msg = match decode(&raw) {
+                Ok(m) => m,
+                Err(_) => {
+                    // OFPET_BAD_REQUEST
+                    if let Some(e) = self.ctrl(&Message::Error {
+                        err_type: 1,
+                        code: 0,
+                        data: raw.body.clone(),
+                    }) {
+                        effects.push(e);
+                    }
+                    continue;
+                }
+            };
+            effects.extend(self.handle_message(msg, now));
+        }
+        effects
+    }
+
+    /// Process one decoded controller message.
+    pub fn handle_message(&mut self, msg: Message, now: u64) -> Vec<Effect> {
+        match msg {
+            Message::Hello => Vec::new(), // handled at byte level
+            Message::EchoRequest(data) => {
+                self.ctrl(&Message::EchoReply(data)).into_iter().collect()
+            }
+            Message::EchoReply(_) | Message::Error { .. } => Vec::new(),
+            Message::FeaturesRequest => {
+                let v = match self.negotiated {
+                    Some(v) => v,
+                    None => return Vec::new(),
+                };
+                let ports = if v == Version::V1_0 {
+                    self.ports.values().map(SimPort::desc).collect()
+                } else {
+                    Vec::new()
+                };
+                self.ctrl(&Message::FeaturesReply(SwitchFeatures {
+                    datapath_id: self.dpid,
+                    n_buffers: self.n_buffers,
+                    n_tables: self.tables.len() as u8,
+                    capabilities: 0x7, // flow stats | table stats | port stats
+                    actions: 0xfff,
+                    ports,
+                }))
+                .into_iter()
+                .collect()
+            }
+            Message::GetConfigRequest => self
+                .ctrl(&Message::GetConfigReply {
+                    miss_send_len: self.miss_send_len,
+                })
+                .into_iter()
+                .collect(),
+            Message::SetConfig { miss_send_len } => {
+                self.miss_send_len = miss_send_len;
+                Vec::new()
+            }
+            Message::FlowMod(fm) => self.handle_flow_mod(fm, now),
+            Message::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
+                let frame = match buffer_id {
+                    Some(id) => match self.buffers.remove(&id) {
+                        Some((_, f)) => f,
+                        None => return Vec::new(),
+                    },
+                    None => data,
+                };
+                let outcome = match apply_actions(&actions, &frame) {
+                    Ok(o) => o,
+                    Err(_) => return Vec::new(),
+                };
+                let mut effects = Vec::new();
+                for (port, f) in &outcome.outputs {
+                    effects.extend(self.emit(*port, in_port, f.clone(), 0));
+                }
+                for (port, _q, f) in &outcome.enqueued {
+                    effects.extend(self.emit(*port, in_port, f.clone(), 0));
+                }
+                effects
+            }
+            Message::PortMod {
+                port_no: pn, down, ..
+            } => {
+                let desc = match self.ports.get_mut(&pn) {
+                    Some(p) => {
+                        p.config_down = down;
+                        p.desc()
+                    }
+                    None => return Vec::new(),
+                };
+                self.ctrl(&Message::PortStatus {
+                    reason: PortReason::Modify,
+                    desc,
+                })
+                .into_iter()
+                .collect()
+            }
+            Message::StatsRequest(req) => self.handle_stats(req, now),
+            Message::BarrierRequest => self.ctrl(&Message::BarrierReply).into_iter().collect(),
+            // Controller-bound messages arriving at a switch are ignored.
+            _ => Vec::new(),
+        }
+    }
+
+    fn handle_flow_mod(&mut self, fm: FlowMod, now: u64) -> Vec<Effect> {
+        let tid = usize::from(fm.table_id);
+        if tid >= self.tables.len() {
+            return self
+                .ctrl(&Message::Error {
+                    err_type: 5, // OFPET_FLOW_MOD_FAILED
+                    code: 2,     // BAD_TABLE_ID
+                    data: Bytes::new(),
+                })
+                .into_iter()
+                .collect();
+        }
+        let mut effects = Vec::new();
+        match fm.command {
+            FlowModCommand::Add => {
+                let mut e = entry(fm.m, fm.priority, fm.actions.clone());
+                e.goto_table = fm.goto_table;
+                e.cookie = fm.cookie;
+                e.idle_timeout = fm.idle_timeout;
+                e.hard_timeout = fm.hard_timeout;
+                e.flags = fm.flags;
+                self.tables[tid].add(e, now);
+                // Release a buffered packet through the new flow.
+                if let Some(id) = fm.buffer_id {
+                    if let Some((in_port, frame)) = self.buffers.remove(&id) {
+                        if PacketSummary::parse(&frame).is_ok() {
+                            effects.extend(self.pipeline(fm.table_id, in_port, frame, now));
+                        }
+                    }
+                }
+            }
+            FlowModCommand::Modify => {
+                self.tables[tid].modify(&fm.m, &fm.actions, fm.goto_table);
+            }
+            FlowModCommand::ModifyStrict => {
+                self.tables[tid].modify_strict(&fm.m, fm.priority, &fm.actions, fm.goto_table);
+            }
+            FlowModCommand::Delete => {
+                let removed = self.tables[tid].delete(&fm.m, fm.out_port);
+                effects.extend(self.flow_removed_msgs(removed, now));
+            }
+            FlowModCommand::DeleteStrict => {
+                let removed = self.tables[tid].delete_strict(&fm.m, fm.priority);
+                effects.extend(self.flow_removed_msgs(removed, now));
+            }
+        }
+        effects
+    }
+
+    fn flow_removed_msgs(&mut self, removed: Vec<RemovedFlow>, now: u64) -> Vec<Effect> {
+        let mut out = Vec::new();
+        for r in removed {
+            if r.entry.flags & flow_mod_flags::SEND_FLOW_REM == 0 {
+                continue;
+            }
+            if let Some(e) = self.ctrl(&Message::FlowRemoved {
+                m: r.entry.m,
+                cookie: r.entry.cookie,
+                priority: r.entry.priority,
+                reason: r.reason,
+                duration_sec: (now - r.entry.installed_at) as u32,
+                packet_count: r.entry.packets,
+                byte_count: r.entry.bytes,
+            }) {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    fn handle_stats(&mut self, req: StatsRequest, now: u64) -> Vec<Effect> {
+        let rep = match req {
+            StatsRequest::Desc => StatsReply::Desc {
+                description: format!("yanc simulated switch dpid={:#x}", self.dpid),
+            },
+            StatsRequest::Flow { table_id, m } => {
+                let mut flows = Vec::new();
+                for (tid, t) in self.tables.iter().enumerate() {
+                    if table_id != 0xff && usize::from(table_id) != tid {
+                        continue;
+                    }
+                    for e in t.iter().filter(|e| m.subsumes(&e.m)) {
+                        flows.push(FlowStats {
+                            table_id: tid as u8,
+                            m: e.m,
+                            priority: e.priority,
+                            cookie: e.cookie,
+                            duration_sec: (now - e.installed_at) as u32,
+                            packet_count: e.packets,
+                            byte_count: e.bytes,
+                        });
+                    }
+                }
+                StatsReply::Flow(flows)
+            }
+            StatsRequest::Aggregate { table_id, m } => {
+                let mut pc = 0;
+                let mut bc = 0;
+                let mut fc = 0;
+                for (tid, t) in self.tables.iter().enumerate() {
+                    if table_id != 0xff && usize::from(table_id) != tid {
+                        continue;
+                    }
+                    let (p, b, n) = t.aggregate(&m);
+                    pc += p;
+                    bc += b;
+                    fc += n;
+                }
+                StatsReply::Aggregate {
+                    packet_count: pc,
+                    byte_count: bc,
+                    flow_count: fc,
+                }
+            }
+            StatsRequest::Port { port_no: pn } => {
+                let ports = if pn == port_no::NONE {
+                    self.ports.values().map(SimPort::stats).collect()
+                } else {
+                    self.ports
+                        .get(&pn)
+                        .map(SimPort::stats)
+                        .into_iter()
+                        .collect()
+                };
+                StatsReply::Port(ports)
+            }
+            StatsRequest::PortDesc => {
+                StatsReply::PortDesc(self.ports.values().map(SimPort::desc).collect())
+            }
+        };
+        self.ctrl(&Message::StatsReply(rep)).into_iter().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Housekeeping
+    // ------------------------------------------------------------------
+
+    /// Advance flow timeouts to sim-second `now`.
+    pub fn tick(&mut self, now: u64) -> Vec<Effect> {
+        let mut removed = Vec::new();
+        for t in &mut self.tables {
+            removed.extend(t.expire(now));
+        }
+        self.flow_removed_msgs(removed, now)
+    }
+
+    /// Mark a port's link up/down (called by the network when links are
+    /// added/removed); emits PortStatus.
+    pub fn set_link_state(&mut self, port: u16, link_down: bool) -> Vec<Effect> {
+        let desc = match self.ports.get_mut(&port) {
+            Some(p) => {
+                p.link_down = link_down;
+                p.desc()
+            }
+            None => return Vec::new(),
+        };
+        self.ctrl(&Message::PortStatus {
+            reason: PortReason::Modify,
+            desc,
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_openflow::{Action, FlowMatch};
+    use yanc_packet::build_tcp_syn;
+
+    fn frame() -> Bytes {
+        build_tcp_syn(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1000,
+            22,
+        )
+    }
+
+    fn sw(versions: Vec<Version>) -> SimSwitch {
+        let mut s = SimSwitch::new(0x1, "sw1", 4, 2, versions);
+        for p in s.ports.values_mut() {
+            p.link_down = false;
+        }
+        s
+    }
+
+    /// Complete the controller handshake directly (most tests don't care
+    /// about the byte-level exchange; net.rs covers that).
+    fn handshake(s: &mut SimSwitch, v: Version) {
+        let hello = encode(v, &Message::Hello, 1).unwrap();
+        s.connect();
+        s.handle_control_bytes(&hello, 0);
+        assert_eq!(s.negotiated(), Some(v));
+    }
+
+    fn decode_controls(effects: &[Effect]) -> Vec<Message> {
+        let mut out = Vec::new();
+        for e in effects {
+            if let Effect::Control(b) = e {
+                let mut c = FrameCodec::new();
+                c.feed(b);
+                while let Some(f) = c.next_frame().unwrap() {
+                    out.push(decode(&f).unwrap());
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn version_negotiation_picks_highest_common() {
+        let mut s = sw(vec![Version::V1_0, Version::V1_3]);
+        handshake(&mut s, Version::V1_3);
+        let mut s = sw(vec![Version::V1_0]);
+        handshake(&mut s, Version::V1_0);
+        // Controller offers 1.3; switch only has 1.0 → 1.0 chosen.
+        let mut s = sw(vec![Version::V1_0]);
+        s.connect();
+        s.handle_control_bytes(&encode(Version::V1_3, &Message::Hello, 1).unwrap(), 0);
+        assert_eq!(s.negotiated(), Some(Version::V1_0));
+    }
+
+    #[test]
+    fn features_reply_has_ports_only_in_v10() {
+        for (v, want_ports) in [(Version::V1_0, true), (Version::V1_3, false)] {
+            let mut s = sw(vec![v]);
+            handshake(&mut s, v);
+            let fx = s.handle_message(Message::FeaturesRequest, 0);
+            let msgs = decode_controls(&fx);
+            match &msgs[0] {
+                Message::FeaturesReply(f) => {
+                    assert_eq!(f.datapath_id, 1);
+                    assert_eq!(f.ports.is_empty(), !want_ports);
+                    assert_eq!(f.n_tables, 2);
+                }
+                m => panic!("unexpected {m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn miss_generates_packet_in_with_buffer() {
+        let mut s = sw(vec![Version::V1_0]);
+        handshake(&mut s, Version::V1_0);
+        let fx = s.handle_frame(1, frame(), 0);
+        let msgs = decode_controls(&fx);
+        match &msgs[0] {
+            Message::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                ..
+            } => {
+                assert!(buffer_id.is_some());
+                assert_eq!(*in_port, 1);
+                assert_eq!(*reason, PacketInReason::NoMatch);
+            }
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_without_controller_drops() {
+        let mut s = sw(vec![Version::V1_0]);
+        assert!(s.handle_frame(1, frame(), 0).is_empty());
+    }
+
+    #[test]
+    fn flow_mod_add_then_forward() {
+        let mut s = sw(vec![Version::V1_3]);
+        handshake(&mut s, Version::V1_3);
+        let fm = FlowMod::add(
+            FlowMatch {
+                in_port: Some(1),
+                ..Default::default()
+            },
+            10,
+            vec![Action::out(2)],
+        );
+        s.handle_message(Message::FlowMod(fm), 0);
+        assert_eq!(s.flow_count(), 1);
+        let fx = s.handle_frame(1, frame(), 1);
+        assert!(matches!(&fx[0], Effect::Transmit { port: 2, .. }));
+        // Counters moved.
+        assert_eq!(s.ports[&1].rx_packets, 1);
+        assert_eq!(s.ports[&2].tx_packets, 1);
+    }
+
+    #[test]
+    fn buffered_packet_released_by_flow_mod() {
+        let mut s = sw(vec![Version::V1_0]);
+        handshake(&mut s, Version::V1_0);
+        let fx = s.handle_frame(1, frame(), 0);
+        let buffer_id = match &decode_controls(&fx)[0] {
+            Message::PacketIn { buffer_id, .. } => buffer_id.unwrap(),
+            _ => panic!(),
+        };
+        let mut fm = FlowMod::add(FlowMatch::any(), 1, vec![Action::out(3)]);
+        fm.buffer_id = Some(buffer_id);
+        let fx = s.handle_message(Message::FlowMod(fm), 0);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Transmit { port: 3, .. })));
+    }
+
+    #[test]
+    fn flood_excludes_ingress_and_down_ports() {
+        let mut s = sw(vec![Version::V1_0]);
+        handshake(&mut s, Version::V1_0);
+        s.ports.get_mut(&3).unwrap().config_down = true;
+        s.handle_message(
+            Message::FlowMod(FlowMod::add(
+                FlowMatch::any(),
+                1,
+                vec![Action::out(port_no::FLOOD)],
+            )),
+            0,
+        );
+        let fx = s.handle_frame(1, frame(), 0);
+        let ports: Vec<u16> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Transmit { port, .. } => Some(*port),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ports, vec![2, 4]); // not 1 (ingress), not 3 (down)
+    }
+
+    #[test]
+    fn goto_table_continues_pipeline() {
+        let mut s = sw(vec![Version::V1_3]);
+        handshake(&mut s, Version::V1_3);
+        let mut fm0 = FlowMod::add(FlowMatch::any(), 1, vec![]);
+        fm0.goto_table = Some(1);
+        s.handle_message(Message::FlowMod(fm0), 0);
+        let mut fm1 = FlowMod::add(FlowMatch::any(), 1, vec![Action::out(2)]);
+        fm1.table_id = 1;
+        s.handle_message(Message::FlowMod(fm1), 0);
+        let fx = s.handle_frame(1, frame(), 0);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Transmit { port: 2, .. })));
+    }
+
+    #[test]
+    fn packet_out_floods() {
+        let mut s = sw(vec![Version::V1_0]);
+        handshake(&mut s, Version::V1_0);
+        let fx = s.handle_message(
+            Message::PacketOut {
+                buffer_id: None,
+                in_port: port_no::NONE,
+                actions: vec![Action::out(port_no::FLOOD)],
+                data: frame(),
+            },
+            0,
+        );
+        assert_eq!(fx.len(), 4);
+    }
+
+    #[test]
+    fn port_mod_brings_port_down_and_reports() {
+        let mut s = sw(vec![Version::V1_0]);
+        handshake(&mut s, Version::V1_0);
+        let fx = s.handle_message(
+            Message::PortMod {
+                port_no: 2,
+                hw_addr: s.ports[&2].hw_addr,
+                down: true,
+            },
+            0,
+        );
+        let msgs = decode_controls(&fx);
+        assert!(
+            matches!(&msgs[0], Message::PortStatus { reason: PortReason::Modify, desc } if desc.config_down)
+        );
+        // Frames no longer leave port 2.
+        s.handle_message(
+            Message::FlowMod(FlowMod::add(FlowMatch::any(), 1, vec![Action::out(2)])),
+            0,
+        );
+        let fx = s.handle_frame(1, frame(), 0);
+        assert!(fx.is_empty());
+        assert_eq!(s.ports[&2].tx_dropped, 1);
+    }
+
+    #[test]
+    fn flow_removed_sent_when_flagged() {
+        let mut s = sw(vec![Version::V1_3]);
+        handshake(&mut s, Version::V1_3);
+        let mut fm = FlowMod::add(
+            FlowMatch {
+                dl_type: Some(0x0800),
+                ..Default::default()
+            },
+            5,
+            vec![],
+        );
+        fm.flags = flow_mod_flags::SEND_FLOW_REM;
+        fm.hard_timeout = 10;
+        s.handle_message(Message::FlowMod(fm), 0);
+        assert!(s.tick(5).is_empty());
+        let fx = s.tick(10);
+        let msgs = decode_controls(&fx);
+        assert!(matches!(&msgs[0], Message::FlowRemoved { .. }));
+        assert_eq!(s.flow_count(), 0);
+    }
+
+    #[test]
+    fn stats_flow_and_aggregate() {
+        let mut s = sw(vec![Version::V1_0]);
+        handshake(&mut s, Version::V1_0);
+        s.handle_message(
+            Message::FlowMod(FlowMod::add(FlowMatch::any(), 1, vec![Action::out(2)])),
+            0,
+        );
+        s.handle_frame(1, frame(), 1);
+        let fx = s.handle_message(
+            Message::StatsRequest(StatsRequest::Flow {
+                table_id: 0xff,
+                m: FlowMatch::any(),
+            }),
+            2,
+        );
+        match &decode_controls(&fx)[0] {
+            Message::StatsReply(StatsReply::Flow(flows)) => {
+                assert_eq!(flows.len(), 1);
+                assert_eq!(flows[0].packet_count, 1);
+            }
+            m => panic!("unexpected {m:?}"),
+        }
+        let fx = s.handle_message(
+            Message::StatsRequest(StatsRequest::Aggregate {
+                table_id: 0xff,
+                m: FlowMatch::any(),
+            }),
+            2,
+        );
+        match &decode_controls(&fx)[0] {
+            Message::StatsReply(StatsReply::Aggregate { flow_count, .. }) => {
+                assert_eq!(*flow_count, 1)
+            }
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_and_barrier() {
+        let mut s = sw(vec![Version::V1_3]);
+        handshake(&mut s, Version::V1_3);
+        let fx = s.handle_message(Message::EchoRequest(Bytes::from_static(b"hi")), 0);
+        assert!(matches!(&decode_controls(&fx)[0], Message::EchoReply(d) if &d[..] == b"hi"));
+        let fx = s.handle_message(Message::BarrierRequest, 0);
+        assert!(matches!(&decode_controls(&fx)[0], Message::BarrierReply));
+    }
+
+    #[test]
+    fn bad_table_id_errors() {
+        let mut s = sw(vec![Version::V1_3]);
+        handshake(&mut s, Version::V1_3);
+        let mut fm = FlowMod::add(FlowMatch::any(), 1, vec![]);
+        fm.table_id = 9;
+        let fx = s.handle_message(Message::FlowMod(fm), 0);
+        assert!(matches!(
+            &decode_controls(&fx)[0],
+            Message::Error { err_type: 5, .. }
+        ));
+    }
+}

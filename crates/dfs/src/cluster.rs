@@ -1,0 +1,471 @@
+//! The distributed controller (paper §6): "you can layer any number of
+//! distributed file systems on top of the yanc file system and arrive at a
+//! distributed SDN controller. Each distributed file system has a different
+//! implementation (centralized, peer-to-peer with a DHT, etc.) with varying
+//! trade-offs."
+//!
+//! [`Cluster`] replicates the `/net` subtree across [`Node`]s through one
+//! of three interchangeable backends:
+//!
+//! * [`Backend::Central`] — NFS-like: every write funnels through a
+//!   primary, which re-distributes it (2 network hops for non-primary
+//!   writers; the primary is a hotspot),
+//! * [`Backend::Dht`] — peer-to-peer: each path hashes to an owner that
+//!   orders and re-distributes writes (load spreads; still 2 hops),
+//! * [`Backend::Policy`] — WheelFS-like: the consistency class is read
+//!   from the `user.consistency` xattr on the nearest ancestor —
+//!   `eventual` broadcasts directly (1 hop, LWW), anything else behaves
+//!   like `Central` (the paper plans exactly this use of xattrs, §5.1).
+//!
+//! Propagation runs on a virtual clock so visibility latency is measurable
+//! and deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use yanc_vfs::{Credentials, Filesystem, Mode, VPath};
+
+use crate::node::Node;
+use crate::op::SyncOp;
+
+/// Replication strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// All writes ordered by one primary node.
+    Central {
+        /// The primary's node id.
+        primary: usize,
+    },
+    /// Writes ordered by a per-path owner (consistent hashing).
+    Dht,
+    /// Per-subtree policy from the `user.consistency` xattr.
+    Policy,
+}
+
+/// Aggregate cluster statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClusterStats {
+    /// Total op deliveries (network messages).
+    pub messages: u64,
+    /// Ops routed through an ordering node (primary/owner).
+    pub forwarded: u64,
+}
+
+struct InFlight {
+    at_us: u64,
+    seq: u64,
+    dst: usize,
+    op: SyncOp,
+    /// Whether the destination should re-distribute after applying
+    /// (primary/owner hop).
+    redistribute: bool,
+    src: usize,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_us, self.seq) == (other.at_us, other.seq)
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// A set of controller nodes replicating one `/net` subtree.
+pub struct Cluster {
+    /// The nodes. `nodes[i].fs` is node *i*'s local view of the network.
+    pub nodes: Vec<Node>,
+    backend: Backend,
+    /// One-way inter-node latency in microseconds.
+    pub latency_us: u64,
+    root: VPath,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    now_us: u64,
+    seq: u64,
+    /// Statistics.
+    pub stats: ClusterStats,
+    /// Nodes currently partitioned/crashed (deliveries dropped).
+    down: Vec<bool>,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` fresh nodes replicating `root`.
+    pub fn new(n: usize, backend: Backend, latency_us: u64, root: &str) -> Self {
+        let nodes = (0..n)
+            .map(|id| {
+                let fs = Arc::new(Filesystem::new());
+                fs.mkdir_all(root, Mode::DIR_DEFAULT, &Credentials::root())
+                    .unwrap();
+                Node::new(id, fs, root)
+            })
+            .collect();
+        Cluster {
+            nodes,
+            backend,
+            latency_us,
+            root: VPath::new(root),
+            queue: BinaryHeap::new(),
+            now_us: 0,
+            seq: 0,
+            stats: ClusterStats::default(),
+            down: vec![false; n],
+        }
+    }
+
+    /// Build from existing per-node filesystems (so runtimes can be
+    /// attached to them beforehand).
+    pub fn from_filesystems(
+        fss: Vec<Arc<Filesystem>>,
+        backend: Backend,
+        latency_us: u64,
+        root: &str,
+    ) -> Self {
+        let n = fss.len();
+        let nodes = fss
+            .into_iter()
+            .enumerate()
+            .map(|(id, fs)| {
+                fs.mkdir_all(root, Mode::DIR_DEFAULT, &Credentials::root())
+                    .unwrap();
+                Node::new(id, fs, root)
+            })
+            .collect();
+        Cluster {
+            nodes,
+            backend,
+            latency_us,
+            root: VPath::new(root),
+            queue: BinaryHeap::new(),
+            now_us: 0,
+            seq: 0,
+            stats: ClusterStats::default(),
+            down: vec![false; n],
+        }
+    }
+
+    /// Virtual time.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Mark a node down (crash / partition): deliveries to and from it are
+    /// dropped until [`Cluster::set_up`].
+    pub fn set_down(&mut self, node: usize) {
+        self.down[node] = true;
+    }
+
+    /// Bring a node back. (It does not resynchronize history — a real DFS
+    /// would; tests cover the divergence.)
+    pub fn set_up(&mut self, node: usize) {
+        self.down[node] = false;
+    }
+
+    fn owner_of(&self, path: &VPath) -> usize {
+        // FNV over the path string.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.as_str().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.nodes.len() as u64) as usize
+    }
+
+    /// Consistency class for a path on the originating node (Policy mode):
+    /// nearest-ancestor `user.consistency` xattr, default `primary`.
+    fn consistency_of(&self, node: usize, path: &VPath) -> String {
+        let fs = &self.nodes[node].fs;
+        let mut cur = path.clone();
+        loop {
+            if let Ok(v) = fs.get_xattr(cur.as_str(), "user.consistency", &Credentials::root()) {
+                return String::from_utf8_lossy(&v).into_owned();
+            }
+            if cur.is_root() || cur == self.root {
+                return "primary".to_string();
+            }
+            cur = cur.parent();
+        }
+    }
+
+    fn enqueue(&mut self, delay: u64, dst: usize, op: SyncOp, redistribute: bool, src: usize) {
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight {
+            at_us: self.now_us + delay,
+            seq: self.seq,
+            dst,
+            op,
+            redistribute,
+            src,
+        }));
+    }
+
+    /// Route a freshly-collected local op from `src`.
+    fn route(&mut self, src: usize, op: SyncOp) {
+        let n = self.nodes.len();
+        match self.backend {
+            Backend::Central { primary } => {
+                if src == primary {
+                    for dst in (0..n).filter(|d| *d != src) {
+                        self.enqueue(self.latency_us, dst, op.clone(), false, src);
+                    }
+                } else {
+                    self.stats.forwarded += 1;
+                    self.enqueue(self.latency_us, primary, op, true, src);
+                }
+            }
+            Backend::Dht => {
+                let owner = self.owner_of(&op.path);
+                if src == owner {
+                    for dst in (0..n).filter(|d| *d != src) {
+                        self.enqueue(self.latency_us, dst, op.clone(), false, src);
+                    }
+                } else {
+                    self.stats.forwarded += 1;
+                    self.enqueue(self.latency_us, owner, op, true, src);
+                }
+            }
+            Backend::Policy => {
+                let class = self.consistency_of(src, &op.path);
+                if class == "eventual" {
+                    for dst in (0..n).filter(|d| *d != src) {
+                        self.enqueue(self.latency_us, dst, op.clone(), false, src);
+                    }
+                } else {
+                    // primary-class: node 0 orders.
+                    if src == 0 {
+                        for dst in 1..n {
+                            self.enqueue(self.latency_us, dst, op.clone(), false, src);
+                        }
+                    } else {
+                        self.stats.forwarded += 1;
+                        self.enqueue(self.latency_us, 0, op, true, src);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect local ops from every node and deliver everything in flight.
+    /// Advances virtual time through the deliveries. Returns the number of
+    /// messages delivered.
+    pub fn pump(&mut self) -> u64 {
+        let mut delivered = 0;
+        loop {
+            // Gather fresh local mutations.
+            let mut produced = false;
+            for id in 0..self.nodes.len() {
+                if self.down[id] {
+                    // Drop a down node's outbound ops on the floor (they
+                    // stay applied locally — divergence until repair).
+                    let _ = self.nodes[id].collect_ops();
+                    continue;
+                }
+                for op in self.nodes[id].collect_ops() {
+                    produced = true;
+                    self.route(id, op);
+                }
+            }
+            match self.queue.pop() {
+                None if !produced => break,
+                None => continue,
+                Some(Reverse(f)) => {
+                    self.now_us = self.now_us.max(f.at_us);
+                    if self.down[f.dst] || self.down[f.src] {
+                        continue; // partition drops the message
+                    }
+                    delivered += 1;
+                    self.stats.messages += 1;
+                    self.nodes[f.dst].apply(&f.op);
+                    if f.redistribute {
+                        let n = self.nodes.len();
+                        let via = f.dst;
+                        for dst in (0..n).filter(|d| *d != via && *d != f.src) {
+                            self.enqueue(self.latency_us, dst, f.op.clone(), false, via);
+                        }
+                    }
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Write a file on one node and return the virtual time until every
+    /// live node can read it — the visibility-latency probe used by the
+    /// benchmarks.
+    pub fn timed_write(&mut self, node: usize, path: &str, data: &[u8]) -> u64 {
+        let start = self.now_us;
+        self.nodes[node]
+            .fs
+            .write_file(path, data, &Credentials::root())
+            .expect("write on origin");
+        self.pump();
+        self.now_us - start
+    }
+
+    /// Whether all live nodes agree on the contents of `path`.
+    pub fn converged(&self, path: &str) -> bool {
+        let mut val: Option<Option<Vec<u8>>> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if self.down[i] {
+                continue;
+            }
+            let cur = n.fs.read_file(path, &Credentials::root()).ok();
+            match &val {
+                None => val = Some(cur),
+                Some(v) if *v == cur => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(c: &Cluster, node: usize, path: &str) -> Option<String> {
+        c.nodes[node]
+            .fs
+            .read_to_string(path, &Credentials::root())
+            .ok()
+    }
+
+    #[test]
+    fn central_replicates_everywhere() {
+        let mut c = Cluster::new(3, Backend::Central { primary: 0 }, 100, "/net");
+        c.nodes[1]
+            .fs
+            .write_file("/net/flag", b"on", &Credentials::root())
+            .unwrap();
+        c.pump();
+        for i in 0..3 {
+            assert_eq!(read(&c, i, "/net/flag").as_deref(), Some("on"), "node {i}");
+        }
+        assert!(c.converged("/net/flag"));
+        // Non-primary write took 2 hops of latency.
+        assert_eq!(c.now_us(), 200);
+        assert_eq!(c.stats.forwarded, 1);
+    }
+
+    #[test]
+    fn primary_write_is_one_hop() {
+        let mut c = Cluster::new(3, Backend::Central { primary: 0 }, 100, "/net");
+        let t = c.timed_write(0, "/net/flag", b"x");
+        assert_eq!(t, 100);
+        let t = c.timed_write(2, "/net/flag2", b"y");
+        assert_eq!(t, 200);
+    }
+
+    #[test]
+    fn dht_spreads_ownership() {
+        let mut c = Cluster::new(4, Backend::Dht, 50, "/net");
+        // Writes to many paths: owners differ, so *some* writes are 1-hop
+        // from some nodes — and all converge.
+        for i in 0..8 {
+            let p = format!("/net/k{i}");
+            c.nodes[i % 4]
+                .fs
+                .write_file(&p, b"v", &Credentials::root())
+                .unwrap();
+        }
+        c.pump();
+        for i in 0..8 {
+            let p = format!("/net/k{i}");
+            assert!(c.converged(&p), "{p}");
+            assert_eq!(read(&c, 0, &p).as_deref(), Some("v"));
+        }
+    }
+
+    #[test]
+    fn policy_eventual_is_one_hop_primary_is_two() {
+        let mut c = Cluster::new(3, Backend::Policy, 100, "/net");
+        // Mark /net/counters as eventual on every node (policy is local).
+        for n in &c.nodes {
+            n.fs.mkdir_all("/net/counters", Mode::DIR_DEFAULT, &Credentials::root())
+                .unwrap();
+            n.fs.set_xattr(
+                "/net/counters",
+                "user.consistency",
+                b"eventual",
+                &Credentials::root(),
+            )
+            .unwrap();
+        }
+        c.pump(); // absorb the mkdir replication
+        let t_eventual = c.timed_write(2, "/net/counters/c1", b"9");
+        let t_primary = c.timed_write(2, "/net/flows_file", b"f");
+        assert_eq!(t_eventual, 100);
+        assert_eq!(t_primary, 200);
+        assert!(c.converged("/net/counters/c1"));
+        assert!(c.converged("/net/flows_file"));
+    }
+
+    #[test]
+    fn concurrent_writes_converge_lww() {
+        let mut c = Cluster::new(3, Backend::Dht, 10, "/net");
+        // Two nodes write the same path before any propagation.
+        c.nodes[1]
+            .fs
+            .write_file("/net/x", b"from1", &Credentials::root())
+            .unwrap();
+        c.nodes[2]
+            .fs
+            .write_file("/net/x", b"from2", &Credentials::root())
+            .unwrap();
+        c.pump();
+        assert!(c.converged("/net/x"), "all replicas agree after LWW");
+    }
+
+    #[test]
+    fn partition_diverges_then_heals_forward() {
+        let mut c = Cluster::new(3, Backend::Central { primary: 0 }, 10, "/net");
+        c.set_down(2);
+        c.timed_write(0, "/net/a", b"1");
+        assert_eq!(read(&c, 2, "/net/a"), None, "partitioned node missed it");
+        c.set_up(2);
+        // New writes reach the healed node (no history replay — documented).
+        c.timed_write(0, "/net/b", b"2");
+        assert_eq!(read(&c, 2, "/net/b").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn directory_trees_replicate() {
+        let mut c = Cluster::new(2, Backend::Central { primary: 0 }, 10, "/net");
+        let creds = Credentials::root();
+        c.nodes[1]
+            .fs
+            .mkdir_all("/net/switches/sw1/flows/f1", Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+        c.nodes[1]
+            .fs
+            .write_file("/net/switches/sw1/flows/f1/version", b"1", &creds)
+            .unwrap();
+        c.pump();
+        assert_eq!(
+            c.nodes[0]
+                .fs
+                .read_to_string("/net/switches/sw1/flows/f1/version", &creds)
+                .unwrap(),
+            "1"
+        );
+        // Delete replicates too.
+        c.nodes[0]
+            .fs
+            .unlink("/net/switches/sw1/flows/f1/version", &creds)
+            .unwrap();
+        c.pump();
+        assert!(c.nodes[1]
+            .fs
+            .lstat("/net/switches/sw1/flows/f1/version", &creds)
+            .is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! # yanc-dfs — the distributed controller layer
+//!
+//! Paper §6: a distributed SDN controller is "any number of distributed
+//! file systems layered on top of the yanc file system". This crate
+//! replicates the `/net` subtree across controller [`Node`]s with three
+//! interchangeable [`Backend`]s (central/NFS-like, DHT, and WheelFS-like
+//! xattr-selected policy), last-writer-wins convergence, virtual-clock
+//! propagation for measurable visibility latency, and fault injection
+//! (node partitions).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod node;
+pub mod op;
+
+pub use cluster::{Backend, Cluster, ClusterStats};
+pub use node::Node;
+pub use op::{content_hash, OpKind, Stamp, SyncOp};

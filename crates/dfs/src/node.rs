@@ -1,0 +1,287 @@
+//! A controller node: a local file system replica plus the replicator that
+//! turns its notify stream into [`SyncOp`]s and applies remote ops.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+
+use yanc_vfs::{Credentials, Event, EventKind, EventMask, Filesystem, Mode, VPath, WatchId};
+
+use crate::op::{content_hash, OpKind, Stamp, SyncOp};
+
+/// One controller node.
+pub struct Node {
+    /// Node id (index in the cluster).
+    pub id: usize,
+    /// The node-local file system replica. Applications and drivers on
+    /// this node use it directly — they never see the replication layer.
+    pub fs: Arc<Filesystem>,
+    creds: Credentials,
+    _watch: WatchId,
+    events: Receiver<Event>,
+    /// Echo suppression: hashes of remotely-applied state per path.
+    applied: HashMap<VPath, u64>,
+    /// LWW guard: newest stamp applied per path.
+    newest: HashMap<VPath, Stamp>,
+    /// Lamport counter for locally-originated ops.
+    counter: u64,
+    /// Ops this node has produced (metrics).
+    pub ops_out: u64,
+    /// Ops this node has applied from peers (metrics).
+    pub ops_in: u64,
+    /// Remote ops dropped by LWW (conflicts resolved away).
+    pub lww_drops: u64,
+}
+
+impl Node {
+    /// Create a node replicating the subtree under `root` (usually `/net`).
+    pub fn new(id: usize, fs: Arc<Filesystem>, root: &str) -> Self {
+        let (watch, events) = fs.watch_subtree(root, EventMask::ALL);
+        Node {
+            id,
+            fs,
+            creds: Credentials::root(),
+            _watch: watch,
+            events,
+            applied: HashMap::new(),
+            newest: HashMap::new(),
+            counter: 0,
+            ops_out: 0,
+            ops_in: 0,
+            lww_drops: 0,
+        }
+    }
+
+    /// Snapshot the current state of `path` as an op kind, or `Remove` if
+    /// it no longer exists.
+    fn snapshot(&self, path: &VPath) -> OpKind {
+        match self.fs.lstat(path.as_str(), &self.creds) {
+            Err(_) => OpKind::Remove,
+            Ok(st) if st.is_dir() => OpKind::MkDir,
+            Ok(st) if st.is_symlink() => match self.fs.readlink(path.as_str(), &self.creds) {
+                Ok(t) => OpKind::PutSymlink(t),
+                Err(_) => OpKind::Remove,
+            },
+            Ok(_) => match self.fs.read_file(path.as_str(), &self.creds) {
+                Ok(d) => OpKind::PutFile(d),
+                Err(_) => OpKind::Remove,
+            },
+        }
+    }
+
+    /// Drain local notify events into outbound ops (coalescing repeated
+    /// touches of the same path, newest state wins).
+    pub fn collect_ops(&mut self) -> Vec<SyncOp> {
+        let mut dirty: Vec<VPath> = Vec::new();
+        let mut seen: HashSet<VPath> = HashSet::new();
+        for ev in self.events.try_iter() {
+            // Attribute-only changes are not replicated (consistency
+            // metadata is node-local policy).
+            if ev.kind == EventKind::Attrib {
+                continue;
+            }
+            if seen.insert(ev.path.clone()) {
+                dirty.push(ev.path.clone());
+            }
+        }
+        let mut out = Vec::new();
+        for path in dirty {
+            let kind = self.snapshot(&path);
+            let h = content_hash(&kind);
+            // Echo of a remotely-applied op?
+            if self.applied.get(&path) == Some(&h) {
+                continue;
+            }
+            self.counter += 1;
+            let stamp = Stamp {
+                counter: self.counter,
+                node: self.id,
+            };
+            self.newest.insert(path.clone(), stamp);
+            self.ops_out += 1;
+            out.push(SyncOp { path, kind, stamp });
+        }
+        out
+    }
+
+    /// Apply a remote op (LWW: stale stamps are dropped).
+    pub fn apply(&mut self, op: &SyncOp) {
+        if let Some(have) = self.newest.get(&op.path) {
+            if *have >= op.stamp {
+                self.lww_drops += 1;
+                return;
+            }
+        }
+        self.newest.insert(op.path.clone(), op.stamp);
+        // Keep our Lamport clock ahead of everything we've seen.
+        self.counter = self.counter.max(op.stamp.counter);
+        self.applied.insert(op.path.clone(), content_hash(&op.kind));
+        self.ops_in += 1;
+        let p = op.path.as_str();
+        match &op.kind {
+            OpKind::MkDir => {
+                let _ = self.fs.mkdir_all(p, Mode::DIR_DEFAULT, &self.creds);
+            }
+            OpKind::PutFile(data) => {
+                let _ =
+                    self.fs
+                        .mkdir_all(op.path.parent().as_str(), Mode::DIR_DEFAULT, &self.creds);
+                let _ = self.fs.write_file(p, data, &self.creds);
+            }
+            OpKind::PutSymlink(target) => {
+                let _ =
+                    self.fs
+                        .mkdir_all(op.path.parent().as_str(), Mode::DIR_DEFAULT, &self.creds);
+                if self.fs.lstat(p, &self.creds).is_ok() {
+                    let _ = self.fs.unlink(p, &self.creds);
+                }
+                let _ = self.fs.symlink(target, p, &self.creds);
+            }
+            OpKind::Remove => match self.fs.lstat(p, &self.creds) {
+                Ok(st) if st.is_dir() => {
+                    remove_tree(&self.fs, &op.path, &self.creds);
+                }
+                Ok(_) => {
+                    let _ = self.fs.unlink(p, &self.creds);
+                }
+                Err(_) => {}
+            },
+        }
+        // Echo events raised by this apply are suppressed later by the
+        // `applied` content-hash check in collect_ops — deliberately NOT
+        // drained here, so a concurrent local write's event (which would be
+        // interleaved in the same queue) is never discarded.
+    }
+}
+
+/// Best-effort recursive removal (used when replicating a subtree delete
+/// onto a replica that kept POSIX rmdir semantics for that path).
+fn remove_tree(fs: &Arc<Filesystem>, dir: &VPath, creds: &Credentials) {
+    if let Ok(entries) = fs.readdir(dir.as_str(), creds) {
+        for e in entries {
+            let p = dir.join(&e.name);
+            match fs.lstat(p.as_str(), creds) {
+                Ok(st) if st.is_dir() => remove_tree(fs, &p, creds),
+                Ok(_) => {
+                    let _ = fs.unlink(p.as_str(), creds);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    let _ = fs.rmdir(dir.as_str(), creds);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: usize) -> Node {
+        let fs = Arc::new(Filesystem::new());
+        fs.mkdir_all("/net", Mode::DIR_DEFAULT, &Credentials::root())
+            .unwrap();
+        Node::new(id, fs, "/net")
+    }
+
+    #[test]
+    fn local_writes_become_ops() {
+        let mut n = node(0);
+        n.fs.mkdir_all("/net/switches/sw1", Mode::DIR_DEFAULT, &Credentials::root())
+            .unwrap();
+        n.fs.write_file("/net/switches/sw1/id", b"0x1", &Credentials::root())
+            .unwrap();
+        let ops = n.collect_ops();
+        assert!(ops
+            .iter()
+            .any(|o| o.path.as_str() == "/net/switches/sw1" && o.kind == OpKind::MkDir));
+        assert!(ops.iter().any(|o| o.path.as_str() == "/net/switches/sw1/id"
+            && o.kind == OpKind::PutFile(b"0x1".to_vec())));
+        assert_eq!(n.ops_out, ops.len() as u64);
+    }
+
+    #[test]
+    fn apply_then_no_echo() {
+        let mut a = node(0);
+        let mut b = node(1);
+        a.fs.write_file("/net/flag", b"on", &Credentials::root())
+            .unwrap();
+        let ops = a.collect_ops();
+        for op in &ops {
+            b.apply(op);
+        }
+        assert_eq!(
+            b.fs.read_to_string("/net/flag", &Credentials::root())
+                .unwrap(),
+            "on"
+        );
+        // b's replicator does not re-emit what it just applied.
+        assert!(b.collect_ops().is_empty());
+    }
+
+    #[test]
+    fn lww_resolves_conflicts() {
+        let mut a = node(0);
+        let op_old = SyncOp {
+            path: VPath::new("/net/x"),
+            kind: OpKind::PutFile(b"old".to_vec()),
+            stamp: Stamp {
+                counter: 5,
+                node: 1,
+            },
+        };
+        let op_new = SyncOp {
+            path: VPath::new("/net/x"),
+            kind: OpKind::PutFile(b"new".to_vec()),
+            stamp: Stamp {
+                counter: 9,
+                node: 2,
+            },
+        };
+        a.apply(&op_new);
+        a.apply(&op_old); // stale: dropped
+        assert_eq!(
+            a.fs.read_to_string("/net/x", &Credentials::root()).unwrap(),
+            "new"
+        );
+        assert_eq!(a.lww_drops, 1);
+        // Local counter advanced past the remote stamp.
+        assert!(a.counter >= 9);
+    }
+
+    #[test]
+    fn symlink_and_remove_ops() {
+        let mut a = node(0);
+        let mut b = node(1);
+        a.fs.mkdir_all("/net/d", Mode::DIR_DEFAULT, &Credentials::root())
+            .unwrap();
+        a.fs.symlink("/net/d", "/net/link", &Credentials::root())
+            .unwrap();
+        for op in a.collect_ops() {
+            b.apply(&op);
+        }
+        assert_eq!(
+            b.fs.readlink("/net/link", &Credentials::root()).unwrap(),
+            "/net/d"
+        );
+        // Now remove on a; replicate; b follows.
+        a.fs.unlink("/net/link", &Credentials::root()).unwrap();
+        for op in a.collect_ops() {
+            b.apply(&op);
+        }
+        assert!(b.fs.lstat("/net/link", &Credentials::root()).is_err());
+    }
+
+    #[test]
+    fn coalescing_keeps_final_state() {
+        let mut a = node(0);
+        let creds = Credentials::root();
+        a.fs.write_file("/net/f", b"1", &creds).unwrap();
+        a.fs.write_file("/net/f", b"2", &creds).unwrap();
+        a.fs.write_file("/net/f", b"3", &creds).unwrap();
+        let ops = a.collect_ops();
+        let puts: Vec<&SyncOp> = ops.iter().filter(|o| o.path.as_str() == "/net/f").collect();
+        assert_eq!(puts.len(), 1);
+        assert_eq!(puts[0].kind, OpKind::PutFile(b"3".to_vec()));
+    }
+}

@@ -1,0 +1,111 @@
+//! Synchronization operations exchanged between controller nodes.
+//!
+//! The replicator turns local file-system activity into [`SyncOp`]s; the
+//! cluster routes them (per backend policy) and replicas apply them.
+//! Ordering is last-writer-wins on a Lamport timestamp `(counter, node)`,
+//! which every backend shares — they differ only in *routing* (who sees a
+//! write when), which is exactly the trade-off space §6 of the paper
+//! gestures at.
+
+use yanc_vfs::VPath;
+
+/// Lamport timestamp: `(counter, node id)` — totally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stamp {
+    /// Logical counter.
+    pub counter: u64,
+    /// Tie-breaking node id.
+    pub node: usize,
+}
+
+/// What changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Create/replace a regular file with these contents.
+    PutFile(Vec<u8>),
+    /// Ensure a directory exists.
+    MkDir,
+    /// Create/replace a symlink with this target.
+    PutSymlink(String),
+    /// Remove whatever is at the path (recursively for directories).
+    Remove,
+}
+
+/// One replicated mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncOp {
+    /// Path the op applies to.
+    pub path: VPath,
+    /// The mutation.
+    pub kind: OpKind,
+    /// Origin timestamp for LWW ordering.
+    pub stamp: Stamp,
+}
+
+/// FNV-1a content hash used for echo suppression (applying a remote op
+/// re-raises local notify events; the hash lets the replicator recognize
+/// and drop them).
+pub fn content_hash(kind: &OpKind) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    match kind {
+        OpKind::PutFile(data) => {
+            eat(b"F");
+            eat(data);
+        }
+        OpKind::MkDir => eat(b"D"),
+        OpKind::PutSymlink(t) => {
+            eat(b"L");
+            eat(t.as_bytes());
+        }
+        OpKind::Remove => eat(b"R"),
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_totally_ordered() {
+        let a = Stamp {
+            counter: 1,
+            node: 2,
+        };
+        let b = Stamp {
+            counter: 2,
+            node: 0,
+        };
+        let c = Stamp {
+            counter: 1,
+            node: 3,
+        };
+        assert!(a < b);
+        assert!(a < c); // counter ties broken by node
+        let mut v = vec![b, c, a];
+        v.sort();
+        assert_eq!(v, vec![a, c, b]);
+    }
+
+    #[test]
+    fn hashes_distinguish_kinds_and_content() {
+        let f1 = OpKind::PutFile(b"x".to_vec());
+        let f2 = OpKind::PutFile(b"y".to_vec());
+        assert_ne!(content_hash(&f1), content_hash(&f2));
+        assert_eq!(
+            content_hash(&f1),
+            content_hash(&OpKind::PutFile(b"x".to_vec()))
+        );
+        assert_ne!(content_hash(&OpKind::MkDir), content_hash(&OpKind::Remove));
+        assert_ne!(
+            content_hash(&OpKind::PutSymlink("a".into())),
+            content_hash(&OpKind::PutSymlink("b".into()))
+        );
+    }
+}

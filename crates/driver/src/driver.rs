@@ -1,0 +1,688 @@
+//! The OpenFlow device driver (paper §4.1).
+//!
+//! "Analogous to device drivers in operating systems, device drivers in
+//! yanc are a thin component which speaks the programming protocol
+//! supported by a collection of switches." A driver instance is bound to
+//! *one* protocol version — OpenFlow 1.0 or 1.3 — and translates between
+//! the switch's control channel and the `/net` file tree:
+//!
+//! * **fs → switch**: a committed flow (its `version` file bumped) becomes
+//!   a FlowMod; a deleted flow directory becomes a strict delete; writing
+//!   `config.port_down` becomes a PortMod; appending to the switch's
+//!   `packet_out` file becomes a PacketOut.
+//! * **switch → fs**: the features handshake materializes the switch and
+//!   port directories; packet-ins fan out into every app's `events/`
+//!   buffer; PortStatus updates port files; FlowRemoved removes the flow
+//!   directory; periodic stats land in `counters/` files.
+//!
+//! Capability gaps surface as files too: a flow needing `goto_table` under
+//! a 1.0 driver gets an `error` file in its directory instead of silently
+//! failing — applications watch for it like everything else.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use libyanc::{FlowChannel, FlowOp};
+use yanc::{FlowSpec, PacketInRecord, SchemaPos, YancFs};
+use yanc_dataplane::ControlHandle;
+use yanc_openflow::{
+    decode, encode, FlowMod, FlowModCommand, Message, PacketInReason, PortDesc, StatsReply,
+    StatsRequest, SwitchFeatures, Version,
+};
+use yanc_openflow::{flow_mod_flags, port_no, FrameCodec};
+use yanc_vfs::{Event, EventKind, EventMask, WatchId};
+
+/// Driver lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverState {
+    /// Waiting for the switch's HELLO.
+    AwaitHello,
+    /// HELLO exchanged; waiting for the features reply.
+    AwaitFeatures,
+    /// Waiting for the 1.3 PortDesc multipart reply.
+    AwaitPorts,
+    /// Fully operational.
+    Ready,
+    /// Version negotiation failed — attach a different driver.
+    Failed,
+}
+
+/// One driver instance: one switch, one protocol version.
+pub struct OpenFlowDriver {
+    /// The protocol version this driver speaks.
+    pub version: Version,
+    yfs: YancFs,
+    handle: ControlHandle,
+    codec: FrameCodec,
+    state: DriverState,
+    /// Switch directory name (assigned after the features reply).
+    pub switch_name: Option<String>,
+    features: Option<SwitchFeatures>,
+    fs_watch: Option<(WatchId, Receiver<Event>)>,
+    installed: HashMap<String, (u64, FlowSpec)>,
+    /// Flow names the driver itself is deleting (suppresses echo).
+    self_deletes: HashSet<String>,
+    /// Cached port-down state to suppress PortMod echo loops.
+    port_down: HashMap<u16, bool>,
+    packet_out_offset: usize,
+    next_xid: u32,
+    /// Optional libyanc fastpath (paper §8.1): flow ops arriving here skip
+    /// the file system entirely.
+    fastpath: Option<FlowChannel>,
+}
+
+impl OpenFlowDriver {
+    /// Create a driver for `version` over an attached control channel and
+    /// start the handshake.
+    pub fn new(version: Version, yfs: YancFs, handle: ControlHandle) -> Self {
+        let mut d = OpenFlowDriver {
+            version,
+            yfs,
+            handle,
+            codec: FrameCodec::new(),
+            state: DriverState::AwaitHello,
+            switch_name: None,
+            features: None,
+            fs_watch: None,
+            installed: HashMap::new(),
+            self_deletes: HashSet::new(),
+            port_down: HashMap::new(),
+            packet_out_offset: 0,
+            next_xid: 100,
+            fastpath: None,
+        };
+        d.send(&Message::Hello);
+        d
+    }
+
+    /// Attach a libyanc [`FlowChannel`]; ops pushed there are drained on
+    /// every [`OpenFlowDriver::run_once`] and translated straight to
+    /// FlowMods — zero simulated syscalls.
+    pub fn attach_fastpath(&mut self, ch: FlowChannel) {
+        self.fastpath = Some(ch);
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> DriverState {
+        self.state
+    }
+
+    /// Whether the driver finished its handshake.
+    pub fn ready(&self) -> bool {
+        self.state == DriverState::Ready
+    }
+
+    fn xid(&mut self) -> u32 {
+        self.next_xid += 1;
+        self.next_xid
+    }
+
+    fn send(&mut self, msg: &Message) -> bool {
+        let xid = self.xid();
+        match encode(self.version, msg, xid) {
+            Ok(b) => self.handle.tx.send(b).is_ok(),
+            Err(_) => false,
+        }
+    }
+
+    /// Process pending work (switch messages + fs events), non-blocking.
+    /// Returns whether anything was done.
+    pub fn run_once(&mut self) -> bool {
+        let mut worked = false;
+        // Switch → driver bytes.
+        while let Ok(bytes) = self.handle.rx.try_recv() {
+            worked = true;
+            self.codec.feed(&bytes);
+            while let Ok(Some(raw)) = self.codec.next_frame() {
+                // HELLO carries the switch's best version; anything else is
+                // decoded at face value (frames are version-tagged).
+                if raw.msg_type == 0 {
+                    self.on_hello(raw.version);
+                    continue;
+                }
+                if let Ok(msg) = decode(&raw) {
+                    self.on_message(msg);
+                }
+            }
+        }
+        // Fastpath ops (shared-memory ring, no fs involvement).
+        if self.ready() {
+            let ops = match &self.fastpath {
+                Some(ch) => ch.drain(),
+                None => Vec::new(),
+            };
+            for op in ops {
+                worked = true;
+                match op {
+                    FlowOp::Install { name, spec, .. } => {
+                        let mut fm = FlowMod::add(spec.m, spec.priority, spec.actions.clone());
+                        fm.idle_timeout = spec.idle_timeout;
+                        fm.hard_timeout = spec.hard_timeout;
+                        fm.cookie = spec.cookie;
+                        fm.goto_table = spec.goto_table;
+                        if let Some((_, old)) = self.installed.get(&name) {
+                            if old.m != spec.m || old.priority != spec.priority {
+                                let mut del = FlowMod::add(old.m, old.priority, vec![]);
+                                del.command = FlowModCommand::DeleteStrict;
+                                self.send(&Message::FlowMod(del));
+                            }
+                        }
+                        self.send(&Message::FlowMod(fm));
+                        // Recorded at version 0 so a later fs-side commit of
+                        // the same name (version >= 1) supersedes it.
+                        self.installed.insert(name, (0, spec));
+                    }
+                    FlowOp::Delete { name, .. } => {
+                        if let Some((_, old)) = self.installed.remove(&name) {
+                            let mut del = FlowMod::add(old.m, old.priority, vec![]);
+                            del.command = FlowModCommand::DeleteStrict;
+                            self.send(&Message::FlowMod(del));
+                        }
+                    }
+                }
+            }
+        }
+        // fs → driver events.
+        let events: Vec<Event> = match &self.fs_watch {
+            Some((_, rx)) => rx.try_iter().collect(),
+            None => Vec::new(),
+        };
+        for ev in events {
+            worked = true;
+            self.on_fs_event(ev);
+        }
+        worked
+    }
+
+    // ------------------------------------------------------------------
+    // Switch-side handlers
+    // ------------------------------------------------------------------
+
+    fn on_hello(&mut self, switch_version: u8) {
+        if self.state != DriverState::AwaitHello {
+            return;
+        }
+        if switch_version < self.version.wire() {
+            // The switch cannot speak our version: this driver is the wrong
+            // one (the admin runs one driver per protocol version).
+            self.state = DriverState::Failed;
+            return;
+        }
+        self.state = DriverState::AwaitFeatures;
+        // Ask for whole packets on misses (the default 128-byte truncation
+        // would cut DHCP payloads short), then learn the switch's shape.
+        self.send(&Message::SetConfig {
+            miss_send_len: 0xffff,
+        });
+        self.send(&Message::FeaturesRequest);
+    }
+
+    fn on_message(&mut self, msg: Message) {
+        match msg {
+            Message::FeaturesReply(f) => self.on_features(f),
+            Message::StatsReply(StatsReply::PortDesc(ports)) => self.on_port_desc(ports),
+            Message::StatsReply(rep) => self.on_stats(rep),
+            Message::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                data,
+                ..
+            } => {
+                if let Some(sw) = self.switch_name.clone() {
+                    let _ = self.yfs.publish_packet_in(&PacketInRecord {
+                        switch: sw,
+                        in_port,
+                        buffer_id,
+                        reason: match reason {
+                            PacketInReason::NoMatch => "no_match".into(),
+                            PacketInReason::Action => "action".into(),
+                        },
+                        data,
+                    });
+                }
+            }
+            Message::PortStatus { desc, .. } => self.on_port_status(desc),
+            Message::FlowRemoved { m, priority, .. } => {
+                // Find the fs flow matching the removed entry and drop it.
+                let name = self
+                    .installed
+                    .iter()
+                    .find(|(_, (_, s))| s.m == m && s.priority == priority)
+                    .map(|(n, _)| n.clone());
+                if let (Some(name), Some(sw)) = (name, self.switch_name.clone()) {
+                    self.self_deletes.insert(name.clone());
+                    let _ = self.yfs.delete_flow(&sw, &name);
+                    self.installed.remove(&name);
+                }
+            }
+            Message::EchoRequest(data) => {
+                self.send(&Message::EchoReply(data));
+            }
+            Message::Error { err_type, code, .. } => {
+                if let Some(sw) = self.switch_name.clone() {
+                    let p = self.yfs.switch_dir(&sw).join("last_error");
+                    let _ = self.yfs.filesystem().write_file(
+                        p.as_str(),
+                        format!("type={err_type} code={code}").as_bytes(),
+                        self.yfs.creds(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_features(&mut self, f: SwitchFeatures) {
+        if self.state != DriverState::AwaitFeatures {
+            return;
+        }
+        let name = format!("sw{:x}", f.datapath_id);
+        let _ = self.yfs.create_switch(
+            &name,
+            f.datapath_id,
+            f.capabilities,
+            f.actions,
+            f.n_buffers,
+            f.n_tables,
+        );
+        // Record which protocol manages this switch.
+        let proto = self.yfs.switch_dir(&name).join("protocol");
+        let _ = self.yfs.filesystem().write_file(
+            proto.as_str(),
+            self.version.to_string().as_bytes(),
+            self.yfs.creds(),
+        );
+        self.switch_name = Some(name.clone());
+        let ports = f.ports.clone();
+        self.features = Some(f);
+        if self.version == Version::V1_0 {
+            self.materialize_ports(&ports);
+            self.finish_setup();
+        } else {
+            self.state = DriverState::AwaitPorts;
+            self.send(&Message::StatsRequest(StatsRequest::PortDesc));
+        }
+    }
+
+    fn on_port_desc(&mut self, ports: Vec<PortDesc>) {
+        if self.state != DriverState::AwaitPorts {
+            return;
+        }
+        self.materialize_ports(&ports);
+        self.finish_setup();
+    }
+
+    fn materialize_ports(&mut self, ports: &[PortDesc]) {
+        let sw = match &self.switch_name {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        for p in ports {
+            let _ = self.yfs.create_port(
+                &sw,
+                p.port_no,
+                &p.hw_addr.to_string(),
+                p.curr_speed,
+                p.max_speed,
+            );
+            let _ = self.yfs.set_port_status(&sw, p.port_no, !p.link_down);
+            if p.config_down {
+                let _ = self.yfs.set_port_down(&sw, p.port_no, true);
+            }
+            self.port_down.insert(p.port_no, p.config_down);
+        }
+    }
+
+    fn finish_setup(&mut self) {
+        let sw = self.switch_name.clone().expect("features seen");
+        let dir = self.yfs.switch_dir(&sw);
+        // Ensure the packet_out interface file exists before watching.
+        let _ = self.yfs.filesystem().write_file(
+            dir.join("packet_out").as_str(),
+            b"",
+            self.yfs.creds(),
+        );
+        self.packet_out_offset = 0;
+        let (id, rx) = self
+            .yfs
+            .filesystem()
+            .watch_subtree(dir.as_str(), EventMask::ALL);
+        self.fs_watch = Some((id, rx));
+        self.state = DriverState::Ready;
+        // Install any flows that already exist in the tree (e.g. written
+        // before the driver attached, or by a remote controller node).
+        if let Ok(flows) = self.yfs.list_flows(&sw) {
+            for name in flows {
+                self.sync_flow(&sw, &name);
+            }
+        }
+    }
+
+    fn on_port_status(&mut self, desc: PortDesc) {
+        let sw = match &self.switch_name {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        // Create the port if it's new (hotplug), then reflect state.
+        let dir = self.yfs.port_dir(&sw, desc.port_no);
+        if !self.yfs.filesystem().exists(dir.as_str(), self.yfs.creds()) {
+            let _ = self.yfs.create_port(
+                &sw,
+                desc.port_no,
+                &desc.hw_addr.to_string(),
+                desc.curr_speed,
+                desc.max_speed,
+            );
+        }
+        let _ = self.yfs.set_port_status(&sw, desc.port_no, !desc.link_down);
+        let cached = self.port_down.get(&desc.port_no).copied();
+        if cached != Some(desc.config_down) {
+            self.port_down.insert(desc.port_no, desc.config_down);
+            let _ = self.yfs.set_port_down(&sw, desc.port_no, desc.config_down);
+        }
+    }
+
+    fn on_stats(&mut self, rep: StatsReply) {
+        let sw = match &self.switch_name {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        match rep {
+            StatsReply::Port(ports) => {
+                for p in ports {
+                    let dir = self.yfs.port_dir(&sw, p.port_no);
+                    let _ = self.yfs.write_counter(&dir, "rx_packets", p.rx_packets);
+                    let _ = self.yfs.write_counter(&dir, "tx_packets", p.tx_packets);
+                    let _ = self.yfs.write_counter(&dir, "rx_bytes", p.rx_bytes);
+                    let _ = self.yfs.write_counter(&dir, "tx_bytes", p.tx_bytes);
+                    let _ = self.yfs.write_counter(&dir, "rx_dropped", p.rx_dropped);
+                    let _ = self.yfs.write_counter(&dir, "tx_dropped", p.tx_dropped);
+                }
+            }
+            StatsReply::Flow(flows) => {
+                let mut total_pkts = 0u64;
+                let mut total_bytes = 0u64;
+                for fstat in &flows {
+                    total_pkts += fstat.packet_count;
+                    total_bytes += fstat.byte_count;
+                    let name = self
+                        .installed
+                        .iter()
+                        .find(|(_, (_, s))| s.m == fstat.m && s.priority == fstat.priority)
+                        .map(|(n, _)| n.clone());
+                    if let Some(name) = name {
+                        let dir = self.yfs.flow_dir(&sw, &name);
+                        let _ = self.yfs.write_counter(&dir, "packets", fstat.packet_count);
+                        let _ = self.yfs.write_counter(&dir, "bytes", fstat.byte_count);
+                        let _ =
+                            self.yfs
+                                .write_counter(&dir, "duration_sec", fstat.duration_sec.into());
+                    }
+                }
+                let dir = self.yfs.switch_dir(&sw);
+                let _ = self.yfs.write_counter(&dir, "flow_packets", total_pkts);
+                let _ = self.yfs.write_counter(&dir, "flow_bytes", total_bytes);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // fs-side handlers
+    // ------------------------------------------------------------------
+
+    fn on_fs_event(&mut self, ev: Event) {
+        let sw = match &self.switch_name {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        let pos = yanc::classify(self.yfs.root(), &ev.path);
+        match (ev.kind, pos) {
+            // Flow commit: the version file changed.
+            (EventKind::CloseWrite, SchemaPos::FlowFile { flow, file, .. })
+                if file == "version" =>
+            {
+                self.sync_flow(&sw, &flow);
+            }
+            // Flow directory deleted.
+            (EventKind::Delete, SchemaPos::FlowDir { flow, .. }) => {
+                if self.self_deletes.remove(&flow) {
+                    return; // our own FlowRemoved-driven cleanup
+                }
+                if let Some((_, spec)) = self.installed.remove(&flow) {
+                    let mut fm = FlowMod::add(spec.m, spec.priority, vec![]);
+                    fm.command = FlowModCommand::DeleteStrict;
+                    self.send(&Message::FlowMod(fm));
+                }
+            }
+            // Port admin state.
+            (EventKind::CloseWrite, _) if ev.path.file_name() == Some("config.port_down") => {
+                // …/ports/p<no>/config.port_down
+                let port_dir = ev.path.parent();
+                if let Some(pn) = port_dir
+                    .file_name()
+                    .and_then(|n| n.strip_prefix('p'))
+                    .and_then(|n| n.parse::<u16>().ok())
+                {
+                    if let Ok(down) = self.yfs.port_down(&sw, pn) {
+                        if self.port_down.get(&pn) != Some(&down) {
+                            self.port_down.insert(pn, down);
+                            let hw = self
+                                .features
+                                .as_ref()
+                                .and_then(|f| f.ports.iter().find(|p| p.port_no == pn))
+                                .map(|p| p.hw_addr)
+                                .unwrap_or(yanc_packet::MacAddr::ZERO);
+                            self.send(&Message::PortMod {
+                                port_no: pn,
+                                hw_addr: hw,
+                                down,
+                            });
+                        }
+                    }
+                }
+            }
+            // Packet-out request file.
+            (EventKind::CloseWrite, _) if ev.path.file_name() == Some("packet_out") => {
+                self.drain_packet_out(&sw);
+            }
+            _ => {}
+        }
+    }
+
+    /// Read a flow from the fs and install it if its version is newer than
+    /// what the switch has.
+    fn sync_flow(&mut self, sw: &str, flow: &str) {
+        let spec = match self.yfs.read_flow(sw, flow) {
+            Ok(s) => s,
+            Err(e) => {
+                // A *committed* flow that doesn't parse is a user error:
+                // report it in the flow directory, like capability gaps.
+                if self
+                    .yfs
+                    .flow_version(sw, flow)
+                    .map(|v| v > 0)
+                    .unwrap_or(false)
+                {
+                    let p = self.yfs.flow_dir(sw, flow).join("error");
+                    let _ = self.yfs.filesystem().write_file(
+                        p.as_str(),
+                        e.to_string().as_bytes(),
+                        self.yfs.creds(),
+                    );
+                }
+                return;
+            }
+        };
+        if spec.version == 0 {
+            return; // created but never committed
+        }
+        if let Some((v, old)) = self.installed.get(flow) {
+            if *v >= spec.version {
+                return;
+            }
+            // The fs flow was rewritten with a different match/priority:
+            // the switch entry it used to denote must go, or it lingers.
+            if old.m != spec.m || old.priority != spec.priority {
+                let mut del = FlowMod::add(old.m, old.priority, vec![]);
+                del.command = FlowModCommand::DeleteStrict;
+                self.send(&Message::FlowMod(del));
+            }
+        }
+        let mut fm = FlowMod::add(spec.m, spec.priority, spec.actions.clone());
+        fm.idle_timeout = spec.idle_timeout;
+        fm.hard_timeout = spec.hard_timeout;
+        fm.cookie = spec.cookie;
+        fm.goto_table = spec.goto_table;
+        fm.flags = flow_mod_flags::SEND_FLOW_REM;
+        let xid = self.xid();
+        let flow_dir = self.yfs.flow_dir(sw, flow);
+        match encode(self.version, &Message::FlowMod(fm), xid) {
+            Ok(bytes) => {
+                let _ = self.handle.tx.send(bytes);
+                self.installed
+                    .insert(flow.to_string(), (spec.version, spec));
+                // Clear any stale capability error.
+                let _ = self
+                    .yfs
+                    .filesystem()
+                    .unlink(flow_dir.join("error").as_str(), self.yfs.creds());
+            }
+            Err(e) => {
+                // Capability mismatch (e.g. goto_table on a 1.0 driver):
+                // reported through the file system, like everything else.
+                let _ = self.yfs.filesystem().write_file(
+                    flow_dir.join("error").as_str(),
+                    e.to_string().as_bytes(),
+                    self.yfs.creds(),
+                );
+            }
+        }
+    }
+
+    /// Parse appended `packet_out` lines:
+    /// `buffer=<id|none> in_port=<n> out=<tok[,tok…]> [data=<hex>]`.
+    fn drain_packet_out(&mut self, sw: &str) {
+        let path = self.yfs.switch_dir(sw).join("packet_out");
+        let content = match self
+            .yfs
+            .filesystem()
+            .read_to_string(path.as_str(), self.yfs.creds())
+        {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        let fresh = &content[self.packet_out_offset.min(content.len())..];
+        self.packet_out_offset = content.len();
+        let lines: Vec<String> = fresh.lines().map(str::to_string).collect();
+        for line in lines {
+            if let Some(msg) = parse_packet_out_line(&line) {
+                self.send(&msg);
+            }
+        }
+        // Compact: the file is an append-only command stream; once consumed
+        // it would otherwise grow (and hold memory) forever.
+        if self.packet_out_offset > 64 * 1024 {
+            let _ = self
+                .yfs
+                .filesystem()
+                .truncate(path.as_str(), 0, self.yfs.creds());
+            self.packet_out_offset = 0;
+        }
+    }
+
+    /// Ask the switch for current port + flow statistics; replies land in
+    /// `counters/` files. Call periodically.
+    pub fn poll_stats(&mut self) {
+        if !self.ready() {
+            return;
+        }
+        self.send(&Message::StatsRequest(StatsRequest::Port {
+            port_no: port_no::NONE,
+        }));
+        self.send(&Message::StatsRequest(StatsRequest::Flow {
+            table_id: 0xff,
+            m: yanc_openflow::FlowMatch::any(),
+        }));
+    }
+}
+
+/// Parse one `packet_out` command line (see [`OpenFlowDriver`] docs).
+pub fn parse_packet_out_line(line: &str) -> Option<Message> {
+    let mut buffer_id = None;
+    let mut in_port = port_no::NONE;
+    let mut actions = Vec::new();
+    let mut data = Bytes::new();
+    for tok in line.split_whitespace() {
+        let (k, v) = tok.split_once('=')?;
+        match k {
+            "buffer" => {
+                if v != "none" {
+                    buffer_id = Some(v.parse().ok()?);
+                }
+            }
+            "in_port" => in_port = v.parse().ok()?,
+            "out" => {
+                for t in v.split(',') {
+                    actions.push(yanc_openflow::Action::out(
+                        yanc::parse_port_token("out", t).ok()?,
+                    ));
+                }
+            }
+            "data" => data = Bytes::from(yanc::hex_decode(v)?),
+            _ => return None,
+        }
+    }
+    if buffer_id.is_none() && data.is_empty() {
+        return None;
+    }
+    Some(Message::PacketOut {
+        buffer_id,
+        in_port,
+        actions,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_out_line_parsing() {
+        let m = parse_packet_out_line("buffer=42 in_port=3 out=flood").unwrap();
+        match m {
+            Message::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                ..
+            } => {
+                assert_eq!(buffer_id, Some(42));
+                assert_eq!(in_port, 3);
+                assert_eq!(actions, vec![yanc_openflow::Action::out(port_no::FLOOD)]);
+            }
+            _ => panic!(),
+        }
+        let m = parse_packet_out_line("buffer=none in_port=1 out=2,3 data=0102ff").unwrap();
+        match m {
+            Message::PacketOut {
+                buffer_id,
+                actions,
+                data,
+                ..
+            } => {
+                assert_eq!(buffer_id, None);
+                assert_eq!(actions.len(), 2);
+                assert_eq!(&data[..], &[1, 2, 0xff]);
+            }
+            _ => panic!(),
+        }
+        assert!(parse_packet_out_line("").is_none());
+        assert!(parse_packet_out_line("buffer=none in_port=1 out=flood").is_none()); // no data
+        assert!(parse_packet_out_line("junk").is_none());
+    }
+}

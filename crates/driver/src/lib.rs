@@ -1,0 +1,15 @@
+//! # yanc-driver — OpenFlow drivers for the yanc file system
+//!
+//! Per-protocol-version drivers (paper §4.1) translating between `/net`
+//! file operations and OpenFlow control channels, plus a [`Runtime`] that
+//! pumps a simulated network and its drivers to quiescence for
+//! deterministic experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod runtime;
+
+pub use driver::{parse_packet_out_line, DriverState, OpenFlowDriver};
+pub use runtime::Runtime;

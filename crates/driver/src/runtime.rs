@@ -1,0 +1,433 @@
+//! A single-process runtime wiring the simulated network, the yanc file
+//! system and one driver per switch, with deterministic pumping.
+//!
+//! Examples, tests and benchmarks all use this: build a topology, attach
+//! drivers, then alternate `pump()` (deliver frames, run drivers) until
+//! quiescent. Applications remain plain file-system programs — they never
+//! see the runtime.
+
+use std::sync::Arc;
+
+use yanc::YancFs;
+use yanc_dataplane::Network;
+use yanc_openflow::Version;
+use yanc_vfs::Filesystem;
+
+use crate::driver::OpenFlowDriver;
+
+/// Network + file system + drivers, pumped together.
+pub struct Runtime {
+    /// The simulated network.
+    pub net: Network,
+    /// Per-switch drivers.
+    pub drivers: Vec<OpenFlowDriver>,
+    /// The yanc file tree.
+    pub yfs: YancFs,
+}
+
+impl Runtime {
+    /// A fresh runtime with an empty network and an initialized `/net`.
+    pub fn new() -> Self {
+        let fs = Arc::new(Filesystem::new());
+        let yfs = YancFs::init(fs, "/net").expect("init /net");
+        Runtime {
+            net: Network::new(),
+            drivers: Vec::new(),
+            yfs,
+        }
+    }
+
+    /// A runtime sharing an existing filesystem (for namespace / DFS
+    /// experiments where several runtimes see one tree).
+    pub fn with_fs(fs: Arc<Filesystem>) -> Self {
+        let yfs = YancFs::init(fs, "/net").expect("init /net");
+        Runtime {
+            net: Network::new(),
+            drivers: Vec::new(),
+            yfs,
+        }
+    }
+
+    /// Add a switch to the network and attach a driver speaking
+    /// `driver_version`. Returns the yanc switch name (`sw<dpid:hex>`).
+    pub fn add_switch_with_driver(
+        &mut self,
+        dpid: u64,
+        n_ports: u16,
+        n_tables: u8,
+        switch_versions: Vec<Version>,
+        driver_version: Version,
+    ) -> String {
+        let name = format!("sw{dpid:x}");
+        self.net
+            .add_switch(dpid, &name, n_ports, n_tables, switch_versions);
+        let handle = self.net.attach_controller(dpid);
+        self.drivers.push(OpenFlowDriver::new(
+            driver_version,
+            self.yfs.clone(),
+            handle,
+        ));
+        name
+    }
+
+    /// Re-attach a switch to a fresh driver (protocol upgrade, §4.1): the
+    /// old driver is dropped, the switch re-handshakes.
+    pub fn swap_driver(&mut self, dpid: u64, driver_version: Version) {
+        self.drivers
+            .retain(|d| d.switch_name.as_deref() != Some(format!("sw{dpid:x}").as_str()));
+        self.net.detach_controller(dpid);
+        let handle = self.net.attach_controller(dpid);
+        self.drivers.push(OpenFlowDriver::new(
+            driver_version,
+            self.yfs.clone(),
+            handle,
+        ));
+    }
+
+    /// Pump network and drivers until nothing moves. Returns iterations.
+    pub fn pump(&mut self) -> u32 {
+        let mut iterations = 0;
+        loop {
+            let net_events = self.net.pump();
+            let mut driver_work = false;
+            for d in &mut self.drivers {
+                driver_work |= d.run_once();
+            }
+            iterations += 1;
+            if net_events == 0 && !driver_work {
+                break;
+            }
+            assert!(iterations < 10_000, "runtime failed to quiesce");
+        }
+        iterations
+    }
+
+    /// Advance virtual time (expiring flow timeouts) and pump.
+    pub fn advance(&mut self, seconds: u64) {
+        self.net.advance(seconds);
+        self.pump();
+    }
+
+    /// Ask every driver to refresh stats counters, then pump.
+    pub fn poll_stats(&mut self) {
+        for d in &mut self.drivers {
+            d.poll_stats();
+        }
+        self.pump();
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use yanc::{FlowSpec, PacketInRecord};
+    use yanc_openflow::{port_no, Action, FlowMatch};
+
+    fn ip(s: &str) -> std::net::Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn two_host_rt(version: Version) -> (Runtime, String, u64, u64) {
+        let mut rt = Runtime::new();
+        let name = rt.add_switch_with_driver(0xa, 4, 2, vec![version], version);
+        let h1 = rt.net.add_host("h1", ip("10.0.0.1"));
+        let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
+        rt.net.attach_host(h1, (0xa, 1), None);
+        rt.net.attach_host(h2, (0xa, 2), None);
+        rt.pump();
+        (rt, name, h1, h2)
+    }
+
+    #[test]
+    fn handshake_materializes_switch_in_fs() {
+        for v in [Version::V1_0, Version::V1_3] {
+            let (rt, name, _, _) = two_host_rt(v);
+            assert_eq!(name, "swa");
+            assert!(rt.drivers[0].ready());
+            assert_eq!(rt.yfs.list_switches().unwrap(), vec!["swa"]);
+            assert_eq!(rt.yfs.switch_dpid("swa").unwrap(), 0xa);
+            // Ports materialized in both protocol flavours.
+            assert_eq!(rt.yfs.list_ports("swa").unwrap(), vec![1, 2, 3, 4]);
+            // Protocol recorded.
+            let proto = rt
+                .yfs
+                .filesystem()
+                .read_to_string("/net/switches/swa/protocol", rt.yfs.creds())
+                .unwrap();
+            assert_eq!(proto, v.to_string());
+        }
+    }
+
+    #[test]
+    fn flow_written_to_fs_reaches_switch_and_forwards() {
+        let (mut rt, name, h1, _h2) = two_host_rt(Version::V1_0);
+        let spec = FlowSpec {
+            m: FlowMatch::any(),
+            actions: vec![Action::out(port_no::FLOOD)],
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "flood", &spec).unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1);
+        rt.pump();
+        assert_eq!(rt.net.hosts[&h1].ping_replies, vec![(ip("10.0.0.2"), 1)]);
+    }
+
+    #[test]
+    fn uncommitted_flow_not_installed_until_version_bump() {
+        let (mut rt, name, _h1, _h2) = two_host_rt(Version::V1_3);
+        // Write field files WITHOUT committing (mkdir creates version=0).
+        let fs = rt.yfs.filesystem().clone();
+        let creds = rt.yfs.creds().clone();
+        fs.mkdir(
+            "/net/switches/swa/flows/partial",
+            yanc_vfs::Mode::DIR_DEFAULT,
+            &creds,
+        )
+        .unwrap();
+        fs.write_file(
+            "/net/switches/swa/flows/partial/match.dl_type",
+            b"0x0800",
+            &creds,
+        )
+        .unwrap();
+        fs.write_file(
+            "/net/switches/swa/flows/partial/action.out",
+            b"flood",
+            &creds,
+        )
+        .unwrap();
+        rt.pump();
+        assert_eq!(
+            rt.net.switches[&0xa].flow_count(),
+            0,
+            "no commit, no install"
+        );
+        // Commit: bump version.
+        fs.write_file("/net/switches/swa/flows/partial/version", b"1", &creds)
+            .unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
+        let _ = name;
+    }
+
+    #[test]
+    fn flow_delete_removes_from_switch() {
+        let (mut rt, name, _h1, _h2) = two_host_rt(Version::V1_0);
+        let spec = FlowSpec {
+            m: FlowMatch {
+                tp_dst: Some(22),
+                ..Default::default()
+            },
+            actions: vec![Action::out(2)],
+            priority: 77,
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "ssh", &spec).unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
+        rt.yfs.delete_flow(&name, "ssh").unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xa].flow_count(), 0);
+    }
+
+    #[test]
+    fn packet_in_lands_in_event_buffers() {
+        let (mut rt, _name, h1, _h2) = two_host_rt(Version::V1_3);
+        let sub = rt.yfs.subscribe_events("router").unwrap();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1); // table miss
+        rt.pump();
+        let pkts: Vec<PacketInRecord> = sub.drain_all();
+        assert!(!pkts.is_empty());
+        assert_eq!(pkts[0].switch, "swa");
+        assert_eq!(pkts[0].in_port, 1);
+        assert_eq!(pkts[0].reason, "no_match");
+    }
+
+    #[test]
+    fn port_down_file_write_reaches_switch() {
+        let (mut rt, name, _h1, _h2) = two_host_rt(Version::V1_0);
+        rt.yfs.set_port_down(&name, 2, true).unwrap();
+        rt.pump();
+        assert!(rt.net.switches[&0xa].ports[&2].config_down);
+        rt.yfs.set_port_down(&name, 2, false).unwrap();
+        rt.pump();
+        assert!(!rt.net.switches[&0xa].ports[&2].config_down);
+    }
+
+    #[test]
+    fn goto_table_flow_errors_on_v10_driver_but_works_on_v13() {
+        // The capability difference the paper's driver section promises.
+        let (mut rt, name, _h1, _h2) = two_host_rt(Version::V1_0);
+        let spec = FlowSpec {
+            m: FlowMatch::any(),
+            goto_table: Some(1),
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "multi", &spec).unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xa].flow_count(), 0);
+        let err = rt
+            .yfs
+            .filesystem()
+            .read_to_string("/net/switches/swa/flows/multi/error", rt.yfs.creds())
+            .unwrap();
+        assert!(err.contains("goto_table"), "error file explains: {err}");
+
+        let (mut rt13, name13, _h1, _h2) = two_host_rt(Version::V1_3);
+        rt13.yfs.write_flow(&name13, "multi", &spec).unwrap();
+        rt13.pump();
+        assert_eq!(rt13.net.switches[&0xa].flow_count(), 1);
+        assert!(!rt13
+            .yfs
+            .filesystem()
+            .exists("/net/switches/swa/flows/multi/error", rt13.yfs.creds()));
+    }
+
+    #[test]
+    fn flow_timeout_removes_fs_directory() {
+        let (mut rt, name, _h1, _h2) = two_host_rt(Version::V1_3);
+        let spec = FlowSpec {
+            m: FlowMatch::any(),
+            actions: vec![Action::out(2)],
+            hard_timeout: 5,
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "temp", &spec).unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
+        assert!(rt
+            .yfs
+            .list_flows(&name)
+            .unwrap()
+            .contains(&"temp".to_string()));
+        rt.advance(10);
+        assert_eq!(rt.net.switches[&0xa].flow_count(), 0);
+        assert!(
+            rt.yfs.list_flows(&name).unwrap().is_empty(),
+            "FlowRemoved cleaned the fs"
+        );
+    }
+
+    #[test]
+    fn stats_polling_fills_counters() {
+        let (mut rt, name, h1, _h2) = two_host_rt(Version::V1_0);
+        let spec = FlowSpec {
+            m: FlowMatch::any(),
+            actions: vec![Action::out(port_no::FLOOD)],
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "flood", &spec).unwrap();
+        rt.pump();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1);
+        rt.pump();
+        rt.poll_stats();
+        let port_dir = rt.yfs.port_dir(&name, 1);
+        assert!(rt.yfs.read_counter(&port_dir, "rx_packets") > 0);
+        let flow_dir = rt.yfs.flow_dir(&name, "flood");
+        assert!(rt.yfs.read_counter(&flow_dir, "packets") > 0);
+    }
+
+    #[test]
+    fn packet_out_file_interface() {
+        let (mut rt, name, _h1, h2) = two_host_rt(Version::V1_0);
+        // Craft a frame and packet-out it via the file interface.
+        let frame = yanc_packet::build_udp(
+            yanc_packet::MacAddr::from_seed(99),
+            rt.net.hosts[&h2].mac,
+            ip("10.0.0.9"),
+            ip("10.0.0.2"),
+            1234,
+            5678,
+            Bytes::from_static(b"hello"),
+        );
+        let line = format!(
+            "buffer=none in_port=controller out=2 data={}\n",
+            yanc::hex_encode(&frame)
+        );
+        // Fix in_port token: numeric required.
+        let line = line.replace(
+            "in_port=controller",
+            &format!("in_port={}", port_no::CONTROLLER),
+        );
+        rt.yfs
+            .filesystem()
+            .append_file(
+                &format!("/net/switches/{name}/packet_out"),
+                line.as_bytes(),
+                rt.yfs.creds(),
+            )
+            .unwrap();
+        rt.pump();
+        assert_eq!(rt.net.hosts[&h2].udp_received.len(), 1);
+        assert_eq!(rt.net.hosts[&h2].udp_received[0].dst_port, 5678);
+    }
+
+    #[test]
+    fn live_protocol_upgrade() {
+        // E6: a switch is upgraded 1.0 → 1.3 under the same fs tree; flows
+        // written to the fs keep flowing after the swap.
+        let mut rt = Runtime::new();
+        let name = rt.add_switch_with_driver(0xb, 2, 2, vec![Version::V1_0], Version::V1_0);
+        rt.pump();
+        assert!(rt.drivers[0].ready());
+        let spec = FlowSpec {
+            m: FlowMatch::any(),
+            actions: vec![Action::out(2)],
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "f", &spec).unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xb].flow_count(), 1);
+
+        // Firmware upgrade: switch now speaks both, re-attach a 1.3 driver.
+        rt.net
+            .switches
+            .get_mut(&0xb)
+            .unwrap()
+            .set_supported(vec![Version::V1_0, Version::V1_3]);
+        rt.swap_driver(0xb, Version::V1_3);
+        rt.pump();
+        let d = rt.drivers.last().unwrap();
+        assert!(d.ready());
+        assert_eq!(d.version, Version::V1_3);
+        assert_eq!(rt.net.switches[&0xb].negotiated(), Some(Version::V1_3));
+        // The new driver re-synced the existing fs flows into the switch.
+        assert_eq!(rt.net.switches[&0xb].flow_count(), 1);
+        // And multi-table flows now work.
+        let multi = FlowSpec {
+            m: FlowMatch::any(),
+            goto_table: Some(1),
+            priority: 9,
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "multi", &multi).unwrap();
+        rt.pump();
+        assert_eq!(rt.net.switches[&0xb].flow_count(), 2);
+        // The fs shows the new protocol.
+        let proto = rt
+            .yfs
+            .filesystem()
+            .read_to_string("/net/switches/swb/protocol", rt.yfs.creds())
+            .unwrap();
+        assert_eq!(proto, "OpenFlow 1.3");
+    }
+
+    #[test]
+    fn wrong_version_driver_fails_cleanly() {
+        let mut rt = Runtime::new();
+        // Switch speaks only 1.0; driver insists on 1.3.
+        rt.add_switch_with_driver(0xc, 2, 1, vec![Version::V1_0], Version::V1_3);
+        rt.pump();
+        assert_eq!(rt.drivers[0].state(), crate::driver::DriverState::Failed);
+        assert!(rt.yfs.list_switches().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! yansh — an interactive shell over a live yanc network.
+//!
+//! Boots a 3-switch line with two hosts, LLDP discovery and the reactive
+//! router, then drops you into a shell whose file tree *is* the network:
+//!
+//! ```text
+//! cargo run -p yanc-harness --bin yansh
+//! yansh:/net$ ls switches
+//! yansh:/net$ tree switches/sw1/flows
+//! yansh:/net$ echo 1 > switches/sw2/ports/p2/config.port_down
+//! yansh:/net$ ping h1 h2
+//! ```
+//!
+//! Besides the coreutils, two meta-commands drive the simulation:
+//! `ping <hN> <hM>` sends a ping between hosts, `stats` refreshes the
+//! `counters/` files. Every command pumps the network + daemons, so
+//! file writes take effect "in hardware" immediately.
+
+use std::io::{BufRead, Write};
+
+use yanc_apps::{RouterDaemon, TopologyDaemon};
+use yanc_coreutils::Shell;
+use yanc_driver::Runtime;
+use yanc_harness::{build_line, settle, PumpApp};
+use yanc_openflow::Version;
+
+fn main() {
+    let mut rt = Runtime::new();
+    let topo = build_line(&mut rt, 3, Version::V1_3);
+    let mut topod = TopologyDaemon::new(rt.yfs.clone()).expect("topod");
+    topod.probe().expect("lldp probe");
+    settle(&mut rt, &mut [&mut topod as &mut dyn PumpApp]);
+    let mut router = RouterDaemon::new(rt.yfs.clone()).expect("router");
+
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    sh.run("cd /net");
+
+    println!(
+        "yansh — the network is a file system. {} switches, {} hosts.",
+        topo.switches.len(),
+        topo.hosts.len()
+    );
+    println!("try: ls switches | tree switches/sw1 | ping h1 h2 | stats | help | exit");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("yansh:{}$ ", sh.cwd());
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            [] => continue,
+            ["exit"] | ["quit"] => break,
+            ["help"] => {
+                println!("file tools : ls cat tree find grep mkdir rm ln mv cp echo chmod chown stat cd pwd");
+                println!("simulation : ping <hA> <hB>   — ICMP between hosts (h1, h2)");
+                println!(
+                    "             stats            — refresh counters/ files from the switches"
+                );
+                println!("             exit");
+            }
+            ["ping", a, b] => {
+                let find = |name: &str| {
+                    rt.net
+                        .hosts
+                        .iter()
+                        .find(|(_, h)| h.name == name)
+                        .map(|(id, h)| (*id, h.ip))
+                };
+                match (find(a), find(b)) {
+                    (Some((ha, _)), Some((_, ip_b))) => {
+                        let before = rt.net.hosts[&ha].ping_replies.len();
+                        rt.net.host_ping(ha, ip_b, before as u16 + 1);
+                        settle(
+                            &mut rt,
+                            &mut [
+                                &mut topod as &mut dyn PumpApp,
+                                &mut router as &mut dyn PumpApp,
+                            ],
+                        );
+                        let after = rt.net.hosts[&ha].ping_replies.len();
+                        if after > before {
+                            println!(
+                                "{} -> {}: reply received (paths: {})",
+                                a, b, router.paths_installed
+                            );
+                        } else {
+                            println!("{} -> {}: no reply", a, b);
+                        }
+                    }
+                    _ => println!("unknown host (have: h1, h2)"),
+                }
+            }
+            ["stats"] => {
+                rt.poll_stats();
+                println!("counters refreshed — try: cat switches/sw1/counters/flow_packets");
+            }
+            _ => {
+                let out = sh.run(line);
+                print!("{}", out.out);
+                if !out.err.is_empty() {
+                    eprintln!("{}", out.err.trim_end());
+                }
+                // File writes may carry network meaning; let it settle.
+                settle(
+                    &mut rt,
+                    &mut [
+                        &mut topod as &mut dyn PumpApp,
+                        &mut router as &mut dyn PumpApp,
+                    ],
+                );
+            }
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,375 @@
+//! # yanc-harness — scenario builders shared by examples, tests and benches
+//!
+//! Standard topologies (line, ring, tree, fat-tree) built on a
+//! [`Runtime`], ground-truth topology recording, combined pumping of
+//! runtime + applications, and declarative workload descriptions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use yanc_apps::{LearningSwitch, RouterDaemon, TopologyDaemon};
+use yanc_driver::Runtime;
+use yanc_openflow::Version;
+
+/// Anything pumpable alongside the runtime.
+pub trait PumpApp {
+    /// Process pending work; return whether any was done.
+    fn pump_once(&mut self) -> bool;
+}
+
+impl PumpApp for RouterDaemon {
+    fn pump_once(&mut self) -> bool {
+        self.run_once()
+    }
+}
+
+impl PumpApp for TopologyDaemon {
+    fn pump_once(&mut self) -> bool {
+        self.run_once()
+    }
+}
+
+impl PumpApp for LearningSwitch {
+    fn pump_once(&mut self) -> bool {
+        self.run_once()
+    }
+}
+
+/// Pump the runtime and a set of applications until everything is quiet.
+pub fn settle(rt: &mut Runtime, apps: &mut [&mut dyn PumpApp]) {
+    let mut idle_rounds = 0;
+    while idle_rounds < 2 {
+        let net = rt.pump();
+        let mut worked = false;
+        for a in apps.iter_mut() {
+            worked |= a.pump_once();
+        }
+        if net <= 1 && !worked {
+            idle_rounds += 1;
+        } else {
+            idle_rounds = 0;
+        }
+    }
+}
+
+/// A built topology: switch dpids plus attached hosts.
+pub struct Topo {
+    /// Shape label (for reports).
+    pub name: String,
+    /// Switch datapath ids.
+    pub switches: Vec<u64>,
+    /// `(host id, ip)` pairs.
+    pub hosts: Vec<(u64, Ipv4Addr)>,
+}
+
+fn host_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, (i / 250) as u8, (i % 250 + 1) as u8)
+}
+
+/// Copy the network's ground-truth links into the fs as `peer` symlinks
+/// (what the topology daemon would discover; used directly when discovery
+/// itself is not under test).
+pub fn record_topology(rt: &mut Runtime) {
+    let links: Vec<_> = rt.net.links().to_vec();
+    for l in links {
+        if let (
+            yanc_dataplane::Endpoint::Switch { dpid: da, port: pa },
+            yanc_dataplane::Endpoint::Switch { dpid: db, port: pb },
+        ) = (l.a, l.b)
+        {
+            let a = format!("sw{da:x}");
+            let b = format!("sw{db:x}");
+            let _ = rt.yfs.set_peer(&a, pa, &b, pb);
+            let _ = rt.yfs.set_peer(&b, pb, &a, pa);
+        }
+    }
+}
+
+/// A line of `n` switches, one host on each end switch.
+/// Port plan: port 1 = host/edge, port 2 = next switch, port 3 = previous.
+pub fn build_line(rt: &mut Runtime, n: usize, version: Version) -> Topo {
+    assert!(n >= 1);
+    let mut switches = Vec::new();
+    for i in 0..n {
+        let dpid = (i + 1) as u64;
+        rt.add_switch_with_driver(dpid, 4, 1, vec![version], version);
+        switches.push(dpid);
+    }
+    for i in 0..n - 1 {
+        rt.net
+            .link_switches((switches[i], 2), (switches[i + 1], 3), None);
+    }
+    let mut hosts = Vec::new();
+    for (idx, sw) in [(0usize, switches[0]), (1, switches[n - 1])] {
+        let ip = host_ip(idx);
+        let h = rt.net.add_host(&format!("h{}", idx + 1), ip);
+        rt.net.attach_host(h, (sw, 1), None);
+        hosts.push((h, ip));
+    }
+    rt.pump();
+    Topo {
+        name: format!("line-{n}"),
+        switches,
+        hosts,
+    }
+}
+
+/// A ring of `n` switches (n ≥ 3), one host per switch.
+/// Port plan: 1 = host, 2 = clockwise, 3 = counter-clockwise.
+pub fn build_ring(rt: &mut Runtime, n: usize, version: Version) -> Topo {
+    assert!(n >= 3);
+    let mut switches = Vec::new();
+    for i in 0..n {
+        let dpid = (i + 1) as u64;
+        rt.add_switch_with_driver(dpid, 4, 1, vec![version], version);
+        switches.push(dpid);
+    }
+    for i in 0..n {
+        rt.net
+            .link_switches((switches[i], 2), (switches[(i + 1) % n], 3), None);
+    }
+    let mut hosts = Vec::new();
+    for (i, &sw) in switches.iter().enumerate() {
+        let ip = host_ip(i);
+        let h = rt.net.add_host(&format!("h{}", i + 1), ip);
+        rt.net.attach_host(h, (sw, 1), None);
+        hosts.push((h, ip));
+    }
+    rt.pump();
+    Topo {
+        name: format!("ring-{n}"),
+        switches,
+        hosts,
+    }
+}
+
+/// A complete `fanout`-ary tree of the given `depth` (depth 1 = a single
+/// switch), hosts on every leaf switch.
+pub fn build_tree(rt: &mut Runtime, depth: u32, fanout: u16, version: Version) -> Topo {
+    assert!(depth >= 1 && fanout >= 1);
+    let mut switches = Vec::new();
+    // Level-order allocation. Ports: 1 = host (leaves), 2..=fanout+1 =
+    // children, last port = uplink.
+    let n_ports = fanout + 2;
+    let total: usize = (0..depth).map(|d| (fanout as usize).pow(d)).sum();
+    for i in 0..total {
+        let dpid = (i + 1) as u64;
+        rt.add_switch_with_driver(dpid, n_ports, 1, vec![version], version);
+        switches.push(dpid);
+    }
+    // Wire parent -> children (level-order heap indexing).
+    #[allow(clippy::needless_range_loop)] // index arithmetic names the heap layout
+    for i in 0..total {
+        let mut next_child: u16 = 0;
+        for c in 0..fanout as usize {
+            let child = i * fanout as usize + 1 + c;
+            if child >= total {
+                break;
+            }
+            next_child += 1;
+            let parent_port = 1 + next_child; // 2..=fanout+1
+            let uplink = n_ports; // child's last port
+            rt.net
+                .link_switches((switches[i], parent_port), (switches[child], uplink), None);
+        }
+    }
+    // Hosts at leaves (nodes with no children).
+    let mut hosts = Vec::new();
+    for (i, &sw) in switches.iter().enumerate() {
+        let first_child = i * fanout as usize + 1;
+        if first_child >= total {
+            let ip = host_ip(hosts.len());
+            let h = rt.net.add_host(&format!("h{}", hosts.len() + 1), ip);
+            rt.net.attach_host(h, (sw, 1), None);
+            hosts.push((h, ip));
+        }
+    }
+    rt.pump();
+    Topo {
+        name: format!("tree-d{depth}f{fanout}"),
+        switches,
+        hosts,
+    }
+}
+
+/// A k=4-style folded-Clos ("fat tree") with 2 cores, `pods` pods of
+/// 2 aggregation + 2 edge switches, and 2 hosts per edge switch.
+pub fn build_fat_tree(rt: &mut Runtime, pods: usize, version: Version) -> Topo {
+    assert!(pods >= 1);
+    let mut switches = Vec::new();
+    let mut next_dpid = 1u64;
+    let add = |rt: &mut Runtime, next_dpid: &mut u64, ports: u16| {
+        let d = *next_dpid;
+        rt.add_switch_with_driver(d, ports, 1, vec![version], version);
+        *next_dpid += 1;
+        d
+    };
+    let core: Vec<u64> = (0..2)
+        .map(|_| add(rt, &mut next_dpid, (pods * 2) as u16))
+        .collect();
+    let mut hosts = Vec::new();
+    let mut core_next: Vec<u16> = vec![0; 2];
+    for _p in 0..pods {
+        let aggs: Vec<u64> = (0..2).map(|_| add(rt, &mut next_dpid, 6)).collect();
+        let edges: Vec<u64> = (0..2).map(|_| add(rt, &mut next_dpid, 6)).collect();
+        // agg i <-> core i (agg port 1).
+        for (i, &agg) in aggs.iter().enumerate() {
+            core_next[i] += 1;
+            rt.net
+                .link_switches((core[i], core_next[i]), (agg, 1), None);
+        }
+        // full mesh agg <-> edge: agg ports 2,3 / edge ports 1,2.
+        for (ai, &agg) in aggs.iter().enumerate() {
+            for (ei, &edge) in edges.iter().enumerate() {
+                rt.net
+                    .link_switches((agg, (2 + ei) as u16), (edge, (1 + ai) as u16), None);
+            }
+        }
+        // hosts: edge ports 3,4.
+        for &edge in &edges {
+            for hp in 0..2u16 {
+                let ip = host_ip(hosts.len());
+                let h = rt.net.add_host(&format!("h{}", hosts.len() + 1), ip);
+                rt.net.attach_host(h, (edge, 3 + hp), None);
+                hosts.push((h, ip));
+            }
+        }
+        switches.extend(aggs);
+        switches.extend(edges);
+    }
+    switches.extend(core);
+    rt.pump();
+    Topo {
+        name: format!("fat-tree-{pods}pods"),
+        switches,
+        hosts,
+    }
+}
+
+/// Declarative workload/scenario description (serialized into benchmark
+/// reports so parameters travel with results).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Scenario {
+    /// Topology label.
+    pub topology: String,
+    /// Switch count.
+    pub switches: usize,
+    /// Host count.
+    pub hosts: usize,
+    /// Protocol version label.
+    pub protocol: String,
+    /// Free-form workload note.
+    pub workload: String,
+}
+
+impl Scenario {
+    /// Describe a built topology.
+    pub fn of(topo: &Topo, version: Version, workload: &str) -> Scenario {
+        Scenario {
+            topology: topo.name.clone(),
+            switches: topo.switches.len(),
+            hosts: topo.hosts.len(),
+            protocol: version.to_string(),
+            workload: workload.to_string(),
+        }
+    }
+}
+
+/// All-pairs ping among the topology's hosts (sequentially, settling the
+/// world between pings). Returns `(sent, answered)`.
+pub fn ping_all_pairs(
+    rt: &mut Runtime,
+    topo: &Topo,
+    apps: &mut [&mut dyn PumpApp],
+) -> (usize, usize) {
+    let mut sent = 0;
+    let mut seq = 0u16;
+    for (i, &(h_src, _)) in topo.hosts.iter().enumerate() {
+        for (j, &(_, ip_dst)) in topo.hosts.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            seq += 1;
+            sent += 1;
+            rt.net.host_ping(h_src, ip_dst, seq);
+            settle(rt, apps);
+        }
+    }
+    let answered: usize = topo
+        .hosts
+        .iter()
+        .map(|(h, _)| rt.net.hosts[h].ping_replies.len())
+        .sum();
+    (sent, answered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_builds_and_connects() {
+        let mut rt = Runtime::new();
+        let topo = build_line(&mut rt, 3, Version::V1_0);
+        assert_eq!(topo.switches.len(), 3);
+        assert_eq!(topo.hosts.len(), 2);
+        assert_eq!(rt.yfs.list_switches().unwrap().len(), 3);
+        record_topology(&mut rt);
+        // fs topology matches: 2 bidirectional links = 4 directed.
+        assert_eq!(rt.yfs.topology().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn ring_and_tree_shapes() {
+        let mut rt = Runtime::new();
+        let topo = build_ring(&mut rt, 4, Version::V1_3);
+        assert_eq!(topo.switches.len(), 4);
+        assert_eq!(topo.hosts.len(), 4);
+        record_topology(&mut rt);
+        assert_eq!(rt.yfs.topology().unwrap().len(), 8);
+
+        let mut rt2 = Runtime::new();
+        let tree = build_tree(&mut rt2, 3, 2, Version::V1_0);
+        assert_eq!(tree.switches.len(), 7); // 1 + 2 + 4
+        assert_eq!(tree.hosts.len(), 4); // hosts at 4 leaves
+        record_topology(&mut rt2);
+        assert_eq!(rt2.yfs.topology().unwrap().len(), 12); // 6 links
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let mut rt = Runtime::new();
+        let topo = build_fat_tree(&mut rt, 2, Version::V1_0);
+        // 2 core + 2 pods x (2 agg + 2 edge) = 10 switches; 8 hosts.
+        assert_eq!(topo.switches.len(), 10);
+        assert_eq!(topo.hosts.len(), 8);
+        record_topology(&mut rt);
+        // links: core-agg 4 + agg-edge mesh 8 = 12 -> 24 directed.
+        assert_eq!(rt.yfs.topology().unwrap().len(), 24);
+    }
+
+    #[test]
+    fn end_to_end_router_on_line() {
+        let mut rt = Runtime::new();
+        let topo = build_line(&mut rt, 3, Version::V1_0);
+        record_topology(&mut rt);
+        let mut router = RouterDaemon::new(rt.yfs.clone()).unwrap();
+        let (sent, answered) =
+            ping_all_pairs(&mut rt, &topo, &mut [&mut router as &mut dyn PumpApp]);
+        assert_eq!(sent, 2);
+        assert_eq!(answered, 2, "all pings answered via installed paths");
+    }
+
+    #[test]
+    fn scenario_serializes() {
+        let mut rt = Runtime::new();
+        let topo = build_line(&mut rt, 2, Version::V1_0);
+        let s = Scenario::of(&topo, Version::V1_0, "ping");
+        assert_eq!(s.switches, 2);
+        assert!(s.protocol.contains("1.0"));
+    }
+}

@@ -1,0 +1,1 @@
+//! yanc-integration: carries root tests/ and examples/

@@ -1,0 +1,253 @@
+//! The flow-programming fastpath and the zero-copy packet-in bus.
+//!
+//! Two data paths, mirroring the paper's libyanc plans (§8.1):
+//!
+//! * [`FlowChannel`] — "creating flow entries atomically and without any
+//!   context switchings": an application hands a whole [`FlowSpec`] (or a
+//!   batch) to the driver through a shared ring. One ring push replaces
+//!   the `mkdir` + per-field `write` + `version` write sequence of the
+//!   file path (≈3 + #fields simulated syscalls per flow).
+//! * [`PacketBus`] — "efficient, zero-copy passing of bulk data — packet-in
+//!   buffers, for example — among applications": the frame travels as a
+//!   reference-counted [`Bytes`]; fan-out to N subscribers clones the
+//!   handle, not the payload, where the file path hex-encodes the frame
+//!   into every subscriber's buffer directory.
+//!
+//! Trade-off (measured, not hidden): fastpath flows bypass `/net`, so they
+//! are not introspectable with `ls`/`cat` unless the application also
+//! mirrors them into the tree. That is exactly the flexibility/performance
+//! tension the paper's design acknowledges.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use yanc::FlowSpec;
+
+use crate::ring::Ring;
+
+/// A fastpath flow command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowOp {
+    /// Install (or replace) `spec` as flow `name` on `switch`.
+    Install {
+        /// Switch name (`sw<dpid:hex>`).
+        switch: String,
+        /// Flow name (driver-local identity for later delete).
+        name: String,
+        /// The flow.
+        spec: FlowSpec,
+    },
+    /// Remove flow `name` from `switch`.
+    Delete {
+        /// Switch name.
+        switch: String,
+        /// Flow name.
+        name: String,
+    },
+}
+
+/// Shared-ring flow channel between applications and a driver.
+#[derive(Clone)]
+pub struct FlowChannel {
+    ring: Arc<Ring<FlowOp>>,
+}
+
+impl FlowChannel {
+    /// A channel holding up to `capacity` pending ops.
+    pub fn new(capacity: usize) -> Self {
+        FlowChannel {
+            ring: Ring::new(capacity),
+        }
+    }
+
+    /// Queue a flow install. One ring push — no file-system operations.
+    #[allow(clippy::result_large_err)] // the rejected op is handed back for retry
+    pub fn install(&self, switch: &str, name: &str, spec: FlowSpec) -> Result<(), FlowOp> {
+        self.ring.push(FlowOp::Install {
+            switch: switch.to_string(),
+            name: name.to_string(),
+            spec,
+        })
+    }
+
+    /// Queue a batch atomically with respect to a draining driver: ops are
+    /// pushed back-to-back; a full ring rejects the remainder, which is
+    /// returned for retry.
+    pub fn install_batch(
+        &self,
+        switch: &str,
+        flows: Vec<(String, FlowSpec)>,
+    ) -> Result<(), Vec<(String, FlowSpec)>> {
+        let mut it = flows.into_iter();
+        for (name, spec) in it.by_ref() {
+            if let Err(FlowOp::Install { name, spec, .. }) = self.install(switch, &name, spec) {
+                let mut rest = vec![(name, spec)];
+                rest.extend(it);
+                return Err(rest);
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue a delete.
+    #[allow(clippy::result_large_err)] // the rejected op is handed back for retry
+    pub fn delete(&self, switch: &str, name: &str) -> Result<(), FlowOp> {
+        self.ring.push(FlowOp::Delete {
+            switch: switch.to_string(),
+            name: name.to_string(),
+        })
+    }
+
+    /// Driver side: drain pending ops.
+    pub fn drain(&self) -> Vec<FlowOp> {
+        self.ring.drain()
+    }
+
+    /// Pending op count.
+    pub fn pending(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `(pushed, popped, rejected)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        self.ring.stats()
+    }
+}
+
+/// A packet-in delivered over the fast bus: the frame is shared, not
+/// copied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastPacketIn {
+    /// Originating switch.
+    pub switch: String,
+    /// Ingress port.
+    pub in_port: u16,
+    /// Switch buffer id, if buffered.
+    pub buffer_id: Option<u32>,
+    /// The frame (reference-counted; cloning is O(1)).
+    pub data: Bytes,
+}
+
+/// Zero-copy packet-in fan-out bus.
+pub struct PacketBus {
+    subscribers: parking_lot::RwLock<Vec<(String, Arc<Ring<FastPacketIn>>)>>,
+    capacity: usize,
+}
+
+impl PacketBus {
+    /// A bus whose subscriber rings hold `capacity` packets each.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(PacketBus {
+            subscribers: parking_lot::RwLock::new(Vec::new()),
+            capacity,
+        })
+    }
+
+    /// Subscribe under `name`; returns the ring to drain.
+    pub fn subscribe(&self, name: &str) -> Arc<Ring<FastPacketIn>> {
+        let ring = Ring::new(self.capacity);
+        self.subscribers
+            .write()
+            .push((name.to_string(), ring.clone()));
+        ring
+    }
+
+    /// Number of subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.read().len()
+    }
+
+    /// Publish to every subscriber. The payload `Bytes` is cloned by
+    /// reference — one allocation total, regardless of fan-out width.
+    /// Returns how many subscribers accepted it.
+    pub fn publish(&self, pkt: &FastPacketIn) -> usize {
+        let subs = self.subscribers.read();
+        let mut delivered = 0;
+        for (_, ring) in subs.iter() {
+            if ring.push(pkt.clone()).is_ok() {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_openflow::{Action, FlowMatch};
+
+    fn spec(p: u16) -> FlowSpec {
+        FlowSpec {
+            m: FlowMatch {
+                tp_dst: Some(p),
+                ..Default::default()
+            },
+            actions: vec![Action::out(1)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn flow_channel_roundtrip() {
+        let ch = FlowChannel::new(16);
+        ch.install("sw1", "a", spec(22)).unwrap();
+        ch.delete("sw1", "b").unwrap();
+        let ops = ch.drain();
+        assert_eq!(ops.len(), 2);
+        assert!(
+            matches!(&ops[0], FlowOp::Install { switch, name, .. } if switch == "sw1" && name == "a")
+        );
+        assert!(matches!(&ops[1], FlowOp::Delete { name, .. } if name == "b"));
+        assert_eq!(ch.pending(), 0);
+    }
+
+    #[test]
+    fn batch_rejects_overflow_with_remainder() {
+        let ch = FlowChannel::new(2);
+        let flows: Vec<(String, FlowSpec)> = (0..4).map(|i| (format!("f{i}"), spec(i))).collect();
+        let rest = ch.install_batch("sw1", flows).unwrap_err();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].0, "f2");
+        assert_eq!(ch.pending(), 2);
+    }
+
+    #[test]
+    fn bus_fans_out_without_copying() {
+        let bus = PacketBus::new(8);
+        let r1 = bus.subscribe("router");
+        let r2 = bus.subscribe("monitor");
+        assert_eq!(bus.subscriber_count(), 2);
+        let payload = Bytes::from(vec![0u8; 4096]);
+        let pkt = FastPacketIn {
+            switch: "sw1".into(),
+            in_port: 1,
+            buffer_id: None,
+            data: payload.clone(),
+        };
+        assert_eq!(bus.publish(&pkt), 2);
+        let a = r1.pop().unwrap();
+        let b = r2.pop().unwrap();
+        // Same allocation: Bytes clones point at shared storage.
+        assert_eq!(a.data.as_ptr(), payload.as_ptr());
+        assert_eq!(b.data.as_ptr(), payload.as_ptr());
+    }
+
+    #[test]
+    fn slow_subscriber_drops_only_its_own() {
+        let bus = PacketBus::new(1);
+        let r1 = bus.subscribe("fast");
+        let _r2 = bus.subscribe("stalled");
+        let pkt = FastPacketIn {
+            switch: "s".into(),
+            in_port: 1,
+            buffer_id: None,
+            data: Bytes::from_static(b"x"),
+        };
+        assert_eq!(bus.publish(&pkt), 2);
+        // Both rings now full; second publish only fails per-ring.
+        r1.pop();
+        assert_eq!(bus.publish(&pkt), 1); // fast accepted, stalled dropped
+    }
+}

@@ -1,0 +1,141 @@
+//! A bounded shared-memory ring, the transport under the libyanc fastpath.
+//!
+//! The paper (§8.1): "we are implementing libyanc, a set of network-centric
+//! library calls atop a shared memory system. The library provides a
+//! fastpath for e.g. creating flow entries atomically and without any
+//! context switchings." In-process, "shared memory" is a lock-free bounded
+//! queue shared by `Arc` — pushing costs no file-system operation (no
+//! simulated syscall) and no copy of boxed payloads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+
+/// A bounded MPMC ring with occupancy statistics.
+pub struct Ring<T> {
+    q: ArrayQueue<T>,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Ring {
+            q: ArrayQueue::new(capacity),
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Push; `Err(value)` when the ring is full (callers decide whether to
+    /// retry, drop, or fall back to the slow path).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        match self.q.push(value) {
+            Ok(()) => {
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(v) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(v)
+            }
+        }
+    }
+
+    /// Pop the next item, if any.
+    pub fn pop(&self) -> Option<T> {
+        let v = self.q.pop();
+        if v.is_some() {
+            self.popped.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// `(pushed, popped, rejected)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.pushed.load(Ordering::Relaxed),
+            self.popped.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let r = Ring::new(4);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rejects() {
+        let r = Ring::new(2);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.push(3), Err(3));
+        let (pushed, popped, rejected) = r.stats();
+        assert_eq!((pushed, popped, rejected), (2, 0, 1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let r = Ring::new(8);
+        for i in 0..5 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn cross_thread() {
+        let r: Arc<Ring<u64>> = Ring::new(1024);
+        let w = r.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..1000u64 {
+                while w.push(i).is_err() {}
+            }
+        });
+        let mut got = 0u64;
+        while got < 1000 {
+            if r.pop().is_some() {
+                got += 1;
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(r.stats().0, 1000);
+        assert_eq!(r.stats().1, 1000);
+    }
+}

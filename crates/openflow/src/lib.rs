@@ -1,0 +1,48 @@
+//! # yanc-openflow — OpenFlow 1.0 and 1.3 protocol implementation
+//!
+//! A version-independent message model ([`Message`], [`FlowMatch`],
+//! [`Action`], [`FlowMod`], …) plus real wire codecs for OpenFlow 1.0
+//! ([`v10`]) and OpenFlow 1.3 ([`v13`]), and a streaming [`FrameCodec`]
+//! for reassembling messages off a control channel.
+//!
+//! The split mirrors the paper's driver architecture (§4.1): yanc
+//! applications speak one stable vocabulary (files in `/net`); per-version
+//! *drivers* translate it to the protocol a given switch understands.
+//! Capability differences are surfaced as encode errors — a 1.0 codec
+//! refuses `goto_table`, a 1.3 codec enforces OXM prerequisites — so a
+//! driver can detect and report exactly what its protocol cannot express.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod types;
+pub mod v10;
+pub mod v13;
+pub mod wire;
+
+pub use types::{
+    flow_mod_flags, port_no, Action, FlowMatch, FlowMod, FlowModCommand, FlowRemovedReason,
+    FlowStats, Ipv4Prefix, Message, PacketInReason, PortDesc, PortReason, PortStats, StatsReply,
+    StatsRequest, SwitchFeatures, Version,
+};
+pub use wire::{frame, CodecError, CodecResult, FrameCodec, RawFrame, HEADER_LEN};
+
+/// Encode `msg` for the given protocol version.
+pub fn encode(version: Version, msg: &Message, xid: u32) -> CodecResult<bytes::Bytes> {
+    match version {
+        Version::V1_0 => v10::encode(msg, xid),
+        Version::V1_3 => v13::encode(msg, xid),
+    }
+}
+
+/// Decode a reassembled frame, dispatching on its version byte.
+pub fn decode(frame: &RawFrame) -> CodecResult<Message> {
+    match frame.protocol() {
+        Some(Version::V1_0) => v10::decode(frame),
+        Some(Version::V1_3) => v13::decode(frame),
+        None => Err(CodecError::new(
+            "decode",
+            format!("unknown version 0x{:02x}", frame.version),
+        )),
+    }
+}

@@ -1,0 +1,833 @@
+//! Version-independent OpenFlow object model.
+//!
+//! Drivers, switches and the yanc flow codec all speak this model; the
+//! [`crate::v10`] and [`crate::v13`] modules translate it to and from real
+//! wire bytes for their protocol version. This mirrors the paper's driver
+//! argument (§4.1): the file system exposes one stable vocabulary while
+//! per-version drivers handle protocol differences — including refusing
+//! features their version cannot express (a 1.0 driver cannot install a
+//! multi-table flow).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use yanc_packet::{MacAddr, PacketSummary};
+
+/// Reserved port numbers (OpenFlow 1.0 16-bit encoding; the 1.3 codec maps
+/// them to their 32-bit counterparts).
+pub mod port_no {
+    /// Send back out the ingress port.
+    pub const IN_PORT: u16 = 0xfff8;
+    /// Submit to the flow table (packet-out only).
+    pub const TABLE: u16 = 0xfff9;
+    /// Legacy L2 processing.
+    pub const NORMAL: u16 = 0xfffa;
+    /// Flood to all ports except ingress (and blocked ports).
+    pub const FLOOD: u16 = 0xfffb;
+    /// All ports except ingress.
+    pub const ALL: u16 = 0xfffc;
+    /// Send to the controller as a packet-in.
+    pub const CONTROLLER: u16 = 0xfffd;
+    /// The switch-local port.
+    pub const LOCAL: u16 = 0xfffe;
+    /// Wildcard/none.
+    pub const NONE: u16 = 0xffff;
+}
+
+/// An IPv4 prefix (address + prefix length) for CIDR matching.
+///
+/// The paper: "fields such as IP source take the CIDR notation".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Prefix {
+    /// Network address.
+    pub addr: Ipv4Addr,
+    /// Prefix length, 0..=32.
+    pub prefix_len: u8,
+}
+
+impl Ipv4Prefix {
+    /// A host (/32) prefix.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Ipv4Prefix {
+            addr,
+            prefix_len: 32,
+        }
+    }
+
+    /// Whether `ip` falls within the prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        if self.prefix_len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(self.prefix_len.min(32)));
+        (u32::from(self.addr) & mask) == (u32::from(ip) & mask)
+    }
+
+    /// The netmask as a 32-bit value.
+    pub fn mask(&self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(self.prefix_len.min(32)))
+        }
+    }
+
+    /// Parse `a.b.c.d` or `a.b.c.d/len`.
+    pub fn parse(s: &str) -> Option<Ipv4Prefix> {
+        match s.split_once('/') {
+            Some((a, l)) => {
+                let addr = a.parse().ok()?;
+                let prefix_len: u8 = l.parse().ok()?;
+                if prefix_len > 32 {
+                    return None;
+                }
+                Some(Ipv4Prefix { addr, prefix_len })
+            }
+            None => Some(Ipv4Prefix::host(s.parse().ok()?)),
+        }
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefix_len == 32 {
+            write!(f, "{}", self.addr)
+        } else {
+            write!(f, "{}/{}", self.addr, self.prefix_len)
+        }
+    }
+}
+
+/// A flow match: every `None` field is a wildcard (the paper: "absence of a
+/// match file implies a wildcard").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct FlowMatch {
+    /// Ingress port.
+    pub in_port: Option<u16>,
+    /// Ethernet source.
+    pub dl_src: Option<MacAddr>,
+    /// Ethernet destination.
+    pub dl_dst: Option<MacAddr>,
+    /// VLAN id.
+    pub dl_vlan: Option<u16>,
+    /// VLAN priority.
+    pub dl_vlan_pcp: Option<u8>,
+    /// EtherType.
+    pub dl_type: Option<u16>,
+    /// IP TOS (DSCP byte).
+    pub nw_tos: Option<u8>,
+    /// IP protocol (or ARP opcode).
+    pub nw_proto: Option<u8>,
+    /// IPv4 source prefix.
+    pub nw_src: Option<Ipv4Prefix>,
+    /// IPv4 destination prefix.
+    pub nw_dst: Option<Ipv4Prefix>,
+    /// L4 source port (or ICMP type).
+    pub tp_src: Option<u16>,
+    /// L4 destination port (or ICMP code).
+    pub tp_dst: Option<u16>,
+}
+
+impl FlowMatch {
+    /// The match-everything wildcard.
+    pub fn any() -> FlowMatch {
+        FlowMatch::default()
+    }
+
+    /// Whether this match accepts a packet with the given headers arriving
+    /// on `in_port`.
+    pub fn matches(&self, pkt: &PacketSummary, in_port: u16) -> bool {
+        if let Some(p) = self.in_port {
+            if p != in_port {
+                return false;
+            }
+        }
+        if let Some(m) = self.dl_src {
+            if m != pkt.dl_src {
+                return false;
+            }
+        }
+        if let Some(m) = self.dl_dst {
+            if m != pkt.dl_dst {
+                return false;
+            }
+        }
+        if let Some(v) = self.dl_vlan {
+            if pkt.dl_vlan != Some(v) {
+                return false;
+            }
+        }
+        if let Some(v) = self.dl_vlan_pcp {
+            if pkt.dl_vlan_pcp != Some(v) {
+                return false;
+            }
+        }
+        if let Some(t) = self.dl_type {
+            if t != pkt.dl_type {
+                return false;
+            }
+        }
+        if let Some(t) = self.nw_tos {
+            if pkt.nw_tos != Some(t) {
+                return false;
+            }
+        }
+        if let Some(p) = self.nw_proto {
+            if pkt.nw_proto != Some(p) {
+                return false;
+            }
+        }
+        if let Some(pre) = self.nw_src {
+            match pkt.nw_src {
+                Some(ip) if pre.contains(ip) => {}
+                _ => return false,
+            }
+        }
+        if let Some(pre) = self.nw_dst {
+            match pkt.nw_dst {
+                Some(ip) if pre.contains(ip) => {}
+                _ => return false,
+            }
+        }
+        if let Some(p) = self.tp_src {
+            if pkt.tp_src != Some(p) {
+                return false;
+            }
+        }
+        if let Some(p) = self.tp_dst {
+            if pkt.tp_dst != Some(p) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// An exact match for `pkt` arriving on `in_port` — what the paper's
+    /// router daemon installs per table miss.
+    pub fn exact(pkt: &PacketSummary, in_port: u16) -> FlowMatch {
+        FlowMatch {
+            in_port: Some(in_port),
+            dl_src: Some(pkt.dl_src),
+            dl_dst: Some(pkt.dl_dst),
+            dl_vlan: pkt.dl_vlan,
+            dl_vlan_pcp: pkt.dl_vlan_pcp,
+            dl_type: Some(pkt.dl_type),
+            nw_tos: pkt.nw_tos,
+            nw_proto: pkt.nw_proto,
+            nw_src: pkt.nw_src.map(Ipv4Prefix::host),
+            nw_dst: pkt.nw_dst.map(Ipv4Prefix::host),
+            tp_src: pkt.tp_src,
+            tp_dst: pkt.tp_dst,
+        }
+    }
+
+    /// Whether every packet matched by `other` is also matched by `self`
+    /// (i.e. `self` is equal or strictly wider). Used by strict-delete and
+    /// the slicer's header-space checks.
+    pub fn subsumes(&self, other: &FlowMatch) -> bool {
+        fn f<T: PartialEq>(wide: &Option<T>, narrow: &Option<T>) -> bool {
+            match (wide, narrow) {
+                (None, _) => true,
+                (Some(a), Some(b)) => a == b,
+                (Some(_), None) => false,
+            }
+        }
+        let pre_ok = |wide: &Option<Ipv4Prefix>, narrow: &Option<Ipv4Prefix>| match (wide, narrow) {
+            (None, _) => true,
+            (Some(w), Some(n)) => w.prefix_len <= n.prefix_len && w.contains(n.addr),
+            (Some(_), None) => false,
+        };
+        f(&self.in_port, &other.in_port)
+            && f(&self.dl_src, &other.dl_src)
+            && f(&self.dl_dst, &other.dl_dst)
+            && f(&self.dl_vlan, &other.dl_vlan)
+            && f(&self.dl_vlan_pcp, &other.dl_vlan_pcp)
+            && f(&self.dl_type, &other.dl_type)
+            && f(&self.nw_tos, &other.nw_tos)
+            && f(&self.nw_proto, &other.nw_proto)
+            && pre_ok(&self.nw_src, &other.nw_src)
+            && pre_ok(&self.nw_dst, &other.nw_dst)
+            && f(&self.tp_src, &other.tp_src)
+            && f(&self.tp_dst, &other.tp_dst)
+    }
+
+    /// Number of specified (non-wildcard) fields — a crude specificity
+    /// measure used in tests and diagnostics.
+    pub fn specificity(&self) -> u32 {
+        let mut n = 0;
+        n += u32::from(self.in_port.is_some());
+        n += u32::from(self.dl_src.is_some());
+        n += u32::from(self.dl_dst.is_some());
+        n += u32::from(self.dl_vlan.is_some());
+        n += u32::from(self.dl_vlan_pcp.is_some());
+        n += u32::from(self.dl_type.is_some());
+        n += u32::from(self.nw_tos.is_some());
+        n += u32::from(self.nw_proto.is_some());
+        n += u32::from(self.nw_src.is_some());
+        n += u32::from(self.nw_dst.is_some());
+        n += u32::from(self.tp_src.is_some());
+        n += u32::from(self.tp_dst.is_some());
+        n
+    }
+}
+
+/// A flow or packet-out action, version-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward out a port (possibly a reserved one; `max_len` caps
+    /// controller-bound truncation).
+    Output {
+        /// Destination port (see [`port_no`]).
+        port: u16,
+        /// Bytes to send on CONTROLLER output.
+        max_len: u16,
+    },
+    /// Set the VLAN id (tagging if untagged).
+    SetVlanVid(u16),
+    /// Set the VLAN priority.
+    SetVlanPcp(u8),
+    /// Remove the VLAN tag.
+    StripVlan,
+    /// Rewrite the Ethernet source.
+    SetDlSrc(MacAddr),
+    /// Rewrite the Ethernet destination.
+    SetDlDst(MacAddr),
+    /// Rewrite the IPv4 source.
+    SetNwSrc(Ipv4Addr),
+    /// Rewrite the IPv4 destination.
+    SetNwDst(Ipv4Addr),
+    /// Rewrite the IP TOS byte.
+    SetNwTos(u8),
+    /// Rewrite the L4 source port.
+    SetTpSrc(u16),
+    /// Rewrite the L4 destination port.
+    SetTpDst(u16),
+    /// Enqueue on a port queue (QoS).
+    Enqueue {
+        /// Destination port.
+        port: u16,
+        /// Queue id.
+        queue_id: u32,
+    },
+}
+
+impl Action {
+    /// Shorthand for a plain output action.
+    pub fn out(port: u16) -> Action {
+        Action::Output {
+            port,
+            max_len: 0xffff,
+        }
+    }
+}
+
+/// `FlowMod` commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModCommand {
+    /// Insert (replacing an identical match+priority entry).
+    Add,
+    /// Modify actions of all matching (subsumed) entries.
+    Modify,
+    /// Modify actions of the exactly-matching entry.
+    ModifyStrict,
+    /// Delete all matching (subsumed) entries.
+    Delete,
+    /// Delete the exactly-matching entry.
+    DeleteStrict,
+}
+
+/// Flags for flow mods.
+pub mod flow_mod_flags {
+    /// Send a `FlowRemoved` when the entry expires or is deleted.
+    pub const SEND_FLOW_REM: u16 = 1;
+    /// Check for overlapping entries on add.
+    pub const CHECK_OVERLAP: u16 = 2;
+}
+
+/// A flow-table modification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMod {
+    /// Target table (always 0 for OpenFlow 1.0).
+    pub table_id: u8,
+    /// Command.
+    pub command: FlowModCommand,
+    /// Match.
+    pub m: FlowMatch,
+    /// Opaque controller cookie.
+    pub cookie: u64,
+    /// Idle timeout in seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Priority (higher wins).
+    pub priority: u16,
+    /// Buffered packet to apply the flow to.
+    pub buffer_id: Option<u32>,
+    /// For deletes: restrict to flows with this out port.
+    pub out_port: Option<u16>,
+    /// See [`flow_mod_flags`].
+    pub flags: u16,
+    /// Actions (empty = drop).
+    pub actions: Vec<Action>,
+    /// OpenFlow ≥1.1 goto-table instruction; a 1.0 driver must refuse this.
+    pub goto_table: Option<u8>,
+}
+
+impl FlowMod {
+    /// A minimal ADD flow mod.
+    pub fn add(m: FlowMatch, priority: u16, actions: Vec<Action>) -> FlowMod {
+        FlowMod {
+            table_id: 0,
+            command: FlowModCommand::Add,
+            m,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority,
+            buffer_id: None,
+            out_port: None,
+            flags: 0,
+            actions,
+            goto_table: None,
+        }
+    }
+}
+
+/// Why a packet-in was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketInReason {
+    /// No matching flow entry.
+    NoMatch,
+    /// An explicit output-to-controller action.
+    Action,
+}
+
+/// Why a port-status message was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortReason {
+    /// Port added.
+    Add,
+    /// Port removed.
+    Delete,
+    /// Port state/config changed.
+    Modify,
+}
+
+/// Why a flow was removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowRemovedReason {
+    /// Idle timeout fired.
+    IdleTimeout,
+    /// Hard timeout fired.
+    HardTimeout,
+    /// Deleted by a flow mod.
+    Delete,
+}
+
+/// Port configuration/state description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDesc {
+    /// Port number.
+    pub port_no: u16,
+    /// Hardware address.
+    pub hw_addr: MacAddr,
+    /// Interface name (at most 15 bytes on the wire).
+    pub name: String,
+    /// Administratively down.
+    pub config_down: bool,
+    /// Link is down.
+    pub link_down: bool,
+    /// Current speed in kbps.
+    pub curr_speed: u32,
+    /// Maximum speed in kbps.
+    pub max_speed: u32,
+}
+
+/// Switch capabilities advertised in the features reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchFeatures {
+    /// Datapath id.
+    pub datapath_id: u64,
+    /// Number of packet buffers.
+    pub n_buffers: u32,
+    /// Number of flow tables.
+    pub n_tables: u8,
+    /// Capability bitmap (version-specific semantics preserved verbatim).
+    pub capabilities: u32,
+    /// Supported-actions bitmap (1.0 only; zero for 1.3).
+    pub actions: u32,
+    /// Port inventory (carried in the 1.0 features reply; retrieved via a
+    /// PortDesc multipart exchange in 1.3 — the codec leaves this empty).
+    pub ports: Vec<PortDesc>,
+}
+
+/// Per-flow statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowStats {
+    /// Table containing the flow.
+    pub table_id: u8,
+    /// The flow's match.
+    pub m: FlowMatch,
+    /// Priority.
+    pub priority: u16,
+    /// Cookie.
+    pub cookie: u64,
+    /// Seconds alive.
+    pub duration_sec: u32,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+/// Per-port statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortStats {
+    /// Port number.
+    pub port_no: u16,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Receive drops.
+    pub rx_dropped: u64,
+    /// Transmit drops.
+    pub tx_dropped: u64,
+}
+
+/// Multipart/stats request bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsRequest {
+    /// Switch description.
+    Desc,
+    /// Flows matching a filter in a table (`0xff` = all tables).
+    Flow {
+        /// Table filter.
+        table_id: u8,
+        /// Match filter (wildcard-subsumption).
+        m: FlowMatch,
+    },
+    /// Stats for one port (`port_no::NONE` = all).
+    Port {
+        /// Port filter.
+        port_no: u16,
+    },
+    /// Port descriptions (1.3's replacement for ports-in-features).
+    PortDesc,
+    /// Aggregate packet/byte/flow counts.
+    Aggregate {
+        /// Table filter.
+        table_id: u8,
+        /// Match filter.
+        m: FlowMatch,
+    },
+}
+
+/// Multipart/stats reply bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsReply {
+    /// Switch description strings.
+    Desc {
+        /// Manufacturer + software description.
+        description: String,
+    },
+    /// Flow statistics.
+    Flow(Vec<FlowStats>),
+    /// Port statistics.
+    Port(Vec<PortStats>),
+    /// Port descriptions.
+    PortDesc(Vec<PortDesc>),
+    /// Aggregate counters.
+    Aggregate {
+        /// Total packets.
+        packet_count: u64,
+        /// Total bytes.
+        byte_count: u64,
+        /// Matching flow count.
+        flow_count: u32,
+    },
+}
+
+/// A version-independent OpenFlow message. The [`crate::v10`] and
+/// [`crate::v13`] codecs translate this to/from wire bytes; combinations a
+/// version cannot express fail to encode with a descriptive error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Version negotiation.
+    Hello,
+    /// Protocol error report.
+    Error {
+        /// Error type (version-specific namespace).
+        err_type: u16,
+        /// Error code.
+        code: u16,
+        /// Offending data.
+        data: Bytes,
+    },
+    /// Liveness probe.
+    EchoRequest(Bytes),
+    /// Liveness response.
+    EchoReply(Bytes),
+    /// Ask for switch features.
+    FeaturesRequest,
+    /// Switch features.
+    FeaturesReply(SwitchFeatures),
+    /// Packet delivered to the controller.
+    PacketIn {
+        /// Buffer id if the switch buffered the packet.
+        buffer_id: Option<u32>,
+        /// Original frame length.
+        total_len: u16,
+        /// Ingress port.
+        in_port: u16,
+        /// Why it was sent.
+        reason: PacketInReason,
+        /// Table that triggered it (0 in 1.0).
+        table_id: u8,
+        /// Frame bytes (possibly truncated to `miss_send_len`).
+        data: Bytes,
+    },
+    /// Controller-sourced packet.
+    PacketOut {
+        /// Buffer to release, if any.
+        buffer_id: Option<u32>,
+        /// Nominal ingress port for action processing.
+        in_port: u16,
+        /// Actions to apply.
+        actions: Vec<Action>,
+        /// Frame bytes (ignored when `buffer_id` is set).
+        data: Bytes,
+    },
+    /// Flow-table modification.
+    FlowMod(FlowMod),
+    /// Flow expiry/deletion notification.
+    FlowRemoved {
+        /// The removed flow's match.
+        m: FlowMatch,
+        /// Cookie.
+        cookie: u64,
+        /// Priority.
+        priority: u16,
+        /// Why.
+        reason: FlowRemovedReason,
+        /// Seconds the flow lived.
+        duration_sec: u32,
+        /// Packets matched over its lifetime.
+        packet_count: u64,
+        /// Bytes matched over its lifetime.
+        byte_count: u64,
+    },
+    /// Port add/remove/change notification.
+    PortStatus {
+        /// Why.
+        reason: PortReason,
+        /// Current description.
+        desc: PortDesc,
+    },
+    /// Port configuration change.
+    PortMod {
+        /// Target port.
+        port_no: u16,
+        /// Its hardware address (sanity check).
+        hw_addr: MacAddr,
+        /// Administratively bring the port down/up.
+        down: bool,
+    },
+    /// Statistics/multipart request.
+    StatsRequest(StatsRequest),
+    /// Statistics/multipart reply.
+    StatsReply(StatsReply),
+    /// Barrier request.
+    BarrierRequest,
+    /// Barrier reply.
+    BarrierReply,
+    /// Ask for switch config.
+    GetConfigRequest,
+    /// Switch config.
+    GetConfigReply {
+        /// Bytes of each missed packet sent to the controller.
+        miss_send_len: u16,
+    },
+    /// Set switch config.
+    SetConfig {
+        /// Bytes of each missed packet to send to the controller.
+        miss_send_len: u16,
+    },
+}
+
+/// The protocol versions this crate implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Version {
+    /// OpenFlow 1.0 (wire 0x01).
+    V1_0,
+    /// OpenFlow 1.3 (wire 0x04).
+    V1_3,
+}
+
+impl Version {
+    /// The wire version byte.
+    pub fn wire(self) -> u8 {
+        match self {
+            Version::V1_0 => 0x01,
+            Version::V1_3 => 0x04,
+        }
+    }
+
+    /// From a wire version byte.
+    pub fn from_wire(b: u8) -> Option<Version> {
+        match b {
+            0x01 => Some(Version::V1_0),
+            0x04 => Some(Version::V1_3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Version::V1_0 => write!(f, "OpenFlow 1.0"),
+            Version::V1_3 => write!(f, "OpenFlow 1.3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yanc_packet::build_tcp_syn;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn ssh_pkt() -> PacketSummary {
+        let f = build_tcp_syn(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            40000,
+            22,
+        );
+        PacketSummary::parse(&f).unwrap()
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p = Ipv4Prefix::parse("10.0.0.0/8").unwrap();
+        assert!(p.contains(ip("10.255.1.2")));
+        assert!(!p.contains(ip("11.0.0.1")));
+        let any = Ipv4Prefix::parse("0.0.0.0/0").unwrap();
+        assert!(any.contains(ip("1.2.3.4")));
+        let host = Ipv4Prefix::parse("10.0.0.1").unwrap();
+        assert_eq!(host.prefix_len, 32);
+        assert!(host.contains(ip("10.0.0.1")));
+        assert!(!host.contains(ip("10.0.0.2")));
+        assert!(Ipv4Prefix::parse("10.0.0.0/33").is_none());
+        assert!(Ipv4Prefix::parse("garbage").is_none());
+    }
+
+    #[test]
+    fn prefix_display_roundtrip() {
+        for s in ["10.0.0.1", "10.0.0.0/8", "0.0.0.0/0"] {
+            assert_eq!(Ipv4Prefix::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(FlowMatch::any().matches(&ssh_pkt(), 1));
+        assert_eq!(FlowMatch::any().specificity(), 0);
+    }
+
+    #[test]
+    fn field_matching() {
+        let pkt = ssh_pkt();
+        let mut m = FlowMatch {
+            tp_dst: Some(22),
+            ..Default::default()
+        };
+        assert!(m.matches(&pkt, 1));
+        m.tp_dst = Some(23);
+        assert!(!m.matches(&pkt, 1));
+        let m = FlowMatch {
+            in_port: Some(3),
+            ..Default::default()
+        };
+        assert!(m.matches(&pkt, 3));
+        assert!(!m.matches(&pkt, 4));
+        let m = FlowMatch {
+            nw_dst: Some(Ipv4Prefix::parse("10.0.0.0/24").unwrap()),
+            ..Default::default()
+        };
+        assert!(m.matches(&pkt, 1));
+        let m = FlowMatch {
+            nw_dst: Some(Ipv4Prefix::parse("10.9.0.0/24").unwrap()),
+            ..Default::default()
+        };
+        assert!(!m.matches(&pkt, 1));
+    }
+
+    #[test]
+    fn l3_match_requires_l3_packet() {
+        // An ARP-less match on nw_proto must not match a packet without it.
+        let m = FlowMatch {
+            nw_tos: Some(0x10),
+            ..Default::default()
+        };
+        let pkt = PacketSummary {
+            dl_type: 0x88cc,
+            ..Default::default()
+        }; // LLDP
+        assert!(!m.matches(&pkt, 1));
+    }
+
+    #[test]
+    fn exact_match_matches_only_itself() {
+        let pkt = ssh_pkt();
+        let m = FlowMatch::exact(&pkt, 7);
+        assert!(m.matches(&pkt, 7));
+        assert!(!m.matches(&pkt, 8));
+        let mut other = pkt;
+        other.tp_src = Some(40001);
+        assert!(!m.matches(&other, 7));
+        assert_eq!(m.specificity(), 10); // vlan fields absent for untagged
+    }
+
+    #[test]
+    fn subsumption() {
+        let wide = FlowMatch {
+            tp_dst: Some(22),
+            ..Default::default()
+        };
+        let narrow = FlowMatch::exact(&ssh_pkt(), 1);
+        assert!(FlowMatch::any().subsumes(&wide));
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        assert!(wide.subsumes(&wide));
+        let p8 = FlowMatch {
+            nw_dst: Some(Ipv4Prefix::parse("10.0.0.0/8").unwrap()),
+            ..Default::default()
+        };
+        let p24 = FlowMatch {
+            nw_dst: Some(Ipv4Prefix::parse("10.0.0.0/24").unwrap()),
+            ..Default::default()
+        };
+        assert!(p8.subsumes(&p24));
+        assert!(!p24.subsumes(&p8));
+    }
+
+    #[test]
+    fn version_bytes() {
+        assert_eq!(Version::V1_0.wire(), 1);
+        assert_eq!(Version::V1_3.wire(), 4);
+        assert_eq!(Version::from_wire(4), Some(Version::V1_3));
+        assert_eq!(Version::from_wire(9), None);
+    }
+}

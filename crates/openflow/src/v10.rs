@@ -1,0 +1,1245 @@
+//! OpenFlow 1.0 (wire version 0x01) message codec.
+//!
+//! Translates the version-independent [`Message`] model to and from real
+//! OpenFlow 1.0 wire bytes: the 40-byte `ofp_match` with wildcard bitmap,
+//! 48-byte `ofp_phy_port`, type-length action list, stats requests/replies,
+//! and all the async messages. Combinations 1.0 cannot express — multiple
+//! tables, `goto_table` instructions, `PortDesc` multiparts — fail to
+//! encode, which is exactly the behaviour the paper's per-version drivers
+//! (§4.1) rely on to advertise capability differences.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use yanc_packet::MacAddr;
+
+use crate::types::{
+    port_no, Action, FlowMatch, FlowMod, FlowModCommand, FlowRemovedReason, FlowStats, Ipv4Prefix,
+    Message, PacketInReason, PortDesc, PortReason, PortStats, StatsReply, StatsRequest,
+    SwitchFeatures,
+};
+use crate::wire::{frame, get_fixed_str, put_fixed_str, CodecError, CodecResult, RawFrame, Reader};
+
+/// The wire version byte.
+pub const VERSION: u8 = 0x01;
+
+// Message type codes.
+mod t {
+    pub const HELLO: u8 = 0;
+    pub const ERROR: u8 = 1;
+    pub const ECHO_REQ: u8 = 2;
+    pub const ECHO_REP: u8 = 3;
+    pub const FEATURES_REQ: u8 = 5;
+    pub const FEATURES_REP: u8 = 6;
+    pub const GET_CONFIG_REQ: u8 = 7;
+    pub const GET_CONFIG_REP: u8 = 8;
+    pub const SET_CONFIG: u8 = 9;
+    pub const PACKET_IN: u8 = 10;
+    pub const FLOW_REMOVED: u8 = 11;
+    pub const PORT_STATUS: u8 = 12;
+    pub const PACKET_OUT: u8 = 13;
+    pub const FLOW_MOD: u8 = 14;
+    pub const PORT_MOD: u8 = 15;
+    pub const STATS_REQ: u8 = 16;
+    pub const STATS_REP: u8 = 17;
+    pub const BARRIER_REQ: u8 = 18;
+    pub const BARRIER_REP: u8 = 19;
+}
+
+// Wildcard bits for ofp_match.
+mod w {
+    pub const IN_PORT: u32 = 1 << 0;
+    pub const DL_VLAN: u32 = 1 << 1;
+    pub const DL_SRC: u32 = 1 << 2;
+    pub const DL_DST: u32 = 1 << 3;
+    pub const DL_TYPE: u32 = 1 << 4;
+    pub const NW_PROTO: u32 = 1 << 5;
+    pub const TP_SRC: u32 = 1 << 6;
+    pub const TP_DST: u32 = 1 << 7;
+    pub const NW_SRC_SHIFT: u32 = 8;
+    pub const NW_DST_SHIFT: u32 = 14;
+    pub const DL_VLAN_PCP: u32 = 1 << 20;
+    pub const NW_TOS: u32 = 1 << 21;
+}
+
+const BUFFER_NONE: u32 = 0xffff_ffff;
+
+// Port feature bits (speed encoding).
+const PF_10MB_FD: u32 = 1 << 1;
+const PF_100MB_FD: u32 = 1 << 3;
+const PF_1GB_FD: u32 = 1 << 5;
+const PF_10GB_FD: u32 = 1 << 6;
+
+fn speed_to_features(kbps: u32) -> u32 {
+    if kbps >= 10_000_000 {
+        PF_10GB_FD
+    } else if kbps >= 1_000_000 {
+        PF_1GB_FD
+    } else if kbps >= 100_000 {
+        PF_100MB_FD
+    } else if kbps > 0 {
+        PF_10MB_FD
+    } else {
+        0
+    }
+}
+
+fn features_to_speed(bits: u32) -> u32 {
+    if bits & PF_10GB_FD != 0 {
+        10_000_000
+    } else if bits & PF_1GB_FD != 0 {
+        1_000_000
+    } else if bits & PF_100MB_FD != 0 {
+        100_000
+    } else if bits & PF_10MB_FD != 0 {
+        10_000
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// ofp_match
+// ---------------------------------------------------------------------
+
+fn put_match(b: &mut BytesMut, m: &FlowMatch) {
+    let mut wc: u32 = 0;
+    if m.in_port.is_none() {
+        wc |= w::IN_PORT;
+    }
+    if m.dl_vlan.is_none() {
+        wc |= w::DL_VLAN;
+    }
+    if m.dl_src.is_none() {
+        wc |= w::DL_SRC;
+    }
+    if m.dl_dst.is_none() {
+        wc |= w::DL_DST;
+    }
+    if m.dl_type.is_none() {
+        wc |= w::DL_TYPE;
+    }
+    if m.nw_proto.is_none() {
+        wc |= w::NW_PROTO;
+    }
+    if m.tp_src.is_none() {
+        wc |= w::TP_SRC;
+    }
+    if m.tp_dst.is_none() {
+        wc |= w::TP_DST;
+    }
+    if m.dl_vlan_pcp.is_none() {
+        wc |= w::DL_VLAN_PCP;
+    }
+    if m.nw_tos.is_none() {
+        wc |= w::NW_TOS;
+    }
+    let src_wild = m
+        .nw_src
+        .map(|p| 32 - u32::from(p.prefix_len))
+        .unwrap_or(32)
+        .min(63);
+    let dst_wild = m
+        .nw_dst
+        .map(|p| 32 - u32::from(p.prefix_len))
+        .unwrap_or(32)
+        .min(63);
+    wc |= src_wild << w::NW_SRC_SHIFT;
+    wc |= dst_wild << w::NW_DST_SHIFT;
+
+    b.put_u32(wc);
+    b.put_u16(m.in_port.unwrap_or(0));
+    b.put_slice(&m.dl_src.unwrap_or(MacAddr::ZERO).0);
+    b.put_slice(&m.dl_dst.unwrap_or(MacAddr::ZERO).0);
+    b.put_u16(m.dl_vlan.unwrap_or(0xffff));
+    b.put_u8(m.dl_vlan_pcp.unwrap_or(0));
+    b.put_u8(0); // pad
+    b.put_u16(m.dl_type.unwrap_or(0));
+    b.put_u8(m.nw_tos.unwrap_or(0));
+    b.put_u8(m.nw_proto.unwrap_or(0));
+    b.put_u16(0); // pad
+    b.put_u32(m.nw_src.map(|p| u32::from(p.addr)).unwrap_or(0));
+    b.put_u32(m.nw_dst.map(|p| u32::from(p.addr)).unwrap_or(0));
+    b.put_u16(m.tp_src.unwrap_or(0));
+    b.put_u16(m.tp_dst.unwrap_or(0));
+}
+
+fn get_match(r: &mut Reader<'_>) -> CodecResult<FlowMatch> {
+    let wc = r.u32()?;
+    let in_port = r.u16()?;
+    let dl_src = MacAddr(r.bytes(6)?.try_into().unwrap());
+    let dl_dst = MacAddr(r.bytes(6)?.try_into().unwrap());
+    let dl_vlan = r.u16()?;
+    let dl_vlan_pcp = r.u8()?;
+    r.skip(1)?;
+    let dl_type = r.u16()?;
+    let nw_tos = r.u8()?;
+    let nw_proto = r.u8()?;
+    r.skip(2)?;
+    let nw_src = r.u32()?;
+    let nw_dst = r.u32()?;
+    let tp_src = r.u16()?;
+    let tp_dst = r.u16()?;
+
+    let src_wild = (wc >> w::NW_SRC_SHIFT) & 0x3f;
+    let dst_wild = (wc >> w::NW_DST_SHIFT) & 0x3f;
+    let prefix = |addr: u32, wild: u32| -> Option<Ipv4Prefix> {
+        if wild >= 32 {
+            None
+        } else {
+            Some(Ipv4Prefix {
+                addr: Ipv4Addr::from(addr),
+                prefix_len: (32 - wild) as u8,
+            })
+        }
+    };
+    Ok(FlowMatch {
+        in_port: (wc & w::IN_PORT == 0).then_some(in_port),
+        dl_src: (wc & w::DL_SRC == 0).then_some(dl_src),
+        dl_dst: (wc & w::DL_DST == 0).then_some(dl_dst),
+        dl_vlan: (wc & w::DL_VLAN == 0).then_some(dl_vlan),
+        dl_vlan_pcp: (wc & w::DL_VLAN_PCP == 0).then_some(dl_vlan_pcp),
+        dl_type: (wc & w::DL_TYPE == 0).then_some(dl_type),
+        nw_tos: (wc & w::NW_TOS == 0).then_some(nw_tos),
+        nw_proto: (wc & w::NW_PROTO == 0).then_some(nw_proto),
+        nw_src: prefix(nw_src, src_wild),
+        nw_dst: prefix(nw_dst, dst_wild),
+        tp_src: (wc & w::TP_SRC == 0).then_some(tp_src),
+        tp_dst: (wc & w::TP_DST == 0).then_some(tp_dst),
+    })
+}
+
+// ---------------------------------------------------------------------
+// actions
+// ---------------------------------------------------------------------
+
+fn put_actions(b: &mut BytesMut, actions: &[Action]) {
+    for a in actions {
+        match a {
+            Action::Output { port, max_len } => {
+                b.put_u16(0);
+                b.put_u16(8);
+                b.put_u16(*port);
+                b.put_u16(*max_len);
+            }
+            Action::SetVlanVid(vid) => {
+                b.put_u16(1);
+                b.put_u16(8);
+                b.put_u16(*vid);
+                b.put_u16(0);
+            }
+            Action::SetVlanPcp(pcp) => {
+                b.put_u16(2);
+                b.put_u16(8);
+                b.put_u8(*pcp);
+                b.put_bytes(0, 3);
+            }
+            Action::StripVlan => {
+                b.put_u16(3);
+                b.put_u16(8);
+                b.put_u32(0);
+            }
+            Action::SetDlSrc(mac) => {
+                b.put_u16(4);
+                b.put_u16(16);
+                b.put_slice(&mac.0);
+                b.put_bytes(0, 6);
+            }
+            Action::SetDlDst(mac) => {
+                b.put_u16(5);
+                b.put_u16(16);
+                b.put_slice(&mac.0);
+                b.put_bytes(0, 6);
+            }
+            Action::SetNwSrc(ip) => {
+                b.put_u16(6);
+                b.put_u16(8);
+                b.put_u32(u32::from(*ip));
+            }
+            Action::SetNwDst(ip) => {
+                b.put_u16(7);
+                b.put_u16(8);
+                b.put_u32(u32::from(*ip));
+            }
+            Action::SetNwTos(tos) => {
+                b.put_u16(8);
+                b.put_u16(8);
+                b.put_u8(*tos);
+                b.put_bytes(0, 3);
+            }
+            Action::SetTpSrc(p) => {
+                b.put_u16(9);
+                b.put_u16(8);
+                b.put_u16(*p);
+                b.put_u16(0);
+            }
+            Action::SetTpDst(p) => {
+                b.put_u16(10);
+                b.put_u16(8);
+                b.put_u16(*p);
+                b.put_u16(0);
+            }
+            Action::Enqueue { port, queue_id } => {
+                b.put_u16(11);
+                b.put_u16(16);
+                b.put_u16(*port);
+                b.put_bytes(0, 6);
+                b.put_u32(*queue_id);
+            }
+        }
+    }
+}
+
+fn get_actions(r: &mut Reader<'_>, total_len: usize) -> CodecResult<Vec<Action>> {
+    let end = r.pos + total_len;
+    let mut out = Vec::new();
+    while r.pos < end {
+        let atype = r.u16()?;
+        let alen = usize::from(r.u16()?);
+        if alen < 8 || r.pos + alen - 4 > end {
+            return Err(CodecError::new(
+                "v10/action",
+                format!("bad action length {alen}"),
+            ));
+        }
+        match atype {
+            0 => {
+                out.push(Action::Output {
+                    port: r.u16()?,
+                    max_len: r.u16()?,
+                });
+            }
+            1 => {
+                out.push(Action::SetVlanVid(r.u16()?));
+                r.skip(2)?;
+            }
+            2 => {
+                out.push(Action::SetVlanPcp(r.u8()?));
+                r.skip(3)?;
+            }
+            3 => {
+                out.push(Action::StripVlan);
+                r.skip(4)?;
+            }
+            4 => {
+                out.push(Action::SetDlSrc(MacAddr(r.bytes(6)?.try_into().unwrap())));
+                r.skip(6)?;
+            }
+            5 => {
+                out.push(Action::SetDlDst(MacAddr(r.bytes(6)?.try_into().unwrap())));
+                r.skip(6)?;
+            }
+            6 => out.push(Action::SetNwSrc(Ipv4Addr::from(r.u32()?))),
+            7 => out.push(Action::SetNwDst(Ipv4Addr::from(r.u32()?))),
+            8 => {
+                out.push(Action::SetNwTos(r.u8()?));
+                r.skip(3)?;
+            }
+            9 => {
+                out.push(Action::SetTpSrc(r.u16()?));
+                r.skip(2)?;
+            }
+            10 => {
+                out.push(Action::SetTpDst(r.u16()?));
+                r.skip(2)?;
+            }
+            11 => {
+                let port = r.u16()?;
+                r.skip(6)?;
+                let queue_id = r.u32()?;
+                out.push(Action::Enqueue { port, queue_id });
+            }
+            other => {
+                return Err(CodecError::new(
+                    "v10/action",
+                    format!("unknown action type {other}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// ports
+// ---------------------------------------------------------------------
+
+fn put_port(b: &mut BytesMut, p: &PortDesc) {
+    b.put_u16(p.port_no);
+    b.put_slice(&p.hw_addr.0);
+    put_fixed_str(b, &p.name, 16);
+    b.put_u32(u32::from(p.config_down)); // OFPPC_PORT_DOWN
+    b.put_u32(u32::from(p.link_down)); // OFPPS_LINK_DOWN
+    b.put_u32(speed_to_features(p.curr_speed)); // curr
+    b.put_u32(speed_to_features(p.curr_speed)); // advertised
+    b.put_u32(speed_to_features(p.max_speed)); // supported
+    b.put_u32(0); // peer
+}
+
+fn get_port(r: &mut Reader<'_>) -> CodecResult<PortDesc> {
+    let port_no = r.u16()?;
+    let hw_addr = MacAddr(r.bytes(6)?.try_into().unwrap());
+    let name = get_fixed_str(r, 16)?;
+    let config = r.u32()?;
+    let state = r.u32()?;
+    let curr = r.u32()?;
+    r.skip(4)?; // advertised
+    let supported = r.u32()?;
+    r.skip(4)?; // peer
+    Ok(PortDesc {
+        port_no,
+        hw_addr,
+        name,
+        config_down: config & 1 != 0,
+        link_down: state & 1 != 0,
+        curr_speed: features_to_speed(curr),
+        max_speed: features_to_speed(supported),
+    })
+}
+
+// ---------------------------------------------------------------------
+// encode
+// ---------------------------------------------------------------------
+
+/// Encode `msg` as an OpenFlow 1.0 frame with the given transaction id.
+pub fn encode(msg: &Message, xid: u32) -> CodecResult<Bytes> {
+    let mut b = BytesMut::new();
+    let msg_type = match msg {
+        Message::Hello => t::HELLO,
+        Message::Error {
+            err_type,
+            code,
+            data,
+        } => {
+            b.put_u16(*err_type);
+            b.put_u16(*code);
+            b.put_slice(data);
+            t::ERROR
+        }
+        Message::EchoRequest(data) => {
+            b.put_slice(data);
+            t::ECHO_REQ
+        }
+        Message::EchoReply(data) => {
+            b.put_slice(data);
+            t::ECHO_REP
+        }
+        Message::FeaturesRequest => t::FEATURES_REQ,
+        Message::FeaturesReply(f) => {
+            b.put_u64(f.datapath_id);
+            b.put_u32(f.n_buffers);
+            b.put_u8(f.n_tables);
+            b.put_bytes(0, 3);
+            b.put_u32(f.capabilities);
+            b.put_u32(f.actions);
+            for p in &f.ports {
+                put_port(&mut b, p);
+            }
+            t::FEATURES_REP
+        }
+        Message::GetConfigRequest => t::GET_CONFIG_REQ,
+        Message::GetConfigReply { miss_send_len } => {
+            b.put_u16(0); // flags
+            b.put_u16(*miss_send_len);
+            t::GET_CONFIG_REP
+        }
+        Message::SetConfig { miss_send_len } => {
+            b.put_u16(0);
+            b.put_u16(*miss_send_len);
+            t::SET_CONFIG
+        }
+        Message::PacketIn {
+            buffer_id,
+            total_len,
+            in_port,
+            reason,
+            table_id,
+            data,
+        } => {
+            if *table_id != 0 {
+                return Err(CodecError::new("v10/packet_in", "1.0 has a single table"));
+            }
+            b.put_u32(buffer_id.unwrap_or(BUFFER_NONE));
+            b.put_u16(*total_len);
+            b.put_u16(*in_port);
+            b.put_u8(match reason {
+                PacketInReason::NoMatch => 0,
+                PacketInReason::Action => 1,
+            });
+            b.put_u8(0);
+            b.put_slice(data);
+            t::PACKET_IN
+        }
+        Message::PacketOut {
+            buffer_id,
+            in_port,
+            actions,
+            data,
+        } => {
+            b.put_u32(buffer_id.unwrap_or(BUFFER_NONE));
+            b.put_u16(*in_port);
+            let mut ab = BytesMut::new();
+            put_actions(&mut ab, actions);
+            b.put_u16(ab.len() as u16);
+            b.put_slice(&ab);
+            if buffer_id.is_none() {
+                b.put_slice(data);
+            }
+            t::PACKET_OUT
+        }
+        Message::FlowMod(fm) => {
+            if fm.goto_table.is_some() {
+                return Err(CodecError::new(
+                    "v10/flow_mod",
+                    "goto_table needs OpenFlow >= 1.1",
+                ));
+            }
+            if fm.table_id != 0 {
+                return Err(CodecError::new("v10/flow_mod", "1.0 has a single table"));
+            }
+            put_match(&mut b, &fm.m);
+            b.put_u64(fm.cookie);
+            b.put_u16(match fm.command {
+                FlowModCommand::Add => 0,
+                FlowModCommand::Modify => 1,
+                FlowModCommand::ModifyStrict => 2,
+                FlowModCommand::Delete => 3,
+                FlowModCommand::DeleteStrict => 4,
+            });
+            b.put_u16(fm.idle_timeout);
+            b.put_u16(fm.hard_timeout);
+            b.put_u16(fm.priority);
+            b.put_u32(fm.buffer_id.unwrap_or(BUFFER_NONE));
+            b.put_u16(fm.out_port.unwrap_or(port_no::NONE));
+            b.put_u16(fm.flags);
+            put_actions(&mut b, &fm.actions);
+            t::FLOW_MOD
+        }
+        Message::FlowRemoved {
+            m,
+            cookie,
+            priority,
+            reason,
+            duration_sec,
+            packet_count,
+            byte_count,
+        } => {
+            put_match(&mut b, m);
+            b.put_u64(*cookie);
+            b.put_u16(*priority);
+            b.put_u8(match reason {
+                FlowRemovedReason::IdleTimeout => 0,
+                FlowRemovedReason::HardTimeout => 1,
+                FlowRemovedReason::Delete => 2,
+            });
+            b.put_u8(0);
+            b.put_u32(*duration_sec);
+            b.put_u32(0); // duration_nsec
+            b.put_u16(0); // idle_timeout
+            b.put_bytes(0, 2);
+            b.put_u64(*packet_count);
+            b.put_u64(*byte_count);
+            t::FLOW_REMOVED
+        }
+        Message::PortStatus { reason, desc } => {
+            b.put_u8(match reason {
+                PortReason::Add => 0,
+                PortReason::Delete => 1,
+                PortReason::Modify => 2,
+            });
+            b.put_bytes(0, 7);
+            put_port(&mut b, desc);
+            t::PORT_STATUS
+        }
+        Message::PortMod {
+            port_no,
+            hw_addr,
+            down,
+        } => {
+            b.put_u16(*port_no);
+            b.put_slice(&hw_addr.0);
+            b.put_u32(u32::from(*down)); // config
+            b.put_u32(1); // mask: PORT_DOWN bit
+            b.put_u32(0); // advertise
+            b.put_bytes(0, 4);
+            t::PORT_MOD
+        }
+        Message::StatsRequest(req) => {
+            match req {
+                StatsRequest::Desc => {
+                    b.put_u16(0);
+                    b.put_u16(0);
+                }
+                StatsRequest::Flow { table_id, m } => {
+                    b.put_u16(1);
+                    b.put_u16(0);
+                    put_match(&mut b, m);
+                    b.put_u8(*table_id);
+                    b.put_u8(0);
+                    b.put_u16(port_no::NONE);
+                }
+                StatsRequest::Aggregate { table_id, m } => {
+                    b.put_u16(2);
+                    b.put_u16(0);
+                    put_match(&mut b, m);
+                    b.put_u8(*table_id);
+                    b.put_u8(0);
+                    b.put_u16(port_no::NONE);
+                }
+                StatsRequest::Port { port_no } => {
+                    b.put_u16(4);
+                    b.put_u16(0);
+                    b.put_u16(*port_no);
+                    b.put_bytes(0, 6);
+                }
+                StatsRequest::PortDesc => {
+                    return Err(CodecError::new(
+                        "v10/stats",
+                        "PortDesc stats need OpenFlow >= 1.3 (ports travel in FeaturesReply)",
+                    ))
+                }
+            }
+            t::STATS_REQ
+        }
+        Message::StatsReply(rep) => {
+            match rep {
+                StatsReply::Desc { description } => {
+                    b.put_u16(0);
+                    b.put_u16(0);
+                    put_fixed_str(&mut b, description, 256); // mfr_desc
+                    put_fixed_str(&mut b, "yanc-sim", 256); // hw_desc
+                    put_fixed_str(&mut b, "yanc", 256); // sw_desc
+                    put_fixed_str(&mut b, "0", 32); // serial_num
+                    put_fixed_str(&mut b, description, 256); // dp_desc
+                }
+                StatsReply::Flow(flows) => {
+                    b.put_u16(1);
+                    b.put_u16(0);
+                    for fst in flows {
+                        let mut e = BytesMut::new();
+                        e.put_u8(fst.table_id);
+                        e.put_u8(0);
+                        put_match(&mut e, &fst.m);
+                        e.put_u32(fst.duration_sec);
+                        e.put_u32(0); // nsec
+                        e.put_u16(fst.priority);
+                        e.put_u16(0); // idle
+                        e.put_u16(0); // hard
+                        e.put_bytes(0, 6);
+                        e.put_u64(fst.cookie);
+                        e.put_u64(fst.packet_count);
+                        e.put_u64(fst.byte_count);
+                        b.put_u16(e.len() as u16 + 2);
+                        b.put_slice(&e);
+                    }
+                }
+                StatsReply::Aggregate {
+                    packet_count,
+                    byte_count,
+                    flow_count,
+                } => {
+                    b.put_u16(2);
+                    b.put_u16(0);
+                    b.put_u64(*packet_count);
+                    b.put_u64(*byte_count);
+                    b.put_u32(*flow_count);
+                    b.put_bytes(0, 4);
+                }
+                StatsReply::Port(ports) => {
+                    b.put_u16(4);
+                    b.put_u16(0);
+                    for p in ports {
+                        b.put_u16(p.port_no);
+                        b.put_bytes(0, 6);
+                        b.put_u64(p.rx_packets);
+                        b.put_u64(p.tx_packets);
+                        b.put_u64(p.rx_bytes);
+                        b.put_u64(p.tx_bytes);
+                        b.put_u64(p.rx_dropped);
+                        b.put_u64(p.tx_dropped);
+                        b.put_bytes(0, 48); // rx/tx errors, frame/over/crc, collisions
+                    }
+                }
+                StatsReply::PortDesc(_) => {
+                    return Err(CodecError::new(
+                        "v10/stats",
+                        "PortDesc reply needs OpenFlow >= 1.3",
+                    ))
+                }
+            }
+            t::STATS_REP
+        }
+        Message::BarrierRequest => t::BARRIER_REQ,
+        Message::BarrierReply => t::BARRIER_REP,
+    };
+    Ok(frame(VERSION, msg_type, xid, &b))
+}
+
+// ---------------------------------------------------------------------
+// decode
+// ---------------------------------------------------------------------
+
+/// Decode an OpenFlow 1.0 frame body into a [`Message`].
+pub fn decode(f: &RawFrame) -> CodecResult<Message> {
+    if f.version != VERSION {
+        return Err(CodecError::new(
+            "v10",
+            format!("not version 0x01: 0x{:02x}", f.version),
+        ));
+    }
+    let mut r = Reader::new("v10", &f.body);
+    let msg = match f.msg_type {
+        t::HELLO => Message::Hello,
+        t::ERROR => {
+            let err_type = r.u16()?;
+            let code = r.u16()?;
+            Message::Error {
+                err_type,
+                code,
+                data: Bytes::copy_from_slice(r.rest()),
+            }
+        }
+        t::ECHO_REQ => Message::EchoRequest(Bytes::copy_from_slice(r.rest())),
+        t::ECHO_REP => Message::EchoReply(Bytes::copy_from_slice(r.rest())),
+        t::FEATURES_REQ => Message::FeaturesRequest,
+        t::FEATURES_REP => {
+            let datapath_id = r.u64()?;
+            let n_buffers = r.u32()?;
+            let n_tables = r.u8()?;
+            r.skip(3)?;
+            let capabilities = r.u32()?;
+            let actions = r.u32()?;
+            let mut ports = Vec::new();
+            while r.remaining() >= 48 {
+                ports.push(get_port(&mut r)?);
+            }
+            Message::FeaturesReply(SwitchFeatures {
+                datapath_id,
+                n_buffers,
+                n_tables,
+                capabilities,
+                actions,
+                ports,
+            })
+        }
+        t::GET_CONFIG_REQ => Message::GetConfigRequest,
+        t::GET_CONFIG_REP => {
+            r.skip(2)?;
+            Message::GetConfigReply {
+                miss_send_len: r.u16()?,
+            }
+        }
+        t::SET_CONFIG => {
+            r.skip(2)?;
+            Message::SetConfig {
+                miss_send_len: r.u16()?,
+            }
+        }
+        t::PACKET_IN => {
+            let buffer_id = r.u32()?;
+            let total_len = r.u16()?;
+            let in_port = r.u16()?;
+            let reason = match r.u8()? {
+                0 => PacketInReason::NoMatch,
+                _ => PacketInReason::Action,
+            };
+            r.skip(1)?;
+            Message::PacketIn {
+                buffer_id: (buffer_id != BUFFER_NONE).then_some(buffer_id),
+                total_len,
+                in_port,
+                reason,
+                table_id: 0,
+                data: Bytes::copy_from_slice(r.rest()),
+            }
+        }
+        t::PACKET_OUT => {
+            let buffer_id = r.u32()?;
+            let in_port = r.u16()?;
+            let alen = usize::from(r.u16()?);
+            let actions = get_actions(&mut r, alen)?;
+            Message::PacketOut {
+                buffer_id: (buffer_id != BUFFER_NONE).then_some(buffer_id),
+                in_port,
+                actions,
+                data: Bytes::copy_from_slice(r.rest()),
+            }
+        }
+        t::FLOW_MOD => {
+            let m = get_match(&mut r)?;
+            let cookie = r.u64()?;
+            let command = match r.u16()? {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::ModifyStrict,
+                3 => FlowModCommand::Delete,
+                4 => FlowModCommand::DeleteStrict,
+                c => return Err(CodecError::new("v10/flow_mod", format!("bad command {c}"))),
+            };
+            let idle_timeout = r.u16()?;
+            let hard_timeout = r.u16()?;
+            let priority = r.u16()?;
+            let buffer_id = r.u32()?;
+            let out_port = r.u16()?;
+            let flags = r.u16()?;
+            let alen = r.remaining();
+            let actions = get_actions(&mut r, alen)?;
+            Message::FlowMod(FlowMod {
+                table_id: 0,
+                command,
+                m,
+                cookie,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id: (buffer_id != BUFFER_NONE).then_some(buffer_id),
+                out_port: (out_port != port_no::NONE).then_some(out_port),
+                flags,
+                actions,
+                goto_table: None,
+            })
+        }
+        t::FLOW_REMOVED => {
+            let m = get_match(&mut r)?;
+            let cookie = r.u64()?;
+            let priority = r.u16()?;
+            let reason = match r.u8()? {
+                0 => FlowRemovedReason::IdleTimeout,
+                1 => FlowRemovedReason::HardTimeout,
+                _ => FlowRemovedReason::Delete,
+            };
+            r.skip(1)?;
+            let duration_sec = r.u32()?;
+            r.skip(4 + 2 + 2)?;
+            let packet_count = r.u64()?;
+            let byte_count = r.u64()?;
+            Message::FlowRemoved {
+                m,
+                cookie,
+                priority,
+                reason,
+                duration_sec,
+                packet_count,
+                byte_count,
+            }
+        }
+        t::PORT_STATUS => {
+            let reason = match r.u8()? {
+                0 => PortReason::Add,
+                1 => PortReason::Delete,
+                _ => PortReason::Modify,
+            };
+            r.skip(7)?;
+            Message::PortStatus {
+                reason,
+                desc: get_port(&mut r)?,
+            }
+        }
+        t::PORT_MOD => {
+            let port_no = r.u16()?;
+            let hw_addr = MacAddr(r.bytes(6)?.try_into().unwrap());
+            let config = r.u32()?;
+            let _mask = r.u32()?;
+            Message::PortMod {
+                port_no,
+                hw_addr,
+                down: config & 1 != 0,
+            }
+        }
+        t::STATS_REQ => {
+            let stype = r.u16()?;
+            r.skip(2)?;
+            let req = match stype {
+                0 => StatsRequest::Desc,
+                1 | 2 => {
+                    let m = get_match(&mut r)?;
+                    let table_id = r.u8()?;
+                    r.skip(1)?;
+                    let _out_port = r.u16()?;
+                    if stype == 1 {
+                        StatsRequest::Flow { table_id, m }
+                    } else {
+                        StatsRequest::Aggregate { table_id, m }
+                    }
+                }
+                4 => {
+                    let port_no = r.u16()?;
+                    r.skip(6)?;
+                    StatsRequest::Port { port_no }
+                }
+                o => {
+                    return Err(CodecError::new(
+                        "v10/stats",
+                        format!("unknown stats type {o}"),
+                    ))
+                }
+            };
+            Message::StatsRequest(req)
+        }
+        t::STATS_REP => {
+            let stype = r.u16()?;
+            r.skip(2)?;
+            let rep = match stype {
+                0 => {
+                    let description = get_fixed_str(&mut r, 256)?;
+                    r.skip(256 + 256 + 32 + 256)?;
+                    StatsReply::Desc { description }
+                }
+                1 => {
+                    let mut flows = Vec::new();
+                    while r.remaining() >= 2 {
+                        let len = usize::from(r.u16()?);
+                        let table_id = r.u8()?;
+                        r.skip(1)?;
+                        let m = get_match(&mut r)?;
+                        let duration_sec = r.u32()?;
+                        r.skip(4)?;
+                        let priority = r.u16()?;
+                        r.skip(2 + 2 + 6)?;
+                        let cookie = r.u64()?;
+                        let packet_count = r.u64()?;
+                        let byte_count = r.u64()?;
+                        // Skip trailing actions, if any.
+                        let consumed = 2 + 1 + 1 + 40 + 4 + 4 + 2 + 2 + 2 + 6 + 8 + 8 + 8;
+                        if len > consumed {
+                            r.skip(len - consumed)?;
+                        }
+                        flows.push(FlowStats {
+                            table_id,
+                            m,
+                            priority,
+                            cookie,
+                            duration_sec,
+                            packet_count,
+                            byte_count,
+                        });
+                    }
+                    StatsReply::Flow(flows)
+                }
+                2 => {
+                    let packet_count = r.u64()?;
+                    let byte_count = r.u64()?;
+                    let flow_count = r.u32()?;
+                    StatsReply::Aggregate {
+                        packet_count,
+                        byte_count,
+                        flow_count,
+                    }
+                }
+                4 => {
+                    let mut ports = Vec::new();
+                    while r.remaining() >= 104 {
+                        let port_nmb = r.u16()?;
+                        r.skip(6)?;
+                        let rx_packets = r.u64()?;
+                        let tx_packets = r.u64()?;
+                        let rx_bytes = r.u64()?;
+                        let tx_bytes = r.u64()?;
+                        let rx_dropped = r.u64()?;
+                        let tx_dropped = r.u64()?;
+                        r.skip(48)?;
+                        ports.push(PortStats {
+                            port_no: port_nmb,
+                            rx_packets,
+                            tx_packets,
+                            rx_bytes,
+                            tx_bytes,
+                            rx_dropped,
+                            tx_dropped,
+                        });
+                    }
+                    StatsReply::Port(ports)
+                }
+                o => {
+                    return Err(CodecError::new(
+                        "v10/stats",
+                        format!("unknown stats type {o}"),
+                    ))
+                }
+            };
+            Message::StatsReply(rep)
+        }
+        t::BARRIER_REQ => Message::BarrierRequest,
+        t::BARRIER_REP => Message::BarrierReply,
+        other => {
+            return Err(CodecError::new(
+                "v10",
+                format!("unknown message type {other}"),
+            ))
+        }
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FrameCodec;
+
+    fn roundtrip(msg: Message) -> Message {
+        let wire = encode(&msg, 99).unwrap();
+        let mut c = FrameCodec::new();
+        c.feed(&wire);
+        let f = c.next_frame().unwrap().unwrap();
+        assert_eq!(f.xid, 99);
+        assert_eq!(f.version, VERSION);
+        decode(&f).unwrap()
+    }
+
+    fn sample_match() -> FlowMatch {
+        FlowMatch {
+            in_port: Some(3),
+            dl_src: Some(MacAddr::from_seed(1)),
+            dl_dst: None,
+            dl_vlan: Some(100),
+            dl_vlan_pcp: None,
+            dl_type: Some(0x0800),
+            nw_tos: None,
+            nw_proto: Some(6),
+            nw_src: Ipv4Prefix::parse("10.0.0.0/24"),
+            nw_dst: Ipv4Prefix::parse("10.0.1.5"),
+            tp_src: None,
+            tp_dst: Some(22),
+        }
+    }
+
+    fn sample_port(n: u16) -> PortDesc {
+        PortDesc {
+            port_no: n,
+            hw_addr: MacAddr::from_seed(u64::from(n)),
+            name: format!("p{n}"),
+            config_down: n % 2 == 0,
+            link_down: false,
+            curr_speed: 1_000_000,
+            max_speed: 10_000_000,
+        }
+    }
+
+    #[test]
+    fn simple_messages_roundtrip() {
+        for m in [
+            Message::Hello,
+            Message::FeaturesRequest,
+            Message::BarrierRequest,
+            Message::BarrierReply,
+            Message::GetConfigRequest,
+            Message::GetConfigReply { miss_send_len: 128 },
+            Message::SetConfig {
+                miss_send_len: 65535,
+            },
+            Message::EchoRequest(Bytes::from_static(b"ping")),
+            Message::EchoReply(Bytes::from_static(b"pong")),
+            Message::Error {
+                err_type: 1,
+                code: 2,
+                data: Bytes::from_static(b"bad"),
+            },
+        ] {
+            assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn match_roundtrip_all_fields_and_wildcards() {
+        let mut b = BytesMut::new();
+        put_match(&mut b, &sample_match());
+        assert_eq!(b.len(), 40);
+        let mut r = Reader::new("t", &b);
+        assert_eq!(get_match(&mut r).unwrap(), sample_match());
+
+        let mut b = BytesMut::new();
+        put_match(&mut b, &FlowMatch::any());
+        let mut r = Reader::new("t", &b);
+        assert_eq!(get_match(&mut r).unwrap(), FlowMatch::any());
+    }
+
+    #[test]
+    fn flow_mod_roundtrip() {
+        let fm = FlowMod {
+            table_id: 0,
+            command: FlowModCommand::Add,
+            m: sample_match(),
+            cookie: 0xfeed,
+            idle_timeout: 30,
+            hard_timeout: 300,
+            priority: 1000,
+            buffer_id: Some(77),
+            out_port: None,
+            flags: 1,
+            actions: vec![
+                Action::SetVlanVid(200),
+                Action::SetDlDst(MacAddr::from_seed(9)),
+                Action::SetNwSrc("1.2.3.4".parse().unwrap()),
+                Action::SetNwTos(0x10),
+                Action::SetTpDst(8080),
+                Action::StripVlan,
+                Action::Enqueue {
+                    port: 2,
+                    queue_id: 5,
+                },
+                Action::out(2),
+            ],
+            goto_table: None,
+        };
+        assert_eq!(
+            roundtrip(Message::FlowMod(fm.clone())),
+            Message::FlowMod(fm)
+        );
+    }
+
+    #[test]
+    fn flow_mod_with_goto_fails_to_encode() {
+        let mut fm = FlowMod::add(FlowMatch::any(), 1, vec![]);
+        fm.goto_table = Some(1);
+        let e = encode(&Message::FlowMod(fm), 1).unwrap_err();
+        assert!(e.reason.contains("goto_table"));
+        let mut fm2 = FlowMod::add(FlowMatch::any(), 1, vec![]);
+        fm2.table_id = 2;
+        assert!(encode(&Message::FlowMod(fm2), 1).is_err());
+    }
+
+    #[test]
+    fn packet_in_roundtrip() {
+        let m = Message::PacketIn {
+            buffer_id: Some(42),
+            total_len: 60,
+            in_port: 7,
+            reason: PacketInReason::NoMatch,
+            table_id: 0,
+            data: Bytes::from_static(b"frame-bytes"),
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+        let unbuffered = Message::PacketIn {
+            buffer_id: None,
+            total_len: 60,
+            in_port: 7,
+            reason: PacketInReason::Action,
+            table_id: 0,
+            data: Bytes::from_static(b"frame"),
+        };
+        assert_eq!(roundtrip(unbuffered.clone()), unbuffered);
+    }
+
+    #[test]
+    fn packet_out_roundtrip() {
+        let m = Message::PacketOut {
+            buffer_id: None,
+            in_port: port_no::NONE,
+            actions: vec![Action::out(port_no::FLOOD)],
+            data: Bytes::from_static(b"payload"),
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn features_reply_roundtrip_with_ports() {
+        let m = Message::FeaturesReply(SwitchFeatures {
+            datapath_id: 0xabcdef,
+            n_buffers: 256,
+            n_tables: 1,
+            capabilities: 0xc7,
+            actions: 0xfff,
+            ports: vec![sample_port(1), sample_port(2), sample_port(3)],
+        });
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn port_status_and_mod_roundtrip() {
+        let m = Message::PortStatus {
+            reason: PortReason::Modify,
+            desc: sample_port(4),
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+        let pm = Message::PortMod {
+            port_no: 4,
+            hw_addr: MacAddr::from_seed(4),
+            down: true,
+        };
+        assert_eq!(roundtrip(pm.clone()), pm);
+    }
+
+    #[test]
+    fn flow_removed_roundtrip() {
+        let m = Message::FlowRemoved {
+            m: sample_match(),
+            cookie: 1,
+            priority: 5,
+            reason: FlowRemovedReason::IdleTimeout,
+            duration_sec: 100,
+            packet_count: 55,
+            byte_count: 5500,
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn stats_roundtrips() {
+        for m in [
+            Message::StatsRequest(StatsRequest::Desc),
+            Message::StatsRequest(StatsRequest::Flow {
+                table_id: 0xff,
+                m: sample_match(),
+            }),
+            Message::StatsRequest(StatsRequest::Aggregate {
+                table_id: 0,
+                m: FlowMatch::any(),
+            }),
+            Message::StatsRequest(StatsRequest::Port {
+                port_no: port_no::NONE,
+            }),
+            Message::StatsReply(StatsReply::Desc {
+                description: "yanc simulated switch".into(),
+            }),
+            Message::StatsReply(StatsReply::Aggregate {
+                packet_count: 10,
+                byte_count: 1000,
+                flow_count: 3,
+            }),
+            Message::StatsReply(StatsReply::Flow(vec![FlowStats {
+                table_id: 0,
+                m: sample_match(),
+                priority: 9,
+                cookie: 3,
+                duration_sec: 60,
+                packet_count: 5,
+                byte_count: 300,
+            }])),
+            Message::StatsReply(StatsReply::Port(vec![PortStats {
+                port_no: 1,
+                rx_packets: 1,
+                tx_packets: 2,
+                rx_bytes: 3,
+                tx_bytes: 4,
+                rx_dropped: 0,
+                tx_dropped: 0,
+            }])),
+        ] {
+            assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn port_desc_stats_rejected() {
+        assert!(encode(&Message::StatsRequest(StatsRequest::PortDesc), 1).is_err());
+        assert!(encode(&Message::StatsReply(StatsReply::PortDesc(vec![])), 1).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let wire = encode(
+            &Message::FlowMod(FlowMod::add(sample_match(), 1, vec![])),
+            1,
+        )
+        .unwrap();
+        let mut c = FrameCodec::new();
+        // Chop the frame and fix up the length so only the body is short.
+        let mut broken = wire.to_vec();
+        broken.truncate(20);
+        broken[2] = 0;
+        broken[3] = 20;
+        c.feed(&broken);
+        let f = c.next_frame().unwrap().unwrap();
+        assert!(decode(&f).is_err());
+    }
+}

@@ -1,0 +1,1505 @@
+//! OpenFlow 1.3 (wire version 0x04) message codec.
+//!
+//! Uses the OXM TLV match format, instruction lists (goto-table +
+//! apply-actions), 64-byte port descriptions and multipart messages. The
+//! codec enforces OXM *prerequisites* exactly as the spec does: matching on
+//! `tp_dst` requires `nw_proto`, which requires `dl_type` — a FlowMod that
+//! violates them fails to encode, mirroring what a real 1.3 switch would
+//! reject with `OFPBMC_BAD_PREREQ`.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use yanc_packet::{ip_proto, EtherType, MacAddr};
+
+use crate::types::{
+    Action, FlowMatch, FlowMod, FlowModCommand, FlowRemovedReason, FlowStats, Ipv4Prefix, Message,
+    PacketInReason, PortDesc, PortReason, PortStats, StatsReply, StatsRequest, SwitchFeatures,
+};
+use crate::wire::{frame, get_fixed_str, put_fixed_str, CodecError, CodecResult, RawFrame, Reader};
+
+/// The wire version byte.
+pub const VERSION: u8 = 0x04;
+
+// Message type codes.
+mod t {
+    pub const HELLO: u8 = 0;
+    pub const ERROR: u8 = 1;
+    pub const ECHO_REQ: u8 = 2;
+    pub const ECHO_REP: u8 = 3;
+    pub const FEATURES_REQ: u8 = 5;
+    pub const FEATURES_REP: u8 = 6;
+    pub const GET_CONFIG_REQ: u8 = 7;
+    pub const GET_CONFIG_REP: u8 = 8;
+    pub const SET_CONFIG: u8 = 9;
+    pub const PACKET_IN: u8 = 10;
+    pub const FLOW_REMOVED: u8 = 11;
+    pub const PORT_STATUS: u8 = 12;
+    pub const PACKET_OUT: u8 = 13;
+    pub const FLOW_MOD: u8 = 14;
+    pub const PORT_MOD: u8 = 16;
+    pub const MULTIPART_REQ: u8 = 18;
+    pub const MULTIPART_REP: u8 = 19;
+    pub const BARRIER_REQ: u8 = 20;
+    pub const BARRIER_REP: u8 = 21;
+}
+
+// OXM fields (class OFPXMC_OPENFLOW_BASIC).
+mod oxm {
+    pub const CLASS_BASIC: u16 = 0x8000;
+    pub const IN_PORT: u8 = 0;
+    pub const ETH_DST: u8 = 3;
+    pub const ETH_SRC: u8 = 4;
+    pub const ETH_TYPE: u8 = 5;
+    pub const VLAN_VID: u8 = 6;
+    pub const VLAN_PCP: u8 = 7;
+    pub const IP_DSCP: u8 = 8;
+    pub const IP_PROTO: u8 = 10;
+    pub const IPV4_SRC: u8 = 11;
+    pub const IPV4_DST: u8 = 12;
+    pub const TCP_SRC: u8 = 13;
+    pub const TCP_DST: u8 = 14;
+    pub const UDP_SRC: u8 = 15;
+    pub const UDP_DST: u8 = 16;
+    pub const ICMPV4_TYPE: u8 = 19;
+    pub const ICMPV4_CODE: u8 = 20;
+    pub const ARP_OP: u8 = 21;
+    pub const ARP_SPA: u8 = 22;
+    pub const ARP_TPA: u8 = 23;
+    /// OFPVID_PRESENT: set in VLAN_VID values for tagged traffic.
+    pub const VID_PRESENT: u16 = 0x1000;
+}
+
+const BUFFER_NONE: u32 = 0xffff_ffff;
+const PORT_ANY: u32 = 0xffff_ffff;
+const GROUP_ANY: u32 = 0xffff_ffff;
+
+/// Map a 1.0-style 16-bit port number to the 1.3 32-bit space (reserved
+/// ports 0xfff8..=0xffff become 0xfffffff8..=0xffffffff).
+pub fn port16_to32(p: u16) -> u32 {
+    if p >= 0xfff8 {
+        0xffff_fff0 | u32::from(p & 0xf)
+    } else {
+        u32::from(p)
+    }
+}
+
+/// Inverse of [`port16_to32`].
+pub fn port32_to16(p: u32) -> u16 {
+    if p >= 0xffff_fff0 {
+        0xfff0 | (p & 0xf) as u16
+    } else {
+        (p & 0xffff) as u16
+    }
+}
+
+// ---------------------------------------------------------------------
+// OXM match
+// ---------------------------------------------------------------------
+
+fn put_oxm_u8(b: &mut BytesMut, field: u8, v: u8) {
+    b.put_u16(oxm::CLASS_BASIC);
+    b.put_u8(field << 1);
+    b.put_u8(1);
+    b.put_u8(v);
+}
+
+fn put_oxm_u16(b: &mut BytesMut, field: u8, v: u16) {
+    b.put_u16(oxm::CLASS_BASIC);
+    b.put_u8(field << 1);
+    b.put_u8(2);
+    b.put_u16(v);
+}
+
+fn put_oxm_u32(b: &mut BytesMut, field: u8, v: u32) {
+    b.put_u16(oxm::CLASS_BASIC);
+    b.put_u8(field << 1);
+    b.put_u8(4);
+    b.put_u32(v);
+}
+
+fn put_oxm_mac(b: &mut BytesMut, field: u8, v: MacAddr) {
+    b.put_u16(oxm::CLASS_BASIC);
+    b.put_u8(field << 1);
+    b.put_u8(6);
+    b.put_slice(&v.0);
+}
+
+fn put_oxm_ipv4(b: &mut BytesMut, field: u8, p: Ipv4Prefix) {
+    if p.prefix_len >= 32 {
+        put_oxm_u32(b, field, u32::from(p.addr));
+    } else {
+        b.put_u16(oxm::CLASS_BASIC);
+        b.put_u8((field << 1) | 1); // hasmask
+        b.put_u8(8);
+        b.put_u32(u32::from(p.addr) & p.mask());
+        b.put_u32(p.mask());
+    }
+}
+
+/// Serialize the OXM payload for `m` (optionally with an explicit ingress
+/// port for packet-in matches). Enforces prerequisites.
+fn oxm_payload(m: &FlowMatch) -> CodecResult<BytesMut> {
+    let mut b = BytesMut::new();
+    if let Some(p) = m.in_port {
+        put_oxm_u32(&mut b, oxm::IN_PORT, port16_to32(p));
+    }
+    if let Some(mac) = m.dl_dst {
+        put_oxm_mac(&mut b, oxm::ETH_DST, mac);
+    }
+    if let Some(mac) = m.dl_src {
+        put_oxm_mac(&mut b, oxm::ETH_SRC, mac);
+    }
+    if let Some(et) = m.dl_type {
+        put_oxm_u16(&mut b, oxm::ETH_TYPE, et);
+    }
+    if let Some(vid) = m.dl_vlan {
+        put_oxm_u16(&mut b, oxm::VLAN_VID, oxm::VID_PRESENT | (vid & 0x0fff));
+    }
+    if let Some(pcp) = m.dl_vlan_pcp {
+        if m.dl_vlan.is_none() {
+            return Err(CodecError::new(
+                "v13/oxm",
+                "VLAN_PCP requires VLAN_VID (prerequisite)",
+            ));
+        }
+        put_oxm_u8(&mut b, oxm::VLAN_PCP, pcp);
+    }
+
+    let is_ip = m.dl_type == Some(EtherType::IPV4.0);
+    let is_arp = m.dl_type == Some(EtherType::ARP.0);
+    if (m.nw_src.is_some() || m.nw_dst.is_some() || m.nw_proto.is_some() || m.nw_tos.is_some())
+        && !is_ip
+        && !is_arp
+    {
+        return Err(CodecError::new(
+            "v13/oxm",
+            "network-layer fields require dl_type ipv4/arp (prerequisite)",
+        ));
+    }
+    if is_arp {
+        if m.tp_src.is_some() || m.tp_dst.is_some() || m.nw_tos.is_some() {
+            return Err(CodecError::new(
+                "v13/oxm",
+                "transport/tos fields invalid for ARP",
+            ));
+        }
+        if let Some(op) = m.nw_proto {
+            put_oxm_u16(&mut b, oxm::ARP_OP, u16::from(op));
+        }
+        if let Some(p) = m.nw_src {
+            put_oxm_ipv4(&mut b, oxm::ARP_SPA, p);
+        }
+        if let Some(p) = m.nw_dst {
+            put_oxm_ipv4(&mut b, oxm::ARP_TPA, p);
+        }
+        return Ok(b);
+    }
+    if is_ip {
+        if let Some(tos) = m.nw_tos {
+            if tos & 0x3 != 0 {
+                return Err(CodecError::new(
+                    "v13/oxm",
+                    "nw_tos with ECN bits not representable",
+                ));
+            }
+            put_oxm_u8(&mut b, oxm::IP_DSCP, tos >> 2);
+        }
+        if let Some(proto) = m.nw_proto {
+            put_oxm_u8(&mut b, oxm::IP_PROTO, proto);
+        }
+        if let Some(p) = m.nw_src {
+            put_oxm_ipv4(&mut b, oxm::IPV4_SRC, p);
+        }
+        if let Some(p) = m.nw_dst {
+            put_oxm_ipv4(&mut b, oxm::IPV4_DST, p);
+        }
+    }
+    if m.tp_src.is_some() || m.tp_dst.is_some() {
+        let (sf, df) = match m.nw_proto {
+            Some(p) if p == ip_proto::TCP => (oxm::TCP_SRC, oxm::TCP_DST),
+            Some(p) if p == ip_proto::UDP => (oxm::UDP_SRC, oxm::UDP_DST),
+            Some(p) if p == ip_proto::ICMP => (oxm::ICMPV4_TYPE, oxm::ICMPV4_CODE),
+            _ => {
+                return Err(CodecError::new(
+                    "v13/oxm",
+                    "transport fields require nw_proto tcp/udp/icmp (prerequisite)",
+                ))
+            }
+        };
+        if m.nw_proto == Some(ip_proto::ICMP) {
+            if let Some(tp) = m.tp_src {
+                put_oxm_u8(&mut b, sf, tp as u8);
+            }
+            if let Some(tp) = m.tp_dst {
+                put_oxm_u8(&mut b, df, tp as u8);
+            }
+        } else {
+            if let Some(tp) = m.tp_src {
+                put_oxm_u16(&mut b, sf, tp);
+            }
+            if let Some(tp) = m.tp_dst {
+                put_oxm_u16(&mut b, df, tp);
+            }
+        }
+    }
+    Ok(b)
+}
+
+/// Write a complete `ofp_match` (type 1 + length + OXMs + padding).
+fn put_match(b: &mut BytesMut, m: &FlowMatch) -> CodecResult<()> {
+    let payload = oxm_payload(m)?;
+    let len = 4 + payload.len();
+    b.put_u16(1); // OFPMT_OXM
+    b.put_u16(len as u16);
+    b.put_slice(&payload);
+    let pad = (8 - len % 8) % 8;
+    b.put_bytes(0, pad);
+    Ok(())
+}
+
+/// Parse a complete `ofp_match` back into a [`FlowMatch`].
+fn get_match(r: &mut Reader<'_>) -> CodecResult<FlowMatch> {
+    let mtype = r.u16()?;
+    if mtype != 1 {
+        return Err(CodecError::new(
+            "v13/match",
+            format!("unsupported match type {mtype}"),
+        ));
+    }
+    let len = usize::from(r.u16()?);
+    if len < 4 {
+        return Err(CodecError::new("v13/match", "match length too small"));
+    }
+    let mut payload = Reader::new("v13/oxm", r.bytes(len - 4)?);
+    let pad = (8 - len % 8) % 8;
+    r.skip(pad)?;
+
+    let mut m = FlowMatch::any();
+    while payload.remaining() >= 4 {
+        let class = payload.u16()?;
+        let fh = payload.u8()?;
+        let field = fh >> 1;
+        let hasmask = fh & 1 != 0;
+        let vlen = usize::from(payload.u8()?);
+        let val = payload.bytes(vlen)?;
+        if class != oxm::CLASS_BASIC {
+            continue; // experimenter classes skipped
+        }
+        let u8v = || val.first().copied().unwrap_or(0);
+        let u16v = || u16::from_be_bytes([val[0], val[1]]);
+        let u32v = || u32::from_be_bytes(val[..4].try_into().unwrap());
+        match field {
+            oxm::IN_PORT if vlen == 4 => m.in_port = Some(port32_to16(u32v())),
+            oxm::ETH_DST if vlen == 6 => m.dl_dst = Some(MacAddr(val.try_into().unwrap())),
+            oxm::ETH_SRC if vlen == 6 => m.dl_src = Some(MacAddr(val.try_into().unwrap())),
+            oxm::ETH_TYPE if vlen == 2 => m.dl_type = Some(u16v()),
+            oxm::VLAN_VID if vlen == 2 => m.dl_vlan = Some(u16v() & 0x0fff),
+            oxm::VLAN_PCP if vlen == 1 => m.dl_vlan_pcp = Some(u8v()),
+            oxm::IP_DSCP if vlen == 1 => m.nw_tos = Some(u8v() << 2),
+            oxm::IP_PROTO if vlen == 1 => m.nw_proto = Some(u8v()),
+            oxm::IPV4_SRC | oxm::ARP_SPA => {
+                m.nw_src = Some(decode_ip_prefix(val, hasmask)?);
+            }
+            oxm::IPV4_DST | oxm::ARP_TPA => {
+                m.nw_dst = Some(decode_ip_prefix(val, hasmask)?);
+            }
+            oxm::TCP_SRC | oxm::UDP_SRC if vlen == 2 => m.tp_src = Some(u16v()),
+            oxm::TCP_DST | oxm::UDP_DST if vlen == 2 => m.tp_dst = Some(u16v()),
+            oxm::ICMPV4_TYPE if vlen == 1 => m.tp_src = Some(u16::from(u8v())),
+            oxm::ICMPV4_CODE if vlen == 1 => m.tp_dst = Some(u16::from(u8v())),
+            oxm::ARP_OP if vlen == 2 => m.nw_proto = Some(u16v() as u8),
+            _ => {} // unknown fields skipped (forward compatibility)
+        }
+    }
+    Ok(m)
+}
+
+fn decode_ip_prefix(val: &[u8], hasmask: bool) -> CodecResult<Ipv4Prefix> {
+    if hasmask {
+        if val.len() != 8 {
+            return Err(CodecError::new("v13/oxm", "masked ipv4 needs 8 bytes"));
+        }
+        let addr = Ipv4Addr::new(val[0], val[1], val[2], val[3]);
+        let mask = u32::from_be_bytes(val[4..8].try_into().unwrap());
+        Ok(Ipv4Prefix {
+            addr,
+            prefix_len: mask.count_ones() as u8,
+        })
+    } else {
+        if val.len() != 4 {
+            return Err(CodecError::new("v13/oxm", "ipv4 needs 4 bytes"));
+        }
+        Ok(Ipv4Prefix::host(Ipv4Addr::new(
+            val[0], val[1], val[2], val[3],
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// actions & instructions
+// ---------------------------------------------------------------------
+
+fn put_set_field(b: &mut BytesMut, build: impl FnOnce(&mut BytesMut)) {
+    let mut oxm_buf = BytesMut::new();
+    build(&mut oxm_buf);
+    let len = 4 + oxm_buf.len();
+    let padded = len.div_ceil(8) * 8;
+    b.put_u16(25); // OFPAT_SET_FIELD
+    b.put_u16(padded as u16);
+    b.put_slice(&oxm_buf);
+    b.put_bytes(0, padded - len);
+}
+
+fn put_actions(b: &mut BytesMut, actions: &[Action]) -> CodecResult<()> {
+    for a in actions {
+        match a {
+            Action::Output { port, max_len } => {
+                b.put_u16(0);
+                b.put_u16(16);
+                b.put_u32(port16_to32(*port));
+                b.put_u16(*max_len);
+                b.put_bytes(0, 6);
+            }
+            Action::SetVlanVid(vid) => {
+                put_set_field(b, |o| {
+                    put_oxm_u16(o, oxm::VLAN_VID, oxm::VID_PRESENT | (vid & 0xfff))
+                });
+            }
+            Action::SetVlanPcp(pcp) => put_set_field(b, |o| put_oxm_u8(o, oxm::VLAN_PCP, *pcp)),
+            Action::StripVlan => {
+                b.put_u16(18); // POP_VLAN
+                b.put_u16(8);
+                b.put_bytes(0, 4);
+            }
+            Action::SetDlSrc(mac) => put_set_field(b, |o| put_oxm_mac(o, oxm::ETH_SRC, *mac)),
+            Action::SetDlDst(mac) => put_set_field(b, |o| put_oxm_mac(o, oxm::ETH_DST, *mac)),
+            Action::SetNwSrc(ip) => {
+                put_set_field(b, |o| put_oxm_u32(o, oxm::IPV4_SRC, u32::from(*ip)))
+            }
+            Action::SetNwDst(ip) => {
+                put_set_field(b, |o| put_oxm_u32(o, oxm::IPV4_DST, u32::from(*ip)))
+            }
+            Action::SetNwTos(tos) => {
+                if tos & 0x3 != 0 {
+                    return Err(CodecError::new(
+                        "v13/action",
+                        "TOS with ECN bits not representable",
+                    ));
+                }
+                put_set_field(b, |o| put_oxm_u8(o, oxm::IP_DSCP, tos >> 2));
+            }
+            Action::SetTpSrc(p) => put_set_field(b, |o| put_oxm_u16(o, oxm::TCP_SRC, *p)),
+            Action::SetTpDst(p) => put_set_field(b, |o| put_oxm_u16(o, oxm::TCP_DST, *p)),
+            Action::Enqueue { port, queue_id } => {
+                // 1.3 splits this into SET_QUEUE + OUTPUT; the decoder
+                // re-merges the pair.
+                b.put_u16(21); // SET_QUEUE
+                b.put_u16(8);
+                b.put_u32(*queue_id);
+                b.put_u16(0); // OUTPUT
+                b.put_u16(16);
+                b.put_u32(port16_to32(*port));
+                b.put_u16(0xffff);
+                b.put_bytes(0, 6);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_actions(r: &mut Reader<'_>, total_len: usize) -> CodecResult<Vec<Action>> {
+    let end = r.pos + total_len;
+    let mut out: Vec<Action> = Vec::new();
+    let mut pending_queue: Option<u32> = None;
+    while r.pos < end {
+        let atype = r.u16()?;
+        let alen = usize::from(r.u16()?);
+        if alen < 8 {
+            return Err(CodecError::new(
+                "v13/action",
+                format!("bad action length {alen}"),
+            ));
+        }
+        let body_len = alen - 4;
+        match atype {
+            0 => {
+                let port = port32_to16(r.u32()?);
+                let max_len = r.u16()?;
+                r.skip(6)?;
+                if let Some(queue_id) = pending_queue.take() {
+                    out.push(Action::Enqueue { port, queue_id });
+                } else {
+                    out.push(Action::Output { port, max_len });
+                }
+            }
+            18 => {
+                r.skip(4)?;
+                out.push(Action::StripVlan);
+            }
+            21 => {
+                pending_queue = Some(r.u32()?);
+            }
+            25 => {
+                // SET_FIELD: one OXM, padded.
+                let start = r.pos;
+                let _class = r.u16()?;
+                let field = r.u8()? >> 1;
+                let vlen = usize::from(r.u8()?);
+                let val = r.bytes(vlen)?.to_vec();
+                let consumed = r.pos - start;
+                r.skip(body_len - consumed)?;
+                let act = match field {
+                    oxm::VLAN_VID => {
+                        Action::SetVlanVid(u16::from_be_bytes([val[0], val[1]]) & 0xfff)
+                    }
+                    oxm::VLAN_PCP => Action::SetVlanPcp(val[0]),
+                    oxm::ETH_SRC => Action::SetDlSrc(MacAddr(val[..6].try_into().unwrap())),
+                    oxm::ETH_DST => Action::SetDlDst(MacAddr(val[..6].try_into().unwrap())),
+                    oxm::IPV4_SRC => Action::SetNwSrc(Ipv4Addr::from(u32::from_be_bytes(
+                        val[..4].try_into().unwrap(),
+                    ))),
+                    oxm::IPV4_DST => Action::SetNwDst(Ipv4Addr::from(u32::from_be_bytes(
+                        val[..4].try_into().unwrap(),
+                    ))),
+                    oxm::IP_DSCP => Action::SetNwTos(val[0] << 2),
+                    oxm::TCP_SRC | oxm::UDP_SRC => {
+                        Action::SetTpSrc(u16::from_be_bytes([val[0], val[1]]))
+                    }
+                    oxm::TCP_DST | oxm::UDP_DST => {
+                        Action::SetTpDst(u16::from_be_bytes([val[0], val[1]]))
+                    }
+                    f => {
+                        return Err(CodecError::new(
+                            "v13/action",
+                            format!("unknown set-field {f}"),
+                        ))
+                    }
+                };
+                out.push(act);
+            }
+            17 => {
+                // PUSH_VLAN: implied by a following SET_FIELD(VLAN_VID); drop.
+                r.skip(4)?;
+            }
+            other => {
+                return Err(CodecError::new(
+                    "v13/action",
+                    format!("unknown action type {other}"),
+                ))
+            }
+        }
+    }
+    if pending_queue.is_some() {
+        return Err(CodecError::new(
+            "v13/action",
+            "SET_QUEUE without following OUTPUT",
+        ));
+    }
+    Ok(out)
+}
+
+/// Write the instruction list for a flow mod.
+fn put_instructions(b: &mut BytesMut, fm: &FlowMod) -> CodecResult<()> {
+    if !fm.actions.is_empty() || fm.goto_table.is_none() {
+        let mut ab = BytesMut::new();
+        put_actions(&mut ab, &fm.actions)?;
+        b.put_u16(4); // APPLY_ACTIONS
+        b.put_u16(8 + ab.len() as u16);
+        b.put_bytes(0, 4);
+        b.put_slice(&ab);
+    }
+    if let Some(table) = fm.goto_table {
+        b.put_u16(1); // GOTO_TABLE
+        b.put_u16(8);
+        b.put_u8(table);
+        b.put_bytes(0, 3);
+    }
+    Ok(())
+}
+
+fn get_instructions(r: &mut Reader<'_>) -> CodecResult<(Vec<Action>, Option<u8>)> {
+    let mut actions = Vec::new();
+    let mut goto = None;
+    while r.remaining() >= 4 {
+        let itype = r.u16()?;
+        let ilen = usize::from(r.u16()?);
+        if ilen < 4 {
+            return Err(CodecError::new("v13/instruction", "bad length"));
+        }
+        match itype {
+            1 => {
+                goto = Some(r.u8()?);
+                r.skip(3)?;
+            }
+            3 | 4 => {
+                r.skip(4)?;
+                actions.extend(get_actions(r, ilen - 8)?);
+            }
+            _ => {
+                r.skip(ilen - 4)?;
+            }
+        }
+    }
+    Ok((actions, goto))
+}
+
+// ---------------------------------------------------------------------
+// ports
+// ---------------------------------------------------------------------
+
+fn put_port(b: &mut BytesMut, p: &PortDesc) {
+    b.put_u32(port16_to32(p.port_no));
+    b.put_bytes(0, 4);
+    b.put_slice(&p.hw_addr.0);
+    b.put_bytes(0, 2);
+    put_fixed_str(b, &p.name, 16);
+    b.put_u32(u32::from(p.config_down));
+    b.put_u32(u32::from(p.link_down));
+    b.put_u32(0); // curr features
+    b.put_u32(0); // advertised
+    b.put_u32(0); // supported
+    b.put_u32(0); // peer
+    b.put_u32(p.curr_speed);
+    b.put_u32(p.max_speed);
+}
+
+fn get_port(r: &mut Reader<'_>) -> CodecResult<PortDesc> {
+    let port_no = port32_to16(r.u32()?);
+    r.skip(4)?;
+    let hw_addr = MacAddr(r.bytes(6)?.try_into().unwrap());
+    r.skip(2)?;
+    let name = get_fixed_str(r, 16)?;
+    let config = r.u32()?;
+    let state = r.u32()?;
+    r.skip(16)?;
+    let curr_speed = r.u32()?;
+    let max_speed = r.u32()?;
+    Ok(PortDesc {
+        port_no,
+        hw_addr,
+        name,
+        config_down: config & 1 != 0,
+        link_down: state & 1 != 0,
+        curr_speed,
+        max_speed,
+    })
+}
+
+// ---------------------------------------------------------------------
+// encode
+// ---------------------------------------------------------------------
+
+/// Encode `msg` as an OpenFlow 1.3 frame with the given transaction id.
+pub fn encode(msg: &Message, xid: u32) -> CodecResult<Bytes> {
+    let mut b = BytesMut::new();
+    let msg_type = match msg {
+        Message::Hello => t::HELLO,
+        Message::Error {
+            err_type,
+            code,
+            data,
+        } => {
+            b.put_u16(*err_type);
+            b.put_u16(*code);
+            b.put_slice(data);
+            t::ERROR
+        }
+        Message::EchoRequest(data) => {
+            b.put_slice(data);
+            t::ECHO_REQ
+        }
+        Message::EchoReply(data) => {
+            b.put_slice(data);
+            t::ECHO_REP
+        }
+        Message::FeaturesRequest => t::FEATURES_REQ,
+        Message::FeaturesReply(f) => {
+            if !f.ports.is_empty() {
+                return Err(CodecError::new(
+                    "v13/features",
+                    "1.3 carries ports in a PortDesc multipart, not FeaturesReply",
+                ));
+            }
+            b.put_u64(f.datapath_id);
+            b.put_u32(f.n_buffers);
+            b.put_u8(f.n_tables);
+            b.put_u8(0); // auxiliary id
+            b.put_bytes(0, 2);
+            b.put_u32(f.capabilities);
+            b.put_u32(0); // reserved
+            t::FEATURES_REP
+        }
+        Message::GetConfigRequest => t::GET_CONFIG_REQ,
+        Message::GetConfigReply { miss_send_len } => {
+            b.put_u16(0);
+            b.put_u16(*miss_send_len);
+            t::GET_CONFIG_REP
+        }
+        Message::SetConfig { miss_send_len } => {
+            b.put_u16(0);
+            b.put_u16(*miss_send_len);
+            t::SET_CONFIG
+        }
+        Message::PacketIn {
+            buffer_id,
+            total_len,
+            in_port,
+            reason,
+            table_id,
+            data,
+        } => {
+            b.put_u32(buffer_id.unwrap_or(BUFFER_NONE));
+            b.put_u16(*total_len);
+            b.put_u8(match reason {
+                PacketInReason::NoMatch => 0,
+                PacketInReason::Action => 1,
+            });
+            b.put_u8(*table_id);
+            b.put_u64(0); // cookie
+            let m = FlowMatch {
+                in_port: Some(*in_port),
+                ..Default::default()
+            };
+            put_match(&mut b, &m)?;
+            b.put_bytes(0, 2);
+            b.put_slice(data);
+            t::PACKET_IN
+        }
+        Message::PacketOut {
+            buffer_id,
+            in_port,
+            actions,
+            data,
+        } => {
+            b.put_u32(buffer_id.unwrap_or(BUFFER_NONE));
+            b.put_u32(port16_to32(*in_port));
+            let mut ab = BytesMut::new();
+            put_actions(&mut ab, actions)?;
+            b.put_u16(ab.len() as u16);
+            b.put_bytes(0, 6);
+            b.put_slice(&ab);
+            if buffer_id.is_none() {
+                b.put_slice(data);
+            }
+            t::PACKET_OUT
+        }
+        Message::FlowMod(fm) => {
+            b.put_u64(fm.cookie);
+            b.put_u64(0); // cookie mask
+            b.put_u8(fm.table_id);
+            b.put_u8(match fm.command {
+                FlowModCommand::Add => 0,
+                FlowModCommand::Modify => 1,
+                FlowModCommand::ModifyStrict => 2,
+                FlowModCommand::Delete => 3,
+                FlowModCommand::DeleteStrict => 4,
+            });
+            b.put_u16(fm.idle_timeout);
+            b.put_u16(fm.hard_timeout);
+            b.put_u16(fm.priority);
+            b.put_u32(fm.buffer_id.unwrap_or(BUFFER_NONE));
+            b.put_u32(fm.out_port.map(port16_to32).unwrap_or(PORT_ANY));
+            b.put_u32(GROUP_ANY);
+            b.put_u16(fm.flags);
+            b.put_bytes(0, 2);
+            put_match(&mut b, &fm.m)?;
+            put_instructions(&mut b, fm)?;
+            t::FLOW_MOD
+        }
+        Message::FlowRemoved {
+            m,
+            cookie,
+            priority,
+            reason,
+            duration_sec,
+            packet_count,
+            byte_count,
+        } => {
+            b.put_u64(*cookie);
+            b.put_u16(*priority);
+            b.put_u8(match reason {
+                FlowRemovedReason::IdleTimeout => 0,
+                FlowRemovedReason::HardTimeout => 1,
+                FlowRemovedReason::Delete => 2,
+            });
+            b.put_u8(0); // table id
+            b.put_u32(*duration_sec);
+            b.put_u32(0);
+            b.put_u16(0); // idle
+            b.put_u16(0); // hard
+            b.put_u64(*packet_count);
+            b.put_u64(*byte_count);
+            put_match(&mut b, m)?;
+            t::FLOW_REMOVED
+        }
+        Message::PortStatus { reason, desc } => {
+            b.put_u8(match reason {
+                PortReason::Add => 0,
+                PortReason::Delete => 1,
+                PortReason::Modify => 2,
+            });
+            b.put_bytes(0, 7);
+            put_port(&mut b, desc);
+            t::PORT_STATUS
+        }
+        Message::PortMod {
+            port_no,
+            hw_addr,
+            down,
+        } => {
+            b.put_u32(port16_to32(*port_no));
+            b.put_bytes(0, 4);
+            b.put_slice(&hw_addr.0);
+            b.put_bytes(0, 2);
+            b.put_u32(u32::from(*down));
+            b.put_u32(1); // mask
+            b.put_u32(0); // advertise
+            b.put_bytes(0, 4);
+            t::PORT_MOD
+        }
+        Message::StatsRequest(req) => {
+            match req {
+                StatsRequest::Desc => {
+                    b.put_u16(0);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                }
+                StatsRequest::Flow { table_id, m } | StatsRequest::Aggregate { table_id, m } => {
+                    b.put_u16(if matches!(req, StatsRequest::Flow { .. }) {
+                        1
+                    } else {
+                        2
+                    });
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                    b.put_u8(*table_id);
+                    b.put_bytes(0, 3);
+                    b.put_u32(PORT_ANY);
+                    b.put_u32(GROUP_ANY);
+                    b.put_bytes(0, 4);
+                    b.put_u64(0); // cookie
+                    b.put_u64(0); // cookie mask
+                    put_match(&mut b, m)?;
+                }
+                StatsRequest::Port { port_no } => {
+                    b.put_u16(4);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                    b.put_u32(port16_to32(*port_no));
+                    b.put_bytes(0, 4);
+                }
+                StatsRequest::PortDesc => {
+                    b.put_u16(13);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                }
+            }
+            t::MULTIPART_REQ
+        }
+        Message::StatsReply(rep) => {
+            match rep {
+                StatsReply::Desc { description } => {
+                    b.put_u16(0);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                    put_fixed_str(&mut b, description, 256);
+                    put_fixed_str(&mut b, "yanc-sim", 256);
+                    put_fixed_str(&mut b, "yanc", 256);
+                    put_fixed_str(&mut b, "0", 32);
+                    put_fixed_str(&mut b, description, 256);
+                }
+                StatsReply::Flow(flows) => {
+                    b.put_u16(1);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                    for fst in flows {
+                        let mut e = BytesMut::new();
+                        e.put_u8(fst.table_id);
+                        e.put_u8(0);
+                        e.put_u32(fst.duration_sec);
+                        e.put_u32(0);
+                        e.put_u16(fst.priority);
+                        e.put_u16(0);
+                        e.put_u16(0);
+                        e.put_u16(0); // flags
+                        e.put_bytes(0, 4);
+                        e.put_u64(fst.cookie);
+                        e.put_u64(fst.packet_count);
+                        e.put_u64(fst.byte_count);
+                        put_match(&mut e, &fst.m)?;
+                        b.put_u16(e.len() as u16 + 2);
+                        b.put_slice(&e);
+                    }
+                }
+                StatsReply::Aggregate {
+                    packet_count,
+                    byte_count,
+                    flow_count,
+                } => {
+                    b.put_u16(2);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                    b.put_u64(*packet_count);
+                    b.put_u64(*byte_count);
+                    b.put_u32(*flow_count);
+                    b.put_bytes(0, 4);
+                }
+                StatsReply::Port(ports) => {
+                    b.put_u16(4);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                    for p in ports {
+                        b.put_u32(port16_to32(p.port_no));
+                        b.put_bytes(0, 4);
+                        b.put_u64(p.rx_packets);
+                        b.put_u64(p.tx_packets);
+                        b.put_u64(p.rx_bytes);
+                        b.put_u64(p.tx_bytes);
+                        b.put_u64(p.rx_dropped);
+                        b.put_u64(p.tx_dropped);
+                        b.put_bytes(0, 48); // errors
+                        b.put_u32(0); // duration sec
+                        b.put_u32(0); // duration nsec
+                    }
+                }
+                StatsReply::PortDesc(ports) => {
+                    b.put_u16(13);
+                    b.put_u16(0);
+                    b.put_bytes(0, 4);
+                    for p in ports {
+                        put_port(&mut b, p);
+                    }
+                }
+            }
+            t::MULTIPART_REP
+        }
+        Message::BarrierRequest => t::BARRIER_REQ,
+        Message::BarrierReply => t::BARRIER_REP,
+    };
+    Ok(frame(VERSION, msg_type, xid, &b))
+}
+
+// ---------------------------------------------------------------------
+// decode
+// ---------------------------------------------------------------------
+
+/// Decode an OpenFlow 1.3 frame body into a [`Message`].
+pub fn decode(f: &RawFrame) -> CodecResult<Message> {
+    if f.version != VERSION {
+        return Err(CodecError::new(
+            "v13",
+            format!("not version 0x04: 0x{:02x}", f.version),
+        ));
+    }
+    let mut r = Reader::new("v13", &f.body);
+    let msg = match f.msg_type {
+        t::HELLO => Message::Hello, // hello elements, if any, are ignored
+        t::ERROR => {
+            let err_type = r.u16()?;
+            let code = r.u16()?;
+            Message::Error {
+                err_type,
+                code,
+                data: Bytes::copy_from_slice(r.rest()),
+            }
+        }
+        t::ECHO_REQ => Message::EchoRequest(Bytes::copy_from_slice(r.rest())),
+        t::ECHO_REP => Message::EchoReply(Bytes::copy_from_slice(r.rest())),
+        t::FEATURES_REQ => Message::FeaturesRequest,
+        t::FEATURES_REP => {
+            let datapath_id = r.u64()?;
+            let n_buffers = r.u32()?;
+            let n_tables = r.u8()?;
+            r.skip(3)?;
+            let capabilities = r.u32()?;
+            r.skip(4)?;
+            Message::FeaturesReply(SwitchFeatures {
+                datapath_id,
+                n_buffers,
+                n_tables,
+                capabilities,
+                actions: 0,
+                ports: Vec::new(),
+            })
+        }
+        t::GET_CONFIG_REQ => Message::GetConfigRequest,
+        t::GET_CONFIG_REP => {
+            r.skip(2)?;
+            Message::GetConfigReply {
+                miss_send_len: r.u16()?,
+            }
+        }
+        t::SET_CONFIG => {
+            r.skip(2)?;
+            Message::SetConfig {
+                miss_send_len: r.u16()?,
+            }
+        }
+        t::PACKET_IN => {
+            let buffer_id = r.u32()?;
+            let total_len = r.u16()?;
+            let reason = match r.u8()? {
+                0 => PacketInReason::NoMatch,
+                _ => PacketInReason::Action,
+            };
+            let table_id = r.u8()?;
+            r.skip(8)?; // cookie
+            let m = get_match(&mut r)?;
+            r.skip(2)?;
+            Message::PacketIn {
+                buffer_id: (buffer_id != BUFFER_NONE).then_some(buffer_id),
+                total_len,
+                in_port: m.in_port.unwrap_or(0),
+                reason,
+                table_id,
+                data: Bytes::copy_from_slice(r.rest()),
+            }
+        }
+        t::PACKET_OUT => {
+            let buffer_id = r.u32()?;
+            let in_port = port32_to16(r.u32()?);
+            let alen = usize::from(r.u16()?);
+            r.skip(6)?;
+            let actions = get_actions(&mut r, alen)?;
+            Message::PacketOut {
+                buffer_id: (buffer_id != BUFFER_NONE).then_some(buffer_id),
+                in_port,
+                actions,
+                data: Bytes::copy_from_slice(r.rest()),
+            }
+        }
+        t::FLOW_MOD => {
+            let cookie = r.u64()?;
+            let _cookie_mask = r.u64()?;
+            let table_id = r.u8()?;
+            let command = match r.u8()? {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::ModifyStrict,
+                3 => FlowModCommand::Delete,
+                4 => FlowModCommand::DeleteStrict,
+                c => return Err(CodecError::new("v13/flow_mod", format!("bad command {c}"))),
+            };
+            let idle_timeout = r.u16()?;
+            let hard_timeout = r.u16()?;
+            let priority = r.u16()?;
+            let buffer_id = r.u32()?;
+            let out_port = r.u32()?;
+            let _out_group = r.u32()?;
+            let flags = r.u16()?;
+            r.skip(2)?;
+            let m = get_match(&mut r)?;
+            let (actions, goto_table) = get_instructions(&mut r)?;
+            Message::FlowMod(FlowMod {
+                table_id,
+                command,
+                m,
+                cookie,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id: (buffer_id != BUFFER_NONE).then_some(buffer_id),
+                out_port: (out_port != PORT_ANY).then_some(port32_to16(out_port)),
+                flags,
+                actions,
+                goto_table,
+            })
+        }
+        t::FLOW_REMOVED => {
+            let cookie = r.u64()?;
+            let priority = r.u16()?;
+            let reason = match r.u8()? {
+                0 => FlowRemovedReason::IdleTimeout,
+                1 => FlowRemovedReason::HardTimeout,
+                _ => FlowRemovedReason::Delete,
+            };
+            let _table = r.u8()?;
+            let duration_sec = r.u32()?;
+            r.skip(4 + 2 + 2)?;
+            let packet_count = r.u64()?;
+            let byte_count = r.u64()?;
+            let m = get_match(&mut r)?;
+            Message::FlowRemoved {
+                m,
+                cookie,
+                priority,
+                reason,
+                duration_sec,
+                packet_count,
+                byte_count,
+            }
+        }
+        t::PORT_STATUS => {
+            let reason = match r.u8()? {
+                0 => PortReason::Add,
+                1 => PortReason::Delete,
+                _ => PortReason::Modify,
+            };
+            r.skip(7)?;
+            Message::PortStatus {
+                reason,
+                desc: get_port(&mut r)?,
+            }
+        }
+        t::PORT_MOD => {
+            let port_nmb = port32_to16(r.u32()?);
+            r.skip(4)?;
+            let hw_addr = MacAddr(r.bytes(6)?.try_into().unwrap());
+            r.skip(2)?;
+            let config = r.u32()?;
+            Message::PortMod {
+                port_no: port_nmb,
+                hw_addr,
+                down: config & 1 != 0,
+            }
+        }
+        t::MULTIPART_REQ => {
+            let stype = r.u16()?;
+            r.skip(2 + 4)?;
+            let req = match stype {
+                0 => StatsRequest::Desc,
+                1 | 2 => {
+                    let table_id = r.u8()?;
+                    r.skip(3 + 4 + 4 + 4 + 8 + 8)?;
+                    let m = get_match(&mut r)?;
+                    if stype == 1 {
+                        StatsRequest::Flow { table_id, m }
+                    } else {
+                        StatsRequest::Aggregate { table_id, m }
+                    }
+                }
+                4 => {
+                    let port_nmb = port32_to16(r.u32()?);
+                    StatsRequest::Port { port_no: port_nmb }
+                }
+                13 => StatsRequest::PortDesc,
+                o => {
+                    return Err(CodecError::new(
+                        "v13/multipart",
+                        format!("unknown type {o}"),
+                    ))
+                }
+            };
+            Message::StatsRequest(req)
+        }
+        t::MULTIPART_REP => {
+            let stype = r.u16()?;
+            r.skip(2 + 4)?;
+            let rep = match stype {
+                0 => {
+                    let description = get_fixed_str(&mut r, 256)?;
+                    r.skip(256 + 256 + 32 + 256)?;
+                    StatsReply::Desc { description }
+                }
+                1 => {
+                    let mut flows = Vec::new();
+                    while r.remaining() >= 2 {
+                        let len = usize::from(r.u16()?);
+                        let entry_end = r.pos - 2 + len;
+                        let table_id = r.u8()?;
+                        r.skip(1)?;
+                        let duration_sec = r.u32()?;
+                        r.skip(4)?;
+                        let priority = r.u16()?;
+                        r.skip(2 + 2 + 2 + 4)?;
+                        let cookie = r.u64()?;
+                        let packet_count = r.u64()?;
+                        let byte_count = r.u64()?;
+                        let m = get_match(&mut r)?;
+                        if r.pos < entry_end {
+                            r.skip(entry_end - r.pos)?; // instructions
+                        }
+                        flows.push(FlowStats {
+                            table_id,
+                            m,
+                            priority,
+                            cookie,
+                            duration_sec,
+                            packet_count,
+                            byte_count,
+                        });
+                    }
+                    StatsReply::Flow(flows)
+                }
+                2 => {
+                    let packet_count = r.u64()?;
+                    let byte_count = r.u64()?;
+                    let flow_count = r.u32()?;
+                    StatsReply::Aggregate {
+                        packet_count,
+                        byte_count,
+                        flow_count,
+                    }
+                }
+                4 => {
+                    let mut ports = Vec::new();
+                    while r.remaining() >= 112 {
+                        let port_nmb = port32_to16(r.u32()?);
+                        r.skip(4)?;
+                        let rx_packets = r.u64()?;
+                        let tx_packets = r.u64()?;
+                        let rx_bytes = r.u64()?;
+                        let tx_bytes = r.u64()?;
+                        let rx_dropped = r.u64()?;
+                        let tx_dropped = r.u64()?;
+                        r.skip(48 + 8)?;
+                        ports.push(PortStats {
+                            port_no: port_nmb,
+                            rx_packets,
+                            tx_packets,
+                            rx_bytes,
+                            tx_bytes,
+                            rx_dropped,
+                            tx_dropped,
+                        });
+                    }
+                    StatsReply::Port(ports)
+                }
+                13 => {
+                    let mut ports = Vec::new();
+                    while r.remaining() >= 64 {
+                        ports.push(get_port(&mut r)?);
+                    }
+                    StatsReply::PortDesc(ports)
+                }
+                o => {
+                    return Err(CodecError::new(
+                        "v13/multipart",
+                        format!("unknown type {o}"),
+                    ))
+                }
+            };
+            Message::StatsReply(rep)
+        }
+        t::BARRIER_REQ => Message::BarrierRequest,
+        t::BARRIER_REP => Message::BarrierReply,
+        other => {
+            return Err(CodecError::new(
+                "v13",
+                format!("unknown message type {other}"),
+            ))
+        }
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::port_no;
+    use crate::wire::FrameCodec;
+
+    fn roundtrip(msg: Message) -> Message {
+        let wire = encode(&msg, 7).unwrap();
+        let mut c = FrameCodec::new();
+        c.feed(&wire);
+        let f = c.next_frame().unwrap().unwrap();
+        assert_eq!(f.version, VERSION);
+        decode(&f).unwrap()
+    }
+
+    fn tcp_match() -> FlowMatch {
+        FlowMatch {
+            in_port: Some(3),
+            dl_src: Some(MacAddr::from_seed(1)),
+            dl_type: Some(0x0800),
+            nw_proto: Some(6),
+            nw_src: Ipv4Prefix::parse("10.0.0.0/24"),
+            nw_dst: Ipv4Prefix::parse("10.0.1.5"),
+            tp_dst: Some(22),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn port_number_mapping() {
+        assert_eq!(port16_to32(1), 1);
+        assert_eq!(port16_to32(port_no::CONTROLLER), 0xfffffffd);
+        assert_eq!(port16_to32(port_no::FLOOD), 0xfffffffb);
+        assert_eq!(port32_to16(0xfffffffd), port_no::CONTROLLER);
+        assert_eq!(port32_to16(5), 5);
+        for p in [1u16, 48, port_no::IN_PORT, port_no::ALL, port_no::NONE] {
+            assert_eq!(port32_to16(port16_to32(p)), p);
+        }
+    }
+
+    #[test]
+    fn match_roundtrip_tcp() {
+        let mut b = BytesMut::new();
+        put_match(&mut b, &tcp_match()).unwrap();
+        assert_eq!(b.len() % 8, 0);
+        let mut r = Reader::new("t", &b);
+        assert_eq!(get_match(&mut r).unwrap(), tcp_match());
+    }
+
+    #[test]
+    fn match_roundtrip_arp_and_icmp_and_vlan() {
+        let arp = FlowMatch {
+            dl_type: Some(0x0806),
+            nw_proto: Some(1),
+            nw_src: Ipv4Prefix::parse("10.0.0.1"),
+            nw_dst: Ipv4Prefix::parse("10.0.0.0/16"),
+            ..Default::default()
+        };
+        let icmp = FlowMatch {
+            dl_type: Some(0x0800),
+            nw_proto: Some(1),
+            tp_src: Some(8),
+            tp_dst: Some(0),
+            ..Default::default()
+        };
+        let vlan = FlowMatch {
+            dl_vlan: Some(100),
+            dl_vlan_pcp: Some(5),
+            dl_type: Some(0x0800),
+            nw_tos: Some(0x20),
+            ..Default::default()
+        };
+        for m in [arp, icmp, vlan, FlowMatch::any()] {
+            let mut b = BytesMut::new();
+            put_match(&mut b, &m).unwrap();
+            let mut r = Reader::new("t", &b);
+            assert_eq!(get_match(&mut r).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn prerequisites_enforced() {
+        // tp_dst without nw_proto
+        let m = FlowMatch {
+            dl_type: Some(0x0800),
+            tp_dst: Some(22),
+            ..Default::default()
+        };
+        assert!(oxm_payload(&m).is_err());
+        // nw fields without dl_type
+        let m = FlowMatch {
+            nw_proto: Some(6),
+            ..Default::default()
+        };
+        assert!(oxm_payload(&m).is_err());
+        // pcp without vid
+        let m = FlowMatch {
+            dl_vlan_pcp: Some(3),
+            ..Default::default()
+        };
+        assert!(oxm_payload(&m).is_err());
+        // tp on ARP
+        let m = FlowMatch {
+            dl_type: Some(0x0806),
+            tp_dst: Some(1),
+            ..Default::default()
+        };
+        assert!(oxm_payload(&m).is_err());
+    }
+
+    #[test]
+    fn flow_mod_roundtrip_with_goto_and_actions() {
+        let fm = FlowMod {
+            table_id: 2,
+            command: FlowModCommand::Add,
+            m: tcp_match(),
+            cookie: 0xbeef,
+            idle_timeout: 10,
+            hard_timeout: 0,
+            priority: 500,
+            buffer_id: None,
+            out_port: None,
+            flags: 1,
+            actions: vec![
+                Action::SetDlDst(MacAddr::from_seed(5)),
+                Action::SetNwDst("10.9.9.9".parse().unwrap()),
+                Action::SetTpDst(8080),
+                Action::SetVlanVid(300),
+                Action::StripVlan,
+                Action::Enqueue {
+                    port: 4,
+                    queue_id: 2,
+                },
+                Action::out(4),
+            ],
+            goto_table: Some(3),
+        };
+        assert_eq!(
+            roundtrip(Message::FlowMod(fm.clone())),
+            Message::FlowMod(fm)
+        );
+    }
+
+    #[test]
+    fn packet_in_roundtrip_carries_in_port_via_oxm() {
+        let m = Message::PacketIn {
+            buffer_id: Some(9),
+            total_len: 100,
+            in_port: 6,
+            reason: PacketInReason::NoMatch,
+            table_id: 1,
+            data: Bytes::from_static(b"frame"),
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn packet_out_roundtrip() {
+        let m = Message::PacketOut {
+            buffer_id: None,
+            in_port: port_no::CONTROLLER,
+            actions: vec![Action::out(port_no::FLOOD)],
+            data: Bytes::from_static(b"bytes"),
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn features_reply_without_ports() {
+        let m = Message::FeaturesReply(SwitchFeatures {
+            datapath_id: 5,
+            n_buffers: 256,
+            n_tables: 8,
+            capabilities: 0x4f,
+            actions: 0,
+            ports: Vec::new(),
+        });
+        assert_eq!(roundtrip(m.clone()), m);
+        // With ports it must refuse.
+        let bad = Message::FeaturesReply(SwitchFeatures {
+            datapath_id: 5,
+            n_buffers: 0,
+            n_tables: 1,
+            capabilities: 0,
+            actions: 0,
+            ports: vec![PortDesc {
+                port_no: 1,
+                hw_addr: MacAddr::ZERO,
+                name: "p".into(),
+                config_down: false,
+                link_down: false,
+                curr_speed: 0,
+                max_speed: 0,
+            }],
+        });
+        assert!(encode(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn port_desc_multipart_roundtrip() {
+        let ports = vec![
+            PortDesc {
+                port_no: 1,
+                hw_addr: MacAddr::from_seed(1),
+                name: "p1".into(),
+                config_down: false,
+                link_down: true,
+                curr_speed: 123_456,
+                max_speed: 10_000_000,
+            },
+            PortDesc {
+                port_no: 2,
+                hw_addr: MacAddr::from_seed(2),
+                name: "p2".into(),
+                config_down: true,
+                link_down: false,
+                curr_speed: 1_000_000,
+                max_speed: 1_000_000,
+            },
+        ];
+        let m = Message::StatsReply(StatsReply::PortDesc(ports));
+        assert_eq!(roundtrip(m.clone()), m);
+        let req = Message::StatsRequest(StatsRequest::PortDesc);
+        assert_eq!(roundtrip(req.clone()), req);
+    }
+
+    #[test]
+    fn stats_roundtrips() {
+        for m in [
+            Message::StatsRequest(StatsRequest::Desc),
+            Message::StatsRequest(StatsRequest::Flow {
+                table_id: 0,
+                m: tcp_match(),
+            }),
+            Message::StatsRequest(StatsRequest::Aggregate {
+                table_id: 0xff,
+                m: FlowMatch::any(),
+            }),
+            Message::StatsRequest(StatsRequest::Port { port_no: 3 }),
+            Message::StatsReply(StatsReply::Desc {
+                description: "yanc".into(),
+            }),
+            Message::StatsReply(StatsReply::Flow(vec![FlowStats {
+                table_id: 1,
+                m: tcp_match(),
+                priority: 10,
+                cookie: 4,
+                duration_sec: 9,
+                packet_count: 100,
+                byte_count: 9999,
+            }])),
+            Message::StatsReply(StatsReply::Aggregate {
+                packet_count: 1,
+                byte_count: 2,
+                flow_count: 3,
+            }),
+            Message::StatsReply(StatsReply::Port(vec![PortStats {
+                port_no: 2,
+                rx_packets: 10,
+                tx_packets: 20,
+                rx_bytes: 30,
+                tx_bytes: 40,
+                rx_dropped: 1,
+                tx_dropped: 2,
+            }])),
+        ] {
+            assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn flow_removed_and_port_messages() {
+        let fr = Message::FlowRemoved {
+            m: tcp_match(),
+            cookie: 11,
+            priority: 7,
+            reason: FlowRemovedReason::HardTimeout,
+            duration_sec: 33,
+            packet_count: 5,
+            byte_count: 50,
+        };
+        assert_eq!(roundtrip(fr.clone()), fr);
+        let ps = Message::PortStatus {
+            reason: PortReason::Add,
+            desc: PortDesc {
+                port_no: 9,
+                hw_addr: MacAddr::from_seed(9),
+                name: "uplink".into(),
+                config_down: false,
+                link_down: false,
+                curr_speed: 40_000_000,
+                max_speed: 40_000_000,
+            },
+        };
+        assert_eq!(roundtrip(ps.clone()), ps);
+        let pm = Message::PortMod {
+            port_no: 9,
+            hw_addr: MacAddr::from_seed(9),
+            down: true,
+        };
+        assert_eq!(roundtrip(pm.clone()), pm);
+    }
+
+    #[test]
+    fn simple_messages() {
+        for m in [
+            Message::Hello,
+            Message::FeaturesRequest,
+            Message::BarrierRequest,
+            Message::BarrierReply,
+            Message::SetConfig {
+                miss_send_len: 1400,
+            },
+            Message::EchoRequest(Bytes::from_static(b"x")),
+        ] {
+            assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+}

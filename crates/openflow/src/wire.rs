@@ -1,0 +1,280 @@
+//! OpenFlow framing: the common 8-byte header and a streaming frame
+//! decoder that reassembles messages from arbitrary byte chunks, as they
+//! arrive off a TCP-like control channel.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+use crate::types::Version;
+
+/// The fixed OpenFlow header length.
+pub const HEADER_LEN: usize = 8;
+
+/// Maximum accepted frame length (guards against corrupt length fields).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Codec-level error (malformed frame, unencodable message, etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What was being coded.
+    pub what: &'static str,
+    /// Why it failed.
+    pub reason: String,
+}
+
+impl CodecError {
+    pub(crate) fn new(what: &'static str, reason: impl Into<String>) -> Self {
+        CodecError {
+            what,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "openflow {}: {}", self.what, self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for codec operations.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// A reassembled raw frame: header fields plus the body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// Protocol version byte.
+    pub version: u8,
+    /// Message type byte (version-specific namespace).
+    pub msg_type: u8,
+    /// Transaction id.
+    pub xid: u32,
+    /// Body (everything after the 8-byte header).
+    pub body: Bytes,
+}
+
+impl RawFrame {
+    /// The parsed [`Version`], if recognized.
+    pub fn protocol(&self) -> Option<Version> {
+        Version::from_wire(self.version)
+    }
+}
+
+/// Prepend an OpenFlow header to `body` and return the complete frame.
+pub fn frame(version: u8, msg_type: u8, xid: u32, body: &[u8]) -> Bytes {
+    let len = HEADER_LEN + body.len();
+    debug_assert!(len <= u16::MAX as usize, "openflow frame too large");
+    let mut b = BytesMut::with_capacity(len);
+    b.put_u8(version);
+    b.put_u8(msg_type);
+    b.put_u16(len as u16);
+    b.put_u32(xid);
+    b.put_slice(body);
+    b.freeze()
+}
+
+/// Streaming frame reassembler. Feed it raw bytes; it yields complete
+/// frames, buffering partials across calls.
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buf: BytesMut,
+}
+
+impl FrameCodec {
+    /// An empty codec.
+    pub fn new() -> Self {
+        FrameCodec::default()
+    }
+
+    /// Append received bytes to the reassembly buffer.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, or `None` if more bytes are needed.
+    pub fn next_frame(&mut self) -> CodecResult<Option<RawFrame>> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = usize::from(u16::from_be_bytes([self.buf[2], self.buf[3]]));
+        if !(HEADER_LEN..=MAX_FRAME_LEN).contains(&len) {
+            return Err(CodecError::new("frame", format!("bad length {len}")));
+        }
+        if self.buf.len() < len {
+            return Ok(None);
+        }
+        let whole = self.buf.split_to(len).freeze();
+        Ok(Some(RawFrame {
+            version: whole[0],
+            msg_type: whole[1],
+            xid: u32::from_be_bytes([whole[4], whole[5], whole[6], whole[7]]),
+            body: whole.slice(HEADER_LEN..),
+        }))
+    }
+}
+
+// -- small read helpers shared by both version codecs ------------------
+
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+    pub(crate) what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(what: &'static str, buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0, what }
+    }
+
+    pub(crate) fn need(&self, n: usize) -> CodecResult<()> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::new(
+                self.what,
+                format!("truncated: need {n} at offset {}", self.pos),
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn u8(&mut self) -> CodecResult<u8> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    pub(crate) fn u16(&mut self) -> CodecResult<u16> {
+        self.need(2)?;
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    pub(crate) fn u32(&mut self) -> CodecResult<u32> {
+        self.need(4)?;
+        let v = u32::from_be_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+
+    pub(crate) fn u64(&mut self) -> CodecResult<u64> {
+        self.need(8)?;
+        let v = u64::from_be_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        self.need(n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn skip(&mut self, n: usize) -> CodecResult<()> {
+        self.need(n)?;
+        self.pos += n;
+        Ok(())
+    }
+
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Write a fixed-width, NUL-padded string field (e.g. port/desc names).
+pub(crate) fn put_fixed_str(b: &mut BytesMut, s: &str, width: usize) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(width - 1); // always NUL-terminated like the spec
+    b.put_slice(&bytes[..n]);
+    b.put_bytes(0, width - n);
+}
+
+/// Read a fixed-width, NUL-padded string field.
+pub(crate) fn get_fixed_str(r: &mut Reader<'_>, width: usize) -> CodecResult<String> {
+    let raw = r.bytes(width)?;
+    let end = raw.iter().position(|&b| b == 0).unwrap_or(width);
+    Ok(String::from_utf8_lossy(&raw[..end]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_reassemble() {
+        let f1 = frame(1, 0, 42, &[]);
+        let f2 = frame(4, 14, 43, b"flowmod-body");
+        let mut all = Vec::new();
+        all.extend_from_slice(&f1);
+        all.extend_from_slice(&f2);
+
+        // Feed in awkward chunk sizes.
+        let mut c = FrameCodec::new();
+        for chunk in all.chunks(3) {
+            c.feed(chunk);
+        }
+        let g1 = c.next_frame().unwrap().unwrap();
+        assert_eq!((g1.version, g1.msg_type, g1.xid), (1, 0, 42));
+        assert_eq!(g1.protocol(), Some(Version::V1_0));
+        let g2 = c.next_frame().unwrap().unwrap();
+        assert_eq!((g2.version, g2.msg_type, g2.xid), (4, 14, 43));
+        assert_eq!(&g2.body[..], b"flowmod-body");
+        assert!(c.next_frame().unwrap().is_none());
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_header_waits() {
+        let mut c = FrameCodec::new();
+        c.feed(&[1, 0, 0]);
+        assert!(c.next_frame().unwrap().is_none());
+        c.feed(&[8, 0, 0, 0, 7]);
+        let f = c.next_frame().unwrap().unwrap();
+        assert_eq!(f.xid, 7);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut c = FrameCodec::new();
+        c.feed(&[1, 0, 0, 4, 0, 0, 0, 0]); // length 4 < header
+        assert!(c.next_frame().is_err());
+    }
+
+    #[test]
+    fn fixed_strings() {
+        let mut b = BytesMut::new();
+        put_fixed_str(&mut b, "eth0", 16);
+        assert_eq!(b.len(), 16);
+        let mut r = Reader::new("test", &b);
+        assert_eq!(get_fixed_str(&mut r, 16).unwrap(), "eth0");
+        // Over-long names are truncated, still NUL-terminated.
+        let mut b = BytesMut::new();
+        put_fixed_str(&mut b, "a-very-long-interface-name", 8);
+        assert_eq!(b.len(), 8);
+        let mut r = Reader::new("test", &b);
+        assert_eq!(get_fixed_str(&mut r, 8).unwrap(), "a-very-");
+    }
+
+    #[test]
+    fn reader_bounds() {
+        let mut r = Reader::new("t", &[1, 2]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.u16().is_err());
+        assert_eq!(r.u8().unwrap(), 2);
+        assert_eq!(r.remaining(), 0);
+    }
+}

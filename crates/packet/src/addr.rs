@@ -1,0 +1,136 @@
+//! Link-layer addresses and EtherTypes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+    /// The 802.1AB LLDP multicast destination `01:80:c2:00:00:0e`.
+    pub const LLDP_MULTICAST: MacAddr = MacAddr([0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e]);
+
+    /// Derive a deterministic, locally-administered unicast address from a
+    /// 64-bit seed — used by simulators to assign stable MACs.
+    pub fn from_seed(seed: u64) -> MacAddr {
+        let b = seed.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Whether the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == MacAddr::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// Error parsing a [`MacAddr`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacParseError(pub String);
+
+impl fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address: {}", self.0)
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+impl FromStr for MacAddr {
+    type Err = MacParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 6 {
+            return Err(MacParseError(s.to_string()));
+        }
+        let mut out = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            out[i] = u8::from_str_radix(p, 16).map_err(|_| MacParseError(s.to_string()))?;
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// Well-known EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// IPv4 (0x0800).
+    pub const IPV4: EtherType = EtherType(0x0800);
+    /// ARP (0x0806).
+    pub const ARP: EtherType = EtherType(0x0806);
+    /// 802.1Q VLAN tag (0x8100).
+    pub const VLAN: EtherType = EtherType(0x8100);
+    /// LLDP (0x88cc).
+    pub const LLDP: EtherType = EtherType(0x88cc);
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:04x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let m = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+        assert_eq!("de:ad:be:ef:00:01".parse::<MacAddr>().unwrap(), m);
+        assert_eq!("DE:AD:BE:EF:00:01".parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("zz:ad:be:ef:00:01".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn multicast_and_broadcast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::LLDP_MULTICAST.is_multicast());
+        assert!(!MacAddr::LLDP_MULTICAST.is_broadcast());
+        assert!(!MacAddr::from_seed(7).is_multicast());
+    }
+
+    #[test]
+    fn seeded_macs_are_stable_and_distinct() {
+        assert_eq!(MacAddr::from_seed(42), MacAddr::from_seed(42));
+        assert_ne!(MacAddr::from_seed(1), MacAddr::from_seed(2));
+    }
+
+    #[test]
+    fn ethertypes() {
+        assert_eq!(EtherType::IPV4.to_string(), "0x0800");
+        assert_eq!(EtherType::ARP.0, 0x0806);
+    }
+}

@@ -1,0 +1,268 @@
+//! A compact DHCP (RFC 2131) message codec.
+//!
+//! The paper's goals (§2) call for "a distinct application for each protocol
+//! the network needs to support such as DHCP, ARP, and LLDP"; the yanc-apps
+//! crate ships a DHCP server daemon, and this module gives it the wire
+//! format: BOOTP fixed header + the option TLVs needed for the
+//! DISCOVER/OFFER/REQUEST/ACK exchange.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use crate::addr::MacAddr;
+use crate::wire::{ParseError, ParseResult};
+
+/// DHCP magic cookie.
+const MAGIC: [u8; 4] = [99, 130, 83, 99];
+
+/// DHCP message types (option 53).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhcpMessageType {
+    /// Client broadcast to locate servers.
+    Discover,
+    /// Server offer of parameters.
+    Offer,
+    /// Client request of offered parameters.
+    Request,
+    /// Server acknowledgment.
+    Ack,
+    /// Server refusal.
+    Nak,
+    /// Client release of a lease.
+    Release,
+}
+
+impl DhcpMessageType {
+    fn to_u8(self) -> u8 {
+        match self {
+            DhcpMessageType::Discover => 1,
+            DhcpMessageType::Offer => 2,
+            DhcpMessageType::Request => 3,
+            DhcpMessageType::Ack => 5,
+            DhcpMessageType::Nak => 6,
+            DhcpMessageType::Release => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => DhcpMessageType::Discover,
+            2 => DhcpMessageType::Offer,
+            3 => DhcpMessageType::Request,
+            5 => DhcpMessageType::Ack,
+            6 => DhcpMessageType::Nak,
+            7 => DhcpMessageType::Release,
+            _ => return None,
+        })
+    }
+}
+
+/// A DHCP message with the option subset the yanc DHCP daemon uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhcpMessage {
+    /// Message type (option 53).
+    pub msg_type: DhcpMessageType,
+    /// Transaction id.
+    pub xid: u32,
+    /// Client hardware address.
+    pub chaddr: MacAddr,
+    /// "Your" address — the address being offered/assigned.
+    pub yiaddr: Ipv4Addr,
+    /// Requested IP address (option 50), if present.
+    pub requested_ip: Option<Ipv4Addr>,
+    /// Server identifier (option 54), if present.
+    pub server_id: Option<Ipv4Addr>,
+    /// Lease time in seconds (option 51), if present.
+    pub lease_secs: Option<u32>,
+    /// Subnet mask (option 1), if present.
+    pub subnet_mask: Option<Ipv4Addr>,
+}
+
+impl DhcpMessage {
+    /// Serialize to wire bytes (the UDP payload).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(300);
+        let is_request = matches!(
+            self.msg_type,
+            DhcpMessageType::Discover | DhcpMessageType::Request | DhcpMessageType::Release
+        );
+        b.put_u8(if is_request { 1 } else { 2 }); // op
+        b.put_u8(1); // htype ethernet
+        b.put_u8(6); // hlen
+        b.put_u8(0); // hops
+        b.put_u32(self.xid);
+        b.put_u16(0); // secs
+        b.put_u16(0x8000); // broadcast flag
+        b.put_u32(0); // ciaddr
+        b.put_slice(&self.yiaddr.octets());
+        b.put_u32(0); // siaddr
+        b.put_u32(0); // giaddr
+        b.put_slice(&self.chaddr.0);
+        b.put_slice(&[0u8; 10]); // chaddr padding
+        b.put_slice(&[0u8; 64]); // sname
+        b.put_slice(&[0u8; 128]); // file
+        b.put_slice(&MAGIC);
+        b.put_slice(&[53, 1, self.msg_type.to_u8()]);
+        if let Some(ip) = self.requested_ip {
+            b.put_slice(&[50, 4]);
+            b.put_slice(&ip.octets());
+        }
+        if let Some(ip) = self.server_id {
+            b.put_slice(&[54, 4]);
+            b.put_slice(&ip.octets());
+        }
+        if let Some(secs) = self.lease_secs {
+            b.put_slice(&[51, 4]);
+            b.put_slice(&secs.to_be_bytes());
+        }
+        if let Some(mask) = self.subnet_mask {
+            b.put_slice(&[1, 4]);
+            b.put_slice(&mask.octets());
+        }
+        b.put_u8(255); // end option
+        b.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> ParseResult<DhcpMessage> {
+        if data.len() < 240 {
+            return Err(ParseError::new("dhcp", "too short"));
+        }
+        if data[236..240] != MAGIC {
+            return Err(ParseError::new("dhcp", "bad magic cookie"));
+        }
+        let xid = u32::from_be_bytes(data[4..8].try_into().unwrap());
+        let yiaddr = Ipv4Addr::new(data[16], data[17], data[18], data[19]);
+        let chaddr = MacAddr(data[28..34].try_into().unwrap());
+
+        let mut msg_type = None;
+        let mut requested_ip = None;
+        let mut server_id = None;
+        let mut lease_secs = None;
+        let mut subnet_mask = None;
+        let mut off = 240usize;
+        while off < data.len() {
+            let opt = data[off];
+            if opt == 255 {
+                break;
+            }
+            if opt == 0 {
+                off += 1;
+                continue;
+            }
+            if off + 2 > data.len() {
+                return Err(ParseError::new("dhcp", "truncated option header"));
+            }
+            let len = usize::from(data[off + 1]);
+            if off + 2 + len > data.len() {
+                return Err(ParseError::new("dhcp", "truncated option value"));
+            }
+            let val = &data[off + 2..off + 2 + len];
+            match opt {
+                53 if len == 1 => msg_type = DhcpMessageType::from_u8(val[0]),
+                50 if len == 4 => {
+                    requested_ip = Some(Ipv4Addr::new(val[0], val[1], val[2], val[3]))
+                }
+                54 if len == 4 => server_id = Some(Ipv4Addr::new(val[0], val[1], val[2], val[3])),
+                51 if len == 4 => {
+                    lease_secs = Some(u32::from_be_bytes(val.try_into().unwrap()));
+                }
+                1 if len == 4 => subnet_mask = Some(Ipv4Addr::new(val[0], val[1], val[2], val[3])),
+                _ => {}
+            }
+            off += 2 + len;
+        }
+        Ok(DhcpMessage {
+            msg_type: msg_type.ok_or_else(|| ParseError::new("dhcp", "missing message type"))?,
+            xid,
+            chaddr,
+            yiaddr,
+            requested_ip,
+            server_id,
+            lease_secs,
+            subnet_mask,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn discover_roundtrip() {
+        let m = DhcpMessage {
+            msg_type: DhcpMessageType::Discover,
+            xid: 0xdeadbeef,
+            chaddr: MacAddr::from_seed(9),
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            requested_ip: None,
+            server_id: None,
+            lease_secs: None,
+            subnet_mask: None,
+        };
+        assert_eq!(DhcpMessage::parse(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn offer_with_all_options_roundtrip() {
+        let m = DhcpMessage {
+            msg_type: DhcpMessageType::Offer,
+            xid: 7,
+            chaddr: MacAddr::from_seed(1),
+            yiaddr: ip("10.0.0.50"),
+            requested_ip: Some(ip("10.0.0.50")),
+            server_id: Some(ip("10.0.0.1")),
+            lease_secs: Some(3600),
+            subnet_mask: Some(ip("255.255.255.0")),
+        };
+        assert_eq!(DhcpMessage::parse(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn all_message_types_roundtrip() {
+        for t in [
+            DhcpMessageType::Discover,
+            DhcpMessageType::Offer,
+            DhcpMessageType::Request,
+            DhcpMessageType::Ack,
+            DhcpMessageType::Nak,
+            DhcpMessageType::Release,
+        ] {
+            let m = DhcpMessage {
+                msg_type: t,
+                xid: 1,
+                chaddr: MacAddr::ZERO,
+                yiaddr: Ipv4Addr::UNSPECIFIED,
+                requested_ip: None,
+                server_id: None,
+                lease_secs: None,
+                subnet_mask: None,
+            };
+            assert_eq!(DhcpMessage::parse(&m.encode()).unwrap().msg_type, t);
+        }
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(DhcpMessage::parse(&[0u8; 10]).is_err());
+        let mut ok = DhcpMessage {
+            msg_type: DhcpMessageType::Ack,
+            xid: 1,
+            chaddr: MacAddr::ZERO,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            requested_ip: None,
+            server_id: None,
+            lease_secs: None,
+            subnet_mask: None,
+        }
+        .encode()
+        .to_vec();
+        ok[236] = 0; // corrupt magic
+        assert!(DhcpMessage::parse(&ok).is_err());
+    }
+}

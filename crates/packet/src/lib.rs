@@ -1,0 +1,28 @@
+//! # yanc-packet — packet formats for the yanc dataplane
+//!
+//! Zero-dependency (beyond `bytes`) encoders/parsers for the protocols the
+//! yanc reproduction moves through its simulated network: Ethernet (with
+//! 802.1Q), ARP, IPv4, ICMP, TCP, UDP, LLDP and DHCP, plus
+//! [`PacketSummary`] — the single place that extracts the OpenFlow-style
+//! match fields every other crate matches against.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod dhcp;
+pub mod lldp;
+pub mod summary;
+pub mod wire;
+
+pub use addr::{EtherType, MacAddr, MacParseError};
+pub use dhcp::{DhcpMessage, DhcpMessageType};
+pub use lldp::LldpPacket;
+pub use summary::{
+    build_arp_reply, build_arp_request, build_icmp_echo, build_lldp, build_tcp_syn, build_udp,
+    retag_vlan, PacketSummary,
+};
+pub use wire::{
+    icmp_type, internet_checksum, ip_proto, ArpOp, ArpPacket, EthernetFrame, IcmpPacket,
+    Ipv4Packet, ParseError, ParseResult, TcpFlags, TcpSegment, UdpDatagram, VlanTag,
+};

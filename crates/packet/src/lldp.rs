@@ -1,0 +1,169 @@
+//! LLDP (IEEE 802.1AB) frames for topology discovery (paper §4.3).
+//!
+//! yanc's topology daemon emits an LLDP frame out of every switch port and,
+//! when the frame arrives as a packet-in on a neighbouring switch, learns
+//! the link and records it as a `peer` symlink. Only the mandatory TLVs are
+//! implemented (Chassis ID, Port ID, TTL, End), each carried as a
+//! locally-assigned string — which is also what production controllers do.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::wire::{ParseError, ParseResult};
+
+const TLV_END: u8 = 0;
+const TLV_CHASSIS_ID: u8 = 1;
+const TLV_PORT_ID: u8 = 2;
+const TLV_TTL: u8 = 3;
+
+/// Subtype 7: locally assigned identifier.
+const SUBTYPE_LOCAL: u8 = 7;
+
+/// A minimal LLDP data unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LldpPacket {
+    /// Chassis identifier (yanc uses the switch datapath id as a string).
+    pub chassis_id: String,
+    /// Port identifier (yanc uses the port number as a string).
+    pub port_id: String,
+    /// Time to live in seconds.
+    pub ttl: u16,
+}
+
+impl LldpPacket {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        put_tlv(
+            &mut b,
+            TLV_CHASSIS_ID,
+            Some(SUBTYPE_LOCAL),
+            self.chassis_id.as_bytes(),
+        );
+        put_tlv(
+            &mut b,
+            TLV_PORT_ID,
+            Some(SUBTYPE_LOCAL),
+            self.port_id.as_bytes(),
+        );
+        put_tlv(&mut b, TLV_TTL, None, &self.ttl.to_be_bytes());
+        put_tlv(&mut b, TLV_END, None, &[]);
+        b.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> ParseResult<LldpPacket> {
+        let mut chassis_id = None;
+        let mut port_id = None;
+        let mut ttl = None;
+        let mut off = 0usize;
+        loop {
+            if off + 2 > data.len() {
+                return Err(ParseError::new("lldp", "truncated TLV header"));
+            }
+            let hdr = u16::from_be_bytes([data[off], data[off + 1]]);
+            let tlv_type = (hdr >> 9) as u8;
+            let len = usize::from(hdr & 0x1ff);
+            off += 2;
+            if off + len > data.len() {
+                return Err(ParseError::new("lldp", "truncated TLV value"));
+            }
+            let val = &data[off..off + len];
+            off += len;
+            match tlv_type {
+                TLV_END => break,
+                TLV_CHASSIS_ID => {
+                    if val.is_empty() {
+                        return Err(ParseError::new("lldp", "empty chassis id"));
+                    }
+                    chassis_id = Some(String::from_utf8_lossy(&val[1..]).into_owned());
+                }
+                TLV_PORT_ID => {
+                    if val.is_empty() {
+                        return Err(ParseError::new("lldp", "empty port id"));
+                    }
+                    port_id = Some(String::from_utf8_lossy(&val[1..]).into_owned());
+                }
+                TLV_TTL => {
+                    if val.len() != 2 {
+                        return Err(ParseError::new("lldp", "bad TTL length"));
+                    }
+                    ttl = Some(u16::from_be_bytes([val[0], val[1]]));
+                }
+                _ => {} // optional TLVs are skipped
+            }
+        }
+        Ok(LldpPacket {
+            chassis_id: chassis_id.ok_or_else(|| ParseError::new("lldp", "missing chassis id"))?,
+            port_id: port_id.ok_or_else(|| ParseError::new("lldp", "missing port id"))?,
+            ttl: ttl.ok_or_else(|| ParseError::new("lldp", "missing TTL"))?,
+        })
+    }
+}
+
+fn put_tlv(b: &mut BytesMut, tlv_type: u8, subtype: Option<u8>, value: &[u8]) {
+    let len = value.len() + usize::from(subtype.is_some());
+    debug_assert!(len < 0x200);
+    b.put_u16((u16::from(tlv_type) << 9) | (len as u16));
+    if let Some(st) = subtype {
+        b.put_u8(st);
+    }
+    b.put_slice(value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let l = LldpPacket {
+            chassis_id: "42".into(),
+            port_id: "3".into(),
+            ttl: 120,
+        };
+        assert_eq!(LldpPacket::parse(&l.encode()).unwrap(), l);
+    }
+
+    #[test]
+    fn roundtrip_long_ids() {
+        let l = LldpPacket {
+            chassis_id: "switch-with-a-rather-long-name-0123456789".into(),
+            port_id: "port-48".into(),
+            ttl: 1,
+        };
+        assert_eq!(LldpPacket::parse(&l.encode()).unwrap(), l);
+    }
+
+    #[test]
+    fn missing_tlvs_rejected() {
+        // Just an END TLV.
+        let only_end = [0u8, 0];
+        assert!(LldpPacket::parse(&only_end).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let l = LldpPacket {
+            chassis_id: "1".into(),
+            port_id: "2".into(),
+            ttl: 30,
+        };
+        let wire = l.encode();
+        assert!(LldpPacket::parse(&wire[..wire.len() - 3]).is_err());
+        assert!(LldpPacket::parse(&wire[..1]).is_err());
+    }
+
+    #[test]
+    fn unknown_tlvs_are_skipped() {
+        let l = LldpPacket {
+            chassis_id: "c".into(),
+            port_id: "p".into(),
+            ttl: 5,
+        };
+        let mut b = BytesMut::new();
+        // Insert an unknown TLV (type 5, "system name") before the packet.
+        put_tlv(&mut b, 5, None, b"sysname");
+        b.extend_from_slice(&l.encode());
+        assert_eq!(LldpPacket::parse(&b).unwrap(), l);
+    }
+}

@@ -1,0 +1,374 @@
+//! Whole-packet parsing into the header fields OpenFlow matches on, plus
+//! builders for common test traffic.
+//!
+//! [`PacketSummary::parse`] digs through Ethernet → (VLAN) → ARP/IPv4 →
+//! ICMP/TCP/UDP and records the classic OpenFlow 1.0 12-tuple fields
+//! (minus the ingress port, which only the switch knows). The simulator's
+//! flow tables and the yanc flow codec both match against this summary, so
+//! matching semantics live in exactly one place.
+
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+use crate::addr::{EtherType, MacAddr};
+use crate::wire::{
+    ip_proto, ArpOp, ArpPacket, EthernetFrame, IcmpPacket, Ipv4Packet, ParseResult, TcpFlags,
+    TcpSegment, UdpDatagram, VlanTag,
+};
+
+/// Header fields extracted from a frame — the match-relevant view.
+///
+/// Field conventions follow OpenFlow 1.0: for ARP packets `nw_proto`
+/// carries the ARP opcode and `nw_src`/`nw_dst` the ARP SPA/TPA; for ICMP
+/// `tp_src`/`tp_dst` carry the ICMP type/code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketSummary {
+    /// Ethernet source.
+    pub dl_src: MacAddr,
+    /// Ethernet destination.
+    pub dl_dst: MacAddr,
+    /// VLAN id, if tagged.
+    pub dl_vlan: Option<u16>,
+    /// VLAN priority, if tagged.
+    pub dl_vlan_pcp: Option<u8>,
+    /// EtherType.
+    pub dl_type: u16,
+    /// IPv4 source (or ARP SPA).
+    pub nw_src: Option<Ipv4Addr>,
+    /// IPv4 destination (or ARP TPA).
+    pub nw_dst: Option<Ipv4Addr>,
+    /// IP protocol (or ARP opcode).
+    pub nw_proto: Option<u8>,
+    /// IP TOS byte.
+    pub nw_tos: Option<u8>,
+    /// TCP/UDP source port (or ICMP type).
+    pub tp_src: Option<u16>,
+    /// TCP/UDP destination port (or ICMP code).
+    pub tp_dst: Option<u16>,
+}
+
+impl PacketSummary {
+    /// Parse a full Ethernet frame into its match fields. Payloads beyond
+    /// the headers are ignored; unknown EtherTypes/protocols simply leave
+    /// the higher-layer fields `None`, as a real switch pipeline would.
+    pub fn parse(frame_bytes: &Bytes) -> ParseResult<PacketSummary> {
+        let eth = EthernetFrame::parse(frame_bytes)?;
+        let mut s = PacketSummary {
+            dl_src: eth.src,
+            dl_dst: eth.dst,
+            dl_vlan: eth.vlan.map(|t| t.vid),
+            dl_vlan_pcp: eth.vlan.map(|t| t.pcp),
+            dl_type: eth.ethertype.0,
+            ..Default::default()
+        };
+        if eth.ethertype == EtherType::ARP {
+            if let Ok(arp) = ArpPacket::parse(&eth.payload) {
+                s.nw_src = Some(arp.spa);
+                s.nw_dst = Some(arp.tpa);
+                s.nw_proto = Some(match arp.op {
+                    ArpOp::Request => 1,
+                    ArpOp::Reply => 2,
+                });
+            }
+        } else if eth.ethertype == EtherType::IPV4 {
+            if let Ok(ip) = Ipv4Packet::parse(&eth.payload) {
+                s.nw_src = Some(ip.src);
+                s.nw_dst = Some(ip.dst);
+                s.nw_proto = Some(ip.proto);
+                s.nw_tos = Some(ip.tos);
+                match ip.proto {
+                    ip_proto::TCP => {
+                        if let Ok(t) = TcpSegment::parse(&ip.payload, ip.src, ip.dst) {
+                            s.tp_src = Some(t.src_port);
+                            s.tp_dst = Some(t.dst_port);
+                        }
+                    }
+                    ip_proto::UDP => {
+                        if let Ok(u) = UdpDatagram::parse(&ip.payload, ip.src, ip.dst) {
+                            s.tp_src = Some(u.src_port);
+                            s.tp_dst = Some(u.dst_port);
+                        }
+                    }
+                    ip_proto::ICMP => {
+                        if let Ok(i) = IcmpPacket::parse(&ip.payload) {
+                            s.tp_src = Some(u16::from(i.icmp_type));
+                            s.tp_dst = Some(u16::from(i.code));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// Build an ARP request frame (`who has tpa? tell spa`).
+pub fn build_arp_request(src: MacAddr, spa: Ipv4Addr, tpa: Ipv4Addr) -> Bytes {
+    let arp = ArpPacket {
+        op: ArpOp::Request,
+        sha: src,
+        spa,
+        tha: MacAddr::ZERO,
+        tpa,
+    };
+    EthernetFrame {
+        dst: MacAddr::BROADCAST,
+        src,
+        vlan: None,
+        ethertype: EtherType::ARP,
+        payload: arp.encode(),
+    }
+    .encode()
+}
+
+/// Build an ARP reply frame (`spa is at sha`), unicast to the requester.
+pub fn build_arp_reply(sha: MacAddr, spa: Ipv4Addr, tha: MacAddr, tpa: Ipv4Addr) -> Bytes {
+    let arp = ArpPacket {
+        op: ArpOp::Reply,
+        sha,
+        spa,
+        tha,
+        tpa,
+    };
+    EthernetFrame {
+        dst: tha,
+        src: sha,
+        vlan: None,
+        ethertype: EtherType::ARP,
+        payload: arp.encode(),
+    }
+    .encode()
+}
+
+/// Build an ICMP echo request frame.
+pub fn build_icmp_echo(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    ident: u16,
+    seq: u16,
+) -> Bytes {
+    let icmp = IcmpPacket {
+        icmp_type: crate::wire::icmp_type::ECHO_REQUEST,
+        code: 0,
+        ident,
+        seq,
+        payload: Bytes::from_static(b"yanc-ping"),
+    };
+    let ip = Ipv4Packet {
+        tos: 0,
+        id: seq,
+        ttl: 64,
+        proto: ip_proto::ICMP,
+        src: src_ip,
+        dst: dst_ip,
+        payload: icmp.encode(),
+    };
+    EthernetFrame {
+        dst: dst_mac,
+        src: src_mac,
+        vlan: None,
+        ethertype: EtherType::IPV4,
+        payload: ip.encode(),
+    }
+    .encode()
+}
+
+/// Build a UDP frame with the given payload.
+#[allow(clippy::too_many_arguments)]
+pub fn build_udp(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: Bytes,
+) -> Bytes {
+    let udp = UdpDatagram {
+        src_port,
+        dst_port,
+        payload,
+    };
+    let ip = Ipv4Packet {
+        tos: 0,
+        id: 0,
+        ttl: 64,
+        proto: ip_proto::UDP,
+        src: src_ip,
+        dst: dst_ip,
+        payload: udp.encode(src_ip, dst_ip),
+    };
+    EthernetFrame {
+        dst: dst_mac,
+        src: src_mac,
+        vlan: None,
+        ethertype: EtherType::IPV4,
+        payload: ip.encode(),
+    }
+    .encode()
+}
+
+/// Build a TCP SYN frame — handy for exercising `tp_dst`-matching flows
+/// (the paper's ssh-slicing example matches `tp.dst == 22`).
+#[allow(clippy::too_many_arguments)]
+pub fn build_tcp_syn(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+) -> Bytes {
+    let tcp = TcpSegment {
+        src_port,
+        dst_port,
+        seq: 1,
+        ack: 0,
+        flags: TcpFlags {
+            syn: true,
+            ..Default::default()
+        },
+        window: 65535,
+        payload: Bytes::new(),
+    };
+    let ip = Ipv4Packet {
+        tos: 0,
+        id: 0,
+        ttl: 64,
+        proto: ip_proto::TCP,
+        src: src_ip,
+        dst: dst_ip,
+        payload: tcp.encode(src_ip, dst_ip),
+    };
+    EthernetFrame {
+        dst: dst_mac,
+        src: src_mac,
+        vlan: None,
+        ethertype: EtherType::IPV4,
+        payload: ip.encode(),
+    }
+    .encode()
+}
+
+/// Build an LLDP frame advertising `(chassis_id, port_id)`.
+pub fn build_lldp(src_mac: MacAddr, chassis_id: &str, port_id: &str) -> Bytes {
+    let lldp = crate::lldp::LldpPacket {
+        chassis_id: chassis_id.to_string(),
+        port_id: port_id.to_string(),
+        ttl: 120,
+    };
+    EthernetFrame {
+        dst: MacAddr::LLDP_MULTICAST,
+        src: src_mac,
+        vlan: None,
+        ethertype: EtherType::LLDP,
+        payload: lldp.encode(),
+    }
+    .encode()
+}
+
+/// Re-tag a frame with a VLAN id (or strip the tag with `None`), preserving
+/// everything else — the slicer's translation primitive.
+pub fn retag_vlan(frame_bytes: &Bytes, vlan: Option<VlanTag>) -> ParseResult<Bytes> {
+    let mut eth = EthernetFrame::parse(frame_bytes)?;
+    eth.vlan = vlan;
+    Ok(eth.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn summary_of_arp() {
+        let f = build_arp_request(MacAddr::from_seed(1), ip("10.0.0.1"), ip("10.0.0.2"));
+        let s = PacketSummary::parse(&f).unwrap();
+        assert_eq!(s.dl_type, EtherType::ARP.0);
+        assert_eq!(s.nw_src, Some(ip("10.0.0.1")));
+        assert_eq!(s.nw_dst, Some(ip("10.0.0.2")));
+        assert_eq!(s.nw_proto, Some(1)); // request opcode
+        assert_eq!(s.tp_src, None);
+    }
+
+    #[test]
+    fn summary_of_tcp_syn() {
+        let f = build_tcp_syn(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            40000,
+            22,
+        );
+        let s = PacketSummary::parse(&f).unwrap();
+        assert_eq!(s.dl_type, EtherType::IPV4.0);
+        assert_eq!(s.nw_proto, Some(ip_proto::TCP));
+        assert_eq!(s.tp_src, Some(40000));
+        assert_eq!(s.tp_dst, Some(22));
+    }
+
+    #[test]
+    fn summary_of_udp_and_icmp() {
+        let u = build_udp(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            68,
+            67,
+            Bytes::from_static(b"x"),
+        );
+        let su = PacketSummary::parse(&u).unwrap();
+        assert_eq!(su.nw_proto, Some(ip_proto::UDP));
+        assert_eq!(su.tp_dst, Some(67));
+
+        let i = build_icmp_echo(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            1,
+            1,
+        );
+        let si = PacketSummary::parse(&i).unwrap();
+        assert_eq!(si.nw_proto, Some(ip_proto::ICMP));
+        assert_eq!(si.tp_src, Some(8)); // echo request type
+        assert_eq!(si.tp_dst, Some(0));
+    }
+
+    #[test]
+    fn summary_of_lldp() {
+        let f = build_lldp(MacAddr::from_seed(3), "7", "2");
+        let s = PacketSummary::parse(&f).unwrap();
+        assert_eq!(s.dl_type, EtherType::LLDP.0);
+        assert_eq!(s.dl_dst, MacAddr::LLDP_MULTICAST);
+        assert_eq!(s.nw_src, None);
+    }
+
+    #[test]
+    fn vlan_retagging() {
+        let f = build_tcp_syn(
+            MacAddr::from_seed(1),
+            MacAddr::from_seed(2),
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            1,
+            80,
+        );
+        let tagged = retag_vlan(&f, Some(VlanTag { pcp: 0, vid: 42 })).unwrap();
+        let s = PacketSummary::parse(&tagged).unwrap();
+        assert_eq!(s.dl_vlan, Some(42));
+        // L3/L4 fields survive the retag.
+        assert_eq!(s.tp_dst, Some(80));
+        let stripped = retag_vlan(&tagged, None).unwrap();
+        assert_eq!(PacketSummary::parse(&stripped).unwrap().dl_vlan, None);
+        assert_eq!(stripped, f);
+    }
+}

@@ -1,0 +1,645 @@
+//! Ethernet, ARP, IPv4, ICMP, TCP and UDP wire formats.
+//!
+//! Each header type provides `encode` (append to a `BytesMut`) and `parse`
+//! (from a byte slice), with IPv4/ICMP checksums computed on encode and
+//! verified on parse. Payloads are `bytes::Bytes` so frames can be fanned
+//! out to many consumers without copying — the property libyanc's zero-copy
+//! packet-in path (paper §8.1) depends on.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::addr::{EtherType, MacAddr};
+
+/// Error while parsing a frame or header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was being parsed.
+    pub what: &'static str,
+    /// Why it failed.
+    pub reason: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(what: &'static str, reason: impl Into<String>) -> Self {
+        ParseError {
+            what,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} parse error: {}", self.what, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for packet parsing.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+fn need(what: &'static str, buf: &[u8], n: usize) -> ParseResult<()> {
+    if buf.len() < n {
+        return Err(ParseError::new(
+            what,
+            format!("need {n} bytes, have {}", buf.len()),
+        ));
+    }
+    Ok(())
+}
+
+fn u16_at(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+fn u32_at(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// RFC 1071 Internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let Some(&b) = chunks.remainder().first() {
+        sum += u32::from(b) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// An 802.1Q VLAN tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanTag {
+    /// Priority code point (0..=7).
+    pub pcp: u8,
+    /// VLAN id (0..=4095).
+    pub vid: u16,
+}
+
+/// An Ethernet II frame, optionally 802.1Q-tagged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Optional VLAN tag.
+    pub vlan: Option<VlanTag>,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+    /// L3 payload.
+    pub payload: Bytes,
+}
+
+impl EthernetFrame {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(18 + self.payload.len());
+        b.put_slice(&self.dst.0);
+        b.put_slice(&self.src.0);
+        if let Some(tag) = self.vlan {
+            b.put_u16(EtherType::VLAN.0);
+            b.put_u16((u16::from(tag.pcp & 0x7) << 13) | (tag.vid & 0x0fff));
+        }
+        b.put_u16(self.ethertype.0);
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parse from wire bytes. The payload is a cheap slice of `data`.
+    pub fn parse(data: &Bytes) -> ParseResult<EthernetFrame> {
+        need("ethernet", data, 14)?;
+        let dst = MacAddr(data[0..6].try_into().unwrap());
+        let src = MacAddr(data[6..12].try_into().unwrap());
+        let mut et = u16_at(data, 12);
+        let mut off = 14;
+        let mut vlan = None;
+        if et == EtherType::VLAN.0 {
+            need("ethernet/vlan", data, 18)?;
+            let tci = u16_at(data, 14);
+            vlan = Some(VlanTag {
+                pcp: (tci >> 13) as u8,
+                vid: tci & 0x0fff,
+            });
+            et = u16_at(data, 16);
+            off = 18;
+        }
+        Ok(EthernetFrame {
+            dst,
+            src,
+            vlan,
+            ethertype: EtherType(et),
+            payload: data.slice(off..),
+        })
+    }
+}
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+/// An ARP packet for IPv4 over Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sha: MacAddr,
+    /// Sender protocol (IPv4) address.
+    pub spa: Ipv4Addr,
+    /// Target hardware address.
+    pub tha: MacAddr,
+    /// Target protocol (IPv4) address.
+    pub tpa: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(28);
+        b.put_u16(1); // htype ethernet
+        b.put_u16(EtherType::IPV4.0);
+        b.put_u8(6);
+        b.put_u8(4);
+        b.put_u16(self.op.to_u16());
+        b.put_slice(&self.sha.0);
+        b.put_slice(&self.spa.octets());
+        b.put_slice(&self.tha.0);
+        b.put_slice(&self.tpa.octets());
+        b.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> ParseResult<ArpPacket> {
+        need("arp", data, 28)?;
+        if u16_at(data, 0) != 1 || u16_at(data, 2) != EtherType::IPV4.0 {
+            return Err(ParseError::new("arp", "not ethernet/ipv4 arp"));
+        }
+        let op = match u16_at(data, 6) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            o => return Err(ParseError::new("arp", format!("bad opcode {o}"))),
+        };
+        Ok(ArpPacket {
+            op,
+            sha: MacAddr(data[8..14].try_into().unwrap()),
+            spa: Ipv4Addr::new(data[14], data[15], data[16], data[17]),
+            tha: MacAddr(data[18..24].try_into().unwrap()),
+            tpa: Ipv4Addr::new(data[24], data[25], data[26], data[27]),
+        })
+    }
+}
+
+/// IP protocol numbers used by the simulator.
+pub mod ip_proto {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// An IPv4 packet (no options).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Differentiated services / TOS byte.
+    pub tos: u8,
+    /// Identification field.
+    pub id: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Protocol number (see [`ip_proto`]).
+    pub proto: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// L4 payload.
+    pub payload: Bytes,
+}
+
+impl Ipv4Packet {
+    /// Serialize to wire bytes, computing the header checksum.
+    pub fn encode(&self) -> Bytes {
+        let total = 20 + self.payload.len();
+        let mut b = BytesMut::with_capacity(total);
+        b.put_u8(0x45); // v4, ihl 5
+        b.put_u8(self.tos);
+        b.put_u16(total as u16);
+        b.put_u16(self.id);
+        b.put_u16(0x4000); // don't fragment
+        b.put_u8(self.ttl);
+        b.put_u8(self.proto);
+        b.put_u16(0); // checksum placeholder
+        b.put_slice(&self.src.octets());
+        b.put_slice(&self.dst.octets());
+        let cksum = internet_checksum(&b[..20]);
+        b[10..12].copy_from_slice(&cksum.to_be_bytes());
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parse from wire bytes, verifying the header checksum.
+    pub fn parse(data: &Bytes) -> ParseResult<Ipv4Packet> {
+        need("ipv4", data, 20)?;
+        if data[0] >> 4 != 4 {
+            return Err(ParseError::new("ipv4", "not version 4"));
+        }
+        let ihl = usize::from(data[0] & 0xf) * 4;
+        need("ipv4", data, ihl)?;
+        if internet_checksum(&data[..ihl]) != 0 {
+            return Err(ParseError::new("ipv4", "bad header checksum"));
+        }
+        let total = usize::from(u16_at(data, 2));
+        if total < ihl || total > data.len() {
+            return Err(ParseError::new("ipv4", "bad total length"));
+        }
+        Ok(Ipv4Packet {
+            tos: data[1],
+            id: u16_at(data, 4),
+            ttl: data[8],
+            proto: data[9],
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            payload: data.slice(ihl..total),
+        })
+    }
+}
+
+/// ICMP message types used by the simulator.
+pub mod icmp_type {
+    /// Echo reply.
+    pub const ECHO_REPLY: u8 = 0;
+    /// Destination unreachable.
+    pub const DEST_UNREACHABLE: u8 = 3;
+    /// Echo request.
+    pub const ECHO_REQUEST: u8 = 8;
+    /// Time exceeded.
+    pub const TIME_EXCEEDED: u8 = 11;
+}
+
+/// An ICMP message (echo-style: id/seq in the rest-of-header word).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpPacket {
+    /// ICMP type (see [`icmp_type`]).
+    pub icmp_type: u8,
+    /// ICMP code.
+    pub code: u8,
+    /// Identifier (echo) or unused.
+    pub ident: u16,
+    /// Sequence number (echo) or unused.
+    pub seq: u16,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl IcmpPacket {
+    /// Serialize to wire bytes, computing the checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(8 + self.payload.len());
+        b.put_u8(self.icmp_type);
+        b.put_u8(self.code);
+        b.put_u16(0);
+        b.put_u16(self.ident);
+        b.put_u16(self.seq);
+        b.put_slice(&self.payload);
+        let cksum = internet_checksum(&b);
+        b[2..4].copy_from_slice(&cksum.to_be_bytes());
+        b.freeze()
+    }
+
+    /// Parse from wire bytes, verifying the checksum.
+    pub fn parse(data: &Bytes) -> ParseResult<IcmpPacket> {
+        need("icmp", data, 8)?;
+        if internet_checksum(data) != 0 {
+            return Err(ParseError::new("icmp", "bad checksum"));
+        }
+        Ok(IcmpPacket {
+            icmp_type: data[0],
+            code: data[1],
+            ident: u16_at(data, 4),
+            seq: u16_at(data, 6),
+            payload: data.slice(8..),
+        })
+    }
+}
+
+/// TCP header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// SYN.
+    pub syn: bool,
+    /// ACK.
+    pub ack: bool,
+    /// FIN.
+    pub fin: bool,
+    /// RST.
+    pub rst: bool,
+    /// PSH.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    fn to_byte(self) -> u8 {
+        (u8::from(self.fin))
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A TCP segment (no options; checksum computed with the IPv4 pseudo-header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Serialize, computing the checksum for the given IPv4 endpoints.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Bytes {
+        let mut b = BytesMut::with_capacity(20 + self.payload.len());
+        b.put_u16(self.src_port);
+        b.put_u16(self.dst_port);
+        b.put_u32(self.seq);
+        b.put_u32(self.ack);
+        b.put_u8(5 << 4); // data offset 5 words
+        b.put_u8(self.flags.to_byte());
+        b.put_u16(self.window);
+        b.put_u16(0); // checksum placeholder
+        b.put_u16(0); // urgent
+        b.put_slice(&self.payload);
+        let cksum = l4_checksum(src, dst, ip_proto::TCP, &b);
+        b[16..18].copy_from_slice(&cksum.to_be_bytes());
+        b.freeze()
+    }
+
+    /// Parse, verifying the checksum against the IPv4 endpoints.
+    pub fn parse(data: &Bytes, src: Ipv4Addr, dst: Ipv4Addr) -> ParseResult<TcpSegment> {
+        need("tcp", data, 20)?;
+        if l4_checksum(src, dst, ip_proto::TCP, data) != 0 {
+            return Err(ParseError::new("tcp", "bad checksum"));
+        }
+        let off = usize::from(data[12] >> 4) * 4;
+        need("tcp", data, off)?;
+        Ok(TcpSegment {
+            src_port: u16_at(data, 0),
+            dst_port: u16_at(data, 2),
+            seq: u32_at(data, 4),
+            ack: u32_at(data, 8),
+            flags: TcpFlags::from_byte(data[13]),
+            window: u16_at(data, 14),
+            payload: data.slice(off..),
+        })
+    }
+}
+
+/// A UDP datagram (checksum computed with the IPv4 pseudo-header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl UdpDatagram {
+    /// Serialize, computing the checksum for the given IPv4 endpoints.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Bytes {
+        let len = 8 + self.payload.len();
+        let mut b = BytesMut::with_capacity(len);
+        b.put_u16(self.src_port);
+        b.put_u16(self.dst_port);
+        b.put_u16(len as u16);
+        b.put_u16(0);
+        b.put_slice(&self.payload);
+        let mut cksum = l4_checksum(src, dst, ip_proto::UDP, &b);
+        if cksum == 0 {
+            cksum = 0xffff; // RFC 768: zero means "no checksum"
+        }
+        b[6..8].copy_from_slice(&cksum.to_be_bytes());
+        b.freeze()
+    }
+
+    /// Parse, verifying the checksum against the IPv4 endpoints.
+    pub fn parse(data: &Bytes, src: Ipv4Addr, dst: Ipv4Addr) -> ParseResult<UdpDatagram> {
+        need("udp", data, 8)?;
+        let len = usize::from(u16_at(data, 4));
+        if len < 8 || len > data.len() {
+            return Err(ParseError::new("udp", "bad length"));
+        }
+        if u16_at(data, 6) != 0 && l4_checksum(src, dst, ip_proto::UDP, &data[..len]) != 0 {
+            return Err(ParseError::new("udp", "bad checksum"));
+        }
+        Ok(UdpDatagram {
+            src_port: u16_at(data, 0),
+            dst_port: u16_at(data, 2),
+            payload: data.slice(8..len),
+        })
+    }
+}
+
+/// L4 checksum with the IPv4 pseudo-header.
+fn l4_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, segment: &[u8]) -> u16 {
+    let mut pseudo = BytesMut::with_capacity(12 + segment.len() + 1);
+    pseudo.put_slice(&src.octets());
+    pseudo.put_slice(&dst.octets());
+    pseudo.put_u8(0);
+    pseudo.put_u8(proto);
+    pseudo.put_u16(segment.len() as u16);
+    pseudo.put_slice(segment);
+    internet_checksum(&pseudo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Classic RFC 1071 example.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn ethernet_roundtrip_untagged() {
+        let f = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::from_seed(1),
+            vlan: None,
+            ethertype: EtherType::ARP,
+            payload: Bytes::from_static(b"payload"),
+        };
+        let wire = f.encode();
+        assert_eq!(EthernetFrame::parse(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn ethernet_roundtrip_vlan() {
+        let f = EthernetFrame {
+            dst: MacAddr::from_seed(2),
+            src: MacAddr::from_seed(3),
+            vlan: Some(VlanTag { pcp: 5, vid: 100 }),
+            ethertype: EtherType::IPV4,
+            payload: Bytes::from_static(b"x"),
+        };
+        let wire = f.encode();
+        let p = EthernetFrame::parse(&wire).unwrap();
+        assert_eq!(p, f);
+        assert_eq!(p.vlan.unwrap().vid, 100);
+    }
+
+    #[test]
+    fn ethernet_too_short() {
+        assert!(EthernetFrame::parse(&Bytes::from_static(b"short")).is_err());
+    }
+
+    #[test]
+    fn arp_roundtrip() {
+        let a = ArpPacket {
+            op: ArpOp::Request,
+            sha: MacAddr::from_seed(1),
+            spa: ip("10.0.0.1"),
+            tha: MacAddr::ZERO,
+            tpa: ip("10.0.0.2"),
+        };
+        assert_eq!(ArpPacket::parse(&a.encode()).unwrap(), a);
+        let r = ArpPacket {
+            op: ArpOp::Reply,
+            ..a
+        };
+        assert_eq!(ArpPacket::parse(&r.encode()).unwrap().op, ArpOp::Reply);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_checksum_verified() {
+        let p = Ipv4Packet {
+            tos: 0x10,
+            id: 7,
+            ttl: 64,
+            proto: ip_proto::UDP,
+            src: ip("10.0.0.1"),
+            dst: ip("10.0.0.2"),
+            payload: Bytes::from_static(b"data"),
+        };
+        let wire = p.encode();
+        assert_eq!(Ipv4Packet::parse(&wire).unwrap(), p);
+        // Corrupt a byte: checksum must catch it.
+        let mut bad = BytesMut::from(&wire[..]);
+        bad[8] ^= 0xff;
+        assert!(Ipv4Packet::parse(&bad.freeze()).is_err());
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip() {
+        let m = IcmpPacket {
+            icmp_type: icmp_type::ECHO_REQUEST,
+            code: 0,
+            ident: 42,
+            seq: 3,
+            payload: Bytes::from_static(b"ping"),
+        };
+        let wire = m.encode();
+        assert_eq!(IcmpPacket::parse(&wire).unwrap(), m);
+        let mut bad = BytesMut::from(&wire[..]);
+        bad[4] ^= 1;
+        assert!(IcmpPacket::parse(&bad.freeze()).is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_pseudo_header() {
+        let s = ip("192.168.1.1");
+        let d = ip("192.168.1.2");
+        let t = TcpSegment {
+            src_port: 44123,
+            dst_port: 22,
+            seq: 1000,
+            ack: 0,
+            flags: TcpFlags {
+                syn: true,
+                ..Default::default()
+            },
+            window: 65535,
+            payload: Bytes::new(),
+        };
+        let wire = t.encode(s, d);
+        assert_eq!(TcpSegment::parse(&wire, s, d).unwrap(), t);
+        // Wrong pseudo-header endpoints fail the checksum. (Merely swapping
+        // src/dst would pass — one's-complement addition is commutative —
+        // so use a genuinely different address.)
+        assert!(TcpSegment::parse(&wire, s, ip("192.168.1.9")).is_err());
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let s = ip("10.0.0.1");
+        let d = ip("10.0.0.2");
+        let u = UdpDatagram {
+            src_port: 68,
+            dst_port: 67,
+            payload: Bytes::from_static(b"dhcp"),
+        };
+        let wire = u.encode(s, d);
+        assert_eq!(UdpDatagram::parse(&wire, s, d).unwrap(), u);
+    }
+
+    #[test]
+    fn tcp_flags_roundtrip() {
+        for b in 0..32u8 {
+            assert_eq!(TcpFlags::from_byte(b).to_byte(), b & 0x1f);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! POSIX-style access control lists (paper §5.1).
+//!
+//! yanc uses the VFS permission machinery to give the network administrator
+//! fine-grained control over network resources: an individual flow can be
+//! protected for a specific process, and so can an entire switch (and thus
+//! all its flows). Plain `rwx` triplets cover owner/group/other; ACLs extend
+//! them with per-user and per-group entries, evaluated with the POSIX.1e
+//! algorithm (owner entry, then named users, then groups masked by the mask
+//! entry, then other).
+
+use crate::types::{Access, Credentials, Gid, Mode, Uid};
+
+/// One ACL entry: who it applies to plus an rwx permission triplet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AclEntry {
+    /// Permissions for a specific user (`user:<uid>:rwx`).
+    User(Uid, u8),
+    /// Permissions for a specific group (`group:<gid>:rwx`).
+    Group(Gid, u8),
+    /// Upper bound applied to named users, named groups and the owning
+    /// group (`mask::rwx`). Defaults to `rwx` when absent.
+    Mask(u8),
+}
+
+/// An access control list attached to an inode.
+///
+/// The file's own `Mode` supplies the owner/group/other base entries; the
+/// ACL holds only the extension entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acl {
+    entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    /// An empty ACL (equivalent to plain mode bits).
+    pub fn new() -> Self {
+        Acl::default()
+    }
+
+    /// True when no extension entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over the entries.
+    pub fn entries(&self) -> &[AclEntry] {
+        &self.entries
+    }
+
+    /// Add or replace the entry for a user.
+    pub fn set_user(&mut self, uid: Uid, perms: u8) {
+        self.entries
+            .retain(|e| !matches!(e, AclEntry::User(u, _) if *u == uid));
+        self.entries.push(AclEntry::User(uid, perms & 0o7));
+    }
+
+    /// Add or replace the entry for a group.
+    pub fn set_group(&mut self, gid: Gid, perms: u8) {
+        self.entries
+            .retain(|e| !matches!(e, AclEntry::Group(g, _) if *g == gid));
+        self.entries.push(AclEntry::Group(gid, perms & 0o7));
+    }
+
+    /// Set the mask entry.
+    pub fn set_mask(&mut self, perms: u8) {
+        self.entries.retain(|e| !matches!(e, AclEntry::Mask(_)));
+        self.entries.push(AclEntry::Mask(perms & 0o7));
+    }
+
+    /// Remove the entry for a user. Returns whether one was present.
+    pub fn remove_user(&mut self, uid: Uid) -> bool {
+        let n = self.entries.len();
+        self.entries
+            .retain(|e| !matches!(e, AclEntry::User(u, _) if *u == uid));
+        self.entries.len() != n
+    }
+
+    /// Remove the entry for a group. Returns whether one was present.
+    pub fn remove_group(&mut self, gid: Gid) -> bool {
+        let n = self.entries.len();
+        self.entries
+            .retain(|e| !matches!(e, AclEntry::Group(g, _) if *g == gid));
+        self.entries.len() != n
+    }
+
+    fn mask(&self) -> u8 {
+        self.entries
+            .iter()
+            .find_map(|e| match e {
+                AclEntry::Mask(m) => Some(*m),
+                _ => None,
+            })
+            .unwrap_or(0o7)
+    }
+
+    fn named_user(&self, uid: Uid) -> Option<u8> {
+        self.entries.iter().find_map(|e| match e {
+            AclEntry::User(u, p) if *u == uid => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// All group entries matching the credentials.
+    fn matching_groups<'a>(&'a self, creds: &'a Credentials) -> impl Iterator<Item = u8> + 'a {
+        self.entries.iter().filter_map(move |e| match e {
+            AclEntry::Group(g, p) if creds.in_group(*g) => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// Serialize in `getfacl`-like short text form, e.g.
+    /// `user:1001:rw-,group:50:r--,mask::rw-`.
+    pub fn to_text(&self) -> String {
+        let trip = |p: u8| {
+            let mut s = String::with_capacity(3);
+            s.push(if p & 4 != 0 { 'r' } else { '-' });
+            s.push(if p & 2 != 0 { 'w' } else { '-' });
+            s.push(if p & 1 != 0 { 'x' } else { '-' });
+            s
+        };
+        self.entries
+            .iter()
+            .map(|e| match e {
+                AclEntry::User(u, p) => format!("user:{}:{}", u.0, trip(*p)),
+                AclEntry::Group(g, p) => format!("group:{}:{}", g.0, trip(*p)),
+                AclEntry::Mask(p) => format!("mask::{}", trip(*p)),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Evaluate whether `creds` may perform `access` on an object owned by
+/// `owner`/`group` with permission `mode` and optional `acl`.
+///
+/// Follows the POSIX.1e ordering: root short-circuits; then the owning user
+/// uses the owner triplet; then a named-user ACL entry (masked); then the
+/// owning group and named groups (masked), granting if *any* matching entry
+/// grants; finally the other triplet.
+pub fn check_access(
+    creds: &Credentials,
+    owner: Uid,
+    group: Gid,
+    mode: Mode,
+    acl: Option<&Acl>,
+    access: Access,
+) -> bool {
+    if creds.is_root() {
+        return true;
+    }
+    let bit = access.bit();
+    if creds.uid == owner {
+        return mode.owner() & bit != 0;
+    }
+    if let Some(acl) = acl {
+        if let Some(p) = acl.named_user(creds.uid) {
+            return p & acl.mask() & bit != 0;
+        }
+        let mut any_group_matched = false;
+        let mut granted = false;
+        if creds.in_group(group) {
+            any_group_matched = true;
+            granted |= mode.group() & acl.mask() & bit != 0;
+        }
+        for p in acl.matching_groups(creds) {
+            any_group_matched = true;
+            granted |= p & acl.mask() & bit != 0;
+        }
+        if any_group_matched {
+            return granted;
+        }
+    } else if creds.in_group(group) {
+        return mode.group() & bit != 0;
+    }
+    mode.other() & bit != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn creds(uid: u32, gid: u32) -> Credentials {
+        Credentials::user(uid, gid)
+    }
+
+    #[test]
+    fn root_bypasses_everything() {
+        assert!(check_access(
+            &Credentials::root(),
+            Uid(10),
+            Gid(10),
+            Mode(0o000),
+            None,
+            Access::Write
+        ));
+    }
+
+    #[test]
+    fn owner_uses_owner_triplet_even_if_other_is_wider() {
+        // 0o077: owner has nothing, everyone else everything — POSIX says the
+        // owner is *denied* (triplet selection is exclusive, not a union).
+        assert!(!check_access(
+            &creds(10, 10),
+            Uid(10),
+            Gid(10),
+            Mode(0o077),
+            None,
+            Access::Read
+        ));
+        assert!(check_access(
+            &creds(11, 11),
+            Uid(10),
+            Gid(10),
+            Mode(0o077),
+            None,
+            Access::Read
+        ));
+    }
+
+    #[test]
+    fn group_membership_selects_group_triplet() {
+        let mode = Mode(0o640);
+        assert!(check_access(
+            &creds(11, 10),
+            Uid(10),
+            Gid(10),
+            mode,
+            None,
+            Access::Read
+        ));
+        assert!(!check_access(
+            &creds(11, 10),
+            Uid(10),
+            Gid(10),
+            mode,
+            None,
+            Access::Write
+        ));
+        assert!(!check_access(
+            &creds(11, 11),
+            Uid(10),
+            Gid(10),
+            mode,
+            None,
+            Access::Read
+        ));
+    }
+
+    #[test]
+    fn supplementary_groups_count() {
+        let mut c = creds(11, 11);
+        c.groups.push(Gid(10));
+        assert!(check_access(
+            &c,
+            Uid(10),
+            Gid(10),
+            Mode(0o640),
+            None,
+            Access::Read
+        ));
+    }
+
+    #[test]
+    fn named_user_entry_grants_and_mask_limits() {
+        let mut acl = Acl::new();
+        acl.set_user(Uid(42), 0o7);
+        assert!(check_access(
+            &creds(42, 1),
+            Uid(10),
+            Gid(10),
+            Mode(0o600),
+            Some(&acl),
+            Access::Write
+        ));
+        acl.set_mask(0o4);
+        assert!(!check_access(
+            &creds(42, 1),
+            Uid(10),
+            Gid(10),
+            Mode(0o600),
+            Some(&acl),
+            Access::Write
+        ));
+        assert!(check_access(
+            &creds(42, 1),
+            Uid(10),
+            Gid(10),
+            Mode(0o600),
+            Some(&acl),
+            Access::Read
+        ));
+    }
+
+    #[test]
+    fn named_group_entry() {
+        let mut acl = Acl::new();
+        acl.set_group(Gid(7), 0o6);
+        let mut c = creds(99, 1);
+        c.groups.push(Gid(7));
+        assert!(check_access(
+            &c,
+            Uid(10),
+            Gid(10),
+            Mode(0o600),
+            Some(&acl),
+            Access::Write
+        ));
+        // Non-member falls through to other triplet.
+        assert!(!check_access(
+            &creds(99, 1),
+            Uid(10),
+            Gid(10),
+            Mode(0o600),
+            Some(&acl),
+            Access::Write
+        ));
+    }
+
+    #[test]
+    fn group_class_any_grant_wins() {
+        // Owning group denies write, but a named group grants it: POSIX.1e
+        // grants if any matching group-class entry grants.
+        let mut acl = Acl::new();
+        acl.set_group(Gid(7), 0o2);
+        let mut c = creds(99, 10); // in owning group 10 and named group 7
+        c.groups.push(Gid(7));
+        assert!(check_access(
+            &c,
+            Uid(10),
+            Gid(10),
+            Mode(0o640),
+            Some(&acl),
+            Access::Write
+        ));
+    }
+
+    #[test]
+    fn entries_replace_not_duplicate() {
+        let mut acl = Acl::new();
+        acl.set_user(Uid(1), 0o7);
+        acl.set_user(Uid(1), 0o4);
+        assert_eq!(acl.entries().len(), 1);
+        assert!(acl.remove_user(Uid(1)));
+        assert!(!acl.remove_user(Uid(1)));
+        assert!(acl.is_empty());
+    }
+
+    #[test]
+    fn text_form() {
+        let mut acl = Acl::new();
+        acl.set_user(Uid(1001), 0o6);
+        acl.set_group(Gid(50), 0o4);
+        acl.set_mask(0o6);
+        assert_eq!(acl.to_text(), "user:1001:rw-,group:50:r--,mask::rw-");
+    }
+}

@@ -1,0 +1,211 @@
+//! Errno-style error type for the virtual file system.
+//!
+//! yanc's premise is that network state is manipulated through *ordinary file
+//! I/O*, so the error vocabulary applications see must be the POSIX one: a
+//! flow write that races with a switch removal fails with `ENOENT`, an
+//! unauthorized app reading a protected switch gets `EACCES`, and pointing a
+//! `peer` symlink at a non-port is `EINVAL` — exactly as the paper describes.
+
+use std::fmt;
+
+/// POSIX-style error numbers used by [`crate::Filesystem`] operations.
+///
+/// Only the subset that a file-system API can actually produce is modelled;
+/// the numeric values match Linux on x86-64 so logs read familiarly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted (ownership/capability checks).
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// I/O error (internal inconsistency surfaced to the caller).
+    EIO = 5,
+    /// Bad file handle (stale or closed descriptor).
+    EBADF = 9,
+    /// Permission denied (mode/ACL checks).
+    EACCES = 13,
+    /// File exists.
+    EEXIST = 17,
+    /// Cross-device link (rename/link across mounts).
+    EXDEV = 18,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument (also used for semantic-schema violations).
+    EINVAL = 22,
+    /// File table overflow / too many open handles.
+    ENFILE = 23,
+    /// No space left on device (quota exceeded).
+    ENOSPC = 28,
+    /// Read-only file system (or read-only bind mount / view).
+    EROFS = 30,
+    /// Too many links (hard-link count limit).
+    EMLINK = 31,
+    /// File name too long.
+    ENAMETOOLONG = 36,
+    /// Directory not empty.
+    ENOTEMPTY = 39,
+    /// Too many levels of symbolic links.
+    ELOOP = 40,
+    /// No data available (missing extended attribute).
+    ENODATA = 61,
+    /// Function not implemented.
+    ENOSYS = 38,
+    /// Operation not supported (e.g. xattr on a symlink).
+    ENOTSUP = 95,
+    /// Disk quota exceeded (per-directory entry limits).
+    EDQUOT = 122,
+}
+
+impl Errno {
+    /// Short upper-case symbolic name, e.g. `"ENOENT"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::EACCES => "EACCES",
+            Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::EROFS => "EROFS",
+            Errno::EMLINK => "EMLINK",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENODATA => "ENODATA",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::ENOTSUP => "ENOTSUP",
+            Errno::EDQUOT => "EDQUOT",
+        }
+    }
+
+    /// Human-readable description, matching `strerror(3)` phrasing.
+    pub fn description(self) -> &'static str {
+        match self {
+            Errno::EPERM => "Operation not permitted",
+            Errno::ENOENT => "No such file or directory",
+            Errno::EIO => "Input/output error",
+            Errno::EBADF => "Bad file descriptor",
+            Errno::EACCES => "Permission denied",
+            Errno::EEXIST => "File exists",
+            Errno::EXDEV => "Invalid cross-device link",
+            Errno::ENOTDIR => "Not a directory",
+            Errno::EISDIR => "Is a directory",
+            Errno::EINVAL => "Invalid argument",
+            Errno::ENFILE => "Too many open files in system",
+            Errno::ENOSPC => "No space left on device",
+            Errno::EROFS => "Read-only file system",
+            Errno::EMLINK => "Too many links",
+            Errno::ENAMETOOLONG => "File name too long",
+            Errno::ENOTEMPTY => "Directory not empty",
+            Errno::ELOOP => "Too many levels of symbolic links",
+            Errno::ENODATA => "No data available",
+            Errno::ENOSYS => "Function not implemented",
+            Errno::ENOTSUP => "Operation not supported",
+            Errno::EDQUOT => "Disk quota exceeded",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.description())
+    }
+}
+
+/// Error returned by every [`crate::Filesystem`] operation: an errno plus the
+/// path (or handle) the operation was applied to, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VfsError {
+    /// The POSIX error code.
+    pub errno: Errno,
+    /// Path or other operand the failing operation referenced.
+    pub operand: String,
+}
+
+impl VfsError {
+    /// Construct an error for `errno` at `operand`.
+    pub fn new(errno: Errno, operand: impl Into<String>) -> Self {
+        VfsError {
+            errno,
+            operand: operand.into(),
+        }
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.operand, self.errno)
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// Result alias used throughout the vfs.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// Shorthand constructor used pervasively inside the crate.
+pub(crate) fn err<T>(errno: Errno, operand: impl Into<String>) -> VfsResult<T> {
+    Err(VfsError::new(errno, operand))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_names_roundtrip_with_description() {
+        let all = [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::EIO,
+            Errno::EBADF,
+            Errno::EACCES,
+            Errno::EEXIST,
+            Errno::EXDEV,
+            Errno::ENOTDIR,
+            Errno::EISDIR,
+            Errno::EINVAL,
+            Errno::ENFILE,
+            Errno::ENOSPC,
+            Errno::EROFS,
+            Errno::EMLINK,
+            Errno::ENAMETOOLONG,
+            Errno::ENOTEMPTY,
+            Errno::ELOOP,
+            Errno::ENODATA,
+            Errno::ENOSYS,
+            Errno::ENOTSUP,
+            Errno::EDQUOT,
+        ];
+        for e in all {
+            assert!(!e.name().is_empty());
+            assert!(!e.description().is_empty());
+            assert!(e.to_string().contains(e.name()));
+        }
+    }
+
+    #[test]
+    fn numeric_values_match_linux() {
+        assert_eq!(Errno::ENOENT as i32, 2);
+        assert_eq!(Errno::EACCES as i32, 13);
+        assert_eq!(Errno::ENOTEMPTY as i32, 39);
+        assert_eq!(Errno::ELOOP as i32, 40);
+    }
+
+    #[test]
+    fn vfs_error_display_includes_operand() {
+        let e = VfsError::new(Errno::ENOENT, "/net/switches/sw9");
+        let s = e.to_string();
+        assert!(s.contains("/net/switches/sw9"));
+        assert!(s.contains("ENOENT"));
+    }
+}

@@ -1,0 +1,2068 @@
+//! The in-memory virtual file system.
+//!
+//! This is the substrate the entire reproduction stands on: a POSIX-style
+//! file system with inodes, directories, symlinks, hard links, unix
+//! permissions + ACLs, extended attributes, open-file handles, rename
+//! semantics, change notification and per-operation syscall accounting.
+//! It replaces the Linux VFS + FUSE layer the paper's prototype used; see
+//! DESIGN.md §1 for why the substitution preserves the behaviours yanc
+//! relies on.
+//!
+//! Locking: one `RwLock` over the inode/handle tables. Mutating operations
+//! compute the change and the notification events under the write lock,
+//! then release it before emitting events and invoking semantic hooks, so
+//! hooks and watchers may freely re-enter the filesystem.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use parking_lot::RwLock;
+
+use crate::acl::{check_access, Acl};
+use crate::counter::{OpKind, SyscallCounters};
+use crate::error::{err, Errno, VfsError, VfsResult};
+use crate::hooks::{HookDepth, SemanticHook};
+use crate::notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
+use crate::path::{valid_name, VPath, NAME_MAX, PATH_MAX};
+use crate::types::{
+    Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
+    Timestamp, Uid, ROOT_INO,
+};
+
+/// Maximum symlink traversals in one lookup, mirroring Linux `SYMLOOP_MAX`.
+const SYMLOOP_MAX: u32 = 40;
+/// Hard-link ceiling, mirroring ext4's practical limit.
+const LINK_MAX: u32 = 65_000;
+
+/// Resource limits; defaults are generous but finite so `ENOSPC`/`EDQUOT`
+/// paths are reachable in tests.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum size of a regular file in bytes.
+    pub max_file_size: u64,
+    /// Maximum number of entries in one directory.
+    pub max_dir_entries: usize,
+    /// Maximum number of simultaneously open handles.
+    pub max_open_files: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_file_size: 64 << 20,
+            max_dir_entries: 1 << 20,
+            max_open_files: 1 << 16,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    File(Vec<u8>),
+    Dir {
+        entries: BTreeMap<String, Ino>,
+        parent: Ino,
+    },
+    Symlink(String),
+}
+
+#[derive(Debug)]
+struct Inode {
+    kind: NodeKind,
+    mode: Mode,
+    uid: Uid,
+    gid: Gid,
+    nlink: u32,
+    mtime: Timestamp,
+    ctime: Timestamp,
+    xattrs: BTreeMap<String, Vec<u8>>,
+    acl: Option<Acl>,
+    open_count: u32,
+}
+
+impl Inode {
+    fn file_type(&self) -> FileType {
+        match self.kind {
+            NodeKind::File(_) => FileType::Regular,
+            NodeKind::Dir { .. } => FileType::Directory,
+            NodeKind::Symlink(_) => FileType::Symlink,
+        }
+    }
+
+    fn size(&self) -> u64 {
+        match &self.kind {
+            NodeKind::File(d) => d.len() as u64,
+            NodeKind::Dir { entries, .. } => entries.len() as u64,
+            NodeKind::Symlink(t) => t.len() as u64,
+        }
+    }
+
+    fn dir_entries(&self) -> VfsResult<&BTreeMap<String, Ino>> {
+        match &self.kind {
+            NodeKind::Dir { entries, .. } => Ok(entries),
+            _ => err(Errno::ENOTDIR, ""),
+        }
+    }
+
+    fn dir_entries_mut(&mut self) -> VfsResult<&mut BTreeMap<String, Ino>> {
+        match &mut self.kind {
+            NodeKind::Dir { entries, .. } => Ok(entries),
+            _ => err(Errno::ENOTDIR, ""),
+        }
+    }
+}
+
+struct OpenFile {
+    ino: Ino,
+    flags: OpenFlags,
+    offset: u64,
+    path: VPath,
+    wrote: bool,
+}
+
+struct FsInner {
+    inodes: HashMap<u64, Inode>,
+    next_ino: u64,
+    handles: HashMap<u64, OpenFile>,
+    next_fd: u64,
+}
+
+impl FsInner {
+    fn inode(&self, ino: Ino) -> VfsResult<&Inode> {
+        self.inodes
+            .get(&ino.0)
+            .ok_or_else(|| VfsError::new(Errno::EIO, format!("{ino}")))
+    }
+
+    fn inode_mut(&mut self, ino: Ino) -> VfsResult<&mut Inode> {
+        self.inodes
+            .get_mut(&ino.0)
+            .ok_or_else(|| VfsError::new(Errno::EIO, format!("{ino}")))
+    }
+
+    fn alloc_ino(&mut self) -> Ino {
+        let ino = Ino(self.next_ino);
+        self.next_ino += 1;
+        ino
+    }
+}
+
+/// Resolution of a path into its (canonical) parent directory and final
+/// component.
+struct Resolved {
+    parent_ino: Ino,
+    parent_path: VPath,
+    name: String,
+    /// Inode of the final component, if it exists (symlinks NOT followed;
+    /// callers follow explicitly when they need to).
+    target: Option<Ino>,
+}
+
+/// Pending notification gathered under the lock, emitted after release.
+type PendingEvent = (EventKind, VPath, Option<String>);
+
+/// Pending hook invocation gathered under the lock.
+enum PendingHook {
+    Mkdir(VPath),
+    Create(VPath),
+    CloseWrite(VPath),
+}
+
+/// The virtual file system. Cheap to share: wrap in an [`Arc`].
+pub struct Filesystem {
+    inner: RwLock<FsInner>,
+    clock: Clock,
+    counters: SyscallCounters,
+    notify: NotifyHub,
+    hooks: RwLock<Vec<Arc<dyn SemanticHook>>>,
+    limits: Limits,
+}
+
+impl Default for Filesystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Filesystem {
+    /// An empty filesystem containing only the root directory (`0o755`,
+    /// owned by root).
+    pub fn new() -> Self {
+        Self::with_limits(Limits::default())
+    }
+
+    /// An empty filesystem with explicit resource limits.
+    pub fn with_limits(limits: Limits) -> Self {
+        let clock = Clock::new();
+        let now = clock.tick();
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            ROOT_INO.0,
+            Inode {
+                kind: NodeKind::Dir {
+                    entries: BTreeMap::new(),
+                    parent: ROOT_INO,
+                },
+                mode: Mode::DIR_DEFAULT,
+                uid: Uid(0),
+                gid: Gid(0),
+                nlink: 2,
+                mtime: now,
+                ctime: now,
+                xattrs: BTreeMap::new(),
+                acl: None,
+                open_count: 0,
+            },
+        );
+        Filesystem {
+            inner: RwLock::new(FsInner {
+                inodes,
+                next_ino: 2,
+                handles: HashMap::new(),
+                next_fd: 3,
+            }),
+            clock,
+            counters: SyscallCounters::new(),
+            notify: NotifyHub::new(),
+            hooks: RwLock::new(Vec::new()),
+            limits,
+        }
+    }
+
+    /// The syscall tally (see [`SyscallCounters`]); drives experiment E14.
+    pub fn counters(&self) -> &SyscallCounters {
+        &self.counters
+    }
+
+    /// The notification hub.
+    pub fn notify(&self) -> &NotifyHub {
+        &self.notify
+    }
+
+    /// Register a semantic hook (consulted in registration order).
+    pub fn add_hook(&self, hook: Arc<dyn SemanticHook>) {
+        self.hooks.write().push(hook);
+    }
+
+    /// inotify-style watch on `path` and its direct children.
+    pub fn watch_path(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
+        self.notify.watch_path(&VPath::new(path), mask)
+    }
+
+    /// fanotify-style watch on the subtree rooted at `path`.
+    pub fn watch_subtree(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
+        self.notify.watch_subtree(&VPath::new(path), mask)
+    }
+
+    /// Cancel a watch.
+    pub fn unwatch(&self, id: WatchId) -> bool {
+        self.notify.unwatch(id)
+    }
+
+    // ----------------------------------------------------------------
+    // Internal helpers
+    // ----------------------------------------------------------------
+
+    fn may_access(&self, inner: &FsInner, ino: Ino, creds: &Credentials, access: Access) -> bool {
+        let node = match inner.inodes.get(&ino.0) {
+            Some(n) => n,
+            None => return false,
+        };
+        check_access(
+            creds,
+            node.uid,
+            node.gid,
+            node.mode,
+            node.acl.as_ref(),
+            access,
+        )
+    }
+
+    /// Walk `path`, resolving intermediate symlinks, checking Exec on every
+    /// traversed directory. Returns the canonical parent plus final name.
+    /// `follow_last`: also resolve the final component if it is a symlink.
+    fn resolve(
+        &self,
+        inner: &FsInner,
+        path: &VPath,
+        creds: &Credentials,
+        follow_last: bool,
+    ) -> VfsResult<Resolved> {
+        if path.as_str().len() > PATH_MAX {
+            return err(Errno::ENAMETOOLONG, path.as_str());
+        }
+        if path.is_root() {
+            return Ok(Resolved {
+                parent_ino: ROOT_INO,
+                parent_path: VPath::root(),
+                name: String::new(),
+                target: Some(ROOT_INO),
+            });
+        }
+
+        let mut work: VecDeque<String> = path.components().map(str::to_string).collect();
+        let mut cur_ino = ROOT_INO;
+        let mut cur_path = VPath::root();
+        let mut links = 0u32;
+
+        loop {
+            let comp = match work.pop_front() {
+                Some(c) => c,
+                None => {
+                    // Path fully consumed by symlink expansion ending in a dir.
+                    return Ok(Resolved {
+                        parent_ino: cur_ino,
+                        parent_path: cur_path.clone(),
+                        name: String::new(),
+                        target: Some(cur_ino),
+                    });
+                }
+            };
+            if comp.len() > NAME_MAX {
+                return err(Errno::ENAMETOOLONG, path.as_str());
+            }
+
+            let node = inner.inode(cur_ino)?;
+            let entries = match node.dir_entries() {
+                Ok(e) => e,
+                Err(_) => return err(Errno::ENOTDIR, cur_path.as_str()),
+            };
+            if !self.may_access(inner, cur_ino, creds, Access::Exec) {
+                return err(Errno::EACCES, cur_path.as_str());
+            }
+
+            if comp == ".." {
+                let parent = match &node.kind {
+                    NodeKind::Dir { parent, .. } => *parent,
+                    _ => unreachable!(),
+                };
+                cur_ino = parent;
+                cur_path = cur_path.parent();
+                continue;
+            }
+
+            let is_last = work.is_empty();
+            let child = entries.get(&comp).copied();
+
+            if is_last {
+                // Follow a final symlink only when asked.
+                if follow_last {
+                    if let Some(ci) = child {
+                        if let NodeKind::Symlink(target) = &inner.inode(ci)?.kind {
+                            links += 1;
+                            if links > SYMLOOP_MAX {
+                                return err(Errno::ELOOP, path.as_str());
+                            }
+                            let t = target.clone();
+                            Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &t);
+                            continue;
+                        }
+                    }
+                }
+                return Ok(Resolved {
+                    parent_ino: cur_ino,
+                    parent_path: cur_path.clone(),
+                    name: comp,
+                    target: child,
+                });
+            }
+
+            // Intermediate component must exist and be traversable.
+            let ci = match child {
+                Some(c) => c,
+                None => return err(Errno::ENOENT, cur_path.join(&comp).as_str()),
+            };
+            match &inner.inode(ci)?.kind {
+                NodeKind::Dir { .. } => {
+                    cur_ino = ci;
+                    cur_path = cur_path.join(&comp);
+                }
+                NodeKind::Symlink(target) => {
+                    links += 1;
+                    if links > SYMLOOP_MAX {
+                        return err(Errno::ELOOP, path.as_str());
+                    }
+                    let t = target.clone();
+                    Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &t);
+                }
+                NodeKind::File(_) => {
+                    return err(Errno::ENOTDIR, cur_path.join(&comp).as_str());
+                }
+            }
+        }
+    }
+
+    fn expand_symlink(
+        work: &mut VecDeque<String>,
+        cur_ino: &mut Ino,
+        cur_path: &mut VPath,
+        target: &str,
+    ) {
+        let tpath = if target.starts_with('/') {
+            *cur_ino = ROOT_INO;
+            *cur_path = VPath::root();
+            VPath::new(target)
+        } else {
+            // Relative target: resolved against the current directory; the
+            // components are queued raw so `..` handling stays lookup-time.
+            VPath::new(&format!("/{target}"))
+        };
+        let comps: Vec<&str> = tpath.components().collect();
+        for c in comps.into_iter().rev() {
+            work.push_front(c.to_string());
+        }
+    }
+
+    /// Resolve and require the final target to exist. Follows final symlink
+    /// when `follow` is set.
+    fn lookup(
+        &self,
+        inner: &FsInner,
+        path: &VPath,
+        creds: &Credentials,
+        follow: bool,
+    ) -> VfsResult<Ino> {
+        let r = self.resolve(inner, path, creds, follow)?;
+        r.target
+            .ok_or_else(|| VfsError::new(Errno::ENOENT, path.as_str()))
+    }
+
+    fn run_hooks(&self, pending: Vec<PendingHook>, creds: &Credentials) {
+        if pending.is_empty() || HookDepth::active() {
+            return;
+        }
+        let hooks: Vec<Arc<dyn SemanticHook>> = self.hooks.read().clone();
+        if hooks.is_empty() {
+            return;
+        }
+        let _guard = HookDepth::enter();
+        for p in pending {
+            for h in &hooks {
+                match &p {
+                    PendingHook::Mkdir(path) => h.post_mkdir(self, path, creds),
+                    PendingHook::Create(path) => h.post_create(self, path, creds),
+                    PendingHook::CloseWrite(path) => h.post_close_write(self, path, creds),
+                }
+            }
+        }
+    }
+
+    fn emit_all(&self, events: Vec<PendingEvent>) {
+        for (kind, path, name) in events {
+            self.notify.emit(kind, &path, name.as_deref());
+        }
+    }
+
+    /// Validate a create/symlink against hooks (outside the lock).
+    fn validate_with_hooks(&self, f: impl Fn(&dyn SemanticHook) -> VfsResult<()>) -> VfsResult<()> {
+        if HookDepth::active() {
+            return Ok(());
+        }
+        let hooks: Vec<Arc<dyn SemanticHook>> = self.hooks.read().clone();
+        for h in &hooks {
+            f(h.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Sticky-directory deletion check: in a sticky dir, only the entry's
+    /// owner, the dir's owner, or root may remove/rename an entry.
+    fn sticky_ok(inner: &FsInner, dir: &Inode, entry_ino: Ino, creds: &Credentials) -> bool {
+        if !dir.mode.sticky() || creds.is_root() {
+            return true;
+        }
+        if creds.uid == dir.uid {
+            return true;
+        }
+        inner
+            .inodes
+            .get(&entry_ino.0)
+            .map(|n| n.uid == creds.uid)
+            .unwrap_or(false)
+    }
+
+    // ----------------------------------------------------------------
+    // Metadata operations
+    // ----------------------------------------------------------------
+
+    /// `stat(2)`: follow symlinks.
+    pub fn stat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
+        self.counters.bump(OpKind::Stat);
+        self.stat_common(path, creds, true)
+    }
+
+    /// `lstat(2)`: do not follow a final symlink.
+    pub fn lstat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
+        self.counters.bump(OpKind::Stat);
+        self.stat_common(path, creds, false)
+    }
+
+    fn stat_common(&self, path: &str, creds: &Credentials, follow: bool) -> VfsResult<FileStat> {
+        let vp = VPath::new(path);
+        let inner = self.inner.read();
+        let ino = self.lookup(&inner, &vp, creds, follow)?;
+        let node = inner.inode(ino)?;
+        Ok(FileStat {
+            ino,
+            file_type: node.file_type(),
+            mode: node.mode,
+            uid: node.uid,
+            gid: node.gid,
+            size: node.size(),
+            nlink: node.nlink,
+            mtime: node.mtime,
+            ctime: node.ctime,
+        })
+    }
+
+    /// Whether `path` resolves to an existing object (symlinks followed).
+    /// Does not count as a syscall on failure paths in callers' accounting —
+    /// it is a `stat` and is tallied as one.
+    pub fn exists(&self, path: &str, creds: &Credentials) -> bool {
+        self.stat(path, creds).is_ok()
+    }
+
+    /// Resolve `path` to its canonical form (all symlinks resolved).
+    pub fn canonicalize(&self, path: &str, creds: &Credentials) -> VfsResult<VPath> {
+        self.counters.bump(OpKind::Stat);
+        let vp = VPath::new(path);
+        let inner = self.inner.read();
+        let r = self.resolve(&inner, &vp, creds, true)?;
+        if r.target.is_none() {
+            return err(Errno::ENOENT, vp.as_str());
+        }
+        Ok(if r.name.is_empty() {
+            r.parent_path
+        } else {
+            r.parent_path.join(&r.name)
+        })
+    }
+
+    /// `chmod(2)`.
+    pub fn chmod(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Setattr);
+        let vp = VPath::new(path);
+        let canon;
+        {
+            let mut inner = self.inner.write();
+            let ino = self.lookup(&inner, &vp, creds, true)?;
+            let now = self.clock.tick();
+            let node = inner.inode_mut(ino)?;
+            if !creds.is_root() && creds.uid != node.uid {
+                return err(Errno::EPERM, vp.as_str());
+            }
+            node.mode = Mode(mode.0 & 0o7777);
+            node.ctime = now;
+            canon = vp.clone();
+        }
+        self.notify.emit(EventKind::Attrib, &canon, None);
+        Ok(())
+    }
+
+    /// `chown(2)`. Only root may change the owner; the owner may change the
+    /// group to one they belong to.
+    pub fn chown(
+        &self,
+        path: &str,
+        uid: Option<Uid>,
+        gid: Option<Gid>,
+        creds: &Credentials,
+    ) -> VfsResult<()> {
+        self.counters.bump(OpKind::Setattr);
+        let vp = VPath::new(path);
+        {
+            let mut inner = self.inner.write();
+            let ino = self.lookup(&inner, &vp, creds, true)?;
+            let now = self.clock.tick();
+            let node = inner.inode_mut(ino)?;
+            if let Some(u) = uid {
+                if !creds.is_root() && u != node.uid {
+                    return err(Errno::EPERM, vp.as_str());
+                }
+                node.uid = u;
+            }
+            if let Some(g) = gid {
+                #[allow(clippy::nonminimal_bool)] // the spelled-out form mirrors POSIX wording
+                if !creds.is_root() && !(creds.uid == node.uid && creds.in_group(g)) {
+                    return err(Errno::EPERM, vp.as_str());
+                }
+                node.gid = g;
+            }
+            node.ctime = now;
+        }
+        self.notify.emit(EventKind::Attrib, &vp, None);
+        Ok(())
+    }
+
+    /// Replace the ACL on `path` (owner or root only). `None` clears it.
+    pub fn set_acl(&self, path: &str, acl: Option<Acl>, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Xattr);
+        let vp = VPath::new(path);
+        {
+            let mut inner = self.inner.write();
+            let ino = self.lookup(&inner, &vp, creds, true)?;
+            let now = self.clock.tick();
+            let node = inner.inode_mut(ino)?;
+            if !creds.is_root() && creds.uid != node.uid {
+                return err(Errno::EPERM, vp.as_str());
+            }
+            node.acl = acl.filter(|a| !a.is_empty());
+            node.ctime = now;
+        }
+        self.notify.emit(EventKind::Attrib, &vp, None);
+        Ok(())
+    }
+
+    /// Read the ACL on `path` (requires Read access).
+    pub fn get_acl(&self, path: &str, creds: &Credentials) -> VfsResult<Option<Acl>> {
+        self.counters.bump(OpKind::Xattr);
+        let vp = VPath::new(path);
+        let inner = self.inner.read();
+        let ino = self.lookup(&inner, &vp, creds, true)?;
+        if !self.may_access(&inner, ino, creds, Access::Read) {
+            return err(Errno::EACCES, vp.as_str());
+        }
+        Ok(inner.inode(ino)?.acl.clone())
+    }
+
+    // ----------------------------------------------------------------
+    // Extended attributes (paper §5.1: arbitrary developer metadata; yanc
+    // uses them to declare consistency requirements consumed by the DFS).
+    // ----------------------------------------------------------------
+
+    /// `setxattr(2)`-alike. Requires Write access to the object.
+    pub fn set_xattr(
+        &self,
+        path: &str,
+        name: &str,
+        value: &[u8],
+        creds: &Credentials,
+    ) -> VfsResult<()> {
+        self.counters.bump(OpKind::Xattr);
+        if name.is_empty() || name.len() > NAME_MAX {
+            return err(Errno::EINVAL, name);
+        }
+        let vp = VPath::new(path);
+        {
+            let mut inner = self.inner.write();
+            let ino = self.lookup(&inner, &vp, creds, true)?;
+            if !self.may_access(&inner, ino, creds, Access::Write) {
+                return err(Errno::EACCES, vp.as_str());
+            }
+            let now = self.clock.tick();
+            let node = inner.inode_mut(ino)?;
+            node.xattrs.insert(name.to_string(), value.to_vec());
+            node.ctime = now;
+        }
+        self.notify.emit(EventKind::Attrib, &vp, None);
+        Ok(())
+    }
+
+    /// `getxattr(2)`-alike; `ENODATA` when absent.
+    pub fn get_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
+        self.counters.bump(OpKind::Xattr);
+        let vp = VPath::new(path);
+        let inner = self.inner.read();
+        let ino = self.lookup(&inner, &vp, creds, true)?;
+        if !self.may_access(&inner, ino, creds, Access::Read) {
+            return err(Errno::EACCES, vp.as_str());
+        }
+        inner
+            .inode(ino)?
+            .xattrs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VfsError::new(Errno::ENODATA, format!("{path}#{name}")))
+    }
+
+    /// `listxattr(2)`-alike.
+    pub fn list_xattr(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<String>> {
+        self.counters.bump(OpKind::Xattr);
+        let vp = VPath::new(path);
+        let inner = self.inner.read();
+        let ino = self.lookup(&inner, &vp, creds, true)?;
+        if !self.may_access(&inner, ino, creds, Access::Read) {
+            return err(Errno::EACCES, vp.as_str());
+        }
+        Ok(inner.inode(ino)?.xattrs.keys().cloned().collect())
+    }
+
+    /// `removexattr(2)`-alike; `ENODATA` when absent.
+    pub fn remove_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Xattr);
+        let vp = VPath::new(path);
+        {
+            let mut inner = self.inner.write();
+            let ino = self.lookup(&inner, &vp, creds, true)?;
+            if !self.may_access(&inner, ino, creds, Access::Write) {
+                return err(Errno::EACCES, vp.as_str());
+            }
+            let now = self.clock.tick();
+            let node = inner.inode_mut(ino)?;
+            if node.xattrs.remove(name).is_none() {
+                return err(Errno::ENODATA, format!("{path}#{name}"));
+            }
+            node.ctime = now;
+        }
+        self.notify.emit(EventKind::Attrib, &vp, None);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Directory operations
+    // ----------------------------------------------------------------
+
+    /// `mkdir(2)`.
+    pub fn mkdir(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Mkdir);
+        let vp = VPath::new(path);
+        let full;
+        {
+            let mut inner = self.inner.write();
+            let r = self.resolve(&inner, &vp, creds, false)?;
+            if r.name.is_empty() {
+                return err(Errno::EEXIST, vp.as_str());
+            }
+            if !valid_name(&r.name) {
+                return err(Errno::EINVAL, vp.as_str());
+            }
+            if r.target.is_some() {
+                return err(Errno::EEXIST, vp.as_str());
+            }
+            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+                return err(Errno::EACCES, r.parent_path.as_str());
+            }
+            if inner.inode(r.parent_ino)?.dir_entries()?.len() >= self.limits.max_dir_entries {
+                return err(Errno::EDQUOT, r.parent_path.as_str());
+            }
+            let now = self.clock.tick();
+            let ino = inner.alloc_ino();
+            inner.inodes.insert(
+                ino.0,
+                Inode {
+                    kind: NodeKind::Dir {
+                        entries: BTreeMap::new(),
+                        parent: r.parent_ino,
+                    },
+                    mode: Mode(mode.0 & 0o7777),
+                    uid: creds.uid,
+                    gid: creds.gid,
+                    nlink: 2,
+                    mtime: now,
+                    ctime: now,
+                    xattrs: BTreeMap::new(),
+                    acl: None,
+                    open_count: 0,
+                },
+            );
+            let parent = inner.inode_mut(r.parent_ino)?;
+            parent.dir_entries_mut()?.insert(r.name.clone(), ino);
+            parent.nlink += 1;
+            parent.mtime = now;
+            full = r.parent_path.join(&r.name);
+        }
+        self.notify.emit(EventKind::Create, &full, full.file_name());
+        self.run_hooks(vec![PendingHook::Mkdir(full)], creds);
+        Ok(())
+    }
+
+    /// `mkdir -p`: create every missing ancestor; existing directories are
+    /// fine, an existing non-directory is `ENOTDIR`/`EEXIST`.
+    pub fn mkdir_all(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
+        let vp = VPath::new(path);
+        let mut cur = VPath::root();
+        for comp in vp.components() {
+            cur = cur.join(comp);
+            match self.mkdir(cur.as_str(), mode, creds) {
+                Ok(()) => {}
+                Err(e) if e.errno == Errno::EEXIST => {
+                    let st = self.stat(cur.as_str(), creds)?;
+                    if !st.is_dir() {
+                        return err(Errno::ENOTDIR, cur.as_str());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// `rmdir(2)`. If a registered hook declares `path` recursively
+    /// removable (paper: switch directories), the whole subtree is removed.
+    pub fn rmdir(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Rmdir);
+        let vp = VPath::new(path);
+        let recursive =
+            !HookDepth::active() && self.hooks.read().iter().any(|h| h.rmdir_recursive(&vp));
+        let mut events: Vec<PendingEvent> = Vec::new();
+        {
+            let mut inner = self.inner.write();
+            let r = self.resolve(&inner, &vp, creds, false)?;
+            if r.name.is_empty() {
+                return err(Errno::EINVAL, vp.as_str()); // refusing to rmdir /
+            }
+            let ino = r
+                .target
+                .ok_or_else(|| VfsError::new(Errno::ENOENT, vp.as_str()))?;
+            let node = inner.inode(ino)?;
+            if node.file_type() != FileType::Directory {
+                return err(Errno::ENOTDIR, vp.as_str());
+            }
+            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+                return err(Errno::EACCES, r.parent_path.as_str());
+            }
+            if !Self::sticky_ok(&inner, inner.inode(r.parent_ino)?, ino, creds) {
+                return err(Errno::EPERM, vp.as_str());
+            }
+            let empty = node.dir_entries()?.is_empty();
+            if !empty && !recursive {
+                return err(Errno::ENOTEMPTY, vp.as_str());
+            }
+            let full = r.parent_path.join(&r.name);
+            if !empty {
+                Self::remove_tree(&mut inner, ino, &full, &mut events)?;
+            }
+            let parent = inner.inode_mut(r.parent_ino)?;
+            parent.dir_entries_mut()?.remove(&r.name);
+            parent.nlink -= 1;
+            parent.mtime = self.clock.tick();
+            inner.inodes.remove(&ino.0);
+            events.push((EventKind::DeleteSelf, full.clone(), None));
+            events.push((EventKind::Delete, full.clone(), Some(r.name.clone())));
+        }
+        self.emit_all(events);
+        Ok(())
+    }
+
+    /// Remove everything under `ino` (which stays in place), bottom-up,
+    /// accumulating Delete events.
+    fn remove_tree(
+        inner: &mut FsInner,
+        ino: Ino,
+        path: &VPath,
+        events: &mut Vec<PendingEvent>,
+    ) -> VfsResult<()> {
+        let children: Vec<(String, Ino)> = inner
+            .inode(ino)?
+            .dir_entries()?
+            .iter()
+            .map(|(n, i)| (n.clone(), *i))
+            .collect();
+        for (name, child) in children {
+            let cpath = path.join(&name);
+            let is_dir = matches!(inner.inode(child)?.kind, NodeKind::Dir { .. });
+            if is_dir {
+                Self::remove_tree(inner, child, &cpath, events)?;
+                inner.inodes.remove(&child.0);
+                let node = inner.inode_mut(ino)?;
+                node.nlink -= 1;
+                node.dir_entries_mut()?.remove(&name);
+            } else {
+                let open = {
+                    let cn = inner.inode_mut(child)?;
+                    cn.nlink = cn.nlink.saturating_sub(1);
+                    cn.nlink > 0 || cn.open_count > 0
+                };
+                if !open {
+                    inner.inodes.remove(&child.0);
+                }
+                inner.inode_mut(ino)?.dir_entries_mut()?.remove(&name);
+            }
+            events.push((EventKind::Delete, cpath, Some(name)));
+        }
+        Ok(())
+    }
+
+    /// `readdir(3)`: list a directory (requires Read access).
+    pub fn readdir(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<DirEntry>> {
+        self.counters.bump(OpKind::Readdir);
+        let vp = VPath::new(path);
+        let inner = self.inner.read();
+        let ino = self.lookup(&inner, &vp, creds, true)?;
+        if !self.may_access(&inner, ino, creds, Access::Read) {
+            return err(Errno::EACCES, vp.as_str());
+        }
+        let node = inner.inode(ino)?;
+        let entries = node
+            .dir_entries()
+            .map_err(|_| VfsError::new(Errno::ENOTDIR, path))?;
+        Ok(entries
+            .iter()
+            .map(|(name, i)| {
+                let ft = inner
+                    .inodes
+                    .get(&i.0)
+                    .map(|n| n.file_type())
+                    .unwrap_or(FileType::Regular);
+                DirEntry {
+                    name: name.clone(),
+                    ino: *i,
+                    file_type: ft,
+                }
+            })
+            .collect())
+    }
+
+    // ----------------------------------------------------------------
+    // Symlinks & hard links
+    // ----------------------------------------------------------------
+
+    /// `symlink(2)`: create `linkpath` pointing at `target` (not required to
+    /// exist). Registered hooks may veto schema-invalid links.
+    pub fn symlink(&self, target: &str, linkpath: &str, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Symlink);
+        let vp = VPath::new(linkpath);
+        self.validate_with_hooks(|h| h.validate_symlink(self, &vp, target))?;
+        let full;
+        {
+            let mut inner = self.inner.write();
+            let r = self.resolve(&inner, &vp, creds, false)?;
+            if r.name.is_empty() || !valid_name(&r.name) {
+                return err(Errno::EINVAL, vp.as_str());
+            }
+            if r.target.is_some() {
+                return err(Errno::EEXIST, vp.as_str());
+            }
+            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+                return err(Errno::EACCES, r.parent_path.as_str());
+            }
+            let now = self.clock.tick();
+            let ino = inner.alloc_ino();
+            inner.inodes.insert(
+                ino.0,
+                Inode {
+                    kind: NodeKind::Symlink(target.to_string()),
+                    mode: Mode::SYMLINK,
+                    uid: creds.uid,
+                    gid: creds.gid,
+                    nlink: 1,
+                    mtime: now,
+                    ctime: now,
+                    xattrs: BTreeMap::new(),
+                    acl: None,
+                    open_count: 0,
+                },
+            );
+            let parent = inner.inode_mut(r.parent_ino)?;
+            parent.dir_entries_mut()?.insert(r.name.clone(), ino);
+            parent.mtime = now;
+            full = r.parent_path.join(&r.name);
+        }
+        self.notify.emit(EventKind::Create, &full, full.file_name());
+        Ok(())
+    }
+
+    /// `readlink(2)`.
+    pub fn readlink(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
+        self.counters.bump(OpKind::Readlink);
+        let vp = VPath::new(path);
+        let inner = self.inner.read();
+        let ino = self.lookup(&inner, &vp, creds, false)?;
+        match &inner.inode(ino)?.kind {
+            NodeKind::Symlink(t) => Ok(t.clone()),
+            _ => err(Errno::EINVAL, path),
+        }
+    }
+
+    /// `link(2)`: hard link (regular files only, as on Linux).
+    pub fn link(&self, existing: &str, newpath: &str, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Link);
+        let vp_old = VPath::new(existing);
+        let vp_new = VPath::new(newpath);
+        let full;
+        {
+            let mut inner = self.inner.write();
+            let src = self.lookup(&inner, &vp_old, creds, true)?;
+            match inner.inode(src)?.kind {
+                NodeKind::File(_) => {}
+                NodeKind::Dir { .. } => return err(Errno::EPERM, existing),
+                NodeKind::Symlink(_) => return err(Errno::EPERM, existing),
+            }
+            if inner.inode(src)?.nlink >= LINK_MAX {
+                return err(Errno::EMLINK, existing);
+            }
+            let r = self.resolve(&inner, &vp_new, creds, false)?;
+            if r.name.is_empty() || !valid_name(&r.name) {
+                return err(Errno::EINVAL, vp_new.as_str());
+            }
+            if r.target.is_some() {
+                return err(Errno::EEXIST, vp_new.as_str());
+            }
+            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+                return err(Errno::EACCES, r.parent_path.as_str());
+            }
+            let now = self.clock.tick();
+            inner.inode_mut(src)?.nlink += 1;
+            inner.inode_mut(src)?.ctime = now;
+            let parent = inner.inode_mut(r.parent_ino)?;
+            parent.dir_entries_mut()?.insert(r.name.clone(), src);
+            parent.mtime = now;
+            full = r.parent_path.join(&r.name);
+        }
+        self.notify.emit(EventKind::Create, &full, full.file_name());
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // File create / unlink / rename
+    // ----------------------------------------------------------------
+
+    /// `unlink(2)`.
+    pub fn unlink(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Unlink);
+        let vp = VPath::new(path);
+        let mut events: Vec<PendingEvent> = Vec::new();
+        {
+            let mut inner = self.inner.write();
+            let r = self.resolve(&inner, &vp, creds, false)?;
+            let ino = r
+                .target
+                .ok_or_else(|| VfsError::new(Errno::ENOENT, vp.as_str()))?;
+            if matches!(inner.inode(ino)?.kind, NodeKind::Dir { .. }) {
+                return err(Errno::EISDIR, vp.as_str());
+            }
+            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+                return err(Errno::EACCES, r.parent_path.as_str());
+            }
+            if !Self::sticky_ok(&inner, inner.inode(r.parent_ino)?, ino, creds) {
+                return err(Errno::EPERM, vp.as_str());
+            }
+            let now = self.clock.tick();
+            let parent = inner.inode_mut(r.parent_ino)?;
+            parent.dir_entries_mut()?.remove(&r.name);
+            parent.mtime = now;
+            let full = r.parent_path.join(&r.name);
+            let node = inner.inode_mut(ino)?;
+            node.nlink -= 1;
+            node.ctime = now;
+            let gone = node.nlink == 0 && node.open_count == 0;
+            if gone {
+                inner.inodes.remove(&ino.0);
+                events.push((EventKind::DeleteSelf, full.clone(), None));
+            }
+            events.push((EventKind::Delete, full.clone(), Some(r.name.clone())));
+        }
+        self.emit_all(events);
+        Ok(())
+    }
+
+    /// `rename(2)`, with POSIX replace semantics: an existing target is
+    /// atomically replaced when types are compatible (file→file,
+    /// dir→empty dir); a directory cannot be moved into its own subtree.
+    pub fn rename(&self, from: &str, to: &str, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Rename);
+        let vf = VPath::new(from);
+        let vt = VPath::new(to);
+        let mut events: Vec<PendingEvent> = Vec::new();
+        {
+            let mut inner = self.inner.write();
+            let rf = self.resolve(&inner, &vf, creds, false)?;
+            let src = rf
+                .target
+                .ok_or_else(|| VfsError::new(Errno::ENOENT, vf.as_str()))?;
+            if rf.name.is_empty() {
+                return err(Errno::EINVAL, vf.as_str());
+            }
+            let rt = self.resolve(&inner, &vt, creds, false)?;
+            if rt.name.is_empty() || !valid_name(&rt.name) {
+                return err(Errno::EINVAL, vt.as_str());
+            }
+            if !self.may_access(&inner, rf.parent_ino, creds, Access::Write) {
+                return err(Errno::EACCES, rf.parent_path.as_str());
+            }
+            if !self.may_access(&inner, rt.parent_ino, creds, Access::Write) {
+                return err(Errno::EACCES, rt.parent_path.as_str());
+            }
+            if !Self::sticky_ok(&inner, inner.inode(rf.parent_ino)?, src, creds) {
+                return err(Errno::EPERM, vf.as_str());
+            }
+            let src_is_dir = matches!(inner.inode(src)?.kind, NodeKind::Dir { .. });
+            let src_full = rf.parent_path.join(&rf.name);
+            let dst_full = rt.parent_path.join(&rt.name);
+            if src_full == dst_full {
+                return Ok(()); // no-op rename to self
+            }
+            if src_is_dir && dst_full.starts_with(&src_full) {
+                return err(Errno::EINVAL, vt.as_str());
+            }
+
+            // Handle an existing destination.
+            if let Some(dst) = rt.target {
+                if dst == src {
+                    return Ok(()); // hard links to the same inode: no-op
+                }
+                let dst_is_dir = matches!(inner.inode(dst)?.kind, NodeKind::Dir { .. });
+                match (src_is_dir, dst_is_dir) {
+                    (true, false) => return err(Errno::ENOTDIR, vt.as_str()),
+                    (false, true) => return err(Errno::EISDIR, vt.as_str()),
+                    (true, true) => {
+                        if !inner.inode(dst)?.dir_entries()?.is_empty() {
+                            return err(Errno::ENOTEMPTY, vt.as_str());
+                        }
+                        inner.inode_mut(rt.parent_ino)?.nlink -= 1;
+                        inner.inodes.remove(&dst.0);
+                    }
+                    (false, false) => {
+                        let node = inner.inode_mut(dst)?;
+                        node.nlink -= 1;
+                        if node.nlink == 0 && node.open_count == 0 {
+                            inner.inodes.remove(&dst.0);
+                        }
+                    }
+                }
+                events.push((EventKind::Delete, dst_full.clone(), Some(rt.name.clone())));
+            }
+
+            let now = self.clock.tick();
+            {
+                let pf = inner.inode_mut(rf.parent_ino)?;
+                pf.dir_entries_mut()?.remove(&rf.name);
+                pf.mtime = now;
+            }
+            {
+                let pt = inner.inode_mut(rt.parent_ino)?;
+                pt.dir_entries_mut()?.insert(rt.name.clone(), src);
+                pt.mtime = now;
+            }
+            if src_is_dir && rf.parent_ino != rt.parent_ino {
+                // Fix `..` and parent link counts.
+                inner.inode_mut(rf.parent_ino)?.nlink -= 1;
+                inner.inode_mut(rt.parent_ino)?.nlink += 1;
+                if let NodeKind::Dir { parent, .. } = &mut inner.inode_mut(src)?.kind {
+                    *parent = rt.parent_ino;
+                }
+            }
+            inner.inode_mut(src)?.ctime = now;
+            events.push((EventKind::MovedFrom, src_full, Some(rf.name.clone())));
+            events.push((EventKind::MovedTo, dst_full, Some(rt.name.clone())));
+        }
+        self.emit_all(events);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Open-file I/O
+    // ----------------------------------------------------------------
+
+    /// `open(2)`.
+    pub fn open(&self, path: &str, flags: OpenFlags, creds: &Credentials) -> VfsResult<Fd> {
+        self.counters.bump(OpKind::Open);
+        let vp = VPath::new(path);
+        let mut created_path: Option<VPath> = None;
+        let mut modified = false;
+        let fd;
+        {
+            let mut inner = self.inner.write();
+            if inner.handles.len() >= self.limits.max_open_files {
+                return err(Errno::ENFILE, vp.as_str());
+            }
+            let r = self.resolve(&inner, &vp, creds, true)?;
+            let full = if r.name.is_empty() {
+                r.parent_path.clone()
+            } else {
+                r.parent_path.join(&r.name)
+            };
+            let ino = match r.target {
+                Some(i) => {
+                    if flags.create && flags.excl {
+                        return err(Errno::EEXIST, vp.as_str());
+                    }
+                    let node = inner.inode(i)?;
+                    match node.kind {
+                        NodeKind::Dir { .. } if flags.write => {
+                            return err(Errno::EISDIR, vp.as_str())
+                        }
+                        NodeKind::Dir { .. } => return err(Errno::EISDIR, vp.as_str()),
+                        _ => {}
+                    }
+                    if flags.read && !self.may_access(&inner, i, creds, Access::Read) {
+                        return err(Errno::EACCES, vp.as_str());
+                    }
+                    if flags.write && !self.may_access(&inner, i, creds, Access::Write) {
+                        return err(Errno::EACCES, vp.as_str());
+                    }
+                    if flags.truncate && flags.write {
+                        let now = self.clock.tick();
+                        let node = inner.inode_mut(i)?;
+                        if let NodeKind::File(d) = &mut node.kind {
+                            if !d.is_empty() {
+                                d.clear();
+                                node.mtime = now;
+                                modified = true;
+                            }
+                        }
+                    }
+                    i
+                }
+                None => {
+                    if !flags.create {
+                        return err(Errno::ENOENT, vp.as_str());
+                    }
+                    if !valid_name(&r.name) {
+                        return err(Errno::EINVAL, vp.as_str());
+                    }
+                    drop(inner); // validate_create hooks may read the fs
+                    self.validate_with_hooks(|h| h.validate_create(self, &full))?;
+                    inner = self.inner.write();
+                    // Re-resolve: the world may have changed while unlocked.
+                    let r2 = self.resolve(&inner, &vp, creds, true)?;
+                    if let Some(i) = r2.target {
+                        if flags.excl {
+                            return err(Errno::EEXIST, vp.as_str());
+                        }
+                        // The target raced into existence: apply the same
+                        // checks the existing-file branch performs.
+                        if matches!(inner.inode(i)?.kind, NodeKind::Dir { .. }) {
+                            return err(Errno::EISDIR, vp.as_str());
+                        }
+                        if flags.read && !self.may_access(&inner, i, creds, Access::Read) {
+                            return err(Errno::EACCES, vp.as_str());
+                        }
+                        if flags.write && !self.may_access(&inner, i, creds, Access::Write) {
+                            return err(Errno::EACCES, vp.as_str());
+                        }
+                        i
+                    } else {
+                        if !self.may_access(&inner, r2.parent_ino, creds, Access::Write) {
+                            return err(Errno::EACCES, r2.parent_path.as_str());
+                        }
+                        if inner.inode(r2.parent_ino)?.dir_entries()?.len()
+                            >= self.limits.max_dir_entries
+                        {
+                            return err(Errno::EDQUOT, r2.parent_path.as_str());
+                        }
+                        let now = self.clock.tick();
+                        let ino = inner.alloc_ino();
+                        inner.inodes.insert(
+                            ino.0,
+                            Inode {
+                                kind: NodeKind::File(Vec::new()),
+                                mode: Mode::FILE_DEFAULT,
+                                uid: creds.uid,
+                                gid: creds.gid,
+                                nlink: 1,
+                                mtime: now,
+                                ctime: now,
+                                xattrs: BTreeMap::new(),
+                                acl: None,
+                                open_count: 0,
+                            },
+                        );
+                        let parent = inner.inode_mut(r2.parent_ino)?;
+                        parent.dir_entries_mut()?.insert(r2.name.clone(), ino);
+                        parent.mtime = now;
+                        created_path = Some(r2.parent_path.join(&r2.name));
+                        ino
+                    }
+                }
+            };
+            inner.inode_mut(ino)?.open_count += 1;
+            let id = inner.next_fd;
+            inner.next_fd += 1;
+            inner.handles.insert(
+                id,
+                OpenFile {
+                    ino,
+                    flags,
+                    offset: 0,
+                    path: full,
+                    wrote: false,
+                },
+            );
+            fd = Fd(id);
+        }
+        if let Some(p) = &created_path {
+            self.notify.emit(EventKind::Create, p, p.file_name());
+            self.run_hooks(vec![PendingHook::Create(p.clone())], creds);
+        }
+        if modified {
+            self.notify.emit(EventKind::Modify, &vp, None);
+        }
+        Ok(fd)
+    }
+
+    /// `read(2)`: up to `len` bytes from the handle's offset.
+    pub fn read(&self, fd: Fd, len: usize) -> VfsResult<Vec<u8>> {
+        self.counters.bump(OpKind::Read);
+        let mut inner = self.inner.write();
+        let h = inner
+            .handles
+            .get(&fd.0)
+            .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
+        if !h.flags.read {
+            return err(Errno::EBADF, h.path.as_str());
+        }
+        let (ino, off) = (h.ino, h.offset);
+        let data = match &inner.inode(ino)?.kind {
+            NodeKind::File(d) => {
+                let start = (off as usize).min(d.len());
+                let end = (start + len).min(d.len());
+                d[start..end].to_vec()
+            }
+            _ => return err(Errno::EINVAL, "fd"),
+        };
+        let n = data.len() as u64;
+        inner.handles.get_mut(&fd.0).unwrap().offset += n;
+        Ok(data)
+    }
+
+    /// `write(2)` at the handle's offset (end of file with `append`).
+    pub fn write(&self, fd: Fd, data: &[u8]) -> VfsResult<usize> {
+        self.counters.bump(OpKind::Write);
+        let path;
+        {
+            let mut inner = self.inner.write();
+            let h = inner
+                .handles
+                .get(&fd.0)
+                .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
+            if !h.flags.write {
+                return err(Errno::EBADF, h.path.as_str());
+            }
+            let (ino, append) = (h.ino, h.flags.append);
+            let off = if append {
+                match &inner.inode(ino)?.kind {
+                    NodeKind::File(d) => d.len() as u64,
+                    _ => return err(Errno::EINVAL, "fd"),
+                }
+            } else {
+                h.offset
+            };
+            let end = off as usize + data.len();
+            if end as u64 > self.limits.max_file_size {
+                return err(Errno::ENOSPC, "fd");
+            }
+            let now = self.clock.tick();
+            let node = inner.inode_mut(ino)?;
+            match &mut node.kind {
+                NodeKind::File(d) => {
+                    if d.len() < end {
+                        d.resize(end, 0);
+                    }
+                    d[off as usize..end].copy_from_slice(data);
+                    node.mtime = now;
+                }
+                _ => return err(Errno::EINVAL, "fd"),
+            }
+            let h = inner.handles.get_mut(&fd.0).unwrap();
+            h.offset = end as u64;
+            h.wrote = true;
+            path = h.path.clone();
+        }
+        self.notify.emit(EventKind::Modify, &path, None);
+        Ok(data.len())
+    }
+
+    /// `lseek(2)` (absolute positioning only; returns the new offset).
+    pub fn seek(&self, fd: Fd, offset: u64) -> VfsResult<u64> {
+        let mut inner = self.inner.write();
+        let h = inner
+            .handles
+            .get_mut(&fd.0)
+            .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
+        h.offset = offset;
+        Ok(offset)
+    }
+
+    /// `close(2)`. Emits `CloseWrite` (and fires `post_close_write` hooks)
+    /// when the handle performed writes.
+    pub fn close(&self, fd: Fd, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Close);
+        let (wrote, path);
+        {
+            let mut inner = self.inner.write();
+            let h = inner
+                .handles
+                .remove(&fd.0)
+                .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
+            wrote = h.wrote;
+            path = h.path.clone();
+            let gone = {
+                let node = inner.inode_mut(h.ino)?;
+                node.open_count -= 1;
+                node.nlink == 0 && node.open_count == 0
+            };
+            if gone {
+                inner.inodes.remove(&h.ino.0);
+            }
+        }
+        if wrote {
+            self.notify
+                .emit(EventKind::CloseWrite, &path, path.file_name());
+            self.run_hooks(vec![PendingHook::CloseWrite(path)], creds);
+        }
+        Ok(())
+    }
+
+    /// `truncate(2)` by path.
+    pub fn truncate(&self, path: &str, len: u64, creds: &Credentials) -> VfsResult<()> {
+        self.counters.bump(OpKind::Truncate);
+        let vp = VPath::new(path);
+        {
+            let mut inner = self.inner.write();
+            let ino = self.lookup(&inner, &vp, creds, true)?;
+            if !self.may_access(&inner, ino, creds, Access::Write) {
+                return err(Errno::EACCES, vp.as_str());
+            }
+            if len > self.limits.max_file_size {
+                return err(Errno::ENOSPC, vp.as_str());
+            }
+            let now = self.clock.tick();
+            let node = inner.inode_mut(ino)?;
+            match &mut node.kind {
+                NodeKind::File(d) => {
+                    d.resize(len as usize, 0);
+                    node.mtime = now;
+                }
+                NodeKind::Dir { .. } => return err(Errno::EISDIR, vp.as_str()),
+                NodeKind::Symlink(_) => return err(Errno::EINVAL, vp.as_str()),
+            }
+        }
+        self.notify.emit(EventKind::Modify, &vp, None);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Whole-file convenience (each layer counts its constituent syscalls,
+    // like a real open/write/close sequence would)
+    // ----------------------------------------------------------------
+
+    /// Read a whole file. The read is sized by a preceding `stat`, so
+    /// bytes appended concurrently between the two calls are not observed
+    /// (matching the common `stat`+`read` user-space pattern).
+    pub fn read_file(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
+        let fd = self.open(path, OpenFlags::read_only(), creds)?;
+        let size = {
+            // One read sized by stat, one close: 3 "syscalls" total with the
+            // open — the realistic small-file sequence.
+            let st = self.stat(path, creds)?;
+            st.size as usize
+        };
+        let out = self.read(fd, size.max(1));
+        let _ = self.close(fd, creds);
+        out
+    }
+
+    /// Read a whole file as UTF-8 (lossy).
+    pub fn read_to_string(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
+        Ok(String::from_utf8_lossy(&self.read_file(path, creds)?).into_owned())
+    }
+
+    /// Create/truncate `path` and write `data` — the `echo x > file` shape.
+    pub fn write_file(&self, path: &str, data: &[u8], creds: &Credentials) -> VfsResult<()> {
+        let fd = self.open(path, OpenFlags::write_create(), creds)?;
+        let r = self.write(fd, data);
+        let c = self.close(fd, creds);
+        r?;
+        c
+    }
+
+    /// Append `data` to `path`, creating it if needed (`echo x >> file`).
+    pub fn append_file(&self, path: &str, data: &[u8], creds: &Credentials) -> VfsResult<()> {
+        let fd = self.open(path, OpenFlags::append_create(), creds)?;
+        let r = self.write(fd, data);
+        let c = self.close(fd, creds);
+        r?;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Filesystem {
+        Filesystem::new()
+    }
+
+    fn root() -> Credentials {
+        Credentials::root()
+    }
+
+    #[test]
+    fn root_exists_and_stats() {
+        let f = fs();
+        let st = f.stat("/", &root()).unwrap();
+        assert!(st.is_dir());
+        assert_eq!(st.ino, ROOT_INO);
+        assert_eq!(st.nlink, 2);
+    }
+
+    #[test]
+    fn mkdir_and_readdir() {
+        let f = fs();
+        f.mkdir("/net", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.mkdir("/net/switches", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        let names: Vec<String> = f
+            .readdir("/net", &root())
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["switches"]);
+        assert!(f.stat("/net/switches", &root()).unwrap().is_dir());
+    }
+
+    #[test]
+    fn mkdir_errors() {
+        let f = fs();
+        f.mkdir("/a", Mode::DIR_DEFAULT, &root()).unwrap();
+        assert_eq!(
+            f.mkdir("/a", Mode::DIR_DEFAULT, &root()).unwrap_err().errno,
+            Errno::EEXIST
+        );
+        assert_eq!(
+            f.mkdir("/missing/x", Mode::DIR_DEFAULT, &root())
+                .unwrap_err()
+                .errno,
+            Errno::ENOENT
+        );
+        f.write_file("/a/f", b"x", &root()).unwrap();
+        assert_eq!(
+            f.mkdir("/a/f/sub", Mode::DIR_DEFAULT, &root())
+                .unwrap_err()
+                .errno,
+            Errno::ENOTDIR
+        );
+    }
+
+    #[test]
+    fn mkdir_all_idempotent() {
+        let f = fs();
+        f.mkdir_all("/net/switches/sw1/flows", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.mkdir_all("/net/switches/sw1/flows", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        assert!(f.stat("/net/switches/sw1/flows", &root()).unwrap().is_dir());
+        f.write_file("/net/file", b"", &root()).unwrap();
+        assert!(f
+            .mkdir_all("/net/file/x", Mode::DIR_DEFAULT, &root())
+            .is_err());
+    }
+
+    #[test]
+    fn file_write_read_roundtrip() {
+        let f = fs();
+        f.write_file("/hello", b"world", &root()).unwrap();
+        assert_eq!(f.read_file("/hello", &root()).unwrap(), b"world");
+        assert_eq!(f.read_to_string("/hello", &root()).unwrap(), "world");
+        let st = f.stat("/hello", &root()).unwrap();
+        assert!(st.is_file());
+        assert_eq!(st.size, 5);
+    }
+
+    #[test]
+    fn append_and_truncate() {
+        let f = fs();
+        f.write_file("/log", b"a", &root()).unwrap();
+        f.append_file("/log", b"b", &root()).unwrap();
+        assert_eq!(f.read_file("/log", &root()).unwrap(), b"ab");
+        f.truncate("/log", 1, &root()).unwrap();
+        assert_eq!(f.read_file("/log", &root()).unwrap(), b"a");
+        f.truncate("/log", 3, &root()).unwrap();
+        assert_eq!(f.read_file("/log", &root()).unwrap(), b"a\0\0");
+    }
+
+    #[test]
+    fn open_flags_semantics() {
+        let f = fs();
+        f.write_file("/f", b"data", &root()).unwrap();
+        // excl on existing file
+        let mut fl = OpenFlags::write_create();
+        fl.excl = true;
+        assert_eq!(f.open("/f", fl, &root()).unwrap_err().errno, Errno::EEXIST);
+        // read on missing file
+        assert_eq!(
+            f.open("/missing", OpenFlags::read_only(), &root())
+                .unwrap_err()
+                .errno,
+            Errno::ENOENT
+        );
+        // writing via read-only handle
+        let fd = f.open("/f", OpenFlags::read_only(), &root()).unwrap();
+        assert_eq!(f.write(fd, b"x").unwrap_err().errno, Errno::EBADF);
+        f.close(fd, &root()).unwrap();
+        // reading via write-only handle
+        let fd = f.open("/f", OpenFlags::write_create(), &root()).unwrap();
+        assert_eq!(f.read(fd, 1).unwrap_err().errno, Errno::EBADF);
+        f.close(fd, &root()).unwrap();
+        // double close
+        assert_eq!(f.close(fd, &root()).unwrap_err().errno, Errno::EBADF);
+    }
+
+    #[test]
+    fn partial_reads_and_seek() {
+        let f = fs();
+        f.write_file("/f", b"abcdef", &root()).unwrap();
+        let fd = f.open("/f", OpenFlags::read_only(), &root()).unwrap();
+        assert_eq!(f.read(fd, 2).unwrap(), b"ab");
+        assert_eq!(f.read(fd, 2).unwrap(), b"cd");
+        f.seek(fd, 1).unwrap();
+        assert_eq!(f.read(fd, 100).unwrap(), b"bcdef");
+        assert_eq!(f.read(fd, 10).unwrap(), b"");
+        f.close(fd, &root()).unwrap();
+    }
+
+    #[test]
+    fn unlink_semantics() {
+        let f = fs();
+        f.write_file("/f", b"x", &root()).unwrap();
+        f.unlink("/f", &root()).unwrap();
+        assert!(!f.exists("/f", &root()));
+        assert_eq!(f.unlink("/f", &root()).unwrap_err().errno, Errno::ENOENT);
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        assert_eq!(f.unlink("/d", &root()).unwrap_err().errno, Errno::EISDIR);
+    }
+
+    #[test]
+    fn unlink_while_open_keeps_content_until_close() {
+        let f = fs();
+        f.write_file("/f", b"keep", &root()).unwrap();
+        let fd = f.open("/f", OpenFlags::read_only(), &root()).unwrap();
+        f.unlink("/f", &root()).unwrap();
+        assert!(!f.exists("/f", &root()));
+        assert_eq!(f.read(fd, 10).unwrap(), b"keep");
+        f.close(fd, &root()).unwrap();
+    }
+
+    #[test]
+    fn rmdir_requires_empty_without_hook() {
+        let f = fs();
+        f.mkdir_all("/d/sub", Mode::DIR_DEFAULT, &root()).unwrap();
+        assert_eq!(f.rmdir("/d", &root()).unwrap_err().errno, Errno::ENOTEMPTY);
+        f.rmdir("/d/sub", &root()).unwrap();
+        f.rmdir("/d", &root()).unwrap();
+        assert!(!f.exists("/d", &root()));
+        assert_eq!(f.rmdir("/", &root()).unwrap_err().errno, Errno::EINVAL);
+    }
+
+    struct RecursiveSwitches;
+    impl SemanticHook for RecursiveSwitches {
+        fn rmdir_recursive(&self, path: &VPath) -> bool {
+            path.as_str().starts_with("/switches/")
+        }
+    }
+
+    #[test]
+    fn hook_makes_rmdir_recursive() {
+        let f = fs();
+        f.add_hook(Arc::new(RecursiveSwitches));
+        f.mkdir_all("/switches/sw1/flows/f1", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.write_file("/switches/sw1/flows/f1/version", b"1", &root())
+            .unwrap();
+        f.rmdir("/switches/sw1", &root()).unwrap();
+        assert!(!f.exists("/switches/sw1", &root()));
+        // Non-hooked dirs keep POSIX semantics.
+        f.mkdir_all("/other/sub", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        assert_eq!(
+            f.rmdir("/other", &root()).unwrap_err().errno,
+            Errno::ENOTEMPTY
+        );
+    }
+
+    #[test]
+    fn symlink_readlink_and_follow() {
+        let f = fs();
+        f.mkdir_all("/a/b", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.write_file("/a/b/file", b"via-link", &root()).unwrap();
+        f.symlink("/a/b", "/lnk", &root()).unwrap();
+        assert_eq!(f.readlink("/lnk", &root()).unwrap(), "/a/b");
+        assert_eq!(f.read_file("/lnk/file", &root()).unwrap(), b"via-link");
+        let st = f.lstat("/lnk", &root()).unwrap();
+        assert!(st.is_symlink());
+        let st2 = f.stat("/lnk", &root()).unwrap();
+        assert!(st2.is_dir());
+        assert_eq!(
+            f.readlink("/a/b/file", &root()).unwrap_err().errno,
+            Errno::EINVAL
+        );
+    }
+
+    #[test]
+    fn dangling_symlink_and_loop() {
+        let f = fs();
+        f.symlink("/nowhere", "/dangling", &root()).unwrap();
+        assert_eq!(
+            f.stat("/dangling", &root()).unwrap_err().errno,
+            Errno::ENOENT
+        );
+        assert!(f.lstat("/dangling", &root()).is_ok());
+        f.symlink("/loop2", "/loop1", &root()).unwrap();
+        f.symlink("/loop1", "/loop2", &root()).unwrap();
+        assert_eq!(f.stat("/loop1", &root()).unwrap_err().errno, Errno::ELOOP);
+    }
+
+    #[test]
+    fn relative_symlink_resolution() {
+        let f = fs();
+        f.mkdir_all("/net/switches/sw1/ports/p1", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.mkdir_all("/net/switches/sw2/ports/p2", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.write_file("/net/switches/sw2/ports/p2/status", b"up", &root())
+            .unwrap();
+        // peer -> ../../../sw2/ports/p2, relative to p1 (the dir holding the
+        // link): p1 -> ports -> sw1 -> switches, then down into sw2.
+        f.symlink(
+            "../../../sw2/ports/p2",
+            "/net/switches/sw1/ports/p1/peer",
+            &root(),
+        )
+        .unwrap();
+        assert_eq!(
+            f.read_file("/net/switches/sw1/ports/p1/peer/status", &root())
+                .unwrap(),
+            b"up"
+        );
+        assert_eq!(
+            f.canonicalize("/net/switches/sw1/ports/p1/peer", &root())
+                .unwrap()
+                .as_str(),
+            "/net/switches/sw2/ports/p2"
+        );
+    }
+
+    struct PortsOnly;
+    impl SemanticHook for PortsOnly {
+        fn validate_symlink(&self, _fs: &Filesystem, path: &VPath, target: &str) -> VfsResult<()> {
+            if path.file_name() == Some("peer") && !target.contains("/ports/") {
+                return err(Errno::EINVAL, path.as_str());
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn hook_vetoes_bad_symlink() {
+        let f = fs();
+        f.add_hook(Arc::new(PortsOnly));
+        f.mkdir_all("/sw/ports/p1", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        assert_eq!(
+            f.symlink("/sw", "/sw/ports/p1/peer", &root())
+                .unwrap_err()
+                .errno,
+            Errno::EINVAL
+        );
+        f.symlink("/sw/ports/p2", "/sw/ports/p1/peer", &root())
+            .unwrap();
+    }
+
+    #[test]
+    fn hard_links_share_content() {
+        let f = fs();
+        f.write_file("/f", b"one", &root()).unwrap();
+        f.link("/f", "/g", &root()).unwrap();
+        assert_eq!(f.stat("/f", &root()).unwrap().nlink, 2);
+        f.write_file("/g", b"two", &root()).unwrap();
+        assert_eq!(f.read_file("/f", &root()).unwrap(), b"two");
+        f.unlink("/f", &root()).unwrap();
+        assert_eq!(f.read_file("/g", &root()).unwrap(), b"two");
+        assert_eq!(f.stat("/g", &root()).unwrap().nlink, 1);
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        assert_eq!(
+            f.link("/d", "/d2", &root()).unwrap_err().errno,
+            Errno::EPERM
+        );
+    }
+
+    #[test]
+    fn rename_file_basic_and_replace() {
+        let f = fs();
+        f.write_file("/a", b"a", &root()).unwrap();
+        f.rename("/a", "/b", &root()).unwrap();
+        assert!(!f.exists("/a", &root()));
+        assert_eq!(f.read_file("/b", &root()).unwrap(), b"a");
+        f.write_file("/c", b"c", &root()).unwrap();
+        f.rename("/c", "/b", &root()).unwrap();
+        assert_eq!(f.read_file("/b", &root()).unwrap(), b"c");
+    }
+
+    #[test]
+    fn rename_dir_rules() {
+        let f = fs();
+        f.mkdir_all("/d/sub", Mode::DIR_DEFAULT, &root()).unwrap();
+        // Cannot move a directory into its own subtree.
+        assert_eq!(
+            f.rename("/d", "/d/sub/d2", &root()).unwrap_err().errno,
+            Errno::EINVAL
+        );
+        // dir onto non-empty dir fails
+        f.mkdir_all("/e/x", Mode::DIR_DEFAULT, &root()).unwrap();
+        assert_eq!(
+            f.rename("/d", "/e", &root()).unwrap_err().errno,
+            Errno::ENOTEMPTY
+        );
+        // dir onto empty dir replaces
+        f.mkdir("/empty", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.rename("/d", "/empty", &root()).unwrap();
+        assert!(f.exists("/empty/sub", &root()));
+        // file onto dir / dir onto file mismatches
+        f.write_file("/file", b"", &root()).unwrap();
+        assert_eq!(
+            f.rename("/file", "/empty", &root()).unwrap_err().errno,
+            Errno::EISDIR
+        );
+        assert_eq!(
+            f.rename("/empty", "/file", &root()).unwrap_err().errno,
+            Errno::ENOTDIR
+        );
+    }
+
+    #[test]
+    fn rename_dir_across_parents_fixes_dotdot() {
+        let f = fs();
+        f.mkdir_all("/p1/d/inner", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.mkdir("/p2", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.rename("/p1/d", "/p2/d", &root()).unwrap();
+        f.write_file("/p2/marker", b"m", &root()).unwrap();
+        // `..` from the moved directory must now reach /p2.
+        assert_eq!(f.read_file("/p2/d/../marker", &root()).unwrap(), b"m");
+    }
+
+    #[test]
+    fn permissions_enforced_for_non_root() {
+        let f = fs();
+        let alice = Credentials::user(1000, 1000);
+        let bob = Credentials::user(1001, 1001);
+        f.mkdir("/shared", Mode(0o777), &root()).unwrap();
+        f.write_file("/shared/secret", b"s", &root()).unwrap();
+        f.chown("/shared/secret", Some(Uid(1000)), Some(Gid(1000)), &root())
+            .unwrap();
+        f.chmod("/shared/secret", Mode(0o600), &root()).unwrap();
+        assert_eq!(f.read_file("/shared/secret", &alice).unwrap(), b"s");
+        assert_eq!(
+            f.read_file("/shared/secret", &bob).unwrap_err().errno,
+            Errno::EACCES
+        );
+        assert_eq!(
+            f.write_file("/shared/secret", b"x", &bob)
+                .unwrap_err()
+                .errno,
+            Errno::EACCES
+        );
+        // Directory exec required for traversal.
+        f.mkdir("/locked", Mode(0o700), &root()).unwrap();
+        f.write_file("/locked/f", b"", &root()).unwrap();
+        assert_eq!(f.stat("/locked/f", &bob).unwrap_err().errno, Errno::EACCES);
+        // Directory write required for create.
+        f.mkdir("/ro", Mode(0o755), &root()).unwrap();
+        assert_eq!(
+            f.write_file("/ro/new", b"", &bob).unwrap_err().errno,
+            Errno::EACCES
+        );
+    }
+
+    #[test]
+    fn chmod_chown_authorization() {
+        let f = fs();
+        let alice = Credentials::user(1000, 1000);
+        let bob = Credentials::user(1001, 1001);
+        f.write_file("/f", b"", &root()).unwrap();
+        f.chown("/f", Some(Uid(1000)), Some(Gid(1000)), &root())
+            .unwrap();
+        f.chmod("/f", Mode(0o644), &alice).unwrap(); // owner may chmod
+        assert_eq!(
+            f.chmod("/f", Mode(0o777), &bob).unwrap_err().errno,
+            Errno::EPERM
+        );
+        assert_eq!(
+            f.chown("/f", Some(Uid(1001)), None, &bob)
+                .unwrap_err()
+                .errno,
+            Errno::EPERM
+        );
+        // Owner may change group only to a group they belong to.
+        let mut alice2 = alice.clone();
+        alice2.groups.push(Gid(50));
+        f.chown("/f", None, Some(Gid(50)), &alice2).unwrap();
+        assert_eq!(
+            f.chown("/f", None, Some(Gid(51)), &alice2)
+                .unwrap_err()
+                .errno,
+            Errno::EPERM
+        );
+    }
+
+    #[test]
+    fn acl_grants_beyond_mode() {
+        let f = fs();
+        let app = Credentials::user(2000, 2000);
+        f.write_file("/flow", b"v", &root()).unwrap();
+        f.chmod("/flow", Mode(0o600), &root()).unwrap();
+        assert_eq!(f.read_file("/flow", &app).unwrap_err().errno, Errno::EACCES);
+        let mut acl = Acl::new();
+        acl.set_user(Uid(2000), 0o4);
+        f.set_acl("/flow", Some(acl), &root()).unwrap();
+        assert_eq!(f.read_file("/flow", &app).unwrap(), b"v");
+        assert_eq!(
+            f.write_file("/flow", b"w", &app).unwrap_err().errno,
+            Errno::EACCES
+        );
+        assert!(f.get_acl("/flow", &root()).unwrap().is_some());
+        f.set_acl("/flow", None, &root()).unwrap();
+        assert_eq!(f.read_file("/flow", &app).unwrap_err().errno, Errno::EACCES);
+    }
+
+    #[test]
+    fn sticky_directory_restricts_deletion() {
+        let f = fs();
+        let alice = Credentials::user(1000, 1000);
+        let bob = Credentials::user(1001, 1001);
+        f.mkdir("/tmp", Mode(0o1777), &root()).unwrap();
+        f.write_file("/tmp/af", b"", &alice).unwrap();
+        assert_eq!(f.unlink("/tmp/af", &bob).unwrap_err().errno, Errno::EPERM);
+        f.unlink("/tmp/af", &alice).unwrap();
+    }
+
+    #[test]
+    fn xattr_roundtrip() {
+        let f = fs();
+        f.write_file("/f", b"", &root()).unwrap();
+        f.set_xattr("/f", "user.consistency", b"eventual", &root())
+            .unwrap();
+        assert_eq!(
+            f.get_xattr("/f", "user.consistency", &root()).unwrap(),
+            b"eventual"
+        );
+        assert_eq!(
+            f.list_xattr("/f", &root()).unwrap(),
+            vec!["user.consistency"]
+        );
+        f.remove_xattr("/f", "user.consistency", &root()).unwrap();
+        assert_eq!(
+            f.get_xattr("/f", "user.consistency", &root())
+                .unwrap_err()
+                .errno,
+            Errno::ENODATA
+        );
+        assert_eq!(
+            f.remove_xattr("/f", "user.consistency", &root())
+                .unwrap_err()
+                .errno,
+            Errno::ENODATA
+        );
+    }
+
+    #[test]
+    fn notify_create_modify_closewrite_delete() {
+        let f = fs();
+        f.mkdir_all("/net/flows", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        let (_id, rx) = f.watch_path("/net/flows", EventMask::ALL);
+        f.write_file("/net/flows/f1", b"v", &root()).unwrap();
+        f.unlink("/net/flows/f1", &root()).unwrap();
+        let kinds: Vec<EventKind> = rx.try_iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Create));
+        assert!(kinds.contains(&EventKind::Modify));
+        assert!(kinds.contains(&EventKind::CloseWrite));
+        assert!(kinds.contains(&EventKind::Delete));
+    }
+
+    #[test]
+    fn notify_rename_events() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.write_file("/d/a", b"", &root()).unwrap();
+        let (_id, rx) = f.watch_path("/d", EventMask::ALL);
+        f.rename("/d/a", "/d/b", &root()).unwrap();
+        let kinds: Vec<(EventKind, Option<String>)> =
+            rx.try_iter().map(|e| (e.kind, e.name)).collect();
+        assert!(kinds.contains(&(EventKind::MovedFrom, Some("a".into()))));
+        assert!(kinds.contains(&(EventKind::MovedTo, Some("b".into()))));
+    }
+
+    #[test]
+    fn syscall_counting() {
+        let f = fs();
+        let before = f.counters().snapshot();
+        f.write_file("/f", b"x", &root()).unwrap(); // open+write+close
+        let d = f.counters().snapshot().since(&before);
+        assert_eq!(d.get(OpKind::Open), 1);
+        assert_eq!(d.get(OpKind::Write), 1);
+        assert_eq!(d.get(OpKind::Close), 1);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn limits_enforced() {
+        let f = Filesystem::with_limits(Limits {
+            max_file_size: 4,
+            max_dir_entries: 2,
+            max_open_files: 1,
+        });
+        let r = root();
+        assert_eq!(
+            f.write_file("/big", b"12345", &r).unwrap_err().errno,
+            Errno::ENOSPC
+        );
+        // The failed write still created the (empty) file — POSIX O_CREAT
+        // succeeded before the write hit the size limit. Remove it so the
+        // directory-entry quota test starts clean.
+        f.unlink("/big", &r).unwrap();
+        f.write_file("/a", b"1", &r).unwrap();
+        f.write_file("/b", b"1", &r).unwrap();
+        assert_eq!(
+            f.write_file("/c", b"1", &r).unwrap_err().errno,
+            Errno::EDQUOT
+        );
+        let fd = f.open("/a", OpenFlags::read_only(), &r).unwrap();
+        assert_eq!(
+            f.open("/b", OpenFlags::read_only(), &r).unwrap_err().errno,
+            Errno::ENFILE
+        );
+        f.close(fd, &r).unwrap();
+    }
+
+    struct AutoPopulate;
+    impl SemanticHook for AutoPopulate {
+        fn post_mkdir(&self, fs: &Filesystem, path: &VPath, creds: &Credentials) {
+            if path.parent().as_str() == "/views" {
+                for sub in ["hosts", "switches", "views"] {
+                    let _ = fs.mkdir(path.join(sub).as_str(), Mode::DIR_DEFAULT, creds);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn post_mkdir_hook_autopopulates_without_recursing() {
+        let f = fs();
+        f.add_hook(Arc::new(AutoPopulate));
+        f.mkdir("/views", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.mkdir("/views/v1", Mode::DIR_DEFAULT, &root()).unwrap();
+        assert!(f.stat("/views/v1/hosts", &root()).unwrap().is_dir());
+        assert!(f.stat("/views/v1/switches", &root()).unwrap().is_dir());
+        assert!(f.stat("/views/v1/views", &root()).unwrap().is_dir());
+        // The hook's own mkdirs didn't re-trigger (no /views/v1/views/hosts).
+        assert!(!f.exists("/views/v1/views/hosts", &root()));
+    }
+
+    #[test]
+    fn dotdot_resolution() {
+        let f = fs();
+        f.mkdir_all("/a/b/c", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.write_file("/a/marker", b"m", &root()).unwrap();
+        assert_eq!(f.read_file("/a/b/c/../../marker", &root()).unwrap(), b"m");
+        assert_eq!(f.read_file("/../../a/marker", &root()).unwrap(), b"m");
+    }
+
+    #[test]
+    fn canonicalize_resolves_chains() {
+        let f = fs();
+        f.mkdir_all("/real/dir", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.symlink("/real", "/l1", &root()).unwrap();
+        f.symlink("/l1/dir", "/l2", &root()).unwrap();
+        assert_eq!(
+            f.canonicalize("/l2", &root()).unwrap().as_str(),
+            "/real/dir"
+        );
+        assert!(f.canonicalize("/nope", &root()).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! # yanc-vfs — the virtual file system substrate
+//!
+//! An in-memory, POSIX-style virtual file system that stands in for
+//! Linux VFS + FUSE in the yanc reproduction (*Applying Operating System
+//! Principles to SDN Controller Design*, HotNets 2013). The paper's whole
+//! thesis is that a file system — with its permissions, notification,
+//! namespaces and tooling — is already most of an SDN controller; this
+//! crate supplies that file system as a deterministic, embeddable library:
+//!
+//! * **inodes, directories, symlinks, hard links** with POSIX lookup
+//!   semantics (`..` resolution, `ELOOP` limits, sticky bits, atomic
+//!   rename-with-replace),
+//! * **unix permissions + POSIX.1e-style ACLs + extended attributes**
+//!   (paper §5.1),
+//! * **inotify/fanotify-style change notification** over crossbeam channels
+//!   (paper §5.2),
+//! * **mount namespaces / bind mounts** for view isolation (paper §5.3),
+//! * **semantic-directory hooks** so a schema layer can auto-populate
+//!   objects on `mkdir` and make object removal recursive (paper §3.1),
+//! * **per-operation syscall counters**, the measurement instrument for the
+//!   paper's §8.1 context-switch-cost argument.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use yanc_vfs::{Filesystem, Credentials, Mode, EventMask};
+//!
+//! let fs = Arc::new(Filesystem::new());
+//! let creds = Credentials::root();
+//! fs.mkdir_all("/net/switches/sw1/ports/p2", Mode::DIR_DEFAULT, &creds).unwrap();
+//! let (_watch, events) = fs.watch_subtree("/net", EventMask::ALL);
+//!
+//! // Bring a port down exactly as the paper does: echo 1 > config.port_down
+//! fs.write_file("/net/switches/sw1/ports/p2/config.port_down", b"1\n", &creds).unwrap();
+//!
+//! assert_eq!(fs.read_to_string("/net/switches/sw1/ports/p2/config.port_down",
+//!                              &creds).unwrap(), "1\n");
+//! assert!(events.try_iter().count() > 0); // a driver would react to these
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod acl;
+pub mod counter;
+pub mod error;
+pub mod fs;
+pub mod hooks;
+pub mod namespace;
+pub mod notify;
+pub mod path;
+pub mod types;
+
+pub use acl::{check_access, Acl, AclEntry};
+pub use counter::{CounterSnapshot, OpKind, SyscallCounters};
+pub use error::{Errno, VfsError, VfsResult};
+pub use fs::{Filesystem, Limits};
+pub use hooks::SemanticHook;
+pub use namespace::Namespace;
+pub use notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
+pub use path::{valid_name, VPath, NAME_MAX, PATH_MAX};
+pub use types::{
+    Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
+    Timestamp, Uid, ROOT_INO,
+};

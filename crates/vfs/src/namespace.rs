@@ -1,0 +1,414 @@
+//! Mount namespaces: per-application views of the file system (paper §5.3).
+//!
+//! Linux namespaces let yanc confine an application to a *view*: the slicer
+//! creates `/net/views/http`, and the HTTP controller process is started in
+//! a namespace where that subtree is bind-mounted over `/net`, so it cannot
+//! even name the rest of the network. [`Namespace`] reproduces this with a
+//! root prefix (chroot-like) plus longest-prefix bind mounts, any of which
+//! may be read-only.
+//!
+//! A namespace is a *path translator* in front of a shared
+//! [`Filesystem`]: operations translate the visible path and delegate, so
+//! notification, hooks, permissions and syscall accounting all keep working
+//! unchanged. As with real bind mounds, absolute symlink targets resolve in
+//! the underlying file system.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+
+use crate::acl::Acl;
+use crate::error::{err, Errno, VfsResult};
+use crate::fs::Filesystem;
+use crate::notify::{Event, EventMask, WatchId};
+use crate::path::VPath;
+use crate::types::{Credentials, DirEntry, Fd, FileStat, Gid, Mode, OpenFlags, Uid};
+
+#[derive(Debug, Clone)]
+struct Bind {
+    at: VPath,
+    target: VPath,
+    readonly: bool,
+}
+
+/// A per-application mount namespace over a shared [`Filesystem`].
+#[derive(Clone)]
+pub struct Namespace {
+    fs: Arc<Filesystem>,
+    root: VPath,
+    readonly_root: bool,
+    binds: Vec<Bind>,
+}
+
+impl Namespace {
+    /// The identity namespace: sees the whole filesystem read-write.
+    pub fn new(fs: Arc<Filesystem>) -> Self {
+        Namespace {
+            fs,
+            root: VPath::root(),
+            readonly_root: false,
+            binds: Vec::new(),
+        }
+    }
+
+    /// A chroot-like namespace rooted at `root` (which should exist).
+    pub fn chroot(fs: Arc<Filesystem>, root: &str) -> Self {
+        Namespace {
+            fs,
+            root: VPath::new(root),
+            readonly_root: false,
+            binds: Vec::new(),
+        }
+    }
+
+    /// Make everything not covered by a bind read-only.
+    pub fn readonly(mut self) -> Self {
+        self.readonly_root = true;
+        self
+    }
+
+    /// Bind-mount `target` (a path in the underlying fs) at `at` (a path in
+    /// this namespace). Later binds shadow earlier ones; the longest
+    /// matching prefix wins at lookup.
+    pub fn bind(mut self, at: &str, target: &str) -> Self {
+        self.binds.push(Bind {
+            at: VPath::new(at),
+            target: VPath::new(target),
+            readonly: false,
+        });
+        self
+    }
+
+    /// Like [`Namespace::bind`], but writes under `at` fail with `EROFS`.
+    pub fn bind_ro(mut self, at: &str, target: &str) -> Self {
+        self.binds.push(Bind {
+            at: VPath::new(at),
+            target: VPath::new(target),
+            readonly: true,
+        });
+        self
+    }
+
+    /// The underlying filesystem.
+    pub fn filesystem(&self) -> &Arc<Filesystem> {
+        &self.fs
+    }
+
+    /// Translate a namespace-visible path into an underlying path plus its
+    /// effective read-only flag.
+    fn translate(&self, path: &str) -> (VPath, bool) {
+        let vp = VPath::new(path);
+        let mut best: Option<(&Bind, usize)> = None;
+        for b in &self.binds {
+            if vp.starts_with(&b.at) {
+                let len = b.at.as_str().len();
+                if best.map(|(_, l)| len >= l).unwrap_or(true) {
+                    best = Some((b, len));
+                }
+            }
+        }
+        if let Some((b, _)) = best {
+            let rebased = vp.rebase(&b.at, &b.target).expect("starts_with checked");
+            return (rebased, b.readonly);
+        }
+        let under = if self.root.is_root() {
+            vp
+        } else {
+            vp.rebase(&VPath::root(), &self.root)
+                .expect("root prefix always matches")
+        };
+        (under, self.readonly_root)
+    }
+
+    fn translate_rw(&self, path: &str) -> VfsResult<VPath> {
+        let (p, ro) = self.translate(path);
+        if ro {
+            return err(Errno::EROFS, path);
+        }
+        Ok(p)
+    }
+
+    // -- delegating operations -----------------------------------------
+
+    /// See [`Filesystem::stat`].
+    pub fn stat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
+        self.fs.stat(self.translate(path).0.as_str(), creds)
+    }
+
+    /// See [`Filesystem::lstat`].
+    pub fn lstat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
+        self.fs.lstat(self.translate(path).0.as_str(), creds)
+    }
+
+    /// See [`Filesystem::exists`].
+    pub fn exists(&self, path: &str, creds: &Credentials) -> bool {
+        self.fs.exists(self.translate(path).0.as_str(), creds)
+    }
+
+    /// See [`Filesystem::readdir`].
+    pub fn readdir(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<DirEntry>> {
+        self.fs.readdir(self.translate(path).0.as_str(), creds)
+    }
+
+    /// See [`Filesystem::read_file`].
+    pub fn read_file(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
+        self.fs.read_file(self.translate(path).0.as_str(), creds)
+    }
+
+    /// See [`Filesystem::read_to_string`].
+    pub fn read_to_string(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
+        self.fs
+            .read_to_string(self.translate(path).0.as_str(), creds)
+    }
+
+    /// See [`Filesystem::readlink`].
+    pub fn readlink(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
+        self.fs.readlink(self.translate(path).0.as_str(), creds)
+    }
+
+    /// See [`Filesystem::open`]. Write-opens fail on read-only binds.
+    pub fn open(&self, path: &str, flags: OpenFlags, creds: &Credentials) -> VfsResult<Fd> {
+        let (p, ro) = self.translate(path);
+        if ro && (flags.write || flags.create || flags.truncate || flags.append) {
+            return err(Errno::EROFS, path);
+        }
+        self.fs.open(p.as_str(), flags, creds)
+    }
+
+    /// See [`Filesystem::read`].
+    pub fn read(&self, fd: Fd, len: usize) -> VfsResult<Vec<u8>> {
+        self.fs.read(fd, len)
+    }
+
+    /// See [`Filesystem::write`].
+    pub fn write(&self, fd: Fd, data: &[u8]) -> VfsResult<usize> {
+        self.fs.write(fd, data)
+    }
+
+    /// See [`Filesystem::close`].
+    pub fn close(&self, fd: Fd, creds: &Credentials) -> VfsResult<()> {
+        self.fs.close(fd, creds)
+    }
+
+    /// See [`Filesystem::write_file`].
+    pub fn write_file(&self, path: &str, data: &[u8], creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .write_file(self.translate_rw(path)?.as_str(), data, creds)
+    }
+
+    /// See [`Filesystem::append_file`].
+    pub fn append_file(&self, path: &str, data: &[u8], creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .append_file(self.translate_rw(path)?.as_str(), data, creds)
+    }
+
+    /// See [`Filesystem::mkdir`].
+    pub fn mkdir(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .mkdir(self.translate_rw(path)?.as_str(), mode, creds)
+    }
+
+    /// See [`Filesystem::mkdir_all`].
+    pub fn mkdir_all(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .mkdir_all(self.translate_rw(path)?.as_str(), mode, creds)
+    }
+
+    /// See [`Filesystem::rmdir`].
+    pub fn rmdir(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
+        self.fs.rmdir(self.translate_rw(path)?.as_str(), creds)
+    }
+
+    /// See [`Filesystem::unlink`].
+    pub fn unlink(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
+        self.fs.unlink(self.translate_rw(path)?.as_str(), creds)
+    }
+
+    /// See [`Filesystem::rename`]. Both endpoints must be writable.
+    pub fn rename(&self, from: &str, to: &str, creds: &Credentials) -> VfsResult<()> {
+        let f = self.translate_rw(from)?;
+        let t = self.translate_rw(to)?;
+        self.fs.rename(f.as_str(), t.as_str(), creds)
+    }
+
+    /// See [`Filesystem::symlink`]. The target string is stored verbatim.
+    pub fn symlink(&self, target: &str, linkpath: &str, creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .symlink(target, self.translate_rw(linkpath)?.as_str(), creds)
+    }
+
+    /// See [`Filesystem::truncate`].
+    pub fn truncate(&self, path: &str, len: u64, creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .truncate(self.translate_rw(path)?.as_str(), len, creds)
+    }
+
+    /// See [`Filesystem::chmod`].
+    pub fn chmod(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .chmod(self.translate_rw(path)?.as_str(), mode, creds)
+    }
+
+    /// See [`Filesystem::chown`].
+    pub fn chown(
+        &self,
+        path: &str,
+        uid: Option<Uid>,
+        gid: Option<Gid>,
+        creds: &Credentials,
+    ) -> VfsResult<()> {
+        self.fs
+            .chown(self.translate_rw(path)?.as_str(), uid, gid, creds)
+    }
+
+    /// See [`Filesystem::set_acl`].
+    pub fn set_acl(&self, path: &str, acl: Option<Acl>, creds: &Credentials) -> VfsResult<()> {
+        self.fs
+            .set_acl(self.translate_rw(path)?.as_str(), acl, creds)
+    }
+
+    /// See [`Filesystem::set_xattr`].
+    pub fn set_xattr(
+        &self,
+        path: &str,
+        name: &str,
+        value: &[u8],
+        creds: &Credentials,
+    ) -> VfsResult<()> {
+        self.fs
+            .set_xattr(self.translate_rw(path)?.as_str(), name, value, creds)
+    }
+
+    /// See [`Filesystem::get_xattr`].
+    pub fn get_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
+        self.fs
+            .get_xattr(self.translate(path).0.as_str(), name, creds)
+    }
+
+    /// Watch a namespace-visible path (see [`Filesystem::watch_path`]).
+    /// Delivered events carry *underlying* paths.
+    pub fn watch_path(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
+        self.fs.watch_path(self.translate(path).0.as_str(), mask)
+    }
+
+    /// Watch a namespace-visible subtree (see [`Filesystem::watch_subtree`]).
+    pub fn watch_subtree(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
+        self.fs.watch_subtree(self.translate(path).0.as_str(), mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Arc<Filesystem> {
+        let fs = Arc::new(Filesystem::new());
+        let r = Credentials::root();
+        fs.mkdir_all("/net/views/http/switches", Mode::DIR_DEFAULT, &r)
+            .unwrap();
+        fs.mkdir_all("/net/switches/sw1", Mode::DIR_DEFAULT, &r)
+            .unwrap();
+        fs.write_file("/net/switches/sw1/id", b"1", &r).unwrap();
+        fs.write_file("/net/views/http/switches/marker", b"view", &r)
+            .unwrap();
+        fs
+    }
+
+    #[test]
+    fn chroot_confines_visibility() {
+        let fs = setup();
+        let r = Credentials::root();
+        let ns = Namespace::chroot(fs.clone(), "/net/views/http");
+        assert_eq!(ns.read_file("/switches/marker", &r).unwrap(), b"view");
+        // The global /net is invisible from inside the view.
+        assert!(ns.stat("/net/switches/sw1", &r).is_err());
+        // Writes land inside the view.
+        ns.write_file("/switches/new", b"x", &r).unwrap();
+        assert!(fs.exists("/net/views/http/switches/new", &r));
+    }
+
+    #[test]
+    fn bind_mount_maps_subtree() {
+        let fs = setup();
+        let r = Credentials::root();
+        // An app that expects /net sees the view bound over it.
+        let ns = Namespace::new(fs.clone()).bind("/net", "/net/views/http");
+        assert_eq!(ns.read_file("/net/switches/marker", &r).unwrap(), b"view");
+        // Longest prefix wins: a nested bind shadows.
+        let ns2 = Namespace::new(fs.clone())
+            .bind("/net", "/net/views/http")
+            .bind("/net/real", "/net/switches");
+        assert_eq!(ns2.read_file("/net/real/sw1/id", &r).unwrap(), b"1");
+        assert_eq!(ns2.read_file("/net/switches/marker", &r).unwrap(), b"view");
+    }
+
+    #[test]
+    fn readonly_bind_rejects_writes_but_allows_reads() {
+        let fs = setup();
+        let r = Credentials::root();
+        let ns = Namespace::new(fs.clone()).bind_ro("/net", "/net");
+        assert_eq!(ns.read_file("/net/switches/sw1/id", &r).unwrap(), b"1");
+        assert_eq!(
+            ns.write_file("/net/switches/sw1/id", b"2", &r)
+                .unwrap_err()
+                .errno,
+            Errno::EROFS
+        );
+        assert_eq!(
+            ns.mkdir("/net/x", Mode::DIR_DEFAULT, &r).unwrap_err().errno,
+            Errno::EROFS
+        );
+        assert_eq!(
+            ns.unlink("/net/switches/sw1/id", &r).unwrap_err().errno,
+            Errno::EROFS
+        );
+        assert_eq!(
+            ns.open("/net/switches/sw1/id", OpenFlags::write_create(), &r)
+                .unwrap_err()
+                .errno,
+            Errno::EROFS
+        );
+        // Read-only open still works.
+        let fd = ns
+            .open("/net/switches/sw1/id", OpenFlags::read_only(), &r)
+            .unwrap();
+        assert_eq!(ns.read(fd, 8).unwrap(), b"1");
+        ns.close(fd, &r).unwrap();
+    }
+
+    #[test]
+    fn readonly_root_namespace() {
+        let fs = setup();
+        let r = Credentials::root();
+        let ns = Namespace::chroot(fs, "/net").readonly();
+        assert!(ns.exists("/switches/sw1", &r));
+        assert_eq!(
+            ns.write_file("/switches/sw1/id", b"2", &r)
+                .unwrap_err()
+                .errno,
+            Errno::EROFS
+        );
+    }
+
+    #[test]
+    fn watches_through_namespace_fire_on_underlying_changes() {
+        let fs = setup();
+        let r = Credentials::root();
+        let ns = Namespace::chroot(fs.clone(), "/net/views/http");
+        let (_id, rx) = ns.watch_path("/switches", EventMask::ALL);
+        // A write through the *global* fs is seen by the view's watcher.
+        fs.write_file("/net/views/http/switches/flow", b"f", &r)
+            .unwrap();
+        assert!(rx.try_iter().any(|e| e.name.as_deref() == Some("flow")));
+    }
+
+    #[test]
+    fn rename_within_namespace() {
+        let fs = setup();
+        let r = Credentials::root();
+        let ns = Namespace::chroot(fs.clone(), "/net/views/http");
+        ns.rename("/switches/marker", "/switches/renamed", &r)
+            .unwrap();
+        assert!(fs.exists("/net/views/http/switches/renamed", &r));
+    }
+}

@@ -1,0 +1,285 @@
+//! File-system change notification (paper §5.2).
+//!
+//! yanc applications are event loops blocked on the Linux fsnotify APIs:
+//! a driver watches `flows/*/version` to learn when a flow is committed, a
+//! topology daemon watches `switches/` for new switches, and so on. This
+//! module reproduces both flavours the paper names:
+//!
+//! * **inotify-like watches** on a single file or directory
+//!   ([`NotifyHub::watch_path`]), delivering events for that object and — for
+//!   directories — its direct children, and
+//! * **fanotify-like subtree watches** ([`NotifyHub::watch_subtree`]),
+//!   delivering events for everything beneath a path prefix, which is what a
+//!   distributed-fs replicator or an auditor wants.
+//!
+//! Events are delivered over unbounded crossbeam channels so emitters never
+//! block; "use of the *notify systems comes free" (§5.2) — the filesystem
+//! emits events from every mutating operation with no cooperation needed
+//! from applications.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::path::VPath;
+
+/// What happened to a watched object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A directory entry was created (file, dir, or symlink).
+    Create,
+    /// A directory entry was removed.
+    Delete,
+    /// File contents changed (write or truncate).
+    Modify,
+    /// A writable handle was closed — the paper's commit point for
+    /// multi-write updates.
+    CloseWrite,
+    /// Metadata changed (chmod/chown/xattr).
+    Attrib,
+    /// An entry was renamed away from this name.
+    MovedFrom,
+    /// An entry was renamed to this name.
+    MovedTo,
+    /// The watched object itself was deleted.
+    DeleteSelf,
+}
+
+/// Bitmask of [`EventKind`]s a watch is interested in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(pub u16);
+
+impl EventMask {
+    /// Subscribe to every event kind.
+    pub const ALL: EventMask = EventMask(0xffff);
+    /// Creation and deletion only — the "watch a collection" mask.
+    pub const CHILDREN: EventMask =
+        EventMask(1 << EventKind::Create as u16 | 1 << EventKind::Delete as u16);
+    /// Content-change events only.
+    pub const MODIFY: EventMask =
+        EventMask(1 << EventKind::Modify as u16 | 1 << EventKind::CloseWrite as u16);
+
+    /// Mask containing exactly `kind`.
+    pub fn only(kind: EventKind) -> EventMask {
+        EventMask(1 << kind as u16)
+    }
+
+    /// Union of two masks.
+    pub fn or(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+
+    /// Whether `kind` is included.
+    pub fn contains(self, kind: EventKind) -> bool {
+        self.0 & (1 << kind as u16) != 0
+    }
+}
+
+/// Identifier of an active watch, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WatchId(pub u64);
+
+/// A delivered notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The watch this event matched.
+    pub watch: WatchId,
+    /// What happened.
+    pub kind: EventKind,
+    /// Full path of the affected object.
+    pub path: VPath,
+    /// For directory-scope events: the name of the affected child.
+    pub name: Option<String>,
+}
+
+enum Scope {
+    /// Matches the path itself and its direct children.
+    Path(VPath),
+    /// Matches the path itself and all descendants.
+    Subtree(VPath),
+}
+
+struct Watch {
+    id: WatchId,
+    scope: Scope,
+    mask: EventMask,
+    tx: Sender<Event>,
+}
+
+/// Registry of watches; one per [`crate::Filesystem`].
+pub struct NotifyHub {
+    watches: RwLock<Vec<Watch>>,
+    next_id: AtomicU64,
+}
+
+impl Default for NotifyHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NotifyHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        NotifyHub {
+            watches: RwLock::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn add(&self, scope: Scope, mask: EventMask) -> (WatchId, Receiver<Event>) {
+        let (tx, rx) = unbounded();
+        let id = WatchId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.watches.write().push(Watch {
+            id,
+            scope,
+            mask,
+            tx,
+        });
+        (id, rx)
+    }
+
+    /// inotify-style: watch `path` and (if a directory) its direct children.
+    pub fn watch_path(&self, path: &VPath, mask: EventMask) -> (WatchId, Receiver<Event>) {
+        self.add(Scope::Path(path.clone()), mask)
+    }
+
+    /// fanotify-style: watch the whole subtree rooted at `path`.
+    pub fn watch_subtree(&self, path: &VPath, mask: EventMask) -> (WatchId, Receiver<Event>) {
+        self.add(Scope::Subtree(path.clone()), mask)
+    }
+
+    /// Cancel a watch. Returns whether it existed.
+    pub fn unwatch(&self, id: WatchId) -> bool {
+        let mut ws = self.watches.write();
+        let n = ws.len();
+        ws.retain(|w| w.id != id);
+        ws.len() != n
+    }
+
+    /// Number of active watches (disconnected receivers are reaped lazily).
+    pub fn watch_count(&self) -> usize {
+        self.watches.read().len()
+    }
+
+    /// Deliver `kind` at `path` to every matching watch. Called by the
+    /// filesystem after each mutation; never blocks. Watches whose receiver
+    /// has been dropped are reaped here.
+    pub fn emit(&self, kind: EventKind, path: &VPath, name: Option<&str>) {
+        let mut dead: Vec<WatchId> = Vec::new();
+        {
+            let ws = self.watches.read();
+            for w in ws.iter() {
+                if !w.mask.contains(kind) {
+                    continue;
+                }
+                let matches = match &w.scope {
+                    // A path watch sees events on the object itself and
+                    // events whose subject sits directly inside it.
+                    Scope::Path(p) => path == p || path.parent() == *p,
+                    Scope::Subtree(p) => path.starts_with(p),
+                };
+                if !matches {
+                    continue;
+                }
+                let ev = Event {
+                    watch: w.id,
+                    kind,
+                    path: path.clone(),
+                    name: name.map(str::to_string),
+                };
+                if w.tx.send(ev).is_err() {
+                    dead.push(w.id);
+                }
+            }
+        }
+        if !dead.is_empty() {
+            self.watches.write().retain(|w| !dead.contains(&w.id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VPath {
+        VPath::new(s)
+    }
+
+    #[test]
+    fn path_watch_sees_self_and_children_only() {
+        let hub = NotifyHub::new();
+        let (_id, rx) = hub.watch_path(&p("/net/switches"), EventMask::ALL);
+        hub.emit(EventKind::Create, &p("/net/switches/sw1"), Some("sw1"));
+        hub.emit(
+            EventKind::Create,
+            &p("/net/switches/sw1/flows/f1"),
+            Some("f1"),
+        );
+        hub.emit(EventKind::Attrib, &p("/net/switches"), None);
+        let evs: Vec<Event> = rx.try_iter().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::Create);
+        assert_eq!(evs[0].name.as_deref(), Some("sw1"));
+        assert_eq!(evs[1].kind, EventKind::Attrib);
+    }
+
+    #[test]
+    fn subtree_watch_sees_descendants() {
+        let hub = NotifyHub::new();
+        let (_id, rx) = hub.watch_subtree(&p("/net"), EventMask::ALL);
+        hub.emit(
+            EventKind::Modify,
+            &p("/net/switches/sw1/flows/f1/version"),
+            None,
+        );
+        hub.emit(EventKind::Modify, &p("/etc/other"), None);
+        let evs: Vec<Event> = rx.try_iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].path.as_str(), "/net/switches/sw1/flows/f1/version");
+    }
+
+    #[test]
+    fn mask_filters_kinds() {
+        let hub = NotifyHub::new();
+        let (_id, rx) = hub.watch_path(&p("/d"), EventMask::only(EventKind::CloseWrite));
+        hub.emit(EventKind::Modify, &p("/d/f"), Some("f"));
+        hub.emit(EventKind::CloseWrite, &p("/d/f"), Some("f"));
+        let evs: Vec<Event> = rx.try_iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::CloseWrite);
+    }
+
+    #[test]
+    fn unwatch_stops_delivery() {
+        let hub = NotifyHub::new();
+        let (id, rx) = hub.watch_path(&p("/d"), EventMask::ALL);
+        assert!(hub.unwatch(id));
+        assert!(!hub.unwatch(id));
+        hub.emit(EventKind::Create, &p("/d/f"), Some("f"));
+        assert!(rx.try_iter().next().is_none());
+        assert_eq!(hub.watch_count(), 0);
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_poison_other_watches() {
+        let hub = NotifyHub::new();
+        let (_a, rx_a) = hub.watch_path(&p("/d"), EventMask::ALL);
+        let (_b, rx_b) = hub.watch_path(&p("/d"), EventMask::ALL);
+        drop(rx_a);
+        hub.emit(EventKind::Create, &p("/d/f"), Some("f"));
+        assert_eq!(rx_b.try_iter().count(), 1);
+        // The dead watch was reaped during emit.
+        assert_eq!(hub.watch_count(), 1);
+    }
+
+    #[test]
+    fn masks_compose() {
+        let m = EventMask::CHILDREN.or(EventMask::MODIFY);
+        assert!(m.contains(EventKind::Create));
+        assert!(m.contains(EventKind::Modify));
+        assert!(!m.contains(EventKind::Attrib));
+    }
+}

@@ -1,0 +1,241 @@
+//! Virtual path handling.
+//!
+//! Paths in the vfs are always absolute, `/`-separated, and independent of
+//! the host platform. [`VPath`] stores a normalized form (no `.` segments,
+//! no doubled slashes, no trailing slash except for the root itself);
+//! `..` is preserved textually and resolved during lookup, because POSIX
+//! resolves `..` against the *symlink-resolved* parent, not lexically.
+
+use std::fmt;
+
+/// Maximum length of a single path component.
+pub const NAME_MAX: usize = 255;
+/// Maximum length of a whole path.
+pub const PATH_MAX: usize = 4096;
+
+/// An absolute, normalized virtual path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VPath(String);
+
+impl VPath {
+    /// The root path `/`.
+    pub fn root() -> VPath {
+        VPath("/".to_string())
+    }
+
+    /// Normalize `s` into an absolute path. Relative input is interpreted
+    /// against the root (the vfs has no per-process cwd; the coreutils layer
+    /// adds one on top).
+    pub fn new(s: &str) -> VPath {
+        let mut out = String::with_capacity(s.len() + 1);
+        out.push('/');
+        for comp in s.split('/') {
+            if comp.is_empty() || comp == "." {
+                continue;
+            }
+            if !out.ends_with('/') {
+                out.push('/');
+            }
+            out.push_str(comp);
+        }
+        VPath(out)
+    }
+
+    /// The path as a string, always beginning with `/`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether this is the root directory.
+    pub fn is_root(&self) -> bool {
+        self.0 == "/"
+    }
+
+    /// Iterator over the path's components (excluding the root).
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Number of components.
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    /// The final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.0.rsplit('/').next()
+        }
+    }
+
+    /// The parent directory; the root's parent is the root.
+    pub fn parent(&self) -> VPath {
+        if self.is_root() {
+            return self.clone();
+        }
+        match self.0.rfind('/') {
+            Some(0) | None => VPath::root(),
+            Some(i) => VPath(self.0[..i].to_string()),
+        }
+    }
+
+    /// Append a single component. `name` must not contain `/`.
+    pub fn join(&self, name: &str) -> VPath {
+        debug_assert!(!name.contains('/'), "join takes a single component");
+        if self.is_root() {
+            VPath(format!("/{name}"))
+        } else {
+            VPath(format!("{}/{name}", self.0))
+        }
+    }
+
+    /// Append a (possibly multi-component, possibly absolute) suffix.
+    pub fn join_path(&self, rel: &str) -> VPath {
+        if rel.starts_with('/') {
+            VPath::new(rel)
+        } else {
+            VPath::new(&format!("{}/{rel}", self.0))
+        }
+    }
+
+    /// Whether `self` equals `prefix` or lies strictly beneath it.
+    pub fn starts_with(&self, prefix: &VPath) -> bool {
+        if prefix.is_root() {
+            return true;
+        }
+        self.0 == prefix.0
+            || (self.0.starts_with(&prefix.0)
+                && self.0.as_bytes().get(prefix.0.len()) == Some(&b'/'))
+    }
+
+    /// Strip `prefix`, returning the remainder as a relative string
+    /// (empty when `self == prefix`). `None` when `self` is not under it.
+    pub fn strip_prefix(&self, prefix: &VPath) -> Option<&str> {
+        if !self.starts_with(prefix) {
+            return None;
+        }
+        if prefix.is_root() {
+            return Some(self.0.trim_start_matches('/'));
+        }
+        let rest = &self.0[prefix.0.len()..];
+        Some(rest.trim_start_matches('/'))
+    }
+
+    /// Re-root: replace the `from` prefix with `to`. `None` when `self` is
+    /// not under `from`. Used by bind mounts and view translation.
+    pub fn rebase(&self, from: &VPath, to: &VPath) -> Option<VPath> {
+        let rest = self.strip_prefix(from)?;
+        Some(if rest.is_empty() {
+            to.clone()
+        } else {
+            to.join_path(rest)
+        })
+    }
+}
+
+impl fmt::Display for VPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for VPath {
+    fn from(s: &str) -> Self {
+        VPath::new(s)
+    }
+}
+
+impl From<String> for VPath {
+    fn from(s: String) -> Self {
+        VPath::new(&s)
+    }
+}
+
+/// Validate a single directory-entry name: non-empty, no `/` or NUL, not
+/// `.`/`..`, and within [`NAME_MAX`].
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= NAME_MAX
+        && name != "."
+        && name != ".."
+        && !name.contains('/')
+        && !name.contains('\0')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(VPath::new("/a//b/./c/").as_str(), "/a/b/c");
+        assert_eq!(VPath::new("a/b").as_str(), "/a/b");
+        assert_eq!(VPath::new("").as_str(), "/");
+        assert_eq!(VPath::new("/").as_str(), "/");
+        assert_eq!(VPath::new("////").as_str(), "/");
+        // `..` is preserved for lookup-time resolution.
+        assert_eq!(VPath::new("/a/../b").as_str(), "/a/../b");
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        let p = VPath::new("/net/switches/sw1");
+        assert_eq!(p.file_name(), Some("sw1"));
+        assert_eq!(p.parent().as_str(), "/net/switches");
+        assert_eq!(VPath::new("/x").parent().as_str(), "/");
+        assert_eq!(VPath::root().parent().as_str(), "/");
+        assert_eq!(VPath::root().file_name(), None);
+    }
+
+    #[test]
+    fn join_and_depth() {
+        let p = VPath::root().join("net").join("switches");
+        assert_eq!(p.as_str(), "/net/switches");
+        assert_eq!(p.depth(), 2);
+        assert_eq!(VPath::root().depth(), 0);
+        assert_eq!(p.join_path("sw1/ports").as_str(), "/net/switches/sw1/ports");
+        assert_eq!(p.join_path("/abs").as_str(), "/abs");
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let a = VPath::new("/net/switches");
+        let b = VPath::new("/net/switches/sw1/flows");
+        let c = VPath::new("/net/switchesX");
+        assert!(b.starts_with(&a));
+        assert!(a.starts_with(&a));
+        assert!(!c.starts_with(&a));
+        assert!(a.starts_with(&VPath::root()));
+        assert_eq!(b.strip_prefix(&a), Some("sw1/flows"));
+        assert_eq!(a.strip_prefix(&a), Some(""));
+        assert_eq!(c.strip_prefix(&a), None);
+        assert_eq!(
+            b.strip_prefix(&VPath::root()),
+            Some("net/switches/sw1/flows")
+        );
+    }
+
+    #[test]
+    fn rebase_for_binds() {
+        let p = VPath::new("/net/views/v1/switches/sw1");
+        let from = VPath::new("/net/views/v1");
+        let to = VPath::new("/net");
+        assert_eq!(p.rebase(&from, &to).unwrap().as_str(), "/net/switches/sw1");
+        assert_eq!(from.rebase(&from, &to).unwrap().as_str(), "/net");
+        assert!(VPath::new("/etc").rebase(&from, &to).is_none());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("sw1"));
+        assert!(valid_name("match.dl_type"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("."));
+        assert!(!valid_name(".."));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a\0b"));
+        assert!(!valid_name(&"x".repeat(NAME_MAX + 1)));
+    }
+}

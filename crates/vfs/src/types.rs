@@ -1,0 +1,356 @@
+//! Core value types: inode numbers, file modes, credentials, timestamps.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An inode number. `Ino(1)` is always the root directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ino(pub u64);
+
+/// The root directory's inode number.
+pub const ROOT_INO: Ino = Ino(1);
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino:{}", self.0)
+    }
+}
+
+/// Kind of file-system object an inode represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileType {
+    /// The character `ls -l` would print in the mode column.
+    pub fn ls_char(self) -> char {
+        match self {
+            FileType::Regular => '-',
+            FileType::Directory => 'd',
+            FileType::Symlink => 'l',
+        }
+    }
+}
+
+/// Unix permission bits (the low 12 bits: setuid/setgid/sticky + rwxrwxrwx).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    /// `0o644` — the default for regular files.
+    pub const FILE_DEFAULT: Mode = Mode(0o644);
+    /// `0o755` — the default for directories.
+    pub const DIR_DEFAULT: Mode = Mode(0o755);
+    /// `0o777` — symlink modes are ignored but stored for completeness.
+    pub const SYMLINK: Mode = Mode(0o777);
+
+    /// Owner read/write/execute triplet (bits 8..6).
+    pub fn owner(self) -> u8 {
+        ((self.0 >> 6) & 0o7) as u8
+    }
+    /// Group triplet (bits 5..3).
+    pub fn group(self) -> u8 {
+        ((self.0 >> 3) & 0o7) as u8
+    }
+    /// Other triplet (bits 2..0).
+    pub fn other(self) -> u8 {
+        (self.0 & 0o7) as u8
+    }
+    /// Sticky bit (0o1000) — on directories, restricts deletion to owners.
+    pub fn sticky(self) -> bool {
+        self.0 & 0o1000 != 0
+    }
+
+    /// Render as the nine `rwx` characters of `ls -l`.
+    pub fn ls_string(self) -> String {
+        let mut s = String::with_capacity(9);
+        for trip in [self.owner(), self.group(), self.other()] {
+            s.push(if trip & 0o4 != 0 { 'r' } else { '-' });
+            s.push(if trip & 0o2 != 0 { 'w' } else { '-' });
+            s.push(if trip & 0o1 != 0 { 'x' } else { '-' });
+        }
+        s
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.0)
+    }
+}
+
+/// Access being requested of an object, for permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read file contents or list a directory.
+    Read,
+    /// Modify file contents or create/remove directory entries.
+    Write,
+    /// Execute a file or traverse a directory.
+    Exec,
+}
+
+impl Access {
+    /// The permission bit within an rwx triplet.
+    pub fn bit(self) -> u8 {
+        match self {
+            Access::Read => 0o4,
+            Access::Write => 0o2,
+            Access::Exec => 0o1,
+        }
+    }
+}
+
+/// User id. `Uid(0)` is root and bypasses permission checks (but not
+/// read-only mounts), exactly as on Linux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uid(pub u32);
+
+/// Group id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gid(pub u32);
+
+/// The identity a file-system operation runs as.
+///
+/// yanc applications are separate processes with their own credentials; the
+/// administrator uses plain `chmod`/`chown`/ACLs to decide which application
+/// may touch which switch or flow (paper §5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credentials {
+    /// Effective user id.
+    pub uid: Uid,
+    /// Effective primary group id.
+    pub gid: Gid,
+    /// Supplementary groups.
+    pub groups: Vec<Gid>,
+}
+
+impl Credentials {
+    /// The superuser: passes all permission checks.
+    pub fn root() -> Self {
+        Credentials {
+            uid: Uid(0),
+            gid: Gid(0),
+            groups: Vec::new(),
+        }
+    }
+
+    /// An unprivileged user with the given uid/gid.
+    pub fn user(uid: u32, gid: u32) -> Self {
+        Credentials {
+            uid: Uid(uid),
+            gid: Gid(gid),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Whether these credentials are the superuser.
+    pub fn is_root(&self) -> bool {
+        self.uid == Uid(0)
+    }
+
+    /// Whether `gid` is the primary or a supplementary group.
+    pub fn in_group(&self, gid: Gid) -> bool {
+        self.gid == gid || self.groups.contains(&gid)
+    }
+}
+
+/// A logical timestamp.
+///
+/// The vfs has no wall clock (experiments must be deterministic); instead a
+/// global monotonic counter is bumped on every mutation, giving `ctime`/
+/// `mtime` values that order events exactly like real timestamps do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// Monotonic source of [`Timestamp`]s shared by a filesystem instance.
+#[derive(Debug, Default)]
+pub struct Clock(AtomicU64);
+
+impl Clock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Clock(AtomicU64::new(0))
+    }
+
+    /// Advance and return the new timestamp.
+    pub fn tick(&self) -> Timestamp {
+        Timestamp(self.0.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Current timestamp without advancing.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Stat-like metadata snapshot returned by [`crate::Filesystem::stat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: Ino,
+    /// Object kind.
+    pub file_type: FileType,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+    /// Content size in bytes (for directories: number of entries).
+    pub size: u64,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Last content modification.
+    pub mtime: Timestamp,
+    /// Last metadata change.
+    pub ctime: Timestamp,
+}
+
+impl FileStat {
+    /// True when the object is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.file_type == FileType::Directory
+    }
+    /// True when the object is a regular file.
+    pub fn is_file(&self) -> bool {
+        self.file_type == FileType::Regular
+    }
+    /// True when the object is a symlink.
+    pub fn is_symlink(&self) -> bool {
+        self.file_type == FileType::Symlink
+    }
+}
+
+/// One entry of a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Name within the parent directory.
+    pub name: String,
+    /// Inode the name refers to.
+    pub ino: Ino,
+    /// Kind of the target.
+    pub file_type: FileType,
+}
+
+/// Flags for [`crate::Filesystem::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// With `create`: fail with `EEXIST` if the file already exists.
+    pub excl: bool,
+    /// Truncate to zero length on open.
+    pub truncate: bool,
+    /// All writes go to the end of the file.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub fn read_only() -> Self {
+        OpenFlags {
+            read: true,
+            ..Default::default()
+        }
+    }
+    /// `O_WRONLY | O_CREAT | O_TRUNC` — the classic "write a file" open.
+    pub fn write_create() -> Self {
+        OpenFlags {
+            write: true,
+            create: true,
+            truncate: true,
+            ..Default::default()
+        }
+    }
+    /// `O_WRONLY | O_CREAT | O_APPEND`.
+    pub fn append_create() -> Self {
+        OpenFlags {
+            write: true,
+            create: true,
+            append: true,
+            ..Default::default()
+        }
+    }
+    /// `O_RDWR`.
+    pub fn read_write() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// An open-file handle returned by [`crate::Filesystem::open`].
+///
+/// Handles are plain ids into the filesystem's open-file table; they are
+/// `Copy` so applications can model `dup()` trivially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_triplets_and_ls_string() {
+        let m = Mode(0o754);
+        assert_eq!(m.owner(), 0o7);
+        assert_eq!(m.group(), 0o5);
+        assert_eq!(m.other(), 0o4);
+        assert_eq!(m.ls_string(), "rwxr-xr--");
+        assert_eq!(Mode(0o000).ls_string(), "---------");
+        assert_eq!(Mode(0o777).ls_string(), "rwxrwxrwx");
+    }
+
+    #[test]
+    fn mode_sticky_bit() {
+        assert!(Mode(0o1777).sticky());
+        assert!(!Mode(0o777).sticky());
+    }
+
+    #[test]
+    fn credentials_group_membership() {
+        let mut c = Credentials::user(1000, 1000);
+        assert!(c.in_group(Gid(1000)));
+        assert!(!c.in_group(Gid(5)));
+        c.groups.push(Gid(5));
+        assert!(c.in_group(Gid(5)));
+        assert!(!c.is_root());
+        assert!(Credentials::root().is_root());
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = Clock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+        assert_eq!(c.now(), b);
+    }
+
+    #[test]
+    fn access_bits() {
+        assert_eq!(Access::Read.bit(), 4);
+        assert_eq!(Access::Write.bit(), 2);
+        assert_eq!(Access::Exec.bit(), 1);
+    }
+
+    #[test]
+    fn file_type_ls_chars() {
+        assert_eq!(FileType::Directory.ls_char(), 'd');
+        assert_eq!(FileType::Regular.ls_char(), '-');
+        assert_eq!(FileType::Symlink.ls_char(), 'l');
+    }
+}

@@ -1,0 +1,276 @@
+//! Model-based property tests for the vfs: arbitrary operation sequences
+//! checked against a flat reference model, plus law-style invariants for
+//! hard links, renames and symlinks.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use yanc_vfs::{Credentials, Errno, Filesystem, Mode};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write {
+        dir: u8,
+        name: u8,
+        data: Vec<u8>,
+    },
+    Append {
+        dir: u8,
+        name: u8,
+        data: Vec<u8>,
+    },
+    Unlink {
+        dir: u8,
+        name: u8,
+    },
+    RenameFile {
+        from_dir: u8,
+        from_name: u8,
+        to_dir: u8,
+        to_name: u8,
+    },
+    Link {
+        from_dir: u8,
+        from_name: u8,
+        to_dir: u8,
+        to_name: u8,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let d = 0u8..3;
+    let n = 0u8..4;
+    let data = proptest::collection::vec(any::<u8>(), 0..16);
+    prop_oneof![
+        (d.clone(), n.clone(), data.clone()).prop_map(|(dir, name, data)| Op::Write {
+            dir,
+            name,
+            data
+        }),
+        (d.clone(), n.clone(), data).prop_map(|(dir, name, data)| Op::Append { dir, name, data }),
+        (d.clone(), n.clone()).prop_map(|(dir, name)| Op::Unlink { dir, name }),
+        (d.clone(), n.clone(), d.clone(), n.clone()).prop_map(
+            |(from_dir, from_name, to_dir, to_name)| {
+                Op::RenameFile {
+                    from_dir,
+                    from_name,
+                    to_dir,
+                    to_name,
+                }
+            }
+        ),
+        (d.clone(), n.clone(), d, n).prop_map(|(from_dir, from_name, to_dir, to_name)| {
+            Op::Link {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            }
+        }),
+    ]
+}
+
+fn path(dir: u8, name: u8) -> String {
+    format!("/d{dir}/f{name}")
+}
+
+/// Flat reference model: path → content "cell id". Hard links are modeled
+/// by two paths sharing a cell.
+#[derive(Default)]
+struct Model {
+    cells: Vec<Vec<u8>>,
+    paths: BTreeMap<String, usize>,
+}
+
+impl Model {
+    fn write(&mut self, p: String, data: Vec<u8>) {
+        match self.paths.get(&p) {
+            Some(&c) => self.cells[c] = data,
+            None => {
+                self.cells.push(data);
+                self.paths.insert(p, self.cells.len() - 1);
+            }
+        }
+    }
+    fn append(&mut self, p: String, data: &[u8]) {
+        match self.paths.get(&p) {
+            Some(&c) => self.cells[c].extend_from_slice(data),
+            None => self.write(p, data.to_vec()),
+        }
+    }
+    fn read(&self, p: &str) -> Option<&Vec<u8>> {
+        self.paths.get(p).map(|&c| &self.cells[c])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fs_agrees_with_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let fs = Filesystem::new();
+        let creds = Credentials::root();
+        for d in 0..3 {
+            fs.mkdir(&format!("/d{d}"), Mode::DIR_DEFAULT, &creds).unwrap();
+        }
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Write { dir, name, data } => {
+                    fs.write_file(&path(dir, name), &data, &creds).unwrap();
+                    model.write(path(dir, name), data);
+                }
+                Op::Append { dir, name, data } => {
+                    fs.append_file(&path(dir, name), &data, &creds).unwrap();
+                    model.append(path(dir, name), &data);
+                }
+                Op::Unlink { dir, name } => {
+                    let r = fs.unlink(&path(dir, name), &creds);
+                    let p = path(dir, name);
+                    match model.paths.remove(&p) {
+                        Some(_) => prop_assert!(r.is_ok()),
+                        None => prop_assert_eq!(r.unwrap_err().errno, Errno::ENOENT),
+                    }
+                }
+                Op::RenameFile { from_dir, from_name, to_dir, to_name } => {
+                    let from = path(from_dir, from_name);
+                    let to = path(to_dir, to_name);
+                    let r = fs.rename(&from, &to, &creds);
+                    match model.paths.get(&from).copied() {
+                        None => prop_assert_eq!(r.unwrap_err().errno, Errno::ENOENT),
+                        Some(cell) => {
+                            prop_assert!(r.is_ok(), "rename {} -> {}", from, to);
+                            if from != to {
+                                match model.paths.get(&to) {
+                                    // POSIX: renaming onto a hard link of
+                                    // the same inode is a no-op that keeps
+                                    // both names.
+                                    Some(&tc) if tc == cell => {}
+                                    _ => {
+                                        model.paths.remove(&from);
+                                        model.paths.insert(to, cell);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Link { from_dir, from_name, to_dir, to_name } => {
+                    let from = path(from_dir, from_name);
+                    let to = path(to_dir, to_name);
+                    let r = fs.link(&from, &to, &creds);
+                    match (model.paths.get(&from).copied(), model.paths.contains_key(&to)) {
+                        (None, _) => prop_assert_eq!(r.unwrap_err().errno, Errno::ENOENT),
+                        (Some(_), true) => prop_assert_eq!(r.unwrap_err().errno, Errno::EEXIST),
+                        (Some(cell), false) => {
+                            prop_assert!(r.is_ok());
+                            model.paths.insert(to, cell);
+                        }
+                    }
+                }
+            }
+        }
+        // Full-state comparison.
+        for (p, cell) in &model.paths {
+            prop_assert_eq!(&fs.read_file(p, &creds).unwrap(), &model.cells[*cell], "{}", p);
+        }
+        for d in 0..3u8 {
+            let listed: Vec<String> = fs
+                .readdir(&format!("/d{d}"), &creds)
+                .unwrap()
+                .into_iter()
+                .map(|e| format!("/d{d}/{}", e.name))
+                .collect();
+            let expect: Vec<String> = model
+                .paths
+                .keys()
+                .filter(|k| k.starts_with(&format!("/d{d}/")))
+                .cloned()
+                .collect();
+            prop_assert_eq!(listed, expect);
+        }
+        // nlink bookkeeping: each file's link count equals the number of
+        // model paths sharing its inode.
+        for p in model.paths.keys() {
+            let st = fs.stat(p, &creds).unwrap();
+            let ino = st.ino;
+            let expected = model
+                .paths
+                .keys()
+                .filter(|q| fs.stat(q, &creds).unwrap().ino == ino)
+                .count() as u32;
+            prop_assert_eq!(st.nlink, expected, "nlink of {}", p);
+        }
+    }
+
+    #[test]
+    fn symlink_chains_resolve_like_direct_access(depth in 1usize..8) {
+        let fs = Filesystem::new();
+        let creds = Credentials::root();
+        fs.mkdir("/real", Mode::DIR_DEFAULT, &creds).unwrap();
+        fs.write_file("/real/target", b"payload", &creds).unwrap();
+        let mut prev = "/real/target".to_string();
+        for i in 0..depth {
+            let link = format!("/l{i}");
+            fs.symlink(&prev, &link, &creds).unwrap();
+            prev = link;
+        }
+        prop_assert_eq!(fs.read_file(&prev, &creds).unwrap(), b"payload".to_vec());
+        let canon = fs.canonicalize(&prev, &creds).unwrap();
+        prop_assert_eq!(canon.as_str(), "/real/target");
+        // Writing through the chain writes the real file.
+        fs.write_file(&prev, b"updated", &creds).unwrap();
+        prop_assert_eq!(fs.read_file("/real/target", &creds).unwrap(), b"updated".to_vec());
+    }
+
+    #[test]
+    fn rename_preserves_subtree(contents in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let fs = Filesystem::new();
+        let creds = Credentials::root();
+        fs.mkdir_all("/a/deep/nest", Mode::DIR_DEFAULT, &creds).unwrap();
+        fs.write_file("/a/deep/nest/file", &contents, &creds).unwrap();
+        fs.symlink("/a/deep", "/a/deep/nest/self", &creds).unwrap();
+        fs.rename("/a", "/b", &creds).unwrap();
+        prop_assert!(!fs.exists("/a", &creds));
+        prop_assert_eq!(fs.read_file("/b/deep/nest/file", &creds).unwrap(), contents);
+        // Symlink target string is preserved verbatim (it pointed at /a —
+        // now dangling, exactly as POSIX would leave it).
+        prop_assert_eq!(fs.readlink("/b/deep/nest/self", &creds).unwrap(), "/a/deep".to_string());
+    }
+}
+
+#[test]
+fn concurrent_writers_do_not_corrupt() {
+    // Smoke: 4 threads hammer disjoint files + one shared append target.
+    use std::sync::Arc;
+    let fs = Arc::new(Filesystem::new());
+    let creds = Credentials::root();
+    fs.mkdir("/shared", Mode::DIR_DEFAULT, &creds).unwrap();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let fs = fs.clone();
+            std::thread::spawn(move || {
+                let creds = Credentials::root();
+                for i in 0..200 {
+                    let p = format!("/shared/t{t}_{i}");
+                    fs.write_file(&p, format!("{t}:{i}").as_bytes(), &creds)
+                        .unwrap();
+                    fs.append_file("/shared/log", b"x", &creds).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // Every private file intact; the shared log has every append.
+    for t in 0..4 {
+        for i in 0..200 {
+            let p = format!("/shared/t{t}_{i}");
+            assert_eq!(fs.read_to_string(&p, &creds).unwrap(), format!("{t}:{i}"));
+        }
+    }
+    assert_eq!(fs.read_file("/shared/log", &creds).unwrap().len(), 800);
+    assert_eq!(fs.readdir("/shared", &creds).unwrap().len(), 801);
+}

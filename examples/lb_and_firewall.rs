@@ -1,0 +1,111 @@
+//! Load balancing and security — the paper's conclusion: with the
+//! controller plumbing solved by the OS, "more focus can be put on
+//! specific control-plane-centric topics such as load balancing,
+//! congestion control, and security."
+//!
+//! Both apps here are file-configured: the balancer pool lives under
+//! `/net/lb/web/`, the firewall rules in `/net/security/rules`, and both
+//! write their state back as files an admin can `cat`.
+//!
+//! ```text
+//! cargo run --example lb_and_firewall
+//! ```
+
+use yanc_apps::{define_pool, Backend, Firewall, LoadBalancer};
+use yanc_coreutils::Shell;
+use yanc_driver::Runtime;
+use yanc_openflow::Version;
+
+fn main() {
+    let mut rt = Runtime::new();
+    rt.add_switch_with_driver(0x1, 6, 1, vec![Version::V1_3], Version::V1_3);
+    let client = rt.net.add_host("client", "10.0.0.1".parse().unwrap());
+    let attacker = rt.net.add_host("attacker", "10.0.0.66".parse().unwrap());
+    let s1 = rt.net.add_host("s1", "10.0.0.2".parse().unwrap());
+    let s2 = rt.net.add_host("s2", "10.0.0.3".parse().unwrap());
+    rt.net.attach_host(client, (0x1, 1), None);
+    rt.net.attach_host(attacker, (0x1, 2), None);
+    rt.net.attach_host(s1, (0x1, 3), None);
+    rt.net.attach_host(s2, (0x1, 4), None);
+    rt.pump();
+
+    // ---- the load balancer: a VIP over two backends --------------------
+    let vip = "10.0.0.100".parse().unwrap();
+    define_pool(
+        &rt.yfs,
+        "web",
+        vip,
+        &[
+            Backend {
+                ip: "10.0.0.2".parse().unwrap(),
+                mac: rt.net.hosts[&s1].mac,
+            },
+            Backend {
+                ip: "10.0.0.3".parse().unwrap(),
+                mac: rt.net.hosts[&s2].mac,
+            },
+        ],
+    )
+    .unwrap();
+    let mut lb = LoadBalancer::new(rt.yfs.clone()).unwrap();
+    let mut fw = Firewall::new(rt.yfs.clone(), 4).unwrap();
+
+    let settle = |rt: &mut Runtime, lb: &mut LoadBalancer, fw: &mut Firewall| loop {
+        let a = rt.pump();
+        let b = lb.run_once();
+        let c = fw.run_once();
+        if a <= 1 && !b && !c {
+            break;
+        }
+    };
+
+    println!("four clients connect to the VIP {vip}:");
+    for sport in [40001u16, 40002, 40003, 40004] {
+        rt.net.host_send_tcp_syn(client, vip, sport, 80);
+        settle(&mut rt, &mut lb, &mut fw);
+    }
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    println!("$ ls /net/lb/web/stats && cat /net/lb/web/stats/*");
+    for e in rt
+        .yfs
+        .filesystem()
+        .readdir("/net/lb/web/stats", rt.yfs.creds())
+        .unwrap()
+    {
+        let v = sh.run(&format!("cat /net/lb/web/stats/{}", e.name)).out;
+        println!("  {} -> {v} connections", e.name);
+    }
+    println!(
+        "backend s1 saw {} SYNs, s2 saw {} (round-robin)",
+        rt.net.hosts[&s1].tcp_syns_received.len(),
+        rt.net.hosts[&s2].tcp_syns_received.len()
+    );
+
+    // ---- the firewall: an attacker port-scans and gets auto-blocked ----
+    println!("\nattacker scans 8 ports; the firewall threshold is 4:");
+    let amac = rt.net.hosts[&attacker].mac;
+    for port in 1..=8u16 {
+        let syn = yanc_packet::build_tcp_syn(
+            amac,
+            yanc_packet::MacAddr::from_seed(0xeeee),
+            "10.0.0.66".parse().unwrap(),
+            "10.0.0.99".parse().unwrap(),
+            50000 + port,
+            port,
+        );
+        rt.net.inject(0x1, 2, syn);
+        settle(&mut rt, &mut lb, &mut fw);
+    }
+    println!("$ ls /net/security/blocked");
+    print!("{}", sh.run("ls /net/security/blocked").out);
+    println!("$ cat /net/security/blocked/10.0.0.66");
+    println!("{}", sh.run("cat /net/security/blocked/10.0.0.66").out);
+    println!("blocked sources: {:?}", fw.blocked);
+    assert_eq!(fw.blocked.len(), 1);
+
+    // And an admin adds a static rule with echo, like any other config.
+    sh.run("echo 'deny 10.9.0.0/16' > /net/security/rules");
+    settle(&mut rt, &mut lb, &mut fw);
+    println!("\nadmin ran: echo 'deny 10.9.0.0/16' > /net/security/rules");
+    println!("active rules: {:?}", fw.active_rules);
+}

@@ -1,0 +1,69 @@
+//! Middlebox state migration with coreutils (paper §7.2): scale a NAT out
+//! by `mv`-ing half its connection state to a new instance, and keep a warm
+//! standby with `cp -r` — no custom protocols.
+//!
+//! ```text
+//! cargo run --example middlebox
+//! ```
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use yanc::YancFs;
+use yanc_apps::{ConnState, MiddleboxInstance};
+use yanc_coreutils::Shell;
+use yanc_vfs::Filesystem;
+
+fn main() {
+    let fs = Arc::new(Filesystem::new());
+    let yfs = YancFs::init(fs.clone(), "/net").unwrap();
+    let mut sh = Shell::new(fs);
+
+    // One overloaded NAT instance with six connections.
+    let nat_a = MiddleboxInstance::new(yfs.clone(), "nat-a").unwrap();
+    for i in 1..=6u16 {
+        nat_a
+            .add_conn(
+                &format!("conn{i}"),
+                &ConnState {
+                    inside: (Ipv4Addr::new(192, 168, 1, 10 + i as u8 % 4), 5000 + i),
+                    outside: (Ipv4Addr::new(93, 184, 216, 34), 443),
+                    nat_port: 40000 + i,
+                    hits: 0,
+                },
+            )
+            .unwrap();
+    }
+    println!("nat-a state table (one directory per connection):");
+    print!("{}", sh.run("ls /net/middleboxes/nat-a/state").out);
+    print!("{}", sh.run("tree /net/middleboxes/nat-a/state/conn1").out);
+
+    // Scale out: spin up nat-b and migrate half the connections with mv.
+    let nat_b = MiddleboxInstance::new(yfs.clone(), "nat-b").unwrap();
+    println!("\nscaling out: mv conn1..conn3 to nat-b");
+    for i in 1..=3 {
+        let out = sh.run(&format!(
+            "mv /net/middleboxes/nat-a/state/conn{i} /net/middleboxes/nat-b/state/"
+        ));
+        assert!(out.success(), "{}", out.err);
+    }
+    println!("nat-a now owns: {:?}", nat_a.connections());
+    println!("nat-b now owns: {:?}", nat_b.connections());
+
+    // Both instances serve their shares immediately.
+    assert_eq!(nat_b.process("conn1"), Some(40001));
+    assert_eq!(nat_a.process("conn1"), None);
+    assert_eq!(nat_a.process("conn5"), Some(40005));
+    println!("nat-b serves conn1 (nat_port 40001); nat-a no longer does — migration complete");
+
+    // Warm standby via cp -r.
+    let _standby = MiddleboxInstance::new(yfs.clone(), "nat-standby").unwrap();
+    let out = sh.run("cp -r /net/middleboxes/nat-a/state /net/middleboxes/nat-standby/");
+    assert!(out.success(), "{}", out.err);
+    let standby = MiddleboxInstance::new(yfs, "nat-standby").unwrap();
+    println!(
+        "\nstandby cloned with cp -r: owns {:?} (hits preserved: conn5 hits = {})",
+        standby.connections(),
+        standby.lookup("conn5").unwrap().hits
+    );
+}

@@ -1,0 +1,48 @@
+//! The paper's §8 "simple static flow pusher shell script": declarative
+//! flow text compiled into `mkdir` + `echo` commands and executed through
+//! the coreutils shell.
+//!
+//! ```text
+//! cargo run --example static_flow_pusher
+//! ```
+
+use yanc_apps::flow_pusher::{parse_pusher_text, push, render_script};
+use yanc_coreutils::Shell;
+use yanc_driver::Runtime;
+use yanc_openflow::Version;
+
+const FLOWS: &str = "\
+# ssh to the servers goes out port 2 at high priority
+switch=sw1 flow=ssh priority=900 match.dl_type=0x0800 match.nw_proto=6 \\
+    match.tp_dst=22 action.out=2
+# ARP floods
+switch=sw1 flow=arp priority=800 match.dl_type=0x0806 action.out=flood
+# everything else to the controller
+switch=sw1 flow=punt priority=1 action.out=controller
+";
+
+fn main() {
+    let mut rt = Runtime::new();
+    let sw = rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_0], Version::V1_0);
+    rt.pump();
+    assert_eq!(sw, "sw1");
+
+    println!("flow description:\n{FLOWS}");
+    let entries = parse_pusher_text(FLOWS).unwrap();
+    println!("as shell commands:\n{}", render_script(&entries, "/net"));
+
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    let n = push(&mut sh, "/net", FLOWS).unwrap();
+    rt.pump();
+    println!(
+        "pushed {n} flows; switch hardware now has {} entries",
+        rt.net.switches[&0x1].flow_count()
+    );
+
+    println!("\n$ ls /net/switches/sw1/flows");
+    print!("{}", sh.run("ls /net/switches/sw1/flows").out);
+    println!("\n$ find /net -name tp_dst -exec cat");
+    let out = sh.run("find /net -name 'match.tp_dst' -exec cat");
+    print!("{}", out.out);
+    assert_eq!(rt.net.switches[&0x1].flow_count(), 3);
+}

@@ -1,0 +1,107 @@
+//! E10: the paper's §5.4 shell one-liners, run verbatim against a live,
+//! driver-managed network.
+
+use yanc::FlowSpec;
+use yanc_coreutils::Shell;
+use yanc_driver::Runtime;
+use yanc_openflow::{Action, FlowMatch, Version};
+
+fn world() -> (Runtime, Shell) {
+    let mut rt = Runtime::new();
+    for d in 1..=3u64 {
+        rt.add_switch_with_driver(d, 4, 1, vec![Version::V1_0], Version::V1_0);
+    }
+    rt.pump();
+    // An ssh flow on sw1 and sw3 so the find example has something to find.
+    for sw in ["sw1", "sw3"] {
+        let spec = FlowSpec {
+            m: FlowMatch {
+                dl_type: Some(0x0800),
+                nw_proto: Some(6),
+                tp_dst: Some(22),
+                ..Default::default()
+            },
+            actions: vec![Action::out(2)],
+            ..Default::default()
+        };
+        rt.yfs.write_flow(sw, "ssh_fwd", &spec).unwrap();
+    }
+    rt.pump();
+    let sh = Shell::new(rt.yfs.filesystem().clone());
+    (rt, sh)
+}
+
+#[test]
+fn paper_ls_l_net_switches() {
+    // "$ ls -l /net/switches"
+    let (_rt, mut sh) = world();
+    let out = sh.run("ls -l /net/switches");
+    assert!(out.success());
+    let lines: Vec<&str> = out.out.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for (i, l) in lines.iter().enumerate() {
+        assert!(l.starts_with('d'), "switches are directories: {l}");
+        assert!(l.ends_with(&format!("sw{}", i + 1)));
+    }
+}
+
+#[test]
+fn paper_find_tp_dst_grep_22() {
+    // "$ find /net -name tp.dst -exec grep 22" — our field files are named
+    // match.tp_dst; the command shape is identical.
+    let (_rt, mut sh) = world();
+    let out = sh.run("find /net -name match.tp_dst -exec grep -H 22");
+    assert!(
+        out.out
+            .contains("/net/switches/sw1/flows/ssh_fwd/match.tp_dst:22"),
+        "{}",
+        out.out
+    );
+    assert!(out
+        .out
+        .contains("/net/switches/sw3/flows/ssh_fwd/match.tp_dst:22"));
+    assert!(!out.out.contains("sw2"));
+}
+
+#[test]
+fn shell_script_admin_session() {
+    // A small admin session as a script: inventory, inspect, reconfigure.
+    let (mut rt, mut sh) = world();
+    let script = "\
+# how many switches do we have?
+ls /net/switches | wc -l
+# what protocol does sw2 speak?
+cat /net/switches/sw2/protocol
+# kill sw2's port 3
+echo 1 > /net/switches/sw2/ports/p3/config.port_down
+";
+    let out = sh.run_script(script);
+    assert!(out.success(), "{}", out.err);
+    assert!(out.out.contains('3'));
+    assert!(out.out.contains("OpenFlow 1.0"));
+    rt.pump();
+    assert!(rt.net.switches[&2].ports[&3].config_down);
+}
+
+#[test]
+fn pipeline_composition() {
+    let (_rt, mut sh) = world();
+    // Which flows exist, fabric-wide, sorted and deduplicated?
+    let out = sh.run("find /net -type d -name 'ssh*' | sort | uniq | wc -l");
+    assert_eq!(out.out.trim(), "2");
+    // grep -r across the whole tree.
+    let out = sh.run("grep -r 0x0800 /net");
+    assert!(out.out.lines().count() >= 2);
+}
+
+#[test]
+fn cron_style_auditor_run() {
+    // "an auditor might run periodically via a cron job" — run it, read
+    // its report with cat.
+    let (rt, mut sh) = world();
+    yanc_apps::audit(&rt.yfs).unwrap();
+    let out = sh.run("cat /net/audit.log");
+    assert!(out.out.contains("3 switches"), "{}", out.out);
+    assert!(out.out.contains("2 flows"));
+    assert!(out.out.contains("0 findings"));
+}

@@ -1,0 +1,105 @@
+//! §7.1 "Network controller, or network device?" — Kandoo-style
+//! device-local control. The paper: vendors ship switches running Linux;
+//! "these devices can run yanc and participate in a distributed file
+//! system … software running on a switch can make a change locally and
+//! this will be seen by remote servers."
+//!
+//! Node 0 of the cluster *is* the device: its runtime hosts the switch,
+//! and a local learning-switch app handles misses right on the box. A
+//! remote operator node sees everything the device does (flows, counters)
+//! through the shared tree, and can inject policy (a firewall rule) that
+//! the device's driver enforces — no bespoke device↔controller protocol,
+//! just the replicated file system.
+
+use yanc::{FlowSpec, YancFs};
+use yanc_apps::LearningSwitch;
+use yanc_dfs::{Backend, Cluster};
+use yanc_driver::Runtime;
+use yanc_openflow::{FlowMatch, Ipv4Prefix, Version};
+use yanc_vfs::Credentials;
+
+fn settle(rt: &mut Runtime, app: &mut LearningSwitch, cluster: &mut Cluster) {
+    loop {
+        let a = rt.pump();
+        let b = app.run_once();
+        let c = cluster.pump();
+        if a <= 1 && !b && c == 0 {
+            break;
+        }
+    }
+}
+
+#[test]
+fn device_local_app_with_remote_visibility_and_policy() {
+    let mut cluster = Cluster::new(2, Backend::Dht, 100, "/net");
+    YancFs::init(cluster.nodes[1].fs.clone(), "/net").unwrap();
+
+    // Node 0 is the device: switch + driver + local control app.
+    let mut rt = Runtime::with_fs(cluster.nodes[0].fs.clone());
+    rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_3], Version::V1_3);
+    let h1 = rt.net.add_host("h1", "10.0.0.1".parse().unwrap());
+    let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
+    rt.net.attach_host(h1, (0x1, 1), None);
+    rt.net.attach_host(h2, (0x1, 2), None);
+    rt.pump();
+    let mut local_app = LearningSwitch::new(rt.yfs.clone()).unwrap();
+
+    // Local traffic is handled entirely on the device.
+    rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 1);
+    settle(&mut rt, &mut local_app, &mut cluster);
+    assert_eq!(rt.net.hosts[&h1].ping_replies.len(), 1);
+    assert!(local_app.flows_installed >= 1);
+
+    // The remote operator node sees the device's flows through the DFS.
+    let remote = YancFs::new(cluster.nodes[1].fs.clone(), "/net");
+    let remote_flows = remote.list_flows("sw1").unwrap();
+    assert!(
+        remote_flows.iter().any(|f| f.starts_with("l2_")),
+        "device-installed flows visible remotely: {remote_flows:?}"
+    );
+
+    // The remote operator pushes policy: block h1 as a source. The change
+    // replicates to the device, whose driver installs it — "work under the
+    // direction of [the] global network view".
+    let deny = FlowSpec {
+        m: FlowMatch {
+            dl_type: Some(0x0800),
+            nw_src: Some(Ipv4Prefix::host("10.0.0.1".parse().unwrap())),
+            ..Default::default()
+        },
+        actions: Vec::new(),
+        priority: 60000,
+        ..Default::default()
+    };
+    remote.write_flow("sw1", "deny_h1", &deny).unwrap();
+    settle(&mut rt, &mut local_app, &mut cluster);
+    assert!(rt
+        .yfs
+        .list_flows("sw1")
+        .unwrap()
+        .contains(&"deny_h1".to_string()));
+
+    // New h1 connections die in hardware, on the device, with no
+    // controller round trip.
+    let replies_before = rt.net.hosts[&h1].ping_replies.len();
+    rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 2);
+    settle(&mut rt, &mut local_app, &mut cluster);
+    assert_eq!(
+        rt.net.hosts[&h1].ping_replies.len(),
+        replies_before,
+        "policy enforced"
+    );
+
+    // And the device's own bookkeeping flows back to the operator: counters
+    // polled on the device are readable remotely.
+    rt.poll_stats();
+    settle(&mut rt, &mut local_app, &mut cluster);
+    let remote_count = remote.filesystem().read_to_string(
+        "/net/switches/sw1/counters/flow_packets",
+        &Credentials::root(),
+    );
+    assert!(
+        remote_count.is_ok(),
+        "device counters replicate to the operator"
+    );
+}

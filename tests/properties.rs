@@ -1,0 +1,282 @@
+//! Property-based tests over the core data structures and invariants:
+//! path resolution vs a model, flow-spec file-codec roundtrips, OpenFlow
+//! wire-codec roundtrips for both versions, match subsumption laws, and
+//! DFS convergence under arbitrary concurrent writes.
+
+use proptest::prelude::*;
+
+use yanc::FlowSpec;
+use yanc_dfs::{Backend, Cluster};
+use yanc_openflow::FrameCodec;
+use yanc_openflow::{decode, encode, Action, FlowMatch, FlowMod, Ipv4Prefix, Message, Version};
+use yanc_packet::MacAddr;
+use yanc_vfs::{Credentials, Filesystem, Mode};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    proptest::array::uniform6(any::<u8>()).prop_map(MacAddr)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    // /0 is excluded: it is semantically the full wildcard, which the
+    // codecs rightly canonicalize to an absent field.
+    (any::<u32>(), 1u8..=32).prop_map(|(addr, len)| {
+        // Canonicalize: host bits cleared, so Display/parse roundtrips.
+        let masked = if len == 0 {
+            0
+        } else {
+            addr & (u32::MAX << (32 - u32::from(len)))
+        };
+        Ipv4Prefix {
+            addr: masked.into(),
+            prefix_len: len,
+        }
+    })
+}
+
+prop_compose! {
+    fn arb_match()(
+        in_port in proptest::option::of(1u16..1000),
+        dl_src in proptest::option::of(arb_mac()),
+        dl_dst in proptest::option::of(arb_mac()),
+        dl_vlan in proptest::option::of(0u16..4095),
+        dl_vlan_pcp in proptest::option::of(0u8..8),
+        dl_type in proptest::option::of(prop_oneof![Just(0x0800u16), Just(0x0806), Just(0x88cc)]),
+        nw_tos in proptest::option::of((0u8..64).prop_map(|v| v << 2)),
+        nw_proto in proptest::option::of(prop_oneof![Just(1u8), Just(6), Just(17)]),
+        nw_src in proptest::option::of(arb_prefix()),
+        nw_dst in proptest::option::of(arb_prefix()),
+        tp_src in proptest::option::of(any::<u16>()),
+        tp_dst in proptest::option::of(any::<u16>()),
+    ) -> FlowMatch {
+        FlowMatch {
+            in_port, dl_src, dl_dst, dl_vlan, dl_vlan_pcp, dl_type,
+            nw_tos, nw_proto, nw_src, nw_dst, tp_src, tp_dst,
+        }
+    }
+}
+
+/// A match that satisfies OpenFlow 1.3 OXM prerequisites.
+fn arb_match_v13() -> impl Strategy<Value = FlowMatch> {
+    arb_match().prop_map(|mut m| {
+        // Transport fields require tcp/udp/icmp; network fields require
+        // IPv4/ARP ethertype; pcp requires a vlan.
+        if m.tp_src.is_some() || m.tp_dst.is_some() {
+            m.dl_type = Some(0x0800);
+            if !matches!(m.nw_proto, Some(1) | Some(6) | Some(17)) {
+                m.nw_proto = Some(6);
+            }
+            if m.nw_proto == Some(1) {
+                // ICMP type/code are u8 on the wire.
+                m.tp_src = m.tp_src.map(|v| v & 0xff);
+                m.tp_dst = m.tp_dst.map(|v| v & 0xff);
+            }
+        } else if m.nw_src.is_some()
+            || m.nw_dst.is_some()
+            || m.nw_proto.is_some()
+            || m.nw_tos.is_some()
+        {
+            if !matches!(m.dl_type, Some(0x0800) | Some(0x0806)) {
+                m.dl_type = Some(0x0800);
+            }
+            if m.dl_type == Some(0x0806) {
+                m.nw_tos = None;
+            }
+        }
+        if m.dl_vlan_pcp.is_some() && m.dl_vlan.is_none() {
+            m.dl_vlan = Some(1);
+        }
+        m
+    })
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u16..100).prop_map(Action::out),
+            (0u16..4095).prop_map(Action::SetVlanVid),
+            (0u8..8).prop_map(Action::SetVlanPcp),
+            Just(Action::StripVlan),
+            arb_mac().prop_map(Action::SetDlSrc),
+            arb_mac().prop_map(Action::SetDlDst),
+            any::<u32>().prop_map(|v| Action::SetNwSrc(v.into())),
+            any::<u32>().prop_map(|v| Action::SetNwDst(v.into())),
+            (0u8..64).prop_map(|v| Action::SetNwTos(v << 2)),
+            any::<u16>().prop_map(Action::SetTpSrc),
+            any::<u16>().prop_map(Action::SetTpDst),
+            (1u16..100, any::<u32>())
+                .prop_map(|(port, queue_id)| Action::Enqueue { port, queue_id }),
+        ],
+        0..6,
+    )
+}
+
+// ---------------------------------------------------------------------
+// OpenFlow codec roundtrips (E17)
+// ---------------------------------------------------------------------
+
+fn wire_roundtrip(v: Version, msg: &Message) -> Message {
+    let bytes = encode(v, msg, 42).unwrap();
+    let mut c = FrameCodec::new();
+    c.feed(&bytes);
+    let frame = c.next_frame().unwrap().unwrap();
+    decode(&frame).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn v10_flow_mod_roundtrips(m in arb_match(), actions in arb_actions(),
+                               priority in any::<u16>(), cookie in any::<u64>()) {
+        let fm = FlowMod { cookie, priority, actions, ..FlowMod::add(m, 0, vec![]) };
+        let fm = FlowMod { m, ..fm };
+        let got = wire_roundtrip(Version::V1_0, &Message::FlowMod(fm.clone()));
+        prop_assert_eq!(got, Message::FlowMod(fm));
+    }
+
+    #[test]
+    fn v13_flow_mod_roundtrips(m in arb_match_v13(), actions in arb_actions(),
+                               priority in any::<u16>(), table in 0u8..4) {
+        let mut fm = FlowMod::add(m, priority, actions);
+        fm.table_id = table;
+        fm.goto_table = if table < 3 { Some(table + 1) } else { None };
+        let got = wire_roundtrip(Version::V1_3, &Message::FlowMod(fm.clone()));
+        prop_assert_eq!(got, Message::FlowMod(fm));
+    }
+
+    #[test]
+    fn both_versions_packet_out_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256),
+                                          in_port in 1u16..100, actions in arb_actions()) {
+        for v in [Version::V1_0, Version::V1_3] {
+            let msg = Message::PacketOut {
+                buffer_id: None,
+                in_port,
+                actions: actions.clone(),
+                data: bytes::Bytes::from(data.clone()),
+            };
+            prop_assert_eq!(wire_roundtrip(v, &msg), msg);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Flow file codec (E4 substrate)
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn flowspec_files_roundtrip(m in arb_match(), actions in arb_actions(),
+                                priority in any::<u16>(), idle in any::<u16>(),
+                                hard in any::<u16>(), cookie in any::<u64>(),
+                                version in 1u64..1000) {
+        // The file codec canonicalizes action order; apply it first so the
+        // roundtrip target is the canonical form.
+        let canon = FlowSpec::from_files(
+            FlowSpec { m, actions, priority, idle_timeout: idle, hard_timeout: hard,
+                       cookie, goto_table: None, version }
+                .to_files().iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        ).unwrap();
+        let files = canon.to_files();
+        let view: Vec<(&str, &str)> = files.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let again = FlowSpec::from_files(view).unwrap();
+        prop_assert_eq!(again, canon);
+    }
+
+    // -----------------------------------------------------------------
+    // Match laws
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn subsumption_is_reflexive_and_any_is_top(m in arb_match()) {
+        prop_assert!(m.subsumes(&m));
+        prop_assert!(FlowMatch::any().subsumes(&m));
+    }
+
+    #[test]
+    fn intersection_is_subsumed_by_both(a in arb_match(), b in arb_match()) {
+        if let Some(i) = yanc_apps::intersect(&a, &b) {
+            prop_assert!(a.subsumes(&i), "a={a:?} i={i:?}");
+            prop_assert!(b.subsumes(&i), "b={b:?} i={i:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_commutes(a in arb_match(), b in arb_match()) {
+        prop_assert_eq!(yanc_apps::intersect(&a, &b), yanc_apps::intersect(&b, &a));
+    }
+
+    // -----------------------------------------------------------------
+    // VFS path resolution vs a flat model
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn vfs_matches_model(ops in proptest::collection::vec(
+        (prop_oneof![Just("a"), Just("b"), Just("c")],
+         prop_oneof![Just("x"), Just("y")],
+         proptest::collection::vec(any::<u8>(), 0..8),
+         any::<bool>()),
+        1..40,
+    )) {
+        // Model: map of 2-level paths to contents.
+        let fs = Filesystem::new();
+        let creds = Credentials::root();
+        let mut model: std::collections::BTreeMap<String, Vec<u8>> = Default::default();
+        for (d, f, data, delete) in ops {
+            let dir = format!("/{d}");
+            let path = format!("/{d}/{f}");
+            if delete {
+                let _ = fs.unlink(&path, &creds);
+                model.remove(&path);
+            } else {
+                let _ = fs.mkdir_all(&dir, Mode::DIR_DEFAULT, &creds);
+                fs.write_file(&path, &data, &creds).unwrap();
+                model.insert(path, data);
+            }
+        }
+        for (path, want) in &model {
+            prop_assert_eq!(&fs.read_file(path, &creds).unwrap(), want);
+        }
+        // Nothing extra: directory listings match the model's keys.
+        for d in ["a", "b", "c"] {
+            let have: Vec<String> = fs
+                .readdir(&format!("/{d}"), &creds)
+                .map(|es| es.into_iter().map(|e| format!("/{d}/{}", e.name)).collect())
+                .unwrap_or_default();
+            let want: Vec<String> =
+                model.keys().filter(|k| k.starts_with(&format!("/{d}/"))).cloned().collect();
+            prop_assert_eq!(have, want);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // DFS convergence (E12)
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn dfs_converges_under_arbitrary_writes(
+        writes in proptest::collection::vec(
+            (0usize..3, prop_oneof![Just("k1"), Just("k2"), Just("k3")], any::<u8>()),
+            1..30,
+        ),
+        backend_sel in 0u8..3,
+    ) {
+        let backend = match backend_sel {
+            0 => Backend::Central { primary: 0 },
+            1 => Backend::Dht,
+            _ => Backend::Policy,
+        };
+        let mut cluster = Cluster::new(3, backend, 10, "/net");
+        for (node, key, val) in writes {
+            cluster.nodes[node]
+                .fs
+                .write_file(&format!("/net/{key}"), &[val], &Credentials::root())
+                .unwrap();
+        }
+        cluster.pump();
+        for key in ["k1", "k2", "k3"] {
+            prop_assert!(cluster.converged(&format!("/net/{key}")), "{key} diverged");
+        }
+    }
+}

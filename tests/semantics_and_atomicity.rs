@@ -1,0 +1,183 @@
+//! E3 + E4: semantic directories (§3.1) and atomic multi-file flow commits
+//! through the `version` file (§3.4), exercised end to end against a
+//! driver-managed switch.
+
+use yanc_coreutils::Shell;
+use yanc_driver::Runtime;
+use yanc_openflow::Version;
+use yanc_vfs::{Errno, Mode};
+
+fn rt_with_switch(v: Version) -> Runtime {
+    let mut rt = Runtime::new();
+    rt.add_switch_with_driver(0xa, 4, 2, vec![v], v);
+    let h = rt.net.add_host("h1", "10.0.0.1".parse().unwrap());
+    rt.net.attach_host(h, (0xa, 1), None);
+    rt.pump();
+    rt
+}
+
+#[test]
+fn e3_echo_port_down_reaches_hardware() {
+    let mut rt = rt_with_switch(Version::V1_0);
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    // The paper's §3.1 example, verbatim (modulo the absolute path).
+    let out = sh.run("echo 1 > /net/switches/swa/ports/p2/config.port_down");
+    assert!(out.success(), "{}", out.err);
+    rt.pump();
+    assert!(rt.net.switches[&0xa].ports[&2].config_down);
+    sh.run("echo 0 > /net/switches/swa/ports/p2/config.port_down");
+    rt.pump();
+    assert!(!rt.net.switches[&0xa].ports[&2].config_down);
+}
+
+#[test]
+fn e3_semantic_mkdir_of_views_and_flows() {
+    let rt = rt_with_switch(Version::V1_0);
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    // "mkdir views/new_view will create … hosts, switches, and views".
+    assert!(sh.run("mkdir /net/views/new_view").success());
+    assert_eq!(
+        sh.run("ls /net/views/new_view").out,
+        "hosts\nswitches\nviews\n"
+    );
+    // mkdir of a flow creates the version file (the commit cell).
+    assert!(sh.run("mkdir /net/switches/swa/flows/f1").success());
+    assert_eq!(sh.run("cat /net/switches/swa/flows/f1/version").out, "0");
+}
+
+#[test]
+fn e3_recursive_switch_rmdir() {
+    let mut rt = rt_with_switch(Version::V1_0);
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    sh.run("mkdir /net/switches/swa/flows/f1");
+    sh.run("echo flood > /net/switches/swa/flows/f1/action.out");
+    // "the rmdir() call for switches is automatically recursive."
+    assert!(sh.run("rmdir /net/switches/swa").success());
+    assert!(!rt
+        .yfs
+        .filesystem()
+        .exists("/net/switches/swa", rt.yfs.creds()));
+    rt.pump();
+}
+
+#[test]
+fn e3_schema_validation_rejects_nonsense() {
+    let rt = rt_with_switch(Version::V1_0);
+    let fs = rt.yfs.filesystem();
+    // Unknown flow fields are EINVAL at create time.
+    fs.mkdir(
+        "/net/switches/swa/flows/f",
+        Mode::DIR_DEFAULT,
+        rt.yfs.creds(),
+    )
+    .unwrap();
+    let e = fs
+        .write_file(
+            "/net/switches/swa/flows/f/match.quantum_state",
+            b"up",
+            rt.yfs.creds(),
+        )
+        .unwrap_err();
+    assert_eq!(e.errno, Errno::EINVAL);
+    // peer links must point at ports.
+    let e = fs
+        .symlink(
+            "/net/switches/swa",
+            "/net/switches/swa/ports/p1/peer",
+            rt.yfs.creds(),
+        )
+        .unwrap_err();
+    assert_eq!(e.errno, Errno::EINVAL);
+}
+
+#[test]
+fn e4_commit_is_atomic_with_respect_to_the_driver() {
+    // Write a flow field by field, pumping the driver between every write:
+    // nothing may reach hardware until the version bump, and then exactly
+    // the final state must.
+    let mut rt = rt_with_switch(Version::V1_3);
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    sh.run("mkdir /net/switches/swa/flows/staged");
+    let fields = [
+        ("match.dl_type", "0x0800"),
+        ("match.nw_proto", "6"),
+        ("match.nw_src", "10.0.0.0/24"),
+        ("match.nw_dst", "10.1.0.0/16"),
+        ("match.tp_dst", "22"),
+        ("priority", "900"),
+        ("idle_timeout", "30"),
+        ("action.set_nw_tos", "32"),
+        ("action.out", "2"),
+    ];
+    for (k, v) in fields {
+        assert!(sh
+            .run(&format!("echo {v} > /net/switches/swa/flows/staged/{k}"))
+            .success());
+        rt.pump();
+        assert_eq!(
+            rt.net.switches[&0xa].flow_count(),
+            0,
+            "driver acted before the version bump (after writing {k})"
+        );
+    }
+    // Commit.
+    sh.run("echo 1 > /net/switches/swa/flows/staged/version");
+    rt.pump();
+    assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
+    let entry = rt.net.switches[&0xa]
+        .table(0)
+        .unwrap()
+        .iter()
+        .next()
+        .unwrap()
+        .clone();
+    assert_eq!(entry.priority, 900);
+    assert_eq!(entry.m.tp_dst, Some(22));
+    assert_eq!(entry.m.nw_src.unwrap().prefix_len, 24);
+    assert_eq!(entry.idle_timeout, 30);
+    assert_eq!(entry.actions.len(), 2); // set_nw_tos + output
+}
+
+#[test]
+fn e4_recommit_replaces_switch_state() {
+    let mut rt = rt_with_switch(Version::V1_3);
+    let y = &rt.yfs;
+    let spec = yanc::FlowSpec {
+        m: yanc_openflow::FlowMatch {
+            dl_type: Some(0x0800),
+            nw_proto: Some(6),
+            tp_dst: Some(22),
+            ..Default::default()
+        },
+        actions: vec![yanc_openflow::Action::out(2)],
+        priority: 700,
+        ..Default::default()
+    };
+    y.write_flow("swa", "f", &spec).unwrap();
+    rt.pump();
+    assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
+    // Rewrite with a different match: old hardware entry must be replaced,
+    // not accumulated.
+    let spec2 = yanc::FlowSpec {
+        m: yanc_openflow::FlowMatch {
+            dl_type: Some(0x0800),
+            nw_proto: Some(6),
+            tp_dst: Some(23),
+            ..Default::default()
+        },
+        actions: vec![yanc_openflow::Action::out(3)],
+        priority: 700,
+        ..Default::default()
+    };
+    rt.yfs.write_flow("swa", "f", &spec2).unwrap();
+    rt.pump();
+    assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
+    let entry = rt.net.switches[&0xa]
+        .table(0)
+        .unwrap()
+        .iter()
+        .next()
+        .unwrap()
+        .clone();
+    assert_eq!(entry.m.tp_dst, Some(23));
+}
