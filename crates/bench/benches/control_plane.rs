@@ -47,16 +47,34 @@ fn spec_with_fields(k: usize) -> FlowSpec {
 fn bench_flow_commit(c: &mut Criterion) {
     println!("\nE4: syscalls per flow commit, by populated match-field count");
     println!("{:>8} {:>10}", "fields", "syscalls");
+    let mut rows: Vec<(usize, u64)> = Vec::new();
+    let mut last_rt = None;
     for k in [1usize, 4, 7, 10] {
         let mut rt = Runtime::new();
         rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
         rt.pump();
+        rt.enable_introspection().unwrap();
         let before = rt.yfs.filesystem().counters().snapshot();
         rt.yfs.write_flow("sw1", "f", &spec_with_fields(k)).unwrap();
         let used = rt.yfs.filesystem().counters().snapshot().since(&before);
         println!("{k:>8} {:>10}", used.total());
+        rows.push((k, used.total()));
+        last_rt = Some(rt);
     }
     println!();
+    // Leave a machine-readable artifact next to EXPERIMENTS.md: the E4
+    // table plus full syscall/latency metrics from the k=10 run.
+    let table = rows
+        .iter()
+        .map(|(k, n)| format!("{{\"fields\": {k}, \"syscalls\": {n}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let rt = last_rt.expect("E4 ran at least once");
+    yanc_harness::write_bench_report(
+        "control_plane",
+        rt.yfs.filesystem(),
+        &[("commit_syscalls", format!("[{table}]"))],
+    );
 
     let mut g = c.benchmark_group("flow_commit_e2e");
     g.sample_size(10);

@@ -122,6 +122,27 @@ impl YancFs {
         Ok(y)
     }
 
+    /// Mount the read-only introspection tree at `<root>/.proc` and scope
+    /// the vfs's syscall accounting to this mount's subtree — controller
+    /// state *about* the controller is just more files (paper §3.1 taken to
+    /// its conclusion, Linux-`/proc`-style). Idempotent.
+    pub fn enable_introspection(&self) -> YancResult<()> {
+        let scope = self.root.as_str().trim_matches('/').replace('/', "_");
+        let scope = if scope.is_empty() {
+            "root".into()
+        } else {
+            scope
+        };
+        self.fs.add_metrics_scope(&scope, self.root.as_str());
+        self.fs.mount_proc(self.proc_dir().as_str())?;
+        Ok(())
+    }
+
+    /// `<root>/.proc` — the introspection mount point.
+    pub fn proc_dir(&self) -> VPath {
+        self.root.join(".proc")
+    }
+
     /// The same tree accessed as different credentials (for permission
     /// experiments: each yanc app is its own user).
     pub fn with_creds(&self, creds: Credentials) -> YancFs {
@@ -781,6 +802,37 @@ mod tests {
         assert_eq!(y.read_counter(&dir, "rx_packets"), 0);
         y.write_counter(&dir, "rx_packets", 42).unwrap();
         assert_eq!(y.read_counter(&dir, "rx_packets"), 42);
+    }
+
+    #[test]
+    fn introspection_mount_tracks_the_tree() {
+        let y = yfs();
+        y.enable_introspection().unwrap();
+        y.enable_introspection().unwrap(); // idempotent
+        y.create_switch("sw1", 1, 0, 0, 0, 1).unwrap();
+        let total: u64 = y
+            .filesystem()
+            .read_to_string("/net/.proc/vfs/syscalls/total", y.creds())
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(total, y.filesystem().counters().total());
+        // The scoped counters saw the switch creation under /net.
+        let scoped: u64 = y
+            .filesystem()
+            .read_to_string("/net/.proc/scopes/net/total", y.creds())
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(scoped > 0 && scoped <= total);
+        // The mount is read-only even through the façade's credentials.
+        let e = y
+            .filesystem()
+            .write_file("/net/.proc/vfs/syscalls/total", b"0", y.creds())
+            .unwrap_err();
+        assert_eq!(e.errno, yanc_vfs::Errno::EROFS);
     }
 
     #[test]

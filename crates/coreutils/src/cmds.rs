@@ -557,6 +557,37 @@ pub fn stat_cmd(sh: &Shell, args: &[&str]) -> Output {
     Output::ok(out)
 }
 
+/// `stats [proc-dir…]` — flatten an introspection tree (default
+/// `/net/.proc`) into sorted `path: value` lines. Reading each file
+/// triggers the proc refresh hook, so values are current.
+pub fn stats(sh: &Shell, args: &[&str]) -> Output {
+    let mut roots: Vec<&str> = flagless(args).collect();
+    if roots.is_empty() {
+        roots.push("/net/.proc");
+    }
+    let mut out = String::new();
+    for root in roots {
+        let vp = sh.resolve(root);
+        if sh.namespace().stat(vp.as_str(), sh.creds()).is_err() {
+            return Output::fail(format!("stats: {vp}: no such introspection tree"));
+        }
+        let mut files: Vec<VPath> = Vec::new();
+        walk(sh, &vp, &mut |p, ft| {
+            if ft == FileType::Regular {
+                files.push(p.clone());
+            }
+        });
+        files.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        for f in files {
+            match sh.namespace().read_to_string(f.as_str(), sh.creds()) {
+                Ok(v) => out.push_str(&format!("{}: {}\n", f, v.trim_end())),
+                Err(e) => out.push_str(&format!("{}: <{}>\n", f, e)),
+            }
+        }
+    }
+    Output::ok(out)
+}
+
 /// `readlink path`.
 pub fn readlink(sh: &Shell, args: &[&str]) -> Output {
     let p = match flagless(args).next() {

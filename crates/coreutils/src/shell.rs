@@ -227,6 +227,7 @@ impl Shell {
             "cp" => cmds::cp(self, &args),
             "touch" => cmds::touch(self, &args),
             "stat" => cmds::stat_cmd(self, &args),
+            "stats" => cmds::stats(self, &args),
             "readlink" => cmds::readlink(self, &args),
             "chmod" => cmds::chmod(self, &args),
             "chown" => cmds::chown(self, &args),
@@ -387,6 +388,29 @@ mod tests {
         assert_eq!(split_pipeline("a | b | c").len(), 3);
         assert_eq!(split_pipeline("echo 'a|b' | wc -l").len(), 2);
         assert_eq!(split_pipeline("").len(), 0);
+    }
+
+    #[test]
+    fn stats_flattens_the_proc_tree() {
+        let fs = Arc::new(Filesystem::new());
+        let creds = Credentials::root();
+        fs.mkdir_all("/net", Mode::DIR_DEFAULT, &creds).unwrap();
+        fs.mount_proc("/net/.proc").unwrap();
+        let mut s = Shell::new(fs.clone());
+        s.run("mkdir /net/switches");
+        let out = s.run("stats");
+        assert!(out.success(), "{}", out.err);
+        let total = format!("/net/.proc/vfs/syscalls/total: {}", fs.counters().total());
+        assert!(
+            out.out.contains(&total),
+            "missing `{total}` in:\n{}",
+            out.out
+        );
+        assert!(out.out.contains("/net/.proc/vfs/syscalls/mkdir: "));
+        assert!(out.out.contains("/net/.proc/vfs/latency/mkdir: count="));
+        // Explicit root works too; a non-proc path fails cleanly.
+        assert!(s.run("stats /net/.proc").success());
+        assert!(!s.run("stats /net/nope").success());
     }
 
     #[test]

@@ -398,15 +398,11 @@ impl Network {
         let mut moved = false;
         let dpids: Vec<u64> = self.control.keys().copied().collect();
         for dpid in dpids {
-            loop {
-                let bytes = match self
-                    .control
-                    .get(&dpid)
-                    .and_then(|w| w.from_ctrl.try_recv().ok())
-                {
-                    Some(b) => b,
-                    None => break,
-                };
+            while let Some(bytes) = self
+                .control
+                .get(&dpid)
+                .and_then(|w| w.from_ctrl.try_recv().ok())
+            {
                 moved = true;
                 self.stats.control_deliveries += 1;
                 let now_s = self.now_s();

@@ -22,11 +22,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use yanc_vfs::{Credentials, Filesystem, Mode, VPath};
+use yanc_vfs::{Credentials, Filesystem, Mode, VPath, VfsResult};
 
-use crate::node::Node;
+use crate::node::{Node, NodeStats};
 use crate::op::SyncOp;
 
 /// Replication strategy.
@@ -50,6 +51,15 @@ pub struct ClusterStats {
     pub messages: u64,
     /// Ops routed through an ordering node (primary/owner).
     pub forwarded: u64,
+}
+
+/// Atomic mirror of [`ClusterStats`] plus the last observed convergence
+/// lag, refreshed after every [`Cluster::pump`] for proc rendering.
+#[derive(Debug, Default)]
+struct SharedClusterStats {
+    messages: AtomicU64,
+    forwarded: AtomicU64,
+    last_lag_us: AtomicU64,
 }
 
 struct InFlight {
@@ -95,6 +105,7 @@ pub struct Cluster {
     pub stats: ClusterStats,
     /// Nodes currently partitioned/crashed (deliveries dropped).
     down: Vec<bool>,
+    shared: Arc<SharedClusterStats>,
 }
 
 impl Cluster {
@@ -118,6 +129,7 @@ impl Cluster {
             seq: 0,
             stats: ClusterStats::default(),
             down: vec![false; n],
+            shared: Arc::new(SharedClusterStats::default()),
         }
     }
 
@@ -149,7 +161,57 @@ impl Cluster {
             seq: 0,
             stats: ClusterStats::default(),
             down: vec![false; n],
+            shared: Arc::new(SharedClusterStats::default()),
         }
+    }
+
+    /// Mount `<root>/.proc` on every node's replica and expose each node's
+    /// replication totals plus cluster aggregates beneath
+    /// `<root>/.proc/dfs`. The proc trees are node-local: refresh writes
+    /// raise no notify events, so they are never replicated. Idempotent.
+    pub fn enable_introspection(&self) -> VfsResult<()> {
+        let proc = self.root.join(".proc");
+        let base = proc.join("dfs");
+        for node in &self.nodes {
+            node.fs.mount_proc(proc.as_str())?;
+            let id = node.id;
+            node.fs
+                .proc_file(base.join("node_id").as_str(), move || format!("{id}\n"))?;
+            type NodeGetter = fn(&NodeStats) -> &AtomicU64;
+            let per_node: [(&str, NodeGetter); 3] = [
+                ("ops_out", |s| &s.ops_out),
+                ("ops_in", |s| &s.ops_in),
+                ("lww_drops", |s| &s.lww_drops),
+            ];
+            for (file, get) in per_node {
+                let st = node.stats();
+                node.fs.proc_file(base.join(file).as_str(), move || {
+                    format!("{}\n", get(&st).load(Ordering::Relaxed))
+                })?;
+            }
+            type ClusterGetter = fn(&SharedClusterStats) -> &AtomicU64;
+            let aggregates: [(&str, ClusterGetter); 3] = [
+                ("cluster/messages", |s| &s.messages),
+                ("cluster/forwarded", |s| &s.forwarded),
+                ("cluster/convergence_lag_us", |s| &s.last_lag_us),
+            ];
+            for (file, get) in aggregates {
+                let sh = self.shared.clone();
+                node.fs.proc_file(base.join_path(file).as_str(), move || {
+                    format!("{}\n", get(&sh).load(Ordering::Relaxed))
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn sync_shared(&self) {
+        self.shared
+            .messages
+            .store(self.stats.messages, Ordering::Relaxed);
+        self.shared
+            .forwarded
+            .store(self.stats.forwarded, Ordering::Relaxed);
     }
 
     /// Virtual time.
@@ -294,12 +356,14 @@ impl Cluster {
                 }
             }
         }
+        self.sync_shared();
         delivered
     }
 
     /// Write a file on one node and return the virtual time until every
     /// live node can read it — the visibility-latency probe used by the
-    /// benchmarks.
+    /// benchmarks. The lag is also mirrored to
+    /// `<root>/.proc/dfs/cluster/convergence_lag_us`.
     pub fn timed_write(&mut self, node: usize, path: &str, data: &[u8]) -> u64 {
         let start = self.now_us;
         self.nodes[node]
@@ -307,7 +371,9 @@ impl Cluster {
             .write_file(path, data, &Credentials::root())
             .expect("write on origin");
         self.pump();
-        self.now_us - start
+        let lag = self.now_us - start;
+        self.shared.last_lag_us.store(lag, Ordering::Relaxed);
+        lag
     }
 
     /// Whether all live nodes agree on the contents of `path`.
@@ -467,5 +533,49 @@ mod tests {
             .fs
             .lstat("/net/switches/sw1/flows/f1/version", &creds)
             .is_err());
+    }
+
+    #[test]
+    fn introspection_exposes_replication_state() {
+        let mut c = Cluster::new(2, Backend::Central { primary: 0 }, 10, "/net");
+        c.enable_introspection().unwrap();
+        c.enable_introspection().unwrap(); // idempotent
+        let creds = Credentials::root();
+        let lag = c.timed_write(0, "/net/a", b"1");
+        assert!(lag > 0);
+
+        let cat = |n: usize, p: &str| {
+            c.nodes[n]
+                .fs
+                .read_to_string(p, &creds)
+                .unwrap()
+                .trim()
+                .to_owned()
+        };
+        assert_eq!(cat(0, "/net/.proc/dfs/node_id"), "0");
+        assert_eq!(cat(1, "/net/.proc/dfs/node_id"), "1");
+        // Origin produced at least one op; the replica applied it.
+        assert_eq!(
+            cat(0, "/net/.proc/dfs/ops_out"),
+            c.nodes[0].ops_out.to_string()
+        );
+        assert_eq!(
+            cat(1, "/net/.proc/dfs/ops_in"),
+            c.nodes[1].ops_in.to_string()
+        );
+        assert!(c.nodes[1].ops_in > 0);
+        // Cluster aggregates mirror the plain stats, on every node.
+        assert_eq!(
+            cat(1, "/net/.proc/dfs/cluster/messages"),
+            c.stats.messages.to_string()
+        );
+        assert_eq!(
+            cat(0, "/net/.proc/dfs/cluster/convergence_lag_us"),
+            lag.to_string()
+        );
+        // Proc refresh writes never replicate: pumping is a no-op.
+        let before = c.stats.messages;
+        c.pump();
+        assert_eq!(c.stats.messages, before);
     }
 }

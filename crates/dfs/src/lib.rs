@@ -16,5 +16,5 @@ pub mod node;
 pub mod op;
 
 pub use cluster::{Backend, Cluster, ClusterStats};
-pub use node::Node;
+pub use node::{Node, NodeStats};
 pub use op::{content_hash, OpKind, Stamp, SyncOp};

@@ -2,6 +2,7 @@
 //! turns its notify stream into [`SyncOp`]s and applies remote ops.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
@@ -9,6 +10,20 @@ use crossbeam::channel::Receiver;
 use yanc_vfs::{Credentials, Event, EventKind, EventMask, Filesystem, Mode, VPath, WatchId};
 
 use crate::op::{content_hash, OpKind, Stamp, SyncOp};
+
+/// Lock-free mirror of a node's replication totals; shared with the
+/// `<root>/.proc/dfs` render closures, which cannot borrow the mutably
+/// owned [`Node`]. The plain `pub` fields on [`Node`] remain the primary
+/// programmatic interface.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Ops this node has produced.
+    pub ops_out: AtomicU64,
+    /// Ops this node has applied from peers.
+    pub ops_in: AtomicU64,
+    /// Remote ops dropped by LWW.
+    pub lww_drops: AtomicU64,
+}
 
 /// One controller node.
 pub struct Node {
@@ -32,6 +47,7 @@ pub struct Node {
     pub ops_in: u64,
     /// Remote ops dropped by LWW (conflicts resolved away).
     pub lww_drops: u64,
+    stats: Arc<NodeStats>,
 }
 
 impl Node {
@@ -50,7 +66,13 @@ impl Node {
             ops_out: 0,
             ops_in: 0,
             lww_drops: 0,
+            stats: Arc::new(NodeStats::default()),
         }
+    }
+
+    /// The node's shared replication totals.
+    pub fn stats(&self) -> Arc<NodeStats> {
+        self.stats.clone()
     }
 
     /// Snapshot the current state of `path` as an op kind, or `Remove` if
@@ -100,6 +122,7 @@ impl Node {
             };
             self.newest.insert(path.clone(), stamp);
             self.ops_out += 1;
+            self.stats.ops_out.fetch_add(1, Ordering::Relaxed);
             out.push(SyncOp { path, kind, stamp });
         }
         out
@@ -110,6 +133,7 @@ impl Node {
         if let Some(have) = self.newest.get(&op.path) {
             if *have >= op.stamp {
                 self.lww_drops += 1;
+                self.stats.lww_drops.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -118,6 +142,7 @@ impl Node {
         self.counter = self.counter.max(op.stamp.counter);
         self.applied.insert(op.path.clone(), content_hash(&op.kind));
         self.ops_in += 1;
+        self.stats.ops_in.fetch_add(1, Ordering::Relaxed);
         let p = op.path.as_str();
         match &op.kind {
             OpKind::MkDir => {

@@ -20,6 +20,8 @@
 //! failing — applications watch for it like everything else.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
@@ -32,7 +34,7 @@ use yanc_openflow::{
     StatsRequest, SwitchFeatures, Version,
 };
 use yanc_openflow::{flow_mod_flags, port_no, FrameCodec};
-use yanc_vfs::{Event, EventKind, EventMask, WatchId};
+use yanc_vfs::{Event, EventKind, EventMask, LatencyHistogram, WatchId};
 
 /// Driver lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,38 @@ pub enum DriverState {
     Ready,
     /// Version negotiation failed — attach a different driver.
     Failed,
+}
+
+/// Shared, lock-free running totals for one driver, surfaced through the
+/// `/net/.proc/drivers/<switch>` introspection files. Kept in an `Arc` so
+/// proc render closures outlive driver borrows.
+#[derive(Debug, Default)]
+pub struct DriverStats {
+    /// Control messages encoded and sent to the switch.
+    pub msgs_tx: AtomicU64,
+    /// Control messages decoded from the switch.
+    pub msgs_rx: AtomicU64,
+    /// FlowMod messages sent (install + delete).
+    pub flow_mods: AtomicU64,
+    /// Packet-ins published into app event buffers.
+    pub packet_ins: AtomicU64,
+    /// Flows re-installed from the fs at attach time (driver swap/restart).
+    pub resyncs: AtomicU64,
+    /// Whether the handshake completed.
+    pub ready: AtomicBool,
+    /// Virtual control-channel round-trip costs: a deterministic
+    /// 1µs-base + 8ns/byte model over the encoded frame size.
+    pub rtt: LatencyHistogram,
+}
+
+impl DriverStats {
+    fn record_tx(&self, wire_bytes: usize, is_flow_mod: bool) {
+        self.msgs_tx.fetch_add(1, Ordering::Relaxed);
+        if is_flow_mod {
+            self.flow_mods.fetch_add(1, Ordering::Relaxed);
+        }
+        self.rtt.record(1_000 + 8 * wire_bytes as u64);
+    }
 }
 
 /// One driver instance: one switch, one protocol version.
@@ -71,6 +105,7 @@ pub struct OpenFlowDriver {
     /// Optional libyanc fastpath (paper §8.1): flow ops arriving here skip
     /// the file system entirely.
     fastpath: Option<FlowChannel>,
+    stats: Arc<DriverStats>,
 }
 
 impl OpenFlowDriver {
@@ -92,6 +127,7 @@ impl OpenFlowDriver {
             packet_out_offset: 0,
             next_xid: 100,
             fastpath: None,
+            stats: Arc::new(DriverStats::default()),
         };
         d.send(&Message::Hello);
         d
@@ -114,6 +150,47 @@ impl OpenFlowDriver {
         self.state == DriverState::Ready
     }
 
+    /// This driver's running totals (shared with proc render closures).
+    pub fn stats(&self) -> Arc<DriverStats> {
+        self.stats.clone()
+    }
+
+    /// Expose this driver's state under `<root>/.proc/drivers/<switch>/`.
+    /// A no-op until the switch is known or when no proc mount covering the
+    /// tree exists (registration simply fails `EINVAL` and is ignored).
+    pub fn register_proc(&self) {
+        let sw = match &self.switch_name {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        let fs = self.yfs.filesystem();
+        let base = self.yfs.proc_dir().join("drivers").join(&sw);
+        let version = self.version;
+        let _ = fs.proc_file(base.join("protocol").as_str(), move || {
+            format!("{version}\n")
+        });
+        type Getter = fn(&DriverStats) -> u64;
+        let counters: [(&str, Getter); 5] = [
+            ("msgs_tx", |s| s.msgs_tx.load(Ordering::Relaxed)),
+            ("msgs_rx", |s| s.msgs_rx.load(Ordering::Relaxed)),
+            ("flow_mods", |s| s.flow_mods.load(Ordering::Relaxed)),
+            ("packet_ins", |s| s.packet_ins.load(Ordering::Relaxed)),
+            ("resyncs", |s| s.resyncs.load(Ordering::Relaxed)),
+        ];
+        for (file, get) in counters {
+            let st = self.stats.clone();
+            let _ = fs.proc_file(base.join(file).as_str(), move || format!("{}\n", get(&st)));
+        }
+        let st = self.stats.clone();
+        let _ = fs.proc_file(base.join("ready").as_str(), move || {
+            format!("{}\n", st.ready.load(Ordering::Relaxed) as u8)
+        });
+        let st = self.stats.clone();
+        let _ = fs.proc_file(base.join("rtt").as_str(), move || {
+            format!("{}\n", st.rtt.summary())
+        });
+    }
+
     fn xid(&mut self) -> u32 {
         self.next_xid += 1;
         self.next_xid
@@ -122,7 +199,11 @@ impl OpenFlowDriver {
     fn send(&mut self, msg: &Message) -> bool {
         let xid = self.xid();
         match encode(self.version, msg, xid) {
-            Ok(b) => self.handle.tx.send(b).is_ok(),
+            Ok(b) => {
+                self.stats
+                    .record_tx(b.len(), matches!(msg, Message::FlowMod(_)));
+                self.handle.tx.send(b).is_ok()
+            }
             Err(_) => false,
         }
     }
@@ -143,6 +224,7 @@ impl OpenFlowDriver {
                     continue;
                 }
                 if let Ok(msg) = decode(&raw) {
+                    self.stats.msgs_rx.fetch_add(1, Ordering::Relaxed);
                     self.on_message(msg);
                 }
             }
@@ -232,6 +314,7 @@ impl OpenFlowDriver {
                 ..
             } => {
                 if let Some(sw) = self.switch_name.clone() {
+                    self.stats.packet_ins.fetch_add(1, Ordering::Relaxed);
                     let _ = self.yfs.publish_packet_in(&PacketInRecord {
                         switch: sw,
                         in_port,
@@ -352,13 +435,16 @@ impl OpenFlowDriver {
             .watch_subtree(dir.as_str(), EventMask::ALL);
         self.fs_watch = Some((id, rx));
         self.state = DriverState::Ready;
+        self.stats.ready.store(true, Ordering::Relaxed);
         // Install any flows that already exist in the tree (e.g. written
         // before the driver attached, or by a remote controller node).
         if let Ok(flows) = self.yfs.list_flows(&sw) {
             for name in flows {
+                self.stats.resyncs.fetch_add(1, Ordering::Relaxed);
                 self.sync_flow(&sw, &name);
             }
         }
+        self.register_proc();
     }
 
     fn on_port_status(&mut self, desc: PortDesc) {
@@ -542,6 +628,7 @@ impl OpenFlowDriver {
         let flow_dir = self.yfs.flow_dir(sw, flow);
         match encode(self.version, &Message::FlowMod(fm), xid) {
             Ok(bytes) => {
+                self.stats.record_tx(bytes.len(), true);
                 let _ = self.handle.tx.send(bytes);
                 self.installed
                     .insert(flow.to_string(), (spec.version, spec));

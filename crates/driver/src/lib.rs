@@ -11,5 +11,5 @@
 pub mod driver;
 pub mod runtime;
 
-pub use driver::{parse_packet_out_line, DriverState, OpenFlowDriver};
+pub use driver::{parse_packet_out_line, DriverState, DriverStats, OpenFlowDriver};
 pub use runtime::Runtime;

@@ -6,6 +6,7 @@
 //! quiescent. Applications remain plain file-system programs — they never
 //! see the runtime.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use yanc::YancFs;
@@ -15,6 +16,16 @@ use yanc_vfs::Filesystem;
 
 use crate::driver::OpenFlowDriver;
 
+/// Atomic mirror of [`yanc_dataplane::NetStats`], refreshed at the end of
+/// every [`Runtime::pump`] so proc render closures (which cannot borrow the
+/// mutably-owned `Network`) read consistent figures.
+#[derive(Debug, Default)]
+struct SharedNetStats {
+    frames_delivered: AtomicU64,
+    control_deliveries: AtomicU64,
+    events: AtomicU64,
+}
+
 /// Network + file system + drivers, pumped together.
 pub struct Runtime {
     /// The simulated network.
@@ -23,6 +34,7 @@ pub struct Runtime {
     pub drivers: Vec<OpenFlowDriver>,
     /// The yanc file tree.
     pub yfs: YancFs,
+    shared_stats: Arc<SharedNetStats>,
 }
 
 impl Runtime {
@@ -34,6 +46,7 @@ impl Runtime {
             net: Network::new(),
             drivers: Vec::new(),
             yfs,
+            shared_stats: Arc::new(SharedNetStats::default()),
         }
     }
 
@@ -45,7 +58,45 @@ impl Runtime {
             net: Network::new(),
             drivers: Vec::new(),
             yfs,
+            shared_stats: Arc::new(SharedNetStats::default()),
         }
+    }
+
+    /// Mount `/net/.proc` (via [`YancFs::enable_introspection`]) and expose
+    /// dataplane aggregates plus per-driver state beneath it. Drivers that
+    /// attach later register themselves as part of their handshake.
+    pub fn enable_introspection(&mut self) -> yanc::YancResult<()> {
+        self.yfs.enable_introspection()?;
+        let base = self.yfs.proc_dir().join("dataplane");
+        let fs = self.yfs.filesystem();
+        type Getter = fn(&SharedNetStats) -> &AtomicU64;
+        let counters: [(&str, Getter); 3] = [
+            ("events", |s| &s.events),
+            ("frames_delivered", |s| &s.frames_delivered),
+            ("control_deliveries", |s| &s.control_deliveries),
+        ];
+        for (file, get) in counters {
+            let st = self.shared_stats.clone();
+            fs.proc_file(base.join(file).as_str(), move || {
+                format!("{}\n", get(&st).load(Ordering::Relaxed))
+            })?;
+        }
+        self.sync_shared_stats();
+        for d in &self.drivers {
+            d.register_proc();
+        }
+        Ok(())
+    }
+
+    fn sync_shared_stats(&self) {
+        let s = &self.net.stats;
+        self.shared_stats
+            .frames_delivered
+            .store(s.frames_delivered, Ordering::Relaxed);
+        self.shared_stats
+            .control_deliveries
+            .store(s.control_deliveries, Ordering::Relaxed);
+        self.shared_stats.events.store(s.events, Ordering::Relaxed);
     }
 
     /// Add a switch to the network and attach a driver speaking
@@ -99,6 +150,7 @@ impl Runtime {
             }
             assert!(iterations < 10_000, "runtime failed to quiesce");
         }
+        self.sync_shared_stats();
         iterations
     }
 
@@ -419,6 +471,57 @@ mod tests {
             .read_to_string("/net/switches/swb/protocol", rt.yfs.creds())
             .unwrap();
         assert_eq!(proto, "OpenFlow 1.3");
+    }
+
+    #[test]
+    fn introspection_exposes_driver_and_dataplane_state() {
+        let (mut rt, name, h1, _h2) = two_host_rt(Version::V1_0);
+        rt.enable_introspection().unwrap();
+        let spec = FlowSpec {
+            m: FlowMatch::any(),
+            actions: vec![Action::out(port_no::FLOOD)],
+            ..Default::default()
+        };
+        rt.yfs.write_flow(&name, "flood", &spec).unwrap();
+        rt.pump();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1);
+        rt.pump();
+        let read = |p: &str| {
+            rt.yfs
+                .filesystem()
+                .read_to_string(p, rt.yfs.creds())
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        assert_eq!(read("/net/.proc/drivers/swa/protocol"), "OpenFlow 1.0");
+        assert_eq!(read("/net/.proc/drivers/swa/ready"), "1");
+        assert_eq!(
+            read("/net/.proc/drivers/swa/flow_mods")
+                .parse::<u64>()
+                .unwrap(),
+            rt.drivers[0]
+                .stats()
+                .flow_mods
+                .load(std::sync::atomic::Ordering::Relaxed)
+        );
+        assert!(
+            read("/net/.proc/drivers/swa/msgs_tx")
+                .parse::<u64>()
+                .unwrap()
+                > 0
+        );
+        assert!(read("/net/.proc/drivers/swa/rtt").contains("count="));
+        assert!(
+            read("/net/.proc/dataplane/events").parse::<u64>().unwrap() > 0,
+            "pump() mirrors NetStats into the proc tree"
+        );
+        assert_eq!(
+            read("/net/.proc/dataplane/frames_delivered")
+                .parse::<u64>()
+                .unwrap(),
+            rt.net.stats.frames_delivered
+        );
     }
 
     #[test]

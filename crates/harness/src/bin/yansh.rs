@@ -27,6 +27,7 @@ use yanc_openflow::Version;
 fn main() {
     let mut rt = Runtime::new();
     let topo = build_line(&mut rt, 3, Version::V1_3);
+    rt.enable_introspection().expect("mount /net/.proc");
     let mut topod = TopologyDaemon::new(rt.yfs.clone()).expect("topod");
     topod.probe().expect("lldp probe");
     settle(&mut rt, &mut [&mut topod as &mut dyn PumpApp]);
@@ -61,6 +62,9 @@ fn main() {
                 println!("simulation : ping <hA> <hB>   — ICMP between hosts (h1, h2)");
                 println!(
                     "             stats            — refresh counters/ files from the switches"
+                );
+                println!(
+                    "introspect : stats /net/.proc — controller internals as files (read-only)"
                 );
                 println!("             exit");
             }

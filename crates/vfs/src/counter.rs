@@ -70,6 +70,9 @@ const ALL_OPS: [OpKind; N_OPS] = [
 ];
 
 impl OpKind {
+    /// Number of operation kinds (the length of [`OpKind::all`]).
+    pub const COUNT: usize = N_OPS;
+
     /// All operation kinds, in a stable order.
     pub fn all() -> &'static [OpKind] {
         &ALL_OPS

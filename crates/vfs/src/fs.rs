@@ -23,8 +23,10 @@ use crate::acl::{check_access, Acl};
 use crate::counter::{OpKind, SyscallCounters};
 use crate::error::{err, Errno, VfsError, VfsResult};
 use crate::hooks::{HookDepth, SemanticHook};
+use crate::metrics::MetricsRegistry;
 use crate::notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
 use crate::path::{valid_name, VPath, NAME_MAX, PATH_MAX};
+use crate::proc::{ProcDepth, ProcHook, ProcRegistry, ProcRender};
 use crate::types::{
     Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
     Timestamp, Uid, ROOT_INO,
@@ -173,8 +175,10 @@ enum PendingHook {
 pub struct Filesystem {
     inner: RwLock<FsInner>,
     clock: Clock,
-    counters: SyscallCounters,
-    notify: NotifyHub,
+    counters: Arc<SyscallCounters>,
+    metrics: Arc<MetricsRegistry>,
+    notify: Arc<NotifyHub>,
+    proc: Arc<ProcRegistry>,
     hooks: RwLock<Vec<Arc<dyn SemanticHook>>>,
     limits: Limits,
 }
@@ -223,8 +227,10 @@ impl Filesystem {
                 next_fd: 3,
             }),
             clock,
-            counters: SyscallCounters::new(),
-            notify: NotifyHub::new(),
+            counters: Arc::new(SyscallCounters::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+            notify: Arc::new(NotifyHub::new()),
+            proc: Arc::new(ProcRegistry::new()),
             hooks: RwLock::new(Vec::new()),
             limits,
         }
@@ -235,9 +241,37 @@ impl Filesystem {
         &self.counters
     }
 
+    /// Latency histograms and per-mount counter scopes.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Register (or fetch) a named syscall-counter scope covering `prefix`.
+    /// If a proc mount is active, the scope's figures are also exposed under
+    /// `<mount>/scopes/<name>/`.
+    pub fn add_metrics_scope(&self, name: &str, prefix: &str) -> Arc<SyscallCounters> {
+        let counters = self.metrics.add_scope(name, prefix);
+        for mount in self.proc.mounts() {
+            let c = counters.clone();
+            let _ = self.proc_file(&format!("{mount}/scopes/{name}/total"), move || {
+                format!("{}\n", c.total())
+            });
+            let c = counters.clone();
+            let _ = self.proc_file(&format!("{mount}/scopes/{name}/syscalls"), move || {
+                format!("{}\n", c.snapshot().report())
+            });
+        }
+        counters
+    }
+
     /// The notification hub.
     pub fn notify(&self) -> &NotifyHub {
         &self.notify
+    }
+
+    /// The proc-mount registry (see [`crate::proc`]).
+    pub fn proc(&self) -> &ProcRegistry {
+        &self.proc
     }
 
     /// Register a semantic hook (consulted in registration order).
@@ -261,8 +295,135 @@ impl Filesystem {
     }
 
     // ----------------------------------------------------------------
+    // /proc-style introspection mounts
+    // ----------------------------------------------------------------
+
+    /// Mount a read-only introspection tree at `prefix` (idempotent).
+    ///
+    /// Creates the directory, installs the [`ProcHook`] enforcing lazy
+    /// refresh + `EROFS`, and registers the vfs's own figures beneath it:
+    /// `vfs/syscalls/<op>` and `vfs/syscalls/total`, `vfs/latency/<op>`
+    /// (virtual-cost histogram summaries), and `vfs/notify/{watches,queued}`.
+    /// Operations on paths under the mount are exempt from syscall
+    /// accounting, so reading a counter does not disturb it.
+    pub fn mount_proc(&self, prefix: &str) -> VfsResult<()> {
+        let prefix = prefix.trim_end_matches('/');
+        if self.proc.has_mount(prefix) {
+            return Ok(());
+        }
+        let root = Credentials::root();
+        {
+            let _h = HookDepth::enter();
+            let _p = ProcDepth::enter();
+            self.mkdir_all(prefix, Mode::DIR_DEFAULT, &root)?;
+        }
+        let first = !self.proc.mounted();
+        self.proc.add_mount(prefix);
+        if first {
+            self.add_hook(Arc::new(ProcHook::new(self.proc.clone())));
+        }
+
+        // The vfs's own instruments.
+        let c = self.counters.clone();
+        self.proc_file(&format!("{prefix}/vfs/syscalls/total"), move || {
+            format!("{}\n", c.total())
+        })?;
+        for &op in OpKind::all() {
+            let c = self.counters.clone();
+            self.proc_file(&format!("{prefix}/vfs/syscalls/{}", op.name()), move || {
+                format!("{}\n", c.get(op))
+            })?;
+            let m = self.metrics.clone();
+            self.proc_file(&format!("{prefix}/vfs/latency/{}", op.name()), move || {
+                format!("{}\n", m.histogram(op).summary())
+            })?;
+        }
+        let n = self.notify.clone();
+        self.proc_file(&format!("{prefix}/vfs/notify/watches"), move || {
+            format!("{}\n", n.watch_count())
+        })?;
+        let n = self.notify.clone();
+        self.proc_file(&format!("{prefix}/vfs/notify/queued"), move || {
+            format!("{}\n", n.queued_events())
+        })?;
+
+        // Scopes registered before the mount get their files now.
+        for (name, _) in self.metrics.scope_names() {
+            if let Some(counters) = self.metrics.scope(&name) {
+                let c = counters.clone();
+                self.proc_file(&format!("{prefix}/scopes/{name}/total"), move || {
+                    format!("{}\n", c.total())
+                })?;
+                let c = counters;
+                self.proc_file(&format!("{prefix}/scopes/{name}/syscalls"), move || {
+                    format!("{}\n", c.snapshot().report())
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Register a rendered file at `path` (which must lie under an existing
+    /// proc mount; `EINVAL` otherwise). Parent directories are created as
+    /// needed; the file is re-rendered on every observation.
+    pub fn proc_file<F>(&self, path: &str, render: F) -> VfsResult<()>
+    where
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        if !self.proc.covers(path) {
+            return err(Errno::EINVAL, path);
+        }
+        let root = Credentials::root();
+        let vp = VPath::new(path);
+        {
+            let _h = HookDepth::enter();
+            let _p = ProcDepth::enter();
+            self.mkdir_all(vp.parent().as_str(), Mode::DIR_DEFAULT, &root)?;
+            self.write_file(vp.as_str(), render().as_bytes(), &root)?;
+        }
+        let render: ProcRender = Arc::new(render);
+        self.proc.register(vp.as_str(), render);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
     // Internal helpers
     // ----------------------------------------------------------------
+
+    /// Tally one operation on `path`. Proc-mount paths and internal proc
+    /// maintenance are exempt: introspection must not disturb what it
+    /// measures.
+    #[inline]
+    fn count(&self, op: OpKind, path: &str) {
+        if ProcDepth::active() || self.proc.covers(path) {
+            return;
+        }
+        self.counters.bump(op);
+        self.metrics.record(op, path);
+    }
+
+    /// Give hooks a chance to materialise `path` before it is observed.
+    fn pre_access(&self, path: &str) {
+        if HookDepth::active() || ProcDepth::active() {
+            return;
+        }
+        let hooks: Vec<Arc<dyn SemanticHook>> = {
+            let h = self.hooks.read();
+            if h.is_empty() {
+                return;
+            }
+            h.clone()
+        };
+        let vp = VPath::new(path);
+        for h in &hooks {
+            h.pre_access(self, &vp);
+        }
+    }
+
+    /// Let hooks veto a mutation of `path` (proc mounts: `EROFS`).
+    fn validate_mutation(&self, path: &VPath) -> VfsResult<()> {
+        self.validate_with_hooks(|h| h.validate_mutate(self, path))
+    }
 
     fn may_access(&self, inner: &FsInner, ino: Ino, creds: &Credentials, access: Access) -> bool {
         let node = match inner.inodes.get(&ino.0) {
@@ -488,13 +649,15 @@ impl Filesystem {
 
     /// `stat(2)`: follow symlinks.
     pub fn stat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
-        self.counters.bump(OpKind::Stat);
+        self.pre_access(path);
+        self.count(OpKind::Stat, path);
         self.stat_common(path, creds, true)
     }
 
     /// `lstat(2)`: do not follow a final symlink.
     pub fn lstat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
-        self.counters.bump(OpKind::Stat);
+        self.pre_access(path);
+        self.count(OpKind::Stat, path);
         self.stat_common(path, creds, false)
     }
 
@@ -525,7 +688,7 @@ impl Filesystem {
 
     /// Resolve `path` to its canonical form (all symlinks resolved).
     pub fn canonicalize(&self, path: &str, creds: &Credentials) -> VfsResult<VPath> {
-        self.counters.bump(OpKind::Stat);
+        self.count(OpKind::Stat, path);
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let r = self.resolve(&inner, &vp, creds, true)?;
@@ -541,8 +704,9 @@ impl Filesystem {
 
     /// `chmod(2)`.
     pub fn chmod(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Setattr);
+        self.count(OpKind::Setattr, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         let canon;
         {
             let mut inner = self.inner.write();
@@ -569,8 +733,9 @@ impl Filesystem {
         gid: Option<Gid>,
         creds: &Credentials,
     ) -> VfsResult<()> {
-        self.counters.bump(OpKind::Setattr);
+        self.count(OpKind::Setattr, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         {
             let mut inner = self.inner.write();
             let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -597,8 +762,9 @@ impl Filesystem {
 
     /// Replace the ACL on `path` (owner or root only). `None` clears it.
     pub fn set_acl(&self, path: &str, acl: Option<Acl>, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Xattr);
+        self.count(OpKind::Xattr, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         {
             let mut inner = self.inner.write();
             let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -616,7 +782,7 @@ impl Filesystem {
 
     /// Read the ACL on `path` (requires Read access).
     pub fn get_acl(&self, path: &str, creds: &Credentials) -> VfsResult<Option<Acl>> {
-        self.counters.bump(OpKind::Xattr);
+        self.count(OpKind::Xattr, path);
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -639,11 +805,12 @@ impl Filesystem {
         value: &[u8],
         creds: &Credentials,
     ) -> VfsResult<()> {
-        self.counters.bump(OpKind::Xattr);
+        self.count(OpKind::Xattr, path);
         if name.is_empty() || name.len() > NAME_MAX {
             return err(Errno::EINVAL, name);
         }
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         {
             let mut inner = self.inner.write();
             let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -661,7 +828,7 @@ impl Filesystem {
 
     /// `getxattr(2)`-alike; `ENODATA` when absent.
     pub fn get_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
-        self.counters.bump(OpKind::Xattr);
+        self.count(OpKind::Xattr, path);
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -678,7 +845,7 @@ impl Filesystem {
 
     /// `listxattr(2)`-alike.
     pub fn list_xattr(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<String>> {
-        self.counters.bump(OpKind::Xattr);
+        self.count(OpKind::Xattr, path);
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -690,8 +857,9 @@ impl Filesystem {
 
     /// `removexattr(2)`-alike; `ENODATA` when absent.
     pub fn remove_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Xattr);
+        self.count(OpKind::Xattr, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         {
             let mut inner = self.inner.write();
             let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -715,8 +883,9 @@ impl Filesystem {
 
     /// `mkdir(2)`.
     pub fn mkdir(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Mkdir);
+        self.count(OpKind::Mkdir, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         let full;
         {
             let mut inner = self.inner.write();
@@ -791,8 +960,9 @@ impl Filesystem {
     /// `rmdir(2)`. If a registered hook declares `path` recursively
     /// removable (paper: switch directories), the whole subtree is removed.
     pub fn rmdir(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Rmdir);
+        self.count(OpKind::Rmdir, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         let recursive =
             !HookDepth::active() && self.hooks.read().iter().any(|h| h.rmdir_recursive(&vp));
         let mut events: Vec<PendingEvent> = Vec::new();
@@ -876,7 +1046,8 @@ impl Filesystem {
 
     /// `readdir(3)`: list a directory (requires Read access).
     pub fn readdir(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<DirEntry>> {
-        self.counters.bump(OpKind::Readdir);
+        self.pre_access(path);
+        self.count(OpKind::Readdir, path);
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -911,8 +1082,9 @@ impl Filesystem {
     /// `symlink(2)`: create `linkpath` pointing at `target` (not required to
     /// exist). Registered hooks may veto schema-invalid links.
     pub fn symlink(&self, target: &str, linkpath: &str, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Symlink);
+        self.count(OpKind::Symlink, linkpath);
         let vp = VPath::new(linkpath);
+        self.validate_mutation(&vp)?;
         self.validate_with_hooks(|h| h.validate_symlink(self, &vp, target))?;
         let full;
         {
@@ -955,7 +1127,7 @@ impl Filesystem {
 
     /// `readlink(2)`.
     pub fn readlink(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
-        self.counters.bump(OpKind::Readlink);
+        self.count(OpKind::Readlink, path);
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, false)?;
@@ -967,9 +1139,10 @@ impl Filesystem {
 
     /// `link(2)`: hard link (regular files only, as on Linux).
     pub fn link(&self, existing: &str, newpath: &str, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Link);
+        self.count(OpKind::Link, newpath);
         let vp_old = VPath::new(existing);
         let vp_new = VPath::new(newpath);
+        self.validate_mutation(&vp_new)?;
         let full;
         {
             let mut inner = self.inner.write();
@@ -1010,8 +1183,9 @@ impl Filesystem {
 
     /// `unlink(2)`.
     pub fn unlink(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Unlink);
+        self.count(OpKind::Unlink, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         let mut events: Vec<PendingEvent> = Vec::new();
         {
             let mut inner = self.inner.write();
@@ -1051,9 +1225,11 @@ impl Filesystem {
     /// atomically replaced when types are compatible (file→file,
     /// dir→empty dir); a directory cannot be moved into its own subtree.
     pub fn rename(&self, from: &str, to: &str, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Rename);
+        self.count(OpKind::Rename, from);
         let vf = VPath::new(from);
         let vt = VPath::new(to);
+        self.validate_mutation(&vf)?;
+        self.validate_mutation(&vt)?;
         let mut events: Vec<PendingEvent> = Vec::new();
         {
             let mut inner = self.inner.write();
@@ -1147,8 +1323,12 @@ impl Filesystem {
 
     /// `open(2)`.
     pub fn open(&self, path: &str, flags: OpenFlags, creds: &Credentials) -> VfsResult<Fd> {
-        self.counters.bump(OpKind::Open);
+        self.pre_access(path);
+        self.count(OpKind::Open, path);
         let vp = VPath::new(path);
+        if flags.write || flags.create || flags.truncate || flags.append {
+            self.validate_mutation(&vp)?;
+        }
         let mut created_path: Option<VPath> = None;
         let mut modified = false;
         let fd;
@@ -1284,8 +1464,9 @@ impl Filesystem {
 
     /// `read(2)`: up to `len` bytes from the handle's offset.
     pub fn read(&self, fd: Fd, len: usize) -> VfsResult<Vec<u8>> {
-        self.counters.bump(OpKind::Read);
         let mut inner = self.inner.write();
+        let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
+        self.count(OpKind::Read, hpath.as_deref().unwrap_or(""));
         let h = inner
             .handles
             .get(&fd.0)
@@ -1309,10 +1490,11 @@ impl Filesystem {
 
     /// `write(2)` at the handle's offset (end of file with `append`).
     pub fn write(&self, fd: Fd, data: &[u8]) -> VfsResult<usize> {
-        self.counters.bump(OpKind::Write);
         let path;
         {
             let mut inner = self.inner.write();
+            let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
+            self.count(OpKind::Write, hpath.as_deref().unwrap_or(""));
             let h = inner
                 .handles
                 .get(&fd.0)
@@ -1368,10 +1550,11 @@ impl Filesystem {
     /// `close(2)`. Emits `CloseWrite` (and fires `post_close_write` hooks)
     /// when the handle performed writes.
     pub fn close(&self, fd: Fd, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Close);
         let (wrote, path);
         {
             let mut inner = self.inner.write();
+            let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
+            self.count(OpKind::Close, hpath.as_deref().unwrap_or(""));
             let h = inner
                 .handles
                 .remove(&fd.0)
@@ -1397,8 +1580,9 @@ impl Filesystem {
 
     /// `truncate(2)` by path.
     pub fn truncate(&self, path: &str, len: u64, creds: &Credentials) -> VfsResult<()> {
-        self.counters.bump(OpKind::Truncate);
+        self.count(OpKind::Truncate, path);
         let vp = VPath::new(path);
+        self.validate_mutation(&vp)?;
         {
             let mut inner = self.inner.write();
             let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -2064,5 +2248,94 @@ mod tests {
             "/real/dir"
         );
         assert!(f.canonicalize("/nope", &root()).is_err());
+    }
+
+    #[test]
+    fn proc_total_matches_counters_exactly() {
+        let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
+        f.mkdir_all("/net/switches/sw1", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.write_file("/net/switches/sw1/hello", b"x", &root())
+            .unwrap();
+        let expect = f.counters().total();
+        assert!(expect > 0);
+        let got = f
+            .read_to_string("/net/.proc/vfs/syscalls/total", &root())
+            .unwrap();
+        assert_eq!(got.trim().parse::<u64>().unwrap(), expect);
+        // Reading the counter did not disturb it.
+        assert_eq!(f.counters().total(), expect);
+        // And re-reading reflects new activity but never the reads themselves.
+        f.write_file("/net/switches/sw1/hello", b"y", &root())
+            .unwrap();
+        let expect2 = f.counters().total();
+        assert!(expect2 > expect);
+        let got2 = f
+            .read_to_string("/net/.proc/vfs/syscalls/total", &root())
+            .unwrap();
+        assert_eq!(got2.trim().parse::<u64>().unwrap(), expect2);
+    }
+
+    #[test]
+    fn proc_mount_is_read_only() {
+        let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
+        for e in [
+            f.write_file("/net/.proc/vfs/syscalls/total", b"0", &root())
+                .unwrap_err(),
+            f.mkdir("/net/.proc/mine", Mode::DIR_DEFAULT, &root())
+                .unwrap_err(),
+            f.unlink("/net/.proc/vfs/syscalls/total", &root())
+                .unwrap_err(),
+            f.truncate("/net/.proc/vfs/syscalls/total", 0, &root())
+                .unwrap_err(),
+            f.rename("/net/.proc/vfs", "/net/.proc/ufs", &root())
+                .unwrap_err(),
+        ] {
+            assert_eq!(e.errno, Errno::EROFS);
+        }
+        // Reads still work.
+        assert!(f
+            .read_to_string("/net/.proc/vfs/syscalls/total", &root())
+            .is_ok());
+    }
+
+    #[test]
+    fn proc_refresh_is_silent_for_watchers() {
+        let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
+        let (_w, rx) = f.watch_subtree("/net", EventMask::ALL);
+        let _ = f
+            .read_to_string("/net/.proc/vfs/syscalls/total", &root())
+            .unwrap();
+        assert_eq!(rx.try_iter().count(), 0);
+    }
+
+    #[test]
+    fn proc_latency_files_summarise_histograms() {
+        let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
+        f.write_file("/data", b"x", &root()).unwrap();
+        let s = f
+            .read_to_string("/net/.proc/vfs/latency/write", &root())
+            .unwrap();
+        assert!(s.contains("count=1"), "got: {s}");
+        assert!(s.contains("p50="), "got: {s}");
+    }
+
+    #[test]
+    fn metrics_scope_appears_in_proc() {
+        let f = fs();
+        let scope = f.add_metrics_scope("net", "/net");
+        f.mount_proc("/net/.proc").unwrap();
+        f.mkdir_all("/net/switches", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        f.mkdir_all("/other", Mode::DIR_DEFAULT, &root()).unwrap();
+        assert_eq!(scope.get(OpKind::Mkdir), 2); // /net/switches only
+        let s = f
+            .read_to_string("/net/.proc/scopes/net/total", &root())
+            .unwrap();
+        assert_eq!(s.trim().parse::<u64>().unwrap(), scope.total());
     }
 }

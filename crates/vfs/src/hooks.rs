@@ -75,6 +75,21 @@ pub trait SemanticHook: Send + Sync {
     fn post_close_write(&self, fs: &Filesystem, path: &VPath, creds: &Credentials) {
         let _ = (fs, path, creds);
     }
+
+    /// Called before `path` is observed (stat/open/readdir), letting a hook
+    /// materialise or refresh content lazily — this is how `/net/.proc`
+    /// files stay current without a background updater.
+    fn pre_access(&self, fs: &Filesystem, path: &VPath) {
+        let _ = (fs, path);
+    }
+
+    /// Validate any mutation (create, write-open, unlink, rename, chmod, …)
+    /// of `path`. Return an error to veto it; proc mounts use this to stay
+    /// read-only (`EROFS`).
+    fn validate_mutate(&self, fs: &Filesystem, path: &VPath) -> VfsResult<()> {
+        let _ = (fs, path);
+        Ok(())
+    }
 }
 
 thread_local! {

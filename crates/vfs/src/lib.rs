@@ -18,7 +18,11 @@
 //! * **semantic-directory hooks** so a schema layer can auto-populate
 //!   objects on `mkdir` and make object removal recursive (paper §3.1),
 //! * **per-operation syscall counters**, the measurement instrument for the
-//!   paper's §8.1 context-switch-cost argument.
+//!   paper's §8.1 context-switch-cost argument,
+//! * **deterministic latency metrics + `/proc`-style introspection mounts**
+//!   ([`metrics`], [`proc`]): a virtual-clock cost model feeds per-operation
+//!   histograms, and `mount_proc` exposes counters/histograms/notify state
+//!   as readable files under e.g. `/net/.proc`.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -45,9 +49,11 @@ pub mod counter;
 pub mod error;
 pub mod fs;
 pub mod hooks;
+pub mod metrics;
 pub mod namespace;
 pub mod notify;
 pub mod path;
+pub mod proc;
 pub mod types;
 
 pub use acl::{check_access, Acl, AclEntry};
@@ -55,9 +61,11 @@ pub use counter::{CounterSnapshot, OpKind, SyscallCounters};
 pub use error::{Errno, VfsError, VfsResult};
 pub use fs::{Filesystem, Limits};
 pub use hooks::SemanticHook;
+pub use metrics::{op_cost_ns, LatencyHistogram, MetricsRegistry};
 pub use namespace::Namespace;
 pub use notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
 pub use path::{valid_name, VPath, NAME_MAX, PATH_MAX};
+pub use proc::{ProcHook, ProcRegistry, ProcRender};
 pub use types::{
     Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
     Timestamp, Uid, ROOT_INO,

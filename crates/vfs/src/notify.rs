@@ -163,10 +163,20 @@ impl NotifyHub {
         self.watches.read().len()
     }
 
+    /// Events delivered but not yet consumed, summed over every watch's
+    /// channel — the introspection tree's "queue depth" figure.
+    pub fn queued_events(&self) -> usize {
+        self.watches.read().iter().map(|w| w.tx.len()).sum()
+    }
+
     /// Deliver `kind` at `path` to every matching watch. Called by the
     /// filesystem after each mutation; never blocks. Watches whose receiver
-    /// has been dropped are reaped here.
+    /// has been dropped are reaped here. Internal proc-mount maintenance
+    /// (refresh writes) is silent: those mutations are not observable state.
     pub fn emit(&self, kind: EventKind, path: &VPath, name: Option<&str>) {
+        if crate::proc::ProcDepth::active() {
+            return;
+        }
         let mut dead: Vec<WatchId> = Vec::new();
         {
             let ws = self.watches.read();

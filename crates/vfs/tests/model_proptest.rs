@@ -1,12 +1,12 @@
 //! Model-based property tests for the vfs: arbitrary operation sequences
 //! checked against a flat reference model, plus law-style invariants for
-//! hard links, renames and symlinks.
+//! hard links, renames, symlinks and orphaned (open-but-unlinked) inodes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use proptest::prelude::*;
 
-use yanc_vfs::{Credentials, Errno, Filesystem, Mode};
+use yanc_vfs::{Credentials, Errno, Filesystem, Mode, OpenFlags};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -36,6 +36,25 @@ enum Op {
         to_dir: u8,
         to_name: u8,
     },
+    Mkdir {
+        dir: u8,
+        name: u8,
+    },
+    Rmdir {
+        dir: u8,
+        name: u8,
+    },
+    Symlink {
+        dir: u8,
+        name: u8,
+        target_dir: u8,
+        target_name: u8,
+    },
+    Truncate {
+        dir: u8,
+        name: u8,
+        len: u8,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -60,19 +79,42 @@ fn arb_op() -> impl Strategy<Value = Op> {
                 }
             }
         ),
-        (d.clone(), n.clone(), d, n).prop_map(|(from_dir, from_name, to_dir, to_name)| {
-            Op::Link {
-                from_dir,
-                from_name,
-                to_dir,
-                to_name,
+        (d.clone(), n.clone(), d.clone(), n.clone()).prop_map(
+            |(from_dir, from_name, to_dir, to_name)| {
+                Op::Link {
+                    from_dir,
+                    from_name,
+                    to_dir,
+                    to_name,
+                }
             }
-        }),
+        ),
+        (d.clone(), n.clone()).prop_map(|(dir, name)| Op::Mkdir { dir, name }),
+        (d.clone(), n.clone()).prop_map(|(dir, name)| Op::Rmdir { dir, name }),
+        (d.clone(), n.clone(), d.clone(), n.clone()).prop_map(
+            |(dir, name, target_dir, target_name)| {
+                Op::Symlink {
+                    dir,
+                    name,
+                    target_dir,
+                    target_name,
+                }
+            }
+        ),
+        (d, n, 0u8..24).prop_map(|(dir, name, len)| Op::Truncate { dir, name, len }),
     ]
 }
 
 fn path(dir: u8, name: u8) -> String {
     format!("/d{dir}/f{name}")
+}
+
+fn subdir(dir: u8, name: u8) -> String {
+    format!("/d{dir}/s{name}")
+}
+
+fn linkpath(dir: u8, name: u8) -> String {
+    format!("/d{dir}/y{name}")
 }
 
 /// Flat reference model: path → content "cell id". Hard links are modeled
@@ -81,6 +123,11 @@ fn path(dir: u8, name: u8) -> String {
 struct Model {
     cells: Vec<Vec<u8>>,
     paths: BTreeMap<String, usize>,
+    /// Subdirectories (`/d*/s*`) — always leaves, so rmdir never sees
+    /// ENOTEMPTY.
+    dirs: BTreeSet<String>,
+    /// Symlinks (`/d*/y*`) → target string.
+    symlinks: BTreeMap<String, String>,
 }
 
 impl Model {
@@ -169,11 +216,62 @@ proptest! {
                         }
                     }
                 }
+                Op::Mkdir { dir, name } => {
+                    let p = subdir(dir, name);
+                    let r = fs.mkdir(&p, Mode::DIR_DEFAULT, &creds);
+                    if model.dirs.insert(p) {
+                        prop_assert!(r.is_ok());
+                    } else {
+                        prop_assert_eq!(r.unwrap_err().errno, Errno::EEXIST);
+                    }
+                }
+                Op::Rmdir { dir, name } => {
+                    let p = subdir(dir, name);
+                    let r = fs.rmdir(&p, &creds);
+                    if model.dirs.remove(&p) {
+                        prop_assert!(r.is_ok());
+                    } else {
+                        prop_assert_eq!(r.unwrap_err().errno, Errno::ENOENT);
+                    }
+                }
+                Op::Symlink { dir, name, target_dir, target_name } => {
+                    let lp = linkpath(dir, name);
+                    let target = path(target_dir, target_name);
+                    let r = fs.symlink(&target, &lp, &creds);
+                    match model.symlinks.entry(lp) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert_eq!(r.unwrap_err().errno, Errno::EEXIST);
+                        }
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            prop_assert!(r.is_ok());
+                            v.insert(target);
+                        }
+                    }
+                }
+                Op::Truncate { dir, name, len } => {
+                    let p = path(dir, name);
+                    let r = fs.truncate(&p, len as u64, &creds);
+                    match model.paths.get(&p) {
+                        Some(&c) => {
+                            prop_assert!(r.is_ok());
+                            model.cells[c].resize(len as usize, 0);
+                        }
+                        None => prop_assert_eq!(r.unwrap_err().errno, Errno::ENOENT),
+                    }
+                }
             }
         }
         // Full-state comparison.
-        for (p, cell) in &model.paths {
-            prop_assert_eq!(&fs.read_file(p, &creds).unwrap(), &model.cells[*cell], "{}", p);
+        for p in model.paths.keys() {
+            prop_assert_eq!(&fs.read_file(p, &creds).unwrap(), model.read(p).unwrap(), "{}", p);
+        }
+        // Symlinks resolve exactly like their target path would.
+        for (lp, target) in &model.symlinks {
+            match model.paths.get(target) {
+                Some(&c) => prop_assert_eq!(&fs.read_file(lp, &creds).unwrap(), &model.cells[c]),
+                None => prop_assert!(fs.read_file(lp, &creds).is_err(), "dangling {}", lp),
+            }
+            prop_assert_eq!(&fs.readlink(lp, &creds).unwrap(), target);
         }
         for d in 0..3u8 {
             let listed: Vec<String> = fs
@@ -182,12 +280,16 @@ proptest! {
                 .into_iter()
                 .map(|e| format!("/d{d}/{}", e.name))
                 .collect();
-            let expect: Vec<String> = model
+            let prefix = format!("/d{d}/");
+            let mut expect: Vec<String> = model
                 .paths
                 .keys()
-                .filter(|k| k.starts_with(&format!("/d{d}/")))
+                .chain(model.dirs.iter())
+                .chain(model.symlinks.keys())
+                .filter(|k| k.starts_with(&prefix))
                 .cloned()
                 .collect();
+            expect.sort();
             prop_assert_eq!(listed, expect);
         }
         // nlink bookkeeping: each file's link count equals the number of
@@ -237,6 +339,38 @@ proptest! {
         // Symlink target string is preserved verbatim (it pointed at /a —
         // now dangling, exactly as POSIX would leave it).
         prop_assert_eq!(fs.readlink("/b/deep/nest/self", &creds).unwrap(), "/a/deep".to_string());
+    }
+
+    // POSIX orphan semantics: an open handle keeps the inode alive after
+    // every name for it is gone; reads and writes through the fd keep
+    // working, and the inode only disappears on last close.
+    #[test]
+    fn open_handle_survives_unlink(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        extra in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let fs = Filesystem::new();
+        let creds = Credentials::root();
+        fs.mkdir("/d", Mode::DIR_DEFAULT, &creds).unwrap();
+        fs.write_file("/d/f", &data, &creds).unwrap();
+        let rfd = fs.open("/d/f", OpenFlags::read_only(), &creds).unwrap();
+        let wfd = fs.open(
+            "/d/f",
+            OpenFlags { write: true, append: true, ..Default::default() },
+            &creds,
+        ).unwrap();
+        fs.unlink("/d/f", &creds).unwrap();
+        // The name is gone…
+        prop_assert!(fs.stat("/d/f", &creds).is_err());
+        prop_assert!(fs.readdir("/d", &creds).unwrap().is_empty());
+        // …but both handles still reach the inode.
+        prop_assert_eq!(fs.read(rfd, data.len()).unwrap(), data.clone());
+        prop_assert_eq!(fs.write(wfd, &extra).unwrap(), extra.len());
+        prop_assert_eq!(fs.read(rfd, extra.len()).unwrap(), extra.clone());
+        fs.close(rfd, &creds).unwrap();
+        fs.close(wfd, &creds).unwrap();
+        // After the last close the orphan is truly gone.
+        prop_assert!(fs.open("/d/f", OpenFlags::read_only(), &creds).is_err());
     }
 }
 

@@ -1,0 +1,363 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset yanc uses — `channel::{unbounded, Sender, Receiver}`
+//! and `queue::ArrayQueue` — with crossbeam's semantics (cloneable MPMC
+//! endpoints, disconnection on last-drop) implemented over `std::sync`.
+//! Throughput is not a goal; the deterministic simulator is single-threaded
+//! on its hot paths and the real crate is unavailable offline.
+
+pub mod channel {
+    //! Multi-producer multi-consumer unbounded FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Sending half; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; errors only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.inner.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.inner.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// Receiving half; clone freely (each message goes to exactly one
+    /// receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.inner.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _res) = self.shared.ready.wait_timeout(st, deadline - now).unwrap();
+                st = g;
+            }
+        }
+
+        /// Drain currently queued messages without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        /// Blocking iterator; ends when all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.inner.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Iterator over currently available messages (never blocks).
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    /// Blocking iterator over messages until disconnection.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+pub mod queue {
+    //! Bounded lock-based queue with `crossbeam::queue::ArrayQueue`'s API.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    /// Bounded MPMC FIFO queue; `push` fails (returning the value) when full.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// A queue holding up to `capacity` elements.
+        ///
+        /// # Panics
+        /// Panics if `capacity` is zero, matching crossbeam.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+            }
+        }
+
+        /// Append `value`; on a full queue the value is handed back.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.inner.lock().unwrap();
+            if q.len() >= self.capacity {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        /// Pop the oldest element.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// Current element count.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        /// Whether the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.capacity
+        }
+
+        /// The fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+    }
+
+    impl<T> fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ArrayQueue")
+                .field("capacity", &self.capacity)
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+    use super::queue::ArrayQueue;
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_share_messages() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.try_recv().unwrap();
+        let b = rx2.try_recv().unwrap();
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn array_queue_bounds() {
+        let q = ArrayQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.capacity(), 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the API surface yanc's property tests use: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, `any::<T>()`, ranges and tuples as
+//! strategies, `Just`, `prop_oneof!`, `prop_compose!`, the `proptest!` test
+//! macro, and the `collection`/`option`/`array` strategy modules.
+//!
+//! Two deliberate simplifications versus real proptest:
+//!
+//! * **No shrinking.** A failing case panics with the sampled values in the
+//!   assertion message instead of a minimized counterexample.
+//! * **Fully deterministic.** The RNG seed is derived from the test name, so
+//!   a given suite samples the same cases on every run — which the repo's
+//!   deterministic-metrics tests rely on.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`proptest::option`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` for one case in four and `Some(inner)`
+    /// otherwise (real proptest defaults to the same weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`proptest::array`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! uniform_fn {
+        ($name:ident, $n:literal) => {
+            /// Strategy producing arrays whose elements are drawn from
+            /// `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        };
+    }
+
+    uniform_fn!(uniform4, 4);
+    uniform_fn!(uniform6, 6);
+    uniform_fn!(uniform8, 8);
+    uniform_fn!(uniform16, 16);
+    uniform_fn!(uniform32, 32);
+
+    /// See [`uniform6`] and friends.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+}
+
+/// `prop_assert!` — asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_oneof!` — uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// `prop_compose!` — build a named strategy function from field strategies.
+///
+/// Supports the common two-group form:
+/// `fn name(args)(field in strat, ...) -> Type { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($args:tt)*)
+            ($($field:ident in $strat:expr),* $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $(let $field = $strat;)*
+            $crate::strategy::sampled_with(move |rng| {
+                $(let $field = $crate::strategy::Strategy::sample(&$field, rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// `proptest!` — declare deterministic property tests.
+///
+/// Each `#[test] fn name(binding in strategy, ...) { body }` item expands to
+/// a standard test that samples `ProptestConfig::cases` inputs and runs the
+/// body on each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        @cfg ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident($($binding:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                $(let $binding = $strat;)*
+                for _case in 0..cfg.cases {
+                    $(let $binding = $crate::strategy::Strategy::sample(&$binding, &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Box(u8, u8),
+    }
+
+    fn arb_shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            Just(Shape::Dot),
+            (0u8..10, 0u8..10).prop_map(|(w, h)| Shape::Box(w, h)),
+        ]
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u16..100, b in 0u16..100) -> (u16, u16) {
+            (a.min(b), a.max(b))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..7, y in 1usize..=4) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn composed_pairs_are_ordered(p in arb_pair()) {
+            prop_assert!(p.0 <= p.1);
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(shapes in crate::collection::vec(arb_shape(), 32..33)) {
+            prop_assert_eq!(shapes.len(), 32);
+        }
+
+        #[test]
+        fn options_mix(o in crate::option::of(0u8..4)) {
+            if let Some(v) = o {
+                prop_assert!(v < 4);
+            }
+        }
+
+        #[test]
+        fn arrays_fill(a in crate::array::uniform6(1u8..3)) {
+            prop_assert!(a.iter().all(|&v| v == 1 || v == 2));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(any::<u64>(), 5..9);
+        let a: Vec<u64> = strat.sample(&mut TestRng::from_name("seed"));
+        let b: Vec<u64> = strat.sample(&mut TestRng::from_name("seed"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,129 @@
+//! E4/E5 syscall budgets as regression tests: the tables printed by
+//! `bench control_plane` and `bench packetin_and_notify` (and recorded in
+//! EXPERIMENTS.md) are pinned here, with every count read back through
+//! the `/net/.proc` introspection tree rather than the in-process
+//! counters — so the test also proves the proc view is exact.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use yanc::{FlowSpec, PacketInRecord, YancFs};
+use yanc_driver::Runtime;
+use yanc_openflow::{Action, FlowMatch, Ipv4Prefix, Version};
+use yanc_packet::MacAddr;
+use yanc_vfs::{Credentials, Filesystem};
+
+/// `cat`-equivalent: read a proc file and parse it as a number. Proc
+/// paths are exempt from syscall accounting, so this never perturbs the
+/// budgets being measured.
+fn proc_u64(fs: &Arc<Filesystem>, path: &str) -> u64 {
+    fs.read_to_string(path, &Credentials::root())
+        .unwrap_or_else(|e| panic!("{path}: {e}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("{path}: not a number: {e}"))
+}
+
+/// A spec with exactly `k` populated match fields (mirrors the E4 bench).
+fn spec_with_fields(k: usize) -> FlowSpec {
+    type FieldSetter = Box<dyn Fn(&mut FlowMatch)>;
+    let mut m = FlowMatch::any();
+    let setters: Vec<FieldSetter> = vec![
+        Box::new(|m| m.in_port = Some(1)),
+        Box::new(|m| m.dl_src = Some(MacAddr::from_seed(1))),
+        Box::new(|m| m.dl_dst = Some(MacAddr::from_seed(2))),
+        Box::new(|m| m.dl_type = Some(0x0800)),
+        Box::new(|m| m.nw_tos = Some(0x20)),
+        Box::new(|m| m.nw_proto = Some(6)),
+        Box::new(|m| m.nw_src = Ipv4Prefix::parse("10.0.0.0/24")),
+        Box::new(|m| m.nw_dst = Ipv4Prefix::parse("10.1.0.0/16")),
+        Box::new(|m| m.tp_src = Some(1000)),
+        Box::new(|m| m.tp_dst = Some(22)),
+    ];
+    for s in setters.iter().take(k) {
+        s(&mut m);
+    }
+    FlowSpec {
+        m,
+        actions: vec![Action::out(2)],
+        priority: 500,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn e4_commit_syscall_budget_via_proc() {
+    // EXPERIMENTS.md E4: 20 fixed + 3 per match field.
+    for (k, expected) in [(1usize, 23u64), (4, 32), (7, 41), (10, 50)] {
+        let mut rt = Runtime::new();
+        rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
+        rt.pump();
+        rt.enable_introspection().unwrap();
+        let fs = rt.yfs.filesystem();
+        let before = proc_u64(fs, "/net/.proc/vfs/syscalls/total");
+        rt.yfs.write_flow("sw1", "f", &spec_with_fields(k)).unwrap();
+        let after = proc_u64(fs, "/net/.proc/vfs/syscalls/total");
+        assert_eq!(
+            after - before,
+            expected,
+            "flow commit with {k} match fields"
+        );
+    }
+}
+
+#[test]
+fn e5_fanout_syscall_budget_via_proc() {
+    // EXPERIMENTS.md E5: ~19 syscalls per subscriber, linear fan-out.
+    for (n, expected) in [
+        (1usize, 20u64),
+        (2, 39),
+        (4, 77),
+        (8, 153),
+        (16, 305),
+        (32, 609),
+    ] {
+        let yfs = YancFs::init(Arc::new(Filesystem::new()), "/net").unwrap();
+        yfs.enable_introspection().unwrap();
+        let _subs: Vec<_> = (0..n)
+            .map(|i| yfs.subscribe_events(&format!("app{i}")).unwrap())
+            .collect();
+        let rec = PacketInRecord {
+            switch: "sw1".into(),
+            in_port: 1,
+            buffer_id: None,
+            reason: "no_match".into(),
+            data: Bytes::from(vec![0u8; 256]),
+        };
+        let fs = yfs.filesystem();
+        let before = proc_u64(fs, "/net/.proc/vfs/syscalls/total");
+        yfs.publish_packet_in(&rec).unwrap();
+        let after = proc_u64(fs, "/net/.proc/vfs/syscalls/total");
+        assert_eq!(after - before, expected, "publish to {n} subscribers");
+    }
+}
+
+#[test]
+fn e4_budget_is_unchanged_by_introspection() {
+    // The proc mount must be an observer: the same workload costs the
+    // same number of syscalls with and without it.
+    let run = |introspect: bool| -> u64 {
+        let mut rt = Runtime::new();
+        rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
+        rt.pump();
+        if introspect {
+            rt.enable_introspection().unwrap();
+        }
+        let before = rt.yfs.filesystem().counters().snapshot();
+        rt.yfs
+            .write_flow("sw1", "f", &spec_with_fields(10))
+            .unwrap();
+        rt.yfs
+            .filesystem()
+            .counters()
+            .snapshot()
+            .since(&before)
+            .total()
+    };
+    assert_eq!(run(false), run(true));
+}
