@@ -105,6 +105,23 @@ impl LearningSwitch {
     }
 }
 
+impl yanc::YancApp for LearningSwitch {
+    fn name(&self) -> &str {
+        "l2switch"
+    }
+
+    fn run_once(&mut self) -> yanc::YancResult<bool> {
+        Ok(LearningSwitch::run_once(self))
+    }
+
+    /// `SIGHUP`: flush the learning table; locations are relearned from
+    /// live traffic (stale flows age out through the normal flow paths).
+    fn reload(&mut self) -> yanc::YancResult<()> {
+        self.table.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

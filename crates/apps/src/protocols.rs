@@ -293,6 +293,44 @@ impl DhcpDaemon {
     }
 }
 
+impl yanc::YancApp for ArpResponder {
+    fn name(&self) -> &str {
+        "arpd"
+    }
+
+    fn run_once(&mut self) -> yanc::YancResult<bool> {
+        Ok(ArpResponder::run_once(self))
+    }
+}
+
+impl yanc::YancApp for DhcpDaemon {
+    fn name(&self) -> &str {
+        "dhcpd"
+    }
+
+    fn run_once(&mut self) -> yanc::YancResult<bool> {
+        Ok(DhcpDaemon::run_once(self))
+    }
+
+    /// `SIGHUP`: re-read the pool from `/net/dhcp/{base,size}` — an
+    /// operator grows the pool with `echo`, then signals the daemon.
+    fn reload(&mut self) -> yanc::YancResult<()> {
+        let fs = self.yfs.filesystem();
+        let dir = self.yfs.root().join("dhcp");
+        if let Ok(s) = fs.read_to_string(dir.join("base").as_str(), self.yfs.creds()) {
+            if let Ok(ip) = s.trim().parse() {
+                self.pool_base = ip;
+            }
+        }
+        if let Ok(s) = fs.read_to_string(dir.join("size").as_str(), self.yfs.creds()) {
+            if let Ok(n) = s.trim().parse() {
+                self.pool_size = n;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -226,6 +226,23 @@ impl RouterDaemon {
     }
 }
 
+impl yanc::YancApp for RouterDaemon {
+    fn name(&self) -> &str {
+        "router"
+    }
+
+    fn run_once(&mut self) -> yanc::YancResult<bool> {
+        Ok(RouterDaemon::run_once(self))
+    }
+
+    /// `SIGHUP`: drop learned host locations so stale placements (hosts
+    /// that moved while we were not looking) cannot pin wrong paths.
+    fn reload(&mut self) -> yanc::YancResult<()> {
+        self.locations.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

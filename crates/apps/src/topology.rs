@@ -21,6 +21,9 @@ pub struct TopologyDaemon {
     sub: EventSubscription,
     /// Switches we've already provisioned with the LLDP capture flow.
     provisioned: HashSet<String>,
+    /// Whether a probe round has run since start/reload (the supervised
+    /// event loop probes lazily on its first slice).
+    probed: bool,
     /// Links created so far (for idempotence/metrics).
     pub links_found: usize,
 }
@@ -33,6 +36,7 @@ impl TopologyDaemon {
             yfs,
             sub,
             provisioned: HashSet::new(),
+            probed: false,
             links_found: 0,
         })
     }
@@ -40,6 +44,7 @@ impl TopologyDaemon {
     /// Ensure every switch captures LLDP to the controller, then emit one
     /// LLDP probe out of every port of every switch.
     pub fn probe(&mut self) -> yanc::YancResult<()> {
+        self.probed = true;
         for sw in self.yfs.list_switches()? {
             if !self.provisioned.contains(&sw) {
                 let spec = FlowSpec {
@@ -112,6 +117,30 @@ impl TopologyDaemon {
             }
         }
         worked
+    }
+}
+
+impl yanc::YancApp for TopologyDaemon {
+    fn name(&self) -> &str {
+        "topod"
+    }
+
+    /// One supervised slice: probe lazily on the first slice after a
+    /// start/restart/reload (so a resurrected daemon rediscovers the
+    /// fabric), then drain packet-ins.
+    fn run_once(&mut self) -> yanc::YancResult<bool> {
+        if !self.probed {
+            self.probe()?;
+            return Ok(true);
+        }
+        Ok(TopologyDaemon::run_once(self))
+    }
+
+    /// `SIGHUP`: forget which switches are provisioned and re-probe.
+    fn reload(&mut self) -> yanc::YancResult<()> {
+        self.provisioned.clear();
+        self.probed = false;
+        Ok(())
     }
 }
 

@@ -1,0 +1,224 @@
+//! E19 — process management under deterministic fault injection: how many
+//! virtual ticks a kill→restart→reconverge cycle costs (and how much of
+//! the control plane it re-reads), what the restart-storm backoff schedule
+//! looks like, and what rate-limiting a greedy app costs the rest.
+//!
+//! Shape expectations: restart latency equals the backoff delay plus the
+//! re-probe settle time and is identical across reruns; the backoff table
+//! doubles per restart until the budget is spent; throttling caps the
+//! greedy app's syscalls per tick without touching its neighbours.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc::{YancApp, YancFs, YancResult};
+use yanc_apps::TopologyDaemon;
+use yanc_driver::Runtime;
+use yanc_harness::{build_line, settle_supervised};
+use yanc_init::{Fault, ProcessCtx, ProcessSpec, ProcessState, RestartPolicy, Supervisor};
+use yanc_openflow::Version;
+use yanc_vfs::{AppLimits, Credentials};
+
+fn topod_factory(ctx: &ProcessCtx) -> YancResult<Box<dyn YancApp>> {
+    Ok(Box::new(TopologyDaemon::new(ctx.yfs.clone())?) as Box<dyn YancApp>)
+}
+
+/// Run the supervised kill+channel-fault scenario on an `n`-switch line;
+/// report `(restart latency ticks, ticks to quiesce, total syscalls)`.
+fn faulted_line_run(n: usize) -> (u64, u64, u64) {
+    let mut rt = Runtime::new();
+    build_line(&mut rt, n, Version::V1_3);
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    let pid = sup
+        .spawn(
+            ProcessSpec::new("topod").policy(RestartPolicy {
+                restart: true,
+                backoff_base: 1,
+                max_restarts: 4,
+            }),
+            topod_factory,
+        )
+        .unwrap();
+    sup.faults.at(1, Fault::DropControl { dpid: 2, frames: 2 });
+    sup.faults.at(6, Fault::KillApp { pid });
+    settle_supervised(&mut rt, &mut sup);
+    assert_eq!(sup.state(pid), Some(ProcessState::Running));
+    assert_eq!(rt.yfs.topology().unwrap().len(), 2 * (n - 1));
+    let syscalls: u64 = rt
+        .yfs
+        .filesystem()
+        .read_to_string("/net/.proc/scopes/net/total", &Credentials::root())
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    (sup.last_restart_latency(pid), sup.now(), syscalls)
+}
+
+/// Always crashes; used to drive the restart-storm backoff schedule.
+struct Crasher;
+impl YancApp for Crasher {
+    fn name(&self) -> &str {
+        "crasher"
+    }
+    fn run_once(&mut self) -> YancResult<bool> {
+        Err(yanc_vfs::VfsError::new(yanc_vfs::Errno::EIO, "crasher: boom").into())
+    }
+}
+
+/// Record `(restart #, tick it was rescheduled at)` until the budget is
+/// spent and the process degrades to `failed`.
+fn restart_storm(base: u64, max_restarts: u32) -> Vec<(u64, u64)> {
+    let mut rt = Runtime::new();
+    rt.add_switch_with_driver(0x1, 2, 1, vec![Version::V1_0], Version::V1_0);
+    rt.pump();
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    let pid = sup
+        .spawn(
+            ProcessSpec::new("crasher").policy(RestartPolicy {
+                restart: true,
+                backoff_base: base,
+                max_restarts,
+            }),
+            |_ctx: &ProcessCtx| Ok(Box::new(Crasher) as Box<dyn YancApp>),
+        )
+        .unwrap();
+    let mut schedule = Vec::new();
+    let mut seen = 0u64;
+    for _ in 0..4096 {
+        sup.step(&mut rt);
+        let r = sup.restarts(pid);
+        if r > seen {
+            schedule.push((r, sup.now()));
+            seen = r;
+        }
+        if sup.state(pid) == Some(ProcessState::Failed) {
+            break;
+        }
+    }
+    assert_eq!(sup.state(pid), Some(ProcessState::Failed));
+    schedule
+}
+
+/// Scans the root in a tight loop — the token bucket's worst customer.
+struct GreedyScanner {
+    yfs: YancFs,
+    done: Arc<AtomicU64>,
+}
+impl YancApp for GreedyScanner {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+    fn run_once(&mut self) -> YancResult<bool> {
+        let fs = self.yfs.filesystem();
+        for _ in 0..64 {
+            fs.stat(self.yfs.root().as_str(), self.yfs.creds())?;
+            self.done.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(false)
+    }
+}
+
+/// Run a token-limited greedy scanner beside an unlimited topod for
+/// `ticks`; report `(throttle preemptions, stats completed)`.
+fn throttle_run(tokens: u64, ticks: usize) -> (u64, u64) {
+    let mut rt = Runtime::new();
+    build_line(&mut rt, 3, Version::V1_0);
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    let done = Arc::new(AtomicU64::new(0));
+    let d = done.clone();
+    let greedy = sup
+        .spawn(
+            ProcessSpec::new("greedy").limits(AppLimits {
+                syscall_tokens: Some(tokens),
+                ..Default::default()
+            }),
+            move |ctx: &ProcessCtx| {
+                Ok(Box::new(GreedyScanner {
+                    yfs: ctx.yfs.clone(),
+                    done: d.clone(),
+                }) as Box<dyn YancApp>)
+            },
+        )
+        .unwrap();
+    sup.spawn(ProcessSpec::new("topod"), topod_factory).unwrap();
+    for _ in 0..ticks {
+        sup.step(&mut rt);
+    }
+    assert_eq!(sup.state(greedy), Some(ProcessState::Running));
+    (sup.throttles(greedy), done.load(Ordering::Relaxed))
+}
+
+fn bench_supervision(c: &mut Criterion) {
+    println!("\nE19a: kill + channel faults — restart latency and reconvergence cost");
+    println!(
+        "{:>8} {:>16} {:>14} {:>10}",
+        "line-n", "restart ticks", "settle ticks", "syscalls"
+    );
+    let mut latency_rows = Vec::new();
+    for n in [3usize, 5, 8] {
+        let (latency, settle_ticks, syscalls) = faulted_line_run(n);
+        println!("{n:>8} {latency:>16} {settle_ticks:>14} {syscalls:>10}");
+        latency_rows.push(format!(
+            "{{\"switches\": {n}, \"restart_latency_ticks\": {latency}, \
+             \"settle_ticks\": {settle_ticks}, \"syscalls\": {syscalls}}}"
+        ));
+    }
+
+    println!("\nE19b: restart storm — backoff schedule (base 2, budget 6)");
+    println!("{:>10} {:>14}", "restart", "at tick");
+    let schedule = restart_storm(2, 6);
+    let mut storm_rows = Vec::new();
+    for (r, tick) in &schedule {
+        println!("{r:>10} {tick:>14}");
+        storm_rows.push(format!("{{\"restart\": {r}, \"tick\": {tick}}}"));
+    }
+
+    println!("\nE19c: token-bucket throttling of a greedy scanner (20 ticks)");
+    println!("{:>10} {:>12} {:>12}", "tokens", "throttles", "stats done");
+    let mut throttle_rows = Vec::new();
+    for tokens in [4u64, 16, 64] {
+        let (throttles, done) = throttle_run(tokens, 20);
+        println!("{tokens:>10} {throttles:>12} {done:>12}");
+        throttle_rows.push(format!(
+            "{{\"tokens\": {tokens}, \"throttles\": {throttles}, \"stats_done\": {done}}}"
+        ));
+    }
+    println!();
+
+    // Machine-readable artifact, plus full kernel metrics from a fresh
+    // faulted run so the report is self-contained.
+    let mut rt = Runtime::new();
+    build_line(&mut rt, 3, Version::V1_3);
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    let pid = sup.spawn(ProcessSpec::new("topod"), topod_factory).unwrap();
+    sup.faults.at(6, Fault::KillApp { pid });
+    settle_supervised(&mut rt, &mut sup);
+    yanc_harness::write_bench_report(
+        "supervision",
+        rt.yfs.filesystem(),
+        &[
+            ("restart_latency", format!("[{}]", latency_rows.join(", "))),
+            ("restart_storm", format!("[{}]", storm_rows.join(", "))),
+            ("throttling", format!("[{}]", throttle_rows.join(", "))),
+        ],
+    );
+
+    let mut g = c.benchmark_group("supervised_recovery");
+    g.sample_size(10);
+    for n in [3usize, 5] {
+        g.bench_with_input(BenchmarkId::new("kill_reconverge_line", n), &n, |b, &n| {
+            b.iter(|| faulted_line_run(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_supervision);
+criterion_main!(benches);

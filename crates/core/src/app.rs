@@ -1,0 +1,64 @@
+//! The common interface every yanc application presents to the supervisor.
+//!
+//! The paper's applications are *ordinary processes*: the init system does
+//! not know (or care) whether a process is a learning switch or a DHCP
+//! server — it starts it, schedules it, signals it and restarts it through
+//! one uniform surface. [`YancApp`] is that surface for in-process apps:
+//! the supervisor in `yanc-init` drives `run_once` from its scheduler tick,
+//! translates `SIGHUP` into [`YancApp::reload`] and `SIGTERM` into
+//! [`YancApp::shutdown`], and treats an `Err` from `run_once` as an abnormal
+//! exit subject to the process's restart policy.
+
+use crate::error::YancResult;
+
+/// A supervisable yanc application.
+///
+/// Implementations should make `run_once` a single bounded slice of the
+/// app's event loop (drain pending events, react, return) so the supervisor
+/// can interleave many apps deterministically on one scheduler.
+pub trait YancApp {
+    /// Stable human-readable name (shows up in `ps` and `.proc/apps`).
+    fn name(&self) -> &str;
+
+    /// Run one slice of the event loop. `Ok(true)` means the slice did
+    /// work (the scheduler should keep pumping), `Ok(false)` means idle.
+    /// `Err` is an abnormal exit: the supervisor applies the restart policy.
+    fn run_once(&mut self) -> YancResult<bool>;
+
+    /// Re-read configuration (`SIGHUP`). Default: nothing to reload.
+    fn reload(&mut self) -> YancResult<()> {
+        Ok(())
+    }
+
+    /// Graceful stop (`SIGTERM`): flush state, drop subscriptions. The
+    /// instance is discarded afterwards. Default: nothing to flush.
+    fn shutdown(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop(u32);
+
+    impl YancApp for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn run_once(&mut self) -> YancResult<bool> {
+            self.0 += 1;
+            Ok(self.0 < 3)
+        }
+    }
+
+    #[test]
+    fn trait_object_is_drivable() {
+        let mut app: Box<dyn YancApp> = Box::new(Nop(0));
+        assert_eq!(app.name(), "nop");
+        assert!(app.run_once().unwrap());
+        assert!(app.run_once().unwrap());
+        assert!(!app.run_once().unwrap());
+        app.reload().unwrap();
+        app.shutdown();
+    }
+}

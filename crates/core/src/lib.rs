@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod app;
 pub mod error;
 pub mod flowspec;
 pub mod hook;
@@ -49,6 +50,7 @@ pub mod schema;
 pub mod views;
 pub mod yancfs;
 
+pub use app::YancApp;
 pub use error::{YancError, YancResult};
 pub use flowspec::{parse_port_token, port_token, FlowSpec};
 pub use hook::YancHook;

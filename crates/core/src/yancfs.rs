@@ -418,8 +418,17 @@ impl YancFs {
     pub fn write_flow(&self, sw: &str, name: &str, spec: &FlowSpec) -> YancResult<u64> {
         let dir = self.flow_dir(sw, name);
         if !self.fs.exists(dir.as_str(), &self.creds) {
-            self.fs
-                .mkdir(dir.as_str(), Mode::DIR_DEFAULT, &self.creds)?;
+            // A *new* flow consumes one slot of the caller's flow quota
+            // (EDQUOT past it); rewrites of an existing flow are free.
+            if self.creds.uid.0 != 0 {
+                self.fs.rctl().charge_flow(self.creds.uid.0, dir.as_str())?;
+            }
+            if let Err(e) = self.fs.mkdir(dir.as_str(), Mode::DIR_DEFAULT, &self.creds) {
+                if self.creds.uid.0 != 0 {
+                    self.fs.rctl().release_flow(self.creds.uid.0);
+                }
+                return Err(e.into());
+            }
         }
         // Current committed version governs the new one.
         let cur = self.flow_version(sw, name).unwrap_or(0);
@@ -477,9 +486,12 @@ impl YancFs {
 
     /// Delete a flow (recursive rmdir; the driver sees the Delete event).
     pub fn delete_flow(&self, sw: &str, name: &str) -> YancResult<()> {
-        Ok(self
-            .fs
-            .rmdir(self.flow_dir(sw, name).as_str(), &self.creds)?)
+        self.fs
+            .rmdir(self.flow_dir(sw, name).as_str(), &self.creds)?;
+        if self.creds.uid.0 != 0 {
+            self.fs.rctl().release_flow(self.creds.uid.0);
+        }
+        Ok(())
     }
 
     /// List flow names on a switch.
@@ -523,7 +535,11 @@ impl YancFs {
         let dir = self.events_dir().join(app);
         self.fs
             .mkdir_all(dir.as_str(), Mode::DIR_DEFAULT, &self.creds)?;
-        let (watch, rx) = self.fs.watch_path(dir.as_str(), EventMask::CHILDREN);
+        // Owner-tagged watch: if this subscriber's process is killed, the
+        // supervisor's `Filesystem::reclaim(uid)` finds and removes it.
+        let (watch, rx) = self
+            .fs
+            .watch_path_as(dir.as_str(), EventMask::CHILDREN, &self.creds)?;
         Ok(EventSubscription {
             app: app.to_string(),
             watch,

@@ -714,6 +714,78 @@ pub fn uniq(stdin: &str) -> Output {
     Output::ok(out)
 }
 
+/// `ps [procdir]` — flatten `/net/.proc/apps` into a process listing.
+///
+/// One row per pid directory, columns from the `status` file; pids sort
+/// numerically, exactly like procps over a real `/proc`.
+pub fn ps(sh: &Shell, args: &[&str]) -> Output {
+    let dir = flagless(args).next().unwrap_or("/net/.proc/apps");
+    let vp = sh.resolve(dir);
+    let entries = match sh.namespace().readdir(vp.as_str(), sh.creds()) {
+        Ok(e) => e,
+        // No apps directory simply means no processes were ever spawned.
+        Err(_) => return Output::ok("PID UID STATE RESTARTS NAME\n".to_string()),
+    };
+    let mut pids: Vec<u32> = entries.iter().filter_map(|e| e.name.parse().ok()).collect();
+    pids.sort_unstable();
+    let mut out = String::from("PID UID STATE RESTARTS NAME\n");
+    for pid in pids {
+        let status = vp.join(&pid.to_string()).join("status");
+        let Ok(text) = sh.namespace().read_to_string(status.as_str(), sh.creds()) else {
+            continue;
+        };
+        let field = |key: &str| {
+            text.lines()
+                .find_map(|l| l.strip_prefix(&format!("{key}:")))
+                .map(|v| v.trim().to_string())
+                .unwrap_or_else(|| "?".to_string())
+        };
+        out.push_str(&format!(
+            "{pid} {} {} {} {}\n",
+            field("uid"),
+            field("state"),
+            field("restarts"),
+            field("name"),
+        ));
+    }
+    Output::ok(out)
+}
+
+/// `kill [-SIG] <pid> [ctlfile]` — signal a yanc process.
+///
+/// Signals are delivered the filesystem way: the command appends a
+/// `kill -SIG <pid>` line to the supervisor's control file (default
+/// `/net/.init/ctl`); the supervisor consumes it on its next tick.
+pub fn kill(sh: &Shell, args: &[&str]) -> Output {
+    let mut sig = "TERM".to_string();
+    let mut rest: Vec<&str> = Vec::new();
+    for a in args {
+        if let Some(s) = a.strip_prefix('-') {
+            sig = s.trim_start_matches("SIG").to_string();
+        } else {
+            rest.push(a);
+        }
+    }
+    let canonical = match sig.as_str() {
+        "HUP" | "hup" | "1" => "HUP",
+        "KILL" | "kill" | "9" => "KILL",
+        "TERM" | "term" | "15" => "TERM",
+        other => return Output::fail(format!("kill: {other}: invalid signal specification")),
+    };
+    let Some(pid) = rest.first().and_then(|p| p.parse::<u32>().ok()) else {
+        return Output::fail("usage: kill [-SIG] <pid> [ctlfile]");
+    };
+    let ctl = sh.resolve(rest.get(1).copied().unwrap_or("/net/.init/ctl"));
+    let line = format!("kill -{canonical} {pid}\n");
+    match sh
+        .namespace()
+        .append_file(ctl.as_str(), line.as_bytes(), sh.creds())
+    {
+        Ok(()) => Output::ok(String::new()),
+        Err(e) => Output::fail(format!("kill: {e}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,6 +806,51 @@ mod tests {
         fs.write_file("/net/switches/sw1/id", b"0x1\n", &c).unwrap();
         fs.write_file("/net/switches/sw2/id", b"0x2\n", &c).unwrap();
         Shell::new(fs)
+    }
+
+    #[test]
+    fn ps_flattens_proc_apps_numerically() {
+        let mut s = sh();
+        let c = Credentials::root();
+        let fs = s.namespace().filesystem().clone();
+        for (pid, name, state) in [(2u32, "topod", "running"), (10, "router", "backoff")] {
+            fs.mkdir_all(&format!("/net/.proc/apps/{pid}"), Mode::DIR_DEFAULT, &c)
+                .unwrap();
+            fs.write_file(
+                &format!("/net/.proc/apps/{pid}/status"),
+                format!(
+                    "name:\t{name}\npid:\t{pid}\nuid:\t{}\nstate:\t{state}\nrestarts:\t1\n",
+                    1000 + pid
+                )
+                .as_bytes(),
+                &c,
+            )
+            .unwrap();
+        }
+        let out = s.run("ps").out;
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "PID UID STATE RESTARTS NAME");
+        assert_eq!(lines[1], "2 1002 running 1 topod");
+        assert_eq!(lines[2], "10 1010 backoff 1 router");
+        // Empty table is not an error.
+        let mut bare = Shell::new(Arc::new(Filesystem::new()));
+        assert!(bare.run("ps").success());
+    }
+
+    #[test]
+    fn kill_appends_ctl_line() {
+        let mut s = sh();
+        let c = Credentials::root();
+        let fs = s.namespace().filesystem().clone();
+        fs.mkdir_all("/net/.init", Mode::DIR_DEFAULT, &c).unwrap();
+        fs.write_file("/net/.init/ctl", b"", &c).unwrap();
+        assert!(s.run("kill -9 3").success());
+        assert!(s.run("kill 4").success());
+        assert!(s.run("kill -HUP 5").success());
+        let ctl = fs.read_to_string("/net/.init/ctl", &c).unwrap();
+        assert_eq!(ctl, "kill -KILL 3\nkill -TERM 4\nkill -HUP 5\n");
+        assert!(!s.run("kill -USR1 3").success());
+        assert!(!s.run("kill notapid").success());
     }
 
     #[test]

@@ -233,6 +233,8 @@ impl Shell {
             "chown" => cmds::chown(self, &args),
             "head" => cmds::head(self, &args, stdin),
             "wc" => cmds::wc(&args, stdin),
+            "ps" => cmds::ps(self, &args),
+            "kill" => cmds::kill(self, &args),
             "sort" => cmds::sort(&args, stdin),
             "uniq" => cmds::uniq(stdin),
             "true" => Output::ok(String::new()),

@@ -47,8 +47,32 @@ pub enum DriverState {
     AwaitPorts,
     /// Fully operational.
     Ready,
-    /// Version negotiation failed — attach a different driver.
+    /// Version negotiation failed — the supervisor re-attaches a driver
+    /// speaking a version the switch offered (see `Runtime::reattach_failed`).
     Failed,
+}
+
+impl DriverState {
+    /// Lower-case name as rendered in `.proc/drivers/<sw>/state`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriverState::AwaitHello => "await_hello",
+            DriverState::AwaitFeatures => "await_features",
+            DriverState::AwaitPorts => "await_ports",
+            DriverState::Ready => "ready",
+            DriverState::Failed => "failed",
+        }
+    }
+
+    fn from_code(code: u8) -> DriverState {
+        match code {
+            1 => DriverState::AwaitFeatures,
+            2 => DriverState::AwaitPorts,
+            3 => DriverState::Ready,
+            4 => DriverState::Failed,
+            _ => DriverState::AwaitHello,
+        }
+    }
 }
 
 /// Shared, lock-free running totals for one driver, surfaced through the
@@ -68,6 +92,11 @@ pub struct DriverStats {
     pub resyncs: AtomicU64,
     /// Whether the handshake completed.
     pub ready: AtomicBool,
+    /// Mirror of [`DriverState`] (as `DriverState as u8`) for proc render
+    /// closures, which outlive driver borrows.
+    pub state_code: AtomicU64,
+    /// Control-channel faults applied (frames dropped or reordered).
+    pub faults: AtomicU64,
     /// Virtual control-channel round-trip costs: a deterministic
     /// 1µs-base + 8ns/byte model over the encoded frame size.
     pub rtt: LatencyHistogram,
@@ -106,6 +135,14 @@ pub struct OpenFlowDriver {
     /// the file system entirely.
     fastpath: Option<FlowChannel>,
     stats: Arc<DriverStats>,
+    /// The version the switch announced in its HELLO (kept even on failure,
+    /// so the supervisor can pick a compatible replacement driver).
+    offered_version: Option<u8>,
+    /// Pending deterministic control-channel fault: drop the next N
+    /// switch→driver frames.
+    fault_drop: u32,
+    /// Pending fault: reorder the next pair of switch→driver frames.
+    fault_reorder: bool,
 }
 
 impl OpenFlowDriver {
@@ -128,6 +165,9 @@ impl OpenFlowDriver {
             next_xid: 100,
             fastpath: None,
             stats: Arc::new(DriverStats::default()),
+            offered_version: None,
+            fault_drop: 0,
+            fault_reorder: false,
         };
         d.send(&Message::Hello);
         d
@@ -145,6 +185,35 @@ impl OpenFlowDriver {
         self.state
     }
 
+    /// The protocol version the switch announced in its HELLO, if seen.
+    pub fn offered_version(&self) -> Option<u8> {
+        self.offered_version
+    }
+
+    /// The datapath id of the switch this driver's control channel serves.
+    pub fn dpid(&self) -> u64 {
+        self.handle.dpid
+    }
+
+    /// Schedule a deterministic control-channel fault: drop the next
+    /// `drop_frames` switch→driver frames and/or reorder the next pair.
+    /// Applied (and counted in `.proc/drivers/<sw>/faults`) on the next
+    /// [`OpenFlowDriver::run_once`].
+    pub fn inject_channel_fault(&mut self, drop_frames: u32, reorder: bool) {
+        self.fault_drop += drop_frames;
+        self.fault_reorder |= reorder;
+    }
+
+    fn set_state(&mut self, s: DriverState) {
+        self.state = s;
+        self.stats
+            .state_code
+            .store(s as u8 as u64, Ordering::Relaxed);
+        self.stats
+            .ready
+            .store(s == DriverState::Ready, Ordering::Relaxed);
+    }
+
     /// Whether the driver finished its handshake.
     pub fn ready(&self) -> bool {
         self.state == DriverState::Ready
@@ -156,12 +225,14 @@ impl OpenFlowDriver {
     }
 
     /// Expose this driver's state under `<root>/.proc/drivers/<switch>/`.
-    /// A no-op until the switch is known or when no proc mount covering the
-    /// tree exists (registration simply fails `EINVAL` and is ignored).
+    /// Before the switch is known (including the Failed state, where the
+    /// features reply never arrives) the entry is named after the dpid.
+    /// A no-op when no proc mount covering the tree exists (registration
+    /// simply fails `EINVAL` and is ignored).
     pub fn register_proc(&self) {
         let sw = match &self.switch_name {
             Some(s) => s.clone(),
-            None => return,
+            None => format!("dpid{:x}", self.handle.dpid),
         };
         let fs = self.yfs.filesystem();
         let base = self.yfs.proc_dir().join("drivers").join(&sw);
@@ -170,12 +241,13 @@ impl OpenFlowDriver {
             format!("{version}\n")
         });
         type Getter = fn(&DriverStats) -> u64;
-        let counters: [(&str, Getter); 5] = [
+        let counters: [(&str, Getter); 6] = [
             ("msgs_tx", |s| s.msgs_tx.load(Ordering::Relaxed)),
             ("msgs_rx", |s| s.msgs_rx.load(Ordering::Relaxed)),
             ("flow_mods", |s| s.flow_mods.load(Ordering::Relaxed)),
             ("packet_ins", |s| s.packet_ins.load(Ordering::Relaxed)),
             ("resyncs", |s| s.resyncs.load(Ordering::Relaxed)),
+            ("faults", |s| s.faults.load(Ordering::Relaxed)),
         ];
         for (file, get) in counters {
             let st = self.stats.clone();
@@ -188,6 +260,13 @@ impl OpenFlowDriver {
         let st = self.stats.clone();
         let _ = fs.proc_file(base.join("rtt").as_str(), move || {
             format!("{}\n", st.rtt.summary())
+        });
+        let st = self.stats.clone();
+        let _ = fs.proc_file(base.join("state").as_str(), move || {
+            format!(
+                "{}\n",
+                DriverState::from_code(st.state_code.load(Ordering::Relaxed) as u8).name()
+            )
         });
     }
 
@@ -212,8 +291,24 @@ impl OpenFlowDriver {
     /// Returns whether anything was done.
     pub fn run_once(&mut self) -> bool {
         let mut worked = false;
-        // Switch → driver bytes.
+        // Switch → driver bytes, with any scheduled channel fault applied
+        // first (each switch send is one framed chunk, so chunk granularity
+        // IS frame granularity).
+        let mut chunks: Vec<Bytes> = Vec::new();
         while let Ok(bytes) = self.handle.rx.try_recv() {
+            chunks.push(bytes);
+        }
+        if self.fault_reorder && chunks.len() >= 2 {
+            chunks.swap(0, 1);
+            self.fault_reorder = false;
+            self.stats.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        while self.fault_drop > 0 && !chunks.is_empty() {
+            chunks.remove(0);
+            self.fault_drop -= 1;
+            self.stats.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        for bytes in chunks {
             worked = true;
             self.codec.feed(&bytes);
             while let Ok(Some(raw)) = self.codec.next_frame() {
@@ -286,13 +381,16 @@ impl OpenFlowDriver {
         if self.state != DriverState::AwaitHello {
             return;
         }
+        self.offered_version = Some(switch_version);
         if switch_version < self.version.wire() {
             // The switch cannot speak our version: this driver is the wrong
-            // one (the admin runs one driver per protocol version).
-            self.state = DriverState::Failed;
+            // one (the admin runs one driver per protocol version). Publish
+            // the failure so the supervisor can see it and re-attach.
+            self.set_state(DriverState::Failed);
+            self.register_proc();
             return;
         }
-        self.state = DriverState::AwaitFeatures;
+        self.set_state(DriverState::AwaitFeatures);
         // Ask for whole packets on misses (the default 128-byte truncation
         // would cut DHCP payloads short), then learn the switch's shape.
         self.send(&Message::SetConfig {
@@ -385,7 +483,7 @@ impl OpenFlowDriver {
             self.materialize_ports(&ports);
             self.finish_setup();
         } else {
-            self.state = DriverState::AwaitPorts;
+            self.set_state(DriverState::AwaitPorts);
             self.send(&Message::StatsRequest(StatsRequest::PortDesc));
         }
     }
@@ -434,7 +532,7 @@ impl OpenFlowDriver {
             .filesystem()
             .watch_subtree(dir.as_str(), EventMask::ALL);
         self.fs_watch = Some((id, rx));
-        self.state = DriverState::Ready;
+        self.set_state(DriverState::Ready);
         self.stats.ready.store(true, Ordering::Relaxed);
         // Install any flows that already exist in the tree (e.g. written
         // before the driver attached, or by a remote controller node).

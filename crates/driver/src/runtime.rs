@@ -14,7 +14,7 @@ use yanc_dataplane::Network;
 use yanc_openflow::Version;
 use yanc_vfs::Filesystem;
 
-use crate::driver::OpenFlowDriver;
+use crate::driver::{DriverState, OpenFlowDriver};
 
 /// Atomic mirror of [`yanc_dataplane::NetStats`], refreshed at the end of
 /// every [`Runtime::pump`] so proc render closures (which cannot borrow the
@@ -133,6 +133,61 @@ impl Runtime {
             self.yfs.clone(),
             handle,
         ));
+    }
+
+    /// Drivers currently in [`DriverState::Failed`], as
+    /// `(dpid, version offered by the switch)` pairs.
+    pub fn failed_drivers(&self) -> Vec<(u64, Option<u8>)> {
+        self.drivers
+            .iter()
+            .filter(|d| d.state() == DriverState::Failed)
+            .map(|d| (d.dpid(), d.offered_version()))
+            .collect()
+    }
+
+    /// Supervised recovery from failed version negotiation: detach every
+    /// [`DriverState::Failed`] driver and attach a replacement speaking the
+    /// best version we implement that the switch offered (the switch then
+    /// re-handshakes and the new driver resyncs fs flows, counted in its
+    /// `resyncs`). Returns the number of re-attachments; a switch whose
+    /// offer we cannot satisfy stays failed.
+    pub fn reattach_failed(&mut self) -> usize {
+        let mut reattached = 0;
+        for (dpid, offered) in self.failed_drivers() {
+            let offered = match offered {
+                Some(v) => v,
+                None => continue,
+            };
+            let version = if offered >= Version::V1_3.wire() {
+                Version::V1_3
+            } else if offered >= Version::V1_0.wire() {
+                Version::V1_0
+            } else {
+                continue;
+            };
+            self.drivers
+                .retain(|d| !(d.dpid() == dpid && d.state() == DriverState::Failed));
+            self.net.detach_controller(dpid);
+            let handle = self.net.attach_controller(dpid);
+            self.drivers
+                .push(OpenFlowDriver::new(version, self.yfs.clone(), handle));
+            reattached += 1;
+        }
+        reattached
+    }
+
+    /// Schedule a deterministic control-channel fault on `dpid`'s driver
+    /// (frames dropped / pair reordered on its next `run_once`). Returns
+    /// whether a driver for that dpid exists.
+    pub fn inject_channel_fault(&mut self, dpid: u64, drop_frames: u32, reorder: bool) -> bool {
+        let mut hit = false;
+        for d in &mut self.drivers {
+            if d.dpid() == dpid {
+                d.inject_channel_fault(drop_frames, reorder);
+                hit = true;
+            }
+        }
+        hit
     }
 
     /// Pump network and drivers until nothing moves. Returns iterations.

@@ -11,37 +11,49 @@
 //! yansh:/net$ ping h1 h2
 //! ```
 //!
-//! Besides the coreutils, two meta-commands drive the simulation:
-//! `ping <hN> <hM>` sends a ping between hosts, `stats` refreshes the
-//! `counters/` files. Every command pumps the network + daemons, so
-//! file writes take effect "in hardware" immediately.
+//! The daemons run as supervised yanc processes (yanc-init is pid 1), so
+//! the process table is part of the file tree too: `ps` lists them from
+//! `/net/.proc/apps`, and `kill -TERM <pid>` appends to `/net/.init/ctl`
+//! for the supervisor's next tick. Two meta-commands drive the
+//! simulation: `ping <hN> <hM>` sends a ping between hosts, `stats`
+//! refreshes the `counters/` files. Every command pumps the network +
+//! daemons, so file writes take effect "in hardware" immediately.
 
 use std::io::{BufRead, Write};
 
+use yanc::YancApp;
 use yanc_apps::{RouterDaemon, TopologyDaemon};
 use yanc_coreutils::Shell;
 use yanc_driver::Runtime;
-use yanc_harness::{build_line, settle, PumpApp};
+use yanc_harness::{build_line, settle_supervised};
+use yanc_init::{ProcessCtx, ProcessSpec, Supervisor};
 use yanc_openflow::Version;
 
 fn main() {
     let mut rt = Runtime::new();
     let topo = build_line(&mut rt, 3, Version::V1_3);
     rt.enable_introspection().expect("mount /net/.proc");
-    let mut topod = TopologyDaemon::new(rt.yfs.clone()).expect("topod");
-    topod.probe().expect("lldp probe");
-    settle(&mut rt, &mut [&mut topod as &mut dyn PumpApp]);
-    let mut router = RouterDaemon::new(rt.yfs.clone()).expect("router");
+    let mut sup = Supervisor::new(rt.yfs.clone()).expect("supervisor");
+    sup.spawn(ProcessSpec::new("topod"), |ctx: &ProcessCtx| {
+        Ok(Box::new(TopologyDaemon::new(ctx.yfs.clone())?) as Box<dyn YancApp>)
+    })
+    .expect("spawn topod");
+    sup.spawn(ProcessSpec::new("routerd"), |ctx: &ProcessCtx| {
+        Ok(Box::new(RouterDaemon::new(ctx.yfs.clone())?) as Box<dyn YancApp>)
+    })
+    .expect("spawn routerd");
+    settle_supervised(&mut rt, &mut sup);
 
     let mut sh = Shell::new(rt.yfs.filesystem().clone());
     sh.run("cd /net");
 
     println!(
-        "yansh — the network is a file system. {} switches, {} hosts.",
+        "yansh — the network is a file system. {} switches, {} hosts, {} supervised daemons.",
         topo.switches.len(),
-        topo.hosts.len()
+        topo.hosts.len(),
+        sup.processes().len()
     );
-    println!("try: ls switches | tree switches/sw1 | ping h1 h2 | stats | help | exit");
+    println!("try: ls switches | tree switches/sw1 | ps | ping h1 h2 | stats | help | exit");
 
     let stdin = std::io::stdin();
     loop {
@@ -59,6 +71,12 @@ fn main() {
             ["exit"] | ["quit"] => break,
             ["help"] => {
                 println!("file tools : ls cat tree find grep mkdir rm ln mv cp echo chmod chown stat cd pwd");
+                println!(
+                    "processes  : ps               — the supervised daemons, from /net/.proc/apps"
+                );
+                println!(
+                    "             kill -TERM <pid> — queued on /net/.init/ctl for the supervisor"
+                );
                 println!("simulation : ping <hA> <hB>   — ICMP between hosts (h1, h2)");
                 println!(
                     "             stats            — refresh counters/ files from the switches"
@@ -80,19 +98,10 @@ fn main() {
                     (Some((ha, _)), Some((_, ip_b))) => {
                         let before = rt.net.hosts[&ha].ping_replies.len();
                         rt.net.host_ping(ha, ip_b, before as u16 + 1);
-                        settle(
-                            &mut rt,
-                            &mut [
-                                &mut topod as &mut dyn PumpApp,
-                                &mut router as &mut dyn PumpApp,
-                            ],
-                        );
+                        settle_supervised(&mut rt, &mut sup);
                         let after = rt.net.hosts[&ha].ping_replies.len();
                         if after > before {
-                            println!(
-                                "{} -> {}: reply received (paths: {})",
-                                a, b, router.paths_installed
-                            );
+                            println!("{} -> {}: reply received", a, b);
                         } else {
                             println!("{} -> {}: no reply", a, b);
                         }
@@ -110,14 +119,9 @@ fn main() {
                 if !out.err.is_empty() {
                     eprintln!("{}", out.err.trim_end());
                 }
-                // File writes may carry network meaning; let it settle.
-                settle(
-                    &mut rt,
-                    &mut [
-                        &mut topod as &mut dyn PumpApp,
-                        &mut router as &mut dyn PumpApp,
-                    ],
-                );
+                // File writes may carry network meaning (and `kill` lines
+                // wait on the ctl file); let the supervisor settle it.
+                settle_supervised(&mut rt, &mut sup);
             }
         }
     }

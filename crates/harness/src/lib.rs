@@ -54,6 +54,32 @@ pub fn settle(rt: &mut Runtime, apps: &mut [&mut dyn PumpApp]) {
     }
 }
 
+/// [`settle`] for supervised fleets: step supervisor + runtime together
+/// until the network, every process, every pending restart and every
+/// scheduled control-plane fault have all quiesced.
+///
+/// Two consecutive idle steps are required, mirroring [`settle`]: one tick
+/// of silence can be a restart backoff hole rather than convergence.
+pub fn settle_supervised(rt: &mut Runtime, sup: &mut yanc_init::Supervisor) {
+    let mut idle_rounds = 0;
+    let mut steps = 0u32;
+    while idle_rounds < 2 {
+        let worked = sup.step(rt);
+        let pending = sup.faults.pending_net() > 0
+            || sup
+                .processes()
+                .iter()
+                .any(|(_, _, s)| *s == yanc_init::ProcessState::Backoff);
+        if !worked && !pending {
+            idle_rounds += 1;
+        } else {
+            idle_rounds = 0;
+        }
+        steps += 1;
+        assert!(steps < 10_000, "supervised settle did not converge");
+    }
+}
+
 /// A built topology: switch dpids plus attached hosts.
 pub struct Topo {
     /// Shape label (for reports).

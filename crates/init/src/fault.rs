@@ -1,0 +1,200 @@
+//! Deterministic fault injection.
+//!
+//! Faults are *scheduled at supervisor ticks*, not injected from wall-clock
+//! timers, so every experiment that uses them replays identically: "kill the
+//! topology daemon at tick 7, drop the next two control frames to switch 3
+//! at tick 9" is a complete, reproducible failure scenario. The injector is
+//! just an ordered queue; [`crate::Supervisor::apply_faults`] (control-plane
+//! faults) and [`crate::Supervisor::apply_cluster_faults`] (dfs faults)
+//! drain what is due each tick.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::process::{Pid, Signal};
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `SIGKILL` a process mid-event-loop (no shutdown hook runs).
+    KillApp {
+        /// Target process.
+        pid: Pid,
+    },
+    /// Deliver an arbitrary signal to a process.
+    SignalApp {
+        /// Target process.
+        pid: Pid,
+        /// The signal.
+        sig: Signal,
+    },
+    /// Drop the next `frames` switch→driver control-channel frames.
+    DropControl {
+        /// Target switch datapath id.
+        dpid: u64,
+        /// Frames to drop.
+        frames: u32,
+    },
+    /// Swap the next two queued switch→driver frames (reordering).
+    ReorderControl {
+        /// Target switch datapath id.
+        dpid: u64,
+    },
+    /// Sever a dfs node (its link goes down) for `for_ticks` virtual ticks.
+    DfsDown {
+        /// Cluster node index.
+        node: usize,
+        /// How long the link stays severed.
+        for_ticks: u64,
+    },
+    /// Bring a dfs node back (scheduled automatically by [`Fault::DfsDown`]).
+    DfsUp {
+        /// Cluster node index.
+        node: usize,
+    },
+}
+
+impl Fault {
+    fn is_cluster(&self) -> bool {
+        matches!(self, Fault::DfsDown { .. } | Fault::DfsUp { .. })
+    }
+
+    /// Short description for the fault log.
+    pub fn describe(&self) -> String {
+        match self {
+            Fault::KillApp { pid } => format!("kill pid {pid}"),
+            Fault::SignalApp { pid, sig } => format!("signal {sig} pid {pid}"),
+            Fault::DropControl { dpid, frames } => {
+                format!("drop {frames} control frames dpid {dpid:#x}")
+            }
+            Fault::ReorderControl { dpid } => {
+                format!("reorder control frames dpid {dpid:#x}")
+            }
+            Fault::DfsDown { node, for_ticks } => {
+                format!("dfs node {node} down for {for_ticks} ticks")
+            }
+            Fault::DfsUp { node } => format!("dfs node {node} up"),
+        }
+    }
+}
+
+/// A deterministic, tick-driven fault schedule.
+#[derive(Default)]
+pub struct FaultInjector {
+    /// Control-plane faults (processes, driver channels), insertion-ordered.
+    net: Vec<(u64, Fault)>,
+    /// Cluster (dfs) faults, insertion-ordered.
+    cluster: Vec<(u64, Fault)>,
+    /// `(tick, description)` log of everything that fired, shared so the
+    /// supervisor can render it into `.proc`.
+    log: Arc<Mutex<Vec<String>>>,
+}
+
+impl FaultInjector {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Schedule `fault` to fire at supervisor tick `tick`.
+    pub fn at(&mut self, tick: u64, fault: Fault) {
+        if fault.is_cluster() {
+            self.cluster.push((tick, fault));
+        } else {
+            self.net.push((tick, fault));
+        }
+    }
+
+    /// Faults not yet fired (both queues).
+    pub fn pending(&self) -> usize {
+        self.net.len() + self.cluster.len()
+    }
+
+    /// Control-plane faults not yet fired.
+    pub fn pending_net(&self) -> usize {
+        self.net.len()
+    }
+
+    /// Shared handle to the fired-fault log.
+    pub fn log(&self) -> Arc<Mutex<Vec<String>>> {
+        self.log.clone()
+    }
+
+    fn drain(queue: &mut Vec<(u64, Fault)>, now: u64) -> Vec<Fault> {
+        // Insertion order among same-tick faults is preserved: scheduling
+        // order is the tiebreak, which keeps replays byte-identical.
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].0 <= now {
+                due.push(queue.remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Drain control-plane faults due at or before `now`, logging them.
+    pub(crate) fn due_net(&mut self, now: u64) -> Vec<Fault> {
+        let due = Self::drain(&mut self.net, now);
+        let mut log = self.log.lock();
+        for f in &due {
+            log.push(format!("tick {now}: {}", f.describe()));
+        }
+        due
+    }
+
+    /// Drain cluster faults due at or before `now`, logging them.
+    pub(crate) fn due_cluster(&mut self, now: u64) -> Vec<Fault> {
+        let due = Self::drain(&mut self.cluster, now);
+        let mut log = self.log.lock();
+        for f in &due {
+            log.push(format!("tick {now}: {}", f.describe()));
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_in_tick_then_insertion_order() {
+        let mut inj = FaultInjector::new();
+        inj.at(5, Fault::KillApp { pid: Pid(1) });
+        inj.at(3, Fault::ReorderControl { dpid: 7 });
+        inj.at(3, Fault::DropControl { dpid: 7, frames: 2 });
+        assert_eq!(inj.pending(), 3);
+        assert!(inj.due_net(2).is_empty());
+        let due = inj.due_net(3);
+        assert_eq!(
+            due,
+            vec![
+                Fault::ReorderControl { dpid: 7 },
+                Fault::DropControl { dpid: 7, frames: 2 },
+            ]
+        );
+        assert_eq!(inj.pending(), 1);
+        assert_eq!(inj.due_net(10), vec![Fault::KillApp { pid: Pid(1) }]);
+        assert_eq!(inj.log().lock().len(), 3);
+    }
+
+    #[test]
+    fn cluster_faults_use_their_own_queue() {
+        let mut inj = FaultInjector::new();
+        inj.at(
+            1,
+            Fault::DfsDown {
+                node: 0,
+                for_ticks: 4,
+            },
+        );
+        inj.at(1, Fault::KillApp { pid: Pid(2) });
+        assert_eq!(inj.due_net(1).len(), 1);
+        assert_eq!(inj.due_cluster(1).len(), 1);
+        assert_eq!(inj.pending(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Process-table vocabulary: pids, signals, lifecycle states, restart
+//! policies and process specs.
+//!
+//! yanc treats controller applications, daemons and drivers as *processes*
+//! (paper §3.2: "applications are separate processes with their own
+//! credentials"). This module defines the plain-data half of that model;
+//! [`crate::Supervisor`] is the machinery that runs it.
+
+use std::fmt;
+
+use yanc_vfs::AppLimits;
+
+/// A yanc process id. Allocated densely from 1 by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The subset of POSIX signals the supervisor understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// `SIGHUP` (1): reload configuration via [`yanc::YancApp::reload`].
+    Hup,
+    /// `SIGTERM` (15): graceful stop via [`yanc::YancApp::shutdown`];
+    /// the process is *not* restarted.
+    Term,
+    /// `SIGKILL` (9): immediate death — no shutdown hook runs, the
+    /// supervisor reclaims kernel resources, and the restart policy
+    /// decides what happens next.
+    Kill,
+}
+
+impl Signal {
+    /// Parse `"TERM"`, `"SIGTERM"`, `"15"`, etc.
+    pub fn parse(s: &str) -> Option<Signal> {
+        match s.trim().trim_start_matches('-').trim_start_matches("SIG") {
+            "HUP" | "hup" | "1" => Some(Signal::Hup),
+            "KILL" | "kill" | "9" => Some(Signal::Kill),
+            "TERM" | "term" | "15" => Some(Signal::Term),
+            _ => None,
+        }
+    }
+
+    /// The conventional name (without the `SIG` prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::Hup => "HUP",
+            Signal::Term => "TERM",
+            Signal::Kill => "KILL",
+        }
+    }
+
+    /// The conventional number.
+    pub fn number(self) -> u32 {
+        match self {
+            Signal::Hup => 1,
+            Signal::Kill => 9,
+            Signal::Term => 15,
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Lifecycle states of a supervised process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Spawned but has not completed a scheduler pass yet.
+    Starting,
+    /// Alive and driven every supervisor tick.
+    Running,
+    /// Died abnormally; waiting out an exponential backoff before restart.
+    Backoff,
+    /// Dead with its restart budget exhausted (or restart disabled on
+    /// failure paths). Terminal until an operator intervenes.
+    Failed,
+    /// Stopped cleanly (`SIGTERM`). Terminal; never restarted.
+    Stopped,
+}
+
+impl ProcessState {
+    /// Lower-case name as shown in `/net/.proc/apps/<pid>/status`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessState::Starting => "starting",
+            ProcessState::Running => "running",
+            ProcessState::Backoff => "backoff",
+            ProcessState::Failed => "failed",
+            ProcessState::Stopped => "stopped",
+        }
+    }
+
+    pub(crate) fn code(self) -> u64 {
+        match self {
+            ProcessState::Starting => 0,
+            ProcessState::Running => 1,
+            ProcessState::Backoff => 2,
+            ProcessState::Failed => 3,
+            ProcessState::Stopped => 4,
+        }
+    }
+
+    pub(crate) fn from_code(code: u64) -> ProcessState {
+        match code {
+            1 => ProcessState::Running,
+            2 => ProcessState::Backoff,
+            3 => ProcessState::Failed,
+            4 => ProcessState::Stopped,
+            _ => ProcessState::Starting,
+        }
+    }
+}
+
+/// What the supervisor does when a process dies abnormally.
+///
+/// Backoff is exponential in *supervisor ticks* (the virtual clock):
+/// restart `n` waits `backoff_base << n` ticks, so a crash-looping process
+/// consumes geometrically less scheduler attention — classic init design,
+/// kept deterministic here because ticks (not wall time) drive it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restart after abnormal death at all?
+    pub restart: bool,
+    /// Base backoff delay in ticks (restart `n` waits `base << n`).
+    pub backoff_base: u64,
+    /// Abnormal deaths tolerated before the process is marked `failed`.
+    pub max_restarts: u32,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            restart: true,
+            backoff_base: 2,
+            max_restarts: 8,
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Never restart: any abnormal death is terminal (`failed`).
+    pub fn never() -> Self {
+        RestartPolicy {
+            restart: false,
+            backoff_base: 0,
+            max_restarts: 0,
+        }
+    }
+
+    /// Backoff delay (ticks) before restart number `restarts + 1`.
+    pub fn backoff_for(&self, restarts: u32) -> u64 {
+        self.backoff_base.saturating_mul(1u64 << restarts.min(16))
+    }
+}
+
+/// Everything the supervisor needs to know to run one process.
+#[derive(Debug, Clone)]
+pub struct ProcessSpec {
+    /// Process name (unique per table; also the default cmdline).
+    pub name: String,
+    /// Human-readable command line shown in `.proc/apps/<pid>/cmdline`.
+    pub cmdline: String,
+    /// cgroup-style resource limits enforced at the vfs boundary.
+    pub limits: AppLimits,
+    /// Restart policy for abnormal deaths.
+    pub policy: RestartPolicy,
+    /// Namespace confinement: `(at, target)` bind mounts. Empty means the
+    /// process sees the whole tree.
+    pub binds: Vec<(String, String)>,
+    /// Grant `CAP_DAC_OVERRIDE` so the process can write the root-owned
+    /// `/net` tree while keeping its own uid for accounting. Defaults to
+    /// true; confined processes drop it.
+    pub dac_override: bool,
+}
+
+impl ProcessSpec {
+    /// A spec with default policy, no limits and full tree access.
+    pub fn new(name: &str) -> Self {
+        ProcessSpec {
+            name: name.to_string(),
+            cmdline: name.to_string(),
+            limits: AppLimits::default(),
+            policy: RestartPolicy::default(),
+            binds: Vec::new(),
+            dac_override: true,
+        }
+    }
+
+    /// Set the displayed command line.
+    pub fn cmdline(mut self, c: &str) -> Self {
+        self.cmdline = c.to_string();
+        self
+    }
+
+    /// Set resource limits.
+    pub fn limits(mut self, l: AppLimits) -> Self {
+        self.limits = l;
+        self
+    }
+
+    /// Set the restart policy.
+    pub fn policy(mut self, p: RestartPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Confine the process to a namespace built from bind mounts, and drop
+    /// `CAP_DAC_OVERRIDE` (plain POSIX permissions apply inside).
+    pub fn confined(mut self, binds: &[(&str, &str)]) -> Self {
+        self.binds = binds
+            .iter()
+            .map(|(a, t)| (a.to_string(), t.to_string()))
+            .collect();
+        self.dac_override = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_parsing() {
+        assert_eq!(Signal::parse("TERM"), Some(Signal::Term));
+        assert_eq!(Signal::parse("SIGKILL"), Some(Signal::Kill));
+        assert_eq!(Signal::parse("-9"), Some(Signal::Kill));
+        assert_eq!(Signal::parse("1"), Some(Signal::Hup));
+        assert_eq!(Signal::parse("15"), Some(Signal::Term));
+        assert_eq!(Signal::parse("USR1"), None);
+        assert_eq!(Signal::Term.number(), 15);
+        assert_eq!(Signal::Kill.name(), "KILL");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let p = RestartPolicy::default();
+        assert_eq!(p.backoff_for(0), 2);
+        assert_eq!(p.backoff_for(1), 4);
+        assert_eq!(p.backoff_for(3), 16);
+        // Clamped shift: huge restart counts must not overflow.
+        assert!(p.backoff_for(200) >= p.backoff_for(16));
+    }
+
+    #[test]
+    fn state_codes_round_trip() {
+        for s in [
+            ProcessState::Starting,
+            ProcessState::Running,
+            ProcessState::Backoff,
+            ProcessState::Failed,
+            ProcessState::Stopped,
+        ] {
+            assert_eq!(ProcessState::from_code(s.code()), s);
+        }
+    }
+
+    #[test]
+    fn confined_spec_drops_dac_override() {
+        let s = ProcessSpec::new("x").confined(&[("/", "/net/views/x")]);
+        assert!(!s.dac_override);
+        assert_eq!(s.binds.len(), 1);
+    }
+}

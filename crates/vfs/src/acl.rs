@@ -145,7 +145,7 @@ pub fn check_access(
     acl: Option<&Acl>,
     access: Access,
 ) -> bool {
-    if creds.is_root() {
+    if creds.is_root() || creds.dac_override {
         return true;
     }
     let bit = access.bit();
@@ -214,6 +214,20 @@ mod tests {
             Mode(0o077),
             None,
             Access::Read
+        ));
+    }
+
+    #[test]
+    fn dac_override_bypasses_checks_but_keeps_uid() {
+        let c = Credentials::user(1000, 1000).with_dac_override();
+        assert!(!c.is_root());
+        assert!(check_access(
+            &c,
+            Uid(0),
+            Gid(0),
+            Mode(0o000),
+            None,
+            Access::Write
         ));
     }
 

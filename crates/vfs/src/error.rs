@@ -23,6 +23,8 @@ pub enum Errno {
     EIO = 5,
     /// Bad file handle (stale or closed descriptor).
     EBADF = 9,
+    /// Resource temporarily unavailable (syscall-rate token bucket empty).
+    EAGAIN = 11,
     /// Permission denied (mode/ACL checks).
     EACCES = 13,
     /// File exists.
@@ -37,6 +39,8 @@ pub enum Errno {
     EINVAL = 22,
     /// File table overflow / too many open handles.
     ENFILE = 23,
+    /// Per-process (per-uid) open-handle limit reached.
+    EMFILE = 24,
     /// No space left on device (quota exceeded).
     ENOSPC = 28,
     /// Read-only file system (or read-only bind mount / view).
@@ -67,6 +71,7 @@ impl Errno {
             Errno::ENOENT => "ENOENT",
             Errno::EIO => "EIO",
             Errno::EBADF => "EBADF",
+            Errno::EAGAIN => "EAGAIN",
             Errno::EACCES => "EACCES",
             Errno::EEXIST => "EEXIST",
             Errno::EXDEV => "EXDEV",
@@ -74,6 +79,7 @@ impl Errno {
             Errno::EISDIR => "EISDIR",
             Errno::EINVAL => "EINVAL",
             Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
             Errno::ENOSPC => "ENOSPC",
             Errno::EROFS => "EROFS",
             Errno::EMLINK => "EMLINK",
@@ -94,6 +100,7 @@ impl Errno {
             Errno::ENOENT => "No such file or directory",
             Errno::EIO => "Input/output error",
             Errno::EBADF => "Bad file descriptor",
+            Errno::EAGAIN => "Resource temporarily unavailable",
             Errno::EACCES => "Permission denied",
             Errno::EEXIST => "File exists",
             Errno::EXDEV => "Invalid cross-device link",
@@ -101,6 +108,7 @@ impl Errno {
             Errno::EISDIR => "Is a directory",
             Errno::EINVAL => "Invalid argument",
             Errno::ENFILE => "Too many open files in system",
+            Errno::EMFILE => "Too many open files",
             Errno::ENOSPC => "No space left on device",
             Errno::EROFS => "Read-only file system",
             Errno::EMLINK => "Too many links",
@@ -168,6 +176,7 @@ mod tests {
             Errno::ENOENT,
             Errno::EIO,
             Errno::EBADF,
+            Errno::EAGAIN,
             Errno::EACCES,
             Errno::EEXIST,
             Errno::EXDEV,
@@ -175,6 +184,7 @@ mod tests {
             Errno::EISDIR,
             Errno::EINVAL,
             Errno::ENFILE,
+            Errno::EMFILE,
             Errno::ENOSPC,
             Errno::EROFS,
             Errno::EMLINK,

@@ -27,6 +27,7 @@ use crate::metrics::MetricsRegistry;
 use crate::notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
 use crate::path::{valid_name, VPath, NAME_MAX, PATH_MAX};
 use crate::proc::{ProcDepth, ProcHook, ProcRegistry, ProcRender};
+use crate::rctl::{AppLimits, RctlTable};
 use crate::types::{
     Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
     Timestamp, Uid, ROOT_INO,
@@ -57,6 +58,17 @@ impl Default for Limits {
             max_open_files: 1 << 16,
         }
     }
+}
+
+/// What [`Filesystem::reclaim`] tore down for a killed process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimReport {
+    /// Open handles force-closed.
+    pub handles_closed: usize,
+    /// Notify watch descriptors removed.
+    pub watches_removed: usize,
+    /// Unlinked inodes that were only kept alive by the closed handles.
+    pub inodes_dropped: usize,
 }
 
 #[derive(Debug)]
@@ -121,6 +133,9 @@ struct OpenFile {
     offset: u64,
     path: VPath,
     wrote: bool,
+    /// Uid the handle is charged to; [`Filesystem::reclaim`] closes every
+    /// handle owned by a killed process.
+    owner: Uid,
 }
 
 struct FsInner {
@@ -173,7 +188,7 @@ enum PendingHook {
 
 /// The virtual file system. Cheap to share: wrap in an [`Arc`].
 pub struct Filesystem {
-    inner: RwLock<FsInner>,
+    inner: Arc<RwLock<FsInner>>,
     clock: Clock,
     counters: Arc<SyscallCounters>,
     metrics: Arc<MetricsRegistry>,
@@ -181,6 +196,7 @@ pub struct Filesystem {
     proc: Arc<ProcRegistry>,
     hooks: RwLock<Vec<Arc<dyn SemanticHook>>>,
     limits: Limits,
+    rctl: Arc<RctlTable>,
 }
 
 impl Default for Filesystem {
@@ -220,12 +236,12 @@ impl Filesystem {
             },
         );
         Filesystem {
-            inner: RwLock::new(FsInner {
+            inner: Arc::new(RwLock::new(FsInner {
                 inodes,
                 next_ino: 2,
                 handles: HashMap::new(),
                 next_fd: 3,
-            }),
+            })),
             clock,
             counters: Arc::new(SyscallCounters::new()),
             metrics: Arc::new(MetricsRegistry::new()),
@@ -233,6 +249,7 @@ impl Filesystem {
             proc: Arc::new(ProcRegistry::new()),
             hooks: RwLock::new(Vec::new()),
             limits,
+            rctl: Arc::new(RctlTable::new()),
         }
     }
 
@@ -294,6 +311,123 @@ impl Filesystem {
         self.notify.unwatch(id)
     }
 
+    /// [`Self::watch_path`] with the watch descriptor charged to the caller's
+    /// uid (so [`Self::reclaim`] can find it) and the caller's `max_watches`
+    /// budget enforced (`EMFILE`).
+    pub fn watch_path_as(
+        &self,
+        path: &str,
+        mask: EventMask,
+        creds: &Credentials,
+    ) -> VfsResult<(WatchId, Receiver<Event>)> {
+        self.check_watch_budget(creds, path)?;
+        Ok(self
+            .notify
+            .watch_path_owned(&VPath::new(path), mask, creds.uid.0))
+    }
+
+    /// [`Self::watch_subtree`] with the descriptor charged to the caller.
+    pub fn watch_subtree_as(
+        &self,
+        path: &str,
+        mask: EventMask,
+        creds: &Credentials,
+    ) -> VfsResult<(WatchId, Receiver<Event>)> {
+        self.check_watch_budget(creds, path)?;
+        Ok(self
+            .notify
+            .watch_subtree_owned(&VPath::new(path), mask, creds.uid.0))
+    }
+
+    fn check_watch_budget(&self, creds: &Credentials, path: &str) -> VfsResult<()> {
+        if let Some(l) = self.rctl.limits(creds.uid.0) {
+            if let Some(cap) = l.max_watches {
+                if self.notify.watches_of(creds.uid.0) as u64 >= cap {
+                    return err(Errno::EMFILE, path);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Per-process resource control (cgroup-style, keyed by uid)
+    // ----------------------------------------------------------------
+
+    /// The resource-control table (see [`crate::rctl`]).
+    pub fn rctl(&self) -> &Arc<RctlTable> {
+        &self.rctl
+    }
+
+    /// Install limits for `uid`: syscall-rate tokens, handle/watch caps,
+    /// notify-queue quota, flow quota. The supervisor calls this when it
+    /// spawns a confined process.
+    pub fn set_app_limits(&self, uid: Uid, limits: AppLimits) {
+        self.notify
+            .set_queue_quota(uid.0, limits.notify_queue_max.map(|v| v as usize));
+        self.rctl.set_limits(uid.0, limits);
+    }
+
+    /// Remove the limits for `uid` (process exited / unconfined).
+    pub fn clear_app_limits(&self, uid: Uid) {
+        self.notify.set_queue_quota(uid.0, None);
+        self.rctl.clear_limits(uid.0);
+    }
+
+    /// Handles currently open, across all owners.
+    pub fn open_handle_count(&self) -> usize {
+        self.inner.read().handles.len()
+    }
+
+    /// Handles currently open and charged to `uid`.
+    pub fn handles_of(&self, uid: Uid) -> usize {
+        self.inner
+            .read()
+            .handles
+            .values()
+            .filter(|h| h.owner == uid)
+            .count()
+    }
+
+    /// Tear down every kernel-side resource charged to `uid`: open handles
+    /// (dropping now-orphaned inodes) and notify watch descriptors. This is
+    /// the `KILL` path — no `CloseWrite` fires, because a killed process
+    /// never reaches its commit point; half-written updates are abandoned
+    /// exactly as the paper's version-file protocol intends.
+    pub fn reclaim(&self, uid: Uid) -> ReclaimReport {
+        let mut handles_closed = 0usize;
+        let mut inodes_dropped = 0usize;
+        {
+            let mut inner = self.inner.write();
+            let mut fds: Vec<u64> = inner
+                .handles
+                .iter()
+                .filter(|(_, h)| h.owner == uid)
+                .map(|(fd, _)| *fd)
+                .collect();
+            fds.sort_unstable();
+            for fd in fds {
+                if let Some(h) = inner.handles.remove(&fd) {
+                    handles_closed += 1;
+                    self.rctl.release_open(uid.0);
+                    if let Some(node) = inner.inodes.get_mut(&h.ino.0) {
+                        node.open_count -= 1;
+                        if node.nlink == 0 && node.open_count == 0 {
+                            inner.inodes.remove(&h.ino.0);
+                            inodes_dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let watches_removed = self.notify.unwatch_owner(uid.0);
+        ReclaimReport {
+            handles_closed,
+            watches_removed,
+            inodes_dropped,
+        }
+    }
+
     // ----------------------------------------------------------------
     // /proc-style introspection mounts
     // ----------------------------------------------------------------
@@ -345,6 +479,22 @@ impl Filesystem {
         let n = self.notify.clone();
         self.proc_file(&format!("{prefix}/vfs/notify/queued"), move || {
             format!("{}\n", n.queued_events())
+        })?;
+        let n = self.notify.clone();
+        self.proc_file(&format!("{prefix}/vfs/notify/dropped"), move || {
+            format!("{}\n", n.dropped_events())
+        })?;
+        let inner = self.inner.clone();
+        self.proc_file(&format!("{prefix}/vfs/handles"), move || {
+            format!("{}\n", inner.read().handles.len())
+        })?;
+        let r = self.rctl.clone();
+        self.proc_file(&format!("{prefix}/vfs/rctl/throttled"), move || {
+            format!("{}\n", r.throttled_total())
+        })?;
+        let r = self.rctl.clone();
+        self.proc_file(&format!("{prefix}/vfs/rctl/refills"), move || {
+            format!("{}\n", r.refills())
         })?;
 
         // Scopes registered before the mount get their files now.
@@ -400,6 +550,28 @@ impl Filesystem {
         }
         self.counters.bump(op);
         self.metrics.record(op, path);
+    }
+
+    /// [`Self::count`], then consume one syscall-rate token for the calling
+    /// uid (`EAGAIN` when its bucket is empty). Root and hook-initiated
+    /// maintenance are exempt — throttling a semantic hook mid-mutation
+    /// would leave the tree half-updated.
+    #[inline]
+    fn charge(&self, op: OpKind, path: &str, creds: &Credentials) -> VfsResult<()> {
+        self.charge_uid(op, path, creds.uid)
+    }
+
+    #[inline]
+    fn charge_uid(&self, op: OpKind, path: &str, uid: Uid) -> VfsResult<()> {
+        if ProcDepth::active() || self.proc.covers(path) {
+            return Ok(());
+        }
+        self.counters.bump(op);
+        self.metrics.record(op, path);
+        if uid.0 != 0 && !HookDepth::active() {
+            self.rctl.charge_syscall(uid.0, path)?;
+        }
+        Ok(())
     }
 
     /// Give hooks a chance to materialise `path` before it is observed.
@@ -650,14 +822,14 @@ impl Filesystem {
     /// `stat(2)`: follow symlinks.
     pub fn stat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
         self.pre_access(path);
-        self.count(OpKind::Stat, path);
+        self.charge(OpKind::Stat, path, creds)?;
         self.stat_common(path, creds, true)
     }
 
     /// `lstat(2)`: do not follow a final symlink.
     pub fn lstat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
         self.pre_access(path);
-        self.count(OpKind::Stat, path);
+        self.charge(OpKind::Stat, path, creds)?;
         self.stat_common(path, creds, false)
     }
 
@@ -688,7 +860,7 @@ impl Filesystem {
 
     /// Resolve `path` to its canonical form (all symlinks resolved).
     pub fn canonicalize(&self, path: &str, creds: &Credentials) -> VfsResult<VPath> {
-        self.count(OpKind::Stat, path);
+        self.charge(OpKind::Stat, path, creds)?;
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let r = self.resolve(&inner, &vp, creds, true)?;
@@ -704,7 +876,7 @@ impl Filesystem {
 
     /// `chmod(2)`.
     pub fn chmod(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Setattr, path);
+        self.charge(OpKind::Setattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         let canon;
@@ -733,7 +905,7 @@ impl Filesystem {
         gid: Option<Gid>,
         creds: &Credentials,
     ) -> VfsResult<()> {
-        self.count(OpKind::Setattr, path);
+        self.charge(OpKind::Setattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         {
@@ -762,7 +934,7 @@ impl Filesystem {
 
     /// Replace the ACL on `path` (owner or root only). `None` clears it.
     pub fn set_acl(&self, path: &str, acl: Option<Acl>, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Xattr, path);
+        self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         {
@@ -782,7 +954,7 @@ impl Filesystem {
 
     /// Read the ACL on `path` (requires Read access).
     pub fn get_acl(&self, path: &str, creds: &Credentials) -> VfsResult<Option<Acl>> {
-        self.count(OpKind::Xattr, path);
+        self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -805,7 +977,7 @@ impl Filesystem {
         value: &[u8],
         creds: &Credentials,
     ) -> VfsResult<()> {
-        self.count(OpKind::Xattr, path);
+        self.charge(OpKind::Xattr, path, creds)?;
         if name.is_empty() || name.len() > NAME_MAX {
             return err(Errno::EINVAL, name);
         }
@@ -828,7 +1000,7 @@ impl Filesystem {
 
     /// `getxattr(2)`-alike; `ENODATA` when absent.
     pub fn get_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
-        self.count(OpKind::Xattr, path);
+        self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -845,7 +1017,7 @@ impl Filesystem {
 
     /// `listxattr(2)`-alike.
     pub fn list_xattr(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<String>> {
-        self.count(OpKind::Xattr, path);
+        self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -857,7 +1029,7 @@ impl Filesystem {
 
     /// `removexattr(2)`-alike; `ENODATA` when absent.
     pub fn remove_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Xattr, path);
+        self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         {
@@ -883,7 +1055,7 @@ impl Filesystem {
 
     /// `mkdir(2)`.
     pub fn mkdir(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Mkdir, path);
+        self.charge(OpKind::Mkdir, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         let full;
@@ -960,7 +1132,7 @@ impl Filesystem {
     /// `rmdir(2)`. If a registered hook declares `path` recursively
     /// removable (paper: switch directories), the whole subtree is removed.
     pub fn rmdir(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Rmdir, path);
+        self.charge(OpKind::Rmdir, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         let recursive =
@@ -1047,7 +1219,7 @@ impl Filesystem {
     /// `readdir(3)`: list a directory (requires Read access).
     pub fn readdir(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<DirEntry>> {
         self.pre_access(path);
-        self.count(OpKind::Readdir, path);
+        self.charge(OpKind::Readdir, path, creds)?;
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, true)?;
@@ -1082,7 +1254,7 @@ impl Filesystem {
     /// `symlink(2)`: create `linkpath` pointing at `target` (not required to
     /// exist). Registered hooks may veto schema-invalid links.
     pub fn symlink(&self, target: &str, linkpath: &str, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Symlink, linkpath);
+        self.charge(OpKind::Symlink, linkpath, creds)?;
         let vp = VPath::new(linkpath);
         self.validate_mutation(&vp)?;
         self.validate_with_hooks(|h| h.validate_symlink(self, &vp, target))?;
@@ -1127,7 +1299,7 @@ impl Filesystem {
 
     /// `readlink(2)`.
     pub fn readlink(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
-        self.count(OpKind::Readlink, path);
+        self.charge(OpKind::Readlink, path, creds)?;
         let vp = VPath::new(path);
         let inner = self.inner.read();
         let ino = self.lookup(&inner, &vp, creds, false)?;
@@ -1139,7 +1311,7 @@ impl Filesystem {
 
     /// `link(2)`: hard link (regular files only, as on Linux).
     pub fn link(&self, existing: &str, newpath: &str, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Link, newpath);
+        self.charge(OpKind::Link, newpath, creds)?;
         let vp_old = VPath::new(existing);
         let vp_new = VPath::new(newpath);
         self.validate_mutation(&vp_new)?;
@@ -1183,7 +1355,7 @@ impl Filesystem {
 
     /// `unlink(2)`.
     pub fn unlink(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Unlink, path);
+        self.charge(OpKind::Unlink, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         let mut events: Vec<PendingEvent> = Vec::new();
@@ -1225,7 +1397,7 @@ impl Filesystem {
     /// atomically replaced when types are compatible (file→file,
     /// dir→empty dir); a directory cannot be moved into its own subtree.
     pub fn rename(&self, from: &str, to: &str, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Rename, from);
+        self.charge(OpKind::Rename, from, creds)?;
         let vf = VPath::new(from);
         let vt = VPath::new(to);
         self.validate_mutation(&vf)?;
@@ -1324,7 +1496,7 @@ impl Filesystem {
     /// `open(2)`.
     pub fn open(&self, path: &str, flags: OpenFlags, creds: &Credentials) -> VfsResult<Fd> {
         self.pre_access(path);
-        self.count(OpKind::Open, path);
+        self.charge(OpKind::Open, path, creds)?;
         let vp = VPath::new(path);
         if flags.write || flags.create || flags.truncate || flags.append {
             self.validate_mutation(&vp)?;
@@ -1437,6 +1609,9 @@ impl Filesystem {
                     }
                 }
             };
+            // Per-uid handle budget, charged at the last fallible point so a
+            // failed open never leaks a slot.
+            self.rctl.charge_open(creds.uid.0, vp.as_str())?;
             inner.inode_mut(ino)?.open_count += 1;
             let id = inner.next_fd;
             inner.next_fd += 1;
@@ -1448,6 +1623,7 @@ impl Filesystem {
                     offset: 0,
                     path: full,
                     wrote: false,
+                    owner: creds.uid,
                 },
             );
             fd = Fd(id);
@@ -1465,8 +1641,9 @@ impl Filesystem {
     /// `read(2)`: up to `len` bytes from the handle's offset.
     pub fn read(&self, fd: Fd, len: usize) -> VfsResult<Vec<u8>> {
         let mut inner = self.inner.write();
+        let howner = inner.handles.get(&fd.0).map(|h| h.owner).unwrap_or(Uid(0));
         let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
-        self.count(OpKind::Read, hpath.as_deref().unwrap_or(""));
+        self.charge_uid(OpKind::Read, hpath.as_deref().unwrap_or(""), howner)?;
         let h = inner
             .handles
             .get(&fd.0)
@@ -1493,8 +1670,9 @@ impl Filesystem {
         let path;
         {
             let mut inner = self.inner.write();
+            let howner = inner.handles.get(&fd.0).map(|h| h.owner).unwrap_or(Uid(0));
             let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
-            self.count(OpKind::Write, hpath.as_deref().unwrap_or(""));
+            self.charge_uid(OpKind::Write, hpath.as_deref().unwrap_or(""), howner)?;
             let h = inner
                 .handles
                 .get(&fd.0)
@@ -1559,6 +1737,7 @@ impl Filesystem {
                 .handles
                 .remove(&fd.0)
                 .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
+            self.rctl.release_open(h.owner.0);
             wrote = h.wrote;
             path = h.path.clone();
             let gone = {
@@ -1580,7 +1759,7 @@ impl Filesystem {
 
     /// `truncate(2)` by path.
     pub fn truncate(&self, path: &str, len: u64, creds: &Credentials) -> VfsResult<()> {
-        self.count(OpKind::Truncate, path);
+        self.charge(OpKind::Truncate, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
         {

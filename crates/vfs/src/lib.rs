@@ -54,18 +54,20 @@ pub mod namespace;
 pub mod notify;
 pub mod path;
 pub mod proc;
+pub mod rctl;
 pub mod types;
 
 pub use acl::{check_access, Acl, AclEntry};
 pub use counter::{CounterSnapshot, OpKind, SyscallCounters};
 pub use error::{Errno, VfsError, VfsResult};
-pub use fs::{Filesystem, Limits};
+pub use fs::{Filesystem, Limits, ReclaimReport};
 pub use hooks::SemanticHook;
 pub use metrics::{op_cost_ns, LatencyHistogram, MetricsRegistry};
 pub use namespace::Namespace;
 pub use notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
 pub use path::{valid_name, VPath, NAME_MAX, PATH_MAX};
 pub use proc::{ProcHook, ProcRegistry, ProcRender};
+pub use rctl::{AppLimits, RctlTable, RctlUsage};
 pub use types::{
     Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
     Timestamp, Uid, ROOT_INO,

@@ -17,6 +17,7 @@
 //! emits events from every mutating operation with no cooperation needed
 //! from applications.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -104,6 +105,7 @@ struct Watch {
     id: WatchId,
     scope: Scope,
     mask: EventMask,
+    owner: Option<u32>,
     tx: Sender<Event>,
 }
 
@@ -111,6 +113,9 @@ struct Watch {
 pub struct NotifyHub {
     watches: RwLock<Vec<Watch>>,
     next_id: AtomicU64,
+    /// Per-uid cap on a watch's queued-but-unread events; excess is dropped.
+    quotas: RwLock<HashMap<u32, usize>>,
+    dropped: AtomicU64,
 }
 
 impl Default for NotifyHub {
@@ -125,16 +130,19 @@ impl NotifyHub {
         NotifyHub {
             watches: RwLock::new(Vec::new()),
             next_id: AtomicU64::new(1),
+            quotas: RwLock::new(HashMap::new()),
+            dropped: AtomicU64::new(0),
         }
     }
 
-    fn add(&self, scope: Scope, mask: EventMask) -> (WatchId, Receiver<Event>) {
+    fn add(&self, scope: Scope, mask: EventMask, owner: Option<u32>) -> (WatchId, Receiver<Event>) {
         let (tx, rx) = unbounded();
         let id = WatchId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.watches.write().push(Watch {
             id,
             scope,
             mask,
+            owner,
             tx,
         });
         (id, rx)
@@ -142,12 +150,33 @@ impl NotifyHub {
 
     /// inotify-style: watch `path` and (if a directory) its direct children.
     pub fn watch_path(&self, path: &VPath, mask: EventMask) -> (WatchId, Receiver<Event>) {
-        self.add(Scope::Path(path.clone()), mask)
+        self.add(Scope::Path(path.clone()), mask, None)
     }
 
     /// fanotify-style: watch the whole subtree rooted at `path`.
     pub fn watch_subtree(&self, path: &VPath, mask: EventMask) -> (WatchId, Receiver<Event>) {
-        self.add(Scope::Subtree(path.clone()), mask)
+        self.add(Scope::Subtree(path.clone()), mask, None)
+    }
+
+    /// [`Self::watch_path`] with the watch descriptor charged to `owner`, so
+    /// the supervisor can reclaim it when the owning process is killed.
+    pub fn watch_path_owned(
+        &self,
+        path: &VPath,
+        mask: EventMask,
+        owner: u32,
+    ) -> (WatchId, Receiver<Event>) {
+        self.add(Scope::Path(path.clone()), mask, Some(owner))
+    }
+
+    /// [`Self::watch_subtree`] with the watch descriptor charged to `owner`.
+    pub fn watch_subtree_owned(
+        &self,
+        path: &VPath,
+        mask: EventMask,
+        owner: u32,
+    ) -> (WatchId, Receiver<Event>) {
+        self.add(Scope::Subtree(path.clone()), mask, Some(owner))
     }
 
     /// Cancel a watch. Returns whether it existed.
@@ -158,9 +187,45 @@ impl NotifyHub {
         ws.len() != n
     }
 
+    /// Remove every watch descriptor charged to `owner` (process teardown).
+    /// Returns the number of descriptors reclaimed.
+    pub fn unwatch_owner(&self, owner: u32) -> usize {
+        let mut ws = self.watches.write();
+        let n = ws.len();
+        ws.retain(|w| w.owner != Some(owner));
+        n - ws.len()
+    }
+
     /// Number of active watches (disconnected receivers are reaped lazily).
     pub fn watch_count(&self) -> usize {
         self.watches.read().len()
+    }
+
+    /// Active watches charged to `owner`.
+    pub fn watches_of(&self, owner: u32) -> usize {
+        self.watches
+            .read()
+            .iter()
+            .filter(|w| w.owner == Some(owner))
+            .count()
+    }
+
+    /// Set or clear the queued-event quota for watches owned by `owner`.
+    pub fn set_queue_quota(&self, owner: u32, quota: Option<usize>) {
+        let mut q = self.quotas.write();
+        match quota {
+            Some(v) => {
+                q.insert(owner, v);
+            }
+            None => {
+                q.remove(&owner);
+            }
+        }
+    }
+
+    /// Events discarded because an owner's queue quota was exhausted.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Events delivered but not yet consumed, summed over every watch's
@@ -192,6 +257,16 @@ impl NotifyHub {
                 };
                 if !matches {
                     continue;
+                }
+                if let Some(uid) = w.owner {
+                    if let Some(&quota) = self.quotas.read().get(&uid) {
+                        if w.tx.len() >= quota {
+                            // Queue quota exhausted: tail-drop rather than let
+                            // a slow consumer grow the queue without bound.
+                            self.dropped.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
                 }
                 let ev = Event {
                     watch: w.id,

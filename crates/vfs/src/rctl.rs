@@ -1,0 +1,325 @@
+//! cgroup-style per-process resource controls, enforced at the vfs boundary.
+//!
+//! The paper's position (§2, §5.3) is that network applications are ordinary
+//! OS processes — and ordinary processes can be *confined*: a misbehaving
+//! tenant app must not be able to monopolise the controller by spinning on
+//! syscalls, leaking file handles, or flooding flow tables. This module is
+//! the accounting half of that story. Each supervised process (identified by
+//! the uid its [`crate::Credentials`] carry) gets an [`AppLimits`] record;
+//! every counted filesystem operation charges a token, every `open` charges a
+//! handle slot, and the schema layer charges flow-table slots. When a budget
+//! is exhausted the operation fails with the POSIX errno a Linux process
+//! would see (`EAGAIN`, `EMFILE`, `EDQUOT`) instead of silently degrading
+//! everyone else.
+//!
+//! Token refill is **explicit** ([`RctlTable::refill_all`]) rather than
+//! wall-clock driven: the supervisor refills once per scheduler tick, which
+//! keeps throttling deterministic under the virtual clock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::{err, Errno, VfsResult};
+
+/// Resource limits for one supervised process (keyed by uid). `None` means
+/// unlimited for that axis; the global [`crate::Limits`] still apply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppLimits {
+    /// Syscall token-bucket capacity per refill window. Each counted vfs
+    /// operation consumes one token; an empty bucket yields `EAGAIN`.
+    pub syscall_tokens: Option<u64>,
+    /// Maximum simultaneously open file handles (`EMFILE` beyond it).
+    pub max_open_handles: Option<u64>,
+    /// Maximum active notify watch descriptors (`EMFILE` beyond it).
+    pub max_watches: Option<u64>,
+    /// Maximum queued-but-unread events per watch; excess is tail-dropped.
+    pub notify_queue_max: Option<u64>,
+    /// Maximum concurrently installed flows charged to this process
+    /// (`EDQUOT` beyond it) — enforced by the schema layer.
+    pub max_flows: Option<u64>,
+}
+
+impl AppLimits {
+    /// Limits with every axis unlimited.
+    pub fn unlimited() -> Self {
+        AppLimits::default()
+    }
+}
+
+/// Point-in-time usage/throttle figures for one uid, for `.proc` rendering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RctlUsage {
+    /// Tokens remaining in the current refill window.
+    pub tokens_left: u64,
+    /// Counted operations charged since the limits were installed.
+    pub charged: u64,
+    /// Operations rejected with `EAGAIN`.
+    pub throttled: u64,
+    /// Handles currently open.
+    pub open_handles: u64,
+    /// Flows currently charged.
+    pub flows: u64,
+}
+
+struct Entry {
+    limits: AppLimits,
+    tokens: AtomicU64,
+    charged: AtomicU64,
+    throttled: AtomicU64,
+    open_handles: AtomicU64,
+    flows: AtomicU64,
+}
+
+impl Entry {
+    fn new(limits: AppLimits) -> Self {
+        Entry {
+            tokens: AtomicU64::new(limits.syscall_tokens.unwrap_or(0)),
+            limits,
+            charged: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            open_handles: AtomicU64::new(0),
+            flows: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The per-filesystem table of process resource controls.
+pub struct RctlTable {
+    entries: RwLock<HashMap<u32, Entry>>,
+    refills: AtomicU64,
+    throttled_total: AtomicU64,
+}
+
+impl Default for RctlTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RctlTable {
+    /// An empty table: nobody is limited.
+    pub fn new() -> Self {
+        RctlTable {
+            entries: RwLock::new(HashMap::new()),
+            refills: AtomicU64::new(0),
+            throttled_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Install (or replace) the limits for `uid`. Usage counters reset; the
+    /// token bucket starts full.
+    pub fn set_limits(&self, uid: u32, limits: AppLimits) {
+        self.entries.write().insert(uid, Entry::new(limits));
+    }
+
+    /// Remove the limits for `uid` (it becomes unconfined). Returns whether
+    /// an entry existed.
+    pub fn clear_limits(&self, uid: u32) -> bool {
+        self.entries.write().remove(&uid).is_some()
+    }
+
+    /// The limits installed for `uid`, if any.
+    pub fn limits(&self, uid: u32) -> Option<AppLimits> {
+        self.entries.read().get(&uid).map(|e| e.limits)
+    }
+
+    /// Usage figures for `uid`, if limited.
+    pub fn usage(&self, uid: u32) -> Option<RctlUsage> {
+        self.entries.read().get(&uid).map(|e| RctlUsage {
+            tokens_left: e.tokens.load(Ordering::Relaxed),
+            charged: e.charged.load(Ordering::Relaxed),
+            throttled: e.throttled.load(Ordering::Relaxed),
+            open_handles: e.open_handles.load(Ordering::Relaxed),
+            flows: e.flows.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Uids with limits installed, sorted (deterministic iteration).
+    pub fn limited_uids(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.entries.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Refill every token bucket to capacity. Called by the supervisor once
+    /// per scheduler tick, so "syscalls per tick" is the enforced rate.
+    pub fn refill_all(&self) {
+        let es = self.entries.read();
+        for e in es.values() {
+            if let Some(cap) = e.limits.syscall_tokens {
+                e.tokens.store(cap, Ordering::Relaxed);
+            }
+        }
+        self.refills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of refill windows elapsed.
+    pub fn refills(&self) -> u64 {
+        self.refills.load(Ordering::Relaxed)
+    }
+
+    /// Total `EAGAIN` rejections across all uids.
+    pub fn throttled_total(&self) -> u64 {
+        self.throttled_total.load(Ordering::Relaxed)
+    }
+
+    /// Consume one syscall token for `uid`. Unlimited uids always succeed.
+    pub fn charge_syscall(&self, uid: u32, operand: &str) -> VfsResult<()> {
+        let es = self.entries.read();
+        let e = match es.get(&uid) {
+            Some(e) => e,
+            None => return Ok(()),
+        };
+        if e.limits.syscall_tokens.is_none() {
+            e.charged.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let took = e
+            .tokens
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(1))
+            .is_ok();
+        if took {
+            e.charged.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            e.throttled.fetch_add(1, Ordering::Relaxed);
+            self.throttled_total.fetch_add(1, Ordering::Relaxed);
+            err(Errno::EAGAIN, operand)
+        }
+    }
+
+    /// Charge one open handle to `uid` (`EMFILE` past the cap).
+    pub fn charge_open(&self, uid: u32, operand: &str) -> VfsResult<()> {
+        let es = self.entries.read();
+        let e = match es.get(&uid) {
+            Some(e) => e,
+            None => return Ok(()),
+        };
+        if let Some(cap) = e.limits.max_open_handles {
+            if e.open_handles.load(Ordering::Relaxed) >= cap {
+                return err(Errno::EMFILE, operand);
+            }
+        }
+        e.open_handles.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Release one open handle charged to `uid`.
+    pub fn release_open(&self, uid: u32) {
+        if let Some(e) = self.entries.read().get(&uid) {
+            let _ = e
+                .open_handles
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(1));
+        }
+    }
+
+    /// Charge one installed flow to `uid` (`EDQUOT` past the quota).
+    pub fn charge_flow(&self, uid: u32, operand: &str) -> VfsResult<()> {
+        let es = self.entries.read();
+        let e = match es.get(&uid) {
+            Some(e) => e,
+            None => return Ok(()),
+        };
+        if let Some(cap) = e.limits.max_flows {
+            if e.flows.load(Ordering::Relaxed) >= cap {
+                return err(Errno::EDQUOT, operand);
+            }
+        }
+        e.flows.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Release one flow charged to `uid`.
+    pub fn release_flow(&self, uid: u32) {
+        if let Some(e) = self.entries.read().get(&uid) {
+            let _ = e
+                .flows
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_uid_never_throttles() {
+        let t = RctlTable::new();
+        for _ in 0..10_000 {
+            t.charge_syscall(7, "/x").unwrap();
+        }
+        assert_eq!(t.throttled_total(), 0);
+    }
+
+    #[test]
+    fn token_bucket_throttles_then_refills() {
+        let t = RctlTable::new();
+        t.set_limits(
+            5,
+            AppLimits {
+                syscall_tokens: Some(3),
+                ..Default::default()
+            },
+        );
+        assert!(t.charge_syscall(5, "/a").is_ok());
+        assert!(t.charge_syscall(5, "/b").is_ok());
+        assert!(t.charge_syscall(5, "/c").is_ok());
+        let e = t.charge_syscall(5, "/d").unwrap_err();
+        assert_eq!(e.errno, Errno::EAGAIN);
+        assert_eq!(t.usage(5).unwrap().throttled, 1);
+        t.refill_all();
+        assert!(t.charge_syscall(5, "/e").is_ok());
+        assert_eq!(t.usage(5).unwrap().charged, 4);
+    }
+
+    #[test]
+    fn handle_cap_is_emfile_and_releases() {
+        let t = RctlTable::new();
+        t.set_limits(
+            9,
+            AppLimits {
+                max_open_handles: Some(2),
+                ..Default::default()
+            },
+        );
+        t.charge_open(9, "/f").unwrap();
+        t.charge_open(9, "/f").unwrap();
+        assert_eq!(t.charge_open(9, "/f").unwrap_err().errno, Errno::EMFILE);
+        t.release_open(9);
+        t.charge_open(9, "/f").unwrap();
+    }
+
+    #[test]
+    fn flow_quota_is_edquot() {
+        let t = RctlTable::new();
+        t.set_limits(
+            4,
+            AppLimits {
+                max_flows: Some(1),
+                ..Default::default()
+            },
+        );
+        t.charge_flow(4, "f1").unwrap();
+        assert_eq!(t.charge_flow(4, "f2").unwrap_err().errno, Errno::EDQUOT);
+        t.release_flow(4);
+        t.charge_flow(4, "f2").unwrap();
+    }
+
+    #[test]
+    fn clear_limits_unconfines() {
+        let t = RctlTable::new();
+        t.set_limits(
+            2,
+            AppLimits {
+                syscall_tokens: Some(0),
+                ..Default::default()
+            },
+        );
+        assert!(t.charge_syscall(2, "/x").is_err());
+        assert!(t.clear_limits(2));
+        assert!(t.charge_syscall(2, "/x").is_ok());
+    }
+}

@@ -129,6 +129,13 @@ pub struct Credentials {
     pub gid: Gid,
     /// Supplementary groups.
     pub groups: Vec<Gid>,
+    /// `CAP_DAC_OVERRIDE`: bypass file permission checks while keeping a
+    /// non-zero uid. This is how supervised yanc processes get their own
+    /// identity for resource accounting (rctl buckets, handle/watch
+    /// ownership) without being locked out of the root-owned `/net` tree —
+    /// the same split Linux makes between capabilities and uids. Dropping
+    /// the capability (plus a namespace) yields a fully confined process.
+    pub dac_override: bool,
 }
 
 impl Credentials {
@@ -138,6 +145,7 @@ impl Credentials {
             uid: Uid(0),
             gid: Gid(0),
             groups: Vec::new(),
+            dac_override: false,
         }
     }
 
@@ -147,7 +155,14 @@ impl Credentials {
             uid: Uid(uid),
             gid: Gid(gid),
             groups: Vec::new(),
+            dac_override: false,
         }
+    }
+
+    /// Grant `CAP_DAC_OVERRIDE` (builder form).
+    pub fn with_dac_override(mut self) -> Self {
+        self.dac_override = true;
+        self
     }
 
     /// Whether these credentials are the superuser.

@@ -1,0 +1,347 @@
+//! Process management end to end: the supervisor runs daemons as yanc
+//! processes, faults are injected deterministically, and the network
+//! reconverges to its pre-fault fixpoint — with the whole story readable
+//! through `/net/.proc` and drivable with `ps`/`kill` one-liners.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use yanc::{YancApp, YancFs, YancResult};
+use yanc_apps::{LearningSwitch, TopologyDaemon};
+use yanc_coreutils::Shell;
+use yanc_driver::Runtime;
+use yanc_harness::{build_line, settle_supervised};
+use yanc_init::{Fault, ProcessCtx, ProcessSpec, ProcessState, RestartPolicy, Supervisor};
+use yanc_openflow::Version;
+use yanc_vfs::{AppLimits, Credentials, EventMask, Uid};
+
+fn topod_factory(ctx: &ProcessCtx) -> YancResult<Box<dyn YancApp>> {
+    Ok(Box::new(TopologyDaemon::new(ctx.yfs.clone())?) as Box<dyn YancApp>)
+}
+
+/// Every inter-switch link the fs knows, as a sorted fingerprint string.
+fn topology_fingerprint(yfs: &YancFs) -> String {
+    let mut links = Vec::new();
+    for sw in yfs.list_switches().unwrap() {
+        for port in yfs.list_ports(&sw).unwrap() {
+            if let Ok(Some((peer, pport))) = yfs.peer(&sw, port) {
+                links.push(format!("{sw}:{port}->{peer}:{pport}"));
+            }
+        }
+    }
+    links.sort();
+    links.join("\n")
+}
+
+/// Build a 3-switch line, supervise a topology daemon over it, optionally
+/// script the fault scenario, settle, and report
+/// `(topology, restarts, total syscalls)`.
+fn run_line_scenario(faulted: bool) -> (String, u64, u64) {
+    let mut rt = Runtime::new();
+    build_line(&mut rt, 3, Version::V1_3);
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    let pid = sup
+        .spawn(
+            ProcessSpec::new("topod").policy(RestartPolicy {
+                restart: true,
+                backoff_base: 1,
+                max_restarts: 4,
+            }),
+            topod_factory,
+        )
+        .unwrap();
+    if faulted {
+        // Damage discovery early (lost + reordered control frames), then
+        // kill the daemon mid-event-loop. The restart must re-probe and
+        // heal whatever the channel faults ate.
+        sup.faults.at(1, Fault::DropControl { dpid: 2, frames: 2 });
+        sup.faults.at(1, Fault::ReorderControl { dpid: 3 });
+        sup.faults.at(6, Fault::KillApp { pid });
+    }
+    settle_supervised(&mut rt, &mut sup);
+    let fs = rt.yfs.filesystem();
+    let root = Credentials::root();
+    let restarts: u64 = fs
+        .read_to_string(&format!("/net/.proc/apps/{pid}/restarts"), &root)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let syscalls: u64 = fs
+        .read_to_string("/net/.proc/scopes/net/total", &root)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(sup.state(pid), Some(ProcessState::Running));
+    (topology_fingerprint(&rt.yfs), restarts, syscalls)
+}
+
+#[test]
+fn killed_topod_plus_channel_faults_reconverge_to_prefault_fixpoint() {
+    let (clean_topo, clean_restarts, _) = run_line_scenario(false);
+    assert_eq!(clean_restarts, 0);
+    // A 3-line has two links, each recorded from both ends.
+    assert_eq!(clean_topo.lines().count(), 4, "{clean_topo}");
+
+    let (topo_a, restarts_a, syscalls_a) = run_line_scenario(true);
+    let (topo_b, restarts_b, syscalls_b) = run_line_scenario(true);
+    // Reconverged to the exact pre-fault fixpoint...
+    assert_eq!(topo_a, clean_topo);
+    // ...after exactly one policy-driven restart, visible in .proc...
+    assert_eq!(restarts_a, 1);
+    // ...and the whole faulted run is deterministic, down to the virtual
+    // kernel's syscall count.
+    assert_eq!(topo_a, topo_b);
+    assert_eq!(restarts_a, restarts_b);
+    assert_eq!(syscalls_a, syscalls_b);
+}
+
+/// Scans the whole `/net` tree every slice — far more syscalls than its
+/// token bucket allows.
+struct GreedyScanner {
+    yfs: YancFs,
+    stats_done: Arc<AtomicU64>,
+}
+
+impl YancApp for GreedyScanner {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn run_once(&mut self) -> YancResult<bool> {
+        let fs = self.yfs.filesystem();
+        for _ in 0..64 {
+            fs.stat(self.yfs.root().as_str(), self.yfs.creds())?;
+            self.stats_done.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(false)
+    }
+}
+
+#[test]
+fn rate_limited_app_is_throttled_without_starving_the_rest() {
+    let mut rt = Runtime::new();
+    rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_0], Version::V1_0);
+    let h1 = rt.net.add_host("h1", "10.0.0.1".parse().unwrap());
+    let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
+    rt.net.attach_host(h1, (0x1, 1), None);
+    rt.net.attach_host(h2, (0x1, 2), None);
+    rt.pump();
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+
+    let stats_done = Arc::new(AtomicU64::new(0));
+    let sd = stats_done.clone();
+    let greedy = sup
+        .spawn(
+            ProcessSpec::new("greedy").limits(AppLimits {
+                syscall_tokens: Some(8),
+                ..Default::default()
+            }),
+            move |ctx: &ProcessCtx| {
+                Ok(Box::new(GreedyScanner {
+                    yfs: ctx.yfs.clone(),
+                    stats_done: sd.clone(),
+                }) as Box<dyn YancApp>)
+            },
+        )
+        .unwrap();
+    let l2 = sup
+        .spawn(ProcessSpec::new("l2switch"), |ctx: &ProcessCtx| {
+            Ok(Box::new(LearningSwitch::new(ctx.yfs.clone())?) as Box<dyn YancApp>)
+        })
+        .unwrap();
+
+    rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 1);
+    for _ in 0..20 {
+        sup.step(&mut rt);
+    }
+
+    // The greedy app ran out of tokens every single slice (EAGAIN), yet it
+    // is alive, unrestarted, and still making bounded progress per tick.
+    assert!(sup.throttles(greedy) >= 10, "{}", sup.throttles(greedy));
+    assert_eq!(sup.state(greedy), Some(ProcessState::Running));
+    assert_eq!(sup.restarts(greedy), 0);
+    let done = stats_done.load(Ordering::Relaxed);
+    assert!(done >= 8 * 10, "greedy starved: only {done} stats");
+    // And it never starved the learning switch: the ping went through.
+    assert_eq!(
+        rt.net.hosts[&h1].ping_replies,
+        vec![("10.0.0.2".parse().unwrap(), 1)]
+    );
+    assert_eq!(sup.state(l2), Some(ProcessState::Running));
+    // The throttling shows up in the kernel-wide .proc counters too.
+    let throttled: u64 = rt
+        .yfs
+        .filesystem()
+        .read_to_string("/net/.proc/vfs/rctl/throttled", &Credentials::root())
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(throttled >= sup.throttles(greedy));
+}
+
+#[test]
+fn failed_driver_is_detached_and_reattached_compatibly() {
+    let mut rt = Runtime::new();
+    // Switch speaks only 1.0; the first driver insists on 1.3 and dies.
+    rt.add_switch_with_driver(0xc, 2, 1, vec![Version::V1_0], Version::V1_3);
+    rt.yfs.enable_introspection().unwrap();
+    rt.pump();
+    let fs = rt.yfs.filesystem().clone();
+    let root = Credentials::root();
+    // The terminal state is visible in the introspection tree (the driver
+    // never learned a switch name, so it registers under its dpid).
+    assert_eq!(
+        fs.read_to_string("/net/.proc/drivers/dpidc/state", &root)
+            .unwrap()
+            .trim(),
+        "failed"
+    );
+    assert!(rt.yfs.list_switches().unwrap().is_empty());
+
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    assert_eq!(sup.supervise_drivers(&mut rt), 1);
+    rt.pump();
+    // The replacement negotiated the best version the switch implements.
+    assert_eq!(rt.yfs.list_switches().unwrap(), vec!["swc".to_string()]);
+    assert_eq!(
+        fs.read_to_string("/net/.proc/drivers/swc/protocol", &root)
+            .unwrap()
+            .trim(),
+        "OpenFlow 1.0"
+    );
+    assert_eq!(sup.driver_reattaches(), 1);
+    assert_eq!(
+        fs.read_to_string("/net/.proc/init/driver_reattaches", &root)
+            .unwrap()
+            .trim(),
+        "1"
+    );
+    // Idempotent: nothing left to heal.
+    assert_eq!(sup.supervise_drivers(&mut rt), 0);
+}
+
+#[test]
+fn ps_and_kill_drive_the_process_table_from_the_shell() {
+    let mut rt = Runtime::new();
+    build_line(&mut rt, 2, Version::V1_0);
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    let topod = sup.spawn(ProcessSpec::new("topod"), topod_factory).unwrap();
+    let l2 = sup
+        .spawn(ProcessSpec::new("l2switch"), |ctx: &ProcessCtx| {
+            Ok(Box::new(LearningSwitch::new(ctx.yfs.clone())?) as Box<dyn YancApp>)
+        })
+        .unwrap();
+    settle_supervised(&mut rt, &mut sup);
+
+    let mut sh = Shell::new(rt.yfs.filesystem().clone());
+    let ps = sh.run("ps").out;
+    assert!(
+        ps.contains(&format!("{topod} 1000 running 0 topod")),
+        "{ps}"
+    );
+    assert!(
+        ps.contains(&format!("{l2} 1001 running 0 l2switch")),
+        "{ps}"
+    );
+
+    // `kill` is just an append to the ctl file; the supervisor's next
+    // tick delivers it.
+    assert!(sh.run(&format!("kill -TERM {topod}")).success());
+    settle_supervised(&mut rt, &mut sup);
+    assert_eq!(sup.state(topod), Some(ProcessState::Stopped));
+    let ps = sh.run("ps").out;
+    assert!(
+        ps.contains(&format!("{topod} 1000 stopped 0 topod")),
+        "{ps}"
+    );
+    assert!(ps.contains("running 0 l2switch"), "{ps}");
+}
+
+// ---------------------------------------------------------------------
+// The reclamation law (proptest): killing a process leaves no orphaned
+// kernel resources, and the `.proc` totals agree with the kernel.
+// ---------------------------------------------------------------------
+
+/// Holds `n_handles` open fds and `n_watches` watches, forever.
+struct Hoarder;
+impl YancApp for Hoarder {
+    fn name(&self) -> &str {
+        "hoarder"
+    }
+    fn run_once(&mut self) -> YancResult<bool> {
+        Ok(false)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kill_reclaims_every_handle_and_watch(
+        n_handles in 0usize..6,
+        n_watches in 0usize..4,
+        ticks_before_kill in 0u64..4,
+    ) {
+        let mut rt = Runtime::new();
+        rt.add_switch_with_driver(0x1, 2, 1, vec![Version::V1_0], Version::V1_0);
+        rt.pump();
+        rt.yfs.enable_introspection().unwrap();
+        let fs = rt.yfs.filesystem().clone();
+        let root = Credentials::root();
+        let baseline_handles = fs.open_handle_count();
+
+        let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+        let pid = sup
+            .spawn(
+                ProcessSpec::new("hoarder").policy(RestartPolicy::never()),
+                move |ctx: &ProcessCtx| {
+                    let fs = ctx.yfs.filesystem();
+                    let creds = ctx.yfs.creds();
+                    for i in 0..n_handles {
+                        let p = format!("/net/views/hoard_{i}");
+                        fs.write_file(&p, b"x", creds)?;
+                        fs.open(&p, yanc_vfs::OpenFlags::read_only(), creds)?;
+                    }
+                    for _ in 0..n_watches {
+                        let (_w, rx) = fs.watch_path_as("/net/views", EventMask::ALL, creds)?;
+                        std::mem::forget(rx);
+                    }
+                    Ok(Box::new(Hoarder) as Box<dyn YancApp>)
+                },
+            )
+            .unwrap();
+        let uid = sup.uid_of(pid).unwrap();
+        for _ in 0..ticks_before_kill {
+            sup.step(&mut rt);
+        }
+        prop_assert_eq!(fs.handles_of(Uid(uid)), n_handles);
+
+        sup.signal(pid, yanc_init::Signal::Kill);
+
+        // No orphans: everything charged to the uid is gone...
+        prop_assert_eq!(fs.handles_of(Uid(uid)), 0);
+        prop_assert_eq!(fs.notify().watches_of(uid), 0);
+        // ...the kernel is back to its pre-spawn handle count...
+        prop_assert_eq!(fs.open_handle_count(), baseline_handles);
+        // ...and the .proc totals tell the same story as the kernel. The
+        // snapshot includes the fd doing the reading — the same observer
+        // effect as `cat /proc/sys/fs/file-nr` counting its own handle —
+        // which is gone again by the time we recount directly.
+        let proc_handles: usize = fs
+            .read_to_string("/net/.proc/vfs/handles", &root)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        prop_assert_eq!(proc_handles, fs.open_handle_count() + 1);
+        // RestartPolicy::never(): the kill is terminal.
+        prop_assert_eq!(sup.state(pid), Some(ProcessState::Failed));
+    }
+}
