@@ -1,0 +1,152 @@
+//! E20 — sharded-vfs scaling: ops/sec of a mixed open/read/write +
+//! flow-commit workload as real threads are added, for the single-lock
+//! configuration (`shards = 1`, every operation serializes on one lock)
+//! versus the default sharded configuration (inode/handle tables split
+//! across lock shards, canonical-order multi-shard acquisition).
+//!
+//! Shape expectations: with one shard, added threads mostly add lock
+//! hand-offs, so throughput is flat-to-falling; with shards, threads
+//! working in disjoint subtrees touch disjoint shards and throughput
+//! holds or grows until the host runs out of cores. The speedup column is
+//! wall-clock-honest for the machine the bench runs on — on a single-core
+//! host it measures contention overhead avoided, not true parallelism.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc_vfs::{Credentials, Filesystem, Mode, OpenFlags};
+
+/// Per-thread working set: a private subtree with one data file and one
+/// flow-style directory whose commit protocol is "write fields, bump
+/// version last" — the same multi-file pattern `YancFs::write_flow` uses.
+fn prepare(fs: &Filesystem, threads: usize) {
+    let root = Credentials::root();
+    for t in 0..threads {
+        let dir = format!("/bench/t{t}");
+        fs.mkdir_all(&format!("{dir}/flows/f0"), Mode::DIR_DEFAULT, &root)
+            .unwrap();
+        fs.write_file(&format!("{dir}/data"), b"seed", &root)
+            .unwrap();
+    }
+}
+
+/// One iteration of the mixed workload, ~10 counted syscalls.
+fn mixed_iter(fs: &Filesystem, dir: &str, i: usize, creds: &Credentials) {
+    // open/write/read/close cycle on the private data file.
+    let fd = fs
+        .open(&format!("{dir}/data"), OpenFlags::read_write(), creds)
+        .unwrap();
+    fs.write(fd, format!("payload-{i}").as_bytes()).unwrap();
+    fs.seek(fd, 0).unwrap();
+    fs.read(fd, 64).unwrap();
+    fs.close(fd, creds).unwrap();
+    // stat something shared (read-locks only on the hot shards).
+    fs.stat("/bench", creds).unwrap();
+    // flow-commit: field files first, version bump last.
+    let flow = format!("{dir}/flows/f0");
+    fs.write_file(&format!("{flow}/match"), b"tp_dst=22", creds)
+        .unwrap();
+    fs.write_file(&format!("{flow}/actions"), b"out:2", creds)
+        .unwrap();
+    fs.write_file(&format!("{flow}/version"), i.to_string().as_bytes(), creds)
+        .unwrap();
+}
+
+/// Run `threads` workers for `iters` iterations each over a fresh
+/// filesystem with `shards` lock shards; return ops/sec (counted syscalls
+/// per wall-clock second).
+fn run_mixed(shards: usize, threads: usize, iters: usize) -> f64 {
+    let fs = Arc::new(Filesystem::with_shards(shards));
+    prepare(&fs, threads);
+    let before = fs.counters().total();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let fs = Arc::clone(&fs);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let creds = Credentials::root();
+                let dir = format!("/bench/t{t}");
+                barrier.wait();
+                for i in 0..iters {
+                    mixed_iter(&fs, &dir, i, &creds);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ops = fs.counters().total() - before;
+    fs.check_invariants().unwrap();
+    ops as f64 / elapsed
+}
+
+fn bench_vfs_parallel(c: &mut Criterion) {
+    let iters = 10_000;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("\nE20: sharded vfs scaling — mixed open/read/write/flow-commit");
+    println!("      ({iters} iters/thread, host parallelism {host_cores})");
+    println!(
+        "{:>8} {:>16} {:>16} {:>9}",
+        "threads", "1-shard ops/s", "8-shard ops/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8, 16] {
+        let single = run_mixed(1, threads, iters);
+        let sharded = run_mixed(8, threads, iters);
+        let speedup = sharded / single;
+        println!("{threads:>8} {single:>16.0} {sharded:>16.0} {speedup:>8.2}x");
+        rows.push(format!(
+            "{{\"threads\": {threads}, \"ops_per_sec_1_shard\": {single:.0}, \
+             \"ops_per_sec_8_shards\": {sharded:.0}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    println!();
+
+    // Machine-readable artifact; the kernel metrics come from a fresh
+    // deterministic single-threaded pass so the report tail is stable.
+    let fs = Filesystem::with_shards(8);
+    prepare(&fs, 1);
+    let creds = Credentials::root();
+    for i in 0..64 {
+        mixed_iter(&fs, "/bench/t0", i, &creds);
+    }
+    yanc_harness::write_bench_report(
+        "vfs_parallel",
+        &fs,
+        &[
+            ("host_parallelism", host_cores.to_string()),
+            ("iters_per_thread", iters.to_string()),
+            (
+                "note",
+                format!(
+                    "\"wall-clock ops/sec on a {host_cores}-core host; threads only \
+                     run concurrently (and the shard configurations separate) when \
+                     host_parallelism > 1\""
+                ),
+            ),
+            ("scaling", format!("[{}]", rows.join(", "))),
+        ],
+    );
+
+    let mut g = c.benchmark_group("vfs_parallel");
+    g.sample_size(10);
+    for &(shards, threads) in &[(1usize, 8usize), (8, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("{shards}shard_mixed"), threads),
+            &threads,
+            |b, &threads| b.iter(|| run_mixed(shards, threads, 200)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vfs_parallel);
+criterion_main!(benches);

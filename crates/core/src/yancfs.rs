@@ -159,6 +159,14 @@ impl YancFs {
         &self.fs
     }
 
+    /// Number of lock shards the underlying filesystem spreads its inode
+    /// and handle tables over. `1` means the deterministic single-lock
+    /// configuration; the default is concurrent. Also readable as the
+    /// `.proc/vfs/shards` file once introspection is enabled.
+    pub fn shard_count(&self) -> usize {
+        self.fs.shard_count()
+    }
+
     /// The mount root.
     pub fn root(&self) -> &VPath {
         &self.root
@@ -849,6 +857,24 @@ mod tests {
             .write_file("/net/.proc/vfs/syscalls/total", b"0", y.creds())
             .unwrap_err();
         assert_eq!(e.errno, yanc_vfs::Errno::EROFS);
+    }
+
+    #[test]
+    fn shard_count_is_exposed_and_introspectable() {
+        let y = yfs();
+        y.enable_introspection().unwrap();
+        assert!(y.shard_count() >= 1);
+        let via_proc: usize = y
+            .filesystem()
+            .read_to_string("/net/.proc/vfs/shards", y.creds())
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(via_proc, y.shard_count());
+        // A single-shard filesystem is the deterministic configuration.
+        let solo = YancFs::init(Arc::new(Filesystem::with_shards(1)), "/net").unwrap();
+        assert_eq!(solo.shard_count(), 1);
     }
 
     #[test]

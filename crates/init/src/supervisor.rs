@@ -92,6 +92,10 @@ pub struct Supervisor {
     /// Deterministic fault schedule (public: tests script it directly).
     pub faults: FaultInjector,
     driver_reattaches: Arc<AtomicU64>,
+    /// Cumulative open handles force-closed by uid reclaims (spawn failures,
+    /// SIGTERM/SIGKILL, abnormal death). Exposed as
+    /// `.proc/init/reclaimed_handles`.
+    reclaimed_handles: Arc<AtomicU64>,
 }
 
 impl Supervisor {
@@ -116,6 +120,7 @@ impl Supervisor {
             ctl_offset: 0,
             faults: FaultInjector::new(),
             driver_reattaches: Arc::new(AtomicU64::new(0)),
+            reclaimed_handles: Arc::new(AtomicU64::new(0)),
         };
         let base = sup.yfs.proc_dir().join("init");
         let t = sup.ticks.clone();
@@ -125,6 +130,10 @@ impl Supervisor {
         let r = sup.driver_reattaches.clone();
         let _ = fs.proc_file(base.join("driver_reattaches").as_str(), move || {
             format!("{}\n", r.load(Ordering::Relaxed))
+        });
+        let rh = sup.reclaimed_handles.clone();
+        let _ = fs.proc_file(base.join("reclaimed_handles").as_str(), move || {
+            format!("{}\n", rh.load(Ordering::Relaxed))
         });
         let log = sup.faults.log();
         let _ = fs.proc_file(base.join("faults").as_str(), move || {
@@ -151,6 +160,11 @@ impl Supervisor {
     /// Drivers re-attached so far by [`Supervisor::supervise_drivers`].
     pub fn driver_reattaches(&self) -> u64 {
         self.driver_reattaches.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative open handles force-closed by uid reclaims since boot.
+    pub fn reclaimed_handles(&self) -> u64 {
+        self.reclaimed_handles.load(Ordering::Relaxed)
     }
 
     fn make_ctx(yfs: &YancFs, pid: Pid, uid: u32, spec: &ProcessSpec) -> ProcessCtx {
@@ -190,7 +204,9 @@ impl Supervisor {
             Ok(app) => app,
             Err(e) => {
                 // Nothing to supervise; leave no residue behind.
-                fs.reclaim(Uid(uid));
+                let rep = fs.reclaim(Uid(uid));
+                self.reclaimed_handles
+                    .fetch_add(rep.handles_closed as u64, Ordering::Relaxed);
                 fs.clear_app_limits(Uid(uid));
                 return Err(e);
             }
@@ -281,9 +297,16 @@ impl Supervisor {
     /// Abnormal death: drop the instance (no shutdown hook — the process
     /// never got a commit point), reclaim every kernel resource charged to
     /// its uid, and schedule a restart per policy or mark it failed.
-    fn mark_dead(fs: &Arc<Filesystem>, entry: &mut ProcEntry, now: u64, why: &str) {
+    fn mark_dead(
+        fs: &Arc<Filesystem>,
+        reclaimed: &AtomicU64,
+        entry: &mut ProcEntry,
+        now: u64,
+        why: &str,
+    ) {
         entry.app = None;
-        fs.reclaim(Uid(entry.uid));
+        let rep = fs.reclaim(Uid(entry.uid));
+        reclaimed.fetch_add(rep.handles_closed as u64, Ordering::Relaxed);
         *entry.shared.last_error.lock() = why.to_string();
         entry.died_at = now;
         let restarts = entry.shared.restarts.load(Ordering::Relaxed);
@@ -303,6 +326,7 @@ impl Supervisor {
     pub fn signal(&mut self, pid: Pid, sig: Signal) -> bool {
         let now = self.now();
         let fs = self.yfs.filesystem().clone();
+        let rh = self.reclaimed_handles.clone();
         let Some(entry) = self.procs.get_mut(&pid.0) else {
             return false;
         };
@@ -315,7 +339,7 @@ impl Supervisor {
             Signal::Hup => match entry.app.as_mut() {
                 Some(app) => {
                     if let Err(e) = app.reload() {
-                        Self::mark_dead(&fs, entry, now, &format!("reload failed: {e}"));
+                        Self::mark_dead(&fs, &rh, entry, now, &format!("reload failed: {e}"));
                     }
                     true
                 }
@@ -325,14 +349,15 @@ impl Supervisor {
                 if let Some(mut app) = entry.app.take() {
                     app.shutdown();
                 }
-                fs.reclaim(Uid(entry.uid));
+                let rep = fs.reclaim(Uid(entry.uid));
+                rh.fetch_add(rep.handles_closed as u64, Ordering::Relaxed);
                 entry.backoff_until = None;
                 entry.shared.set_state(ProcessState::Stopped);
                 true
             }
             Signal::Kill => {
                 if entry.app.is_some() {
-                    Self::mark_dead(&fs, entry, now, "killed (SIGKILL)");
+                    Self::mark_dead(&fs, &rh, entry, now, "killed (SIGKILL)");
                     true
                 } else {
                     false
@@ -380,6 +405,7 @@ impl Supervisor {
     pub fn tick(&mut self) -> bool {
         let now = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         let fs = self.yfs.filesystem().clone();
+        let rh = self.reclaimed_handles.clone();
         fs.rctl().refill_all();
         let mut worked = self.process_ctl();
         let pids: Vec<u32> = self.procs.keys().copied().collect();
@@ -404,7 +430,7 @@ impl Supervisor {
                     worked = true;
                 }
                 Err(e) => {
-                    Self::mark_dead(&fs, entry, now, &format!("respawn failed: {e}"));
+                    Self::mark_dead(&fs, &rh, entry, now, &format!("respawn failed: {e}"));
                     worked = true;
                 }
             }
@@ -431,7 +457,7 @@ impl Supervisor {
                     entry.shared.throttles.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) => {
-                    Self::mark_dead(&fs, entry, now, &e.to_string());
+                    Self::mark_dead(&fs, &rh, entry, now, &e.to_string());
                     worked = true;
                 }
             }

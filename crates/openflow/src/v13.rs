@@ -448,25 +448,58 @@ fn get_actions(r: &mut Reader<'_>, total_len: usize) -> CodecResult<Vec<Action>>
                 let vlen = usize::from(r.u8()?);
                 let val = r.bytes(vlen)?.to_vec();
                 let consumed = r.pos - start;
-                r.skip(body_len - consumed)?;
+                let pad = body_len.checked_sub(consumed).ok_or_else(|| {
+                    CodecError::new("v13/action", "set-field oxm overruns action body")
+                })?;
+                r.skip(pad)?;
+                let need = |n: usize| -> CodecResult<()> {
+                    if val.len() < n {
+                        return Err(CodecError::new(
+                            "v13/action",
+                            format!("set-field {field}: value {} bytes, need {n}", val.len()),
+                        ));
+                    }
+                    Ok(())
+                };
                 let act = match field {
                     oxm::VLAN_VID => {
+                        need(2)?;
                         Action::SetVlanVid(u16::from_be_bytes([val[0], val[1]]) & 0xfff)
                     }
-                    oxm::VLAN_PCP => Action::SetVlanPcp(val[0]),
-                    oxm::ETH_SRC => Action::SetDlSrc(MacAddr(val[..6].try_into().unwrap())),
-                    oxm::ETH_DST => Action::SetDlDst(MacAddr(val[..6].try_into().unwrap())),
-                    oxm::IPV4_SRC => Action::SetNwSrc(Ipv4Addr::from(u32::from_be_bytes(
-                        val[..4].try_into().unwrap(),
-                    ))),
-                    oxm::IPV4_DST => Action::SetNwDst(Ipv4Addr::from(u32::from_be_bytes(
-                        val[..4].try_into().unwrap(),
-                    ))),
-                    oxm::IP_DSCP => Action::SetNwTos(val[0] << 2),
+                    oxm::VLAN_PCP => {
+                        need(1)?;
+                        Action::SetVlanPcp(val[0])
+                    }
+                    oxm::ETH_SRC => {
+                        need(6)?;
+                        Action::SetDlSrc(MacAddr(val[..6].try_into().unwrap()))
+                    }
+                    oxm::ETH_DST => {
+                        need(6)?;
+                        Action::SetDlDst(MacAddr(val[..6].try_into().unwrap()))
+                    }
+                    oxm::IPV4_SRC => {
+                        need(4)?;
+                        Action::SetNwSrc(Ipv4Addr::from(u32::from_be_bytes(
+                            val[..4].try_into().unwrap(),
+                        )))
+                    }
+                    oxm::IPV4_DST => {
+                        need(4)?;
+                        Action::SetNwDst(Ipv4Addr::from(u32::from_be_bytes(
+                            val[..4].try_into().unwrap(),
+                        )))
+                    }
+                    oxm::IP_DSCP => {
+                        need(1)?;
+                        Action::SetNwTos(val[0] << 2)
+                    }
                     oxm::TCP_SRC | oxm::UDP_SRC => {
+                        need(2)?;
                         Action::SetTpSrc(u16::from_be_bytes([val[0], val[1]]))
                     }
                     oxm::TCP_DST | oxm::UDP_DST => {
+                        need(2)?;
                         Action::SetTpDst(u16::from_be_bytes([val[0], val[1]]))
                     }
                     f => {

@@ -8,16 +8,23 @@
 //! DESIGN.md §1 for why the substitution preserves the behaviours yanc
 //! relies on.
 //!
-//! Locking: one `RwLock` over the inode/handle tables. Mutating operations
-//! compute the change and the notification events under the write lock,
-//! then release it before emitting events and invoking semantic hooks, so
-//! hooks and watchers may freely re-enter the filesystem.
+//! Locking: the inode and open-handle tables are split across N lock
+//! shards keyed by inode/fd number (see [`crate::shard`]). Path resolution
+//! takes shard read-locks hop-by-hop; mutations resolve lock-free, then
+//! write-lock the shards they touch in canonical (ascending) order, verify
+//! the directory entries they resolved are still in place, and retry from
+//! resolution when a concurrent mutation moved them. Notification events
+//! and semantic-hook invocations are computed under the shard locks but
+//! emitted/run after release, so hooks and watchers may freely re-enter
+//! the filesystem. With `shards = 1` every operation serializes behind a
+//! single lock — the deterministic mode the pinned experiment tables run
+//! under (and the global-lock baseline the E20 bench compares against).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::acl::{check_access, Acl};
 use crate::counter::{OpKind, SyscallCounters};
@@ -28,9 +35,10 @@ use crate::notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
 use crate::path::{valid_name, VPath, NAME_MAX, PATH_MAX};
 use crate::proc::{ProcDepth, ProcHook, ProcRegistry, ProcRender};
 use crate::rctl::{AppLimits, RctlTable};
+use crate::shard::{Inode, LockKey, NodeKind, OpenFile, ShardSet, Tables, DEFAULT_SHARDS};
 use crate::types::{
-    Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
-    Timestamp, Uid, ROOT_INO,
+    Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags, Uid,
+    ROOT_INO,
 };
 
 /// Maximum symlink traversals in one lookup, mirroring Linux `SYMLOOP_MAX`.
@@ -71,98 +79,22 @@ pub struct ReclaimReport {
     pub inodes_dropped: usize,
 }
 
-#[derive(Debug)]
-enum NodeKind {
-    File(Vec<u8>),
-    Dir {
-        entries: BTreeMap<String, Ino>,
-        parent: Ino,
-    },
-    Symlink(String),
-}
-
-#[derive(Debug)]
-struct Inode {
-    kind: NodeKind,
-    mode: Mode,
-    uid: Uid,
-    gid: Gid,
-    nlink: u32,
-    mtime: Timestamp,
-    ctime: Timestamp,
-    xattrs: BTreeMap<String, Vec<u8>>,
-    acl: Option<Acl>,
-    open_count: u32,
-}
-
-impl Inode {
-    fn file_type(&self) -> FileType {
-        match self.kind {
-            NodeKind::File(_) => FileType::Regular,
-            NodeKind::Dir { .. } => FileType::Directory,
-            NodeKind::Symlink(_) => FileType::Symlink,
-        }
-    }
-
-    fn size(&self) -> u64 {
-        match &self.kind {
-            NodeKind::File(d) => d.len() as u64,
-            NodeKind::Dir { entries, .. } => entries.len() as u64,
-            NodeKind::Symlink(t) => t.len() as u64,
-        }
-    }
-
-    fn dir_entries(&self) -> VfsResult<&BTreeMap<String, Ino>> {
-        match &self.kind {
-            NodeKind::Dir { entries, .. } => Ok(entries),
-            _ => err(Errno::ENOTDIR, ""),
-        }
-    }
-
-    fn dir_entries_mut(&mut self) -> VfsResult<&mut BTreeMap<String, Ino>> {
-        match &mut self.kind {
-            NodeKind::Dir { entries, .. } => Ok(entries),
-            _ => err(Errno::ENOTDIR, ""),
-        }
-    }
-}
-
-struct OpenFile {
-    ino: Ino,
-    flags: OpenFlags,
-    offset: u64,
-    path: VPath,
-    wrote: bool,
-    /// Uid the handle is charged to; [`Filesystem::reclaim`] closes every
-    /// handle owned by a killed process.
-    owner: Uid,
-}
-
-struct FsInner {
-    inodes: HashMap<u64, Inode>,
-    next_ino: u64,
-    handles: HashMap<u64, OpenFile>,
-    next_fd: u64,
-}
-
-impl FsInner {
-    fn inode(&self, ino: Ino) -> VfsResult<&Inode> {
-        self.inodes
-            .get(&ino.0)
-            .ok_or_else(|| VfsError::new(Errno::EIO, format!("{ino}")))
-    }
-
-    fn inode_mut(&mut self, ino: Ino) -> VfsResult<&mut Inode> {
-        self.inodes
-            .get_mut(&ino.0)
-            .ok_or_else(|| VfsError::new(Errno::EIO, format!("{ino}")))
-    }
-
-    fn alloc_ino(&mut self) -> Ino {
-        let ino = Ino(self.next_ino);
-        self.next_ino += 1;
-        ino
-    }
+/// Snapshot produced by [`Filesystem::check_invariants`] when every
+/// structural law holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsCheckReport {
+    /// Inodes present in the tables.
+    pub inodes: usize,
+    /// Directories reachable from the root.
+    pub directories: usize,
+    /// Regular files reachable from the root.
+    pub files: usize,
+    /// Symlinks reachable from the root.
+    pub symlinks: usize,
+    /// Unlinked inodes kept alive only by open handles.
+    pub orphans_held_open: usize,
+    /// Open handles across all shards.
+    pub handles: usize,
 }
 
 /// Resolution of a path into its (canonical) parent directory and final
@@ -176,19 +108,53 @@ struct Resolved {
     target: Option<Ino>,
 }
 
-/// Pending notification gathered under the lock, emitted after release.
+/// Pending notification gathered under the shard locks, emitted after
+/// release as one batch.
 type PendingEvent = (EventKind, VPath, Option<String>);
 
-/// Pending hook invocation gathered under the lock.
+/// Pending hook invocation gathered under the shard locks.
 enum PendingHook {
     Mkdir(VPath),
     Create(VPath),
     CloseWrite(VPath),
 }
 
+/// RAII reservation of one slot in the global open-handle table. Keeps the
+/// `ENFILE` bound exact without a cross-shard pass: the slot is taken up
+/// front and released on every error path, or committed when the handle is
+/// actually inserted.
+struct HandleSlot<'a> {
+    tables: &'a Tables,
+    committed: bool,
+}
+
+impl<'a> HandleSlot<'a> {
+    fn reserve(tables: &'a Tables, cap: usize, path: &str) -> VfsResult<Self> {
+        if !tables.try_reserve_handle(cap) {
+            return err(Errno::ENFILE, path);
+        }
+        Ok(HandleSlot {
+            tables,
+            committed: false,
+        })
+    }
+
+    fn commit(&mut self) {
+        self.committed = true;
+    }
+}
+
+impl Drop for HandleSlot<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.tables.release_handle_slot();
+        }
+    }
+}
+
 /// The virtual file system. Cheap to share: wrap in an [`Arc`].
 pub struct Filesystem {
-    inner: Arc<RwLock<FsInner>>,
+    tables: Arc<Tables>,
     clock: Clock,
     counters: Arc<SyscallCounters>,
     metrics: Arc<MetricsRegistry>,
@@ -197,6 +163,11 @@ pub struct Filesystem {
     hooks: RwLock<Vec<Arc<dyn SemanticHook>>>,
     limits: Limits,
     rctl: Arc<RctlTable>,
+    /// Serializes directory renames so concurrent cross-directory moves
+    /// cannot form a cycle the per-rename checks miss — the in-process
+    /// analogue of the kernel's `s_vfs_rename_mutex`. Always acquired
+    /// before any shard lock, never while holding one.
+    rename_lock: Mutex<()>,
 }
 
 impl Default for Filesystem {
@@ -214,34 +185,43 @@ impl Filesystem {
 
     /// An empty filesystem with explicit resource limits.
     pub fn with_limits(limits: Limits) -> Self {
+        Self::with_config(limits, DEFAULT_SHARDS)
+    }
+
+    /// An empty filesystem with an explicit lock-shard count. `1` gives the
+    /// fully serialized (global-lock) deterministic mode.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_config(Limits::default(), shards)
+    }
+
+    /// An empty filesystem with explicit limits and lock-shard count.
+    pub fn with_config(limits: Limits, shards: usize) -> Self {
         let clock = Clock::new();
         let now = clock.tick();
-        let mut inodes = HashMap::new();
-        inodes.insert(
-            ROOT_INO.0,
-            Inode {
-                kind: NodeKind::Dir {
-                    entries: BTreeMap::new(),
-                    parent: ROOT_INO,
+        let tables = Tables::new(shards);
+        {
+            let mut set = tables.lock(&[LockKey::Ino(ROOT_INO)]);
+            set.insert_inode(
+                ROOT_INO,
+                Inode {
+                    kind: NodeKind::Dir {
+                        entries: BTreeMap::new(),
+                        parent: ROOT_INO,
+                    },
+                    mode: Mode::DIR_DEFAULT,
+                    uid: Uid(0),
+                    gid: Gid(0),
+                    nlink: 2,
+                    mtime: now,
+                    ctime: now,
+                    xattrs: BTreeMap::new(),
+                    acl: None,
+                    open_count: 0,
                 },
-                mode: Mode::DIR_DEFAULT,
-                uid: Uid(0),
-                gid: Gid(0),
-                nlink: 2,
-                mtime: now,
-                ctime: now,
-                xattrs: BTreeMap::new(),
-                acl: None,
-                open_count: 0,
-            },
-        );
+            );
+        }
         Filesystem {
-            inner: Arc::new(RwLock::new(FsInner {
-                inodes,
-                next_ino: 2,
-                handles: HashMap::new(),
-                next_fd: 3,
-            })),
+            tables: Arc::new(tables),
             clock,
             counters: Arc::new(SyscallCounters::new()),
             metrics: Arc::new(MetricsRegistry::new()),
@@ -250,7 +230,13 @@ impl Filesystem {
             hooks: RwLock::new(Vec::new()),
             limits,
             rctl: Arc::new(RctlTable::new()),
+            rename_lock: Mutex::new(()),
         }
+    }
+
+    /// Number of lock shards the inode/handle tables are split across.
+    pub fn shard_count(&self) -> usize {
+        self.tables.shard_count()
     }
 
     /// The syscall tally (see [`SyscallCounters`]); drives experiment E14.
@@ -374,19 +360,24 @@ impl Filesystem {
         self.rctl.clear_limits(uid.0);
     }
 
-    /// Handles currently open, across all owners.
+    /// Handles currently open, across all owners (exact: maintained as an
+    /// atomic at handle insert/remove, never recomputed by a table scan).
     pub fn open_handle_count(&self) -> usize {
-        self.inner.read().handles.len()
+        self.tables.handle_count()
     }
 
     /// Handles currently open and charged to `uid`.
     pub fn handles_of(&self, uid: Uid) -> usize {
-        self.inner
-            .read()
-            .handles
-            .values()
-            .filter(|h| h.owner == uid)
-            .count()
+        (0..self.tables.shard_count())
+            .map(|i| {
+                self.tables
+                    .read_shard(i)
+                    .handles
+                    .values()
+                    .filter(|h| h.owner == uid)
+                    .count()
+            })
+            .sum()
     }
 
     /// Tear down every kernel-side resource charged to `uid`: open handles
@@ -398,22 +389,15 @@ impl Filesystem {
         let mut handles_closed = 0usize;
         let mut inodes_dropped = 0usize;
         {
-            let mut inner = self.inner.write();
-            let mut fds: Vec<u64> = inner
-                .handles
-                .iter()
-                .filter(|(_, h)| h.owner == uid)
-                .map(|(fd, _)| *fd)
-                .collect();
-            fds.sort_unstable();
-            for fd in fds {
-                if let Some(h) = inner.handles.remove(&fd) {
+            let mut set = self.tables.lock_all();
+            for fd in set.fds_of(uid) {
+                if let Some(h) = set.remove_handle(fd) {
                     handles_closed += 1;
                     self.rctl.release_open(uid.0);
-                    if let Some(node) = inner.inodes.get_mut(&h.ino.0) {
+                    if let Ok(node) = set.inode_mut(h.ino) {
                         node.open_count -= 1;
                         if node.nlink == 0 && node.open_count == 0 {
-                            inner.inodes.remove(&h.ino.0);
+                            set.remove_inode(h.ino);
                             inodes_dropped += 1;
                         }
                     }
@@ -484,9 +468,17 @@ impl Filesystem {
         self.proc_file(&format!("{prefix}/vfs/notify/dropped"), move || {
             format!("{}\n", n.dropped_events())
         })?;
-        let inner = self.inner.clone();
+        let n = self.notify.clone();
+        self.proc_file(&format!("{prefix}/vfs/notify/delivered"), move || {
+            format!("{}\n", n.delivered_events())
+        })?;
+        let t = self.tables.clone();
         self.proc_file(&format!("{prefix}/vfs/handles"), move || {
-            format!("{}\n", inner.read().handles.len())
+            format!("{}\n", t.handle_count())
+        })?;
+        let shards = self.tables.shard_count();
+        self.proc_file(&format!("{prefix}/vfs/shards"), move || {
+            format!("{shards}\n")
         })?;
         let r = self.rctl.clone();
         self.proc_file(&format!("{prefix}/vfs/rctl/throttled"), move || {
@@ -597,27 +589,41 @@ impl Filesystem {
         self.validate_with_hooks(|h| h.validate_mutate(self, path))
     }
 
-    fn may_access(&self, inner: &FsInner, ino: Ino, creds: &Credentials, access: Access) -> bool {
-        let node = match inner.inodes.get(&ino.0) {
-            Some(n) => n,
-            None => return false,
+    /// Permission check against a locked shard set.
+    fn may_access_set(set: &ShardSet, ino: Ino, creds: &Credentials, access: Access) -> bool {
+        set.inode(ino)
+            .map(|n| check_access(creds, n.uid, n.gid, n.mode, n.acl.as_ref(), access))
+            .unwrap_or(false)
+    }
+
+    /// Sticky-directory deletion check: in a sticky dir, only the entry's
+    /// owner, the dir's owner, or root may remove/rename an entry.
+    fn sticky_ok_set(set: &ShardSet, dir: Ino, entry_ino: Ino, creds: &Credentials) -> bool {
+        if creds.is_root() {
+            return true;
+        }
+        let (sticky, dir_uid) = match set.inode(dir) {
+            Ok(n) => (n.mode.sticky(), n.uid),
+            Err(_) => return true, // vanished: the entry verify already failed
         };
-        check_access(
-            creds,
-            node.uid,
-            node.gid,
-            node.mode,
-            node.acl.as_ref(),
-            access,
-        )
+        if !sticky || creds.uid == dir_uid {
+            return true;
+        }
+        set.inode(entry_ino)
+            .map(|n| n.uid == creds.uid)
+            .unwrap_or(false)
     }
 
     /// Walk `path`, resolving intermediate symlinks, checking Exec on every
     /// traversed directory. Returns the canonical parent plus final name.
     /// `follow_last`: also resolve the final component if it is a symlink.
-    fn resolve(
+    ///
+    /// Hop-by-hop locking: each step takes exactly one shard read-lock,
+    /// copies out what it needs, and releases before the next step. The
+    /// result is therefore a *snapshot* under concurrency; mutating callers
+    /// re-verify it under their shard write-locks.
+    fn resolve_live(
         &self,
-        inner: &FsInner,
         path: &VPath,
         creds: &Credentials,
         follow_last: bool,
@@ -632,6 +638,16 @@ impl Filesystem {
                 name: String::new(),
                 target: Some(ROOT_INO),
             });
+        }
+
+        enum Step {
+            Up(Ino),
+            Child(Option<Ino>),
+        }
+        enum ChildKind {
+            Dir,
+            Symlink(String),
+            File,
         }
 
         let mut work: VecDeque<String> = path.components().map(str::to_string).collect();
@@ -656,41 +672,66 @@ impl Filesystem {
                 return err(Errno::ENAMETOOLONG, path.as_str());
             }
 
-            let node = inner.inode(cur_ino)?;
-            let entries = match node.dir_entries() {
-                Ok(e) => e,
-                Err(_) => return err(Errno::ENOTDIR, cur_path.as_str()),
-            };
-            if !self.may_access(inner, cur_ino, creds, Access::Exec) {
-                return err(Errno::EACCES, cur_path.as_str());
-            }
-
-            if comp == ".." {
-                let parent = match &node.kind {
-                    NodeKind::Dir { parent, .. } => *parent,
-                    _ => unreachable!(),
+            // One shard read-lock for this hop.
+            let step = match self.tables.with_inode(cur_ino, |node| {
+                let entries = match node.dir_entries() {
+                    Ok(e) => e,
+                    Err(_) => return Err(VfsError::new(Errno::ENOTDIR, cur_path.as_str())),
                 };
-                cur_ino = parent;
-                cur_path = cur_path.parent();
-                continue;
-            }
+                if !check_access(
+                    creds,
+                    node.uid,
+                    node.gid,
+                    node.mode,
+                    node.acl.as_ref(),
+                    Access::Exec,
+                ) {
+                    return Err(VfsError::new(Errno::EACCES, cur_path.as_str()));
+                }
+                if comp == ".." {
+                    match &node.kind {
+                        NodeKind::Dir { parent, .. } => Ok(Step::Up(*parent)),
+                        _ => unreachable!("dir_entries() above guarantees a directory"),
+                    }
+                } else {
+                    Ok(Step::Child(entries.get(&comp).copied()))
+                }
+            }) {
+                Ok(r) => r?,
+                // A directory we were standing in vanished mid-walk
+                // (impossible with shards=1; a concurrent rmdir otherwise):
+                // linearize after the removal.
+                Err(_) => return err(Errno::ENOENT, cur_path.as_str()),
+            };
+
+            let child = match step {
+                Step::Up(parent) => {
+                    cur_ino = parent;
+                    cur_path = cur_path.parent();
+                    continue;
+                }
+                Step::Child(c) => c,
+            };
 
             let is_last = work.is_empty();
-            let child = entries.get(&comp).copied();
-
             if is_last {
                 // Follow a final symlink only when asked.
                 if follow_last {
                     if let Some(ci) = child {
-                        if let NodeKind::Symlink(target) = &inner.inode(ci)?.kind {
+                        let probe = self.tables.with_inode(ci, |n| match &n.kind {
+                            NodeKind::Symlink(t) => Some(t.clone()),
+                            _ => None,
+                        });
+                        if let Ok(Some(target)) = probe {
                             links += 1;
                             if links > SYMLOOP_MAX {
                                 return err(Errno::ELOOP, path.as_str());
                             }
-                            let t = target.clone();
-                            Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &t);
+                            Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &target);
                             continue;
                         }
+                        // Probe error (child vanished): return the snapshot;
+                        // mutating callers re-verify under their locks.
                     }
                 }
                 return Ok(Resolved {
@@ -706,20 +747,27 @@ impl Filesystem {
                 Some(c) => c,
                 None => return err(Errno::ENOENT, cur_path.join(&comp).as_str()),
             };
-            match &inner.inode(ci)?.kind {
-                NodeKind::Dir { .. } => {
+            let kind = self
+                .tables
+                .with_inode(ci, |n| match &n.kind {
+                    NodeKind::Dir { .. } => ChildKind::Dir,
+                    NodeKind::Symlink(t) => ChildKind::Symlink(t.clone()),
+                    NodeKind::File(_) => ChildKind::File,
+                })
+                .map_err(|_| VfsError::new(Errno::ENOENT, cur_path.join(&comp).as_str()))?;
+            match kind {
+                ChildKind::Dir => {
                     cur_ino = ci;
                     cur_path = cur_path.join(&comp);
                 }
-                NodeKind::Symlink(target) => {
+                ChildKind::Symlink(target) => {
                     links += 1;
                     if links > SYMLOOP_MAX {
                         return err(Errno::ELOOP, path.as_str());
                     }
-                    let t = target.clone();
-                    Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &t);
+                    Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &target);
                 }
-                NodeKind::File(_) => {
+                ChildKind::File => {
                     return err(Errno::ENOTDIR, cur_path.join(&comp).as_str());
                 }
             }
@@ -749,14 +797,8 @@ impl Filesystem {
 
     /// Resolve and require the final target to exist. Follows final symlink
     /// when `follow` is set.
-    fn lookup(
-        &self,
-        inner: &FsInner,
-        path: &VPath,
-        creds: &Credentials,
-        follow: bool,
-    ) -> VfsResult<Ino> {
-        let r = self.resolve(inner, path, creds, follow)?;
+    fn lookup_live(&self, path: &VPath, creds: &Credentials, follow: bool) -> VfsResult<Ino> {
+        let r = self.resolve_live(path, creds, follow)?;
         r.target
             .ok_or_else(|| VfsError::new(Errno::ENOENT, path.as_str()))
     }
@@ -781,10 +823,10 @@ impl Filesystem {
         }
     }
 
+    /// Emit every event gathered by one operation as a single batch: each
+    /// watch's queue gate is taken once per batch, outside any shard lock.
     fn emit_all(&self, events: Vec<PendingEvent>) {
-        for (kind, path, name) in events {
-            self.notify.emit(kind, &path, name.as_deref());
-        }
+        self.notify.emit_batch(&events);
     }
 
     /// Validate a create/symlink against hooks (outside the lock).
@@ -797,22 +839,6 @@ impl Filesystem {
             f(h.as_ref())?;
         }
         Ok(())
-    }
-
-    /// Sticky-directory deletion check: in a sticky dir, only the entry's
-    /// owner, the dir's owner, or root may remove/rename an entry.
-    fn sticky_ok(inner: &FsInner, dir: &Inode, entry_ino: Ino, creds: &Credentials) -> bool {
-        if !dir.mode.sticky() || creds.is_root() {
-            return true;
-        }
-        if creds.uid == dir.uid {
-            return true;
-        }
-        inner
-            .inodes
-            .get(&entry_ino.0)
-            .map(|n| n.uid == creds.uid)
-            .unwrap_or(false)
     }
 
     // ----------------------------------------------------------------
@@ -835,20 +861,23 @@ impl Filesystem {
 
     fn stat_common(&self, path: &str, creds: &Credentials, follow: bool) -> VfsResult<FileStat> {
         let vp = VPath::new(path);
-        let inner = self.inner.read();
-        let ino = self.lookup(&inner, &vp, creds, follow)?;
-        let node = inner.inode(ino)?;
-        Ok(FileStat {
-            ino,
-            file_type: node.file_type(),
-            mode: node.mode,
-            uid: node.uid,
-            gid: node.gid,
-            size: node.size(),
-            nlink: node.nlink,
-            mtime: node.mtime,
-            ctime: node.ctime,
-        })
+        loop {
+            let ino = self.lookup_live(&vp, creds, follow)?;
+            match self.tables.with_inode(ino, |node| FileStat {
+                ino,
+                file_type: node.file_type(),
+                mode: node.mode,
+                uid: node.uid,
+                gid: node.gid,
+                size: node.size(),
+                nlink: node.nlink,
+                mtime: node.mtime,
+                ctime: node.ctime,
+            }) {
+                Ok(st) => return Ok(st),
+                Err(_) => continue, // inode vanished between lookup and read
+            }
+        }
     }
 
     /// Whether `path` resolves to an existing object (symlinks followed).
@@ -862,8 +891,7 @@ impl Filesystem {
     pub fn canonicalize(&self, path: &str, creds: &Credentials) -> VfsResult<VPath> {
         self.charge(OpKind::Stat, path, creds)?;
         let vp = VPath::new(path);
-        let inner = self.inner.read();
-        let r = self.resolve(&inner, &vp, creds, true)?;
+        let r = self.resolve_live(&vp, creds, true)?;
         if r.target.is_none() {
             return err(Errno::ENOENT, vp.as_str());
         }
@@ -879,20 +907,23 @@ impl Filesystem {
         self.charge(OpKind::Setattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        let canon;
-        {
-            let mut inner = self.inner.write();
-            let ino = self.lookup(&inner, &vp, creds, true)?;
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            let mut set = self.tables.lock(&[LockKey::Ino(ino)]);
+            if set.inode(ino).is_err() {
+                drop(set);
+                continue;
+            }
             let now = self.clock.tick();
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             if !creds.is_root() && creds.uid != node.uid {
                 return err(Errno::EPERM, vp.as_str());
             }
             node.mode = Mode(mode.0 & 0o7777);
             node.ctime = now;
-            canon = vp.clone();
+            break;
         }
-        self.notify.emit(EventKind::Attrib, &canon, None);
+        self.notify.emit(EventKind::Attrib, &vp, None);
         Ok(())
     }
 
@@ -908,11 +939,15 @@ impl Filesystem {
         self.charge(OpKind::Setattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        {
-            let mut inner = self.inner.write();
-            let ino = self.lookup(&inner, &vp, creds, true)?;
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            let mut set = self.tables.lock(&[LockKey::Ino(ino)]);
+            if set.inode(ino).is_err() {
+                drop(set);
+                continue;
+            }
             let now = self.clock.tick();
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             if let Some(u) = uid {
                 if !creds.is_root() && u != node.uid {
                     return err(Errno::EPERM, vp.as_str());
@@ -927,6 +962,7 @@ impl Filesystem {
                 node.gid = g;
             }
             node.ctime = now;
+            break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
         Ok(())
@@ -937,16 +973,21 @@ impl Filesystem {
         self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        {
-            let mut inner = self.inner.write();
-            let ino = self.lookup(&inner, &vp, creds, true)?;
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            let mut set = self.tables.lock(&[LockKey::Ino(ino)]);
+            if set.inode(ino).is_err() {
+                drop(set);
+                continue;
+            }
             let now = self.clock.tick();
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             if !creds.is_root() && creds.uid != node.uid {
                 return err(Errno::EPERM, vp.as_str());
             }
             node.acl = acl.filter(|a| !a.is_empty());
             node.ctime = now;
+            break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
         Ok(())
@@ -956,12 +997,25 @@ impl Filesystem {
     pub fn get_acl(&self, path: &str, creds: &Credentials) -> VfsResult<Option<Acl>> {
         self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
-        let inner = self.inner.read();
-        let ino = self.lookup(&inner, &vp, creds, true)?;
-        if !self.may_access(&inner, ino, creds, Access::Read) {
-            return err(Errno::EACCES, vp.as_str());
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            match self.tables.with_inode(ino, |node| {
+                if !check_access(
+                    creds,
+                    node.uid,
+                    node.gid,
+                    node.mode,
+                    node.acl.as_ref(),
+                    Access::Read,
+                ) {
+                    return Err(VfsError::new(Errno::EACCES, vp.as_str()));
+                }
+                Ok(node.acl.clone())
+            }) {
+                Ok(r) => return r,
+                Err(_) => continue,
+            }
         }
-        Ok(inner.inode(ino)?.acl.clone())
     }
 
     // ----------------------------------------------------------------
@@ -983,16 +1037,21 @@ impl Filesystem {
         }
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        {
-            let mut inner = self.inner.write();
-            let ino = self.lookup(&inner, &vp, creds, true)?;
-            if !self.may_access(&inner, ino, creds, Access::Write) {
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            let mut set = self.tables.lock(&[LockKey::Ino(ino)]);
+            if set.inode(ino).is_err() {
+                drop(set);
+                continue;
+            }
+            if !Self::may_access_set(&set, ino, creds, Access::Write) {
                 return err(Errno::EACCES, vp.as_str());
             }
             let now = self.clock.tick();
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             node.xattrs.insert(name.to_string(), value.to_vec());
             node.ctime = now;
+            break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
         Ok(())
@@ -1002,29 +1061,53 @@ impl Filesystem {
     pub fn get_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
         self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
-        let inner = self.inner.read();
-        let ino = self.lookup(&inner, &vp, creds, true)?;
-        if !self.may_access(&inner, ino, creds, Access::Read) {
-            return err(Errno::EACCES, vp.as_str());
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            match self.tables.with_inode(ino, |node| {
+                if !check_access(
+                    creds,
+                    node.uid,
+                    node.gid,
+                    node.mode,
+                    node.acl.as_ref(),
+                    Access::Read,
+                ) {
+                    return Err(VfsError::new(Errno::EACCES, vp.as_str()));
+                }
+                node.xattrs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| VfsError::new(Errno::ENODATA, format!("{path}#{name}")))
+            }) {
+                Ok(r) => return r,
+                Err(_) => continue,
+            }
         }
-        inner
-            .inode(ino)?
-            .xattrs
-            .get(name)
-            .cloned()
-            .ok_or_else(|| VfsError::new(Errno::ENODATA, format!("{path}#{name}")))
     }
 
     /// `listxattr(2)`-alike.
     pub fn list_xattr(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<String>> {
         self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
-        let inner = self.inner.read();
-        let ino = self.lookup(&inner, &vp, creds, true)?;
-        if !self.may_access(&inner, ino, creds, Access::Read) {
-            return err(Errno::EACCES, vp.as_str());
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            match self.tables.with_inode(ino, |node| {
+                if !check_access(
+                    creds,
+                    node.uid,
+                    node.gid,
+                    node.mode,
+                    node.acl.as_ref(),
+                    Access::Read,
+                ) {
+                    return Err(VfsError::new(Errno::EACCES, vp.as_str()));
+                }
+                Ok(node.xattrs.keys().cloned().collect::<Vec<String>>())
+            }) {
+                Ok(r) => return r,
+                Err(_) => continue,
+            }
         }
-        Ok(inner.inode(ino)?.xattrs.keys().cloned().collect())
     }
 
     /// `removexattr(2)`-alike; `ENODATA` when absent.
@@ -1032,18 +1115,23 @@ impl Filesystem {
         self.charge(OpKind::Xattr, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        {
-            let mut inner = self.inner.write();
-            let ino = self.lookup(&inner, &vp, creds, true)?;
-            if !self.may_access(&inner, ino, creds, Access::Write) {
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            let mut set = self.tables.lock(&[LockKey::Ino(ino)]);
+            if set.inode(ino).is_err() {
+                drop(set);
+                continue;
+            }
+            if !Self::may_access_set(&set, ino, creds, Access::Write) {
                 return err(Errno::EACCES, vp.as_str());
             }
             let now = self.clock.tick();
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             if node.xattrs.remove(name).is_none() {
                 return err(Errno::ENODATA, format!("{path}#{name}"));
             }
             node.ctime = now;
+            break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
         Ok(())
@@ -1058,10 +1146,8 @@ impl Filesystem {
         self.charge(OpKind::Mkdir, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        let full;
-        {
-            let mut inner = self.inner.write();
-            let r = self.resolve(&inner, &vp, creds, false)?;
+        let full = loop {
+            let r = self.resolve_live(&vp, creds, false)?;
             if r.name.is_empty() {
                 return err(Errno::EEXIST, vp.as_str());
             }
@@ -1071,16 +1157,23 @@ impl Filesystem {
             if r.target.is_some() {
                 return err(Errno::EEXIST, vp.as_str());
             }
-            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+            let ino = self.tables.alloc_ino();
+            let mut set = self
+                .tables
+                .lock(&[LockKey::Ino(r.parent_ino), LockKey::Ino(ino)]);
+            if !set.entry_is(r.parent_ino, &r.name, None) {
+                drop(set);
+                continue;
+            }
+            if !Self::may_access_set(&set, r.parent_ino, creds, Access::Write) {
                 return err(Errno::EACCES, r.parent_path.as_str());
             }
-            if inner.inode(r.parent_ino)?.dir_entries()?.len() >= self.limits.max_dir_entries {
+            if set.inode(r.parent_ino)?.dir_entries()?.len() >= self.limits.max_dir_entries {
                 return err(Errno::EDQUOT, r.parent_path.as_str());
             }
             let now = self.clock.tick();
-            let ino = inner.alloc_ino();
-            inner.inodes.insert(
-                ino.0,
+            set.insert_inode(
+                ino,
                 Inode {
                     kind: NodeKind::Dir {
                         entries: BTreeMap::new(),
@@ -1097,12 +1190,12 @@ impl Filesystem {
                     open_count: 0,
                 },
             );
-            let parent = inner.inode_mut(r.parent_ino)?;
+            let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.insert(r.name.clone(), ino);
             parent.nlink += 1;
             parent.mtime = now;
-            full = r.parent_path.join(&r.name);
-        }
+            break r.parent_path.join(&r.name);
+        };
         self.notify.emit(EventKind::Create, &full, full.file_name());
         self.run_hooks(vec![PendingHook::Mkdir(full)], creds);
         Ok(())
@@ -1137,55 +1230,66 @@ impl Filesystem {
         self.validate_mutation(&vp)?;
         let recursive =
             !HookDepth::active() && self.hooks.read().iter().any(|h| h.rmdir_recursive(&vp));
-        let mut events: Vec<PendingEvent> = Vec::new();
-        {
-            let mut inner = self.inner.write();
-            let r = self.resolve(&inner, &vp, creds, false)?;
+        let events = loop {
+            let mut events: Vec<PendingEvent> = Vec::new();
+            let r = self.resolve_live(&vp, creds, false)?;
             if r.name.is_empty() {
                 return err(Errno::EINVAL, vp.as_str()); // refusing to rmdir /
             }
             let ino = r
                 .target
                 .ok_or_else(|| VfsError::new(Errno::ENOENT, vp.as_str()))?;
-            let node = inner.inode(ino)?;
-            if node.file_type() != FileType::Directory {
+            // A recursive removal can touch inodes in any shard; take them
+            // all. The common (non-recursive) case stays two shards wide.
+            let mut set = if recursive {
+                self.tables.lock_all()
+            } else {
+                self.tables
+                    .lock(&[LockKey::Ino(r.parent_ino), LockKey::Ino(ino)])
+            };
+            if !set.entry_is(r.parent_ino, &r.name, Some(ino)) {
+                drop(set);
+                continue;
+            }
+            if set.inode(ino)?.file_type() != FileType::Directory {
                 return err(Errno::ENOTDIR, vp.as_str());
             }
-            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+            if !Self::may_access_set(&set, r.parent_ino, creds, Access::Write) {
                 return err(Errno::EACCES, r.parent_path.as_str());
             }
-            if !Self::sticky_ok(&inner, inner.inode(r.parent_ino)?, ino, creds) {
+            if !Self::sticky_ok_set(&set, r.parent_ino, ino, creds) {
                 return err(Errno::EPERM, vp.as_str());
             }
-            let empty = node.dir_entries()?.is_empty();
+            let empty = set.inode(ino)?.dir_entries()?.is_empty();
             if !empty && !recursive {
                 return err(Errno::ENOTEMPTY, vp.as_str());
             }
             let full = r.parent_path.join(&r.name);
             if !empty {
-                Self::remove_tree(&mut inner, ino, &full, &mut events)?;
+                Self::remove_tree(&mut set, ino, &full, &mut events)?;
             }
-            let parent = inner.inode_mut(r.parent_ino)?;
+            let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.remove(&r.name);
             parent.nlink -= 1;
             parent.mtime = self.clock.tick();
-            inner.inodes.remove(&ino.0);
+            set.remove_inode(ino);
             events.push((EventKind::DeleteSelf, full.clone(), None));
             events.push((EventKind::Delete, full.clone(), Some(r.name.clone())));
-        }
+            break events;
+        };
         self.emit_all(events);
         Ok(())
     }
 
     /// Remove everything under `ino` (which stays in place), bottom-up,
-    /// accumulating Delete events.
+    /// accumulating Delete events. Requires a lock-all [`ShardSet`].
     fn remove_tree(
-        inner: &mut FsInner,
+        set: &mut ShardSet,
         ino: Ino,
         path: &VPath,
         events: &mut Vec<PendingEvent>,
     ) -> VfsResult<()> {
-        let children: Vec<(String, Ino)> = inner
+        let children: Vec<(String, Ino)> = set
             .inode(ino)?
             .dir_entries()?
             .iter()
@@ -1193,23 +1297,23 @@ impl Filesystem {
             .collect();
         for (name, child) in children {
             let cpath = path.join(&name);
-            let is_dir = matches!(inner.inode(child)?.kind, NodeKind::Dir { .. });
+            let is_dir = matches!(set.inode(child)?.kind, NodeKind::Dir { .. });
             if is_dir {
-                Self::remove_tree(inner, child, &cpath, events)?;
-                inner.inodes.remove(&child.0);
-                let node = inner.inode_mut(ino)?;
+                Self::remove_tree(set, child, &cpath, events)?;
+                set.remove_inode(child);
+                let node = set.inode_mut(ino)?;
                 node.nlink -= 1;
                 node.dir_entries_mut()?.remove(&name);
             } else {
                 let open = {
-                    let cn = inner.inode_mut(child)?;
+                    let cn = set.inode_mut(child)?;
                     cn.nlink = cn.nlink.saturating_sub(1);
                     cn.nlink > 0 || cn.open_count > 0
                 };
                 if !open {
-                    inner.inodes.remove(&child.0);
+                    set.remove_inode(child);
                 }
-                inner.inode_mut(ino)?.dir_entries_mut()?.remove(&name);
+                set.inode_mut(ino)?.dir_entries_mut()?.remove(&name);
             }
             events.push((EventKind::Delete, cpath, Some(name)));
         }
@@ -1221,30 +1325,45 @@ impl Filesystem {
         self.pre_access(path);
         self.charge(OpKind::Readdir, path, creds)?;
         let vp = VPath::new(path);
-        let inner = self.inner.read();
-        let ino = self.lookup(&inner, &vp, creds, true)?;
-        if !self.may_access(&inner, ino, creds, Access::Read) {
-            return err(Errno::EACCES, vp.as_str());
-        }
-        let node = inner.inode(ino)?;
-        let entries = node
-            .dir_entries()
-            .map_err(|_| VfsError::new(Errno::ENOTDIR, path))?;
-        Ok(entries
-            .iter()
-            .map(|(name, i)| {
-                let ft = inner
-                    .inodes
-                    .get(&i.0)
-                    .map(|n| n.file_type())
-                    .unwrap_or(FileType::Regular);
-                DirEntry {
-                    name: name.clone(),
-                    ino: *i,
-                    file_type: ft,
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            let entries: Vec<(String, Ino)> = match self.tables.with_inode(ino, |node| {
+                if !check_access(
+                    creds,
+                    node.uid,
+                    node.gid,
+                    node.mode,
+                    node.acl.as_ref(),
+                    Access::Read,
+                ) {
+                    return Err(VfsError::new(Errno::EACCES, vp.as_str()));
                 }
-            })
-            .collect())
+                match node.dir_entries() {
+                    Ok(e) => Ok(e.iter().map(|(n, i)| (n.clone(), *i)).collect()),
+                    Err(_) => Err(VfsError::new(Errno::ENOTDIR, path)),
+                }
+            }) {
+                Ok(r) => r?,
+                Err(_) => continue,
+            };
+            // File types are a snapshot per entry; an entry whose inode
+            // vanished mid-listing reports as a regular file, matching the
+            // unlocked readdir/stat gap real applications live with.
+            return Ok(entries
+                .into_iter()
+                .map(|(name, i)| {
+                    let ft = self
+                        .tables
+                        .with_inode(i, |n| n.file_type())
+                        .unwrap_or(FileType::Regular);
+                    DirEntry {
+                        name,
+                        ino: i,
+                        file_type: ft,
+                    }
+                })
+                .collect());
+        }
     }
 
     // ----------------------------------------------------------------
@@ -1258,23 +1377,28 @@ impl Filesystem {
         let vp = VPath::new(linkpath);
         self.validate_mutation(&vp)?;
         self.validate_with_hooks(|h| h.validate_symlink(self, &vp, target))?;
-        let full;
-        {
-            let mut inner = self.inner.write();
-            let r = self.resolve(&inner, &vp, creds, false)?;
+        let full = loop {
+            let r = self.resolve_live(&vp, creds, false)?;
             if r.name.is_empty() || !valid_name(&r.name) {
                 return err(Errno::EINVAL, vp.as_str());
             }
             if r.target.is_some() {
                 return err(Errno::EEXIST, vp.as_str());
             }
-            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+            let ino = self.tables.alloc_ino();
+            let mut set = self
+                .tables
+                .lock(&[LockKey::Ino(r.parent_ino), LockKey::Ino(ino)]);
+            if !set.entry_is(r.parent_ino, &r.name, None) {
+                drop(set);
+                continue;
+            }
+            if !Self::may_access_set(&set, r.parent_ino, creds, Access::Write) {
                 return err(Errno::EACCES, r.parent_path.as_str());
             }
             let now = self.clock.tick();
-            let ino = inner.alloc_ino();
-            inner.inodes.insert(
-                ino.0,
+            set.insert_inode(
+                ino,
                 Inode {
                     kind: NodeKind::Symlink(target.to_string()),
                     mode: Mode::SYMLINK,
@@ -1288,11 +1412,11 @@ impl Filesystem {
                     open_count: 0,
                 },
             );
-            let parent = inner.inode_mut(r.parent_ino)?;
+            let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.insert(r.name.clone(), ino);
             parent.mtime = now;
-            full = r.parent_path.join(&r.name);
-        }
+            break r.parent_path.join(&r.name);
+        };
         self.notify.emit(EventKind::Create, &full, full.file_name());
         Ok(())
     }
@@ -1301,11 +1425,15 @@ impl Filesystem {
     pub fn readlink(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
         self.charge(OpKind::Readlink, path, creds)?;
         let vp = VPath::new(path);
-        let inner = self.inner.read();
-        let ino = self.lookup(&inner, &vp, creds, false)?;
-        match &inner.inode(ino)?.kind {
-            NodeKind::Symlink(t) => Ok(t.clone()),
-            _ => err(Errno::EINVAL, path),
+        loop {
+            let ino = self.lookup_live(&vp, creds, false)?;
+            match self.tables.with_inode(ino, |node| match &node.kind {
+                NodeKind::Symlink(t) => Ok(t.clone()),
+                _ => Err(VfsError::new(Errno::EINVAL, path)),
+            }) {
+                Ok(r) => return r,
+                Err(_) => continue,
+            }
         }
     }
 
@@ -1315,36 +1443,68 @@ impl Filesystem {
         let vp_old = VPath::new(existing);
         let vp_new = VPath::new(newpath);
         self.validate_mutation(&vp_new)?;
-        let full;
-        {
-            let mut inner = self.inner.write();
-            let src = self.lookup(&inner, &vp_old, creds, true)?;
-            match inner.inode(src)?.kind {
-                NodeKind::File(_) => {}
-                NodeKind::Dir { .. } => return err(Errno::EPERM, existing),
-                NodeKind::Symlink(_) => return err(Errno::EPERM, existing),
+        let full = loop {
+            let src = self.lookup_live(&vp_old, creds, true)?;
+            // Source-kind checks precede resolution of the new path (error
+            // priority: linking a directory reports EPERM even when the new
+            // path is bad).
+            let probe = self
+                .tables
+                .with_inode(src, |n| (matches!(n.kind, NodeKind::File(_)), n.nlink));
+            let (is_file, nlink) = match probe {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            if !is_file {
+                return err(Errno::EPERM, existing);
             }
-            if inner.inode(src)?.nlink >= LINK_MAX {
+            if nlink >= LINK_MAX {
                 return err(Errno::EMLINK, existing);
             }
-            let r = self.resolve(&inner, &vp_new, creds, false)?;
+            let r = self.resolve_live(&vp_new, creds, false)?;
             if r.name.is_empty() || !valid_name(&r.name) {
                 return err(Errno::EINVAL, vp_new.as_str());
             }
             if r.target.is_some() {
                 return err(Errno::EEXIST, vp_new.as_str());
             }
-            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+            let mut set = self
+                .tables
+                .lock(&[LockKey::Ino(src), LockKey::Ino(r.parent_ino)]);
+            if !set.entry_is(r.parent_ino, &r.name, None) {
+                drop(set);
+                continue;
+            }
+            let src_ok = match set.inode(src) {
+                Ok(node) => {
+                    if !matches!(node.kind, NodeKind::File(_)) {
+                        return err(Errno::EPERM, existing);
+                    }
+                    if node.nlink >= LINK_MAX {
+                        return err(Errno::EMLINK, existing);
+                    }
+                    true
+                }
+                Err(_) => false, // source vanished: retry (may now be ENOENT)
+            };
+            if !src_ok {
+                drop(set);
+                continue;
+            }
+            if !Self::may_access_set(&set, r.parent_ino, creds, Access::Write) {
                 return err(Errno::EACCES, r.parent_path.as_str());
             }
             let now = self.clock.tick();
-            inner.inode_mut(src)?.nlink += 1;
-            inner.inode_mut(src)?.ctime = now;
-            let parent = inner.inode_mut(r.parent_ino)?;
+            {
+                let node = set.inode_mut(src)?;
+                node.nlink += 1;
+                node.ctime = now;
+            }
+            let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.insert(r.name.clone(), src);
             parent.mtime = now;
-            full = r.parent_path.join(&r.name);
-        }
+            break r.parent_path.join(&r.name);
+        };
         self.notify.emit(EventKind::Create, &full, full.file_name());
         Ok(())
     }
@@ -1358,37 +1518,44 @@ impl Filesystem {
         self.charge(OpKind::Unlink, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        let mut events: Vec<PendingEvent> = Vec::new();
-        {
-            let mut inner = self.inner.write();
-            let r = self.resolve(&inner, &vp, creds, false)?;
+        let events = loop {
+            let mut events: Vec<PendingEvent> = Vec::new();
+            let r = self.resolve_live(&vp, creds, false)?;
             let ino = r
                 .target
                 .ok_or_else(|| VfsError::new(Errno::ENOENT, vp.as_str()))?;
-            if matches!(inner.inode(ino)?.kind, NodeKind::Dir { .. }) {
+            let mut set = self
+                .tables
+                .lock(&[LockKey::Ino(r.parent_ino), LockKey::Ino(ino)]);
+            if !set.entry_is(r.parent_ino, &r.name, Some(ino)) {
+                drop(set);
+                continue;
+            }
+            if matches!(set.inode(ino)?.kind, NodeKind::Dir { .. }) {
                 return err(Errno::EISDIR, vp.as_str());
             }
-            if !self.may_access(&inner, r.parent_ino, creds, Access::Write) {
+            if !Self::may_access_set(&set, r.parent_ino, creds, Access::Write) {
                 return err(Errno::EACCES, r.parent_path.as_str());
             }
-            if !Self::sticky_ok(&inner, inner.inode(r.parent_ino)?, ino, creds) {
+            if !Self::sticky_ok_set(&set, r.parent_ino, ino, creds) {
                 return err(Errno::EPERM, vp.as_str());
             }
             let now = self.clock.tick();
-            let parent = inner.inode_mut(r.parent_ino)?;
+            let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.remove(&r.name);
             parent.mtime = now;
             let full = r.parent_path.join(&r.name);
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             node.nlink -= 1;
             node.ctime = now;
             let gone = node.nlink == 0 && node.open_count == 0;
             if gone {
-                inner.inodes.remove(&ino.0);
+                set.remove_inode(ino);
                 events.push((EventKind::DeleteSelf, full.clone(), None));
             }
             events.push((EventKind::Delete, full.clone(), Some(r.name.clone())));
-        }
+            break events;
+        };
         self.emit_all(events);
         Ok(())
     }
@@ -1402,36 +1569,90 @@ impl Filesystem {
         let vt = VPath::new(to);
         self.validate_mutation(&vf)?;
         self.validate_mutation(&vt)?;
-        let mut events: Vec<PendingEvent> = Vec::new();
-        {
-            let mut inner = self.inner.write();
-            let rf = self.resolve(&inner, &vf, creds, false)?;
+        let events = loop {
+            let mut events: Vec<PendingEvent> = Vec::new();
+            let rf = self.resolve_live(&vf, creds, false)?;
             let src = rf
                 .target
                 .ok_or_else(|| VfsError::new(Errno::ENOENT, vf.as_str()))?;
             if rf.name.is_empty() {
                 return err(Errno::EINVAL, vf.as_str());
             }
-            let rt = self.resolve(&inner, &vt, creds, false)?;
+            let rt = self.resolve_live(&vt, creds, false)?;
             if rt.name.is_empty() || !valid_name(&rt.name) {
                 return err(Errno::EINVAL, vt.as_str());
             }
-            if !self.may_access(&inner, rf.parent_ino, creds, Access::Write) {
+            let src_is_dir = match self
+                .tables
+                .with_inode(src, |n| matches!(n.kind, NodeKind::Dir { .. }))
+            {
+                Ok(b) => b,
+                Err(_) => continue, // source vanished; retry resolves ENOENT
+            };
+            // Directory renames serialize on a dedicated mutex (the
+            // in-process `s_vfs_rename_mutex`): the path-prefix cycle check
+            // below is computed from two independent resolutions, and two
+            // concurrent cross-directory renames could each pass it while
+            // jointly detaching a cycle. Under the mutex, an inode-based
+            // ancestry walk is race-free: no other directory can be
+            // reparented while we hold it.
+            let _rename_guard = if src_is_dir {
+                Some(self.rename_lock.lock())
+            } else {
+                None
+            };
+            let mut cycle = false;
+            if src_is_dir {
+                let mut anc = rt.parent_ino;
+                let mut hops = 0usize;
+                loop {
+                    if anc == src {
+                        cycle = true;
+                        break;
+                    }
+                    if anc == ROOT_INO || hops > PATH_MAX {
+                        break;
+                    }
+                    anc = match self.tables.with_inode(anc, |n| match &n.kind {
+                        NodeKind::Dir { parent, .. } => Some(*parent),
+                        _ => None,
+                    }) {
+                        Ok(Some(p)) => p,
+                        _ => break, // vanished: the entry verify below retries
+                    };
+                    hops += 1;
+                }
+            }
+            let mut keys = vec![
+                LockKey::Ino(rf.parent_ino),
+                LockKey::Ino(rt.parent_ino),
+                LockKey::Ino(src),
+            ];
+            if let Some(dst) = rt.target {
+                keys.push(LockKey::Ino(dst));
+            }
+            let mut set = self.tables.lock(&keys);
+            if !set.entry_is(rf.parent_ino, &rf.name, Some(src))
+                || !set.entry_is(rt.parent_ino, &rt.name, rt.target)
+            {
+                drop(set);
+                continue;
+            }
+            if !Self::may_access_set(&set, rf.parent_ino, creds, Access::Write) {
                 return err(Errno::EACCES, rf.parent_path.as_str());
             }
-            if !self.may_access(&inner, rt.parent_ino, creds, Access::Write) {
+            if !Self::may_access_set(&set, rt.parent_ino, creds, Access::Write) {
                 return err(Errno::EACCES, rt.parent_path.as_str());
             }
-            if !Self::sticky_ok(&inner, inner.inode(rf.parent_ino)?, src, creds) {
+            if !Self::sticky_ok_set(&set, rf.parent_ino, src, creds) {
                 return err(Errno::EPERM, vf.as_str());
             }
-            let src_is_dir = matches!(inner.inode(src)?.kind, NodeKind::Dir { .. });
             let src_full = rf.parent_path.join(&rf.name);
             let dst_full = rt.parent_path.join(&rt.name);
             if src_full == dst_full {
                 return Ok(()); // no-op rename to self
             }
-            if src_is_dir && dst_full.starts_with(&src_full) {
+            if src_is_dir && (dst_full.starts_with(&src_full) || cycle) {
                 return err(Errno::EINVAL, vt.as_str());
             }
 
@@ -1440,22 +1661,22 @@ impl Filesystem {
                 if dst == src {
                     return Ok(()); // hard links to the same inode: no-op
                 }
-                let dst_is_dir = matches!(inner.inode(dst)?.kind, NodeKind::Dir { .. });
+                let dst_is_dir = matches!(set.inode(dst)?.kind, NodeKind::Dir { .. });
                 match (src_is_dir, dst_is_dir) {
                     (true, false) => return err(Errno::ENOTDIR, vt.as_str()),
                     (false, true) => return err(Errno::EISDIR, vt.as_str()),
                     (true, true) => {
-                        if !inner.inode(dst)?.dir_entries()?.is_empty() {
+                        if !set.inode(dst)?.dir_entries()?.is_empty() {
                             return err(Errno::ENOTEMPTY, vt.as_str());
                         }
-                        inner.inode_mut(rt.parent_ino)?.nlink -= 1;
-                        inner.inodes.remove(&dst.0);
+                        set.inode_mut(rt.parent_ino)?.nlink -= 1;
+                        set.remove_inode(dst);
                     }
                     (false, false) => {
-                        let node = inner.inode_mut(dst)?;
+                        let node = set.inode_mut(dst)?;
                         node.nlink -= 1;
                         if node.nlink == 0 && node.open_count == 0 {
-                            inner.inodes.remove(&dst.0);
+                            set.remove_inode(dst);
                         }
                     }
                 }
@@ -1464,27 +1685,28 @@ impl Filesystem {
 
             let now = self.clock.tick();
             {
-                let pf = inner.inode_mut(rf.parent_ino)?;
+                let pf = set.inode_mut(rf.parent_ino)?;
                 pf.dir_entries_mut()?.remove(&rf.name);
                 pf.mtime = now;
             }
             {
-                let pt = inner.inode_mut(rt.parent_ino)?;
+                let pt = set.inode_mut(rt.parent_ino)?;
                 pt.dir_entries_mut()?.insert(rt.name.clone(), src);
                 pt.mtime = now;
             }
             if src_is_dir && rf.parent_ino != rt.parent_ino {
                 // Fix `..` and parent link counts.
-                inner.inode_mut(rf.parent_ino)?.nlink -= 1;
-                inner.inode_mut(rt.parent_ino)?.nlink += 1;
-                if let NodeKind::Dir { parent, .. } = &mut inner.inode_mut(src)?.kind {
+                set.inode_mut(rf.parent_ino)?.nlink -= 1;
+                set.inode_mut(rt.parent_ino)?.nlink += 1;
+                if let NodeKind::Dir { parent, .. } = &mut set.inode_mut(src)?.kind {
                     *parent = rt.parent_ino;
                 }
             }
-            inner.inode_mut(src)?.ctime = now;
+            set.inode_mut(src)?.ctime = now;
             events.push((EventKind::MovedFrom, src_full, Some(rf.name.clone())));
             events.push((EventKind::MovedTo, dst_full, Some(rt.name.clone())));
-        }
+            break events;
+        };
         self.emit_all(events);
         Ok(())
     }
@@ -1501,51 +1723,43 @@ impl Filesystem {
         if flags.write || flags.create || flags.truncate || flags.append {
             self.validate_mutation(&vp)?;
         }
-        let mut created_path: Option<VPath> = None;
-        let mut modified = false;
-        let fd;
-        {
-            let mut inner = self.inner.write();
-            if inner.handles.len() >= self.limits.max_open_files {
-                return err(Errno::ENFILE, vp.as_str());
-            }
-            let r = self.resolve(&inner, &vp, creds, true)?;
+        // One slot in the global handle table, reserved up front (`ENFILE`)
+        // and released by Drop on every error path below.
+        let mut slot = HandleSlot::reserve(&self.tables, self.limits.max_open_files, vp.as_str())?;
+        let (fd, created_path, modified) = 'attempt: loop {
+            let r = self.resolve_live(&vp, creds, true)?;
             let full = if r.name.is_empty() {
                 r.parent_path.clone()
             } else {
                 r.parent_path.join(&r.name)
             };
-            let ino = match r.target {
+            let id = self.tables.alloc_fd();
+
+            enum Plan {
+                Existing {
+                    ino: Ino,
+                    /// The create path re-resolves after running hooks; a
+                    /// target that raced into existence there is opened
+                    /// without truncation (mirroring the original re-resolve
+                    /// branch, which never truncated).
+                    truncate_ok: bool,
+                },
+                Create {
+                    parent: Ino,
+                    parent_path: VPath,
+                    name: String,
+                    full: VPath,
+                },
+            }
+            let plan = match r.target {
                 Some(i) => {
                     if flags.create && flags.excl {
                         return err(Errno::EEXIST, vp.as_str());
                     }
-                    let node = inner.inode(i)?;
-                    match node.kind {
-                        NodeKind::Dir { .. } if flags.write => {
-                            return err(Errno::EISDIR, vp.as_str())
-                        }
-                        NodeKind::Dir { .. } => return err(Errno::EISDIR, vp.as_str()),
-                        _ => {}
+                    Plan::Existing {
+                        ino: i,
+                        truncate_ok: true,
                     }
-                    if flags.read && !self.may_access(&inner, i, creds, Access::Read) {
-                        return err(Errno::EACCES, vp.as_str());
-                    }
-                    if flags.write && !self.may_access(&inner, i, creds, Access::Write) {
-                        return err(Errno::EACCES, vp.as_str());
-                    }
-                    if flags.truncate && flags.write {
-                        let now = self.clock.tick();
-                        let node = inner.inode_mut(i)?;
-                        if let NodeKind::File(d) = &mut node.kind {
-                            if !d.is_empty() {
-                                d.clear();
-                                node.mtime = now;
-                                modified = true;
-                            }
-                        }
-                    }
-                    i
                 }
                 None => {
                     if !flags.create {
@@ -1554,80 +1768,140 @@ impl Filesystem {
                     if !valid_name(&r.name) {
                         return err(Errno::EINVAL, vp.as_str());
                     }
-                    drop(inner); // validate_create hooks may read the fs
+                    // validate_create hooks may read (or create!) the file;
+                    // no locks are held here, so they may re-enter freely.
                     self.validate_with_hooks(|h| h.validate_create(self, &full))?;
-                    inner = self.inner.write();
-                    // Re-resolve: the world may have changed while unlocked.
-                    let r2 = self.resolve(&inner, &vp, creds, true)?;
-                    if let Some(i) = r2.target {
-                        if flags.excl {
-                            return err(Errno::EEXIST, vp.as_str());
+                    let r2 = self.resolve_live(&vp, creds, true)?;
+                    match r2.target {
+                        Some(i) => {
+                            if flags.excl {
+                                return err(Errno::EEXIST, vp.as_str());
+                            }
+                            Plan::Existing {
+                                ino: i,
+                                truncate_ok: false,
+                            }
                         }
-                        // The target raced into existence: apply the same
-                        // checks the existing-file branch performs.
-                        if matches!(inner.inode(i)?.kind, NodeKind::Dir { .. }) {
-                            return err(Errno::EISDIR, vp.as_str());
-                        }
-                        if flags.read && !self.may_access(&inner, i, creds, Access::Read) {
-                            return err(Errno::EACCES, vp.as_str());
-                        }
-                        if flags.write && !self.may_access(&inner, i, creds, Access::Write) {
-                            return err(Errno::EACCES, vp.as_str());
-                        }
-                        i
-                    } else {
-                        if !self.may_access(&inner, r2.parent_ino, creds, Access::Write) {
-                            return err(Errno::EACCES, r2.parent_path.as_str());
-                        }
-                        if inner.inode(r2.parent_ino)?.dir_entries()?.len()
-                            >= self.limits.max_dir_entries
-                        {
-                            return err(Errno::EDQUOT, r2.parent_path.as_str());
-                        }
-                        let now = self.clock.tick();
-                        let ino = inner.alloc_ino();
-                        inner.inodes.insert(
-                            ino.0,
-                            Inode {
-                                kind: NodeKind::File(Vec::new()),
-                                mode: Mode::FILE_DEFAULT,
-                                uid: creds.uid,
-                                gid: creds.gid,
-                                nlink: 1,
-                                mtime: now,
-                                ctime: now,
-                                xattrs: BTreeMap::new(),
-                                acl: None,
-                                open_count: 0,
-                            },
-                        );
-                        let parent = inner.inode_mut(r2.parent_ino)?;
-                        parent.dir_entries_mut()?.insert(r2.name.clone(), ino);
-                        parent.mtime = now;
-                        created_path = Some(r2.parent_path.join(&r2.name));
-                        ino
+                        None => Plan::Create {
+                            parent: r2.parent_ino,
+                            parent_path: r2.parent_path.clone(),
+                            name: r2.name.clone(),
+                            full: r2.parent_path.join(&r2.name),
+                        },
                     }
                 }
             };
-            // Per-uid handle budget, charged at the last fallible point so a
-            // failed open never leaks a slot.
-            self.rctl.charge_open(creds.uid.0, vp.as_str())?;
-            inner.inode_mut(ino)?.open_count += 1;
-            let id = inner.next_fd;
-            inner.next_fd += 1;
-            inner.handles.insert(
-                id,
-                OpenFile {
-                    ino,
-                    flags,
-                    offset: 0,
-                    path: full,
-                    wrote: false,
-                    owner: creds.uid,
-                },
-            );
-            fd = Fd(id);
-        }
+
+            match plan {
+                Plan::Existing { ino, truncate_ok } => {
+                    let mut modified = false;
+                    let mut set = self.tables.lock(&[LockKey::Ino(ino), LockKey::Fd(id)]);
+                    let is_dir = match set.inode(ino) {
+                        Ok(n) => matches!(n.kind, NodeKind::Dir { .. }),
+                        Err(_) => {
+                            drop(set);
+                            continue 'attempt;
+                        }
+                    };
+                    if is_dir {
+                        return err(Errno::EISDIR, vp.as_str());
+                    }
+                    if flags.read && !Self::may_access_set(&set, ino, creds, Access::Read) {
+                        return err(Errno::EACCES, vp.as_str());
+                    }
+                    if flags.write && !Self::may_access_set(&set, ino, creds, Access::Write) {
+                        return err(Errno::EACCES, vp.as_str());
+                    }
+                    if flags.truncate && flags.write && truncate_ok {
+                        let now = self.clock.tick();
+                        let node = set.inode_mut(ino)?;
+                        if let NodeKind::File(d) = &mut node.kind {
+                            if !d.is_empty() {
+                                d.clear();
+                                node.mtime = now;
+                                modified = true;
+                            }
+                        }
+                    }
+                    // Per-uid handle budget, charged at the last fallible
+                    // point so a failed open never leaks a slot.
+                    self.rctl.charge_open(creds.uid.0, vp.as_str())?;
+                    set.inode_mut(ino)?.open_count += 1;
+                    set.insert_handle_reserved(
+                        id,
+                        OpenFile {
+                            ino,
+                            flags,
+                            offset: 0,
+                            path: full,
+                            wrote: false,
+                            owner: creds.uid,
+                        },
+                    );
+                    slot.commit();
+                    break (Fd(id), None, modified);
+                }
+                Plan::Create {
+                    parent,
+                    parent_path,
+                    name,
+                    full: created,
+                } => {
+                    let ino = self.tables.alloc_ino();
+                    let mut set = self.tables.lock(&[
+                        LockKey::Ino(parent),
+                        LockKey::Ino(ino),
+                        LockKey::Fd(id),
+                    ]);
+                    if !set.entry_is(parent, &name, None) {
+                        drop(set);
+                        continue 'attempt;
+                    }
+                    if !Self::may_access_set(&set, parent, creds, Access::Write) {
+                        return err(Errno::EACCES, parent_path.as_str());
+                    }
+                    if set.inode(parent)?.dir_entries()?.len() >= self.limits.max_dir_entries {
+                        return err(Errno::EDQUOT, parent_path.as_str());
+                    }
+                    let now = self.clock.tick();
+                    set.insert_inode(
+                        ino,
+                        Inode {
+                            kind: NodeKind::File(Vec::new()),
+                            mode: Mode::FILE_DEFAULT,
+                            uid: creds.uid,
+                            gid: creds.gid,
+                            nlink: 1,
+                            mtime: now,
+                            ctime: now,
+                            xattrs: BTreeMap::new(),
+                            acl: None,
+                            open_count: 0,
+                        },
+                    );
+                    {
+                        let p = set.inode_mut(parent)?;
+                        p.dir_entries_mut()?.insert(name.clone(), ino);
+                        p.mtime = now;
+                    }
+                    self.rctl.charge_open(creds.uid.0, vp.as_str())?;
+                    set.inode_mut(ino)?.open_count += 1;
+                    set.insert_handle_reserved(
+                        id,
+                        OpenFile {
+                            ino,
+                            flags,
+                            offset: 0,
+                            path: full,
+                            wrote: false,
+                            owner: creds.uid,
+                        },
+                    );
+                    slot.commit();
+                    break (Fd(id), Some(created), false);
+                }
+            }
+        };
         if let Some(p) = &created_path {
             self.notify.emit(EventKind::Create, p, p.file_name());
             self.run_hooks(vec![PendingHook::Create(p.clone())], creds);
@@ -1640,19 +1914,26 @@ impl Filesystem {
 
     /// `read(2)`: up to `len` bytes from the handle's offset.
     pub fn read(&self, fd: Fd, len: usize) -> VfsResult<Vec<u8>> {
-        let mut inner = self.inner.write();
-        let howner = inner.handles.get(&fd.0).map(|h| h.owner).unwrap_or(Uid(0));
-        let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
-        self.charge_uid(OpKind::Read, hpath.as_deref().unwrap_or(""), howner)?;
-        let h = inner
-            .handles
-            .get(&fd.0)
-            .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
-        if !h.flags.read {
-            return err(Errno::EBADF, h.path.as_str());
+        let info = self
+            .tables
+            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned()));
+        let (howner, hpath) = info.clone().unwrap_or((Uid(0), String::new()));
+        self.charge_uid(OpKind::Read, &hpath, howner)?;
+        let (ino, readable) = match self.tables.with_handle(fd.0, |h| (h.ino, h.flags.read)) {
+            Some(v) => v,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        if !readable {
+            return err(Errno::EBADF, hpath);
         }
-        let (ino, off) = (h.ino, h.offset);
-        let data = match &inner.inode(ino)?.kind {
+        // A handle's target inode never changes, so the fd→ino snapshot
+        // above stays valid; only offset/data need the locks.
+        let mut set = self.tables.lock(&[LockKey::Fd(fd.0), LockKey::Ino(ino)]);
+        let off = match set.handle(fd.0) {
+            Some(h) => h.offset,
+            None => return err(Errno::EBADF, "fd"), // closed concurrently
+        };
+        let data = match &set.inode(ino)?.kind {
             NodeKind::File(d) => {
                 let start = (off as usize).min(d.len());
                 let end = (start + len).min(d.len());
@@ -1661,40 +1942,50 @@ impl Filesystem {
             _ => return err(Errno::EINVAL, "fd"),
         };
         let n = data.len() as u64;
-        inner.handles.get_mut(&fd.0).unwrap().offset += n;
+        if let Some(h) = set.handle_mut(fd.0) {
+            h.offset += n;
+        }
         Ok(data)
     }
 
     /// `write(2)` at the handle's offset (end of file with `append`).
     pub fn write(&self, fd: Fd, data: &[u8]) -> VfsResult<usize> {
+        let info = self
+            .tables
+            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned()));
+        let (howner, hpath) = info.clone().unwrap_or((Uid(0), String::new()));
+        self.charge_uid(OpKind::Write, &hpath, howner)?;
+        let (ino, writable, append) = match self
+            .tables
+            .with_handle(fd.0, |h| (h.ino, h.flags.write, h.flags.append))
+        {
+            Some(v) => v,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        if !writable {
+            return err(Errno::EBADF, hpath);
+        }
         let path;
         {
-            let mut inner = self.inner.write();
-            let howner = inner.handles.get(&fd.0).map(|h| h.owner).unwrap_or(Uid(0));
-            let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
-            self.charge_uid(OpKind::Write, hpath.as_deref().unwrap_or(""), howner)?;
-            let h = inner
-                .handles
-                .get(&fd.0)
-                .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
-            if !h.flags.write {
-                return err(Errno::EBADF, h.path.as_str());
-            }
-            let (ino, append) = (h.ino, h.flags.append);
+            let mut set = self.tables.lock(&[LockKey::Fd(fd.0), LockKey::Ino(ino)]);
+            let h_off = match set.handle(fd.0) {
+                Some(h) => h.offset,
+                None => return err(Errno::EBADF, "fd"),
+            };
             let off = if append {
-                match &inner.inode(ino)?.kind {
+                match &set.inode(ino)?.kind {
                     NodeKind::File(d) => d.len() as u64,
                     _ => return err(Errno::EINVAL, "fd"),
                 }
             } else {
-                h.offset
+                h_off
             };
             let end = off as usize + data.len();
             if end as u64 > self.limits.max_file_size {
                 return err(Errno::ENOSPC, "fd");
             }
             let now = self.clock.tick();
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             match &mut node.kind {
                 NodeKind::File(d) => {
                     if d.len() < end {
@@ -1705,7 +1996,7 @@ impl Filesystem {
                 }
                 _ => return err(Errno::EINVAL, "fd"),
             }
-            let h = inner.handles.get_mut(&fd.0).unwrap();
+            let h = set.handle_mut(fd.0).expect("handle verified above");
             h.offset = end as u64;
             h.wrote = true;
             path = h.path.clone();
@@ -1716,10 +2007,9 @@ impl Filesystem {
 
     /// `lseek(2)` (absolute positioning only; returns the new offset).
     pub fn seek(&self, fd: Fd, offset: u64) -> VfsResult<u64> {
-        let mut inner = self.inner.write();
-        let h = inner
-            .handles
-            .get_mut(&fd.0)
+        let mut set = self.tables.lock(&[LockKey::Fd(fd.0)]);
+        let h = set
+            .handle_mut(fd.0)
             .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
         h.offset = offset;
         Ok(offset)
@@ -1728,25 +2018,31 @@ impl Filesystem {
     /// `close(2)`. Emits `CloseWrite` (and fires `post_close_write` hooks)
     /// when the handle performed writes.
     pub fn close(&self, fd: Fd, creds: &Credentials) -> VfsResult<()> {
+        let hpath = self
+            .tables
+            .with_handle(fd.0, |h| h.path.as_str().to_owned());
+        self.count(OpKind::Close, hpath.as_deref().unwrap_or(""));
+        let ino = match self.tables.with_handle(fd.0, |h| h.ino) {
+            Some(i) => i,
+            None => return err(Errno::EBADF, "fd"),
+        };
         let (wrote, path);
         {
-            let mut inner = self.inner.write();
-            let hpath = inner.handles.get(&fd.0).map(|h| h.path.as_str().to_owned());
-            self.count(OpKind::Close, hpath.as_deref().unwrap_or(""));
-            let h = inner
-                .handles
-                .remove(&fd.0)
-                .ok_or_else(|| VfsError::new(Errno::EBADF, "fd"))?;
+            let mut set = self.tables.lock(&[LockKey::Fd(fd.0), LockKey::Ino(ino)]);
+            let h = match set.remove_handle(fd.0) {
+                Some(h) => h,
+                None => return err(Errno::EBADF, "fd"), // double close race
+            };
             self.rctl.release_open(h.owner.0);
             wrote = h.wrote;
             path = h.path.clone();
             let gone = {
-                let node = inner.inode_mut(h.ino)?;
+                let node = set.inode_mut(h.ino)?;
                 node.open_count -= 1;
                 node.nlink == 0 && node.open_count == 0
             };
             if gone {
-                inner.inodes.remove(&h.ino.0);
+                set.remove_inode(h.ino);
             }
         }
         if wrote {
@@ -1762,17 +2058,21 @@ impl Filesystem {
         self.charge(OpKind::Truncate, path, creds)?;
         let vp = VPath::new(path);
         self.validate_mutation(&vp)?;
-        {
-            let mut inner = self.inner.write();
-            let ino = self.lookup(&inner, &vp, creds, true)?;
-            if !self.may_access(&inner, ino, creds, Access::Write) {
+        loop {
+            let ino = self.lookup_live(&vp, creds, true)?;
+            let mut set = self.tables.lock(&[LockKey::Ino(ino)]);
+            if set.inode(ino).is_err() {
+                drop(set);
+                continue;
+            }
+            if !Self::may_access_set(&set, ino, creds, Access::Write) {
                 return err(Errno::EACCES, vp.as_str());
             }
             if len > self.limits.max_file_size {
                 return err(Errno::ENOSPC, vp.as_str());
             }
             let now = self.clock.tick();
-            let node = inner.inode_mut(ino)?;
+            let node = set.inode_mut(ino)?;
             match &mut node.kind {
                 NodeKind::File(d) => {
                     d.resize(len as usize, 0);
@@ -1781,6 +2081,7 @@ impl Filesystem {
                 NodeKind::Dir { .. } => return err(Errno::EISDIR, vp.as_str()),
                 NodeKind::Symlink(_) => return err(Errno::EINVAL, vp.as_str()),
             }
+            break;
         }
         self.notify.emit(EventKind::Modify, &vp, None);
         Ok(())
@@ -1829,8 +2130,145 @@ impl Filesystem {
         r?;
         c
     }
-}
 
+    // ----------------------------------------------------------------
+    // Structural audit
+    // ----------------------------------------------------------------
+
+    /// Audit the whole tree under a global lock: link counts, reachability,
+    /// `..` parent pointers, and open-handle accounting. Returns a summary
+    /// when every law holds, or a description of the first violation. The
+    /// concurrency suites call this after racing mutations to assert that no
+    /// interleaving can corrupt the tree.
+    pub fn check_invariants(&self) -> Result<FsCheckReport, String> {
+        let set = self.tables.lock_all();
+        let all = set.all_inos();
+
+        // Walk the tree from the root, counting directory-entry references
+        // and subdirectories, and checking `..` pointers.
+        let mut entry_refs: HashMap<u64, u32> = HashMap::new();
+        let mut subdirs: HashMap<u64, u32> = HashMap::new();
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        seen.insert(ROOT_INO.0);
+        let mut stack = vec![ROOT_INO];
+        while let Some(d) = stack.pop() {
+            let entries: Vec<(String, Ino)> = match set.inode(d) {
+                Ok(node) => match node.dir_entries() {
+                    Ok(e) => e.iter().map(|(n, i)| (n.clone(), *i)).collect(),
+                    Err(_) => return Err(format!("non-directory inode {} on the dir walk", d.0)),
+                },
+                Err(_) => return Err(format!("directory inode {} vanished mid-walk", d.0)),
+            };
+            for (name, child) in entries {
+                *entry_refs.entry(child.0).or_insert(0) += 1;
+                let cnode = set.inode(child).map_err(|_| {
+                    format!(
+                        "entry '{name}' in dir {} points at missing inode {}",
+                        d.0, child.0
+                    )
+                })?;
+                if let NodeKind::Dir { parent, .. } = &cnode.kind {
+                    *subdirs.entry(d.0).or_insert(0) += 1;
+                    if parent.0 != d.0 {
+                        return Err(format!(
+                            "dir {} has parent pointer {} but lives in {}",
+                            child.0, parent.0, d.0
+                        ));
+                    }
+                    if !seen.insert(child.0) {
+                        return Err(format!("dir {} reachable via two paths", child.0));
+                    }
+                    stack.push(child);
+                } else {
+                    seen.insert(child.0);
+                }
+            }
+        }
+
+        // Per-inode open-handle tallies from the handle table.
+        let mut open_by_ino: HashMap<u64, u32> = HashMap::new();
+        for ino in set.handle_targets() {
+            *open_by_ino.entry(ino.0).or_insert(0) += 1;
+        }
+
+        let (mut dirs, mut files, mut symlinks, mut orphans) = (0usize, 0usize, 0usize, 0usize);
+        for raw in &all {
+            let ino = Ino(*raw);
+            let node = set
+                .inode(ino)
+                .map_err(|_| format!("inode {raw} vanished mid-audit"))?;
+            let refs = entry_refs.get(raw).copied().unwrap_or(0);
+            let opens = open_by_ino.get(raw).copied().unwrap_or(0);
+            if node.open_count != opens {
+                return Err(format!(
+                    "inode {raw}: open_count {} but {} live handles target it",
+                    node.open_count, opens
+                ));
+            }
+            match &node.kind {
+                NodeKind::Dir { .. } => {
+                    dirs += 1;
+                    if !seen.contains(raw) {
+                        return Err(format!("directory {raw} unreachable from the root"));
+                    }
+                    let expect = 2 + subdirs.get(raw).copied().unwrap_or(0);
+                    if node.nlink != expect {
+                        return Err(format!(
+                            "dir {raw}: nlink {} but expected {} (2 + subdirs)",
+                            node.nlink, expect
+                        ));
+                    }
+                    if *raw != ROOT_INO.0 && refs != 1 {
+                        return Err(format!("dir {raw} referenced by {refs} entries"));
+                    }
+                }
+                NodeKind::File(_) => {
+                    if refs == 0 {
+                        if node.nlink != 0 || node.open_count == 0 {
+                            return Err(format!(
+                                "file {raw} unreachable with nlink {} open_count {}",
+                                node.nlink, node.open_count
+                            ));
+                        }
+                        orphans += 1;
+                    } else {
+                        files += 1;
+                        if node.nlink != refs {
+                            return Err(format!(
+                                "file {raw}: nlink {} but {refs} directory entries",
+                                node.nlink
+                            ));
+                        }
+                    }
+                }
+                NodeKind::Symlink(_) => {
+                    symlinks += 1;
+                    if refs != 1 || node.nlink != 1 {
+                        return Err(format!(
+                            "symlink {raw}: {refs} entry refs, nlink {}",
+                            node.nlink
+                        ));
+                    }
+                }
+            }
+        }
+        let handles = set.total_handles();
+        if handles != self.tables.handle_count() {
+            return Err(format!(
+                "handle table holds {handles} entries but the counter says {}",
+                self.tables.handle_count()
+            ));
+        }
+        Ok(FsCheckReport {
+            inodes: all.len(),
+            directories: dirs,
+            files,
+            symlinks,
+            orphans_held_open: orphans,
+            handles,
+        })
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,12 +55,13 @@ pub mod notify;
 pub mod path;
 pub mod proc;
 pub mod rctl;
+mod shard;
 pub mod types;
 
 pub use acl::{check_access, Acl, AclEntry};
 pub use counter::{CounterSnapshot, OpKind, SyscallCounters};
 pub use error::{Errno, VfsError, VfsResult};
-pub use fs::{Filesystem, Limits, ReclaimReport};
+pub use fs::{Filesystem, FsCheckReport, Limits, ReclaimReport};
 pub use hooks::SemanticHook;
 pub use metrics::{op_cost_ns, LatencyHistogram, MetricsRegistry};
 pub use namespace::Namespace;

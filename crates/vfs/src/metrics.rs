@@ -14,7 +14,7 @@
 //! `/net`) with its own `SyscallCounters`, so experiments can ask "how many
 //! syscalls landed under this mount" without diffing global snapshots.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -161,6 +161,10 @@ fn under(path: &str, prefix: &str) -> bool {
 pub struct MetricsRegistry {
     hist: [LatencyHistogram; OpKind::COUNT],
     scopes: RwLock<Vec<Scope>>,
+    /// Mirror of `scopes.len()`, readable without the lock: `record` is on
+    /// every syscall's hot path and most filesystems have no scopes, so the
+    /// common case must not touch the `RwLock` at all.
+    scope_count: AtomicUsize,
 }
 
 impl Default for MetricsRegistry {
@@ -175,6 +179,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             hist: std::array::from_fn(|_| LatencyHistogram::new()),
             scopes: RwLock::new(Vec::new()),
+            scope_count: AtomicUsize::new(0),
         }
     }
 
@@ -182,6 +187,9 @@ impl MetricsRegistry {
     /// per-kind histogram and bumps every scope whose prefix covers `path`.
     pub fn record(&self, op: OpKind, path: &str) {
         self.hist[op as usize].record(op_cost_ns(op, path));
+        if self.scope_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
         let scopes = self.scopes.read();
         for s in scopes.iter() {
             if under(path, &s.prefix) {
@@ -204,6 +212,7 @@ impl MetricsRegistry {
             prefix: prefix.trim_end_matches('/').to_string(),
             counters: counters.clone(),
         });
+        self.scope_count.store(scopes.len(), Ordering::Release);
         counters
     }
 

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::path::VPath;
 
@@ -107,6 +107,12 @@ struct Watch {
     mask: EventMask,
     owner: Option<u32>,
     tx: Sender<Event>,
+    /// Serializes the quota check with the enqueue for THIS watch: without
+    /// it, two concurrent emitters could both observe `len == quota - 1` and
+    /// both send, overshooting the tail-drop cap. One mutex per watch keeps
+    /// the critical section per-consumer — emitters to different watches
+    /// never contend.
+    gate: Mutex<()>,
 }
 
 /// Registry of watches; one per [`crate::Filesystem`].
@@ -116,6 +122,7 @@ pub struct NotifyHub {
     /// Per-uid cap on a watch's queued-but-unread events; excess is dropped.
     quotas: RwLock<HashMap<u32, usize>>,
     dropped: AtomicU64,
+    delivered: AtomicU64,
 }
 
 impl Default for NotifyHub {
@@ -132,6 +139,7 @@ impl NotifyHub {
             next_id: AtomicU64::new(1),
             quotas: RwLock::new(HashMap::new()),
             dropped: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
         }
     }
 
@@ -144,6 +152,7 @@ impl NotifyHub {
             mask,
             owner,
             tx,
+            gate: Mutex::new(()),
         });
         (id, rx)
     }
@@ -228,54 +237,84 @@ impl NotifyHub {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Events successfully enqueued to a watch channel since startup.
+    /// With [`Self::dropped_events`], every matched event is accounted for
+    /// exactly once: matched = delivered + dropped (the no-loss/no-dup law
+    /// the property suite checks across batch drains).
+    pub fn delivered_events(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
     /// Events delivered but not yet consumed, summed over every watch's
     /// channel — the introspection tree's "queue depth" figure.
     pub fn queued_events(&self) -> usize {
         self.watches.read().iter().map(|w| w.tx.len()).sum()
     }
 
-    /// Deliver `kind` at `path` to every matching watch. Called by the
-    /// filesystem after each mutation; never blocks. Watches whose receiver
-    /// has been dropped are reaped here. Internal proc-mount maintenance
-    /// (refresh writes) is silent: those mutations are not observable state.
+    /// Deliver `kind` at `path` to every matching watch. Never blocks.
     pub fn emit(&self, kind: EventKind, path: &VPath, name: Option<&str>) {
-        if crate::proc::ProcDepth::active() {
+        self.emit_batch(&[(kind, path.clone(), name.map(str::to_string))]);
+    }
+
+    /// Deliver a batch of events — everything one filesystem operation
+    /// produced — to every matching watch. Called by the filesystem after
+    /// releasing its shard locks, so watchers never serialize writers.
+    ///
+    /// Per watch, the whole batch is delivered under that watch's queue
+    /// gate: the tail-drop quota check and the enqueue are one atomic step,
+    /// and one lock acquisition covers the batch. Watches whose receiver has
+    /// been dropped are reaped after the pass. Internal proc-mount
+    /// maintenance (refresh writes) is silent: those mutations are not
+    /// observable state.
+    pub fn emit_batch(&self, events: &[(EventKind, VPath, Option<String>)]) {
+        if events.is_empty() || crate::proc::ProcDepth::active() {
             return;
         }
         let mut dead: Vec<WatchId> = Vec::new();
         {
             let ws = self.watches.read();
             for w in ws.iter() {
-                if !w.mask.contains(kind) {
+                let matched: Vec<&(EventKind, VPath, Option<String>)> = events
+                    .iter()
+                    .filter(|(kind, path, _)| {
+                        w.mask.contains(*kind)
+                            && match &w.scope {
+                                // A path watch sees events on the object itself
+                                // and events whose subject sits directly
+                                // inside it.
+                                Scope::Path(p) => path == p || path.parent() == *p,
+                                Scope::Subtree(p) => path.starts_with(p),
+                            }
+                    })
+                    .collect();
+                if matched.is_empty() {
                     continue;
                 }
-                let matches = match &w.scope {
-                    // A path watch sees events on the object itself and
-                    // events whose subject sits directly inside it.
-                    Scope::Path(p) => path == p || path.parent() == *p,
-                    Scope::Subtree(p) => path.starts_with(p),
-                };
-                if !matches {
-                    continue;
-                }
-                if let Some(uid) = w.owner {
-                    if let Some(&quota) = self.quotas.read().get(&uid) {
-                        if w.tx.len() >= quota {
-                            // Queue quota exhausted: tail-drop rather than let
-                            // a slow consumer grow the queue without bound.
+                let quota = w
+                    .owner
+                    .and_then(|uid| self.quotas.read().get(&uid).copied());
+                let _gate = w.gate.lock();
+                for (kind, path, name) in matched {
+                    if let Some(q) = quota {
+                        if w.tx.len() >= q {
+                            // Queue quota exhausted: tail-drop rather than
+                            // let a slow consumer grow the queue without
+                            // bound.
                             self.dropped.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                     }
-                }
-                let ev = Event {
-                    watch: w.id,
-                    kind,
-                    path: path.clone(),
-                    name: name.map(str::to_string),
-                };
-                if w.tx.send(ev).is_err() {
-                    dead.push(w.id);
+                    let ev = Event {
+                        watch: w.id,
+                        kind: *kind,
+                        path: path.clone(),
+                        name: name.clone(),
+                    };
+                    if w.tx.send(ev).is_err() {
+                        dead.push(w.id);
+                        break;
+                    }
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -358,6 +397,50 @@ mod tests {
         assert_eq!(rx_b.try_iter().count(), 1);
         // The dead watch was reaped during emit.
         assert_eq!(hub.watch_count(), 1);
+    }
+
+    #[test]
+    fn batch_delivery_accounts_every_event_once() {
+        let hub = NotifyHub::new();
+        let (_id, rx) = hub.watch_subtree(&p("/net"), EventMask::ALL);
+        hub.emit_batch(&[
+            (EventKind::Create, p("/net/a"), Some("a".to_string())),
+            (EventKind::Modify, p("/net/a"), None),
+            (EventKind::Delete, p("/elsewhere"), None), // outside the scope
+        ]);
+        let evs: Vec<Event> = rx.try_iter().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(hub.delivered_events(), 2);
+        assert_eq!(hub.dropped_events(), 0);
+    }
+
+    #[test]
+    fn queue_quota_tail_drop_is_atomic_under_contention() {
+        use std::sync::Arc;
+        // Pins the fix for the check-then-act race: quota check and enqueue
+        // now happen under the watch's gate, so concurrent emitters can
+        // never overshoot the cap, and matched = delivered + dropped holds
+        // exactly.
+        let hub = Arc::new(NotifyHub::new());
+        hub.set_queue_quota(7, Some(4));
+        let (_id, rx) = hub.watch_path_owned(&p("/d"), EventMask::ALL, 7);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = hub.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..64 {
+                        h.emit(EventKind::Create, &p("/d/f"), Some("f"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let queued = rx.try_iter().count() as u64;
+        assert!(queued <= 4, "queue overshot its quota: {queued}");
+        assert_eq!(queued, hub.delivered_events());
+        assert_eq!(hub.delivered_events() + hub.dropped_events(), 4 * 64);
     }
 
     #[test]

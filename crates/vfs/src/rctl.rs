@@ -197,13 +197,32 @@ impl RctlTable {
             Some(e) => e,
             None => return Ok(()),
         };
-        if let Some(cap) = e.limits.max_open_handles {
-            if e.open_handles.load(Ordering::Relaxed) >= cap {
-                return err(Errno::EMFILE, operand);
+        // Increment-if-below-cap in one atomic step: a separate load+add
+        // would let two concurrent opens both pass the check at cap-1 and
+        // overshoot the budget.
+        match e.limits.max_open_handles {
+            Some(cap) => {
+                let took = e
+                    .open_handles
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                        if c >= cap {
+                            None
+                        } else {
+                            Some(c + 1)
+                        }
+                    })
+                    .is_ok();
+                if took {
+                    Ok(())
+                } else {
+                    err(Errno::EMFILE, operand)
+                }
+            }
+            None => {
+                e.open_handles.fetch_add(1, Ordering::Relaxed);
+                Ok(())
             }
         }
-        e.open_handles.fetch_add(1, Ordering::Relaxed);
-        Ok(())
     }
 
     /// Release one open handle charged to `uid`.
@@ -222,13 +241,30 @@ impl RctlTable {
             Some(e) => e,
             None => return Ok(()),
         };
-        if let Some(cap) = e.limits.max_flows {
-            if e.flows.load(Ordering::Relaxed) >= cap {
-                return err(Errno::EDQUOT, operand);
+        // Same single-step increment-if-below-cap as `charge_open`.
+        match e.limits.max_flows {
+            Some(cap) => {
+                let took = e
+                    .flows
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                        if c >= cap {
+                            None
+                        } else {
+                            Some(c + 1)
+                        }
+                    })
+                    .is_ok();
+                if took {
+                    Ok(())
+                } else {
+                    err(Errno::EDQUOT, operand)
+                }
+            }
+            None => {
+                e.flows.fetch_add(1, Ordering::Relaxed);
+                Ok(())
             }
         }
-        e.flows.fetch_add(1, Ordering::Relaxed);
-        Ok(())
     }
 
     /// Release one flow charged to `uid`.

@@ -1,7 +1,11 @@
 //! Property-based tests over the core data structures and invariants:
 //! path resolution vs a model, flow-spec file-codec roundtrips, OpenFlow
-//! wire-codec roundtrips for both versions, match subsumption laws, and
-//! DFS convergence under arbitrary concurrent writes.
+//! wire-codec roundtrips for both versions, match subsumption laws,
+//! DFS convergence under arbitrary concurrent writes, and concurrency
+//! laws of the sharded vfs (lock ordering, link-count conservation,
+//! notify batch accounting).
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -10,7 +14,7 @@ use yanc_dfs::{Backend, Cluster};
 use yanc_openflow::FrameCodec;
 use yanc_openflow::{decode, encode, Action, FlowMatch, FlowMod, Ipv4Prefix, Message, Version};
 use yanc_packet::MacAddr;
-use yanc_vfs::{Credentials, Filesystem, Mode};
+use yanc_vfs::{Credentials, EventMask, Filesystem, Mode};
 
 // ---------------------------------------------------------------------
 // Generators
@@ -279,4 +283,120 @@ proptest! {
             prop_assert!(cluster.converged(&format!("/net/{key}")), "{key} diverged");
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded-vfs concurrency laws
+// ---------------------------------------------------------------------
+
+/// splitmix64 — deterministic per-thread op streams.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Shard-ordering law: threads hammering rename/link/unlink/write across
+/// directories acquire multi-shard write locks in every possible key
+/// combination. The law is threefold: the run terminates (canonical
+/// ascending acquisition order admits no deadlock), no inode is orphaned,
+/// and every link count equals the number of directory entries referring
+/// to the inode — all enforced by `check_invariants` over the final tree.
+#[test]
+fn concurrent_rename_link_unlink_preserve_structure() {
+    let fs = Arc::new(Filesystem::with_shards(8));
+    let creds = Credentials::root();
+    for d in 0..4 {
+        fs.mkdir_all(&format!("/p/d{d}"), Mode::DIR_DEFAULT, &creds)
+            .unwrap();
+    }
+    for i in 0..6 {
+        fs.write_file(&format!("/p/d0/f{i}"), b"seed", &creds)
+            .unwrap();
+    }
+    let workers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let fs = Arc::clone(&fs);
+            std::thread::spawn(move || {
+                let creds = Credentials::root();
+                let mut s = t.wrapping_mul(0x5bf0_3635);
+                for _ in 0..400 {
+                    s = mix(s);
+                    let src = format!("/p/d{}/f{}", s % 4, (s >> 8) % 6);
+                    let dst = format!("/p/d{}/f{}", (s >> 16) % 4, (s >> 24) % 6);
+                    // Individual ops may lose races (ENOENT/EEXIST are
+                    // legal outcomes); the structural laws may not.
+                    match (s >> 32) % 4 {
+                        0 => drop(fs.rename(&src, &dst, &creds)),
+                        1 => drop(fs.link(&src, &dst, &creds)),
+                        2 => drop(fs.unlink(&src, &creds)),
+                        _ => drop(fs.write_file(&src, &s.to_le_bytes(), &creds)),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let report = fs.check_invariants().unwrap();
+    assert_eq!(report.orphans_held_open, 0);
+    assert_eq!(report.handles, 0);
+    assert_eq!(report.directories, 6); // /, /p, /p/d0..d3
+}
+
+/// Notify-batch law: across a queue drain no event is lost or duplicated.
+/// An unquota'd shadow watch on the same directory observes the full
+/// matched stream (`m` events); the hub's global counters must then
+/// satisfy `delivered = m + received` and `dropped = m - received`, i.e.
+/// every matched event is accounted exactly once as delivered-or-dropped.
+#[test]
+fn notify_batch_accounting_loses_and_duplicates_nothing() {
+    let fs = Filesystem::new();
+    let root = Credentials::root();
+    fs.mkdir_all("/q", Mode::DIR_DEFAULT, &root).unwrap();
+
+    // Unlimited watch: every matched event arrives exactly once.
+    let (w, rx) = fs.watch_subtree("/q", EventMask::ALL);
+    let d0 = fs.notify().delivered_events();
+    for i in 0..32 {
+        fs.write_file(&format!("/q/n{i}"), b"x", &root).unwrap();
+    }
+    let events: Vec<_> = rx.try_iter().collect();
+    assert_eq!(
+        events.len() as u64,
+        fs.notify().delivered_events() - d0,
+        "drained a different number of events than the hub delivered"
+    );
+    let mut created: Vec<String> = events
+        .iter()
+        .filter(|e| e.kind == yanc_vfs::EventKind::Create)
+        .filter_map(|e| e.name.clone())
+        .collect();
+    created.sort();
+    let mut want: Vec<String> = (0..32).map(|i| format!("n{i}")).collect();
+    want.sort();
+    assert_eq!(created, want, "a create event was lost or duplicated");
+    assert_eq!(fs.notify().dropped_events(), 0);
+    fs.unwatch(w); // phase two accounts only its own watches
+
+    // Quota'd watch beside a shadow: tail-dropping must still account
+    // every matched event exactly once.
+    let user = Credentials::user(7, 7);
+    fs.chmod("/q", yanc_vfs::Mode(0o777), &root).unwrap();
+    let (_shadow, shadow_rx) = fs.watch_path("/q", EventMask::ALL);
+    let (_owned, owned_rx) = fs.watch_path_as("/q", EventMask::ALL, &user).unwrap();
+    fs.notify().set_queue_quota(7, Some(8));
+    let (d1, x1) = (fs.notify().delivered_events(), fs.notify().dropped_events());
+    for i in 0..24 {
+        fs.write_file(&format!("/q/m{i}"), b"y", &root).unwrap();
+    }
+    let m = shadow_rx.try_iter().count() as u64;
+    let received = owned_rx.try_iter().count() as u64;
+    let delivered = fs.notify().delivered_events() - d1;
+    let dropped = fs.notify().dropped_events() - x1;
+    assert_eq!(received, 8, "tail-drop should cap the queue at its quota");
+    assert_eq!(delivered, m + received);
+    assert_eq!(dropped, m - received);
 }

@@ -341,6 +341,16 @@ proptest! {
             .parse()
             .unwrap();
         prop_assert_eq!(proc_handles, fs.open_handle_count() + 1);
+        // The supervisor accounted every force-closed handle, and the
+        // cumulative tally is readable from .proc like everything else.
+        prop_assert_eq!(sup.reclaimed_handles(), n_handles as u64);
+        let proc_reclaimed: u64 = fs
+            .read_to_string("/net/.proc/init/reclaimed_handles", &root)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        prop_assert_eq!(proc_reclaimed, n_handles as u64);
         // RestartPolicy::never(): the kill is terminal.
         prop_assert_eq!(sup.state(pid), Some(ProcessState::Failed));
     }
