@@ -57,8 +57,7 @@ pub fn parse_rules(text: &str) -> Result<Vec<DenyRule>, String> {
 pub struct Firewall {
     yfs: YancFs,
     sub: EventSubscription,
-    rules_rx: crossbeam::channel::Receiver<yanc_vfs::Event>,
-    _rules_watch: yanc_vfs::WatchId,
+    rules_watch: yanc_vfs::WatchGuard,
     /// Miss counts per source IP (anomaly detector).
     misses: HashMap<Ipv4Addr, u32>,
     /// Misses before a source is auto-blocked (0 disables).
@@ -83,12 +82,14 @@ impl Firewall {
                 yfs.creds(),
             )?;
         }
-        let (w, rules_rx) = fs.watch_path(dir.join("rules").as_str(), EventMask::MODIFY);
+        let rules_watch = fs
+            .watch(dir.join("rules").as_str())
+            .mask(EventMask::MODIFY)
+            .register()?;
         let mut fw = Firewall {
             yfs,
             sub,
-            rules_rx,
-            _rules_watch: w,
+            rules_watch,
             misses: HashMap::new(),
             threshold,
             blocked: Vec::new(),
@@ -175,7 +176,8 @@ impl Firewall {
     pub fn run_once(&mut self) -> bool {
         let mut worked = false;
         if self
-            .rules_rx
+            .rules_watch
+            .receiver()
             .try_iter()
             .any(|e| e.kind == EventKind::CloseWrite)
         {

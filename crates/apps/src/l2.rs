@@ -18,6 +18,10 @@ pub struct LearningSwitch {
     sub: EventSubscription,
     /// `(switch, mac) → port` learning table.
     table: HashMap<(String, MacAddr), u16>,
+    /// Whether the first slice has run. Until then [`YancApp::ready`]
+    /// reports true unconditionally: a freshly (re)started instance must
+    /// drain packet-ins that were buffered *before* its watch existed.
+    primed: bool,
     /// Flows installed (metrics).
     pub flows_installed: usize,
     /// Floods performed (metrics).
@@ -32,6 +36,7 @@ impl LearningSwitch {
             yfs,
             sub,
             table: HashMap::new(),
+            primed: false,
             flows_installed: 0,
             floods: 0,
         })
@@ -44,6 +49,7 @@ impl LearningSwitch {
 
     /// Drain packet-ins; learn and forward.
     pub fn run_once(&mut self) -> bool {
+        self.primed = true;
         let recs = self.sub.drain_all();
         let worked = !recs.is_empty();
         for rec in recs {
@@ -112,6 +118,14 @@ impl yanc::YancApp for LearningSwitch {
 
     fn run_once(&mut self) -> yanc::YancResult<bool> {
         Ok(LearningSwitch::run_once(self))
+    }
+
+    /// Level-triggered readiness: packet-in events are queued on the
+    /// subscription's watch (a free check — no charged syscall). A
+    /// poll-aware supervisor skips the slice entirely while this is false,
+    /// so an idle learning switch consumes zero scheduler ticks.
+    fn ready(&self) -> bool {
+        !self.primed || self.sub.ready()
     }
 
     /// `SIGHUP`: flush the learning table; locations are relearned from

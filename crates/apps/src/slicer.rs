@@ -19,11 +19,9 @@
 //!   out=vb` is compiled into per-hop physical flows along the shortest
 //!   path.
 
-use crossbeam::channel::Receiver;
-
 use yanc::{FlowSpec, SchemaPos, ViewConfig, YancFs};
 use yanc_openflow::{Action, FlowMatch, Ipv4Prefix};
-use yanc_vfs::{Event, EventKind, EventMask, WatchId};
+use yanc_vfs::{Event, EventKind, EventMask, WatchGuard};
 
 use crate::topology::{ingress_ports, shortest_path};
 
@@ -83,8 +81,7 @@ pub struct SliceDaemon {
     virt: YancFs,
     cfg: ViewConfig,
     view: String,
-    _watch: WatchId,
-    rx: Receiver<Event>,
+    watch: WatchGuard,
     /// Versions already translated, keyed by `(switch, flow)`.
     seen: std::collections::HashMap<(String, String), u64>,
     /// Flows translated down (metrics).
@@ -108,16 +105,18 @@ impl SliceDaemon {
                 virt.create_port(sw, p, "00:00:00:00:00:00", 0, 0)?;
             }
         }
-        let (watch, rx) = phys
+        let watch = phys
             .filesystem()
-            .watch_subtree(virt.switches_dir().as_str(), EventMask::ALL);
+            .watch(virt.switches_dir().as_str())
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()?;
         Ok(SliceDaemon {
             phys,
             virt,
             cfg,
             view: view.to_string(),
-            _watch: watch,
-            rx,
+            watch,
             seen: std::collections::HashMap::new(),
             pushed: 0,
             rejected: 0,
@@ -126,7 +125,7 @@ impl SliceDaemon {
 
     /// Drain view events, translating flow commits/deletes downward.
     pub fn run_once(&mut self) -> bool {
-        let events: Vec<Event> = self.rx.try_iter().collect();
+        let events: Vec<Event> = self.watch.receiver().try_iter().collect();
         let mut worked = false;
         for ev in events {
             let pos = yanc::classify(self.virt.root(), &ev.path);
@@ -190,8 +189,7 @@ pub struct BigSwitchDaemon {
     view: String,
     /// Virtual port v (1-based index) → physical `(switch, port)`.
     pub port_map: Vec<(String, u16)>,
-    _watch: WatchId,
-    rx: Receiver<Event>,
+    watch: WatchGuard,
     /// Versions already compiled, keyed by flow name.
     seen: std::collections::HashMap<String, u64>,
     /// Flows compiled to physical paths (metrics).
@@ -229,16 +227,18 @@ impl BigSwitchDaemon {
                 virt.creds(),
             )?;
         }
-        let (watch, rx) = phys
+        let watch = phys
             .filesystem()
-            .watch_subtree(virt.switches_dir().as_str(), EventMask::ALL);
+            .watch(virt.switches_dir().as_str())
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()?;
         Ok(BigSwitchDaemon {
             phys,
             virt,
             view: view.to_string(),
             port_map,
-            _watch: watch,
-            rx,
+            watch,
             seen: std::collections::HashMap::new(),
             pushed: 0,
             rejected: 0,
@@ -247,7 +247,7 @@ impl BigSwitchDaemon {
 
     /// Drain view events, compiling flow commits into physical paths.
     pub fn run_once(&mut self) -> bool {
-        let events: Vec<Event> = self.rx.try_iter().collect();
+        let events: Vec<Event> = self.watch.receiver().try_iter().collect();
         let mut worked = false;
         for ev in events {
             if ev.kind != EventKind::CloseWrite {

@@ -136,6 +136,13 @@ impl yanc::YancApp for TopologyDaemon {
         Ok(TopologyDaemon::run_once(self))
     }
 
+    /// Ready until the first probe has run (a restarted daemon must
+    /// rediscover the fabric even with no events queued), then
+    /// level-triggered on the packet-in subscription.
+    fn ready(&self) -> bool {
+        !self.probed || self.sub.ready()
+    }
+
     /// `SIGHUP`: forget which switches are provisioned and re-probe.
     fn reload(&mut self) -> yanc::YancResult<()> {
         self.provisioned.clear();

@@ -1,0 +1,161 @@
+//! E21 — the descriptor-relative fast path: installing 1000 flows with
+//! one `open_dir` + `mkdirat` + batched writes per flow, against the
+//! path-per-call baseline that re-resolves `/net/switches/<sw>/flows/...`
+//! for every field file.
+//!
+//! Two deterministic tables (the machine-independent claim) plus a
+//! wall-clock criterion series:
+//!   * **install**: simulated syscalls per 1k-flow burst, path-per-call vs
+//!     fd-relative — the ≥5× reduction EXPERIMENTS.md E21 pins,
+//!   * **idle consumer**: scheduler-visible syscalls across 1000 idle
+//!     ticks, busy-scan (`readdir` per tick) vs `yanc_poll`
+//!     (`is_ready` is free; one charged `wait` only when data arrives).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc::{FlowSpec, YancFs};
+use yanc_openflow::{Action, FlowMatch, Ipv4Prefix};
+use yanc_packet::MacAddr;
+use yanc_vfs::{Credentials, EventMask, Filesystem};
+
+/// All ten match fields populated — the worst case for one-file-per-field.
+fn rich_spec(i: usize) -> FlowSpec {
+    FlowSpec {
+        m: FlowMatch {
+            in_port: Some(1),
+            dl_src: Some(MacAddr::from_seed(1)),
+            dl_dst: Some(MacAddr::from_seed(2)),
+            dl_type: Some(0x0800),
+            nw_tos: Some(0x20),
+            nw_proto: Some(6),
+            nw_src: Ipv4Prefix::parse("10.0.0.0/24"),
+            nw_dst: Ipv4Prefix::parse("10.1.0.0/16"),
+            tp_src: Some(1000),
+            tp_dst: Some((i % 60_000) as u16),
+            ..Default::default()
+        },
+        actions: vec![Action::out(2)],
+        priority: 900,
+        ..Default::default()
+    }
+}
+
+fn world() -> YancFs {
+    let yfs = YancFs::init(Arc::new(Filesystem::new()), "/net").unwrap();
+    yfs.create_switch("sw0", 0x21, 0, 0, 0, 1).unwrap();
+    yfs
+}
+
+fn path_burst(yfs: &YancFs, n: usize) {
+    for i in 0..n {
+        yfs.write_flow("sw0", &format!("p{i}"), &rich_spec(i)).unwrap();
+    }
+}
+
+fn fd_burst(yfs: &YancFs, n: usize) {
+    let flows = yfs.open_flows_dir("sw0").unwrap();
+    for i in 0..n {
+        yfs.write_flow_at(flows, &format!("d{i}"), &rich_spec(i))
+            .unwrap();
+    }
+    yfs.filesystem().close(flows, yfs.creds()).unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 1000;
+
+    // Table 1: the E21 install claim.
+    let yfs = world();
+    let before = yfs.filesystem().counters().snapshot();
+    path_burst(&yfs, N);
+    let path_cost = yfs.filesystem().counters().snapshot().since(&before).total();
+    let yfs = world();
+    let before = yfs.filesystem().counters().snapshot();
+    fd_burst(&yfs, N);
+    let fd_cost = yfs.filesystem().counters().snapshot().since(&before).total();
+    let ratio = path_cost as f64 / fd_cost as f64;
+    println!("\nE21: simulated syscalls per {N}-flow install (10-field specs)");
+    println!("{:>16} {:>12} {:>10}", "strategy", "syscalls", "per flow");
+    println!("{:>16} {:>12} {:>10.1}", "path-per-call", path_cost, path_cost as f64 / N as f64);
+    println!("{:>16} {:>12} {:>10.1}", "fd-relative", fd_cost, fd_cost as f64 / N as f64);
+    println!("{:>16} {ratio:>12.2}x", "reduction");
+    assert!(ratio >= 5.0, "E21 regression: only {ratio:.2}x");
+
+    // Table 2: the consumer side. A busy-scanned flows directory charges a
+    // readdir every tick; a poll set answers "anything new?" for free and
+    // charges one Poll only when woken with data.
+    let yfs = world();
+    let fs = yfs.filesystem();
+    let watch = fs
+        .watch(yfs.switch_dir("sw0").join("flows").as_str())
+        .subtree()
+        .mask(EventMask::ALL)
+        .register()
+        .unwrap();
+    let ps = fs.poll_create(&Credentials::root());
+    ps.add_watch("flows", watch.receiver().clone());
+    const TICKS: usize = 1000;
+    let before = fs.counters().snapshot();
+    for _ in 0..TICKS {
+        let _ = fs
+            .readdir(
+                yfs.switch_dir("sw0").join("flows").as_str(),
+                yfs.creds(),
+            )
+            .unwrap();
+    }
+    let busy_cost = fs.counters().snapshot().since(&before).total();
+    let before = fs.counters().snapshot();
+    for _ in 0..TICKS {
+        assert!(!ps.is_ready()); // the scheduler's free check
+    }
+    yfs.write_flow_at(
+        yfs.open_flows_dir("sw0").unwrap(),
+        "wake",
+        &rich_spec(0),
+    )
+    .unwrap();
+    assert!(ps.is_ready());
+    let woken = ps.wait(16, Duration::ZERO).unwrap();
+    assert!(!woken.is_empty());
+    let poll_cost = fs.counters().snapshot().since(&before).total();
+    println!("\nE21b: consumer syscalls across {TICKS} idle ticks + one wakeup");
+    println!("{:>16} {:>12}", "strategy", "syscalls");
+    println!("{:>16} {:>12}", "busy readdir", busy_cost);
+    println!("{:>16} {:>12}", "yanc_poll", poll_cost);
+    println!();
+
+    yanc_harness::write_bench_report(
+        "fd_fastpath",
+        fs,
+        &[
+            ("experiment", "\"E21 descriptor-relative fast path\"".to_string()),
+            ("flows", N.to_string()),
+            ("path_per_call_syscalls", path_cost.to_string()),
+            ("fd_relative_syscalls", fd_cost.to_string()),
+            ("reduction", format!("{ratio:.2}")),
+            ("idle_ticks", TICKS.to_string()),
+            ("busy_scan_syscalls", busy_cost.to_string()),
+            ("poll_syscalls", poll_cost.to_string()),
+        ],
+    );
+
+    // Wall-clock series: the syscall gap is also a time gap.
+    let mut g = c.benchmark_group("fd_fastpath");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::new("path_per_call", n), &n, |b, &n| {
+            b.iter_with_setup(world, |yfs| path_burst(&yfs, n))
+        });
+        g.bench_with_input(BenchmarkId::new("fd_relative", n), &n, |b, &n| {
+            b.iter_with_setup(world, |yfs| fd_burst(&yfs, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -140,12 +140,12 @@ fn bench_notify(c: &mut Criterion) {
             fs.mkdir_all("/watched", yanc_vfs::Mode::DIR_DEFAULT, &creds)
                 .unwrap();
             let watches: Vec<_> = (0..k)
-                .map(|_| fs.watch_path("/watched", EventMask::ALL))
+                .map(|_| fs.watch("/watched").mask(EventMask::ALL).register().unwrap())
                 .collect();
             b.iter(|| {
                 fs.write_file("/watched/f", b"x", &creds).unwrap();
-                for (_, rx) in &watches {
-                    while rx.try_recv().is_ok() {}
+                for w in &watches {
+                    while w.receiver().try_recv().is_ok() {}
                 }
             })
         });
@@ -157,7 +157,7 @@ fn bench_notify(c: &mut Criterion) {
             fs.mkdir_all("/elsewhere", yanc_vfs::Mode::DIR_DEFAULT, &creds)
                 .unwrap();
             let _watches: Vec<_> = (0..k)
-                .map(|_| fs.watch_path("/elsewhere", EventMask::ALL))
+                .map(|_| fs.watch("/elsewhere").mask(EventMask::ALL).register().unwrap())
                 .collect();
             b.iter(|| fs.write_file("/watched/f", b"x", &creds).unwrap())
         });

@@ -112,16 +112,16 @@ fn bench_notify_ablation(c: &mut Criterion) {
         let fs = Filesystem::new();
         fs.mkdir_all("/other", Mode::DIR_DEFAULT, &creds).unwrap();
         let _w: Vec<_> = (0..100)
-            .map(|_| fs.watch_path("/other", EventMask::ALL))
+            .map(|_| fs.watch("/other").mask(EventMask::ALL).register().unwrap())
             .collect();
         b.iter(|| fs.write_file("/f", b"x", &creds).unwrap())
     });
     g.bench_function("write_one_subtree_watcher", |b| {
         let fs = Filesystem::new();
-        let (_, rx) = fs.watch_subtree("/", EventMask::ALL);
+        let watch = fs.watch("/").subtree().mask(EventMask::ALL).register().unwrap();
         b.iter(|| {
             fs.write_file("/f", b"x", &creds).unwrap();
-            while rx.try_recv().is_ok() {}
+            while watch.receiver().try_recv().is_ok() {}
         })
     });
     g.finish();

@@ -25,6 +25,18 @@ pub trait YancApp {
     /// `Err` is an abnormal exit: the supervisor applies the restart policy.
     fn run_once(&mut self) -> YancResult<bool>;
 
+    /// Whether the app has work pending. A poll-aware supervisor only
+    /// schedules a process when this is `true`, so idle apps consume zero
+    /// scheduler ticks — the `yanc_poll` analogue of sleeping in `epoll_wait`
+    /// instead of spinning. Implementations back this with
+    /// [`yanc_vfs::poll::PollSet::is_ready`] (free: no charged syscall).
+    ///
+    /// Default `true`: a legacy app that never reports readiness keeps its
+    /// old busy-polled schedule.
+    fn ready(&self) -> bool {
+        true
+    }
+
     /// Re-read configuration (`SIGHUP`). Default: nothing to reload.
     fn reload(&mut self) -> YancResult<()> {
         Ok(())

@@ -2,10 +2,27 @@
 
 use std::fmt;
 
-use yanc_vfs::VfsError;
+use yanc_vfs::{Errno, VfsError};
+
+use crate::flowspec::FlowOp;
+
+/// Payload of [`YancError::RingFull`]: a fastpath ring rejected some ops.
+///
+/// `errno` follows the vfs model so fast- and slow-path failures compose in
+/// one `match`: `ENOSPC` when *nothing* was enqueued (the ring was already
+/// full), `EAGAIN` when a batch was partially enqueued and only the
+/// `rejected` remainder needs retrying once the driver drains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingFull {
+    /// `ENOSPC` (nothing enqueued) or `EAGAIN` (partial batch; retry the
+    /// remainder).
+    pub errno: Errno,
+    /// The ops the ring did not accept, in submission order.
+    pub rejected: Vec<FlowOp>,
+}
 
 /// Errors from the yanc schema layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum YancError {
     /// An underlying file-system error.
     Vfs(VfsError),
@@ -21,6 +38,8 @@ pub enum YancError {
         /// What was violated.
         reason: String,
     },
+    /// A libyanc fastpath ring rejected ops; see [`RingFull`].
+    RingFull(RingFull),
 }
 
 impl YancError {
@@ -38,6 +57,21 @@ impl YancError {
             reason: reason.into(),
         }
     }
+
+    /// Construct a ring-full error carrying the rejected ops.
+    pub fn ring_full(errno: Errno, rejected: Vec<FlowOp>) -> Self {
+        YancError::RingFull(RingFull { errno, rejected })
+    }
+
+    /// The errno, when this error has one (vfs and ring-full errors do).
+    /// Lets supervisors treat `EAGAIN` uniformly across both paths.
+    pub fn errno(&self) -> Option<Errno> {
+        match self {
+            YancError::Vfs(e) => Some(e.errno),
+            YancError::RingFull(r) => Some(r.errno),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for YancError {
@@ -46,6 +80,9 @@ impl fmt::Display for YancError {
             YancError::Vfs(e) => write!(f, "vfs: {e}"),
             YancError::Parse { what, reason } => write!(f, "parse {what}: {reason}"),
             YancError::Schema { reason } => write!(f, "schema: {reason}"),
+            YancError::RingFull(r) => {
+                write!(f, "ring full: {:?} ({} ops rejected)", r.errno, r.rejected.len())
+            }
         }
     }
 }

@@ -55,6 +55,30 @@ impl Default for FlowSpec {
     }
 }
 
+/// A flow command, as carried by the libyanc fastpath ring (and by the
+/// [`crate::error::RingFull`] error payload when a ring rejects it). Lives
+/// here rather than in libyanc so the error type and the transport can both
+/// name it without a dependency cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowOp {
+    /// Install (or replace) `spec` as flow `name` on `switch`.
+    Install {
+        /// Switch name (`sw<dpid:hex>`).
+        switch: String,
+        /// Flow name (driver-local identity for later delete).
+        name: String,
+        /// The flow.
+        spec: FlowSpec,
+    },
+    /// Remove flow `name` from `switch`.
+    Delete {
+        /// Switch name.
+        switch: String,
+        /// Flow name.
+        name: String,
+    },
+}
+
 fn parse_u64(what: &str, s: &str) -> YancResult<u64> {
     let t = s.trim();
     let r = if let Some(hex) = t.strip_prefix("0x") {

@@ -51,8 +51,8 @@ pub mod views;
 pub mod yancfs;
 
 pub use app::YancApp;
-pub use error::{YancError, YancResult};
-pub use flowspec::{parse_port_token, port_token, FlowSpec};
+pub use error::{RingFull, YancError, YancResult};
+pub use flowspec::{parse_port_token, port_token, FlowOp, FlowSpec};
 pub use hook::YancHook;
 pub use schema::{classify, valid_flow_file, SchemaPos, NET_ROOT};
 pub use views::{ViewConfig, ViewKind};

@@ -14,7 +14,10 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 
-use yanc_vfs::{Credentials, Event, EventKind, EventMask, Filesystem, Mode, VPath, WatchId};
+use yanc_vfs::{
+    Credentials, Errno, Event, EventKind, EventMask, Fd, Filesystem, Mode, OpenFlags, VPath,
+    WatchGuard,
+};
 
 use crate::error::{YancError, YancResult};
 use crate::flowspec::FlowSpec;
@@ -38,12 +41,12 @@ pub struct PacketInRecord {
 }
 
 /// A subscription to packet-in events: a private buffer directory plus a
-/// notify watch on it.
+/// notify watch on it. The watch is a [`WatchGuard`], so dropping the
+/// subscription unwatches automatically.
 pub struct EventSubscription {
     /// The app name (buffer directory name).
     pub app: String,
-    watch: WatchId,
-    rx: Receiver<Event>,
+    watch: WatchGuard,
     yfs: YancFs,
 }
 
@@ -52,7 +55,8 @@ impl EventSubscription {
     /// them from the buffer.
     pub fn poll(&self) -> Vec<PacketInRecord> {
         let mut names: Vec<String> = self
-            .rx
+            .watch
+            .receiver()
             .try_iter()
             .filter(|e| e.kind == EventKind::Create)
             .filter_map(|e| e.name)
@@ -72,7 +76,7 @@ impl EventSubscription {
     /// Drain every entry currently in the buffer (even ones whose notify
     /// event was consumed elsewhere).
     pub fn drain_all(&self) -> Vec<PacketInRecord> {
-        while self.rx.try_recv().is_ok() {}
+        while self.watch.receiver().try_recv().is_ok() {}
         let mut out = Vec::new();
         for name in self.yfs.list_packet_ins(&self.app).unwrap_or_default() {
             if let Ok(rec) = self.yfs.read_packet_in(&self.app, &name) {
@@ -82,11 +86,17 @@ impl EventSubscription {
         }
         out
     }
-}
 
-impl Drop for EventSubscription {
-    fn drop(&mut self) {
-        self.yfs.fs.unwatch(self.watch);
+    /// Whether events are queued (level-triggered; free to check).
+    pub fn ready(&self) -> bool {
+        self.watch.ready()
+    }
+
+    /// The watch channel — clone it into a
+    /// [`PollSet`](yanc_vfs::poll::PollSet) to sleep on this subscription
+    /// alongside other sources.
+    pub fn receiver(&self) -> &Receiver<Event> {
+        self.watch.receiver()
     }
 }
 
@@ -513,6 +523,86 @@ impl YancFs {
     }
 
     // ------------------------------------------------------------------
+    // Flows, descriptor-relative (the E21 fast path)
+    // ------------------------------------------------------------------
+
+    /// Open a descriptor on `<sw>/flows`, paying the prefix resolution
+    /// once. Subsequent [`Self::write_flow_at`] calls are O(1) in path
+    /// depth: `mkdirat` + one batched write instead of ~3 + #fields
+    /// path-resolved syscalls per flow.
+    pub fn open_flows_dir(&self, sw: &str) -> YancResult<Fd> {
+        Ok(self
+            .fs
+            .open_dir(self.switch_dir(sw).join("flows").as_str(), &self.creds)?)
+    }
+
+    /// [`Self::write_flow`] through a flows-directory descriptor: `mkdirat`
+    /// plus **one** `write_batch_at` submission that writes every field and
+    /// commits `version` last — the driver sees the identical
+    /// Create/CloseWrite sequence as the path-addressed slow path.
+    ///
+    /// One caveat, stated rather than hidden: a *rewrite* that removes
+    /// match/action fields leaves the stale field files in place (there is
+    /// no `unlinkat` yet); use [`Self::write_flow`] when a rewrite changes
+    /// the flow's shape. Fresh installs — the install-storm case the paper's
+    /// §8.1 worries about — are exact.
+    pub fn write_flow_at(&self, flows: Fd, name: &str, spec: &FlowSpec) -> YancResult<u64> {
+        // Quota first, exactly as the slow path: a *new* flow costs a slot.
+        if self.creds.uid.0 != 0 {
+            self.fs.rctl().charge_flow(self.creds.uid.0, name)?;
+        }
+        let fresh_dir = match self.fs.mkdirat(flows, name, Mode::DIR_DEFAULT, &self.creds) {
+            Ok(()) => true,
+            Err(e) if e.errno == Errno::EEXIST => {
+                if self.creds.uid.0 != 0 {
+                    self.fs.rctl().release_flow(self.creds.uid.0); // rewrites are free
+                }
+                false
+            }
+            Err(e) => {
+                if self.creds.uid.0 != 0 {
+                    self.fs.rctl().release_flow(self.creds.uid.0);
+                }
+                return Err(e.into());
+            }
+        };
+        // The YancHook seeds `version` = 0 on mkdir; a pre-existing flow's
+        // committed version is read through the descriptor (openat + read).
+        let next = if fresh_dir {
+            1
+        } else {
+            let vfd = self.fs.openat(
+                flows,
+                &format!("{name}/version"),
+                OpenFlags::read_only(),
+                &self.creds,
+            )?;
+            let bytes = self.fs.read(vfd, 32)?;
+            self.fs.close(vfd, &self.creds)?;
+            let s = String::from_utf8_lossy(&bytes);
+            let cur: u64 = s
+                .trim()
+                .parse()
+                .map_err(|_| YancError::parse("version", s.to_string()))?;
+            cur + 1
+        };
+        let fields = spec.to_files();
+        let mut entries: Vec<(String, Vec<u8>)> = fields
+            .iter()
+            .filter(|(k, _)| k.as_str() != "version")
+            .map(|(k, v)| (format!("{name}/{k}"), v.as_bytes().to_vec()))
+            .collect();
+        // `version` last: its CloseWrite is the commit the driver reacts to.
+        entries.push((format!("{name}/version"), next.to_string().into_bytes()));
+        let borrowed: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+            .collect();
+        self.fs.write_batch_at(flows, &borrowed, &self.creds)?;
+        Ok(next)
+    }
+
+    // ------------------------------------------------------------------
     // Counters
     // ------------------------------------------------------------------
 
@@ -545,13 +635,15 @@ impl YancFs {
             .mkdir_all(dir.as_str(), Mode::DIR_DEFAULT, &self.creds)?;
         // Owner-tagged watch: if this subscriber's process is killed, the
         // supervisor's `Filesystem::reclaim(uid)` finds and removes it.
-        let (watch, rx) = self
+        let watch = self
             .fs
-            .watch_path_as(dir.as_str(), EventMask::CHILDREN, &self.creds)?;
+            .watch(dir.as_str())
+            .mask(EventMask::CHILDREN)
+            .as_creds(&self.creds)
+            .register()?;
         Ok(EventSubscription {
             app: app.to_string(),
             watch,
-            rx,
             yfs: self.clone(),
         })
     }
@@ -883,5 +975,72 @@ mod tests {
         assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
         assert!(hex_decode("abc").is_none());
         assert!(hex_decode("zz").is_none());
+    }
+
+    #[test]
+    fn write_flow_at_matches_write_flow_exactly() {
+        let y = yfs();
+        y.create_switch("sw1", 1, 0, 0, 0, 1).unwrap();
+        y.create_switch("sw2", 2, 0, 0, 0, 1).unwrap();
+        let spec = FlowSpec {
+            m: FlowMatch {
+                dl_type: Some(0x0800),
+                tp_dst: Some(80),
+                ..Default::default()
+            },
+            actions: vec![Action::out(3)],
+            priority: 1000,
+            idle_timeout: 30,
+            ..Default::default()
+        };
+        // Slow path on sw1, fd fast path on sw2.
+        let v_slow = y.write_flow("sw1", "web", &spec).unwrap();
+        let flows = y.open_flows_dir("sw2").unwrap();
+        let v_fast = y.write_flow_at(flows, "web", &spec).unwrap();
+        assert_eq!(v_slow, v_fast);
+        assert_eq!(
+            y.read_flow("sw1", "web").unwrap(),
+            y.read_flow("sw2", "web").unwrap()
+        );
+        // The field files are byte-identical across both paths.
+        let fs = y.filesystem();
+        for e in fs.readdir("/net/switches/sw1/flows/web", y.creds()).unwrap() {
+            if e.file_type != yanc_vfs::FileType::Regular {
+                continue;
+            }
+            let a = fs
+                .read_to_string(&format!("/net/switches/sw1/flows/web/{}", e.name), y.creds())
+                .unwrap();
+            let b = fs
+                .read_to_string(&format!("/net/switches/sw2/flows/web/{}", e.name), y.creds())
+                .unwrap();
+            assert_eq!(a, b, "field {} differs between paths", e.name);
+        }
+        // A rewrite through the descriptor bumps the committed version.
+        assert_eq!(y.write_flow_at(flows, "web", &spec).unwrap(), v_fast + 1);
+        assert_eq!(y.flow_version("sw2", "web").unwrap(), v_fast + 1);
+        fs.close(flows, y.creds()).unwrap();
+    }
+
+    #[test]
+    fn event_subscription_reports_readiness() {
+        let y = yfs();
+        let sub = y.subscribe_events("l2").unwrap();
+        assert!(!sub.ready());
+        y.publish_packet_in(&PacketInRecord {
+            switch: "sw1".into(),
+            in_port: 1,
+            buffer_id: None,
+            reason: "no_match".into(),
+            data: Bytes::from_static(b"\x01\x02"),
+        })
+        .unwrap();
+        assert!(sub.ready());
+        let got = sub.poll();
+        assert_eq!(got.len(), 1);
+        // Consuming the buffer entries notifies the watch again (the app
+        // sees its own deletes); one more empty poll drains those.
+        assert!(sub.poll().is_empty());
+        assert!(!sub.ready());
     }
 }

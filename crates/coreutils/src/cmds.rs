@@ -786,6 +786,55 @@ pub fn kill(sh: &Shell, args: &[&str]) -> Output {
     }
 }
 
+/// `lsfd [pid] [procdir]` — a process's open descriptor table, from
+/// `/net/.proc/apps/<pid>/fds` (every process when no pid is given).
+///
+/// Like `ps`, the command is pure file reads: the same rows are one
+/// `cat` away, this just flattens and labels them.
+pub fn lsfd(sh: &Shell, args: &[&str]) -> Output {
+    let mut it = flagless(args);
+    let pid_arg = it.next();
+    let dir = it.next().unwrap_or("/net/.proc/apps");
+    let vp = sh.resolve(dir);
+    let header = "PID FD MODE OFFSET PATH\n";
+    let pids: Vec<u32> = match pid_arg {
+        Some(p) => match p.parse() {
+            Ok(pid) => vec![pid],
+            Err(_) => return Output::fail(format!("lsfd: {p}: not a pid")),
+        },
+        None => {
+            let entries = match sh.namespace().readdir(vp.as_str(), sh.creds()) {
+                Ok(e) => e,
+                // No apps directory: nothing supervised, nothing open.
+                Err(_) => return Output::ok(header.to_string()),
+            };
+            let mut pids: Vec<u32> =
+                entries.iter().filter_map(|e| e.name.parse().ok()).collect();
+            pids.sort_unstable();
+            pids
+        }
+    };
+    let mut out = String::from(header);
+    for pid in pids {
+        let f = vp.join(&pid.to_string()).join("fds");
+        let Ok(text) = sh.namespace().read_to_string(f.as_str(), sh.creds()) else {
+            continue;
+        };
+        for line in text.lines() {
+            // fds rows are "<fd>\t<mode>\t<path>\toffset=<n>".
+            let mut cols = line.split('\t');
+            let (Some(fd), Some(mode), Some(path), Some(off)) =
+                (cols.next(), cols.next(), cols.next(), cols.next())
+            else {
+                continue;
+            };
+            let off = off.strip_prefix("offset=").unwrap_or(off);
+            out.push_str(&format!("{pid} {fd} {mode} {off} {path}\n"));
+        }
+    }
+    Output::ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -235,6 +235,7 @@ impl Shell {
             "wc" => cmds::wc(&args, stdin),
             "ps" => cmds::ps(self, &args),
             "kill" => cmds::kill(self, &args),
+            "lsfd" => cmds::lsfd(self, &args),
             "sort" => cmds::sort(&args, stdin),
             "uniq" => cmds::uniq(stdin),
             "true" => Output::ok(String::new()),

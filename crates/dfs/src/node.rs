@@ -5,9 +5,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
-
-use yanc_vfs::{Credentials, Event, EventKind, EventMask, Filesystem, Mode, VPath, WatchId};
+use yanc_vfs::{Credentials, EventKind, EventMask, Filesystem, Mode, VPath, WatchGuard};
 
 use crate::op::{content_hash, OpKind, Stamp, SyncOp};
 
@@ -33,8 +31,7 @@ pub struct Node {
     /// this node use it directly — they never see the replication layer.
     pub fs: Arc<Filesystem>,
     creds: Credentials,
-    _watch: WatchId,
-    events: Receiver<Event>,
+    watch: WatchGuard,
     /// Echo suppression: hashes of remotely-applied state per path.
     applied: HashMap<VPath, u64>,
     /// LWW guard: newest stamp applied per path.
@@ -53,13 +50,17 @@ pub struct Node {
 impl Node {
     /// Create a node replicating the subtree under `root` (usually `/net`).
     pub fn new(id: usize, fs: Arc<Filesystem>, root: &str) -> Self {
-        let (watch, events) = fs.watch_subtree(root, EventMask::ALL);
+        let watch = fs
+            .watch(root)
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()
+            .expect("unowned watch registration cannot fail");
         Node {
             id,
             fs,
             creds: Credentials::root(),
-            _watch: watch,
-            events,
+            watch,
             applied: HashMap::new(),
             newest: HashMap::new(),
             counter: 0,
@@ -97,7 +98,7 @@ impl Node {
     pub fn collect_ops(&mut self) -> Vec<SyncOp> {
         let mut dirty: Vec<VPath> = Vec::new();
         let mut seen: HashSet<VPath> = HashSet::new();
-        for ev in self.events.try_iter() {
+        for ev in self.watch.receiver().try_iter() {
             // Attribute-only changes are not replicated (consistency
             // metadata is node-local policy).
             if ev.kind == EventKind::Attrib {

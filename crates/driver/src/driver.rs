@@ -24,7 +24,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
 
 use libyanc::{FlowChannel, FlowOp};
 use yanc::{FlowSpec, PacketInRecord, SchemaPos, YancFs};
@@ -34,7 +33,7 @@ use yanc_openflow::{
     StatsRequest, SwitchFeatures, Version,
 };
 use yanc_openflow::{flow_mod_flags, port_no, FrameCodec};
-use yanc_vfs::{Event, EventKind, EventMask, LatencyHistogram, WatchId};
+use yanc_vfs::{Event, EventKind, EventMask, LatencyHistogram, WatchGuard};
 
 /// Driver lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +122,7 @@ pub struct OpenFlowDriver {
     /// Switch directory name (assigned after the features reply).
     pub switch_name: Option<String>,
     features: Option<SwitchFeatures>,
-    fs_watch: Option<(WatchId, Receiver<Event>)>,
+    fs_watch: Option<WatchGuard>,
     installed: HashMap<String, (u64, FlowSpec)>,
     /// Flow names the driver itself is deleting (suppresses echo).
     self_deletes: HashSet<String>,
@@ -178,6 +177,11 @@ impl OpenFlowDriver {
     /// FlowMods — zero simulated syscalls.
     pub fn attach_fastpath(&mut self, ch: FlowChannel) {
         self.fastpath = Some(ch);
+        if self.switch_name.is_some() {
+            // Already registered in `.proc`: refresh so the ring counters
+            // show up under `.proc/drivers/<sw>/fastpath`.
+            self.register_proc();
+        }
     }
 
     /// Current lifecycle state.
@@ -268,6 +272,12 @@ impl OpenFlowDriver {
                 DriverState::from_code(st.state_code.load(Ordering::Relaxed) as u8).name()
             )
         });
+        if let Some(ch) = &self.fastpath {
+            let ch = ch.clone();
+            let _ = fs.proc_file(base.join("fastpath").as_str(), move || {
+                format!("{}\n", ch.stats().render())
+            });
+        }
     }
 
     fn xid(&mut self) -> u32 {
@@ -363,7 +373,7 @@ impl OpenFlowDriver {
         }
         // fs → driver events.
         let events: Vec<Event> = match &self.fs_watch {
-            Some((_, rx)) => rx.try_iter().collect(),
+            Some(w) => w.receiver().try_iter().collect(),
             None => Vec::new(),
         };
         for ev in events {
@@ -527,11 +537,14 @@ impl OpenFlowDriver {
             self.yfs.creds(),
         );
         self.packet_out_offset = 0;
-        let (id, rx) = self
+        self.fs_watch = self
             .yfs
             .filesystem()
-            .watch_subtree(dir.as_str(), EventMask::ALL);
-        self.fs_watch = Some((id, rx));
+            .watch(dir.as_str())
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()
+            .ok();
         self.set_state(DriverState::Ready);
         self.stats.ready.store(true, Ordering::Relaxed);
         // Install any flows that already exist in the tree (e.g. written

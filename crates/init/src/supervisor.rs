@@ -53,6 +53,11 @@ struct ProcShared {
     state: AtomicU64,
     restarts: AtomicU64,
     throttles: AtomicU64,
+    /// Scheduler slices actually given to the app (`run_once` calls).
+    sched_runs: AtomicU64,
+    /// Slices skipped because the app reported not-[`YancApp::ready`]:
+    /// ticks an idle, poll-blocked process did *not* consume.
+    sched_skips: AtomicU64,
     /// Ticks between the last abnormal death and the respawn completing.
     last_restart_latency: AtomicU64,
     signal_log: Mutex<Vec<String>>,
@@ -223,6 +228,8 @@ impl Supervisor {
                 state: AtomicU64::new(ProcessState::Starting.code()),
                 restarts: AtomicU64::new(0),
                 throttles: AtomicU64::new(0),
+                sched_runs: AtomicU64::new(0),
+                sched_skips: AtomicU64::new(0),
                 last_restart_latency: AtomicU64::new(0),
                 signal_log: Mutex::new(Vec::new()),
                 last_error: Mutex::new(String::new()),
@@ -291,6 +298,35 @@ impl Supervisor {
             } else {
                 format!("{}\n", log.join("\n"))
             }
+        });
+        let sh = entry.shared.clone();
+        let _ = fs.proc_file(base.join("sched").as_str(), move || {
+            format!(
+                "runs:\t{}\nskips:\t{}\n",
+                sh.sched_runs.load(Ordering::Relaxed),
+                sh.sched_skips.load(Ordering::Relaxed),
+            )
+        });
+        // `/proc/<pid>/fd`-style descriptor table, built live from the
+        // kernel's handle table (weak: the proc closure must not keep the
+        // filesystem alive).
+        let weak = Arc::downgrade(fs);
+        let _ = fs.proc_file(base.join("fds").as_str(), move || {
+            let Some(fs) = weak.upgrade() else {
+                return String::new();
+            };
+            fs.fd_table(Uid(uid))
+                .iter()
+                .map(|i| {
+                    let mode = match (i.read, i.write) {
+                        (true, true) => "rw",
+                        (true, false) => "r-",
+                        (false, true) => "-w",
+                        (false, false) => "--",
+                    };
+                    format!("{}\t{}\t{}\toffset={}\n", i.fd, mode, i.path, i.offset)
+                })
+                .collect()
         });
     }
 
@@ -435,12 +471,21 @@ impl Supervisor {
                 }
             }
         }
-        // Drive live processes.
+        // Drive live processes — but only the ready ones. A process whose
+        // poll set reports no pending events is skipped entirely (it
+        // consumes zero scheduler ticks), exactly as a process blocked in
+        // `epoll_wait` consumes zero CPU. Starting processes always get
+        // their first slice so they can prime their subscriptions.
         for p in &pids {
             let entry = self.procs.get_mut(p).unwrap();
             let Some(app) = entry.app.as_mut() else {
                 continue;
             };
+            if entry.shared.state() != ProcessState::Starting && !app.ready() {
+                entry.shared.sched_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            entry.shared.sched_runs.fetch_add(1, Ordering::Relaxed);
             match app.run_once() {
                 Ok(did) => {
                     if entry.shared.state() == ProcessState::Starting {
@@ -571,6 +616,20 @@ impl Supervisor {
             .map_or(0, |e| e.shared.throttles.load(Ordering::Relaxed))
     }
 
+    /// Scheduler slices `pid` actually ran (`.proc/apps/<pid>/sched`).
+    pub fn sched_runs(&self, pid: Pid) -> u64 {
+        self.procs
+            .get(&pid.0)
+            .map_or(0, |e| e.shared.sched_runs.load(Ordering::Relaxed))
+    }
+
+    /// Ticks `pid` was skipped because its poll set was idle.
+    pub fn sched_skips(&self, pid: Pid) -> u64 {
+        self.procs
+            .get(&pid.0)
+            .map_or(0, |e| e.shared.sched_skips.load(Ordering::Relaxed))
+    }
+
     /// Ticks the last death→respawn took for `pid`.
     pub fn last_restart_latency(&self, pid: Pid) -> u64 {
         self.procs
@@ -592,6 +651,9 @@ impl Supervisor {
     }
 }
 
+/// Both throttle shapes preempt rather than crash: a vfs token-bucket
+/// `EAGAIN` (out of syscall tokens) and a partially-enqueued libyanc
+/// [`yanc::RingFull`] `EAGAIN` (the driver will drain; retry next slice).
 fn is_eagain(e: &YancError) -> bool {
-    matches!(e, YancError::Vfs(v) if v.errno == Errno::EAGAIN)
+    e.errno() == Some(Errno::EAGAIN)
 }

@@ -22,30 +22,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use yanc::FlowSpec;
+use yanc::{FlowSpec, YancError, YancResult};
+use yanc_vfs::Errno;
 
-use crate::ring::Ring;
+use crate::ring::{Ring, RingStats};
 
-/// A fastpath flow command.
-#[derive(Debug, Clone, PartialEq)]
-pub enum FlowOp {
-    /// Install (or replace) `spec` as flow `name` on `switch`.
-    Install {
-        /// Switch name (`sw<dpid:hex>`).
-        switch: String,
-        /// Flow name (driver-local identity for later delete).
-        name: String,
-        /// The flow.
-        spec: FlowSpec,
-    },
-    /// Remove flow `name` from `switch`.
-    Delete {
-        /// Switch name.
-        switch: String,
-        /// Flow name.
-        name: String,
-    },
-}
+pub use yanc::FlowOp;
 
 /// Shared-ring flow channel between applications and a driver.
 #[derive(Clone)]
@@ -62,9 +44,12 @@ impl FlowChannel {
     }
 
     /// Queue a flow install. One ring push — no file-system operations.
-    #[allow(clippy::result_large_err)] // the rejected op is handed back for retry
-    pub fn install(&self, switch: &str, name: &str, spec: FlowSpec) -> Result<(), FlowOp> {
-        self.ring.push(FlowOp::Install {
+    ///
+    /// A full ring is `ENOSPC` (via [`YancError::RingFull`], which carries
+    /// the rejected op for retry), so fast-path and slow-path failures
+    /// compose in one `match` on [`YancError::errno`].
+    pub fn install(&self, switch: &str, name: &str, spec: FlowSpec) -> YancResult<()> {
+        self.push_op(FlowOp::Install {
             switch: switch.to_string(),
             name: name.to_string(),
             spec,
@@ -72,31 +57,77 @@ impl FlowChannel {
     }
 
     /// Queue a batch atomically with respect to a draining driver: ops are
-    /// pushed back-to-back; a full ring rejects the remainder, which is
-    /// returned for retry.
-    pub fn install_batch(
-        &self,
-        switch: &str,
-        flows: Vec<(String, FlowSpec)>,
-    ) -> Result<(), Vec<(String, FlowSpec)>> {
+    /// pushed back-to-back. A full ring rejects the remainder, returned in
+    /// the [`YancError::RingFull`] payload: `EAGAIN` when part of the batch
+    /// was enqueued (retry just the remainder once the driver drains),
+    /// `ENOSPC` when nothing was.
+    pub fn install_batch(&self, switch: &str, flows: Vec<(String, FlowSpec)>) -> YancResult<()> {
         let mut it = flows.into_iter();
+        let mut enqueued = 0usize;
+        // Not enumerate(): the error arm needs `it` back to collect the
+        // rejected remainder.
+        #[allow(clippy::explicit_counter_loop)]
         for (name, spec) in it.by_ref() {
-            if let Err(FlowOp::Install { name, spec, .. }) = self.install(switch, &name, spec) {
-                let mut rest = vec![(name, spec)];
-                rest.extend(it);
-                return Err(rest);
+            let op = FlowOp::Install {
+                switch: switch.to_string(),
+                name,
+                spec,
+            };
+            if let Err(op) = self.ring.push(op) {
+                let mut rejected = vec![op];
+                rejected.extend(it.map(|(name, spec)| FlowOp::Install {
+                    switch: switch.to_string(),
+                    name,
+                    spec,
+                }));
+                let errno = if enqueued > 0 {
+                    Errno::EAGAIN
+                } else {
+                    Errno::ENOSPC
+                };
+                return Err(YancError::ring_full(errno, rejected));
             }
+            enqueued += 1;
         }
         Ok(())
     }
 
-    /// Queue a delete.
-    #[allow(clippy::result_large_err)] // the rejected op is handed back for retry
-    pub fn delete(&self, switch: &str, name: &str) -> Result<(), FlowOp> {
-        self.ring.push(FlowOp::Delete {
+    /// Queue a delete. Errors as [`Self::install`].
+    pub fn delete(&self, switch: &str, name: &str) -> YancResult<()> {
+        self.push_op(FlowOp::Delete {
             switch: switch.to_string(),
             name: name.to_string(),
         })
+    }
+
+    /// Re-submit ops rejected by an earlier call (from a
+    /// [`yanc::RingFull`] payload). Same semantics as
+    /// [`Self::install_batch`].
+    pub fn resubmit(&self, ops: Vec<FlowOp>) -> YancResult<()> {
+        let mut it = ops.into_iter();
+        let mut enqueued = 0usize;
+        // As in install_batch: the error arm re-consumes `it`.
+        #[allow(clippy::explicit_counter_loop)]
+        for op in it.by_ref() {
+            if let Err(op) = self.ring.push(op) {
+                let mut rejected = vec![op];
+                rejected.extend(it);
+                let errno = if enqueued > 0 {
+                    Errno::EAGAIN
+                } else {
+                    Errno::ENOSPC
+                };
+                return Err(YancError::ring_full(errno, rejected));
+            }
+            enqueued += 1;
+        }
+        Ok(())
+    }
+
+    fn push_op(&self, op: FlowOp) -> YancResult<()> {
+        self.ring
+            .push(op)
+            .map_err(|op| YancError::ring_full(Errno::ENOSPC, vec![op]))
     }
 
     /// Driver side: drain pending ops.
@@ -109,8 +140,13 @@ impl FlowChannel {
         self.ring.len()
     }
 
-    /// `(pushed, popped, rejected)`.
-    pub fn stats(&self) -> (u64, u64, u64) {
+    /// Whether ops are queued — poll-set probe for driver wakeup.
+    pub fn ready(&self) -> bool {
+        !self.ring.is_empty()
+    }
+
+    /// Lifetime counters of the underlying ring.
+    pub fn stats(&self) -> RingStats {
         self.ring.stats()
     }
 }
@@ -158,6 +194,23 @@ impl PacketBus {
         self.subscribers.read().len()
     }
 
+    /// Aggregate counters over every subscriber ring.
+    pub fn stats(&self) -> RingStats {
+        self.subscribers
+            .read()
+            .iter()
+            .fold(RingStats::default(), |acc, (_, r)| acc.merge(r.stats()))
+    }
+
+    /// Per-subscriber counters, in subscription order.
+    pub fn subscriber_stats(&self) -> Vec<(String, RingStats)> {
+        self.subscribers
+            .read()
+            .iter()
+            .map(|(n, r)| (n.clone(), r.stats()))
+            .collect()
+    }
+
     /// Publish to every subscriber. The payload `Bytes` is cloned by
     /// reference — one allocation total, regardless of fan-out width.
     /// Returns how many subscribers accepted it.
@@ -176,6 +229,7 @@ impl PacketBus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yanc::YancError;
     use yanc_openflow::{Action, FlowMatch};
 
     fn spec(p: u16) -> FlowSpec {
@@ -204,13 +258,37 @@ mod tests {
     }
 
     #[test]
-    fn batch_rejects_overflow_with_remainder() {
+    fn batch_overflow_is_eagain_with_remainder() {
         let ch = FlowChannel::new(2);
         let flows: Vec<(String, FlowSpec)> = (0..4).map(|i| (format!("f{i}"), spec(i))).collect();
-        let rest = ch.install_batch("sw1", flows).unwrap_err();
-        assert_eq!(rest.len(), 2);
-        assert_eq!(rest[0].0, "f2");
+        let err = ch.install_batch("sw1", flows).unwrap_err();
+        let rf = match err {
+            YancError::RingFull(rf) => rf,
+            other => panic!("expected RingFull, got {other:?}"),
+        };
+        assert_eq!(rf.errno, Errno::EAGAIN); // partially enqueued
+        assert_eq!(rf.rejected.len(), 2);
+        assert!(matches!(&rf.rejected[0], FlowOp::Install { name, .. } if name == "f2"));
         assert_eq!(ch.pending(), 2);
+
+        // The remainder resubmits cleanly after the driver drains.
+        ch.drain();
+        ch.resubmit(rf.rejected).unwrap();
+        assert_eq!(ch.pending(), 2);
+    }
+
+    #[test]
+    fn full_ring_is_enospc_and_single_install_composes_with_errno() {
+        let ch = FlowChannel::new(1);
+        ch.install("sw1", "a", spec(1)).unwrap();
+        let err = ch.install("sw1", "b", spec(2)).unwrap_err();
+        assert_eq!(err.errno(), Some(Errno::ENOSPC));
+        // A batch against an already-full ring: nothing enqueued → ENOSPC.
+        let err = ch
+            .install_batch("sw1", vec![("c".into(), spec(3))])
+            .unwrap_err();
+        assert_eq!(err.errno(), Some(Errno::ENOSPC));
+        assert_eq!(ch.stats().dropped, 2);
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod fastpath;
 pub mod ring;
 
 pub use fastpath::{FastPacketIn, FlowChannel, FlowOp, PacketBus};
-pub use ring::Ring;
+pub use ring::{Ring, RingStats};

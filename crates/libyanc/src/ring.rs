@@ -12,6 +12,41 @@ use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
 
+/// Lifetime counters of one ring (or an aggregate over several).
+///
+/// `#[non_exhaustive]`: more counters (e.g. high-water mark) can be added
+/// without breaking callers, which is why this replaced the old anonymous
+/// `(u64, u64, u64)` tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RingStats {
+    /// Items accepted by `push`.
+    pub pushed: u64,
+    /// Items handed out by `pop`/`drain`.
+    pub popped: u64,
+    /// Items rejected because the ring was full.
+    pub dropped: u64,
+}
+
+impl RingStats {
+    /// Component-wise sum, for aggregating over subscriber rings.
+    pub fn merge(self, other: RingStats) -> RingStats {
+        RingStats {
+            pushed: self.pushed + other.pushed,
+            popped: self.popped + other.popped,
+            dropped: self.dropped + other.dropped,
+        }
+    }
+
+    /// One-line `pushed=… popped=… dropped=…` render for proc files.
+    pub fn render(&self) -> String {
+        format!(
+            "pushed={} popped={} dropped={}",
+            self.pushed, self.popped, self.dropped
+        )
+    }
+}
+
 /// A bounded MPMC ring with occupancy statistics.
 pub struct Ring<T> {
     q: ArrayQueue<T>,
@@ -74,13 +109,13 @@ impl<T> Ring<T> {
         self.q.is_empty()
     }
 
-    /// `(pushed, popped, rejected)` counters.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (
-            self.pushed.load(Ordering::Relaxed),
-            self.popped.load(Ordering::Relaxed),
-            self.rejected.load(Ordering::Relaxed),
-        )
+    /// Lifetime counters.
+    pub fn stats(&self) -> RingStats {
+        RingStats {
+            pushed: self.pushed.load(Ordering::Relaxed),
+            popped: self.popped.load(Ordering::Relaxed),
+            dropped: self.rejected.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -104,8 +139,8 @@ mod tests {
         r.push(1).unwrap();
         r.push(2).unwrap();
         assert_eq!(r.push(3), Err(3));
-        let (pushed, popped, rejected) = r.stats();
-        assert_eq!((pushed, popped, rejected), (2, 0, 1));
+        let st = r.stats();
+        assert_eq!((st.pushed, st.popped, st.dropped), (2, 0, 1));
         assert_eq!(r.len(), 2);
     }
 
@@ -135,7 +170,7 @@ mod tests {
             }
         }
         t.join().unwrap();
-        assert_eq!(r.stats().0, 1000);
-        assert_eq!(r.stats().1, 1000);
+        assert_eq!(r.stats().pushed, 1000);
+        assert_eq!(r.stats().popped, 1000);
     }
 }

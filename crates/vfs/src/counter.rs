@@ -47,9 +47,17 @@ pub enum OpKind {
     Xattr,
     /// `truncate`.
     Truncate,
+    /// `openat` (descriptor-relative open, including creating opens).
+    Openat,
+    /// `fstat` (descriptor-relative stat).
+    Fstat,
+    /// `fsync` (descriptor commit without close).
+    Fsync,
+    /// `yanc_poll` wait (one readiness syscall, however many sources).
+    Poll,
 }
 
-const N_OPS: usize = 16;
+const N_OPS: usize = 20;
 
 const ALL_OPS: [OpKind; N_OPS] = [
     OpKind::Stat,
@@ -68,6 +76,10 @@ const ALL_OPS: [OpKind; N_OPS] = [
     OpKind::Setattr,
     OpKind::Xattr,
     OpKind::Truncate,
+    OpKind::Openat,
+    OpKind::Fstat,
+    OpKind::Fsync,
+    OpKind::Poll,
 ];
 
 impl OpKind {
@@ -98,6 +110,10 @@ impl OpKind {
             OpKind::Setattr => "setattr",
             OpKind::Xattr => "xattr",
             OpKind::Truncate => "truncate",
+            OpKind::Openat => "openat",
+            OpKind::Fstat => "fstat",
+            OpKind::Fsync => "fsync",
+            OpKind::Poll => "poll",
         }
     }
 }

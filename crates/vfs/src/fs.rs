@@ -33,6 +33,7 @@ use crate::hooks::{HookDepth, SemanticHook};
 use crate::metrics::MetricsRegistry;
 use crate::notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
 use crate::path::{valid_name, VPath, NAME_MAX, PATH_MAX};
+use crate::poll::{PollRegistry, PollSet};
 use crate::proc::{ProcDepth, ProcHook, ProcRegistry, ProcRender};
 use crate::rctl::{AppLimits, RctlTable};
 use crate::shard::{Inode, LockKey, NodeKind, OpenFile, ShardSet, Tables, DEFAULT_SHARDS};
@@ -77,6 +78,24 @@ pub struct ReclaimReport {
     pub watches_removed: usize,
     /// Unlinked inodes that were only kept alive by the closed handles.
     pub inodes_dropped: usize,
+    /// Poll sets killed (further waits return `EBADF`).
+    pub pollsets_closed: usize,
+}
+
+/// One row of a uid's open-descriptor table (see [`Filesystem::fd_table`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdInfo {
+    /// The descriptor number.
+    pub fd: u64,
+    /// Path the descriptor was opened under (open-time snapshot; renames
+    /// of ancestors do not rewrite it, exactly as in `/proc/<pid>/fd`).
+    pub path: String,
+    /// Opened for reading.
+    pub read: bool,
+    /// Opened for writing.
+    pub write: bool,
+    /// Current file offset.
+    pub offset: u64,
 }
 
 /// Snapshot produced by [`Filesystem::check_invariants`] when every
@@ -111,6 +130,15 @@ struct Resolved {
 /// Pending notification gathered under the shard locks, emitted after
 /// release as one batch.
 type PendingEvent = (EventKind, VPath, Option<String>);
+
+/// Whether an open may (or must) land on a directory.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DirMode {
+    /// Regular `open`: a directory target is `EISDIR`.
+    Forbid,
+    /// `O_DIRECTORY` open: a non-directory target is `ENOTDIR`.
+    Require,
+}
 
 /// Pending hook invocation gathered under the shard locks.
 enum PendingHook {
@@ -163,6 +191,7 @@ pub struct Filesystem {
     hooks: RwLock<Vec<Arc<dyn SemanticHook>>>,
     limits: Limits,
     rctl: Arc<RctlTable>,
+    polls: Arc<PollRegistry>,
     /// Serializes directory renames so concurrent cross-directory moves
     /// cannot form a cycle the per-rename checks miss — the in-process
     /// analogue of the kernel's `s_vfs_rename_mutex`. Always acquired
@@ -230,6 +259,7 @@ impl Filesystem {
             hooks: RwLock::new(Vec::new()),
             limits,
             rctl: Arc::new(RctlTable::new()),
+            polls: Arc::new(PollRegistry::new()),
             rename_lock: Mutex::new(()),
         }
     }
@@ -282,12 +312,30 @@ impl Filesystem {
         self.hooks.write().push(hook);
     }
 
+    /// Start building a watch on `path`: `fs.watch(p).subtree().mask(m)
+    /// .as_uid(u).register()`. The returned [`WatchGuard`] unwatches on
+    /// drop, so a watch can no longer leak past its owner.
+    pub fn watch(&self, path: &str) -> WatchBuilder<'_> {
+        WatchBuilder {
+            fs: self,
+            path: VPath::new(path),
+            subtree: false,
+            mask: EventMask::ALL,
+            creds: None,
+        }
+    }
+
     /// inotify-style watch on `path` and its direct children.
+    #[deprecated(since = "0.5.0", note = "use `fs.watch(path).mask(m).register()`")]
     pub fn watch_path(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
         self.notify.watch_path(&VPath::new(path), mask)
     }
 
     /// fanotify-style watch on the subtree rooted at `path`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `fs.watch(path).subtree().mask(m).register()`"
+    )]
     pub fn watch_subtree(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
         self.notify.watch_subtree(&VPath::new(path), mask)
     }
@@ -300,6 +348,10 @@ impl Filesystem {
     /// [`Self::watch_path`] with the watch descriptor charged to the caller's
     /// uid (so [`Self::reclaim`] can find it) and the caller's `max_watches`
     /// budget enforced (`EMFILE`).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `fs.watch(path).mask(m).as_creds(&creds).register()`"
+    )]
     pub fn watch_path_as(
         &self,
         path: &str,
@@ -313,6 +365,10 @@ impl Filesystem {
     }
 
     /// [`Self::watch_subtree`] with the descriptor charged to the caller.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `fs.watch(path).subtree().mask(m).as_creds(&creds).register()`"
+    )]
     pub fn watch_subtree_as(
         &self,
         path: &str,
@@ -405,11 +461,55 @@ impl Filesystem {
             }
         }
         let watches_removed = self.notify.unwatch_owner(uid.0);
+        let pollsets_closed = self.polls.reclaim(uid.0);
         ReclaimReport {
             handles_closed,
             watches_removed,
             inodes_dropped,
+            pollsets_closed,
         }
+    }
+
+    // ----------------------------------------------------------------
+    // yanc_poll
+    // ----------------------------------------------------------------
+
+    /// Create a [`PollSet`] charged to `creds.uid`: the epoll of this OS.
+    /// The set appears in `<proc>/vfs/pollsets` and is torn down by
+    /// [`Self::reclaim`] of its owner. Creation is free; each
+    /// [`PollSet::wait`] charges one `poll` syscall.
+    pub fn poll_create(&self, creds: &Credentials) -> PollSet {
+        let set = PollSet::new(
+            self.polls.alloc_id(),
+            creds.uid,
+            self.tables.clone(),
+            self.counters.clone(),
+            self.metrics.clone(),
+            self.rctl.clone(),
+        );
+        self.polls.register(set.inner());
+        set
+    }
+
+    /// The descriptor table of `uid`, sorted by fd — what
+    /// `/net/.proc/apps/<pid>/fds` renders. A read-locked scan; does not
+    /// count as a syscall (it is the kernel reading its own tables).
+    pub fn fd_table(&self, uid: Uid) -> Vec<FdInfo> {
+        let mut out: Vec<FdInfo> = Vec::new();
+        for i in 0..self.tables.shard_count() {
+            let shard = self.tables.read_shard(i);
+            for (fd, h) in shard.handles.iter().filter(|(_, h)| h.owner == uid) {
+                out.push(FdInfo {
+                    fd: *fd,
+                    path: h.path.as_str().to_owned(),
+                    read: h.flags.read,
+                    write: h.flags.write,
+                    offset: h.offset,
+                });
+            }
+        }
+        out.sort_by_key(|f| f.fd);
+        out
     }
 
     // ----------------------------------------------------------------
@@ -476,6 +576,8 @@ impl Filesystem {
         self.proc_file(&format!("{prefix}/vfs/handles"), move || {
             format!("{}\n", t.handle_count())
         })?;
+        let p = self.polls.clone();
+        self.proc_file(&format!("{prefix}/vfs/pollsets"), move || p.render())?;
         let shards = self.tables.shard_count();
         self.proc_file(&format!("{prefix}/vfs/shards"), move || {
             format!("{shards}\n")
@@ -631,12 +733,29 @@ impl Filesystem {
         if path.as_str().len() > PATH_MAX {
             return err(Errno::ENAMETOOLONG, path.as_str());
         }
-        if path.is_root() {
+        let work: VecDeque<String> = path.components().map(str::to_string).collect();
+        self.resolve_from(ROOT_INO, VPath::root(), work, creds, follow_last, path.as_str())
+    }
+
+    /// The walk behind [`Self::resolve_live`], generalized to start at an
+    /// arbitrary directory — the mechanism descriptor-relative syscalls use
+    /// to pay resolution only for their relative components. `orig` is the
+    /// original operand, used in error reporting.
+    fn resolve_from(
+        &self,
+        start_ino: Ino,
+        start_path: VPath,
+        mut work: VecDeque<String>,
+        creds: &Credentials,
+        follow_last: bool,
+        orig: &str,
+    ) -> VfsResult<Resolved> {
+        if work.is_empty() {
             return Ok(Resolved {
-                parent_ino: ROOT_INO,
-                parent_path: VPath::root(),
+                parent_ino: start_ino,
+                parent_path: start_path.clone(),
                 name: String::new(),
-                target: Some(ROOT_INO),
+                target: Some(start_ino),
             });
         }
 
@@ -650,9 +769,8 @@ impl Filesystem {
             File,
         }
 
-        let mut work: VecDeque<String> = path.components().map(str::to_string).collect();
-        let mut cur_ino = ROOT_INO;
-        let mut cur_path = VPath::root();
+        let mut cur_ino = start_ino;
+        let mut cur_path = start_path;
         let mut links = 0u32;
 
         loop {
@@ -669,7 +787,7 @@ impl Filesystem {
                 }
             };
             if comp.len() > NAME_MAX {
-                return err(Errno::ENAMETOOLONG, path.as_str());
+                return err(Errno::ENAMETOOLONG, orig);
             }
 
             // One shard read-lock for this hop.
@@ -725,7 +843,7 @@ impl Filesystem {
                         if let Ok(Some(target)) = probe {
                             links += 1;
                             if links > SYMLOOP_MAX {
-                                return err(Errno::ELOOP, path.as_str());
+                                return err(Errno::ELOOP, orig);
                             }
                             Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &target);
                             continue;
@@ -763,7 +881,7 @@ impl Filesystem {
                 ChildKind::Symlink(target) => {
                     links += 1;
                     if links > SYMLOOP_MAX {
-                        return err(Errno::ELOOP, path.as_str());
+                        return err(Errno::ELOOP, orig);
                     }
                     Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &target);
                 }
@@ -801,6 +919,44 @@ impl Filesystem {
         let r = self.resolve_live(path, creds, follow)?;
         r.target
             .ok_or_else(|| VfsError::new(Errno::ENOENT, path.as_str()))
+    }
+
+    /// Resolve `rel` (relative; `EINVAL` if absolute) against an open
+    /// directory descriptor. Only the relative components pay resolution
+    /// hops. `EBADF` for a closed descriptor, `ENOENT` if its directory
+    /// was removed, `ENOTDIR` if it is not a directory. Paths in the
+    /// result are built from the descriptor's open-time path; like
+    /// inotify, events for descriptor-relative mutations therefore fire
+    /// under the name the directory had when it was opened.
+    fn resolve_at(
+        &self,
+        dir: Fd,
+        rel: &str,
+        creds: &Credentials,
+        follow_last: bool,
+    ) -> VfsResult<Resolved> {
+        if rel.starts_with('/') {
+            return err(Errno::EINVAL, rel);
+        }
+        if rel.len() > PATH_MAX {
+            return err(Errno::ENAMETOOLONG, rel);
+        }
+        let (dino, dpath) = match self.tables.with_handle(dir.0, |h| (h.ino, h.path.clone())) {
+            Some(v) => v,
+            None => return err(Errno::EBADF, rel),
+        };
+        let is_dir = self
+            .tables
+            .with_inode(dino, |n| matches!(n.kind, NodeKind::Dir { .. }))
+            .map_err(|_| VfsError::new(Errno::ENOENT, dpath.as_str()))?;
+        if !is_dir {
+            return err(Errno::ENOTDIR, dpath.as_str());
+        }
+        let work: VecDeque<String> = VPath::new(&format!("/{rel}"))
+            .components()
+            .map(str::to_string)
+            .collect();
+        self.resolve_from(dino, dpath, work, creds, follow_last, rel)
     }
 
     fn run_hooks(&self, pending: Vec<PendingHook>, creds: &Credentials) {
@@ -1144,10 +1300,48 @@ impl Filesystem {
     /// `mkdir(2)`.
     pub fn mkdir(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
         self.charge(OpKind::Mkdir, path, creds)?;
-        let vp = VPath::new(path);
+        self.mkdir_common(None, path, mode, creds)
+    }
+
+    /// `mkdirat(2)`: create `rel` (relative; `EINVAL` if absolute) under
+    /// the directory descriptor `dir`, paying resolution only for the
+    /// relative components. Counted as one `mkdir` syscall.
+    pub fn mkdirat(&self, dir: Fd, rel: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
+        let dpath = match self.tables.with_handle(dir.0, |h| h.path.clone()) {
+            Some(p) => p,
+            None => return err(Errno::EBADF, rel),
+        };
+        self.charge(OpKind::Mkdir, dpath.join_path(rel).as_str(), creds)?;
+        self.mkdir_common(Some(dir), rel, mode, creds)
+    }
+
+    /// Shared body of [`Self::mkdir`]/[`Self::mkdirat`]; the caller has
+    /// charged the syscall.
+    fn mkdir_common(
+        &self,
+        at: Option<Fd>,
+        path: &str,
+        mode: Mode,
+        creds: &Credentials,
+    ) -> VfsResult<()> {
+        let vp = match at {
+            None => VPath::new(path),
+            Some(d) => {
+                if path.starts_with('/') {
+                    return err(Errno::EINVAL, path);
+                }
+                match self.tables.with_handle(d.0, |h| h.path.clone()) {
+                    Some(dp) => dp.join_path(path),
+                    None => return err(Errno::EBADF, path),
+                }
+            }
+        };
         self.validate_mutation(&vp)?;
         let full = loop {
-            let r = self.resolve_live(&vp, creds, false)?;
+            let r = match at {
+                None => self.resolve_live(&vp, creds, false)?,
+                Some(d) => self.resolve_at(d, path, creds, false)?,
+            };
             if r.name.is_empty() {
                 return err(Errno::EEXIST, vp.as_str());
             }
@@ -1719,7 +1913,78 @@ impl Filesystem {
     pub fn open(&self, path: &str, flags: OpenFlags, creds: &Credentials) -> VfsResult<Fd> {
         self.pre_access(path);
         self.charge(OpKind::Open, path, creds)?;
-        let vp = VPath::new(path);
+        self.open_common(None, path, flags, creds, DirMode::Forbid)
+    }
+
+    /// Open a *directory* descriptor (`O_DIRECTORY`): the anchor for the
+    /// descriptor-relative calls ([`Self::openat`], [`Self::mkdirat`],
+    /// [`Self::readdir_fd`], [`Self::write_batch_at`]). Requires read
+    /// permission on the directory; `ENOTDIR` if `path` is not one. The
+    /// descriptor tracks the *inode*: renaming the directory does not
+    /// invalidate it.
+    pub fn open_dir(&self, path: &str, creds: &Credentials) -> VfsResult<Fd> {
+        self.pre_access(path);
+        self.charge(OpKind::Open, path, creds)?;
+        self.open_common(None, path, OpenFlags::read_only(), creds, DirMode::Require)
+    }
+
+    /// `openat(2)`: open `rel` (a relative path; `EINVAL` if absolute)
+    /// resolved from the directory descriptor `dir`. Only the relative
+    /// components pay resolution hops — the prefix was resolved once at
+    /// [`Self::open_dir`]. Flags behave exactly as in [`Self::open`].
+    pub fn openat(
+        &self,
+        dir: Fd,
+        rel: &str,
+        flags: OpenFlags,
+        creds: &Credentials,
+    ) -> VfsResult<Fd> {
+        let dpath = match self.tables.with_handle(dir.0, |h| h.path.clone()) {
+            Some(p) => p,
+            None => return err(Errno::EBADF, rel),
+        };
+        let full = dpath.join_path(rel);
+        self.pre_access(full.as_str());
+        self.charge(OpKind::Openat, full.as_str(), creds)?;
+        self.open_common(Some(dir), rel, flags, creds, DirMode::Forbid)
+    }
+
+    /// [`Self::openat`] for a subdirectory: returns a new directory
+    /// descriptor (`ENOTDIR` if `rel` is not a directory).
+    pub fn openat_dir(&self, dir: Fd, rel: &str, creds: &Credentials) -> VfsResult<Fd> {
+        let dpath = match self.tables.with_handle(dir.0, |h| h.path.clone()) {
+            Some(p) => p,
+            None => return err(Errno::EBADF, rel),
+        };
+        let full = dpath.join_path(rel);
+        self.pre_access(full.as_str());
+        self.charge(OpKind::Openat, full.as_str(), creds)?;
+        self.open_common(Some(dir), rel, OpenFlags::read_only(), creds, DirMode::Require)
+    }
+
+    /// Shared body of the path- and descriptor-relative opens. `at` set:
+    /// `path` is relative and resolution starts at that descriptor's
+    /// inode. The caller has already charged the syscall.
+    fn open_common(
+        &self,
+        at: Option<Fd>,
+        path: &str,
+        flags: OpenFlags,
+        creds: &Credentials,
+        dir_mode: DirMode,
+    ) -> VfsResult<Fd> {
+        let vp = match at {
+            None => VPath::new(path),
+            Some(d) => {
+                if path.starts_with('/') {
+                    return err(Errno::EINVAL, path);
+                }
+                match self.tables.with_handle(d.0, |h| h.path.clone()) {
+                    Some(dp) => dp.join_path(path),
+                    None => return err(Errno::EBADF, path),
+                }
+            }
+        };
         if flags.write || flags.create || flags.truncate || flags.append {
             self.validate_mutation(&vp)?;
         }
@@ -1727,7 +1992,10 @@ impl Filesystem {
         // and released by Drop on every error path below.
         let mut slot = HandleSlot::reserve(&self.tables, self.limits.max_open_files, vp.as_str())?;
         let (fd, created_path, modified) = 'attempt: loop {
-            let r = self.resolve_live(&vp, creds, true)?;
+            let r = match at {
+                None => self.resolve_live(&vp, creds, true)?,
+                Some(d) => self.resolve_at(d, path, creds, true)?,
+            };
             let full = if r.name.is_empty() {
                 r.parent_path.clone()
             } else {
@@ -1771,7 +2039,10 @@ impl Filesystem {
                     // validate_create hooks may read (or create!) the file;
                     // no locks are held here, so they may re-enter freely.
                     self.validate_with_hooks(|h| h.validate_create(self, &full))?;
-                    let r2 = self.resolve_live(&vp, creds, true)?;
+                    let r2 = match at {
+                        None => self.resolve_live(&vp, creds, true)?,
+                        Some(d) => self.resolve_at(d, path, creds, true)?,
+                    };
                     match r2.target {
                         Some(i) => {
                             if flags.excl {
@@ -1803,8 +2074,10 @@ impl Filesystem {
                             continue 'attempt;
                         }
                     };
-                    if is_dir {
-                        return err(Errno::EISDIR, vp.as_str());
+                    match (is_dir, dir_mode) {
+                        (true, DirMode::Forbid) => return err(Errno::EISDIR, vp.as_str()),
+                        (false, DirMode::Require) => return err(Errno::ENOTDIR, vp.as_str()),
+                        _ => {}
                     }
                     if flags.read && !Self::may_access_set(&set, ino, creds, Access::Read) {
                         return err(Errno::EACCES, vp.as_str());
@@ -2036,13 +2309,14 @@ impl Filesystem {
             self.rctl.release_open(h.owner.0);
             wrote = h.wrote;
             path = h.path.clone();
-            let gone = {
-                let node = set.inode_mut(h.ino)?;
+            // The inode may already be gone: rmdir removes an open
+            // directory's inode outright (directories have no orphan
+            // keep-alive). Closing such a descriptor is not an error.
+            if let Ok(node) = set.inode_mut(h.ino) {
                 node.open_count -= 1;
-                node.nlink == 0 && node.open_count == 0
-            };
-            if gone {
-                set.remove_inode(h.ino);
+                if node.nlink == 0 && node.open_count == 0 {
+                    set.remove_inode(h.ino);
+                }
             }
         }
         if wrote {
@@ -2051,6 +2325,348 @@ impl Filesystem {
             self.run_hooks(vec![PendingHook::CloseWrite(path)], creds);
         }
         Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Descriptor-relative I/O (the fd fast path)
+    // ----------------------------------------------------------------
+
+    /// `pread(2)`: up to `len` bytes at `offset`, without moving the
+    /// handle's offset. One charged `read` syscall.
+    pub fn pread(&self, fd: Fd, offset: u64, len: usize) -> VfsResult<Vec<u8>> {
+        let info = self
+            .tables
+            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned(), h.ino, h.flags.read));
+        let (howner, hpath, ino, readable) = match info {
+            Some(v) => v,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        self.charge_uid(OpKind::Read, &hpath, howner)?;
+        if !readable {
+            return err(Errno::EBADF, hpath);
+        }
+        match self.tables.with_inode(ino, |node| match &node.kind {
+            NodeKind::File(d) => {
+                let start = (offset as usize).min(d.len());
+                let end = (start + len).min(d.len());
+                Ok(d[start..end].to_vec())
+            }
+            _ => Err(VfsError::new(Errno::EISDIR, hpath.clone())),
+        }) {
+            Ok(r) => r,
+            Err(_) => err(Errno::EBADF, "fd"),
+        }
+    }
+
+    /// `pwrite(2)`: write `data` at `offset`, without moving the handle's
+    /// offset. One charged `write` syscall.
+    pub fn pwrite(&self, fd: Fd, offset: u64, data: &[u8]) -> VfsResult<usize> {
+        let info = self
+            .tables
+            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned(), h.ino, h.flags.write));
+        let (howner, hpath, ino, writable) = match info {
+            Some(v) => v,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        self.charge_uid(OpKind::Write, &hpath, howner)?;
+        if !writable {
+            return err(Errno::EBADF, hpath);
+        }
+        let end = offset as usize + data.len();
+        if end as u64 > self.limits.max_file_size {
+            return err(Errno::ENOSPC, "fd");
+        }
+        let path;
+        {
+            let mut set = self.tables.lock(&[LockKey::Fd(fd.0), LockKey::Ino(ino)]);
+            if set.handle(fd.0).is_none() {
+                return err(Errno::EBADF, "fd");
+            }
+            let now = self.clock.tick();
+            let node = set.inode_mut(ino)?;
+            match &mut node.kind {
+                NodeKind::File(d) => {
+                    if d.len() < end {
+                        d.resize(end, 0);
+                    }
+                    d[offset as usize..end].copy_from_slice(data);
+                    node.mtime = now;
+                }
+                _ => return err(Errno::EISDIR, "fd"),
+            }
+            let h = set.handle_mut(fd.0).expect("handle verified above");
+            h.wrote = true;
+            path = h.path.clone();
+        }
+        self.notify.emit(EventKind::Modify, &path, None);
+        Ok(data.len())
+    }
+
+    /// `readv(2)`: scatter a sequential read from the handle's offset into
+    /// segments of the requested sizes. One charged `read` syscall however
+    /// many segments; the offset advances by the total bytes read. Short
+    /// reads truncate the tail segments.
+    pub fn readv(&self, fd: Fd, lens: &[usize]) -> VfsResult<Vec<Vec<u8>>> {
+        let total: usize = lens.iter().sum();
+        let data = self.read(fd, total)?;
+        // read() charged one OpKind::Read; undo nothing — one syscall total.
+        let mut out = Vec::with_capacity(lens.len());
+        let mut at = 0usize;
+        for &l in lens {
+            let end = (at + l).min(data.len());
+            out.push(data[at.min(data.len())..end].to_vec());
+            at = end;
+        }
+        Ok(out)
+    }
+
+    /// `writev(2)`: gather-write the buffers at the handle's offset. One
+    /// charged `write` syscall however many buffers.
+    pub fn writev(&self, fd: Fd, bufs: &[&[u8]]) -> VfsResult<usize> {
+        let flat: Vec<u8> = bufs.concat();
+        self.write(fd, &flat)
+    }
+
+    /// `fstat(2)`: stat through a descriptor — no path resolution at all.
+    /// One charged `fstat` syscall.
+    pub fn fstat(&self, fd: Fd) -> VfsResult<FileStat> {
+        let info = self
+            .tables
+            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned(), h.ino));
+        let (howner, hpath, ino) = match info {
+            Some(v) => v,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        self.charge_uid(OpKind::Fstat, &hpath, howner)?;
+        self.tables
+            .with_inode(ino, |node| FileStat {
+                ino,
+                file_type: node.file_type(),
+                mode: node.mode,
+                uid: node.uid,
+                gid: node.gid,
+                size: node.size(),
+                nlink: node.nlink,
+                mtime: node.mtime,
+                ctime: node.ctime,
+            })
+            .map_err(|_| VfsError::new(Errno::EBADF, hpath))
+    }
+
+    /// `fsync(2)` as yanc's *commit without close*: if the handle has
+    /// written since open (or since the last fsync), fire the `CloseWrite`
+    /// event and `post_close_write` hooks now, keeping the descriptor open
+    /// for further writes. This is what lets a long-lived flow descriptor
+    /// commit many updates without re-paying open/close.
+    pub fn fsync(&self, fd: Fd, creds: &Credentials) -> VfsResult<()> {
+        let info = self
+            .tables
+            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned(), h.ino));
+        let (howner, hpath, ino) = match info {
+            Some(v) => v,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        self.charge_uid(OpKind::Fsync, &hpath, howner)?;
+        let (wrote, path);
+        {
+            let mut set = self.tables.lock(&[LockKey::Fd(fd.0), LockKey::Ino(ino)]);
+            let h = match set.handle_mut(fd.0) {
+                Some(h) => h,
+                None => return err(Errno::EBADF, "fd"),
+            };
+            wrote = h.wrote;
+            h.wrote = false;
+            path = h.path.clone();
+        }
+        if wrote {
+            self.notify
+                .emit(EventKind::CloseWrite, &path, path.file_name());
+            self.run_hooks(vec![PendingHook::CloseWrite(path)], creds);
+        }
+        Ok(())
+    }
+
+    /// `readdir` through a directory descriptor: no path resolution. One
+    /// charged `readdir` syscall. Listing permission was checked when the
+    /// descriptor was opened, as POSIX does.
+    pub fn readdir_fd(&self, fd: Fd) -> VfsResult<Vec<DirEntry>> {
+        let info = self
+            .tables
+            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned(), h.ino));
+        let (howner, hpath, ino) = match info {
+            Some(v) => v,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        self.charge_uid(OpKind::Readdir, &hpath, howner)?;
+        let entries: Vec<(String, Ino)> = match self.tables.with_inode(ino, |node| {
+            node.dir_entries()
+                .map(|e| e.iter().map(|(n, i)| (n.clone(), *i)).collect())
+                .map_err(|_| VfsError::new(Errno::ENOTDIR, hpath.clone()))
+        }) {
+            Ok(r) => r?,
+            Err(_) => return err(Errno::ENOENT, hpath),
+        };
+        Ok(entries
+            .into_iter()
+            .map(|(name, i)| {
+                let ft = self
+                    .tables
+                    .with_inode(i, |n| n.file_type())
+                    .unwrap_or(FileType::Regular);
+                DirEntry {
+                    name,
+                    ino: i,
+                    file_type: ft,
+                }
+            })
+            .collect())
+    }
+
+    /// Vectored descriptor-relative write: **one** charged `write` syscall
+    /// submits a whole batch of file writes relative to an open directory
+    /// descriptor — the vectored-I/O principle applied at directory
+    /// granularity (cf. io_uring submission batching). Each entry is
+    /// created or replaced wholesale and committed, as if written by
+    /// `open(write_create)` + `write` + `close`, emitting `Create` (for
+    /// new files) and `CloseWrite`; entry names may be relative
+    /// multi-component paths. Entries apply *in order* and the batch is
+    /// not transactional: on error, earlier entries remain applied (their
+    /// events already fired) and the error names the failing entry.
+    ///
+    /// This is the syscall-count lever of experiment E21: a flow install
+    /// that costs ~28 path-addressed syscalls costs `mkdirat` +
+    /// `write_batch_at` = 2 through a flows-directory descriptor, while
+    /// staying fully introspectable as files (unlike the libyanc ring,
+    /// which bypasses the fs entirely).
+    pub fn write_batch_at(
+        &self,
+        dir: Fd,
+        entries: &[(&str, &[u8])],
+        creds: &Credentials,
+    ) -> VfsResult<usize> {
+        let dpath = match self.tables.with_handle(dir.0, |h| h.path.clone()) {
+            Some(p) => p,
+            None => return err(Errno::EBADF, "fd"),
+        };
+        self.charge(OpKind::Write, dpath.as_str(), creds)?;
+        let mut events: Vec<PendingEvent> = Vec::new();
+        let mut hooks: Vec<PendingHook> = Vec::new();
+        let mut res = Ok(());
+        let mut done = 0usize;
+        for (rel, data) in entries {
+            if let Err(e) = self.batch_write_one(dir, rel, data, creds, &mut events, &mut hooks) {
+                res = Err(e);
+                break;
+            }
+            done += 1;
+        }
+        self.emit_all(events);
+        self.run_hooks(hooks, creds);
+        res.map(|()| done)
+    }
+
+    /// One entry of [`Self::write_batch_at`]; gathers events/hooks for the
+    /// caller to emit as a batch. Not charged.
+    fn batch_write_one(
+        &self,
+        dir: Fd,
+        rel: &str,
+        data: &[u8],
+        creds: &Credentials,
+        events: &mut Vec<PendingEvent>,
+        hooks: &mut Vec<PendingHook>,
+    ) -> VfsResult<()> {
+        if data.len() as u64 > self.limits.max_file_size {
+            return err(Errno::ENOSPC, rel);
+        }
+        loop {
+            let r = self.resolve_at(dir, rel, creds, true)?;
+            if r.name.is_empty() {
+                return err(Errno::EISDIR, rel);
+            }
+            let full = r.parent_path.join(&r.name);
+            self.validate_mutation(&full)?;
+            match r.target {
+                Some(ino) => {
+                    let mut set = self.tables.lock(&[LockKey::Ino(ino)]);
+                    match set.inode(ino) {
+                        Err(_) => {
+                            drop(set);
+                            continue; // vanished: re-resolve
+                        }
+                        Ok(n) if !matches!(n.kind, NodeKind::File(_)) => {
+                            return err(Errno::EISDIR, full.as_str());
+                        }
+                        Ok(_) => {}
+                    }
+                    if !Self::may_access_set(&set, ino, creds, Access::Write) {
+                        return err(Errno::EACCES, full.as_str());
+                    }
+                    let now = self.clock.tick();
+                    let node = set.inode_mut(ino)?;
+                    if let NodeKind::File(d) = &mut node.kind {
+                        *d = data.to_vec();
+                        node.mtime = now;
+                    }
+                    drop(set);
+                    events.push((EventKind::Modify, full.clone(), None));
+                    events.push((
+                        EventKind::CloseWrite,
+                        full.clone(),
+                        full.file_name().map(str::to_string),
+                    ));
+                    hooks.push(PendingHook::CloseWrite(full));
+                    return Ok(());
+                }
+                None => {
+                    if !valid_name(&r.name) {
+                        return err(Errno::EINVAL, rel);
+                    }
+                    self.validate_with_hooks(|h| h.validate_create(self, &full))?;
+                    let ino = self.tables.alloc_ino();
+                    let mut set = self
+                        .tables
+                        .lock(&[LockKey::Ino(r.parent_ino), LockKey::Ino(ino)]);
+                    if !set.entry_is(r.parent_ino, &r.name, None) {
+                        drop(set);
+                        continue;
+                    }
+                    if !Self::may_access_set(&set, r.parent_ino, creds, Access::Write) {
+                        return err(Errno::EACCES, r.parent_path.as_str());
+                    }
+                    if set.inode(r.parent_ino)?.dir_entries()?.len() >= self.limits.max_dir_entries
+                    {
+                        return err(Errno::EDQUOT, r.parent_path.as_str());
+                    }
+                    let now = self.clock.tick();
+                    set.insert_inode(
+                        ino,
+                        Inode {
+                            kind: NodeKind::File(data.to_vec()),
+                            mode: Mode::FILE_DEFAULT,
+                            uid: creds.uid,
+                            gid: creds.gid,
+                            nlink: 1,
+                            mtime: now,
+                            ctime: now,
+                            xattrs: BTreeMap::new(),
+                            acl: None,
+                            open_count: 0,
+                        },
+                    );
+                    let p = set.inode_mut(r.parent_ino)?;
+                    p.dir_entries_mut()?.insert(r.name.clone(), ino);
+                    p.mtime = now;
+                    drop(set);
+                    let name = full.file_name().map(str::to_string);
+                    events.push((EventKind::Create, full.clone(), name.clone()));
+                    events.push((EventKind::CloseWrite, full.clone(), name));
+                    hooks.push(PendingHook::Create(full.clone()));
+                    hooks.push(PendingHook::CloseWrite(full));
+                    return Ok(());
+                }
+            }
+        }
     }
 
     /// `truncate(2)` by path.
@@ -2269,7 +2885,127 @@ impl Filesystem {
         })
     }
 }
+
+/// Fluent construction of a notify watch; see [`Filesystem::watch`].
+///
+/// Defaults: direct-children scope, [`EventMask::ALL`], unowned (no budget
+/// check, not reclaimed with any uid). `.as_creds`/`.as_uid` charge the
+/// watch to a uid, enforcing its `max_watches` budget on `register`.
+pub struct WatchBuilder<'fs> {
+    fs: &'fs Filesystem,
+    path: VPath,
+    subtree: bool,
+    mask: EventMask,
+    creds: Option<Credentials>,
+}
+
+impl WatchBuilder<'_> {
+    /// Watch the whole subtree (fanotify-style) instead of the path and
+    /// its direct children.
+    pub fn subtree(mut self) -> Self {
+        self.subtree = true;
+        self
+    }
+
+    /// Restrict the event kinds delivered.
+    pub fn mask(mut self, mask: EventMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Charge the watch descriptor to `creds.uid` (budgeted, reclaimable).
+    pub fn as_creds(mut self, creds: &Credentials) -> Self {
+        self.creds = Some(creds.clone());
+        self
+    }
+
+    /// Charge the watch descriptor to `uid` (budgeted, reclaimable).
+    pub fn as_uid(self, uid: u32) -> Self {
+        self.as_creds(&Credentials::user(uid, uid))
+    }
+
+    /// Register the watch. `EMFILE` when an owning uid is at its
+    /// `max_watches` budget. The returned guard unwatches on drop.
+    pub fn register(self) -> VfsResult<WatchGuard> {
+        let (id, rx) = match &self.creds {
+            Some(creds) => {
+                self.fs.check_watch_budget(creds, self.path.as_str())?;
+                if self.subtree {
+                    self.fs
+                        .notify
+                        .watch_subtree_owned(&self.path, self.mask, creds.uid.0)
+                } else {
+                    self.fs
+                        .notify
+                        .watch_path_owned(&self.path, self.mask, creds.uid.0)
+                }
+            }
+            None => {
+                if self.subtree {
+                    self.fs.notify.watch_subtree(&self.path, self.mask)
+                } else {
+                    self.fs.notify.watch_path(&self.path, self.mask)
+                }
+            }
+        };
+        Ok(WatchGuard {
+            hub: self.fs.notify.clone(),
+            id,
+            rx,
+            armed: true,
+        })
+    }
+}
+
+/// A registered watch that unwatches itself on drop.
+///
+/// Obtained from [`WatchBuilder::register`]. The receiver is borrowed with
+/// [`WatchGuard::receiver`] (clone it to feed a
+/// [`PollSet`](crate::poll::PollSet)); [`WatchGuard::forget`] detaches the
+/// raw `(WatchId, Receiver)` pair for code that manages lifetime manually.
+pub struct WatchGuard {
+    hub: Arc<NotifyHub>,
+    id: WatchId,
+    rx: Receiver<Event>,
+    /// Cleared by [`WatchGuard::forget`]: drop no longer unwatches.
+    armed: bool,
+}
+
+impl WatchGuard {
+    /// The watch descriptor.
+    pub fn id(&self) -> WatchId {
+        self.id
+    }
+
+    /// The event channel. Clone it to register with a poll set; the watch
+    /// itself stays tied to this guard's lifetime.
+    pub fn receiver(&self) -> &Receiver<Event> {
+        &self.rx
+    }
+
+    /// Whether events are queued (level-triggered readiness).
+    pub fn ready(&self) -> bool {
+        !self.rx.is_empty()
+    }
+
+    /// Detach: cancel the drop-unwatch and hand back the raw parts.
+    pub fn forget(self) -> (WatchId, Receiver<Event>) {
+        let mut this = self;
+        this.armed = false;
+        (this.id, this.rx.clone())
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hub.unwatch(self.id);
+        }
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated watch shims are themselves under test
 mod tests {
     use super::*;
 
@@ -2954,5 +3690,241 @@ mod tests {
             .read_to_string("/net/.proc/scopes/net/total", &root())
             .unwrap();
         assert_eq!(s.trim().parse::<u64>().unwrap(), scope.total());
+    }
+
+    // ---- descriptor-relative I/O ----
+
+    #[test]
+    fn openat_resolves_relative_to_dir_descriptor() {
+        let f = fs();
+        f.mkdir_all("/net/switches/sw1/flows", Mode::DIR_DEFAULT, &root())
+            .unwrap();
+        let d = f.open_dir("/net/switches/sw1/flows", &root()).unwrap();
+        let fd = f
+            .openat(d, "f1", OpenFlags::write_create(), &root())
+            .unwrap();
+        f.write(fd, b"match=*").unwrap();
+        f.close(fd, &root()).unwrap();
+        assert_eq!(
+            f.read_to_string("/net/switches/sw1/flows/f1", &root())
+                .unwrap(),
+            "match=*"
+        );
+        // Multi-component relative paths work too.
+        f.mkdirat(d, "sub", Mode::DIR_DEFAULT, &root()).unwrap();
+        let fd2 = f
+            .openat(d, "sub/f2", OpenFlags::write_create(), &root())
+            .unwrap();
+        f.close(fd2, &root()).unwrap();
+        assert!(f
+            .stat("/net/switches/sw1/flows/sub/f2", &root())
+            .unwrap()
+            .is_file());
+        f.close(d, &root()).unwrap();
+    }
+
+    #[test]
+    fn openat_rejects_absolute_rel_and_bad_fd() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        let d = f.open_dir("/d", &root()).unwrap();
+        assert_eq!(
+            f.openat(d, "/abs", OpenFlags::read_only(), &root())
+                .unwrap_err()
+                .errno,
+            Errno::EINVAL
+        );
+        assert_eq!(
+            f.openat(Fd(999_999), "x", OpenFlags::read_only(), &root())
+                .unwrap_err()
+                .errno,
+            Errno::EBADF
+        );
+        // open_dir on a file / open on a dir keep their errnos.
+        f.write_file("/d/f", b"x", &root()).unwrap();
+        assert_eq!(
+            f.open_dir("/d/f", &root()).unwrap_err().errno,
+            Errno::ENOTDIR
+        );
+        assert_eq!(
+            f.open("/d", OpenFlags::read_only(), &root())
+                .unwrap_err()
+                .errno,
+            Errno::EISDIR
+        );
+    }
+
+    #[test]
+    fn pread_pwrite_leave_offset_alone() {
+        let f = fs();
+        f.write_file("/f", b"abcdef", &root()).unwrap();
+        let fd = f
+            .open("/f", OpenFlags { read: true, write: true, ..OpenFlags::read_only() }, &root())
+            .unwrap();
+        assert_eq!(f.pread(fd, 2, 3).unwrap(), b"cde");
+        f.pwrite(fd, 4, b"XY").unwrap();
+        // Sequential read still starts at offset 0.
+        assert_eq!(f.read(fd, 6).unwrap(), b"abcdXY");
+        // pread past EOF is a short read, not an error.
+        assert_eq!(f.pread(fd, 100, 4).unwrap(), b"");
+        f.close(fd, &root()).unwrap();
+    }
+
+    #[test]
+    fn readv_writev_charge_one_syscall_each() {
+        let f = fs();
+        let fd = f.open("/f", OpenFlags::write_create(), &root()).unwrap();
+        let before = f.counters().snapshot();
+        f.writev(fd, &[b"ab", b"cd", b"ef"]).unwrap();
+        let after = f.counters().snapshot();
+        assert_eq!(after.since(&before).get(OpKind::Write), 1);
+        assert_eq!(after.since(&before).total(), 1);
+        f.close(fd, &root()).unwrap();
+
+        let fd = f.open("/f", OpenFlags::read_only(), &root()).unwrap();
+        let before = f.counters().snapshot();
+        let segs = f.readv(fd, &[2, 2, 4]).unwrap();
+        let after = f.counters().snapshot();
+        assert_eq!(after.since(&before).get(OpKind::Read), 1);
+        assert_eq!(after.since(&before).total(), 1);
+        assert_eq!(segs, vec![b"ab".to_vec(), b"cd".to_vec(), b"ef".to_vec()]);
+        f.close(fd, &root()).unwrap();
+    }
+
+    #[test]
+    fn fstat_follows_the_inode() {
+        let f = fs();
+        f.write_file("/f", b"abc", &root()).unwrap();
+        let fd = f.open("/f", OpenFlags::read_only(), &root()).unwrap();
+        let st = f.fstat(fd).unwrap();
+        assert!(st.is_file());
+        assert_eq!(st.size, 3);
+        // Rename does not disturb the descriptor.
+        f.rename("/f", "/g", &root()).unwrap();
+        assert_eq!(f.fstat(fd).unwrap().ino, st.ino);
+        f.close(fd, &root()).unwrap();
+        assert_eq!(f.fstat(fd).unwrap_err().errno, Errno::EBADF);
+    }
+
+    #[test]
+    fn fsync_commits_without_close() {
+        let f = fs();
+        let w = f.watch("/").subtree().mask(EventMask::ALL).register().unwrap();
+        let fd = f.open("/f", OpenFlags::write_create(), &root()).unwrap();
+        f.write(fd, b"v1").unwrap();
+        let _ = w.receiver().try_iter().count();
+        f.fsync(fd, &root()).unwrap();
+        let kinds: Vec<EventKind> = w.receiver().try_iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::CloseWrite), "got {kinds:?}");
+        // A second fsync with no intervening write is silent...
+        f.fsync(fd, &root()).unwrap();
+        assert_eq!(w.receiver().try_iter().count(), 0);
+        // ...and close after fsync does not re-fire CloseWrite.
+        f.close(fd, &root()).unwrap();
+        let kinds: Vec<EventKind> = w.receiver().try_iter().map(|e| e.kind).collect();
+        assert!(!kinds.contains(&EventKind::CloseWrite), "got {kinds:?}");
+    }
+
+    #[test]
+    fn readdir_fd_and_dirfd_survive_sibling_churn() {
+        let f = fs();
+        f.mkdir_all("/d/sub", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.write_file("/d/a", b"", &root()).unwrap();
+        let d = f.open_dir("/d", &root()).unwrap();
+        let names: Vec<String> = f.readdir_fd(d).unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "sub"]);
+        f.write_file("/d/b", b"", &root()).unwrap();
+        assert_eq!(f.readdir_fd(d).unwrap().len(), 3);
+        f.close(d, &root()).unwrap();
+    }
+
+    #[test]
+    fn rmdir_then_dir_descriptor_ops_fail_cleanly() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        let d = f.open_dir("/d", &root()).unwrap();
+        f.rmdir("/d", &root()).unwrap();
+        assert_eq!(
+            f.openat(d, "x", OpenFlags::write_create(), &root())
+                .unwrap_err()
+                .errno,
+            Errno::ENOENT
+        );
+        assert_eq!(f.readdir_fd(d).unwrap_err().errno, Errno::ENOENT);
+        f.close(d, &root()).unwrap(); // closing the dangling descriptor is fine
+    }
+
+    #[test]
+    fn write_batch_at_is_one_syscall_and_commits_each_entry() {
+        let f = fs();
+        f.mkdir_all("/flows", Mode::DIR_DEFAULT, &root()).unwrap();
+        let d = f.open_dir("/flows", &root()).unwrap();
+        let w = f.watch("/flows").subtree().mask(EventMask::ALL).register().unwrap();
+        let before = f.counters().snapshot();
+        let n = f
+            .write_batch_at(
+                d,
+                &[("f1", b"p=1".as_slice()), ("f2", b"p=2"), ("f1", b"p=9")],
+                &root(),
+            )
+            .unwrap();
+        let diff = f.counters().snapshot().since(&before);
+        assert_eq!(n, 3);
+        assert_eq!(diff.get(OpKind::Write), 1);
+        assert_eq!(diff.total(), 1);
+        assert_eq!(f.read_to_string("/flows/f1", &root()).unwrap(), "p=9");
+        assert_eq!(f.read_to_string("/flows/f2", &root()).unwrap(), "p=2");
+        let evs: Vec<(EventKind, String)> = w
+            .receiver()
+            .try_iter()
+            .map(|e| (e.kind, e.path.as_str().to_owned()))
+            .collect();
+        // Every entry committed: two Creates and three CloseWrites.
+        assert_eq!(
+            evs.iter().filter(|(k, _)| *k == EventKind::Create).count(),
+            2
+        );
+        assert_eq!(
+            evs.iter()
+                .filter(|(k, _)| *k == EventKind::CloseWrite)
+                .count(),
+            3
+        );
+        f.close(d, &root()).unwrap();
+    }
+
+    #[test]
+    fn fd_table_reports_per_uid_descriptors() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.chmod("/d", Mode(0o777), &root()).unwrap();
+        let alice = Credentials::user(7, 7);
+        f.write_file("/d/a", b"x", &root()).unwrap();
+        f.chmod("/d/a", Mode(0o666), &root()).unwrap();
+        let fd = f.open("/d/a", OpenFlags::read_only(), &alice).unwrap();
+        let table = f.fd_table(Uid(7));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[0].fd, fd.0);
+        assert_eq!(table[0].path, "/d/a");
+        assert!(table[0].read && !table[0].write);
+        assert!(f.fd_table(Uid(8)).is_empty());
+        f.close(fd, &alice).unwrap();
+        assert!(f.fd_table(Uid(7)).is_empty());
+    }
+
+    #[test]
+    fn watch_guard_unwatches_on_drop_and_forget_detaches() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        {
+            let w = f.watch("/d").register().unwrap();
+            f.write_file("/d/f", b"x", &root()).unwrap();
+            assert!(w.ready());
+        } // dropped: unwatched
+        assert_eq!(f.notify().watch_count(), 0);
+        let (id, rx) = f.watch("/d").register().unwrap().forget();
+        f.write_file("/d/g", b"x", &root()).unwrap();
+        assert!(rx.try_iter().count() > 0);
+        f.notify().unwatch(id);
     }
 }

@@ -31,14 +31,14 @@
 //! let fs = Arc::new(Filesystem::new());
 //! let creds = Credentials::root();
 //! fs.mkdir_all("/net/switches/sw1/ports/p2", Mode::DIR_DEFAULT, &creds).unwrap();
-//! let (_watch, events) = fs.watch_subtree("/net", EventMask::ALL);
+//! let watch = fs.watch("/net").subtree().mask(EventMask::ALL).register().unwrap();
 //!
 //! // Bring a port down exactly as the paper does: echo 1 > config.port_down
 //! fs.write_file("/net/switches/sw1/ports/p2/config.port_down", b"1\n", &creds).unwrap();
 //!
 //! assert_eq!(fs.read_to_string("/net/switches/sw1/ports/p2/config.port_down",
 //!                              &creds).unwrap(), "1\n");
-//! assert!(events.try_iter().count() > 0); // a driver would react to these
+//! assert!(watch.receiver().try_iter().count() > 0); // a driver would react
 //! ```
 
 #![warn(missing_docs)]
@@ -53,6 +53,7 @@ pub mod metrics;
 pub mod namespace;
 pub mod notify;
 pub mod path;
+pub mod poll;
 pub mod proc;
 pub mod rctl;
 mod shard;
@@ -61,11 +62,12 @@ pub mod types;
 pub use acl::{check_access, Acl, AclEntry};
 pub use counter::{CounterSnapshot, OpKind, SyscallCounters};
 pub use error::{Errno, VfsError, VfsResult};
-pub use fs::{Filesystem, FsCheckReport, Limits, ReclaimReport};
+pub use fs::{FdInfo, Filesystem, FsCheckReport, Limits, ReclaimReport, WatchBuilder, WatchGuard};
 pub use hooks::SemanticHook;
 pub use metrics::{op_cost_ns, LatencyHistogram, MetricsRegistry};
 pub use namespace::Namespace;
 pub use notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
+pub use poll::{Interest, PollEvent, PollSet, PollSource, PollToken};
 pub use path::{valid_name, VPath, NAME_MAX, PATH_MAX};
 pub use proc::{ProcHook, ProcRegistry, ProcRender};
 pub use rctl::{AppLimits, RctlTable, RctlUsage};

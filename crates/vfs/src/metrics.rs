@@ -49,6 +49,12 @@ pub fn op_cost_ns(op: OpKind, path: &str) -> u64 {
         OpKind::Setattr => 1_000,
         OpKind::Xattr => 950,
         OpKind::Truncate => 1_250,
+        // Descriptor-relative ops skip path resolution: cheaper than their
+        // path-addressed counterparts at any depth.
+        OpKind::Openat => 1_000,
+        OpKind::Fstat => 700,
+        OpKind::Fsync => 1_100,
+        OpKind::Poll => 600,
     };
     let depth = path.split('/').filter(|c| !c.is_empty()).count() as u64;
     base + 150 * depth

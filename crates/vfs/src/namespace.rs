@@ -285,19 +285,30 @@ impl Namespace {
             .get_xattr(self.translate(path).0.as_str(), name, creds)
     }
 
-    /// Watch a namespace-visible path (see [`Filesystem::watch_path`]).
-    /// Delivered events carry *underlying* paths.
+    /// Watch a namespace-visible path. Delivered events carry *underlying*
+    /// paths.
+    #[deprecated(since = "0.5.0", note = "use ns.watch(path).register() via the Filesystem builder")]
+    #[allow(deprecated)]
     pub fn watch_path(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
         self.fs.watch_path(self.translate(path).0.as_str(), mask)
     }
 
-    /// Watch a namespace-visible subtree (see [`Filesystem::watch_subtree`]).
+    /// Watch a namespace-visible subtree.
+    #[deprecated(since = "0.5.0", note = "use ns.watch(path).subtree().register() via the Filesystem builder")]
+    #[allow(deprecated)]
     pub fn watch_subtree(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
         self.fs.watch_subtree(self.translate(path).0.as_str(), mask)
+    }
+
+    /// Start building a watch on a namespace-visible path; see
+    /// [`Filesystem::watch`]. Delivered events carry *underlying* paths.
+    pub fn watch(&self, path: &str) -> crate::fs::WatchBuilder<'_> {
+        self.fs.watch(self.translate(path).0.as_str())
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated watch shims are themselves under test
 mod tests {
     use super::*;
 

@@ -1,0 +1,539 @@
+//! `yanc_poll` — epoll-style readiness multiplexing.
+//!
+//! The paper's apps each own a handful of event sources: inotify-style
+//! watch channels, packet-in buffer directories, and (since the libyanc
+//! fastpath landed) shared-memory rings. Before this module every app
+//! busy-polled each source from `run_once`, burning a scheduler tick — and
+//! a syscall per source — to discover there was nothing to do. A
+//! [`PollSet`] is the OS answer: register every source once, then issue
+//! *one* level-triggered `wait` that reports which sources have data.
+//!
+//! Semantics:
+//!
+//! * **Level-triggered**: a source is reported as long as it has unread
+//!   data. There is no edge state to lose; a woken app that drains only
+//!   half its backlog is reported again on the next wait.
+//! * **Fair round-robin**: each wait starts its readiness scan one source
+//!   past where the previous wait started, so a flooding source cannot
+//!   starve its neighbours of `max_events` slots.
+//! * **Accounted**: each `wait` charges exactly one [`OpKind::Poll`]
+//!   syscall to the owning uid (rctl token-bucket included). Readiness
+//!   *checks* by the scheduler ([`PollSet::is_ready`]) are free, exactly
+//!   as a kernel's run-queue inspection is free to the process.
+//!
+//! Sources are watch channels ([`crate::notify`] receivers), open file
+//! descriptors (readable bytes past the handle offset; directory entry
+//! count for directory fds), or opaque probes (used by libyanc to report
+//! ring occupancy without this crate knowing what a ring is).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Receiver;
+use parking_lot::{Mutex, RwLock};
+
+use crate::counter::{OpKind, SyscallCounters};
+use crate::error::{err, Errno, VfsResult};
+use crate::hooks::HookDepth;
+use crate::metrics::MetricsRegistry;
+use crate::notify::Event;
+use crate::rctl::RctlTable;
+use crate::shard::{NodeKind, Tables};
+use crate::types::{Fd, Uid};
+
+/// What a source is polled for. Only readability exists today; the enum is
+/// non-exhaustive so writability can be added without breaking callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Interest {
+    /// Wake when the source has data to read/drain.
+    Readable,
+}
+
+/// Identifies one registered source within its [`PollSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PollToken(pub u64);
+
+/// One ready source, as reported by [`PollSet::wait`].
+#[derive(Debug, Clone)]
+pub struct PollEvent {
+    /// The token returned when the source was added.
+    pub token: PollToken,
+    /// The label the source was registered under.
+    pub label: String,
+    /// How many items were observable at scan time (queued events, readable
+    /// bytes, directory entries, ring occupancy). Level-triggered: > 0.
+    pub ready: usize,
+}
+
+/// A source to register, for the unified [`PollSet::add`] entry point.
+pub enum PollSource {
+    /// An open file descriptor: readable bytes past the handle's offset
+    /// (directory fds report their entry count).
+    Fd(Fd),
+    /// A notify watch channel: queued, undelivered events.
+    Watch(Receiver<Event>),
+}
+
+enum SourceKind {
+    Watch(Receiver<Event>),
+    Fd(Fd),
+    Probe(Box<dyn Fn() -> usize + Send + Sync>),
+}
+
+struct Source {
+    token: u64,
+    label: String,
+    kind: SourceKind,
+}
+
+impl Source {
+    fn readiness(&self, tables: &Tables) -> usize {
+        match &self.kind {
+            SourceKind::Watch(rx) => rx.len(),
+            SourceKind::Probe(f) => f(),
+            SourceKind::Fd(fd) => {
+                let (ino, off) = match tables.with_handle(fd.0, |h| (h.ino, h.offset)) {
+                    Some(v) => v,
+                    None => return 0, // closed: never ready
+                };
+                tables
+                    .with_inode(ino, |node| match &node.kind {
+                        NodeKind::File(d) => d.len().saturating_sub(off as usize),
+                        NodeKind::Dir { entries, .. } => entries.len(),
+                        NodeKind::Symlink(_) => 0,
+                    })
+                    .unwrap_or(0)
+            }
+        }
+    }
+}
+
+pub(crate) struct PollInner {
+    id: u64,
+    owner: Uid,
+    tables: Arc<Tables>,
+    counters: Arc<SyscallCounters>,
+    metrics: Arc<MetricsRegistry>,
+    rctl: Arc<RctlTable>,
+    sources: Mutex<Vec<Source>>,
+    next_token: AtomicU64,
+    /// Rotates by one per wait: the fairness cursor.
+    cursor: AtomicUsize,
+    waits: AtomicU64,
+    events: AtomicU64,
+    dead: AtomicBool,
+}
+
+/// An epoll-style set of event sources; see the [module docs](self).
+///
+/// Created by [`crate::Filesystem::poll_create`], which also registers the
+/// set for `/net/.proc/vfs/pollsets` introspection and ties its lifetime to
+/// the owning uid's [`crate::Filesystem::reclaim`].
+pub struct PollSet {
+    inner: Arc<PollInner>,
+}
+
+impl PollSet {
+    pub(crate) fn new(
+        id: u64,
+        owner: Uid,
+        tables: Arc<Tables>,
+        counters: Arc<SyscallCounters>,
+        metrics: Arc<MetricsRegistry>,
+        rctl: Arc<RctlTable>,
+    ) -> Self {
+        PollSet {
+            inner: Arc::new(PollInner {
+                id,
+                owner,
+                tables,
+                counters,
+                metrics,
+                rctl,
+                sources: Mutex::new(Vec::new()),
+                next_token: AtomicU64::new(1),
+                cursor: AtomicUsize::new(0),
+                waits: AtomicU64::new(0),
+                events: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<PollInner> {
+        &self.inner
+    }
+
+    /// This set's id (as shown in `/net/.proc/vfs/pollsets`).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The uid the set is charged to.
+    pub fn owner(&self) -> u32 {
+        self.inner.owner.0
+    }
+
+    /// Register a source; the epoll-shaped entry point. Convenience
+    /// wrappers: [`Self::add_fd`], [`Self::add_watch`], [`Self::add_probe`].
+    pub fn add(&self, source: PollSource, _interest: Interest) -> PollToken {
+        match source {
+            PollSource::Fd(fd) => self.add_fd(fd),
+            PollSource::Watch(rx) => self.add_watch("watch", rx),
+        }
+    }
+
+    /// Register an open fd. Readiness: readable bytes past the handle's
+    /// offset (directory fds: entry count). A closed fd is never ready.
+    pub fn add_fd(&self, fd: Fd) -> PollToken {
+        let label = self
+            .inner
+            .tables
+            .with_handle(fd.0, |h| h.path.as_str().to_owned())
+            .unwrap_or_else(|| "fd".to_owned());
+        self.push(label, SourceKind::Fd(fd))
+    }
+
+    /// Register a notify watch channel. Readiness: queued events.
+    pub fn add_watch(&self, label: &str, rx: Receiver<Event>) -> PollToken {
+        self.push(label.to_owned(), SourceKind::Watch(rx))
+    }
+
+    /// Register an opaque readiness probe (returns "items available").
+    /// This is how libyanc rings join a poll set without the vfs knowing
+    /// about rings.
+    pub fn add_probe(
+        &self,
+        label: &str,
+        probe: impl Fn() -> usize + Send + Sync + 'static,
+    ) -> PollToken {
+        self.push(label.to_owned(), SourceKind::Probe(Box::new(probe)))
+    }
+
+    fn push(&self, label: String, kind: SourceKind) -> PollToken {
+        let token = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
+        self.inner.sources.lock().push(Source { token, label, kind });
+        PollToken(token)
+    }
+
+    /// Deregister a source. Returns whether it was present.
+    pub fn remove(&self, token: PollToken) -> bool {
+        let mut sources = self.inner.sources.lock();
+        let before = sources.len();
+        sources.retain(|s| s.token != token.0);
+        sources.len() != before
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.inner.sources.lock().len()
+    }
+
+    /// Whether the set has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scheduler-side readiness check: `true` when any source has data.
+    /// Free — charges no syscall — exactly as a kernel consulting its run
+    /// queue is free to the process being scheduled. A reclaimed set is
+    /// never ready.
+    pub fn is_ready(&self) -> bool {
+        if self.inner.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let sources = self.inner.sources.lock();
+        sources.iter().any(|s| s.readiness(&self.inner.tables) > 0)
+    }
+
+    /// Wait for readiness: one charged [`OpKind::Poll`] syscall, however
+    /// many sources fire. Level-triggered; returns up to `max_events`
+    /// ready sources starting from the fairness cursor. With a zero
+    /// `timeout` this is a pure non-blocking poll; otherwise the call
+    /// yields until a source becomes ready or the deadline passes (an
+    /// empty result is a timeout, not an error).
+    ///
+    /// `EBADF` once the owning uid has been reclaimed; `EAGAIN` when the
+    /// owner's syscall token bucket is empty.
+    pub fn wait(&self, max_events: usize, timeout: Duration) -> VfsResult<Vec<PollEvent>> {
+        if self.inner.dead.load(Ordering::Acquire) {
+            return err(Errno::EBADF, "pollset");
+        }
+        self.inner.counters.bump(OpKind::Poll);
+        self.inner.metrics.record(OpKind::Poll, "/");
+        self.inner.waits.fetch_add(1, Ordering::Relaxed);
+        if self.inner.owner.0 != 0 && !HookDepth::active() {
+            self.inner.rctl.charge_syscall(self.inner.owner.0, "pollset")?;
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let out = self.scan(max_events);
+            if !out.is_empty()
+                || timeout.is_zero()
+                || Instant::now() >= deadline
+                || self.inner.dead.load(Ordering::Acquire)
+            {
+                self.inner.events.fetch_add(out.len() as u64, Ordering::Relaxed);
+                return Ok(out);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// One level-triggered scan over the sources, rotating the start index
+    /// so no source monopolises the `max_events` budget.
+    fn scan(&self, max_events: usize) -> Vec<PollEvent> {
+        let sources = self.inner.sources.lock();
+        let n = sources.len();
+        let mut out = Vec::new();
+        if n == 0 || max_events == 0 {
+            return out;
+        }
+        let start = self.inner.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for i in 0..n {
+            let s = &sources[(start + i) % n];
+            let ready = s.readiness(&self.inner.tables);
+            if ready > 0 {
+                out.push(PollEvent {
+                    token: PollToken(s.token),
+                    label: s.label.clone(),
+                    ready,
+                });
+                if out.len() == max_events {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for PollSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PollSet")
+            .field("id", &self.inner.id)
+            .field("owner", &self.inner.owner.0)
+            .field("sources", &self.len())
+            .finish()
+    }
+}
+
+/// Registry of live poll sets, held by the [`crate::Filesystem`] for
+/// introspection (`/net/.proc/vfs/pollsets`) and reclaim.
+#[derive(Default)]
+pub(crate) struct PollRegistry {
+    next_id: AtomicU64,
+    sets: RwLock<Vec<Weak<PollInner>>>,
+}
+
+impl PollRegistry {
+    pub(crate) fn new() -> Self {
+        PollRegistry {
+            next_id: AtomicU64::new(1),
+            sets: RwLock::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn register(&self, inner: &Arc<PollInner>) {
+        let mut sets = self.sets.write();
+        sets.retain(|w| w.strong_count() > 0);
+        sets.push(Arc::downgrade(inner));
+    }
+
+    /// Mark every set owned by `uid` dead. Returns how many were killed.
+    pub(crate) fn reclaim(&self, uid: u32) -> usize {
+        let mut killed = 0;
+        let mut sets = self.sets.write();
+        sets.retain(|w| match w.upgrade() {
+            Some(inner) => {
+                if inner.owner.0 == uid && !inner.dead.swap(true, Ordering::AcqRel) {
+                    killed += 1;
+                }
+                !inner.dead.load(Ordering::Acquire)
+            }
+            None => false,
+        });
+        killed
+    }
+
+    /// One line per live set, for the proc file.
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        for w in self.sets.read().iter() {
+            if let Some(inner) = w.upgrade() {
+                if inner.dead.load(Ordering::Acquire) {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "id={} owner={} sources={} waits={} events={}\n",
+                    inner.id,
+                    inner.owner.0,
+                    inner.sources.lock().len(),
+                    inner.waits.load(Ordering::Relaxed),
+                    inner.events.load(Ordering::Relaxed),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notify::EventMask;
+    use crate::types::{Credentials, Mode, OpenFlags};
+    use crate::Filesystem;
+
+    fn fs() -> Filesystem {
+        Filesystem::new()
+    }
+
+    fn root() -> Credentials {
+        Credentials::root()
+    }
+
+    #[test]
+    fn watch_source_is_level_triggered() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        let w = f.watch("/d").subtree().mask(EventMask::ALL).register().unwrap();
+        let ps = f.poll_create(&root());
+        let tok = ps.add(PollSource::Watch(w.receiver().clone()), Interest::Readable);
+        assert!(!ps.is_ready());
+        f.write_file("/d/f", b"x", &root()).unwrap();
+        assert!(ps.is_ready());
+        let evs = ps.wait(8, Duration::ZERO).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].token, tok);
+        assert!(evs[0].ready > 0);
+        // Level-triggered: still reported until drained.
+        assert!(ps.is_ready());
+        let _ = w.receiver().try_iter().count();
+        assert!(!ps.is_ready());
+        assert!(ps.wait(8, Duration::ZERO).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fd_source_counts_unread_bytes() {
+        let f = fs();
+        f.write_file("/f", b"hello", &root()).unwrap();
+        let fd = f.open("/f", OpenFlags::read_only(), &root()).unwrap();
+        let ps = f.poll_create(&root());
+        ps.add_fd(fd);
+        assert!(ps.is_ready());
+        let evs = ps.wait(8, Duration::ZERO).unwrap();
+        assert_eq!(evs[0].ready, 5);
+        assert_eq!(evs[0].label, "/f");
+        // Consuming the file advances the offset past EOF: not ready.
+        f.read(fd, 5).unwrap();
+        assert!(!ps.is_ready());
+        // A closed fd is silently never ready, not an error.
+        f.close(fd, &root()).unwrap();
+        assert!(!ps.is_ready());
+    }
+
+    #[test]
+    fn rotation_keeps_flooding_sources_from_starving_others() {
+        let f = fs();
+        let ps = f.poll_create(&root());
+        let a = ps.add_probe("a", || 1_000_000); // floods
+        let b = ps.add_probe("b", || 1);
+        let c = ps.add_probe("c", || 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let evs = ps.wait(1, Duration::ZERO).unwrap();
+            seen.insert(evs[0].token);
+        }
+        // With max_events=1 and a rotating cursor, three waits surface all
+        // three sources even though "a" is always ready.
+        assert_eq!(seen.len(), 3, "got {seen:?}");
+        for t in [a, b, c] {
+            assert!(seen.contains(&t));
+        }
+    }
+
+    #[test]
+    fn wait_charges_exactly_one_poll_syscall() {
+        let f = fs();
+        let ps = f.poll_create(&root());
+        ps.add_probe("p", || 1);
+        ps.add_probe("q", || 1);
+        let before = f.counters().snapshot();
+        ps.wait(8, Duration::ZERO).unwrap();
+        let diff = f.counters().snapshot().since(&before);
+        assert_eq!(diff.get(OpKind::Poll), 1);
+        assert_eq!(diff.total(), 1);
+        // is_ready is free.
+        let before = f.counters().snapshot();
+        assert!(ps.is_ready());
+        assert_eq!(f.counters().snapshot().since(&before).total(), 0);
+    }
+
+    #[test]
+    fn reclaim_kills_owned_sets() {
+        let f = fs();
+        let alice = Credentials::user(7, 7);
+        let ps = f.poll_create(&alice);
+        ps.add_probe("p", || 1);
+        assert!(ps.is_ready());
+        let report = f.reclaim(Uid(7));
+        assert_eq!(report.pollsets_closed, 1);
+        assert!(!ps.is_ready());
+        assert_eq!(
+            ps.wait(8, Duration::ZERO).unwrap_err().errno,
+            Errno::EBADF
+        );
+        // Other uids' sets are untouched; double reclaim is a no-op.
+        assert_eq!(f.reclaim(Uid(7)).pollsets_closed, 0);
+    }
+
+    #[test]
+    fn pollsets_appear_in_proc() {
+        let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
+        let ps = f.poll_create(&root());
+        ps.add_probe("p", || 0);
+        ps.wait(8, Duration::ZERO).unwrap();
+        let s = f
+            .read_to_string("/net/.proc/vfs/pollsets", &root())
+            .unwrap();
+        assert!(s.contains(&format!("id={} owner=0 sources=1 waits=1", ps.id())), "got: {s}");
+        drop(ps);
+        // Dropped sets vanish from the report.
+        let s = f
+            .read_to_string("/net/.proc/vfs/pollsets", &root())
+            .unwrap();
+        assert!(!s.contains("id="), "got: {s}");
+    }
+
+    #[test]
+    fn wait_blocks_until_deadline_without_events() {
+        let f = fs();
+        let ps = f.poll_create(&root());
+        ps.add_probe("never", || 0);
+        let t0 = Instant::now();
+        let evs = ps.wait(8, Duration::from_millis(20)).unwrap();
+        assert!(evs.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn remove_and_empty_sets() {
+        let f = fs();
+        let ps = f.poll_create(&root());
+        assert!(ps.is_empty());
+        assert!(ps.wait(8, Duration::ZERO).unwrap().is_empty());
+        let t = ps.add_probe("p", || 1);
+        assert_eq!(ps.len(), 1);
+        assert!(ps.remove(t));
+        assert!(!ps.remove(t));
+        assert!(ps.is_empty());
+    }
+}

@@ -371,3 +371,103 @@ fn concurrent_rename_publishes_are_never_torn() {
         .collect();
     assert_eq!(names, vec!["key".to_string()]);
 }
+
+// ---------------------------------------------------------------------
+// Part 3: descriptor-relative resolution laws
+// ---------------------------------------------------------------------
+
+/// Seeded law: `openat(dirfd, rel)` is *equivalent* to opening the
+/// absolute concatenation — same success, same bytes, same errno — for
+/// files, subdirectory paths, directories (EISDIR) and absent names
+/// (ENOENT) alike. The fast path is a cheaper spelling of the slow path,
+/// not a different semantics.
+#[test]
+fn openat_agrees_with_absolute_resolution() {
+    let fs = Filesystem::new();
+    let creds = Credentials::root();
+    fs.mkdir_all("/t/d/sub", Mode::DIR_DEFAULT, &creds).unwrap();
+    for (p, v) in [
+        ("/t/d/a", "alpha"),
+        ("/t/d/b", "bravo"),
+        ("/t/d/sub/c", "charlie"),
+    ] {
+        fs.write_file(p, v.as_bytes(), &creds).unwrap();
+    }
+    let dir = fs.open_dir("/t/d", &creds).unwrap();
+    let names = ["a", "b", "sub/c", "missing", "sub", "sub/nope"];
+    let mut rng = Rng::new(0x0a7);
+    for _ in 0..200 {
+        let rel = names[rng.below(names.len())];
+        let abs = format!("/t/d/{rel}");
+        let via_at = fs.openat(dir, rel, OpenFlags::read_only(), &creds);
+        let via_abs = fs.open(&abs, OpenFlags::read_only(), &creds);
+        match (via_at, via_abs) {
+            (Ok(f1), Ok(f2)) => {
+                assert_eq!(
+                    fs.pread(f1, 0, 64).unwrap(),
+                    fs.pread(f2, 0, 64).unwrap(),
+                    "{rel}: contents diverged"
+                );
+                fs.close(f1, &creds).unwrap();
+                fs.close(f2, &creds).unwrap();
+            }
+            (Err(e1), Err(e2)) => assert_eq!(e1.errno, e2.errno, "{rel}: errnos diverged"),
+            (at, abs_r) => panic!("{rel}: diverged: openat={at:?} absolute={abs_r:?}"),
+        }
+    }
+    fs.close(dir, &creds).unwrap();
+}
+
+/// A directory descriptor anchors resolution at the *inode*: while one
+/// thread renames the directory back and forth, `openat` through a
+/// pre-rename descriptor never misses, while the absolute path legally
+/// flickers in and out of existence (only ever as ENOENT).
+#[test]
+fn openat_survives_concurrent_directory_renames() {
+    let fs = Arc::new(Filesystem::with_shards(8));
+    let creds = Credentials::root();
+    fs.mkdir_all("/t/d", Mode::DIR_DEFAULT, &creds).unwrap();
+    fs.write_file("/t/d/a", b"stable", &creds).unwrap();
+    let dir = fs.open_dir("/t/d", &creds).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flipper = {
+        let fs = Arc::clone(&fs);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let creds = Credentials::root();
+            let mut flips = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                fs.rename("/t/d", "/t/e", &creds).unwrap();
+                fs.rename("/t/e", "/t/d", &creds).unwrap();
+                flips += 1;
+                std::thread::yield_now();
+            }
+            flips
+        })
+    };
+
+    let mut absolute_misses = 0u64;
+    for _ in 0..2000 {
+        let fd = fs
+            .openat(dir, "a", OpenFlags::read_only(), &creds)
+            .expect("descriptor-relative open must be rename-immune");
+        assert_eq!(fs.pread(fd, 0, 16).unwrap(), b"stable");
+        fs.close(fd, &creds).unwrap();
+        match fs.open("/t/d/a", OpenFlags::read_only(), &creds) {
+            Ok(fd) => fs.close(fd, &creds).unwrap(),
+            // Mid-rename the absolute name simply isn't there; any other
+            // errno would be a broken invariant.
+            Err(e) => {
+                assert_eq!(e.errno, Errno::ENOENT, "{e}");
+                absolute_misses += 1;
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let flips = flipper.join().unwrap();
+    assert!(flips > 0);
+    let _ = absolute_misses; // timing-dependent; zero is legal
+    fs.close(dir, &creds).unwrap();
+    fs.check_invariants().unwrap();
+}

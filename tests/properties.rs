@@ -358,7 +358,8 @@ fn notify_batch_accounting_loses_and_duplicates_nothing() {
     fs.mkdir_all("/q", Mode::DIR_DEFAULT, &root).unwrap();
 
     // Unlimited watch: every matched event arrives exactly once.
-    let (w, rx) = fs.watch_subtree("/q", EventMask::ALL);
+    let watch = fs.watch("/q").subtree().mask(EventMask::ALL).register().unwrap();
+    let rx = watch.receiver();
     let d0 = fs.notify().delivered_events();
     for i in 0..32 {
         fs.write_file(&format!("/q/n{i}"), b"x", &root).unwrap();
@@ -379,21 +380,26 @@ fn notify_batch_accounting_loses_and_duplicates_nothing() {
     want.sort();
     assert_eq!(created, want, "a create event was lost or duplicated");
     assert_eq!(fs.notify().dropped_events(), 0);
-    fs.unwatch(w); // phase two accounts only its own watches
+    drop(watch); // phase two accounts only its own watches
 
     // Quota'd watch beside a shadow: tail-dropping must still account
     // every matched event exactly once.
     let user = Credentials::user(7, 7);
     fs.chmod("/q", yanc_vfs::Mode(0o777), &root).unwrap();
-    let (_shadow, shadow_rx) = fs.watch_path("/q", EventMask::ALL);
-    let (_owned, owned_rx) = fs.watch_path_as("/q", EventMask::ALL, &user).unwrap();
+    let shadow = fs.watch("/q").mask(EventMask::ALL).register().unwrap();
+    let owned = fs
+        .watch("/q")
+        .mask(EventMask::ALL)
+        .as_creds(&user)
+        .register()
+        .unwrap();
     fs.notify().set_queue_quota(7, Some(8));
     let (d1, x1) = (fs.notify().delivered_events(), fs.notify().dropped_events());
     for i in 0..24 {
         fs.write_file(&format!("/q/m{i}"), b"y", &root).unwrap();
     }
-    let m = shadow_rx.try_iter().count() as u64;
-    let received = owned_rx.try_iter().count() as u64;
+    let m = shadow.receiver().try_iter().count() as u64;
+    let received = owned.receiver().try_iter().count() as u64;
     let delivered = fs.notify().delivered_events() - d1;
     let dropped = fs.notify().dropped_events() - x1;
     assert_eq!(received, 8, "tail-drop should cap the queue at its quota");

@@ -310,8 +310,14 @@ proptest! {
                         fs.open(&p, yanc_vfs::OpenFlags::read_only(), creds)?;
                     }
                     for _ in 0..n_watches {
-                        let (_w, rx) = fs.watch_path_as("/net/views", EventMask::ALL, creds)?;
-                        std::mem::forget(rx);
+                        // Leak the watch: the guard's drop-unwatch is
+                        // disarmed, so only the uid reclaim can free it.
+                        let g = fs
+                            .watch("/net/views")
+                            .mask(EventMask::ALL)
+                            .as_creds(creds)
+                            .register()?;
+                        std::mem::forget(g.forget());
                     }
                     Ok(Box::new(Hoarder) as Box<dyn YancApp>)
                 },
