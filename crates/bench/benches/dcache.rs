@@ -1,0 +1,158 @@
+//! E22 — the sharded dentry cache: a 1k-flow `stat` sweep over
+//! `/net/switches/sw0/flows/d<i>`, cold (cache-off filesystem) vs warm
+//! (second sweep on a cache-on filesystem) vs post-invalidation (after a
+//! `chmod` on the flows directory bumped its generation).
+//!
+//! The deterministic, machine-independent metric is **inode-table
+//! reads** (`Tables::with_inode` acquisitions): a cold depth-5 stat
+//! walks every component through the inode table, a warm one is served
+//! from dentry-cache hits and touches the table only for the final
+//! stat itself. EXPERIMENTS.md E22 pins the reads ratio at ≥3×; the
+//! wall-clock criterion series shows the same gap in time.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc::{FlowSpec, YancFs};
+use yanc_openflow::{Action, FlowMatch, Ipv4Prefix};
+use yanc_packet::MacAddr;
+use yanc_vfs::{Filesystem, Limits, Mode};
+
+fn spec(i: usize) -> FlowSpec {
+    FlowSpec {
+        m: FlowMatch {
+            in_port: Some(1),
+            dl_src: Some(MacAddr::from_seed(1)),
+            dl_dst: Some(MacAddr::from_seed(2)),
+            nw_dst: Ipv4Prefix::parse("10.1.0.0/16"),
+            tp_dst: Some((i % 60_000) as u16),
+            ..Default::default()
+        },
+        actions: vec![Action::out(2)],
+        priority: 900,
+        ..Default::default()
+    }
+}
+
+/// A switch with `n` installed flows on the given filesystem flavour.
+fn world(dcache: bool, n: usize) -> YancFs {
+    let fs = Filesystem::with_options(Limits::default(), 8, dcache);
+    let yfs = YancFs::init(Arc::new(fs), "/net").unwrap();
+    yfs.create_switch("sw0", 0x21, 0, 0, 0, 1).unwrap();
+    let flows = yfs.open_flows_dir("sw0").unwrap();
+    for i in 0..n {
+        yfs.write_flow_at(flows, &format!("d{i}"), &spec(i))
+            .unwrap();
+    }
+    yfs.filesystem().close(flows, yfs.creds()).unwrap();
+    yfs
+}
+
+/// Stat every flow directory once; return (inode-table reads, charged
+/// syscalls) for the sweep.
+fn sweep(yfs: &YancFs, n: usize) -> (u64, u64) {
+    let fs = yfs.filesystem();
+    let reads = fs.inode_table_reads();
+    let sys = fs.counters().snapshot();
+    for i in 0..n {
+        fs.stat(&format!("/net/switches/sw0/flows/d{i}"), yfs.creds())
+            .unwrap();
+    }
+    (
+        fs.inode_table_reads() - reads,
+        fs.counters().snapshot().since(&sys).total(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 1000;
+
+    // Cold: no cache at all — every component of every path walks the
+    // inode table.
+    let off = world(false, N);
+    let (cold_reads, cold_sys) = sweep(&off, N);
+
+    // Warm: first sweep fills the cache, second is the measurement.
+    let on = world(true, N);
+    sweep(&on, N);
+    let (warm_reads, warm_sys) = sweep(&on, N);
+
+    // Post-invalidation: chmod on the flows directory bumps its
+    // generation, so the d<i> entries refill (the prefix stays warm).
+    on.filesystem()
+        .chmod("/net/switches/sw0/flows", Mode::DIR_DEFAULT, on.creds())
+        .unwrap();
+    let (post_reads, _) = sweep(&on, N);
+
+    let ratio = cold_reads as f64 / warm_reads as f64;
+    println!("\nE22: inode-table reads per {N}-flow stat sweep (depth-5 paths)");
+    println!("{:>20} {:>12} {:>10}", "phase", "reads", "per stat");
+    println!(
+        "{:>20} {:>12} {:>10.1}",
+        "cold (cache off)",
+        cold_reads,
+        cold_reads as f64 / N as f64
+    );
+    println!(
+        "{:>20} {:>12} {:>10.1}",
+        "warm",
+        warm_reads,
+        warm_reads as f64 / N as f64
+    );
+    println!(
+        "{:>20} {:>12} {:>10.1}",
+        "post-invalidation",
+        post_reads,
+        post_reads as f64 / N as f64
+    );
+    println!("{:>20} {ratio:>12.2}x", "cold/warm");
+    assert!(ratio >= 3.0, "E22 regression: only {ratio:.2}x");
+    // The cache is transparent to the syscall accounting model: a stat
+    // is one charged syscall whether it hit or missed.
+    assert_eq!(cold_sys, warm_sys, "dcache changed charged syscalls");
+    // Invalidation is surgical: refilling one generation-bumped level
+    // costs far less than a cold walk.
+    assert!(
+        post_reads < cold_reads,
+        "invalidation refill cost a full cold walk"
+    );
+
+    let stats = on.filesystem().dcache_stats();
+    yanc_harness::write_bench_report(
+        "dcache",
+        on.filesystem(),
+        &[
+            ("experiment", "\"E22 sharded dentry cache\"".to_string()),
+            ("flows", N.to_string()),
+            ("cold_table_reads", cold_reads.to_string()),
+            ("warm_table_reads", warm_reads.to_string()),
+            ("post_invalidation_table_reads", post_reads.to_string()),
+            ("reads_ratio", format!("{ratio:.2}")),
+            ("dcache_hits", stats.hits.to_string()),
+            ("dcache_misses", stats.misses.to_string()),
+            ("dcache_invalidations", stats.invalidations.to_string()),
+            (
+                "note",
+                "\"reads ratio is deterministic; wall-clock series in criterion output is single-core and machine-dependent\"".to_string(),
+            ),
+        ],
+    );
+
+    // Wall-clock series: the reads gap is also a time gap. Both sweeps
+    // are idempotent on their filesystem, so no per-iter setup.
+    let mut g = c.benchmark_group("dcache");
+    g.sample_size(10);
+    for n in [256usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("cold_stat_sweep", n), &n, |b, &n| {
+            b.iter(|| sweep(&off, n))
+        });
+        g.bench_with_input(BenchmarkId::new("warm_stat_sweep", n), &n, |b, &n| {
+            b.iter(|| sweep(&on, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

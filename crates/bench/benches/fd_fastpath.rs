@@ -51,7 +51,8 @@ fn world() -> YancFs {
 
 fn path_burst(yfs: &YancFs, n: usize) {
     for i in 0..n {
-        yfs.write_flow("sw0", &format!("p{i}"), &rich_spec(i)).unwrap();
+        yfs.write_flow("sw0", &format!("p{i}"), &rich_spec(i))
+            .unwrap();
     }
 }
 
@@ -71,16 +72,36 @@ fn bench(c: &mut Criterion) {
     let yfs = world();
     let before = yfs.filesystem().counters().snapshot();
     path_burst(&yfs, N);
-    let path_cost = yfs.filesystem().counters().snapshot().since(&before).total();
+    let path_cost = yfs
+        .filesystem()
+        .counters()
+        .snapshot()
+        .since(&before)
+        .total();
     let yfs = world();
     let before = yfs.filesystem().counters().snapshot();
     fd_burst(&yfs, N);
-    let fd_cost = yfs.filesystem().counters().snapshot().since(&before).total();
+    let fd_cost = yfs
+        .filesystem()
+        .counters()
+        .snapshot()
+        .since(&before)
+        .total();
     let ratio = path_cost as f64 / fd_cost as f64;
     println!("\nE21: simulated syscalls per {N}-flow install (10-field specs)");
     println!("{:>16} {:>12} {:>10}", "strategy", "syscalls", "per flow");
-    println!("{:>16} {:>12} {:>10.1}", "path-per-call", path_cost, path_cost as f64 / N as f64);
-    println!("{:>16} {:>12} {:>10.1}", "fd-relative", fd_cost, fd_cost as f64 / N as f64);
+    println!(
+        "{:>16} {:>12} {:>10.1}",
+        "path-per-call",
+        path_cost,
+        path_cost as f64 / N as f64
+    );
+    println!(
+        "{:>16} {:>12} {:>10.1}",
+        "fd-relative",
+        fd_cost,
+        fd_cost as f64 / N as f64
+    );
     println!("{:>16} {ratio:>12.2}x", "reduction");
     assert!(ratio >= 5.0, "E21 regression: only {ratio:.2}x");
 
@@ -101,10 +122,7 @@ fn bench(c: &mut Criterion) {
     let before = fs.counters().snapshot();
     for _ in 0..TICKS {
         let _ = fs
-            .readdir(
-                yfs.switch_dir("sw0").join("flows").as_str(),
-                yfs.creds(),
-            )
+            .readdir(yfs.switch_dir("sw0").join("flows").as_str(), yfs.creds())
             .unwrap();
     }
     let busy_cost = fs.counters().snapshot().since(&before).total();
@@ -112,12 +130,8 @@ fn bench(c: &mut Criterion) {
     for _ in 0..TICKS {
         assert!(!ps.is_ready()); // the scheduler's free check
     }
-    yfs.write_flow_at(
-        yfs.open_flows_dir("sw0").unwrap(),
-        "wake",
-        &rich_spec(0),
-    )
-    .unwrap();
+    yfs.write_flow_at(yfs.open_flows_dir("sw0").unwrap(), "wake", &rich_spec(0))
+        .unwrap();
     assert!(ps.is_ready());
     let woken = ps.wait(16, Duration::ZERO).unwrap();
     assert!(!woken.is_empty());
@@ -132,7 +146,10 @@ fn bench(c: &mut Criterion) {
         "fd_fastpath",
         fs,
         &[
-            ("experiment", "\"E21 descriptor-relative fast path\"".to_string()),
+            (
+                "experiment",
+                "\"E21 descriptor-relative fast path\"".to_string(),
+            ),
             ("flows", N.to_string()),
             ("path_per_call_syscalls", path_cost.to_string()),
             ("fd_relative_syscalls", fd_cost.to_string()),

@@ -140,7 +140,12 @@ fn bench_notify(c: &mut Criterion) {
             fs.mkdir_all("/watched", yanc_vfs::Mode::DIR_DEFAULT, &creds)
                 .unwrap();
             let watches: Vec<_> = (0..k)
-                .map(|_| fs.watch("/watched").mask(EventMask::ALL).register().unwrap())
+                .map(|_| {
+                    fs.watch("/watched")
+                        .mask(EventMask::ALL)
+                        .register()
+                        .unwrap()
+                })
                 .collect();
             b.iter(|| {
                 fs.write_file("/watched/f", b"x", &creds).unwrap();
@@ -157,7 +162,12 @@ fn bench_notify(c: &mut Criterion) {
             fs.mkdir_all("/elsewhere", yanc_vfs::Mode::DIR_DEFAULT, &creds)
                 .unwrap();
             let _watches: Vec<_> = (0..k)
-                .map(|_| fs.watch("/elsewhere").mask(EventMask::ALL).register().unwrap())
+                .map(|_| {
+                    fs.watch("/elsewhere")
+                        .mask(EventMask::ALL)
+                        .register()
+                        .unwrap()
+                })
                 .collect();
             b.iter(|| fs.write_file("/watched/f", b"x", &creds).unwrap())
         });

@@ -118,7 +118,12 @@ fn bench_notify_ablation(c: &mut Criterion) {
     });
     g.bench_function("write_one_subtree_watcher", |b| {
         let fs = Filesystem::new();
-        let watch = fs.watch("/").subtree().mask(EventMask::ALL).register().unwrap();
+        let watch = fs
+            .watch("/")
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()
+            .unwrap();
         b.iter(|| {
             fs.write_file("/f", b"x", &creds).unwrap();
             while watch.receiver().try_recv().is_ok() {}

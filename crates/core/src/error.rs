@@ -81,7 +81,12 @@ impl fmt::Display for YancError {
             YancError::Parse { what, reason } => write!(f, "parse {what}: {reason}"),
             YancError::Schema { reason } => write!(f, "schema: {reason}"),
             YancError::RingFull(r) => {
-                write!(f, "ring full: {:?} ({} ops rejected)", r.errno, r.rejected.len())
+                write!(
+                    f,
+                    "ring full: {:?} ({} ops rejected)",
+                    r.errno,
+                    r.rejected.len()
+                )
             }
         }
     }

@@ -15,8 +15,8 @@ use bytes::Bytes;
 use crossbeam::channel::Receiver;
 
 use yanc_vfs::{
-    Credentials, Errno, Event, EventKind, EventMask, Fd, Filesystem, Mode, OpenFlags, VPath,
-    WatchGuard,
+    Credentials, DcacheStats, Errno, Event, EventKind, EventMask, Fd, Filesystem, Mode, OpenFlags,
+    VPath, WatchGuard,
 };
 
 use crate::error::{YancError, YancResult};
@@ -175,6 +175,13 @@ impl YancFs {
     /// `.proc/vfs/shards` file once introspection is enabled.
     pub fn shard_count(&self) -> usize {
         self.fs.shard_count()
+    }
+
+    /// Dentry-cache counters of the underlying filesystem — the same
+    /// numbers the `.proc/vfs/dcache` files expose, handy for control
+    /// apps that want to watch their own path-resolution locality.
+    pub fn dcache_stats(&self) -> DcacheStats {
+        self.fs.dcache_stats()
     }
 
     /// The mount root.
@@ -1004,15 +1011,24 @@ mod tests {
         );
         // The field files are byte-identical across both paths.
         let fs = y.filesystem();
-        for e in fs.readdir("/net/switches/sw1/flows/web", y.creds()).unwrap() {
+        for e in fs
+            .readdir("/net/switches/sw1/flows/web", y.creds())
+            .unwrap()
+        {
             if e.file_type != yanc_vfs::FileType::Regular {
                 continue;
             }
             let a = fs
-                .read_to_string(&format!("/net/switches/sw1/flows/web/{}", e.name), y.creds())
+                .read_to_string(
+                    &format!("/net/switches/sw1/flows/web/{}", e.name),
+                    y.creds(),
+                )
                 .unwrap();
             let b = fs
-                .read_to_string(&format!("/net/switches/sw2/flows/web/{}", e.name), y.creds())
+                .read_to_string(
+                    &format!("/net/switches/sw2/flows/web/{}", e.name),
+                    y.creds(),
+                )
                 .unwrap();
             assert_eq!(a, b, "field {} differs between paths", e.name);
         }

@@ -808,8 +808,7 @@ pub fn lsfd(sh: &Shell, args: &[&str]) -> Output {
                 // No apps directory: nothing supervised, nothing open.
                 Err(_) => return Output::ok(header.to_string()),
             };
-            let mut pids: Vec<u32> =
-                entries.iter().filter_map(|e| e.name.parse().ok()).collect();
+            let mut pids: Vec<u32> = entries.iter().filter_map(|e| e.name.parse().ok()).collect();
             pids.sort_unstable();
             pids
         }

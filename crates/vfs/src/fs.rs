@@ -28,6 +28,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::acl::{check_access, Acl};
 use crate::counter::{OpKind, SyscallCounters};
+use crate::dcache::{CachedKind, Dcache, DcacheStats, Dentry, ParentPerm};
 use crate::error::{err, Errno, VfsError, VfsResult};
 use crate::hooks::{HookDepth, SemanticHook};
 use crate::metrics::MetricsRegistry;
@@ -43,7 +44,9 @@ use crate::types::{
 };
 
 /// Maximum symlink traversals in one lookup, mirroring Linux `SYMLOOP_MAX`.
-const SYMLOOP_MAX: u32 = 40;
+/// Exposed at `<proc>/vfs/limits/max_symlink_hops`; resolution fails with
+/// `ELOOP` on the hop *after* this many traversals.
+pub const MAX_SYMLINK_HOPS: u32 = 40;
 /// Hard-link ceiling, mirroring ext4's practical limit.
 const LINK_MAX: u32 = 65_000;
 
@@ -192,6 +195,9 @@ pub struct Filesystem {
     limits: Limits,
     rctl: Arc<RctlTable>,
     polls: Arc<PollRegistry>,
+    /// Sharded dentry cache memoising resolution hops; generation-validated
+    /// against every directory mutation (see [`crate::dcache`]).
+    dcache: Arc<Dcache>,
     /// Serializes directory renames so concurrent cross-directory moves
     /// cannot form a cycle the per-rename checks miss — the in-process
     /// analogue of the kernel's `s_vfs_rename_mutex`. Always acquired
@@ -225,6 +231,21 @@ impl Filesystem {
 
     /// An empty filesystem with explicit limits and lock-shard count.
     pub fn with_config(limits: Limits, shards: usize) -> Self {
+        Self::with_options(limits, shards, true)
+    }
+
+    /// An empty filesystem with the dentry cache switched off: every
+    /// resolution walks the inode table hop by hop, exactly as before the
+    /// cache existed. The coherence suites replay identical histories in
+    /// this mode as the reference behaviour, and benches use it as the
+    /// cold baseline.
+    pub fn without_dcache() -> Self {
+        Self::with_options(Limits::default(), DEFAULT_SHARDS, false)
+    }
+
+    /// An empty filesystem with explicit limits, lock-shard count and
+    /// dentry-cache enablement.
+    pub fn with_options(limits: Limits, shards: usize, dcache_enabled: bool) -> Self {
         let clock = Clock::new();
         let now = clock.tick();
         let tables = Tables::new(shards);
@@ -250,6 +271,7 @@ impl Filesystem {
             );
         }
         Filesystem {
+            dcache: Arc::new(Dcache::new(tables.shard_count(), dcache_enabled)),
             tables: Arc::new(tables),
             clock,
             counters: Arc::new(SyscallCounters::new()),
@@ -262,6 +284,39 @@ impl Filesystem {
             polls: Arc::new(PollRegistry::new()),
             rename_lock: Mutex::new(()),
         }
+    }
+
+    /// Dentry-cache counters (hits/misses/negative hits/invalidations/
+    /// inserts/evictions); also exposed at `<proc>/vfs/dcache/*`.
+    pub fn dcache_stats(&self) -> DcacheStats {
+        self.dcache.stats()
+    }
+
+    /// Whether the dentry cache participates in path resolution.
+    pub fn dcache_enabled(&self) -> bool {
+        self.dcache.enabled()
+    }
+
+    /// Live dentry-cache entries (positive + negative) across all shards.
+    pub fn dcache_entries(&self) -> usize {
+        self.dcache.entries()
+    }
+
+    /// Inode-table read-lock acquisitions so far — the deterministic cost
+    /// metric behind the E22 warm-vs-cold resolution claim (wall-clock is
+    /// machine noise; lock acquisitions are not).
+    pub fn inode_table_reads(&self) -> u64 {
+        self.tables.inode_read_count()
+    }
+
+    /// Bump `ino`'s dcache generation. Mutators call this while still
+    /// holding the shard write locks of the mutation so no fill that read
+    /// pre-mutation state can ever validate. The invalidation *counter* is
+    /// suppressed during internal proc maintenance (the bump itself never
+    /// is) so `/net/.proc/vfs/dcache` reads do not disturb themselves.
+    #[inline]
+    fn bump_gen(&self, ino: Ino) {
+        self.dcache.bump(ino, ProcDepth::active());
     }
 
     /// Number of lock shards the inode/handle tables are split across.
@@ -325,60 +380,9 @@ impl Filesystem {
         }
     }
 
-    /// inotify-style watch on `path` and its direct children.
-    #[deprecated(since = "0.5.0", note = "use `fs.watch(path).mask(m).register()`")]
-    pub fn watch_path(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
-        self.notify.watch_path(&VPath::new(path), mask)
-    }
-
-    /// fanotify-style watch on the subtree rooted at `path`.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `fs.watch(path).subtree().mask(m).register()`"
-    )]
-    pub fn watch_subtree(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
-        self.notify.watch_subtree(&VPath::new(path), mask)
-    }
-
     /// Cancel a watch.
     pub fn unwatch(&self, id: WatchId) -> bool {
         self.notify.unwatch(id)
-    }
-
-    /// [`Self::watch_path`] with the watch descriptor charged to the caller's
-    /// uid (so [`Self::reclaim`] can find it) and the caller's `max_watches`
-    /// budget enforced (`EMFILE`).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `fs.watch(path).mask(m).as_creds(&creds).register()`"
-    )]
-    pub fn watch_path_as(
-        &self,
-        path: &str,
-        mask: EventMask,
-        creds: &Credentials,
-    ) -> VfsResult<(WatchId, Receiver<Event>)> {
-        self.check_watch_budget(creds, path)?;
-        Ok(self
-            .notify
-            .watch_path_owned(&VPath::new(path), mask, creds.uid.0))
-    }
-
-    /// [`Self::watch_subtree`] with the descriptor charged to the caller.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `fs.watch(path).subtree().mask(m).as_creds(&creds).register()`"
-    )]
-    pub fn watch_subtree_as(
-        &self,
-        path: &str,
-        mask: EventMask,
-        creds: &Credentials,
-    ) -> VfsResult<(WatchId, Receiver<Event>)> {
-        self.check_watch_budget(creds, path)?;
-        Ok(self
-            .notify
-            .watch_subtree_owned(&VPath::new(path), mask, creds.uid.0))
     }
 
     fn check_watch_budget(&self, creds: &Credentials, path: &str) -> VfsResult<()> {
@@ -591,6 +595,69 @@ impl Filesystem {
             format!("{}\n", r.refills())
         })?;
 
+        // Dentry-cache counters. Resolution of proc-covered paths bypasses
+        // the cache entirely, so reading these files never perturbs them.
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/hits"), move || {
+            format!("{}\n", d.stats().hits)
+        })?;
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/misses"), move || {
+            format!("{}\n", d.stats().misses)
+        })?;
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/negative"), move || {
+            format!("{}\n", d.stats().negative_hits)
+        })?;
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/invalidates"), move || {
+            format!("{}\n", d.stats().invalidations)
+        })?;
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/inserts"), move || {
+            format!("{}\n", d.stats().inserts)
+        })?;
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/evictions"), move || {
+            format!("{}\n", d.stats().evictions)
+        })?;
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/entries"), move || {
+            format!("{}\n", d.entries())
+        })?;
+        let d = self.dcache.clone();
+        self.proc_file(&format!("{prefix}/vfs/dcache/enabled"), move || {
+            format!("{}\n", u8::from(d.enabled()))
+        })?;
+
+        // Static resolution limits (satellite of the dcache work: the
+        // symlink-hop bound used to be a buried literal).
+        self.proc_file(
+            &format!("{prefix}/vfs/limits/max_symlink_hops"),
+            move || format!("{MAX_SYMLINK_HOPS}\n"),
+        )?;
+        self.proc_file(&format!("{prefix}/vfs/limits/path_max"), move || {
+            format!("{PATH_MAX}\n")
+        })?;
+        self.proc_file(&format!("{prefix}/vfs/limits/name_max"), move || {
+            format!("{NAME_MAX}\n")
+        })?;
+        self.proc_file(&format!("{prefix}/vfs/limits/link_max"), move || {
+            format!("{LINK_MAX}\n")
+        })?;
+        let max_file_size = self.limits.max_file_size;
+        self.proc_file(&format!("{prefix}/vfs/limits/max_file_size"), move || {
+            format!("{max_file_size}\n")
+        })?;
+        let max_dir_entries = self.limits.max_dir_entries;
+        self.proc_file(&format!("{prefix}/vfs/limits/max_dir_entries"), move || {
+            format!("{max_dir_entries}\n")
+        })?;
+        let max_open_files = self.limits.max_open_files;
+        self.proc_file(&format!("{prefix}/vfs/limits/max_open_files"), move || {
+            format!("{max_open_files}\n")
+        })?;
+
         // Scopes registered before the mount get their files now.
         for (name, _) in self.metrics.scope_names() {
             if let Some(counters) = self.metrics.scope(&name) {
@@ -734,7 +801,14 @@ impl Filesystem {
             return err(Errno::ENAMETOOLONG, path.as_str());
         }
         let work: VecDeque<String> = path.components().map(str::to_string).collect();
-        self.resolve_from(ROOT_INO, VPath::root(), work, creds, follow_last, path.as_str())
+        self.resolve_from(
+            ROOT_INO,
+            VPath::root(),
+            work,
+            creds,
+            follow_last,
+            path.as_str(),
+        )
     }
 
     /// The walk behind [`Self::resolve_live`], generalized to start at an
@@ -759,15 +833,10 @@ impl Filesystem {
             });
         }
 
-        enum Step {
-            Up(Ino),
-            Child(Option<Ino>),
-        }
-        enum ChildKind {
-            Dir,
-            Symlink(String),
-            File,
-        }
+        // The dcache never serves proc-covered paths (nor internal proc
+        // maintenance): introspection must not disturb what it measures,
+        // and the rendered tree is rewritten too often to be worth caching.
+        let use_cache = self.dcache.enabled() && !ProcDepth::active() && !self.proc.covers(orig);
 
         let mut cur_ino = start_ino;
         let mut cur_path = start_path;
@@ -790,103 +859,217 @@ impl Filesystem {
                 return err(Errno::ENAMETOOLONG, orig);
             }
 
-            // One shard read-lock for this hop.
-            let step = match self.tables.with_inode(cur_ino, |node| {
-                let entries = match node.dir_entries() {
-                    Ok(e) => e,
-                    Err(_) => return Err(VfsError::new(Errno::ENOTDIR, cur_path.as_str())),
-                };
-                if !check_access(
-                    creds,
-                    node.uid,
-                    node.gid,
-                    node.mode,
-                    node.acl.as_ref(),
-                    Access::Exec,
-                ) {
-                    return Err(VfsError::new(Errno::EACCES, cur_path.as_str()));
-                }
-                if comp == ".." {
+            if comp == ".." {
+                // `..` always resolves live: parent pointers are rewritten
+                // by rename and are not worth caching.
+                let parent = match self.tables.with_inode(cur_ino, |node| {
+                    if node.dir_entries().is_err() {
+                        return Err(VfsError::new(Errno::ENOTDIR, cur_path.as_str()));
+                    }
+                    if !check_access(
+                        creds,
+                        node.uid,
+                        node.gid,
+                        node.mode,
+                        node.acl.as_ref(),
+                        Access::Exec,
+                    ) {
+                        return Err(VfsError::new(Errno::EACCES, cur_path.as_str()));
+                    }
                     match &node.kind {
-                        NodeKind::Dir { parent, .. } => Ok(Step::Up(*parent)),
+                        NodeKind::Dir { parent, .. } => Ok(*parent),
                         _ => unreachable!("dir_entries() above guarantees a directory"),
                     }
-                } else {
-                    Ok(Step::Child(entries.get(&comp).copied()))
-                }
-            }) {
-                Ok(r) => r?,
-                // A directory we were standing in vanished mid-walk
-                // (impossible with shards=1; a concurrent rmdir otherwise):
-                // linearize after the removal.
-                Err(_) => return err(Errno::ENOENT, cur_path.as_str()),
-            };
+                }) {
+                    Ok(r) => r?,
+                    // A directory we were standing in vanished mid-walk
+                    // (impossible with shards=1; a concurrent rmdir
+                    // otherwise): linearize after the removal.
+                    Err(_) => return err(Errno::ENOENT, cur_path.as_str()),
+                };
+                cur_ino = parent;
+                cur_path = cur_path.parent();
+                continue;
+            }
 
-            let child = match step {
-                Step::Up(parent) => {
-                    cur_ino = parent;
-                    cur_path = cur_path.parent();
-                    continue;
+            // One hash hit (warm) or one shard read-lock (cold) per hop.
+            let key = (cur_ino.0, comp);
+            let cached = if use_cache {
+                self.dcache.lookup(cur_ino, &key)
+            } else {
+                None
+            };
+            let child: Option<(Ino, CachedKind)> = match cached {
+                Some(d) => {
+                    // Revalidate permissions against the *caller's*
+                    // credentials on every hit — the cache can never widen
+                    // access, only skip the inode-table read.
+                    if !check_access(
+                        creds,
+                        d.perm.uid,
+                        d.perm.gid,
+                        d.perm.mode,
+                        d.perm.acl.as_ref(),
+                        Access::Exec,
+                    ) {
+                        return err(Errno::EACCES, cur_path.as_str());
+                    }
+                    d.child
                 }
-                Step::Child(c) => c,
+                None => {
+                    // Seqlock-style fill: load the parent's generation
+                    // BEFORE the live read. Any mutation committing in
+                    // between bumps it, so the insert below is dropped and
+                    // a pre-mutation snapshot can never be published.
+                    let fill_gen = if use_cache {
+                        Some(self.dcache.gen(cur_ino))
+                    } else {
+                        None
+                    };
+                    let (child_ino, perm) = match self.tables.with_inode(cur_ino, |node| {
+                        let entries = match node.dir_entries() {
+                            Ok(e) => e,
+                            Err(_) => return Err(VfsError::new(Errno::ENOTDIR, cur_path.as_str())),
+                        };
+                        if !check_access(
+                            creds,
+                            node.uid,
+                            node.gid,
+                            node.mode,
+                            node.acl.as_ref(),
+                            Access::Exec,
+                        ) {
+                            return Err(VfsError::new(Errno::EACCES, cur_path.as_str()));
+                        }
+                        Ok((
+                            entries.get(&key.1).copied(),
+                            ParentPerm {
+                                uid: node.uid,
+                                gid: node.gid,
+                                mode: node.mode,
+                                acl: node.acl.clone(),
+                            },
+                        ))
+                    }) {
+                        Ok(r) => r?,
+                        // A directory we were standing in vanished mid-walk
+                        // (impossible with shards=1; a concurrent rmdir
+                        // otherwise): linearize after the removal.
+                        Err(_) => return err(Errno::ENOENT, cur_path.as_str()),
+                    };
+                    match child_ino {
+                        None => {
+                            if let Some(gen) = fill_gen {
+                                // Negative entry: cache the ENOENT so
+                                // repeat probes of absent paths are one
+                                // hash hit.
+                                self.dcache.insert(
+                                    cur_ino,
+                                    (key.0, key.1.clone()),
+                                    Dentry {
+                                        child: None,
+                                        gen,
+                                        perm,
+                                    },
+                                );
+                            }
+                            None
+                        }
+                        Some(ci) => {
+                            if fill_gen.is_none() && work.is_empty() && !follow_last {
+                                // Nothing needs the child's kind: return the
+                                // snapshot without an extra probe, exactly
+                                // as the pre-cache walk did.
+                                return Ok(Resolved {
+                                    parent_ino: cur_ino,
+                                    parent_path: cur_path.clone(),
+                                    name: key.1,
+                                    target: Some(ci),
+                                });
+                            }
+                            match self.tables.with_inode(ci, |n| match &n.kind {
+                                NodeKind::Dir { .. } => CachedKind::Dir,
+                                NodeKind::Symlink(t) => CachedKind::Symlink(t.clone()),
+                                NodeKind::File(_) => CachedKind::File,
+                            }) {
+                                Ok(kind) => {
+                                    if let Some(gen) = fill_gen {
+                                        // An inode's kind is immutable for
+                                        // the lifetime of its number, so
+                                        // caching it is safe while the
+                                        // entry validates.
+                                        self.dcache.insert(
+                                            cur_ino,
+                                            (key.0, key.1.clone()),
+                                            Dentry {
+                                                child: Some((ci, kind.clone())),
+                                                gen,
+                                                perm,
+                                            },
+                                        );
+                                    }
+                                    Some((ci, kind))
+                                }
+                                Err(_) => {
+                                    // Child vanished between the two reads;
+                                    // never cached.
+                                    if work.is_empty() {
+                                        // Return the snapshot; mutating
+                                        // callers re-verify under their
+                                        // shard write-locks.
+                                        return Ok(Resolved {
+                                            parent_ino: cur_ino,
+                                            parent_path: cur_path.clone(),
+                                            name: key.1,
+                                            target: Some(ci),
+                                        });
+                                    }
+                                    return err(Errno::ENOENT, cur_path.join(&key.1).as_str());
+                                }
+                            }
+                        }
+                    }
+                }
             };
 
             let is_last = work.is_empty();
             if is_last {
                 // Follow a final symlink only when asked.
                 if follow_last {
-                    if let Some(ci) = child {
-                        let probe = self.tables.with_inode(ci, |n| match &n.kind {
-                            NodeKind::Symlink(t) => Some(t.clone()),
-                            _ => None,
-                        });
-                        if let Ok(Some(target)) = probe {
-                            links += 1;
-                            if links > SYMLOOP_MAX {
-                                return err(Errno::ELOOP, orig);
-                            }
-                            Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &target);
-                            continue;
+                    if let Some((_, CachedKind::Symlink(target))) = &child {
+                        links += 1;
+                        if links > MAX_SYMLINK_HOPS {
+                            return err(Errno::ELOOP, orig);
                         }
-                        // Probe error (child vanished): return the snapshot;
-                        // mutating callers re-verify under their locks.
+                        let target = target.clone();
+                        Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &target);
+                        continue;
                     }
                 }
                 return Ok(Resolved {
                     parent_ino: cur_ino,
                     parent_path: cur_path.clone(),
-                    name: comp,
-                    target: child,
+                    name: key.1,
+                    target: child.map(|(i, _)| i),
                 });
             }
 
             // Intermediate component must exist and be traversable.
-            let ci = match child {
-                Some(c) => c,
-                None => return err(Errno::ENOENT, cur_path.join(&comp).as_str()),
-            };
-            let kind = self
-                .tables
-                .with_inode(ci, |n| match &n.kind {
-                    NodeKind::Dir { .. } => ChildKind::Dir,
-                    NodeKind::Symlink(t) => ChildKind::Symlink(t.clone()),
-                    NodeKind::File(_) => ChildKind::File,
-                })
-                .map_err(|_| VfsError::new(Errno::ENOENT, cur_path.join(&comp).as_str()))?;
-            match kind {
-                ChildKind::Dir => {
+            match child {
+                None => return err(Errno::ENOENT, cur_path.join(&key.1).as_str()),
+                Some((ci, CachedKind::Dir)) => {
+                    cur_path = cur_path.join(&key.1);
                     cur_ino = ci;
-                    cur_path = cur_path.join(&comp);
                 }
-                ChildKind::Symlink(target) => {
+                Some((_, CachedKind::Symlink(target))) => {
                     links += 1;
-                    if links > SYMLOOP_MAX {
+                    if links > MAX_SYMLINK_HOPS {
                         return err(Errno::ELOOP, orig);
                     }
                     Self::expand_symlink(&mut work, &mut cur_ino, &mut cur_path, &target);
                 }
-                ChildKind::File => {
-                    return err(Errno::ENOTDIR, cur_path.join(&comp).as_str());
+                Some((_, CachedKind::File)) => {
+                    return err(Errno::ENOTDIR, cur_path.join(&key.1).as_str());
                 }
             }
         }
@@ -1077,6 +1260,9 @@ impl Filesystem {
             }
             node.mode = Mode(mode.0 & 0o7777);
             node.ctime = now;
+            // Dentries snapshot this inode's permission bits; retire them
+            // while the shard locks are still held.
+            self.bump_gen(ino);
             break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
@@ -1118,6 +1304,7 @@ impl Filesystem {
                 node.gid = g;
             }
             node.ctime = now;
+            self.bump_gen(ino);
             break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
@@ -1143,6 +1330,7 @@ impl Filesystem {
             }
             node.acl = acl.filter(|a| !a.is_empty());
             node.ctime = now;
+            self.bump_gen(ino);
             break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
@@ -1388,6 +1576,7 @@ impl Filesystem {
             parent.dir_entries_mut()?.insert(r.name.clone(), ino);
             parent.nlink += 1;
             parent.mtime = now;
+            self.bump_gen(r.parent_ino);
             break r.parent_path.join(&r.name);
         };
         self.notify.emit(EventKind::Create, &full, full.file_name());
@@ -1460,13 +1649,17 @@ impl Filesystem {
             }
             let full = r.parent_path.join(&r.name);
             if !empty {
-                Self::remove_tree(&mut set, ino, &full, &mut events)?;
+                self.remove_tree(&mut set, ino, &full, &mut events)?;
             }
             let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.remove(&r.name);
             parent.nlink -= 1;
             parent.mtime = self.clock.tick();
             set.remove_inode(ino);
+            // Retire the removed directory's (negative) dentries as well as
+            // its entry under the parent.
+            self.bump_gen(r.parent_ino);
+            self.bump_gen(ino);
             events.push((EventKind::DeleteSelf, full.clone(), None));
             events.push((EventKind::Delete, full.clone(), Some(r.name.clone())));
             break events;
@@ -1478,11 +1671,14 @@ impl Filesystem {
     /// Remove everything under `ino` (which stays in place), bottom-up,
     /// accumulating Delete events. Requires a lock-all [`ShardSet`].
     fn remove_tree(
+        &self,
         set: &mut ShardSet,
         ino: Ino,
         path: &VPath,
         events: &mut Vec<PendingEvent>,
     ) -> VfsResult<()> {
+        // Every dentry keyed under this directory dies with its contents.
+        self.bump_gen(ino);
         let children: Vec<(String, Ino)> = set
             .inode(ino)?
             .dir_entries()?
@@ -1493,7 +1689,7 @@ impl Filesystem {
             let cpath = path.join(&name);
             let is_dir = matches!(set.inode(child)?.kind, NodeKind::Dir { .. });
             if is_dir {
-                Self::remove_tree(set, child, &cpath, events)?;
+                self.remove_tree(set, child, &cpath, events)?;
                 set.remove_inode(child);
                 let node = set.inode_mut(ino)?;
                 node.nlink -= 1;
@@ -1609,6 +1805,7 @@ impl Filesystem {
             let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.insert(r.name.clone(), ino);
             parent.mtime = now;
+            self.bump_gen(r.parent_ino);
             break r.parent_path.join(&r.name);
         };
         self.notify.emit(EventKind::Create, &full, full.file_name());
@@ -1697,6 +1894,7 @@ impl Filesystem {
             let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.insert(r.name.clone(), src);
             parent.mtime = now;
+            self.bump_gen(r.parent_ino);
             break r.parent_path.join(&r.name);
         };
         self.notify.emit(EventKind::Create, &full, full.file_name());
@@ -1747,6 +1945,7 @@ impl Filesystem {
                 set.remove_inode(ino);
                 events.push((EventKind::DeleteSelf, full.clone(), None));
             }
+            self.bump_gen(r.parent_ino);
             events.push((EventKind::Delete, full.clone(), Some(r.name.clone())));
             break events;
         };
@@ -1897,6 +2096,15 @@ impl Filesystem {
                 }
             }
             set.inode_mut(src)?.ctime = now;
+            // Both parents changed their entry sets; a replaced directory
+            // additionally loses its own (negative) dentries. Entries keyed
+            // under the *moved* inode stay warm on purpose — its
+            // `(ino, component)` mappings are unaffected by the move.
+            self.bump_gen(rf.parent_ino);
+            self.bump_gen(rt.parent_ino);
+            if let Some(dst) = rt.target {
+                self.bump_gen(dst);
+            }
             events.push((EventKind::MovedFrom, src_full, Some(rf.name.clone())));
             events.push((EventKind::MovedTo, dst_full, Some(rt.name.clone())));
             break events;
@@ -1959,7 +2167,13 @@ impl Filesystem {
         let full = dpath.join_path(rel);
         self.pre_access(full.as_str());
         self.charge(OpKind::Openat, full.as_str(), creds)?;
-        self.open_common(Some(dir), rel, OpenFlags::read_only(), creds, DirMode::Require)
+        self.open_common(
+            Some(dir),
+            rel,
+            OpenFlags::read_only(),
+            creds,
+            DirMode::Require,
+        )
     }
 
     /// Shared body of the path- and descriptor-relative opens. `at` set:
@@ -2157,6 +2371,7 @@ impl Filesystem {
                         p.dir_entries_mut()?.insert(name.clone(), ino);
                         p.mtime = now;
                     }
+                    self.bump_gen(parent);
                     self.rctl.charge_open(creds.uid.0, vp.as_str())?;
                     set.inode_mut(ino)?.open_count += 1;
                     set.insert_handle_reserved(
@@ -2334,9 +2549,9 @@ impl Filesystem {
     /// `pread(2)`: up to `len` bytes at `offset`, without moving the
     /// handle's offset. One charged `read` syscall.
     pub fn pread(&self, fd: Fd, offset: u64, len: usize) -> VfsResult<Vec<u8>> {
-        let info = self
-            .tables
-            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned(), h.ino, h.flags.read));
+        let info = self.tables.with_handle(fd.0, |h| {
+            (h.owner, h.path.as_str().to_owned(), h.ino, h.flags.read)
+        });
         let (howner, hpath, ino, readable) = match info {
             Some(v) => v,
             None => return err(Errno::EBADF, "fd"),
@@ -2361,9 +2576,9 @@ impl Filesystem {
     /// `pwrite(2)`: write `data` at `offset`, without moving the handle's
     /// offset. One charged `write` syscall.
     pub fn pwrite(&self, fd: Fd, offset: u64, data: &[u8]) -> VfsResult<usize> {
-        let info = self
-            .tables
-            .with_handle(fd.0, |h| (h.owner, h.path.as_str().to_owned(), h.ino, h.flags.write));
+        let info = self.tables.with_handle(fd.0, |h| {
+            (h.owner, h.path.as_str().to_owned(), h.ino, h.flags.write)
+        });
         let (howner, hpath, ino, writable) = match info {
             Some(v) => v,
             None => return err(Errno::EBADF, "fd"),
@@ -2657,6 +2872,7 @@ impl Filesystem {
                     let p = set.inode_mut(r.parent_ino)?;
                     p.dir_entries_mut()?.insert(r.name.clone(), ino);
                     p.mtime = now;
+                    self.bump_gen(r.parent_ino);
                     drop(set);
                     let name = full.file_name().map(str::to_string);
                     events.push((EventKind::Create, full.clone(), name.clone()));
@@ -3005,7 +3221,6 @@ impl Drop for WatchGuard {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated watch shims are themselves under test
 mod tests {
     use super::*;
 
@@ -3231,6 +3446,29 @@ mod tests {
         f.symlink("/loop2", "/loop1", &root()).unwrap();
         f.symlink("/loop1", "/loop2", &root()).unwrap();
         assert_eq!(f.stat("/loop1", &root()).unwrap_err().errno, Errno::ELOOP);
+    }
+
+    #[test]
+    fn symlink_chain_resolves_at_exactly_max_hops_and_eloops_one_past() {
+        let f = fs();
+        f.write_file("/target", b"end", &root()).unwrap();
+        f.symlink("/target", "/s1", &root()).unwrap();
+        for i in 2..=(MAX_SYMLINK_HOPS + 1) {
+            f.symlink(&format!("/s{}", i - 1), &format!("/s{i}"), &root())
+                .unwrap();
+        }
+        // Resolving /sN traverses exactly N links: the bound is inclusive.
+        assert_eq!(
+            f.read_file(&format!("/s{MAX_SYMLINK_HOPS}"), &root())
+                .unwrap(),
+            b"end"
+        );
+        assert_eq!(
+            f.stat(&format!("/s{}", MAX_SYMLINK_HOPS + 1), &root())
+                .unwrap_err()
+                .errno,
+            Errno::ELOOP
+        );
     }
 
     #[test]
@@ -3491,10 +3729,10 @@ mod tests {
         let f = fs();
         f.mkdir_all("/net/flows", Mode::DIR_DEFAULT, &root())
             .unwrap();
-        let (_id, rx) = f.watch_path("/net/flows", EventMask::ALL);
+        let w = f.watch("/net/flows").register().unwrap();
         f.write_file("/net/flows/f1", b"v", &root()).unwrap();
         f.unlink("/net/flows/f1", &root()).unwrap();
-        let kinds: Vec<EventKind> = rx.try_iter().map(|e| e.kind).collect();
+        let kinds: Vec<EventKind> = w.receiver().try_iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&EventKind::Create));
         assert!(kinds.contains(&EventKind::Modify));
         assert!(kinds.contains(&EventKind::CloseWrite));
@@ -3506,10 +3744,10 @@ mod tests {
         let f = fs();
         f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
         f.write_file("/d/a", b"", &root()).unwrap();
-        let (_id, rx) = f.watch_path("/d", EventMask::ALL);
+        let w = f.watch("/d").register().unwrap();
         f.rename("/d/a", "/d/b", &root()).unwrap();
         let kinds: Vec<(EventKind, Option<String>)> =
-            rx.try_iter().map(|e| (e.kind, e.name)).collect();
+            w.receiver().try_iter().map(|e| (e.kind, e.name)).collect();
         assert!(kinds.contains(&(EventKind::MovedFrom, Some("a".into()))));
         assert!(kinds.contains(&(EventKind::MovedTo, Some("b".into()))));
     }
@@ -3631,6 +3869,137 @@ mod tests {
     }
 
     #[test]
+    fn dcache_counters_pin_exactly_via_proc() {
+        let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
+        f.mkdir_all("/d1/d2", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.write_file("/d1/d2/f", b"x", &root()).unwrap();
+        let read = |name: &str| {
+            f.read_to_string(&format!("/net/.proc/vfs/dcache/{name}"), &root())
+                .unwrap()
+                .trim()
+                .parse::<u64>()
+                .unwrap()
+        };
+        // Warm every hop of the path once.
+        f.stat("/d1/d2/f", &root()).unwrap();
+        let (h0, m0, i0) = (read("hits"), read("misses"), read("invalidates"));
+        // Ten fully-warm stats: three hits each (d1, d2, f), zero misses.
+        for _ in 0..10 {
+            f.stat("/d1/d2/f", &root()).unwrap();
+        }
+        assert_eq!(read("hits"), h0 + 30);
+        assert_eq!(read("misses"), m0);
+        // Reading the proc files themselves never disturbs the counters:
+        // proc-covered resolution bypasses the cache.
+        assert_eq!(read("hits"), h0 + 30);
+        // An unlink bumps the parent's generation exactly once…
+        f.unlink("/d1/d2/f", &root()).unwrap();
+        assert_eq!(read("invalidates"), i0 + 1);
+        // …so the next probe hits on d1/d2 but misses on the final
+        // component and caches the ENOENT…
+        let (m1, n0) = (read("misses"), read("negative"));
+        assert_eq!(
+            f.stat("/d1/d2/f", &root()).unwrap_err().errno,
+            Errno::ENOENT
+        );
+        assert_eq!(read("misses"), m1 + 1);
+        // …and the repeat probe is answered by the negative entry.
+        assert_eq!(
+            f.stat("/d1/d2/f", &root()).unwrap_err().errno,
+            Errno::ENOENT
+        );
+        assert_eq!(read("negative"), n0 + 1);
+        assert!(read("entries") > 0);
+        assert_eq!(read("enabled"), 1);
+    }
+
+    #[test]
+    fn dcache_hits_revalidate_permissions_per_caller() {
+        let f = fs();
+        let bob = Credentials::user(1001, 1001);
+        f.mkdir("/locked", Mode(0o700), &root()).unwrap();
+        f.write_file("/locked/f", b"secret", &root()).unwrap();
+        // Root's walk warms the (locked, f) entry…
+        f.stat("/locked/f", &root()).unwrap();
+        // …but a hit can never widen access: bob is re-checked and denied.
+        assert_eq!(f.stat("/locked/f", &bob).unwrap_err().errno, Errno::EACCES);
+        // chmod bumps the generation, so the relaxed bits are seen at once…
+        f.chmod("/locked", Mode(0o755), &root()).unwrap();
+        f.stat("/locked/f", &bob).unwrap();
+        f.stat("/locked/f", &root()).unwrap();
+        // …and re-tightening is honoured on still-warm entries too.
+        f.chmod("/locked", Mode(0o700), &root()).unwrap();
+        assert_eq!(f.stat("/locked/f", &bob).unwrap_err().errno, Errno::EACCES);
+        assert!(f.stat("/locked/f", &root()).is_ok());
+    }
+
+    #[test]
+    fn dcache_disabled_filesystem_resolves_identically() {
+        let on = Filesystem::new();
+        let off = Filesystem::without_dcache();
+        assert!(on.dcache_enabled());
+        assert!(!off.dcache_enabled());
+        for f in [&on, &off] {
+            f.mkdir_all("/a/b", Mode::DIR_DEFAULT, &root()).unwrap();
+            f.write_file("/a/b/f", b"v", &root()).unwrap();
+            f.stat("/a/b/f", &root()).unwrap();
+            f.stat("/a/b/f", &root()).unwrap();
+            assert_eq!(
+                f.stat("/a/b/nope", &root()).unwrap_err().errno,
+                Errno::ENOENT
+            );
+            f.rename("/a/b/f", "/a/b/g", &root()).unwrap();
+            assert_eq!(f.stat("/a/b/f", &root()).unwrap_err().errno, Errno::ENOENT);
+            assert_eq!(f.read_file("/a/b/g", &root()).unwrap(), b"v");
+        }
+        // The disabled cache stayed completely inert.
+        assert_eq!(off.dcache_stats(), DcacheStats::default());
+        assert_eq!(off.dcache_entries(), 0);
+        assert!(on.dcache_stats().hits > 0);
+    }
+
+    #[test]
+    fn dcache_rename_keeps_moved_subtree_warm_but_retires_old_entry() {
+        let f = fs();
+        f.mkdir_all("/top/sub", Mode::DIR_DEFAULT, &root()).unwrap();
+        f.write_file("/top/sub/f", b"v", &root()).unwrap();
+        f.stat("/top/sub/f", &root()).unwrap(); // warm
+        f.rename("/top", "/newtop", &root()).unwrap();
+        assert_eq!(
+            f.stat("/top/sub/f", &root()).unwrap_err().errno,
+            Errno::ENOENT
+        );
+        let before = f.dcache_stats();
+        // The (top→sub) and (sub→f) hops are keyed by inode, not path:
+        // they survive the rename of their ancestor.
+        assert_eq!(f.read_file("/newtop/sub/f", &root()).unwrap(), b"v");
+        let after = f.dcache_stats();
+        assert!(after.hits >= before.hits + 2, "moved subtree went cold");
+    }
+
+    #[test]
+    fn proc_limits_expose_resolution_bounds() {
+        let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
+        let read = |name: &str| {
+            f.read_to_string(&format!("/net/.proc/vfs/limits/{name}"), &root())
+                .unwrap()
+                .trim()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert_eq!(read("max_symlink_hops"), u64::from(MAX_SYMLINK_HOPS));
+        assert_eq!(read("path_max"), PATH_MAX as u64);
+        assert_eq!(read("name_max"), NAME_MAX as u64);
+        assert_eq!(read("link_max"), u64::from(LINK_MAX));
+        assert_eq!(
+            read("max_open_files"),
+            Limits::default().max_open_files as u64
+        );
+    }
+
+    #[test]
     fn proc_mount_is_read_only() {
         let f = fs();
         f.mount_proc("/net/.proc").unwrap();
@@ -3658,11 +4027,11 @@ mod tests {
     fn proc_refresh_is_silent_for_watchers() {
         let f = fs();
         f.mount_proc("/net/.proc").unwrap();
-        let (_w, rx) = f.watch_subtree("/net", EventMask::ALL);
+        let w = f.watch("/net").subtree().register().unwrap();
         let _ = f
             .read_to_string("/net/.proc/vfs/syscalls/total", &root())
             .unwrap();
-        assert_eq!(rx.try_iter().count(), 0);
+        assert_eq!(w.receiver().try_iter().count(), 0);
     }
 
     #[test]
@@ -3759,7 +4128,15 @@ mod tests {
         let f = fs();
         f.write_file("/f", b"abcdef", &root()).unwrap();
         let fd = f
-            .open("/f", OpenFlags { read: true, write: true, ..OpenFlags::read_only() }, &root())
+            .open(
+                "/f",
+                OpenFlags {
+                    read: true,
+                    write: true,
+                    ..OpenFlags::read_only()
+                },
+                &root(),
+            )
             .unwrap();
         assert_eq!(f.pread(fd, 2, 3).unwrap(), b"cde");
         f.pwrite(fd, 4, b"XY").unwrap();
@@ -3809,7 +4186,12 @@ mod tests {
     #[test]
     fn fsync_commits_without_close() {
         let f = fs();
-        let w = f.watch("/").subtree().mask(EventMask::ALL).register().unwrap();
+        let w = f
+            .watch("/")
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()
+            .unwrap();
         let fd = f.open("/f", OpenFlags::write_create(), &root()).unwrap();
         f.write(fd, b"v1").unwrap();
         let _ = w.receiver().try_iter().count();
@@ -3831,10 +4213,75 @@ mod tests {
         f.mkdir_all("/d/sub", Mode::DIR_DEFAULT, &root()).unwrap();
         f.write_file("/d/a", b"", &root()).unwrap();
         let d = f.open_dir("/d", &root()).unwrap();
-        let names: Vec<String> = f.readdir_fd(d).unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = f
+            .readdir_fd(d)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["a", "sub"]);
         f.write_file("/d/b", b"", &root()).unwrap();
         assert_eq!(f.readdir_fd(d).unwrap().len(), 3);
+        f.close(d, &root()).unwrap();
+    }
+
+    #[test]
+    fn readdir_fd_ordering_is_deterministic_regardless_of_insert_order() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        // Insert in scrambled order; listings must come back sorted.
+        for name in ["zeta", "alpha", "mike", "bravo", "yankee", "charlie"] {
+            f.write_file(&format!("/d/{name}"), b"", &root()).unwrap();
+        }
+        let d = f.open_dir("/d", &root()).unwrap();
+        let names: Vec<String> = f
+            .readdir_fd(d)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["alpha", "bravo", "charlie", "mike", "yankee", "zeta"]
+        );
+        // Re-reading the same fd is stable.
+        let again: Vec<String> = f
+            .readdir_fd(d)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, again);
+        f.close(d, &root()).unwrap();
+    }
+
+    #[test]
+    fn readdir_fd_reflects_create_and_unlink_churn_between_reads() {
+        let f = fs();
+        f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
+        for name in ["a", "b", "c"] {
+            f.write_file(&format!("/d/{name}"), b"", &root()).unwrap();
+        }
+        let d = f.open_dir("/d", &root()).unwrap();
+        let list = |fd| -> Vec<String> {
+            f.readdir_fd(fd)
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect()
+        };
+        assert_eq!(list(d), vec!["a", "b", "c"]);
+        // Churn between reads on the same open fd: listings are live.
+        f.unlink("/d/b", &root()).unwrap();
+        f.write_file("/d/d", b"", &root()).unwrap();
+        assert_eq!(list(d), vec!["a", "c", "d"]);
+        f.unlink("/d/a", &root()).unwrap();
+        f.unlink("/d/c", &root()).unwrap();
+        f.unlink("/d/d", &root()).unwrap();
+        assert_eq!(list(d), Vec::<String>::new());
+        // The fd itself is still a valid handle after its last entry went.
+        f.write_file("/d/e", b"", &root()).unwrap();
+        assert_eq!(list(d), vec!["e"]);
         f.close(d, &root()).unwrap();
     }
 
@@ -3859,7 +4306,12 @@ mod tests {
         let f = fs();
         f.mkdir_all("/flows", Mode::DIR_DEFAULT, &root()).unwrap();
         let d = f.open_dir("/flows", &root()).unwrap();
-        let w = f.watch("/flows").subtree().mask(EventMask::ALL).register().unwrap();
+        let w = f
+            .watch("/flows")
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()
+            .unwrap();
         let before = f.counters().snapshot();
         let n = f
             .write_batch_at(

@@ -46,6 +46,7 @@
 
 pub mod acl;
 pub mod counter;
+pub mod dcache;
 pub mod error;
 pub mod fs;
 pub mod hooks;
@@ -61,14 +62,18 @@ pub mod types;
 
 pub use acl::{check_access, Acl, AclEntry};
 pub use counter::{CounterSnapshot, OpKind, SyscallCounters};
+pub use dcache::DcacheStats;
 pub use error::{Errno, VfsError, VfsResult};
-pub use fs::{FdInfo, Filesystem, FsCheckReport, Limits, ReclaimReport, WatchBuilder, WatchGuard};
+pub use fs::{
+    FdInfo, Filesystem, FsCheckReport, Limits, ReclaimReport, WatchBuilder, WatchGuard,
+    MAX_SYMLINK_HOPS,
+};
 pub use hooks::SemanticHook;
 pub use metrics::{op_cost_ns, LatencyHistogram, MetricsRegistry};
 pub use namespace::Namespace;
 pub use notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
-pub use poll::{Interest, PollEvent, PollSet, PollSource, PollToken};
 pub use path::{valid_name, VPath, NAME_MAX, PATH_MAX};
+pub use poll::{Interest, PollEvent, PollSet, PollSource, PollToken};
 pub use proc::{ProcHook, ProcRegistry, ProcRender};
 pub use rctl::{AppLimits, RctlTable, RctlUsage};
 pub use types::{

@@ -15,12 +15,9 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
-
 use crate::acl::Acl;
 use crate::error::{err, Errno, VfsResult};
 use crate::fs::Filesystem;
-use crate::notify::{Event, EventMask, WatchId};
 use crate::path::VPath;
 use crate::types::{Credentials, DirEntry, Fd, FileStat, Gid, Mode, OpenFlags, Uid};
 
@@ -285,21 +282,6 @@ impl Namespace {
             .get_xattr(self.translate(path).0.as_str(), name, creds)
     }
 
-    /// Watch a namespace-visible path. Delivered events carry *underlying*
-    /// paths.
-    #[deprecated(since = "0.5.0", note = "use ns.watch(path).register() via the Filesystem builder")]
-    #[allow(deprecated)]
-    pub fn watch_path(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
-        self.fs.watch_path(self.translate(path).0.as_str(), mask)
-    }
-
-    /// Watch a namespace-visible subtree.
-    #[deprecated(since = "0.5.0", note = "use ns.watch(path).subtree().register() via the Filesystem builder")]
-    #[allow(deprecated)]
-    pub fn watch_subtree(&self, path: &str, mask: EventMask) -> (WatchId, Receiver<Event>) {
-        self.fs.watch_subtree(self.translate(path).0.as_str(), mask)
-    }
-
     /// Start building a watch on a namespace-visible path; see
     /// [`Filesystem::watch`]. Delivered events carry *underlying* paths.
     pub fn watch(&self, path: &str) -> crate::fs::WatchBuilder<'_> {
@@ -308,7 +290,6 @@ impl Namespace {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated watch shims are themselves under test
 mod tests {
     use super::*;
 
@@ -406,11 +387,14 @@ mod tests {
         let fs = setup();
         let r = Credentials::root();
         let ns = Namespace::chroot(fs.clone(), "/net/views/http");
-        let (_id, rx) = ns.watch_path("/switches", EventMask::ALL);
+        let w = ns.watch("/switches").register().unwrap();
         // A write through the *global* fs is seen by the view's watcher.
         fs.write_file("/net/views/http/switches/flow", b"f", &r)
             .unwrap();
-        assert!(rx.try_iter().any(|e| e.name.as_deref() == Some("flow")));
+        assert!(w
+            .receiver()
+            .try_iter()
+            .any(|e| e.name.as_deref() == Some("flow")));
     }
 
     #[test]

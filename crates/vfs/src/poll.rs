@@ -214,7 +214,10 @@ impl PollSet {
 
     fn push(&self, label: String, kind: SourceKind) -> PollToken {
         let token = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
-        self.inner.sources.lock().push(Source { token, label, kind });
+        self.inner
+            .sources
+            .lock()
+            .push(Source { token, label, kind });
         PollToken(token)
     }
 
@@ -265,7 +268,9 @@ impl PollSet {
         self.inner.metrics.record(OpKind::Poll, "/");
         self.inner.waits.fetch_add(1, Ordering::Relaxed);
         if self.inner.owner.0 != 0 && !HookDepth::active() {
-            self.inner.rctl.charge_syscall(self.inner.owner.0, "pollset")?;
+            self.inner
+                .rctl
+                .charge_syscall(self.inner.owner.0, "pollset")?;
         }
         let deadline = Instant::now() + timeout;
         loop {
@@ -275,7 +280,9 @@ impl PollSet {
                 || Instant::now() >= deadline
                 || self.inner.dead.load(Ordering::Acquire)
             {
-                self.inner.events.fetch_add(out.len() as u64, Ordering::Relaxed);
+                self.inner
+                    .events
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
                 return Ok(out);
             }
             std::thread::yield_now();
@@ -403,7 +410,12 @@ mod tests {
     fn watch_source_is_level_triggered() {
         let f = fs();
         f.mkdir("/d", Mode::DIR_DEFAULT, &root()).unwrap();
-        let w = f.watch("/d").subtree().mask(EventMask::ALL).register().unwrap();
+        let w = f
+            .watch("/d")
+            .subtree()
+            .mask(EventMask::ALL)
+            .register()
+            .unwrap();
         let ps = f.poll_create(&root());
         let tok = ps.add(PollSource::Watch(w.receiver().clone()), Interest::Readable);
         assert!(!ps.is_ready());
@@ -486,10 +498,7 @@ mod tests {
         let report = f.reclaim(Uid(7));
         assert_eq!(report.pollsets_closed, 1);
         assert!(!ps.is_ready());
-        assert_eq!(
-            ps.wait(8, Duration::ZERO).unwrap_err().errno,
-            Errno::EBADF
-        );
+        assert_eq!(ps.wait(8, Duration::ZERO).unwrap_err().errno, Errno::EBADF);
         // Other uids' sets are untouched; double reclaim is a no-op.
         assert_eq!(f.reclaim(Uid(7)).pollsets_closed, 0);
     }
@@ -504,7 +513,10 @@ mod tests {
         let s = f
             .read_to_string("/net/.proc/vfs/pollsets", &root())
             .unwrap();
-        assert!(s.contains(&format!("id={} owner=0 sources=1 waits=1", ps.id())), "got: {s}");
+        assert!(
+            s.contains(&format!("id={} owner=0 sources=1 waits=1", ps.id())),
+            "got: {s}"
+        );
         drop(ps);
         // Dropped sets vanish from the report.
         let s = f

@@ -125,6 +125,10 @@ pub(crate) struct Tables {
     /// Open handles across all shards, maintained at insert/remove time so
     /// the global `max_open_files` check needs no cross-shard pass.
     handle_count: AtomicUsize,
+    /// Inode read-lock acquisitions via [`Tables::with_inode`] — the
+    /// deterministic cost metric behind the E22 dcache claim (a warm cached
+    /// walk takes far fewer of these than a cold hop-by-hop one).
+    inode_reads: AtomicU64,
 }
 
 impl Tables {
@@ -135,7 +139,13 @@ impl Tables {
             next_ino: AtomicU64::new(2),
             next_fd: AtomicU64::new(3),
             handle_count: AtomicUsize::new(0),
+            inode_reads: AtomicU64::new(0),
         }
+    }
+
+    /// Total [`Tables::with_inode`] read-lock acquisitions so far.
+    pub fn inode_read_count(&self) -> u64 {
+        self.inode_reads.load(Ordering::Relaxed)
     }
 
     pub fn shard_count(&self) -> usize {
@@ -195,6 +205,7 @@ impl Tables {
     /// Copy data out of one inode under its shard's read lock. The closure
     /// MUST NOT take any other lock. `EIO` when the inode is gone.
     pub fn with_inode<R>(&self, ino: Ino, f: impl FnOnce(&Inode) -> R) -> VfsResult<R> {
+        self.inode_reads.fetch_add(1, Ordering::Relaxed);
         let shard = self.shards[self.shard_of_ino(ino)].read();
         match shard.inodes.get(&ino.0) {
             Some(n) => Ok(f(n)),

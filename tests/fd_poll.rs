@@ -65,7 +65,9 @@ fn e21_fd_relative_install_is_at_least_5x_cheaper_than_path_per_call() {
     // Path-per-call: every field file is a fresh open/write/close from /.
     let before = fs.counters().snapshot();
     for i in 0..N {
-        rt.yfs.write_flow(&sw, &format!("p{i}"), &rich_spec(i)).unwrap();
+        rt.yfs
+            .write_flow(&sw, &format!("p{i}"), &rich_spec(i))
+            .unwrap();
     }
     let path_cost = fs.counters().snapshot().since(&before).total();
 
@@ -189,13 +191,21 @@ fn pollset_multiplexes_watch_fd_and_probe_sources_fairly() {
     rt.yfs.enable_introspection().unwrap();
     let fs = rt.yfs.filesystem().clone();
     let root = Credentials::root();
-    fs.mkdir_all("/net/inbox", Mode::DIR_DEFAULT, &root).unwrap();
+    fs.mkdir_all("/net/inbox", Mode::DIR_DEFAULT, &root)
+        .unwrap();
     fs.write_file("/net/log", b"0123456789", &root).unwrap();
 
-    let watch = fs.watch("/net/inbox").mask(EventMask::ALL).register().unwrap();
+    let watch = fs
+        .watch("/net/inbox")
+        .mask(EventMask::ALL)
+        .register()
+        .unwrap();
     let fd = fs.open("/net/log", OpenFlags::read_only(), &root).unwrap();
     let ps = fs.poll_create(&root);
-    let t_watch = ps.add(PollSource::Watch(watch.receiver().clone()), Interest::Readable);
+    let t_watch = ps.add(
+        PollSource::Watch(watch.receiver().clone()),
+        Interest::Readable,
+    );
     let t_fd = ps.add(PollSource::Fd(fd), Interest::Readable);
     // The probe floods (a full libyanc ring would look exactly like this);
     // rotation must keep it from starving the other two out of a
@@ -215,7 +225,10 @@ fn pollset_multiplexes_watch_fd_and_probe_sources_fairly() {
     }
     // Three waits cost exactly three Poll syscalls, visible in /net/.proc —
     // however many sources fired.
-    assert_eq!(proc_u64(&fs, "/net/.proc/vfs/syscalls/poll"), polls_before + 3);
+    assert_eq!(
+        proc_u64(&fs, "/net/.proc/vfs/syscalls/poll"),
+        polls_before + 3
+    );
 
     // And the set itself is introspectable.
     let sets = fs.read_to_string("/net/.proc/vfs/pollsets", &root).unwrap();
@@ -273,7 +286,11 @@ fn proc_fds_file_and_lsfd_render_the_descriptor_table() {
     let mut sh = Shell::new(fs.clone());
     let out = sh.run(&format!("lsfd {pid}"));
     assert!(out.success(), "{}", out.err);
-    assert!(out.out.starts_with("PID FD MODE OFFSET PATH\n"), "{}", out.out);
+    assert!(
+        out.out.starts_with("PID FD MODE OFFSET PATH\n"),
+        "{}",
+        out.out
+    );
     assert!(out.out.contains("/net/switches"), "{}", out.out);
     // Without a pid it scans every process directory.
     let all = sh.run("lsfd");

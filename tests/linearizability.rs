@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use yanc_vfs::{Credentials, Errno, Filesystem, Mode, OpenFlags};
+use yanc_vfs::{Credentials, DcacheStats, Errno, Filesystem, Limits, Mode, OpenFlags};
 
 // ---------------------------------------------------------------------
 // Deterministic PRNG (splitmix64): the whole history is a function of
@@ -271,6 +271,128 @@ fn histories_replay_identically_on_one_shard() {
     // histories — shards only change locking, never semantics.
     for seed in 0..100 {
         run_history(seed, 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 1b: dcache coherence — cache-on vs cache-off paired replay
+// ---------------------------------------------------------------------
+
+/// Like [`gen_op`] but rename/unlink-heavy: the distribution is tilted
+/// toward the operations that invalidate dentry-cache entries, so stale
+/// positive *and* stale negative entries both get hammered.
+fn gen_op_heavy(rng: &mut Rng) -> (OpKindL, String, String, Vec<u8>) {
+    let kind = match rng.below(10) {
+        0..=1 => OpKindL::Write,
+        2 => OpKindL::Read,
+        3..=4 => OpKindL::Unlink,
+        5..=7 => OpKindL::Rename,
+        8 => OpKindL::Link,
+        _ => OpKindL::Exists,
+    };
+    let src = format!(
+        "{}/{}",
+        DIRS[rng.below(DIRS.len())],
+        NAMES[rng.below(NAMES.len())]
+    );
+    let dst = format!(
+        "{}/{}",
+        DIRS[rng.below(DIRS.len())],
+        NAMES[rng.below(NAMES.len())]
+    );
+    let data = format!("v{}", rng.next() % 1_000_000).into_bytes();
+    (kind, src, dst, data)
+}
+
+/// Replay one rename/unlink-heavy seeded history against a cache-on and
+/// a cache-off filesystem in lockstep. Each filesystem is checked
+/// op-for-op against its own copy of the sequential model; the models
+/// are deterministic, so exact result/errno agreement between the two
+/// filesystems follows transitively. A final pass then compares the two
+/// filesystems *directly* — same trees, same contents — and checks the
+/// structural invariants of both.
+fn run_history_pair(seed: u64, shards: usize) {
+    let fs_on = Filesystem::with_options(Limits::default(), shards, true);
+    let fs_off = Filesystem::with_options(Limits::default(), shards, false);
+    let creds = Credentials::root();
+    for d in DIRS {
+        fs_on.mkdir_all(d, Mode::DIR_DEFAULT, &creds).unwrap();
+        fs_off.mkdir_all(d, Mode::DIR_DEFAULT, &creds).unwrap();
+    }
+    let mut model_on = Model::default();
+    let mut model_off = Model::default();
+    let threads = 3;
+    let steps_per_thread = 10;
+    let mut streams: Vec<Rng> = (0..threads)
+        .map(|t| Rng::new(seed.wrapping_mul(131).wrapping_add(t as u64)))
+        .collect();
+    let mut budget: Vec<usize> = vec![steps_per_thread; threads];
+    let mut sched = Rng::new(seed ^ 0xcafe_f00d);
+    let mut step = 0usize;
+    while budget.iter().any(|&b| b > 0) {
+        let runnable: Vec<usize> = (0..threads).filter(|&t| budget[t] > 0).collect();
+        let t = runnable[sched.below(runnable.len())];
+        budget[t] -= 1;
+        let op = gen_op_heavy(&mut streams[t]);
+        apply_op(&fs_on, &creds, &mut model_on, op.clone(), seed, step);
+        apply_op(&fs_off, &creds, &mut model_off, op, seed, step);
+        step += 1;
+    }
+    // The two filesystems must be indistinguishable from the outside.
+    for d in DIRS {
+        let on: Vec<String> = fs_on
+            .readdir(d, &creds)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        let off: Vec<String> = fs_off
+            .readdir(d, &creds)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(on, off, "seed {seed}: {d} diverged between cache modes");
+        for name in on {
+            assert_eq!(
+                fs_on.read_file(&format!("{d}/{name}"), &creds).unwrap(),
+                fs_off.read_file(&format!("{d}/{name}"), &creds).unwrap(),
+                "seed {seed}: {d}/{name} content diverged between cache modes"
+            );
+        }
+    }
+    fs_on
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("seed {seed}: cache-on invariants violated: {e}"));
+    fs_off
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("seed {seed}: cache-off invariants violated: {e}"));
+    // The comparison was real: the cache actually served lookups on one
+    // side and stayed completely inert on the other.
+    assert!(
+        fs_on.dcache_stats().hits > 0,
+        "seed {seed}: cache-on replay never hit the dcache"
+    );
+    assert_eq!(
+        fs_off.dcache_stats(),
+        DcacheStats::default(),
+        "seed {seed}: cache-off filesystem touched its dcache"
+    );
+}
+
+#[test]
+fn rename_heavy_histories_agree_cache_on_vs_cache_off() {
+    for seed in 0..300 {
+        run_history_pair(seed, 8);
+    }
+}
+
+#[test]
+fn rename_heavy_histories_agree_on_one_shard() {
+    // shards=1 is the deterministic-replay configuration; the dcache
+    // must not perturb it either.
+    for seed in 0..60 {
+        run_history_pair(seed, 1);
     }
 }
 

@@ -358,7 +358,12 @@ fn notify_batch_accounting_loses_and_duplicates_nothing() {
     fs.mkdir_all("/q", Mode::DIR_DEFAULT, &root).unwrap();
 
     // Unlimited watch: every matched event arrives exactly once.
-    let watch = fs.watch("/q").subtree().mask(EventMask::ALL).register().unwrap();
+    let watch = fs
+        .watch("/q")
+        .subtree()
+        .mask(EventMask::ALL)
+        .register()
+        .unwrap();
     let rx = watch.receiver();
     let d0 = fs.notify().delivered_events();
     for i in 0..32 {
