@@ -1,0 +1,215 @@
+//! E23 — write-ahead journal + snapshot/restore: what durability costs on
+//! the mutation path and what it saves on restart.
+//!
+//! Deterministic, machine-independent metrics (the BENCH_journal.json
+//! payload): journal records per charged mutating syscall, bytes appended
+//! per flow install, snapshot size for a 1k-flow world, and the replay
+//! syscall count of a warm restart versus the syscall count of rebuilding
+//! the same world cold — the E19/E23 comparison. The criterion series
+//! shows the wall-clock side: journaled vs unjournaled install sweeps and
+//! the restore itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc::{FlowSpec, YancFs};
+use yanc_openflow::{Action, FlowMatch, Ipv4Prefix};
+use yanc_packet::MacAddr;
+use yanc_vfs::{Filesystem, Limits};
+
+fn spec(i: usize) -> FlowSpec {
+    FlowSpec {
+        m: FlowMatch {
+            in_port: Some(1),
+            dl_src: Some(MacAddr::from_seed(1)),
+            dl_dst: Some(MacAddr::from_seed(2)),
+            nw_dst: Ipv4Prefix::parse("10.2.0.0/16"),
+            tp_dst: Some((i % 60_000) as u16),
+            ..Default::default()
+        },
+        actions: vec![Action::out(2)],
+        priority: 900,
+        ..Default::default()
+    }
+}
+
+/// A 1k-flow switch world, journaled or not. Journaling is enabled on the
+/// virgin filesystem so the log covers the entire build. `batched` installs
+/// through a flows-dir descriptor (the E21 fast path, ~2 syscalls/flow);
+/// path-addressed installs write every key file by full path — the cost a
+/// cold restart actually pays when it re-runs discovery without the batch
+/// descriptor plumbing warmed up.
+fn world(journal: bool, batched: bool, n: usize) -> YancFs {
+    let fs = Filesystem::with_options(Limits::default(), 8, true);
+    if journal {
+        fs.enable_journal();
+    }
+    let yfs = YancFs::init(Arc::new(fs), "/net").unwrap();
+    yfs.create_switch("sw0", 0x22, 0, 0, 0, 1).unwrap();
+    if batched {
+        let flows = yfs.open_flows_dir("sw0").unwrap();
+        for i in 0..n {
+            yfs.write_flow_at(flows, &format!("d{i}"), &spec(i))
+                .unwrap();
+        }
+        yfs.filesystem().close(flows, yfs.creds()).unwrap();
+    } else {
+        for i in 0..n {
+            yfs.write_flow("sw0", &format!("d{i}"), &spec(i)).unwrap();
+        }
+    }
+    yfs
+}
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 1000;
+
+    // Cold references: the same world built from nothing, no journal.
+    // Path-addressed is what a cold restart pays re-running discovery;
+    // the batched build is the E21 lower bound on live installs.
+    let cold_path = world(false, false, N);
+    let cold_path_syscalls = cold_path.filesystem().counters().total();
+    let cold = world(false, true, N);
+    let cold_syscalls = cold.filesystem().counters().total();
+
+    // Journaled world: identical history to the batched build, every
+    // mutation logged.
+    let on = world(true, true, N);
+    let fs = on.filesystem();
+    let live_digest = fs.tree_digest();
+    let stats_before_snap = fs.journal_stats();
+    assert!(
+        stats_before_snap.records > 0,
+        "journaled build logged nothing"
+    );
+    // Journaling must not change the charged-syscall model.
+    assert_eq!(
+        fs.counters().total(),
+        cold_syscalls,
+        "journal changed the syscall accounting"
+    );
+
+    // Snapshot + compaction: the steady-state footprint of the 1k-flow tree.
+    let bytes_full = fs.journal_bytes().len() as u64;
+    fs.journal_snapshot();
+    let compacted = fs.journal_compact();
+    let stats = fs.journal_stats();
+    assert!(compacted > 0);
+
+    // Warm restart: replay the (compacted) log; suffix is empty so the
+    // cost is pure snapshot install — then again from the full pre-compact
+    // world rebuilt, to get a representative replay cost.
+    let (warm, report) =
+        Filesystem::restore_from_journal(&fs.journal_bytes(), Limits::default(), 8, true);
+    assert!(report.snapshot_used);
+    assert_eq!(warm.tree_digest(), live_digest, "restore diverged");
+    assert_eq!(
+        report.replay_syscalls, 0,
+        "snapshot install must be syscall-free"
+    );
+    // Replay-heavy variant: a fresh journaled world restored without any
+    // snapshot beyond the virgin anchor — every record replays. One
+    // syscall per record beats the path-addressed cold rebuild (it cannot
+    // beat the E21 batch build, which deliberately under-counts: one
+    // charged batch covers a dozen journal records).
+    let replayed_world = world(true, true, N);
+    let rbytes = replayed_world.filesystem().journal_bytes();
+    let (warm2, rep2) = Filesystem::restore_from_journal(&rbytes, Limits::default(), 8, true);
+    assert_eq!(
+        warm2.tree_digest(),
+        replayed_world.filesystem().tree_digest()
+    );
+    assert!(
+        rep2.replay_syscalls < cold_path_syscalls,
+        "E23 regression: warm replay ({}) not cheaper than path-addressed cold build ({cold_path_syscalls})",
+        rep2.replay_syscalls
+    );
+
+    let records_per_syscall = stats_before_snap.records as f64 / cold_syscalls as f64;
+    let bytes_per_record = bytes_full as f64 / stats_before_snap.records.max(1) as f64;
+    println!("\nE23: journal cost/benefit for a {N}-flow world");
+    println!("{:>28} {:>12}", "metric", "value");
+    println!(
+        "{:>28} {:>12}",
+        "cold build (path-addressed)", cold_path_syscalls
+    );
+    println!("{:>28} {:>12}", "cold build (E21 batched)", cold_syscalls);
+    println!(
+        "{:>28} {:>12}",
+        "journal records", stats_before_snap.records
+    );
+    println!("{:>28} {:>12.3}", "records/syscall", records_per_syscall);
+    println!("{:>28} {:>12}", "journal bytes (pre-snap)", bytes_full);
+    println!("{:>28} {:>12.1}", "bytes/record", bytes_per_record);
+    println!("{:>28} {:>12}", "snapshot bytes", stats.snapshot_bytes);
+    println!("{:>28} {:>12}", "compacted bytes", compacted);
+    println!(
+        "{:>28} {:>12}",
+        "warm replay syscalls", rep2.replay_syscalls
+    );
+    println!(
+        "{:>28} {:>12.1}x",
+        "cold/warm",
+        cold_path_syscalls as f64 / rep2.replay_syscalls.max(1) as f64
+    );
+
+    yanc_harness::write_bench_report(
+        "journal",
+        fs,
+        &[
+            (
+                "experiment",
+                "\"E23 write-ahead journal + snapshot/restore\"".to_string(),
+            ),
+            ("flows", N.to_string()),
+            (
+                "cold_build_syscalls_path_addressed",
+                cold_path_syscalls.to_string(),
+            ),
+            ("cold_build_syscalls_batched", cold_syscalls.to_string()),
+            ("journal_records", stats_before_snap.records.to_string()),
+            (
+                "records_per_syscall",
+                format!("{records_per_syscall:.3}"),
+            ),
+            ("journal_bytes_pre_snapshot", bytes_full.to_string()),
+            ("bytes_per_record", format!("{bytes_per_record:.1}")),
+            ("snapshot_bytes", stats.snapshot_bytes.to_string()),
+            ("compacted_bytes", compacted.to_string()),
+            ("warm_replay_syscalls", rep2.replay_syscalls.to_string()),
+            (
+                "warm_replay_records",
+                rep2.records_replayed.to_string(),
+            ),
+            (
+                "note",
+                "\"counts are deterministic; wall-clock series in criterion output is machine-dependent\"".to_string(),
+            ),
+        ],
+    );
+
+    // Wall-clock series: append overhead on the install path, and the
+    // restore itself (replay-heavy log, snapshot-only log).
+    let mut g = c.benchmark_group("journal");
+    g.sample_size(10);
+    for n in [256usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("install_unjournaled", n), &n, |b, &n| {
+            b.iter(|| world(false, true, n))
+        });
+        g.bench_with_input(BenchmarkId::new("install_journaled", n), &n, |b, &n| {
+            b.iter(|| world(true, true, n))
+        });
+    }
+    g.bench_function("restore_replay_heavy", |b| {
+        b.iter(|| Filesystem::restore_from_journal(&rbytes, Limits::default(), 8, true))
+    });
+    let snap_bytes = fs.journal_bytes();
+    g.bench_function("restore_snapshot_only", |b| {
+        b.iter(|| Filesystem::restore_from_journal(&snap_bytes, Limits::default(), 8, true))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -53,6 +53,12 @@ pub enum Fault {
         /// Cluster node index.
         node: usize,
     },
+    /// Crash the whole controller process mid-tick: the supervisor records
+    /// the request and the driving harness tears the world down, keeping
+    /// only what the vfs journal persisted. The journal torture and E23
+    /// warm-restart suites schedule this to crash deterministically at a
+    /// chosen tick (including mid-snapshot-interval).
+    CrashController,
 }
 
 impl Fault {
@@ -75,6 +81,7 @@ impl Fault {
                 format!("dfs node {node} down for {for_ticks} ticks")
             }
             Fault::DfsUp { node } => format!("dfs node {node} up"),
+            Fault::CrashController => "crash controller".to_string(),
         }
     }
 }

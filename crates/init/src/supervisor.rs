@@ -101,6 +101,10 @@ pub struct Supervisor {
     /// SIGTERM/SIGKILL, abnormal death). Exposed as
     /// `.proc/init/reclaimed_handles`.
     reclaimed_handles: Arc<AtomicU64>,
+    /// Set when a [`Fault::CrashController`] fires; the driving harness
+    /// polls [`Supervisor::take_controller_crash`] and tears the world down
+    /// at that exact tick, restoring from the vfs journal.
+    controller_crashed: bool,
 }
 
 impl Supervisor {
@@ -126,6 +130,7 @@ impl Supervisor {
             faults: FaultInjector::new(),
             driver_reattaches: Arc::new(AtomicU64::new(0)),
             reclaimed_handles: Arc::new(AtomicU64::new(0)),
+            controller_crashed: false,
         };
         let base = sup.yfs.proc_dir().join("init");
         let t = sup.ticks.clone();
@@ -443,6 +448,11 @@ impl Supervisor {
         let fs = self.yfs.filesystem().clone();
         let rh = self.reclaimed_handles.clone();
         fs.rctl().refill_all();
+        // Journal maintenance rides the scheduler tick, the way a kernel
+        // flush daemon rides the timer interrupt: a snapshot is taken once
+        // the record cadence is due, never mid-mutation (no vfs locks are
+        // held here). Deliberately not counted as scheduler work.
+        fs.journal_maybe_snapshot();
         let mut worked = self.process_ctl();
         let pids: Vec<u32> = self.procs.keys().copied().collect();
         // Complete restarts whose backoff expired.
@@ -528,10 +538,21 @@ impl Supervisor {
                 Fault::ReorderControl { dpid } => {
                     rt.inject_channel_fault(dpid, 0, true);
                 }
+                Fault::CrashController => {
+                    self.controller_crashed = true;
+                }
                 _ => {}
             }
         }
         n
+    }
+
+    /// Whether a [`Fault::CrashController`] fired since the last call
+    /// (cleared on read). The harness reacting to this drops the whole
+    /// runtime — processes, drivers, fd tables — keeping only the journal
+    /// bytes, which is exactly what a real crash leaves behind.
+    pub fn take_controller_crash(&mut self) -> bool {
+        std::mem::take(&mut self.controller_crashed)
     }
 
     /// Fire due dfs faults into a cluster. `DfsDown` automatically

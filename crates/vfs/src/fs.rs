@@ -31,6 +31,7 @@ use crate::counter::{OpKind, SyscallCounters};
 use crate::dcache::{CachedKind, Dcache, DcacheStats, Dentry, ParentPerm};
 use crate::error::{err, Errno, VfsError, VfsResult};
 use crate::hooks::{HookDepth, SemanticHook};
+use crate::journal::Record;
 use crate::metrics::MetricsRegistry;
 use crate::notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
 use crate::path::{valid_name, VPath, NAME_MAX, PATH_MAX};
@@ -185,12 +186,12 @@ impl Drop for HandleSlot<'_> {
 
 /// The virtual file system. Cheap to share: wrap in an [`Arc`].
 pub struct Filesystem {
-    tables: Arc<Tables>,
-    clock: Clock,
+    pub(crate) tables: Arc<Tables>,
+    pub(crate) clock: Clock,
     counters: Arc<SyscallCounters>,
     metrics: Arc<MetricsRegistry>,
     notify: Arc<NotifyHub>,
-    proc: Arc<ProcRegistry>,
+    pub(crate) proc: Arc<ProcRegistry>,
     hooks: RwLock<Vec<Arc<dyn SemanticHook>>>,
     limits: Limits,
     rctl: Arc<RctlTable>,
@@ -198,6 +199,9 @@ pub struct Filesystem {
     /// Sharded dentry cache memoising resolution hops; generation-validated
     /// against every directory mutation (see [`crate::dcache`]).
     dcache: Arc<Dcache>,
+    /// Write-ahead journal: append-only op log + snapshots (see
+    /// [`crate::journal`]). Disabled until [`Filesystem::enable_journal`].
+    pub(crate) journal: Arc<crate::journal::Journal>,
     /// Serializes directory renames so concurrent cross-directory moves
     /// cannot form a cycle the per-rename checks miss — the in-process
     /// analogue of the kernel's `s_vfs_rename_mutex`. Always acquired
@@ -282,6 +286,7 @@ impl Filesystem {
             limits,
             rctl: Arc::new(RctlTable::new()),
             polls: Arc::new(PollRegistry::new()),
+            journal: Arc::new(crate::journal::Journal::new()),
             rename_lock: Mutex::new(()),
         }
     }
@@ -315,7 +320,7 @@ impl Filesystem {
     /// suppressed during internal proc maintenance (the bump itself never
     /// is) so `/net/.proc/vfs/dcache` reads do not disturb themselves.
     #[inline]
-    fn bump_gen(&self, ino: Ino) {
+    pub(crate) fn bump_gen(&self, ino: Ino) {
         self.dcache.bump(ino, ProcDepth::active());
     }
 
@@ -630,6 +635,47 @@ impl Filesystem {
             format!("{}\n", u8::from(d.enabled()))
         })?;
 
+        // Write-ahead journal figures (E23: the warm-restart cost is read
+        // from these files, never from wall-clock).
+        let j = self.journal.clone();
+        self.proc_file(&format!("{prefix}/vfs/journal/enabled"), move || {
+            format!("{}\n", u8::from(j.stats().enabled))
+        })?;
+        let j = self.journal.clone();
+        self.proc_file(&format!("{prefix}/vfs/journal/records"), move || {
+            format!("{}\n", j.stats().records)
+        })?;
+        let j = self.journal.clone();
+        self.proc_file(&format!("{prefix}/vfs/journal/snapshots"), move || {
+            format!("{}\n", j.stats().snapshots)
+        })?;
+        let j = self.journal.clone();
+        self.proc_file(&format!("{prefix}/vfs/journal/bytes"), move || {
+            format!("{}\n", j.stats().bytes)
+        })?;
+        let j = self.journal.clone();
+        self.proc_file(&format!("{prefix}/vfs/journal/snapshot_bytes"), move || {
+            format!("{}\n", j.stats().snapshot_bytes)
+        })?;
+        let j = self.journal.clone();
+        self.proc_file(
+            &format!("{prefix}/vfs/journal/compacted_bytes"),
+            move || format!("{}\n", j.stats().compacted_bytes),
+        )?;
+        let j = self.journal.clone();
+        self.proc_file(&format!("{prefix}/vfs/journal/replayed"), move || {
+            format!("{}\n", j.stats().replayed)
+        })?;
+        let j = self.journal.clone();
+        self.proc_file(&format!("{prefix}/vfs/journal/replay_skipped"), move || {
+            format!("{}\n", j.stats().replay_skipped)
+        })?;
+        let j = self.journal.clone();
+        self.proc_file(
+            &format!("{prefix}/vfs/journal/replay_syscalls"),
+            move || format!("{}\n", j.stats().replay_syscalls),
+        )?;
+
         // Static resolution limits (satellite of the dcache work: the
         // symlink-hop bound used to be a buried literal).
         self.proc_file(
@@ -705,7 +751,7 @@ impl Filesystem {
     /// maintenance are exempt: introspection must not disturb what it
     /// measures.
     #[inline]
-    fn count(&self, op: OpKind, path: &str) {
+    pub(crate) fn count(&self, op: OpKind, path: &str) {
         if ProcDepth::active() || self.proc.covers(path) {
             return;
         }
@@ -1260,6 +1306,12 @@ impl Filesystem {
             }
             node.mode = Mode(mode.0 & 0o7777);
             node.ctime = now;
+            let new_mode = node.mode;
+            self.jrnl(vp.as_str(), || Record::SetMode {
+                ino,
+                mode: new_mode,
+                tick: now,
+            });
             // Dentries snapshot this inode's permission bits; retire them
             // while the shard locks are still held.
             self.bump_gen(ino);
@@ -1304,6 +1356,13 @@ impl Filesystem {
                 node.gid = g;
             }
             node.ctime = now;
+            let (new_uid, new_gid) = (node.uid, node.gid);
+            self.jrnl(vp.as_str(), || Record::SetOwner {
+                ino,
+                uid: new_uid,
+                gid: new_gid,
+                tick: now,
+            });
             self.bump_gen(ino);
             break;
         }
@@ -1330,6 +1389,12 @@ impl Filesystem {
             }
             node.acl = acl.filter(|a| !a.is_empty());
             node.ctime = now;
+            let new_acl = node.acl.clone();
+            self.jrnl(vp.as_str(), || Record::SetAcl {
+                ino,
+                acl: new_acl,
+                tick: now,
+            });
             self.bump_gen(ino);
             break;
         }
@@ -1395,6 +1460,12 @@ impl Filesystem {
             let node = set.inode_mut(ino)?;
             node.xattrs.insert(name.to_string(), value.to_vec());
             node.ctime = now;
+            self.jrnl(vp.as_str(), || Record::SetXattr {
+                ino,
+                name: name.to_string(),
+                value: value.to_vec(),
+                tick: now,
+            });
             break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
@@ -1475,6 +1546,11 @@ impl Filesystem {
                 return err(Errno::ENODATA, format!("{path}#{name}"));
             }
             node.ctime = now;
+            self.jrnl(vp.as_str(), || Record::RemoveXattr {
+                ino,
+                name: name.to_string(),
+                tick: now,
+            });
             break;
         }
         self.notify.emit(EventKind::Attrib, &vp, None);
@@ -1576,8 +1652,18 @@ impl Filesystem {
             parent.dir_entries_mut()?.insert(r.name.clone(), ino);
             parent.nlink += 1;
             parent.mtime = now;
+            let full = r.parent_path.join(&r.name);
+            self.jrnl(full.as_str(), || Record::Mkdir {
+                parent: r.parent_ino,
+                name: r.name.clone(),
+                ino,
+                mode: Mode(mode.0 & 0o7777),
+                uid: creds.uid,
+                gid: creds.gid,
+                tick: now,
+            });
             self.bump_gen(r.parent_ino);
-            break r.parent_path.join(&r.name);
+            break full;
         };
         self.notify.emit(EventKind::Create, &full, full.file_name());
         self.run_hooks(vec![PendingHook::Mkdir(full)], creds);
@@ -1654,8 +1740,24 @@ impl Filesystem {
             let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.remove(&r.name);
             parent.nlink -= 1;
-            parent.mtime = self.clock.tick();
+            let now = self.clock.tick();
+            parent.mtime = now;
             set.remove_inode(ino);
+            self.jrnl(full.as_str(), || {
+                if empty {
+                    Record::Rmdir {
+                        parent: r.parent_ino,
+                        name: r.name.clone(),
+                        tick: now,
+                    }
+                } else {
+                    Record::RmTree {
+                        parent: r.parent_ino,
+                        name: r.name.clone(),
+                        tick: now,
+                    }
+                }
+            });
             // Retire the removed directory's (negative) dentries as well as
             // its entry under the parent.
             self.bump_gen(r.parent_ino);
@@ -1805,8 +1907,18 @@ impl Filesystem {
             let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.insert(r.name.clone(), ino);
             parent.mtime = now;
+            let full = r.parent_path.join(&r.name);
+            self.jrnl(full.as_str(), || Record::Symlink {
+                parent: r.parent_ino,
+                name: r.name.clone(),
+                ino,
+                target: target.to_string(),
+                uid: creds.uid,
+                gid: creds.gid,
+                tick: now,
+            });
             self.bump_gen(r.parent_ino);
-            break r.parent_path.join(&r.name);
+            break full;
         };
         self.notify.emit(EventKind::Create, &full, full.file_name());
         Ok(())
@@ -1894,8 +2006,15 @@ impl Filesystem {
             let parent = set.inode_mut(r.parent_ino)?;
             parent.dir_entries_mut()?.insert(r.name.clone(), src);
             parent.mtime = now;
+            let full = r.parent_path.join(&r.name);
+            self.jrnl(full.as_str(), || Record::Link {
+                parent: r.parent_ino,
+                name: r.name.clone(),
+                ino: src,
+                tick: now,
+            });
             self.bump_gen(r.parent_ino);
-            break r.parent_path.join(&r.name);
+            break full;
         };
         self.notify.emit(EventKind::Create, &full, full.file_name());
         Ok(())
@@ -1945,6 +2064,11 @@ impl Filesystem {
                 set.remove_inode(ino);
                 events.push((EventKind::DeleteSelf, full.clone(), None));
             }
+            self.jrnl(full.as_str(), || Record::Unlink {
+                parent: r.parent_ino,
+                name: r.name.clone(),
+                tick: now,
+            });
             self.bump_gen(r.parent_ino);
             events.push((EventKind::Delete, full.clone(), Some(r.name.clone())));
             break events;
@@ -2096,6 +2220,13 @@ impl Filesystem {
                 }
             }
             set.inode_mut(src)?.ctime = now;
+            self.jrnl(src_full.as_str(), || Record::Rename {
+                from_parent: rf.parent_ino,
+                from_name: rf.name.clone(),
+                to_parent: rt.parent_ino,
+                to_name: rt.name.clone(),
+                tick: now,
+            });
             // Both parents changed their entry sets; a replaced directory
             // additionally loses its own (negative) dentries. Entries keyed
             // under the *moved* inode stay warm on purpose — its
@@ -2309,6 +2440,13 @@ impl Filesystem {
                                 modified = true;
                             }
                         }
+                        if modified {
+                            self.jrnl(vp.as_str(), || Record::Truncate {
+                                ino,
+                                len: 0,
+                                tick: now,
+                            });
+                        }
                     }
                     // Per-uid handle budget, charged at the last fallible
                     // point so a failed open never leaks a slot.
@@ -2371,6 +2509,15 @@ impl Filesystem {
                         p.dir_entries_mut()?.insert(name.clone(), ino);
                         p.mtime = now;
                     }
+                    self.jrnl(created.as_str(), || Record::Create {
+                        parent,
+                        name: name.clone(),
+                        ino,
+                        uid: creds.uid,
+                        gid: creds.gid,
+                        data: Vec::new(),
+                        tick: now,
+                    });
                     self.bump_gen(parent);
                     self.rctl.charge_open(creds.uid.0, vp.as_str())?;
                     set.inode_mut(ino)?.open_count += 1;
@@ -2488,6 +2635,12 @@ impl Filesystem {
             h.offset = end as u64;
             h.wrote = true;
             path = h.path.clone();
+            self.jrnl(path.as_str(), || Record::Write {
+                ino,
+                offset: off,
+                data: data.to_vec(),
+                tick: now,
+            });
         }
         self.notify.emit(EventKind::Modify, &path, None);
         Ok(data.len())
@@ -2612,6 +2765,12 @@ impl Filesystem {
             let h = set.handle_mut(fd.0).expect("handle verified above");
             h.wrote = true;
             path = h.path.clone();
+            self.jrnl(path.as_str(), || Record::Write {
+                ino,
+                offset,
+                data: data.to_vec(),
+                tick: now,
+            });
         }
         self.notify.emit(EventKind::Modify, &path, None);
         Ok(data.len())
@@ -2823,6 +2982,11 @@ impl Filesystem {
                         *d = data.to_vec();
                         node.mtime = now;
                     }
+                    self.jrnl(full.as_str(), || Record::SetContent {
+                        ino,
+                        data: data.to_vec(),
+                        tick: now,
+                    });
                     drop(set);
                     events.push((EventKind::Modify, full.clone(), None));
                     events.push((
@@ -2872,6 +3036,15 @@ impl Filesystem {
                     let p = set.inode_mut(r.parent_ino)?;
                     p.dir_entries_mut()?.insert(r.name.clone(), ino);
                     p.mtime = now;
+                    self.jrnl(full.as_str(), || Record::Create {
+                        parent: r.parent_ino,
+                        name: r.name.clone(),
+                        ino,
+                        uid: creds.uid,
+                        gid: creds.gid,
+                        data: data.to_vec(),
+                        tick: now,
+                    });
                     self.bump_gen(r.parent_ino);
                     drop(set);
                     let name = full.file_name().map(str::to_string);
@@ -2913,6 +3086,11 @@ impl Filesystem {
                 NodeKind::Dir { .. } => return err(Errno::EISDIR, vp.as_str()),
                 NodeKind::Symlink(_) => return err(Errno::EINVAL, vp.as_str()),
             }
+            self.jrnl(vp.as_str(), || Record::Truncate {
+                ino,
+                len,
+                tick: now,
+            });
             break;
         }
         self.notify.emit(EventKind::Modify, &vp, None);

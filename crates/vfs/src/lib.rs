@@ -50,6 +50,7 @@ pub mod dcache;
 pub mod error;
 pub mod fs;
 pub mod hooks;
+pub mod journal;
 pub mod metrics;
 pub mod namespace;
 pub mod notify;
@@ -69,6 +70,7 @@ pub use fs::{
     MAX_SYMLINK_HOPS,
 };
 pub use hooks::SemanticHook;
+pub use journal::{scan_frames, FrameInfo, JournalStats, ReplayReport, JOURNAL_VERSION};
 pub use metrics::{op_cost_ns, LatencyHistogram, MetricsRegistry};
 pub use namespace::Namespace;
 pub use notify::{Event, EventKind, EventMask, NotifyHub, WatchId};

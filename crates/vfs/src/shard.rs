@@ -172,6 +172,32 @@ impl Tables {
         self.next_fd.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Raise the inode allocator so the next [`Tables::alloc_ino`] returns
+    /// at least `floor`. Journal restore installs inodes under their
+    /// *original* numbers; advancing the allocator past them keeps the
+    /// never-reused guarantee across the crash boundary.
+    pub fn ensure_ino_floor(&self, floor: u64) {
+        self.next_ino.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Raise the fd allocator to at least `floor`. A restored filesystem
+    /// starts with an empty handle table; keeping fd numbering past the
+    /// pre-crash watermark means a stale descriptor can never alias a new
+    /// open — it fails `EBADF` forever.
+    pub fn ensure_fd_floor(&self, floor: u64) {
+        self.next_fd.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Current inode-allocator watermark (the next number to be handed out).
+    pub fn ino_watermark(&self) -> u64 {
+        self.next_ino.load(Ordering::Relaxed)
+    }
+
+    /// Current fd-allocator watermark.
+    pub fn fd_watermark(&self) -> u64 {
+        self.next_fd.load(Ordering::Relaxed)
+    }
+
     /// Open handles across all shards (exact: maintained atomically at
     /// insert/remove).
     pub fn handle_count(&self) -> usize {

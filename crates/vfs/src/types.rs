@@ -203,6 +203,14 @@ impl Clock {
     pub fn now(&self) -> Timestamp {
         Timestamp(self.0.load(Ordering::Relaxed))
     }
+
+    /// Move the clock forward to at least `t` (never backwards). Journal
+    /// restore uses this so a rebuilt filesystem resumes ticking *after*
+    /// the last replayed mutation, keeping timestamps monotonic across the
+    /// crash boundary.
+    pub fn advance_to(&self, t: Timestamp) {
+        self.0.fetch_max(t.0, Ordering::Relaxed);
+    }
 }
 
 /// Stat-like metadata snapshot returned by [`crate::Filesystem::stat`].

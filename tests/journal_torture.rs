@@ -1,0 +1,570 @@
+//! Crash-at-every-record torture suite for the vfs write-ahead journal.
+//!
+//! The durability contract (DESIGN.md §10): at any byte-truncation point of
+//! the journal — a crash can stop the log mid-frame, mid-snapshot, anywhere —
+//! `restore_from_journal` rebuilds exactly the tree that existed at the last
+//! complete record boundary, partial frames are invisible, and the very next
+//! operation on the restored tree fails or succeeds with the *same errno* the
+//! sequential model would produce. These tests prove that contract by brute
+//! force: a seeded 500-op history is journaled, then the log is truncated
+//! after **every** frame boundary (and inside sampled frames, including
+//! mid-snapshot) and restored.
+//!
+//! The E23 experiment lives here too: a supervised controller crash
+//! ([`Fault::CrashController`], the PR-2 fault injector) followed by a warm
+//! journal restart that must reconverge with strictly fewer syscalls than
+//! the E19 cold restart, pinned via `/net/.proc/vfs/journal` counters.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use yanc::{YancApp, YancFs, YancResult};
+use yanc_apps::TopologyDaemon;
+use yanc_harness::{build_line, settle_supervised};
+use yanc_init::{Fault, ProcessCtx, ProcessSpec, Supervisor};
+use yanc_openflow::Version;
+use yanc_vfs::{scan_frames, Acl, Credentials, Filesystem, Gid, Limits, Mode, Uid, VfsResult};
+
+// ----------------------------------------------------------------------
+// Deterministic op generator (splitmix64, same idiom as linearizability.rs)
+// ----------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const DIRS: [&str; 3] = ["/t/d0", "/t/d1", "/t/d2"];
+const NAMES: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+const SUBS: [&str; 3] = ["s0", "s1", "s2"];
+
+/// One step of the torture history. Every journaled record kind is reachable:
+/// `WriteFile` emits `Create`/`Truncate`+`Write`, `BatchWrite` emits
+/// `Create`/`SetContent`, and the rest map one-to-one.
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(String),
+    WriteFile(String, Vec<u8>),
+    Rename(String, String),
+    Unlink(String),
+    Link(String, String),
+    Chmod(String, u16),
+    Chown(String, u32, u32),
+    SetAcl(String, bool),
+    SetXattr(String, String, Vec<u8>),
+    RemoveXattr(String, String),
+    Truncate(String, u64),
+    Symlink(String, String),
+    Rmdir(String),
+    BatchWrite(String, String, Vec<u8>),
+}
+
+fn gen_op(rng: &mut Rng) -> Op {
+    let dir = DIRS[rng.below(3) as usize];
+    let name = NAMES[rng.below(6) as usize];
+    let file = format!("{dir}/{name}");
+    match rng.below(100) {
+        0..=31 => {
+            // Never empty: each successful write yields a `Write` record.
+            let len = 1 + rng.below(95) as usize;
+            let mut data = vec![0u8; len];
+            for b in data.iter_mut() {
+                *b = (rng.below(256)) as u8;
+            }
+            Op::WriteFile(file, data)
+        }
+        32..=39 => Op::Mkdir(format!("{dir}/{}", SUBS[rng.below(3) as usize])),
+        40..=46 => {
+            let to = format!(
+                "{}/{}",
+                DIRS[rng.below(3) as usize],
+                NAMES[rng.below(6) as usize]
+            );
+            Op::Rename(file, to)
+        }
+        47..=53 => Op::Unlink(file),
+        54..=59 => {
+            let new = format!(
+                "{}/{}",
+                DIRS[rng.below(3) as usize],
+                NAMES[rng.below(6) as usize]
+            );
+            Op::Link(file, new)
+        }
+        60..=65 => Op::Chmod(file, 0o600 + (rng.below(64) as u16)),
+        66..=71 => Op::Chown(file, 1000 + rng.below(3) as u32, 1000 + rng.below(3) as u32),
+        72..=76 => Op::SetAcl(file, rng.below(2) == 0),
+        77..=81 => Op::SetXattr(
+            file,
+            format!("user.k{}", rng.below(3)),
+            vec![rng.below(256) as u8; 4],
+        ),
+        82..=85 => Op::RemoveXattr(file, format!("user.k{}", rng.below(3))),
+        86..=89 => Op::Truncate(file, rng.below(48)),
+        90..=93 => {
+            let link = format!("{dir}/{}", SUBS[rng.below(3) as usize]);
+            Op::Symlink(file, format!("{link}.lnk"))
+        }
+        94..=95 => Op::Rmdir(format!("{dir}/{}", SUBS[rng.below(3) as usize])),
+        _ => {
+            let mut data = vec![0u8; 8];
+            for b in data.iter_mut() {
+                *b = (rng.below(256)) as u8;
+            }
+            Op::BatchWrite(dir.to_string(), name.to_string(), data)
+        }
+    }
+}
+
+/// The 500-op seeded history, prefixed by the deterministic scaffolding that
+/// creates the working directories (themselves journaled ops).
+fn build_history(seed: u64, n: usize) -> Vec<Op> {
+    let mut ops = vec![Op::Mkdir("/t".into())];
+    ops.extend(DIRS.iter().map(|d| Op::Mkdir((*d).into())));
+    let mut rng = Rng::new(seed);
+    while ops.len() < n {
+        ops.push(gen_op(&mut rng));
+    }
+    ops
+}
+
+/// Apply one op. The result (`Ok` payload and exact errno alike) is part of
+/// the sequential model: the journaled run, the restored run, and the oracle
+/// must all observe the same value at the same history position.
+fn apply_op(fs: &Filesystem, op: &Op) -> VfsResult<u64> {
+    let root = Credentials::root();
+    match op {
+        Op::Mkdir(p) => fs.mkdir(p, Mode::DIR_DEFAULT, &root).map(|_| 0),
+        Op::WriteFile(p, data) => fs.write_file(p, data, &root).map(|_| 0),
+        Op::Rename(from, to) => fs.rename(from, to, &root).map(|_| 0),
+        Op::Unlink(p) => fs.unlink(p, &root).map(|_| 0),
+        Op::Link(old, new) => fs.link(old, new, &root).map(|_| 0),
+        Op::Chmod(p, m) => fs.chmod(p, Mode(*m), &root).map(|_| 0),
+        Op::Chown(p, u, g) => fs.chown(p, Some(Uid(*u)), Some(Gid(*g)), &root).map(|_| 0),
+        Op::SetAcl(p, set) => {
+            let acl = if *set {
+                let mut a = Acl::new();
+                a.set_user(Uid(1000), 0o6);
+                a.set_mask(0o6);
+                Some(a)
+            } else {
+                None
+            };
+            fs.set_acl(p, acl, &root).map(|_| 0)
+        }
+        Op::SetXattr(p, k, v) => fs.set_xattr(p, k, v, &root).map(|_| 0),
+        Op::RemoveXattr(p, k) => fs.remove_xattr(p, k, &root).map(|_| 0),
+        Op::Truncate(p, len) => fs.truncate(p, *len, &root).map(|_| 0),
+        Op::Symlink(target, link) => fs.symlink(target, link, &root).map(|_| 0),
+        Op::Rmdir(p) => fs.rmdir(p, &root).map(|_| 0),
+        Op::BatchWrite(dir, name, data) => {
+            let fd = fs.open_dir(dir, &root)?;
+            let r = fs
+                .write_batch_at(fd, &[(name.as_str(), data.as_slice())], &root)
+                .map(|n| n as u64);
+            let c = fs.close(fd, &root);
+            let n = r?;
+            c.map(|_| n)
+        }
+    }
+}
+
+/// Run the whole history on a journaling fs, recording the sequential model:
+/// per-prefix tree digests, per-op results, and the journal byte length at
+/// every op boundary (the crash points the main sweep must reproduce).
+struct JournaledRun {
+    bytes: Vec<u8>,
+    /// `digests[k]` = tree digest after `k` ops applied.
+    digests: Vec<u64>,
+    /// `results[k]` = what op `k` returned when the live run executed it.
+    results: Vec<VfsResult<u64>>,
+    /// journal byte length → number of ops applied at that boundary.
+    boundary_ops: HashMap<usize, usize>,
+}
+
+fn run_journaled(ops: &[Op], snapshot_at: &[usize]) -> JournaledRun {
+    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    fs.enable_journal();
+    let mut digests = vec![fs.tree_digest()];
+    let mut results = Vec::with_capacity(ops.len());
+    let mut boundary_ops = HashMap::new();
+    boundary_ops.insert(fs.journal_stats().bytes as usize, 0usize);
+    for (i, op) in ops.iter().enumerate() {
+        results.push(apply_op(&fs, op));
+        digests.push(fs.tree_digest());
+        boundary_ops.insert(fs.journal_stats().bytes as usize, i + 1);
+        if snapshot_at.contains(&(i + 1)) {
+            fs.journal_snapshot();
+            // A snapshot frame is its own valid crash point for the same
+            // prefix state.
+            boundary_ops.insert(fs.journal_stats().bytes as usize, i + 1);
+        }
+    }
+    JournaledRun {
+        bytes: fs.journal_bytes(),
+        digests,
+        results,
+        boundary_ops,
+    }
+}
+
+fn restore(bytes: &[u8]) -> (Filesystem, yanc_vfs::ReplayReport) {
+    Filesystem::restore_from_journal(bytes, Limits::default(), 1, false)
+}
+
+// ----------------------------------------------------------------------
+// The torture sweep
+// ----------------------------------------------------------------------
+
+/// Truncate the journal after every complete frame of a 500-op history and
+/// restore. Op-boundary cuts must reproduce the model prefix state exactly
+/// (tree digest + exact errno of the next op); intra-op cuts (multi-record
+/// ops caught halfway) must still restore deterministically to a structurally
+/// sound tree.
+#[test]
+fn crash_at_every_record_boundary_restores_prefix_state() {
+    let ops = build_history(0xD15C_0001, 500);
+    let run = run_journaled(&ops, &[150, 350]);
+    let frames = scan_frames(&run.bytes);
+    assert!(
+        frames.len() >= 500,
+        "500 ops must produce at least 500 frames, got {}",
+        frames.len()
+    );
+    assert_eq!(
+        frames.last().unwrap().end,
+        run.bytes.len(),
+        "journal must end on a frame boundary"
+    );
+
+    let mut op_boundaries = 0usize;
+    for f in &frames {
+        let cut = &run.bytes[..f.end];
+        let (fsr, report) = restore(cut);
+        assert_eq!(
+            report.tail_dropped_bytes, 0,
+            "cut at a frame boundary has no torn tail"
+        );
+        fsr.check_invariants()
+            .unwrap_or_else(|e| panic!("restore at byte {} broke invariants: {e}", f.end));
+        if let Some(&k) = run.boundary_ops.get(&f.end) {
+            // A crash exactly between ops: the restored tree IS the model
+            // prefix, byte for byte (modulo the documented clock/generation
+            // remap, which the digest excludes).
+            op_boundaries += 1;
+            assert_eq!(
+                fsr.tree_digest(),
+                run.digests[k],
+                "restore at op boundary {k} (byte {}) diverged from the model",
+                f.end
+            );
+            if k < ops.len() {
+                // ...and the next op observes the same outcome (same errno,
+                // same payload) the live run observed.
+                assert_eq!(
+                    apply_op(&fsr, &ops[k]),
+                    run.results[k],
+                    "op {k} after restore at byte {} diverged",
+                    f.end
+                );
+            }
+        } else {
+            // A crash inside a multi-record op: the tree holds the record
+            // prefix. That state must at least be deterministic — two
+            // restores of the same bytes agree exactly.
+            let (fsr2, report2) = restore(cut);
+            assert_eq!(report, report2);
+            assert_eq!(fsr.tree_digest(), fsr2.tree_digest());
+        }
+    }
+    // Multi-record ops (`Create`+`Write`, batch entries) put interior frames
+    // between op boundaries, and record-less failed ops collapse onto their
+    // predecessor's boundary — but the bulk of the sweep must still exercise
+    // the exact-prefix-equality arm.
+    assert!(
+        op_boundaries > 300,
+        "most cuts should land on op boundaries, got {op_boundaries}"
+    );
+}
+
+/// Truncate *inside* sampled frames — including byte 1 of a frame and one
+/// byte short of its checksum — and assert the partial frame is invisible:
+/// the restore equals the restore at the frame's start.
+#[test]
+fn partial_frames_are_invisible() {
+    let ops = build_history(0xD15C_0002, 300);
+    let run = run_journaled(&ops, &[120]);
+    let frames = scan_frames(&run.bytes);
+    let mut digest_at = HashMap::new();
+    digest_at.insert(0usize, restore(&[]).0.tree_digest());
+    for f in &frames {
+        digest_at.insert(f.end, restore(&run.bytes[..f.end]).0.tree_digest());
+    }
+    for (j, f) in frames.iter().enumerate() {
+        if j % 13 != 0 && !f.is_snapshot {
+            continue;
+        }
+        let base = digest_at[&f.start];
+        let mid = f.start + (f.end - f.start) / 2;
+        for cut in [f.start + 1, mid, f.end - 1] {
+            let (fsr, report) = restore(&run.bytes[..cut]);
+            assert_eq!(
+                fsr.tree_digest(),
+                base,
+                "cut at byte {cut} inside frame {j} leaked a partial record"
+            );
+            assert_eq!(
+                report.tail_dropped_bytes as usize,
+                cut - f.start,
+                "torn tail must be exactly the partial frame"
+            );
+            fsr.check_invariants().unwrap();
+        }
+    }
+}
+
+/// A crash mid-snapshot (the fault window `journal_maybe_snapshot` opens on
+/// every supervisor tick) must fall back to the previous snapshot + suffix:
+/// the half-written snapshot frame contributes nothing.
+#[test]
+fn crash_mid_snapshot_falls_back_to_previous_boundary() {
+    let ops = build_history(0xD15C_0003, 200);
+    let run = run_journaled(&ops, &[80, 160]);
+    let frames = scan_frames(&run.bytes);
+    let snaps: Vec<_> = frames.iter().filter(|f| f.is_snapshot).collect();
+    // Anchor snapshot plus the two scheduled ones.
+    assert_eq!(snaps.len(), 3);
+    for f in &snaps {
+        let base = restore(&run.bytes[..f.start]).0.tree_digest();
+        for cut in [f.start + 1, f.start + (f.end - f.start) / 2, f.end - 1] {
+            let (fsr, _) = restore(&run.bytes[..cut]);
+            assert_eq!(
+                fsr.tree_digest(),
+                base,
+                "mid-snapshot cut at byte {cut} must be invisible"
+            );
+        }
+        // The complete snapshot frame, by contrast, is a proper boundary
+        // for the same state.
+        assert_eq!(restore(&run.bytes[..f.end]).0.tree_digest(), base);
+    }
+}
+
+/// Compaction drops exactly the bytes the latest snapshot covers: the
+/// compacted journal restores to the same tree as the full journal.
+#[test]
+fn compaction_preserves_restore_equivalence() {
+    let ops = build_history(0xD15C_0004, 200);
+    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    fs.enable_journal();
+    for op in &ops[..150] {
+        let _ = apply_op(&fs, op);
+    }
+    fs.journal_snapshot();
+    for op in &ops[150..] {
+        let _ = apply_op(&fs, op);
+    }
+    let full = fs.journal_bytes();
+    let dropped = fs.journal_compact();
+    assert!(dropped > 0, "a mid-history snapshot must free bytes");
+    let compacted = fs.journal_bytes();
+    assert!(compacted.len() < full.len());
+    assert_eq!(fs.journal_stats().compacted_bytes, dropped);
+    let live = fs.tree_digest();
+    assert_eq!(restore(&full).0.tree_digest(), live);
+    let (fsr, report) = restore(&compacted);
+    assert_eq!(fsr.tree_digest(), live);
+    assert!(report.snapshot_used);
+}
+
+/// Open descriptors do not survive a crash: after restore the fd table is
+/// empty, stale descriptors fail with `EBADF`, and the restored allocator
+/// never re-issues a pre-crash fd number (the watermark floor).
+#[test]
+fn readdir_fd_after_restore_is_ebadf() {
+    let root = Credentials::root();
+    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    fs.enable_journal();
+    fs.mkdir_all("/t/d0", Mode::DIR_DEFAULT, &root).unwrap();
+    fs.write_file("/t/d0/a", b"hello", &root).unwrap();
+    let dfd = fs.open_dir("/t/d0", &root).unwrap();
+    assert!(!fs.readdir_fd(dfd).unwrap().is_empty());
+    // Snapshot with the descriptor open: the fd-allocator watermark rides
+    // along, so the restored side can never hand the number out again.
+    fs.journal_snapshot();
+
+    let (fsr, _) = restore(&fs.journal_bytes());
+    let err = fsr.readdir_fd(dfd).unwrap_err();
+    assert_eq!(err.errno, yanc_vfs::Errno::EBADF, "stale fd must be dead");
+
+    // New descriptors work, and never collide with pre-crash numbers.
+    let nfd = fsr.open_dir("/t/d0", &root).unwrap();
+    assert!(nfd.0 > dfd.0, "fd watermark must floor past the crash");
+    let names: Vec<String> = fsr
+        .readdir_fd(nfd)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names, vec!["a".to_string()]);
+    assert_eq!(fsr.read_to_string("/t/d0/a", &root).unwrap(), "hello");
+}
+
+/// Restored filesystems journal nothing until explicitly re-enabled —
+/// replaying must not re-log the history it is replaying.
+#[test]
+fn restored_fs_journals_only_after_reenable() {
+    let root = Credentials::root();
+    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    fs.enable_journal();
+    fs.mkdir("/t", Mode::DIR_DEFAULT, &root).unwrap();
+    let (fsr, _) = restore(&fs.journal_bytes());
+    assert!(!fsr.journal_enabled());
+    fsr.mkdir("/u", Mode::DIR_DEFAULT, &root).unwrap();
+    assert_eq!(fsr.journal_stats().records, 0);
+    fsr.enable_journal();
+    fsr.mkdir("/v", Mode::DIR_DEFAULT, &root).unwrap();
+    assert_eq!(fsr.journal_stats().records, 1);
+    // And the re-enabled journal is itself restorable: second-generation
+    // restore reproduces the second-generation tree.
+    let (fsr2, report) = restore(&fsr.journal_bytes());
+    assert!(report.snapshot_used);
+    assert_eq!(fsr2.tree_digest(), fsr.tree_digest());
+}
+
+// ----------------------------------------------------------------------
+// E23: warm restart vs E19 cold restart
+// ----------------------------------------------------------------------
+
+fn topology_fingerprint(yfs: &YancFs) -> String {
+    let mut links = Vec::new();
+    for sw in yfs.list_switches().unwrap() {
+        for port in yfs.list_ports(&sw).unwrap() {
+            if let Ok(Some((peer, pport))) = yfs.peer(&sw, port) {
+                links.push(format!("{sw}:{port}->{peer}:{pport}"));
+            }
+        }
+    }
+    links.sort();
+    links.join("\n")
+}
+
+fn topod_factory(ctx: &ProcessCtx) -> YancResult<Box<dyn YancApp>> {
+    Ok(Box::new(TopologyDaemon::new(ctx.yfs.clone())?) as Box<dyn YancApp>)
+}
+
+fn proc_u64(fs: &Filesystem, path: &str) -> u64 {
+    fs.read_to_string(path, &Credentials::root())
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// E23. Cold restart (E19) rebuilds `/net` by re-running discovery: every
+/// switch dir, port file and flow re-created through the full syscall path.
+/// Warm restart replays the journal: one accounted syscall per surviving
+/// record, snapshot install free. The warm path must be strictly cheaper,
+/// deterministic across two restores, and pinned by `/net/.proc` counters.
+#[test]
+fn warm_restart_replays_fewer_syscalls_than_cold() {
+    // --- Cold reference: the E19 scenario, built from nothing. ---
+    let cold_total = {
+        let mut rt = yanc_driver::Runtime::new();
+        build_line(&mut rt, 3, Version::V1_3);
+        rt.yfs.enable_introspection().unwrap();
+        let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+        sup.spawn(ProcessSpec::new("topod"), topod_factory).unwrap();
+        settle_supervised(&mut rt, &mut sup);
+        proc_u64(rt.yfs.filesystem(), "/net/.proc/scopes/net/total")
+    };
+
+    // --- Journaled run, crashed by the PR-2 fault injector. ---
+    let fs = Arc::new(Filesystem::new());
+    fs.enable_journal();
+    fs.set_journal_snapshot_every(16);
+    let mut rt = yanc_driver::Runtime::with_fs(fs.clone());
+    build_line(&mut rt, 3, Version::V1_3);
+    rt.yfs.enable_introspection().unwrap();
+    let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
+    sup.spawn(ProcessSpec::new("topod"), topod_factory).unwrap();
+    sup.faults.at(2, Fault::CrashController);
+    settle_supervised(&mut rt, &mut sup);
+    assert!(sup.take_controller_crash(), "crash fault must fire");
+
+    // Post-convergence mutations that land *after* the last auto-snapshot:
+    // the warm restart must replay these as its suffix — snapshot install
+    // alone costs zero syscalls and would make the comparison vacuous.
+    let root = Credentials::root();
+    fs.write_file("/net/ctl.generation", b"7\n", &root).unwrap();
+    fs.write_file("/net/ctl.note", b"pre-crash marker\n", &root)
+        .unwrap();
+
+    let pre_digest = fs.tree_digest();
+    let pre_topo = topology_fingerprint(&rt.yfs);
+    assert!(!pre_topo.is_empty());
+    let stats = fs.journal_stats();
+    assert!(
+        stats.snapshots >= 2,
+        "supervisor ticks must drive auto-snapshots (got {})",
+        stats.snapshots
+    );
+    // The crash: the world is dropped; only the journal bytes survive.
+    let bytes = fs.journal_bytes();
+    drop(sup);
+    drop(rt);
+    drop(fs);
+
+    // --- Warm restart. ---
+    let (warm, report) = Filesystem::restore_from_journal(&bytes, Limits::default(), 4, true);
+    assert!(report.snapshot_used, "warm restart starts from a snapshot");
+    assert_eq!(
+        warm.tree_digest(),
+        pre_digest,
+        "tree must be byte-identical"
+    );
+    let warm = Arc::new(warm);
+    let wyfs = YancFs::new(warm.clone(), "/net");
+    assert_eq!(topology_fingerprint(&wyfs), pre_topo);
+
+    // Pin the syscall claim with `.proc` counters, not test-side arithmetic.
+    warm.mount_proc("/net/.proc").unwrap();
+    let warm_syscalls = proc_u64(&warm, "/net/.proc/vfs/journal/replay_syscalls");
+    assert_eq!(warm_syscalls, report.replay_syscalls);
+    assert_eq!(
+        proc_u64(&warm, "/net/.proc/vfs/journal/replayed"),
+        report.records_replayed
+    );
+    assert!(warm_syscalls > 0);
+    assert!(
+        warm_syscalls < cold_total,
+        "warm restart ({warm_syscalls} syscalls) must beat the E19 cold \
+         restart ({cold_total} syscalls)"
+    );
+    // Visible under --nocapture; the EXPERIMENTS.md E23 table comes from here.
+    println!(
+        "E23: cold={cold_total} warm={warm_syscalls} replayed={} snapshots={} journal_bytes={}",
+        report.records_replayed,
+        stats.snapshots,
+        bytes.len()
+    );
+
+    // Warm restart is deterministic: a second replay of the same bytes is
+    // identical in both outcome and accounting.
+    let (warm2, report2) = Filesystem::restore_from_journal(&bytes, Limits::default(), 4, true);
+    assert_eq!(report, report2);
+    assert_eq!(warm2.tree_digest(), pre_digest);
+}

@@ -361,6 +361,15 @@ fn run_history_pair(seed: u64, shards: usize) {
             );
         }
     }
+    // Stronger than the per-path walk above: the canonical tree encoding
+    // (inodes, modes, owners, xattrs, ACLs, link structure — everything the
+    // journal snapshots) must agree bit for bit. Both replays tick the same
+    // virtual clock the same number of times, so even mtimes line up.
+    assert_eq!(
+        fs_on.tree_digest(),
+        fs_off.tree_digest(),
+        "seed {seed}: tree digest diverged between cache modes"
+    );
     fs_on
         .check_invariants()
         .unwrap_or_else(|e| panic!("seed {seed}: cache-on invariants violated: {e}"));

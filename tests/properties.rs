@@ -285,6 +285,76 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -----------------------------------------------------------------
+    // Journal replay determinism (DESIGN.md §10)
+    // -----------------------------------------------------------------
+
+    // The durability law: for an arbitrary op sequence (including
+    // rename/link/unlink interleavings), `replay(full log)` ≡
+    // `mid-snapshot + replay(suffix)` ≡ `compacted log` ≡ the live tree.
+    // The mid-run snapshot is spliced out by frame surgery to force the
+    // pure-replay path over the identical history.
+    #[test]
+    fn journal_replay_is_deterministic(ops in proptest::collection::vec(
+        (0u8..7,
+         prop_oneof![Just("p"), Just("q"), Just("r")],
+         prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")],
+         prop_oneof![Just("p"), Just("q"), Just("r")],
+         prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")],
+         proptest::collection::vec(any::<u8>(), 1..6)),
+        1..60,
+    )) {
+        let fs = Filesystem::new();
+        fs.enable_journal();
+        let creds = Credentials::root();
+        let mid = ops.len() / 2;
+        for (i, (kind, d1, n1, d2, n2, data)) in ops.iter().enumerate() {
+            if i == mid {
+                fs.journal_snapshot();
+            }
+            let a = format!("/{d1}/{n1}");
+            let b = format!("/{d2}/{n2}");
+            match kind {
+                0 => { let _ = fs.mkdir_all(&format!("/{d1}"), Mode::DIR_DEFAULT, &creds); }
+                1 => { let _ = fs.write_file(&a, data, &creds); }
+                2 => { let _ = fs.rename(&a, &b, &creds); }
+                3 => { let _ = fs.link(&a, &b, &creds); }
+                4 => { let _ = fs.unlink(&a, &creds); }
+                5 => { let _ = fs.symlink(&b, &a, &creds); }
+                _ => { let _ = fs.rmdir(&format!("/{d1}"), &creds); }
+            }
+        }
+        let live = fs.tree_digest();
+        let bytes = fs.journal_bytes();
+
+        // Snapshot + replay(suffix): the scanner picks the latest snapshot.
+        let (r1, _) = Filesystem::restore_from_journal(&bytes, yanc_vfs::Limits::default(), 2, true);
+        prop_assert_eq!(r1.tree_digest(), live);
+        prop_assert!(r1.check_invariants().is_ok());
+
+        // Pure replay(full log): splice every non-anchor snapshot frame out
+        // so only the virgin anchor remains, then replay all records.
+        let frames = yanc_vfs::scan_frames(&bytes);
+        let mut spliced = Vec::new();
+        for (j, f) in frames.iter().enumerate() {
+            if j == 0 || !f.is_snapshot {
+                spliced.extend_from_slice(&bytes[f.start..f.end]);
+            }
+        }
+        let (r2, _) = Filesystem::restore_from_journal(&spliced, yanc_vfs::Limits::default(), 1, false);
+        prop_assert_eq!(r2.tree_digest(), live);
+
+        // Compacted log: drop everything the latest snapshot covers.
+        fs.journal_compact();
+        let (r3, _) = Filesystem::restore_from_journal(
+            &fs.journal_bytes(), yanc_vfs::Limits::default(), 3, true);
+        prop_assert_eq!(r3.tree_digest(), live);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Sharded-vfs concurrency laws
 // ---------------------------------------------------------------------
