@@ -13,7 +13,10 @@
 //!   [`account()`](audit::account), cron-style
 //!   passes over the tree;
 //! * **shell scripts** — the static [`flow_pusher`], which is literally
-//!   `mkdir` + `echo` commands.
+//!   `mkdir` + `echo` commands;
+//! * **staged sessions** — [`WhatIf`], which edits a copy-on-write overlay
+//!   view of `/net`, validates the merged result, and commits it as one
+//!   atomic transaction (§3.4 views).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +31,7 @@ pub mod protocols;
 pub mod router;
 pub mod slicer;
 pub mod topology;
+pub mod whatif;
 
 pub use audit::{account, audit, AuditReport, Finding};
 pub use flow_pusher::{parse_pusher_text, push, render_script, PushEntry};
@@ -39,3 +43,4 @@ pub use protocols::{host_registry, register_host, ArpResponder, DhcpDaemon};
 pub use router::RouterDaemon;
 pub use slicer::{intersect, BigSwitchDaemon, SliceDaemon, BIG_SWITCH};
 pub use topology::{ingress_ports, shortest_path, TopologyDaemon};
+pub use whatif::WhatIf;

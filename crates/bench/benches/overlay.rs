@@ -1,0 +1,230 @@
+//! E24 — overlay/union views: what 1,000 copy-on-write tenant views over
+//! one shared base tree cost, read-through vs copy-up, plus one validated
+//! atomic commit that must survive crash replay byte-identically.
+//!
+//! Deterministic, machine-independent metrics (the BENCH_overlay.json
+//! payload): charged syscalls per view for a read-through sweep (no
+//! copy-up, zero bytes staged), charged syscalls and staged bytes per
+//! view for a first write (full copy-up of the target file), and the
+//! record/byte size of one atomic view commit. Every per-view number is
+//! asserted identical across all 1,000 views — overlay costs must not
+//! depend on which tenant pays them. The criterion series shows the
+//! wall-clock side of the same phases.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use yanc_apps::WhatIf;
+use yanc_vfs::{Credentials, Filesystem, Limits, Mode, Overlay};
+
+const VIEWS: usize = 1000;
+
+/// One shared base: a switch with three flows, three key files each.
+fn base_world(journal: bool) -> Arc<Filesystem> {
+    let fs = Arc::new(Filesystem::with_options(Limits::default(), 8, true));
+    if journal {
+        fs.enable_journal();
+    }
+    let r = Credentials::root();
+    for f in ["ssh", "web", "dns"] {
+        let dir = format!("/base/switches/sw0/flows/{f}");
+        fs.mkdir_all(&dir, Mode::DIR_DEFAULT, &r).unwrap();
+        fs.write_file(&format!("{dir}/match.tp_dst"), b"22\n", &r)
+            .unwrap();
+        fs.write_file(&format!("{dir}/action.out"), b"2\n", &r)
+            .unwrap();
+        fs.write_file(&format!("{dir}/priority"), b"900\n", &r)
+            .unwrap();
+    }
+    fs.mkdir_all("/views", Mode::DIR_DEFAULT, &r).unwrap();
+    fs
+}
+
+/// `n` tenant views over the shared base, each with its own upper layer.
+fn make_views(fs: &Arc<Filesystem>, n: usize) -> Vec<Overlay> {
+    let r = Credentials::root();
+    (0..n)
+        .map(|i| {
+            let ov = Overlay::new(fs.clone(), &["/base"], &format!("/views/t{i}"));
+            ov.ensure_upper(&r).unwrap();
+            ov
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let fs = base_world(true);
+    let r = Credentials::root();
+    let base_syscalls = fs.counters().total();
+    let views = make_views(&fs, VIEWS);
+    let setup_syscalls = fs.counters().total() - base_syscalls;
+
+    // Read-through: every view reads a base flow key. No copy-up, no
+    // staged bytes — the overlay resolves through to the shared lower.
+    let s0 = fs.counters().snapshot();
+    for ov in &views {
+        let v = ov
+            .read_to_string("/switches/sw0/flows/ssh/priority", &r)
+            .unwrap();
+        assert_eq!(v, "900\n");
+    }
+    let read_total = fs.counters().snapshot().since(&s0).total();
+    assert_eq!(
+        read_total % VIEWS as u64,
+        0,
+        "read-through cost differs across views"
+    );
+    let read_per_view = read_total / VIEWS as u64;
+    for ov in &views {
+        let st = ov.stats();
+        assert_eq!(st.copy_ups, 0, "read-through triggered a copy-up");
+        assert_eq!(st.copy_up_bytes, 0);
+    }
+
+    // Copy-up: every view overwrites that key. First write pays a full
+    // copy-up of the file (content + metadata) into the private upper;
+    // the base stays untouched and every tenant pays the same price.
+    let s1 = fs.counters().snapshot();
+    for ov in &views {
+        ov.write_file("/switches/sw0/flows/ssh/priority", b"100\n", &r)
+            .unwrap();
+    }
+    let write_total = fs.counters().snapshot().since(&s1).total();
+    assert_eq!(
+        write_total % VIEWS as u64,
+        0,
+        "copy-up cost differs across views"
+    );
+    let write_per_view = write_total / VIEWS as u64;
+    let bytes_per_view = views[0].stats().copy_up_bytes;
+    for ov in &views {
+        let st = ov.stats();
+        assert_eq!(st.copy_ups, 1, "first write must copy up exactly once");
+        assert_eq!(st.copy_up_bytes, bytes_per_view, "staged bytes differ");
+    }
+    assert_eq!(
+        fs.read_to_string("/base/switches/sw0/flows/ssh/priority", &r)
+            .unwrap(),
+        "900\n",
+        "a tenant write leaked into the shared base"
+    );
+    assert!(
+        write_per_view > read_per_view,
+        "copy-up should cost more than read-through"
+    );
+
+    // One view performs a validated atomic commit: stage a new flow via
+    // the what-if app, parse-validate the merged tree, publish it as a
+    // single journaled transaction.
+    let session = WhatIf::begin(fs.clone(), "/base", "/staging/commit-view", &r).unwrap();
+    session
+        .stage_flow(
+            "sw0",
+            "lb",
+            &[
+                ("match.tp_dst", "443"),
+                ("action.out", "4"),
+                ("priority", "800"),
+            ],
+        )
+        .unwrap();
+    let valid_flows = session.validate().expect("staged view failed validation");
+    assert_eq!(valid_flows, 4);
+    let report = session.commit().unwrap();
+    assert!(report.records > 0);
+    assert!(fs.exists("/base/switches/sw0/flows/lb/priority", &r));
+
+    // Crash replay: rebuild from the journal alone. The whole history —
+    // 1,000 copy-ups plus the commit frame — must replay to the exact
+    // same tree, proving the commit is a single all-or-nothing record.
+    let live_digest = fs.tree_digest();
+    let (warm, replay) =
+        Filesystem::restore_from_journal(&fs.journal_bytes(), Limits::default(), 8, true);
+    assert_eq!(
+        warm.tree_digest(),
+        live_digest,
+        "crash replay diverged from the live tree"
+    );
+
+    println!("\nE24: {VIEWS} tenant views over one shared base tree");
+    println!("{:>28} {:>12}", "metric", "value");
+    println!("{:>28} {:>12}", "view setup syscalls", setup_syscalls);
+    println!("{:>28} {:>12}", "read-through syscalls/view", read_per_view);
+    println!("{:>28} {:>12}", "copy-up syscalls/view", write_per_view);
+    println!("{:>28} {:>12}", "copy-up bytes/view", bytes_per_view);
+    println!("{:>28} {:>12}", "commit records", report.records);
+    println!("{:>28} {:>12}", "commit bytes", report.bytes);
+    println!("{:>28} {:>12}", "replay records", replay.records_replayed);
+
+    yanc_harness::write_bench_report(
+        "overlay",
+        &fs,
+        &[
+            (
+                "experiment",
+                "\"E24 overlay views: copy-on-write cost + atomic commit\"".to_string(),
+            ),
+            ("views", VIEWS.to_string()),
+            ("view_setup_syscalls", setup_syscalls.to_string()),
+            ("read_through_syscalls_per_view", read_per_view.to_string()),
+            ("copy_up_syscalls_per_view", write_per_view.to_string()),
+            ("copy_up_bytes_per_view", bytes_per_view.to_string()),
+            ("commit_records", report.records.to_string()),
+            ("commit_bytes", report.bytes.to_string()),
+            ("commit_whiteouts", report.whiteouts.to_string()),
+            ("replay_records", replay.records_replayed.to_string()),
+            (
+                "replay_digest_matches",
+                (warm.tree_digest() == live_digest).to_string(),
+            ),
+            (
+                "note",
+                "\"per-view counts are asserted identical across all views; wall-clock series in criterion output is machine-dependent\"".to_string(),
+            ),
+        ],
+    );
+
+    // Wall-clock series: view creation + first-write copy-up, a pure
+    // read-through sweep over warm views, and a staged commit cycle.
+    let mut g = c.benchmark_group("overlay");
+    g.sample_size(10);
+    g.bench_function("create_256_views_and_copy_up", |b| {
+        b.iter(|| {
+            let fs = base_world(false);
+            let views = make_views(&fs, 256);
+            for ov in &views {
+                ov.write_file("/switches/sw0/flows/ssh/priority", b"1\n", &r)
+                    .unwrap();
+            }
+        })
+    });
+    g.bench_function("read_through_1000_views", |b| {
+        b.iter(|| {
+            for ov in &views {
+                ov.read_to_string("/switches/sw0/flows/web/priority", &r)
+                    .unwrap();
+            }
+        })
+    });
+    let commit_fs = base_world(false);
+    g.bench_function("stage_validate_commit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s =
+                WhatIf::begin(commit_fs.clone(), "/base", &format!("/staging/b{i}"), &r).unwrap();
+            i += 1;
+            s.stage_flow("sw0", "tmp", &[("priority", "7")]).unwrap();
+            s.validate().unwrap();
+            s.commit().unwrap();
+            commit_fs
+                .unlink("/base/switches/sw0/flows/tmp/priority", &r)
+                .unwrap();
+            commit_fs.rmdir("/base/switches/sw0/flows/tmp", &r).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -834,6 +834,25 @@ pub fn lsfd(sh: &Shell, args: &[&str]) -> Output {
     Output::ok(out)
 }
 
+/// `mount`: print the shell namespace's mount table, one row per entry —
+/// `<detail> on <at> type <kind>`, with live copy-up/whiteout/commit
+/// counters for overlay mounts. The same rows appear (per registered
+/// namespace) in `/net/.proc/vfs/mounts`.
+pub fn mount(sh: &Shell, _args: &[&str]) -> Output {
+    let mut out = String::new();
+    for row in sh.namespace().mount_table() {
+        out.push_str(&format!("{} on {} type {}", row.detail, row.at, row.kind));
+        if let Some(s) = row.stats {
+            out.push_str(&format!(
+                " (copy_ups={} copy_up_bytes={} whiteouts={} commits={})",
+                s.copy_ups, s.copy_up_bytes, s.whiteouts, s.commits
+            ));
+        }
+        out.push('\n');
+    }
+    Output::ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1001,6 +1020,30 @@ mod tests {
         assert!(out.contains("uid=1000"));
         assert!(out.contains("gid=2000"));
         assert!(!s.run("chmod zzz /f").success());
+    }
+
+    #[test]
+    fn mount_lists_binds_and_overlays() {
+        let fs = {
+            let mut s = sh();
+            s.run("true");
+            s.namespace().filesystem().clone()
+        };
+        let c = Credentials::root();
+        let ov = yanc_vfs::Overlay::new(fs.clone(), &["/net/switches"], "/views/a");
+        ov.ensure_upper(&c).unwrap();
+        let ns = yanc_vfs::Namespace::new(fs.clone())
+            .bind_ro("/ro", "/net")
+            .overlay("/net", &ov);
+        let mut s = Shell::with_namespace(ns);
+        s.run("echo staged > /net/sw1/id");
+        let out = s.run("mount").out;
+        assert!(out.contains("/ on / type root"), "{out}");
+        assert!(out.contains("/net on /ro type bind_ro"), "{out}");
+        assert!(
+            out.contains("/net/switches -> /views/a on /net type overlay (copy_ups=1"),
+            "{out}"
+        );
     }
 
     #[test]

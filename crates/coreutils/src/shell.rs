@@ -236,6 +236,7 @@ impl Shell {
             "ps" => cmds::ps(self, &args),
             "kill" => cmds::kill(self, &args),
             "lsfd" => cmds::lsfd(self, &args),
+            "mount" => cmds::mount(self, &args),
             "sort" => cmds::sort(&args, stdin),
             "uniq" => cmds::uniq(stdin),
             "true" => Output::ok(String::new()),

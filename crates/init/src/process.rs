@@ -175,6 +175,10 @@ pub struct ProcessSpec {
     /// Namespace confinement: `(at, target)` bind mounts. Empty means the
     /// process sees the whole tree.
     pub binds: Vec<(String, String)>,
+    /// Overlay confinement: `(at, lowers, upper)` copy-on-write mounts.
+    /// The process reads the merged lower layers at `at`, its writes stay
+    /// in the private `upper` directory until an atomic view commit.
+    pub overlays: Vec<(String, Vec<String>, String)>,
     /// Grant `CAP_DAC_OVERRIDE` so the process can write the root-owned
     /// `/net` tree while keeping its own uid for accounting. Defaults to
     /// true; confined processes drop it.
@@ -190,6 +194,7 @@ impl ProcessSpec {
             limits: AppLimits::default(),
             policy: RestartPolicy::default(),
             binds: Vec::new(),
+            overlays: Vec::new(),
             dac_override: true,
         }
     }
@@ -219,6 +224,20 @@ impl ProcessSpec {
             .iter()
             .map(|(a, t)| (a.to_string(), t.to_string()))
             .collect();
+        self.dac_override = false;
+        self
+    }
+
+    /// Confine the process behind a copy-on-write overlay: it reads the
+    /// merged `lowers` at `at`, and every write stays in its private
+    /// `upper` layer until the app commits the staged view atomically.
+    /// Drops `CAP_DAC_OVERRIDE` like [`ProcessSpec::confined`].
+    pub fn overlay_confined(mut self, at: &str, lowers: &[&str], upper: &str) -> Self {
+        self.overlays.push((
+            at.to_string(),
+            lowers.iter().map(|l| l.to_string()).collect(),
+            upper.to_string(),
+        ));
         self.dac_override = false;
         self
     }

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use yanc::{YancApp, YancError, YancFs, YancResult};
 use yanc_dfs::Cluster;
 use yanc_driver::Runtime;
-use yanc_vfs::{Credentials, Errno, Filesystem, Namespace, Uid, VPath};
+use yanc_vfs::{Credentials, Errno, Filesystem, Namespace, Overlay, Uid, VPath};
 
 use crate::fault::{Fault, FaultInjector};
 use crate::process::{Pid, ProcessSpec, ProcessState, Signal};
@@ -182,13 +182,24 @@ impl Supervisor {
         if spec.dac_override {
             creds = creds.with_dac_override();
         }
-        let namespace = if spec.binds.is_empty() {
+        let namespace = if spec.binds.is_empty() && spec.overlays.is_empty() {
             None
         } else {
             let mut ns = Namespace::new(yfs.filesystem().clone()).readonly();
             for (at, target) in &spec.binds {
                 ns = ns.bind(at, target);
             }
+            for (at, lowers, upper) in &spec.overlays {
+                let lower_refs: Vec<&str> = lowers.iter().map(|l| l.as_str()).collect();
+                let ov = Overlay::new(yfs.filesystem().clone(), &lower_refs, upper);
+                // The upper layer belongs to the process's own uid: writes
+                // stage there under plain POSIX permissions.
+                let _ = ov.ensure_upper(&Credentials::user(uid, uid));
+                ns = ns.overlay(at, &ov);
+            }
+            // Introspection: the per-process mount table appears as a
+            // section of /net/.proc/vfs/mounts once proc is mounted.
+            ns.register_mounts(&spec.name);
             Some(ns)
         };
         ProcessCtx {

@@ -35,6 +35,20 @@
 //! from one hash hit. The parent's next mutation bumps its generation and
 //! retires the negative entry like any other.
 //!
+//! ## Overlay layers are cached correctly for free
+//!
+//! [`crate::overlay`] mounts never touch the dcache directly, and never
+//! need to: an overlay resolves by probing *real per-layer paths* (upper,
+//! then each lower), so every cached hop is keyed by a real layer
+//! directory's inode — the key is layer-aware by construction. A whiteout
+//! is a *positive* entry for the literal name `.wh.x` in the upper dir,
+//! not a negative entry for `x`; deleting or re-creating through the view
+//! mutates the upper dir and bumps its generation, and an atomic view
+//! commit mutates the real base/upper directories under `lock_all`,
+//! bumping each touched directory's generation inside the critical
+//! section. A merged lookup therefore can never be served a stale positive
+//! or stale negative from before a commit.
+//!
 //! ## Permissions are revalidated on every hit
 //!
 //! Each entry snapshots the parent directory's `(uid, gid, mode, acl)` at

@@ -565,6 +565,10 @@ impl Filesystem {
                 format!("{}\n", m.histogram(op).summary())
             })?;
         }
+        let pr = self.proc.clone();
+        self.proc_file(&format!("{prefix}/vfs/mounts"), move || {
+            pr.render_mount_tables()
+        })?;
         let n = self.notify.clone();
         self.proc_file(&format!("{prefix}/vfs/notify/watches"), move || {
             format!("{}\n", n.watch_count())

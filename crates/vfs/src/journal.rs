@@ -41,17 +41,21 @@
 //! canonical byte-equality check (the cross-fs tree comparison the
 //! linearizability harness uses).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::acl::{Acl, AclEntry};
+use crate::acl::{check_access, Acl, AclEntry};
 use crate::counter::OpKind;
+use crate::error::{err, Errno, VfsResult};
 use crate::fs::{Filesystem, Limits};
+use crate::hooks::HookDepth;
+use crate::notify::EventKind;
+use crate::path::{valid_name, VPath};
 use crate::proc::ProcDepth;
 use crate::shard::{Inode, NodeKind, ShardSet};
-use crate::types::{Gid, Ino, Mode, Timestamp, Uid, ROOT_INO};
+use crate::types::{Access, Credentials, Gid, Ino, Mode, Timestamp, Uid, ROOT_INO};
 
 /// Journal wire-format version; bumped on any frame/record layout change.
 pub const JOURNAL_VERSION: u8 = 1;
@@ -80,6 +84,7 @@ const K_SETACL: u8 = 14;
 const K_SETXATTR: u8 = 15;
 const K_REMOVEXATTR: u8 = 16;
 const K_SNAPSHOT: u8 = 17;
+const K_COMMIT: u8 = 18;
 
 // ----------------------------------------------------------------------
 // Records
@@ -190,6 +195,11 @@ pub(crate) enum Record {
         name: String,
         tick: Timestamp,
     },
+    /// An atomic multi-record transaction ([`Filesystem::apply_batch`]):
+    /// overlay copy-up chains and view commits land as one frame, so a
+    /// crash replays them fully-applied or fully-absent — never partially.
+    /// Sub-records are ordinary records; nesting is rejected on decode.
+    Commit(Vec<Record>),
     Snapshot(Box<SnapshotData>),
 }
 
@@ -212,6 +222,8 @@ impl Record {
             Record::SetAcl { .. } | Record::SetXattr { .. } | Record::RemoveXattr { .. } => {
                 OpKind::Xattr
             }
+            // Charged per sub-record by the restore driver, not as a unit.
+            Record::Commit(_) => return None,
             Record::Snapshot(_) => return None,
         })
     }
@@ -648,6 +660,13 @@ fn encode_record(rec: &Record) -> Vec<u8> {
             e.str(name);
             e.u64(tick.0);
         }
+        Record::Commit(subs) => {
+            e.u8(K_COMMIT);
+            e.u32(subs.len() as u32);
+            for s in subs {
+                e.bytes(&encode_record(s));
+            }
+        }
         Record::Snapshot(s) => {
             e.u8(K_SNAPSHOT);
             e.u64(s.clock);
@@ -761,6 +780,19 @@ fn decode_record(payload: &[u8]) -> Option<Record> {
             name: d.str()?,
             tick: Timestamp(d.u64()?),
         },
+        K_COMMIT => {
+            let count = d.u32()? as usize;
+            let mut subs = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                let body = d.bytes()?;
+                let sub = decode_record(&body)?;
+                if matches!(sub, Record::Commit(_) | Record::Snapshot(_)) {
+                    return None; // no nesting, no snapshots inside a txn
+                }
+                subs.push(sub);
+            }
+            Record::Commit(subs)
+        }
         K_SNAPSHOT => {
             let clock = d.u64()?;
             let next_ino = d.u64()?;
@@ -1149,9 +1181,24 @@ impl Filesystem {
             report.records_seen += 1;
             if fs.apply_record(rec) {
                 report.records_replayed += 1;
-                if let Some(op) = rec.op_kind() {
-                    fs.count(op, "");
-                    report.replay_syscalls += 1;
+                match rec {
+                    // A transaction is charged per sub-record: the restored
+                    // tree paid the same deterministic syscall bill the live
+                    // batch did.
+                    Record::Commit(subs) => {
+                        for s in subs {
+                            if let Some(op) = s.op_kind() {
+                                fs.count(op, "");
+                                report.replay_syscalls += 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(op) = rec.op_kind() {
+                            fs.count(op, "");
+                            report.replay_syscalls += 1;
+                        }
+                    }
                 }
             } else {
                 report.records_skipped += 1;
@@ -1294,7 +1341,22 @@ impl Filesystem {
     /// Returns false when the record's target is gone (skipped orphan).
     fn apply_record(&self, rec: &Record) -> bool {
         let mut set = self.tables.lock_all();
-        let applied = match rec {
+        let applied = self.apply_record_locked(&mut set, rec);
+        drop(set);
+        if applied {
+            if let Some(t) = rec_tick(rec) {
+                self.clock.advance_to(t);
+            }
+        }
+        applied
+    }
+
+    /// [`Self::apply_record`] under an already-held global lock — the shared
+    /// body that both replay and live batch application
+    /// ([`Filesystem::apply_batch`]) go through, so a batch mutates the tree
+    /// exactly the way its records will replay.
+    pub(crate) fn apply_record_locked(&self, set: &mut ShardSet, rec: &Record) -> bool {
+        match rec {
             Record::Mkdir {
                 parent,
                 name,
@@ -1495,7 +1557,7 @@ impl Filesystem {
                     Some(i) => i,
                     None => return false,
                 };
-                Self::replay_remove_tree(&mut set, ino);
+                Self::replay_remove_tree(set, ino);
                 if let Ok(p) = set.inode_mut(*parent) {
                     if let Ok(e) = p.dir_entries_mut() {
                         e.remove(name);
@@ -1677,15 +1739,17 @@ impl Filesystem {
                 node.ctime = *tick;
                 true
             }
-            Record::Snapshot(_) => false, // handled by the restore driver
-        };
-        drop(set);
-        if applied {
-            if let Some(t) = rec_tick(rec) {
-                self.clock.advance_to(t);
+            Record::Commit(subs) => {
+                // All-or-nothing is a property of the *frame*: a Commit that
+                // made it into the log is applied in full (decode already
+                // rejected nesting, so recursion is one level deep).
+                for s in subs {
+                    self.apply_record_locked(set, s);
+                }
+                true
             }
+            Record::Snapshot(_) => false, // handled by the restore driver
         }
-        applied
     }
 
     /// Replay-side mirror of `remove_tree`: bottom-up subtree removal with
@@ -1732,6 +1796,439 @@ impl Filesystem {
     }
 }
 
+// ----------------------------------------------------------------------
+// Atomic batches (overlay copy-up chains and view commits)
+// ----------------------------------------------------------------------
+
+/// One path-level step of an atomic batch (see [`Filesystem::apply_batch`]).
+/// Paths are underlying-fs absolute paths. Resolution inside a batch is
+/// *lexical* — no symlink following, no `..` — because batches are
+/// machine-generated plans over trees the planner has just walked.
+#[derive(Debug, Clone)]
+pub(crate) enum BatchOp {
+    /// Create a directory (no-op when an identical-kind entry exists).
+    /// Ownership and mode come from the plan, not the caller: copy-up
+    /// mirrors the lower directory's identity, as kernel overlayfs does.
+    Mkdir {
+        path: VPath,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+        xattrs: Vec<(String, Vec<u8>)>,
+    },
+    /// Create or atomically replace a regular file. Replacement is
+    /// unlink + create — rename-commit semantics: the replaced path gets a
+    /// fresh inode, old hard links and open descriptors keep the old one.
+    PutFile {
+        path: VPath,
+        data: Vec<u8>,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+        xattrs: Vec<(String, Vec<u8>)>,
+        acl: Option<Acl>,
+    },
+    /// Create a symlink (the path must be absent; plans emit a
+    /// [`BatchOp::Remove`] first when replacing).
+    PutSymlink {
+        path: VPath,
+        target: String,
+        uid: Uid,
+        gid: Gid,
+    },
+    /// Remove a file, symlink or whole subtree (no-op when absent).
+    Remove { path: VPath },
+}
+
+impl BatchOp {
+    fn path(&self) -> &VPath {
+        match self {
+            BatchOp::Mkdir { path, .. }
+            | BatchOp::PutFile { path, .. }
+            | BatchOp::PutSymlink { path, .. }
+            | BatchOp::Remove { path } => path,
+        }
+    }
+}
+
+/// Outcome of one applied batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BatchReport {
+    /// Journal sub-records the batch produced.
+    pub(crate) records: usize,
+    /// File-content bytes written by `PutFile` steps.
+    pub(crate) bytes: u64,
+}
+
+/// How a path looks mid-validation: present in the real tree, freshly
+/// created (or removed) by an earlier step of the same batch, or absent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BatchNode {
+    Real(Ino, bool),
+    Fresh(bool),
+    Absent,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VirtKind {
+    Dir,
+    NonDir,
+    Removed,
+}
+
+/// Lexical lookup in the locked tree: walk directory entries from the root,
+/// no symlink expansion, `..` rejected.
+fn batch_lookup(set: &ShardSet, path: &VPath) -> Option<(Ino, bool)> {
+    let mut cur = ROOT_INO;
+    for comp in path.components() {
+        if comp == ".." {
+            return None;
+        }
+        let node = set.inode(cur).ok()?;
+        cur = *node.dir_entries().ok()?.get(comp)?;
+    }
+    let is_dir = set
+        .inode(cur)
+        .ok()
+        .map(|n| matches!(n.kind, NodeKind::Dir { .. }))?;
+    Some((cur, is_dir))
+}
+
+/// Lookup through the batch's virtual view: the longest pending-change
+/// prefix (component-boundary aware) shadows the real tree, so a step sees
+/// exactly the tree that earlier steps of its own batch will have built.
+fn batch_stat(set: &ShardSet, virt: &HashMap<String, VirtKind>, path: &VPath) -> BatchNode {
+    let s = path.as_str();
+    let mut best: Option<(&str, VirtKind)> = None;
+    for (p, k) in virt {
+        let covered = s == p.as_str()
+            || (s.starts_with(p.as_str()) && s.as_bytes().get(p.len()) == Some(&b'/'));
+        if covered && best.map(|(b, _)| p.len() > b.len()).unwrap_or(true) {
+            best = Some((p, *k));
+        }
+    }
+    match best {
+        Some((_, VirtKind::Removed)) => BatchNode::Absent,
+        Some((p, k)) if p == s => BatchNode::Fresh(k == VirtKind::Dir),
+        // A fresh directory has only batch-made children, and those would
+        // have matched as a longer prefix; anything else under it is absent.
+        Some((_, _)) => BatchNode::Absent,
+        None => match batch_lookup(set, path) {
+            Some((ino, d)) => BatchNode::Real(ino, d),
+            None => BatchNode::Absent,
+        },
+    }
+}
+
+impl Filesystem {
+    /// Apply a plan of path-level steps as **one transaction**: everything
+    /// is validated first (permissions, conflicts — any failure leaves the
+    /// tree untouched), then applied under a single `lock_all` acquisition
+    /// — the linearization point — through the same
+    /// [`Filesystem::apply_record_locked`] path replay uses, and journaled
+    /// as a single [`Record::Commit`] frame. A crash therefore replays the
+    /// batch fully-applied or fully-absent, never partially.
+    ///
+    /// This is the engine under overlay copy-up and atomic view commit.
+    /// Each step is charged one syscall token against the calling uid
+    /// *before* application (`EAGAIN` aborts the whole batch), and each
+    /// produced record is tallied in the syscall counters, so copy-up
+    /// costs land on the writer.
+    ///
+    /// `enforce` controls the write-permission check on real parent
+    /// directories. View commit passes `true` — the batch *is* the
+    /// authority boundary between a tenant and the base tree. Copy-up and
+    /// whiteout plans pass `false`: they mirror objects the caller already
+    /// reached through the overlay, and the overlay checked the merged
+    /// directory's permissions before planning (the upper tree's ancestor
+    /// chain mirrors lower ownership, which would otherwise wrongly deny
+    /// e.g. writing a caller-writable file inside a root-owned directory).
+    pub(crate) fn apply_batch(
+        &self,
+        ops: &[BatchOp],
+        creds: &Credentials,
+        enforce: bool,
+    ) -> VfsResult<BatchReport> {
+        let mut set = self.tables.lock_all();
+
+        // -------- validate: pure pass, nothing mutated on any error -----
+        let mut virt: HashMap<String, VirtKind> = HashMap::new();
+        for op in ops {
+            let path = op.path();
+            let name = match path.file_name() {
+                Some(n) if valid_name(n) => n,
+                _ => return err(Errno::EINVAL, path.as_str()),
+            };
+            let _ = name;
+            let target = batch_stat(&set, &virt, path);
+            let noop = match op {
+                BatchOp::Mkdir { .. } => {
+                    matches!(target, BatchNode::Real(_, true) | BatchNode::Fresh(true))
+                }
+                BatchOp::Remove { .. } => matches!(target, BatchNode::Absent),
+                _ => false,
+            };
+            if noop {
+                continue;
+            }
+            let parent = path.parent();
+            match batch_stat(&set, &virt, &parent) {
+                BatchNode::Fresh(true) => {} // created earlier in this batch
+                BatchNode::Real(pino, true) => {
+                    if enforce {
+                        let p = set.inode(pino)?;
+                        let ok = check_access(
+                            creds,
+                            p.uid,
+                            p.gid,
+                            p.mode,
+                            p.acl.as_ref(),
+                            Access::Write,
+                        ) && check_access(
+                            creds,
+                            p.uid,
+                            p.gid,
+                            p.mode,
+                            p.acl.as_ref(),
+                            Access::Exec,
+                        );
+                        if !ok {
+                            return err(Errno::EACCES, parent.as_str());
+                        }
+                    }
+                }
+                BatchNode::Real(_, false) | BatchNode::Fresh(false) => {
+                    return err(Errno::ENOTDIR, parent.as_str());
+                }
+                BatchNode::Absent => return err(Errno::ENOENT, parent.as_str()),
+            }
+            match op {
+                BatchOp::Mkdir { .. } => match target {
+                    BatchNode::Absent => {
+                        virt.insert(path.as_str().to_string(), VirtKind::Dir);
+                    }
+                    _ => return err(Errno::EEXIST, path.as_str()),
+                },
+                BatchOp::PutFile { .. } => match target {
+                    BatchNode::Real(_, true) | BatchNode::Fresh(true) => {
+                        return err(Errno::EISDIR, path.as_str());
+                    }
+                    _ => {
+                        virt.insert(path.as_str().to_string(), VirtKind::NonDir);
+                    }
+                },
+                BatchOp::PutSymlink { .. } => match target {
+                    BatchNode::Absent => {
+                        virt.insert(path.as_str().to_string(), VirtKind::NonDir);
+                    }
+                    _ => return err(Errno::EEXIST, path.as_str()),
+                },
+                BatchOp::Remove { .. } => {
+                    virt.insert(path.as_str().to_string(), VirtKind::Removed);
+                }
+            }
+        }
+
+        // -------- charge the writer: the quota gate precedes mutation ---
+        if creds.uid.0 != 0 && !HookDepth::active() && !ProcDepth::active() {
+            for op in ops {
+                self.rctl()
+                    .charge_syscall(creds.uid.0, op.path().as_str())?;
+            }
+        }
+
+        // -------- apply: build records, mutate via the replay path ------
+        let mut records: Vec<Record> = Vec::new();
+        let mut events: Vec<(EventKind, VPath, Option<String>)> = Vec::new();
+        let mut bytes = 0u64;
+        for op in ops {
+            let path = op.path();
+            let name = path.file_name().unwrap_or("").to_string();
+            let parent = path.parent();
+            match op {
+                BatchOp::Mkdir {
+                    mode,
+                    uid,
+                    gid,
+                    xattrs,
+                    ..
+                } => {
+                    if matches!(batch_lookup(&set, path), Some((_, true))) {
+                        continue;
+                    }
+                    let Some((pino, true)) = batch_lookup(&set, &parent) else {
+                        continue;
+                    };
+                    let ino = self.tables.alloc_ino();
+                    let rec = Record::Mkdir {
+                        parent: pino,
+                        name: name.clone(),
+                        ino,
+                        mode: Mode(mode.0 & 0o7777),
+                        uid: *uid,
+                        gid: *gid,
+                        tick: self.clock.tick(),
+                    };
+                    self.apply_record_locked(&mut set, &rec);
+                    records.push(rec);
+                    for (k, v) in xattrs {
+                        let rec = Record::SetXattr {
+                            ino,
+                            name: k.clone(),
+                            value: v.clone(),
+                            tick: self.clock.tick(),
+                        };
+                        self.apply_record_locked(&mut set, &rec);
+                        records.push(rec);
+                    }
+                    self.bump_gen(pino);
+                    events.push((EventKind::Create, path.clone(), Some(name)));
+                }
+                BatchOp::PutFile {
+                    data,
+                    mode,
+                    uid,
+                    gid,
+                    xattrs,
+                    acl,
+                    ..
+                } => {
+                    let Some((pino, true)) = batch_lookup(&set, &parent) else {
+                        continue;
+                    };
+                    if let Some((_, is_dir)) = batch_lookup(&set, path) {
+                        if is_dir {
+                            continue;
+                        }
+                        let rec = Record::Unlink {
+                            parent: pino,
+                            name: name.clone(),
+                            tick: self.clock.tick(),
+                        };
+                        self.apply_record_locked(&mut set, &rec);
+                        records.push(rec);
+                        events.push((EventKind::Delete, path.clone(), Some(name.clone())));
+                    }
+                    let ino = self.tables.alloc_ino();
+                    let rec = Record::Create {
+                        parent: pino,
+                        name: name.clone(),
+                        ino,
+                        uid: *uid,
+                        gid: *gid,
+                        data: data.clone(),
+                        tick: self.clock.tick(),
+                    };
+                    self.apply_record_locked(&mut set, &rec);
+                    records.push(rec);
+                    bytes += data.len() as u64;
+                    if *mode != Mode::FILE_DEFAULT {
+                        let rec = Record::SetMode {
+                            ino,
+                            mode: Mode(mode.0 & 0o7777),
+                            tick: self.clock.tick(),
+                        };
+                        self.apply_record_locked(&mut set, &rec);
+                        records.push(rec);
+                    }
+                    for (k, v) in xattrs {
+                        let rec = Record::SetXattr {
+                            ino,
+                            name: k.clone(),
+                            value: v.clone(),
+                            tick: self.clock.tick(),
+                        };
+                        self.apply_record_locked(&mut set, &rec);
+                        records.push(rec);
+                    }
+                    if acl.is_some() {
+                        let rec = Record::SetAcl {
+                            ino,
+                            acl: acl.clone(),
+                            tick: self.clock.tick(),
+                        };
+                        self.apply_record_locked(&mut set, &rec);
+                        records.push(rec);
+                    }
+                    self.bump_gen(pino);
+                    events.push((EventKind::Create, path.clone(), Some(name.clone())));
+                    events.push((EventKind::CloseWrite, path.clone(), Some(name)));
+                }
+                BatchOp::PutSymlink {
+                    target, uid, gid, ..
+                } => {
+                    let Some((pino, true)) = batch_lookup(&set, &parent) else {
+                        continue;
+                    };
+                    if batch_lookup(&set, path).is_some() {
+                        continue; // validated absent; defensive
+                    }
+                    let ino = self.tables.alloc_ino();
+                    let rec = Record::Symlink {
+                        parent: pino,
+                        name: name.clone(),
+                        ino,
+                        target: target.clone(),
+                        uid: *uid,
+                        gid: *gid,
+                        tick: self.clock.tick(),
+                    };
+                    self.apply_record_locked(&mut set, &rec);
+                    records.push(rec);
+                    self.bump_gen(pino);
+                    events.push((EventKind::Create, path.clone(), Some(name)));
+                }
+                BatchOp::Remove { .. } => {
+                    let Some((ino, is_dir)) = batch_lookup(&set, path) else {
+                        continue;
+                    };
+                    let Some((pino, _)) = batch_lookup(&set, &parent) else {
+                        continue;
+                    };
+                    let tick = self.clock.tick();
+                    let rec = if is_dir {
+                        Record::RmTree {
+                            parent: pino,
+                            name: name.clone(),
+                            tick,
+                        }
+                    } else {
+                        Record::Unlink {
+                            parent: pino,
+                            name: name.clone(),
+                            tick,
+                        }
+                    };
+                    self.apply_record_locked(&mut set, &rec);
+                    records.push(rec);
+                    self.bump_gen(pino);
+                    if is_dir {
+                        self.bump_gen(ino);
+                    }
+                    events.push((EventKind::Delete, path.clone(), Some(name)));
+                }
+            }
+        }
+        let report = BatchReport {
+            records: records.len(),
+            bytes,
+        };
+        if !records.is_empty() {
+            for r in &records {
+                if let Some(op) = r.op_kind() {
+                    self.count(op, "");
+                }
+            }
+            if self.journal.is_enabled() && !ProcDepth::active() {
+                self.journal.append_record(&Record::Commit(records));
+            }
+        }
+        drop(set);
+        self.notify().emit_batch(&events);
+        Ok(report)
+    }
+}
+
 fn rec_tick(rec: &Record) -> Option<Timestamp> {
     Some(match rec {
         Record::Mkdir { tick, .. }
@@ -1750,6 +2247,7 @@ fn rec_tick(rec: &Record) -> Option<Timestamp> {
         | Record::SetAcl { tick, .. }
         | Record::SetXattr { tick, .. }
         | Record::RemoveXattr { tick, .. } => *tick,
+        Record::Commit(subs) => return subs.last().and_then(rec_tick),
         Record::Snapshot(_) => return None,
     })
 }

@@ -54,6 +54,7 @@ pub mod journal;
 pub mod metrics;
 pub mod namespace;
 pub mod notify;
+pub mod overlay;
 pub mod path;
 pub mod poll;
 pub mod proc;
@@ -72,8 +73,9 @@ pub use fs::{
 pub use hooks::SemanticHook;
 pub use journal::{scan_frames, FrameInfo, JournalStats, ReplayReport, JOURNAL_VERSION};
 pub use metrics::{op_cost_ns, LatencyHistogram, MetricsRegistry};
-pub use namespace::Namespace;
+pub use namespace::{MountInfo, Namespace};
 pub use notify::{Event, EventKind, EventMask, NotifyHub, WatchId};
+pub use overlay::{CommitReport, Overlay, OverlayStats, OPAQUE_XATTR, WHITEOUT_PREFIX};
 pub use path::{valid_name, VPath, NAME_MAX, PATH_MAX};
 pub use poll::{Interest, PollEvent, PollSet, PollSource, PollToken};
 pub use proc::{ProcHook, ProcRegistry, ProcRender};

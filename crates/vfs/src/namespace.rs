@@ -4,20 +4,29 @@
 //! creates `/net/views/http`, and the HTTP controller process is started in
 //! a namespace where that subtree is bind-mounted over `/net`, so it cannot
 //! even name the rest of the network. [`Namespace`] reproduces this with a
-//! root prefix (chroot-like) plus longest-prefix bind mounts, any of which
-//! may be read-only.
+//! root prefix (chroot-like) plus longest-prefix mounts, each either a
+//! **bind** (read-write or read-only) or an **overlay** ([`Overlay`]): a
+//! copy-on-write union view whose writes stay in the tenant's private
+//! upper layer until an atomic commit.
 //!
 //! A namespace is a *path translator* in front of a shared
 //! [`Filesystem`]: operations translate the visible path and delegate, so
 //! notification, hooks, permissions and syscall accounting all keep working
-//! unchanged. As with real bind mounds, absolute symlink targets resolve in
-//! the underlying file system.
+//! unchanged. As with real bind mounts, absolute symlink targets resolve in
+//! the underlying file system — which also means a **writable** bind over a
+//! tree containing absolute symlinks lets those symlinks reach the
+//! underlying paths they name, exactly like `mount --bind` on Linux. A
+//! *read-only* bind is safe against escape-to-write: the `EROFS` check runs
+//! on the visible path before any delegation, so every mutating entry point
+//! is refused before a symlink could redirect it (regression-tested in
+//! `tests/views_and_isolation.rs`).
 
 use std::sync::Arc;
 
 use crate::acl::Acl;
 use crate::error::{err, Errno, VfsResult};
 use crate::fs::Filesystem;
+use crate::overlay::{Overlay, OverlayStats};
 use crate::path::VPath;
 use crate::types::{Credentials, DirEntry, Fd, FileStat, Gid, Mode, OpenFlags, Uid};
 
@@ -28,13 +37,52 @@ struct Bind {
     readonly: bool,
 }
 
+/// One entry of a namespace's mount table.
+#[derive(Clone)]
+enum Mount {
+    Bind(Bind),
+    Overlay { at: VPath, ov: Overlay },
+}
+
+impl Mount {
+    fn at(&self) -> &VPath {
+        match self {
+            Mount::Bind(b) => &b.at,
+            Mount::Overlay { at, .. } => at,
+        }
+    }
+}
+
+/// Where a visible path routed to: the plain filesystem (with its
+/// effective read-only flag) or an overlay mount (with the overlay-
+/// relative remainder of the path).
+enum Route<'a> {
+    Fs(VPath, bool),
+    Ov(&'a Overlay, VPath),
+}
+
+/// One row of [`Namespace::mount_table`]: an introspectable description of
+/// a mount entry, the shape `/net/.proc/vfs/mounts` and the `mount`
+/// coreutil print.
+#[derive(Debug, Clone)]
+pub struct MountInfo {
+    /// Namespace-visible mount point.
+    pub at: String,
+    /// `root`, `root_ro`, `bind`, `bind_ro` or `overlay`.
+    pub kind: String,
+    /// `target` for binds; `lower[:lower…] -> upper` for overlays.
+    pub detail: String,
+    /// Activity counters, for overlay mounts.
+    pub stats: Option<OverlayStats>,
+}
+
 /// A per-application mount namespace over a shared [`Filesystem`].
 #[derive(Clone)]
 pub struct Namespace {
     fs: Arc<Filesystem>,
     root: VPath,
     readonly_root: bool,
-    binds: Vec<Bind>,
+    mounts: Vec<Mount>,
 }
 
 impl Namespace {
@@ -44,7 +92,7 @@ impl Namespace {
             fs,
             root: VPath::root(),
             readonly_root: false,
-            binds: Vec::new(),
+            mounts: Vec::new(),
         }
     }
 
@@ -54,34 +102,45 @@ impl Namespace {
             fs,
             root: VPath::new(root),
             readonly_root: false,
-            binds: Vec::new(),
+            mounts: Vec::new(),
         }
     }
 
-    /// Make everything not covered by a bind read-only.
+    /// Make everything not covered by a mount read-only.
     pub fn readonly(mut self) -> Self {
         self.readonly_root = true;
         self
     }
 
     /// Bind-mount `target` (a path in the underlying fs) at `at` (a path in
-    /// this namespace). Later binds shadow earlier ones; the longest
+    /// this namespace). Later mounts shadow earlier ones; the longest
     /// matching prefix wins at lookup.
     pub fn bind(mut self, at: &str, target: &str) -> Self {
-        self.binds.push(Bind {
+        self.mounts.push(Mount::Bind(Bind {
             at: VPath::new(at),
             target: VPath::new(target),
             readonly: false,
-        });
+        }));
         self
     }
 
     /// Like [`Namespace::bind`], but writes under `at` fail with `EROFS`.
     pub fn bind_ro(mut self, at: &str, target: &str) -> Self {
-        self.binds.push(Bind {
+        self.mounts.push(Mount::Bind(Bind {
             at: VPath::new(at),
             target: VPath::new(target),
             readonly: true,
+        }));
+        self
+    }
+
+    /// Mount a copy-on-write [`Overlay`] view at `at`: reads merge the
+    /// overlay's layers, writes copy up into its private upper layer, and
+    /// [`Overlay::commit`] later publishes the staged state atomically.
+    pub fn overlay(mut self, at: &str, ov: &Overlay) -> Self {
+        self.mounts.push(Mount::Overlay {
+            at: VPath::new(at),
+            ov: ov.clone(),
         });
         self
     }
@@ -91,85 +150,180 @@ impl Namespace {
         &self.fs
     }
 
-    /// Translate a namespace-visible path into an underlying path plus its
-    /// effective read-only flag.
-    fn translate(&self, path: &str) -> (VPath, bool) {
+    /// The namespace's mount table, root entry first, in mount order.
+    pub fn mount_table(&self) -> Vec<MountInfo> {
+        let mut rows = vec![MountInfo {
+            at: "/".to_string(),
+            kind: if self.readonly_root {
+                "root_ro"
+            } else {
+                "root"
+            }
+            .to_string(),
+            detail: self.root.as_str().to_string(),
+            stats: None,
+        }];
+        for m in &self.mounts {
+            rows.push(match m {
+                Mount::Bind(b) => MountInfo {
+                    at: b.at.as_str().to_string(),
+                    kind: if b.readonly { "bind_ro" } else { "bind" }.to_string(),
+                    detail: b.target.as_str().to_string(),
+                    stats: None,
+                },
+                Mount::Overlay { at, ov } => MountInfo {
+                    at: at.as_str().to_string(),
+                    kind: "overlay".to_string(),
+                    detail: format!(
+                        "{} -> {}",
+                        ov.lower_paths()
+                            .iter()
+                            .map(|p| p.as_str())
+                            .collect::<Vec<_>>()
+                            .join(":"),
+                        ov.upper_path().as_str()
+                    ),
+                    stats: Some(ov.stats()),
+                },
+            });
+        }
+        rows
+    }
+
+    /// Publish this namespace's mount table as `vfs/mounts/<name>` in the
+    /// filesystem's proc registry (visible once [`Filesystem::mount_proc`]
+    /// is active). The rendering closure snapshots the table at read time,
+    /// so overlay counters are always current.
+    pub fn register_mounts(&self, name: &str) {
+        let ns = self.clone();
+        self.fs.proc().register_mount_table(
+            name,
+            Arc::new(move || {
+                let mut out = String::new();
+                for r in ns.mount_table() {
+                    out.push_str(&format!("{} {} {}", r.at, r.kind, r.detail));
+                    if let Some(s) = r.stats {
+                        out.push_str(&format!(
+                            " copy_ups={} copy_up_bytes={} whiteouts={} commits={}",
+                            s.copy_ups, s.copy_up_bytes, s.whiteouts, s.commits
+                        ));
+                    }
+                    out.push('\n');
+                }
+                out
+            }),
+        );
+    }
+
+    /// Route a namespace-visible path to its mount: longest prefix wins.
+    fn route(&self, path: &str) -> Route<'_> {
         let vp = VPath::new(path);
-        let mut best: Option<(&Bind, usize)> = None;
-        for b in &self.binds {
-            if vp.starts_with(&b.at) {
-                let len = b.at.as_str().len();
+        let mut best: Option<(&Mount, usize)> = None;
+        for m in &self.mounts {
+            if vp.starts_with(m.at()) {
+                let len = m.at().as_str().len();
                 if best.map(|(_, l)| len >= l).unwrap_or(true) {
-                    best = Some((b, len));
+                    best = Some((m, len));
                 }
             }
         }
-        if let Some((b, _)) = best {
-            let rebased = vp.rebase(&b.at, &b.target).expect("starts_with checked");
-            return (rebased, b.readonly);
+        match best {
+            Some((Mount::Bind(b), _)) => {
+                let rebased = vp.rebase(&b.at, &b.target).expect("starts_with checked");
+                Route::Fs(rebased, b.readonly)
+            }
+            Some((Mount::Overlay { at, ov }, _)) => {
+                let rel = vp.rebase(at, &VPath::root()).expect("starts_with checked");
+                Route::Ov(ov, rel)
+            }
+            None => {
+                let under = if self.root.is_root() {
+                    vp
+                } else {
+                    vp.rebase(&VPath::root(), &self.root)
+                        .expect("root prefix always matches")
+                };
+                Route::Fs(under, self.readonly_root)
+            }
         }
-        let under = if self.root.is_root() {
-            vp
-        } else {
-            vp.rebase(&VPath::root(), &self.root)
-                .expect("root prefix always matches")
-        };
-        (under, self.readonly_root)
     }
 
-    fn translate_rw(&self, path: &str) -> VfsResult<VPath> {
-        let (p, ro) = self.translate(path);
-        if ro {
-            return err(Errno::EROFS, path);
+    /// Route for a mutating operation: read-only binds refuse with `EROFS`
+    /// *before* any delegation (see the module docs on symlink escapes).
+    fn route_rw(&self, path: &str) -> VfsResult<Route<'_>> {
+        match self.route(path) {
+            Route::Fs(_, true) => err(Errno::EROFS, path),
+            r => Ok(r),
         }
-        Ok(p)
     }
 
     // -- delegating operations -----------------------------------------
 
     /// See [`Filesystem::stat`].
     pub fn stat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
-        self.fs.stat(self.translate(path).0.as_str(), creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.stat(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.stat(rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::lstat`].
     pub fn lstat(&self, path: &str, creds: &Credentials) -> VfsResult<FileStat> {
-        self.fs.lstat(self.translate(path).0.as_str(), creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.lstat(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.lstat(rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::exists`].
     pub fn exists(&self, path: &str, creds: &Credentials) -> bool {
-        self.fs.exists(self.translate(path).0.as_str(), creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.exists(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.exists(rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::readdir`].
     pub fn readdir(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<DirEntry>> {
-        self.fs.readdir(self.translate(path).0.as_str(), creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.readdir(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.readdir(rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::read_file`].
     pub fn read_file(&self, path: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
-        self.fs.read_file(self.translate(path).0.as_str(), creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.read_file(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.read_file(rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::read_to_string`].
     pub fn read_to_string(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
-        self.fs
-            .read_to_string(self.translate(path).0.as_str(), creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.read_to_string(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.read_to_string(rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::readlink`].
     pub fn readlink(&self, path: &str, creds: &Credentials) -> VfsResult<String> {
-        self.fs.readlink(self.translate(path).0.as_str(), creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.readlink(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.readlink(rel.as_str(), creds),
+        }
     }
 
-    /// See [`Filesystem::open`]. Write-opens fail on read-only binds.
+    /// See [`Filesystem::open`]. Write-opens fail on read-only binds and
+    /// trigger copy-up on overlay mounts.
     pub fn open(&self, path: &str, flags: OpenFlags, creds: &Credentials) -> VfsResult<Fd> {
-        let (p, ro) = self.translate(path);
-        if ro && (flags.write || flags.create || flags.truncate || flags.append) {
-            return err(Errno::EROFS, path);
+        let writing = flags.write || flags.create || flags.truncate || flags.append;
+        match self.route(path) {
+            Route::Fs(_, true) if writing => err(Errno::EROFS, path),
+            Route::Fs(p, _) => self.fs.open(p.as_str(), flags, creds),
+            Route::Ov(ov, rel) => ov.open(rel.as_str(), flags, creds),
         }
-        self.fs.open(p.as_str(), flags, creds)
     }
 
     /// See [`Filesystem::read`].
@@ -189,61 +343,86 @@ impl Namespace {
 
     /// See [`Filesystem::write_file`].
     pub fn write_file(&self, path: &str, data: &[u8], creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .write_file(self.translate_rw(path)?.as_str(), data, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.write_file(p.as_str(), data, creds),
+            Route::Ov(ov, rel) => ov.write_file(rel.as_str(), data, creds),
+        }
     }
 
     /// See [`Filesystem::append_file`].
     pub fn append_file(&self, path: &str, data: &[u8], creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .append_file(self.translate_rw(path)?.as_str(), data, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.append_file(p.as_str(), data, creds),
+            Route::Ov(ov, rel) => ov.append_file(rel.as_str(), data, creds),
+        }
     }
 
     /// See [`Filesystem::mkdir`].
     pub fn mkdir(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .mkdir(self.translate_rw(path)?.as_str(), mode, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.mkdir(p.as_str(), mode, creds),
+            Route::Ov(ov, rel) => ov.mkdir(rel.as_str(), mode, creds),
+        }
     }
 
     /// See [`Filesystem::mkdir_all`].
     pub fn mkdir_all(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .mkdir_all(self.translate_rw(path)?.as_str(), mode, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.mkdir_all(p.as_str(), mode, creds),
+            Route::Ov(ov, rel) => ov.mkdir_all(rel.as_str(), mode, creds),
+        }
     }
 
     /// See [`Filesystem::rmdir`].
     pub fn rmdir(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
-        self.fs.rmdir(self.translate_rw(path)?.as_str(), creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.rmdir(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.rmdir(rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::unlink`].
     pub fn unlink(&self, path: &str, creds: &Credentials) -> VfsResult<()> {
-        self.fs.unlink(self.translate_rw(path)?.as_str(), creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.unlink(p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.unlink(rel.as_str(), creds),
+        }
     }
 
-    /// See [`Filesystem::rename`]. Both endpoints must be writable.
+    /// See [`Filesystem::rename`]. Both endpoints must be writable and on
+    /// the same mount (`EXDEV` otherwise, like the real syscall).
     pub fn rename(&self, from: &str, to: &str, creds: &Credentials) -> VfsResult<()> {
-        let f = self.translate_rw(from)?;
-        let t = self.translate_rw(to)?;
-        self.fs.rename(f.as_str(), t.as_str(), creds)
+        match (self.route_rw(from)?, self.route_rw(to)?) {
+            (Route::Fs(f, _), Route::Fs(t, _)) => self.fs.rename(f.as_str(), t.as_str(), creds),
+            (Route::Ov(fo, frel), Route::Ov(to_, trel)) if std::ptr::eq(fo, to_) => {
+                fo.rename(frel.as_str(), trel.as_str(), creds)
+            }
+            _ => err(Errno::EXDEV, from),
+        }
     }
 
     /// See [`Filesystem::symlink`]. The target string is stored verbatim.
     pub fn symlink(&self, target: &str, linkpath: &str, creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .symlink(target, self.translate_rw(linkpath)?.as_str(), creds)
+        match self.route_rw(linkpath)? {
+            Route::Fs(p, _) => self.fs.symlink(target, p.as_str(), creds),
+            Route::Ov(ov, rel) => ov.symlink(target, rel.as_str(), creds),
+        }
     }
 
     /// See [`Filesystem::truncate`].
     pub fn truncate(&self, path: &str, len: u64, creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .truncate(self.translate_rw(path)?.as_str(), len, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.truncate(p.as_str(), len, creds),
+            Route::Ov(ov, rel) => ov.truncate(rel.as_str(), len, creds),
+        }
     }
 
     /// See [`Filesystem::chmod`].
     pub fn chmod(&self, path: &str, mode: Mode, creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .chmod(self.translate_rw(path)?.as_str(), mode, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.chmod(p.as_str(), mode, creds),
+            Route::Ov(ov, rel) => ov.chmod(rel.as_str(), mode, creds),
+        }
     }
 
     /// See [`Filesystem::chown`].
@@ -254,14 +433,18 @@ impl Namespace {
         gid: Option<Gid>,
         creds: &Credentials,
     ) -> VfsResult<()> {
-        self.fs
-            .chown(self.translate_rw(path)?.as_str(), uid, gid, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.chown(p.as_str(), uid, gid, creds),
+            Route::Ov(ov, rel) => ov.chown(rel.as_str(), uid, gid, creds),
+        }
     }
 
     /// See [`Filesystem::set_acl`].
     pub fn set_acl(&self, path: &str, acl: Option<Acl>, creds: &Credentials) -> VfsResult<()> {
-        self.fs
-            .set_acl(self.translate_rw(path)?.as_str(), acl, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.set_acl(p.as_str(), acl, creds),
+            Route::Ov(ov, rel) => ov.set_acl(rel.as_str(), acl, creds),
+        }
     }
 
     /// See [`Filesystem::set_xattr`].
@@ -272,20 +455,29 @@ impl Namespace {
         value: &[u8],
         creds: &Credentials,
     ) -> VfsResult<()> {
-        self.fs
-            .set_xattr(self.translate_rw(path)?.as_str(), name, value, creds)
+        match self.route_rw(path)? {
+            Route::Fs(p, _) => self.fs.set_xattr(p.as_str(), name, value, creds),
+            Route::Ov(ov, rel) => ov.set_xattr(rel.as_str(), name, value, creds),
+        }
     }
 
     /// See [`Filesystem::get_xattr`].
     pub fn get_xattr(&self, path: &str, name: &str, creds: &Credentials) -> VfsResult<Vec<u8>> {
-        self.fs
-            .get_xattr(self.translate(path).0.as_str(), name, creds)
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.get_xattr(p.as_str(), name, creds),
+            Route::Ov(ov, rel) => ov.get_xattr(rel.as_str(), name, creds),
+        }
     }
 
     /// Start building a watch on a namespace-visible path; see
     /// [`Filesystem::watch`]. Delivered events carry *underlying* paths.
+    /// On an overlay mount the watch lands on the private upper layer, so
+    /// it observes exactly this view's writes.
     pub fn watch(&self, path: &str) -> crate::fs::WatchBuilder<'_> {
-        self.fs.watch(self.translate(path).0.as_str())
+        match self.route(path) {
+            Route::Fs(p, _) => self.fs.watch(p.as_str()),
+            Route::Ov(ov, rel) => ov.watch(rel.as_str()),
+        }
     }
 }
 
@@ -405,5 +597,36 @@ mod tests {
         ns.rename("/switches/marker", "/switches/renamed", &r)
             .unwrap();
         assert!(fs.exists("/net/views/http/switches/renamed", &r));
+    }
+
+    #[test]
+    fn overlay_mount_cow_and_mount_table() {
+        let fs = setup();
+        let r = Credentials::root();
+        let ov = Overlay::new(fs.clone(), &["/net/switches"], "/views/t1");
+        ov.ensure_upper(&r).unwrap();
+        let ns = Namespace::new(fs.clone()).overlay("/net", &ov);
+        // Read-through sees the base; a write stays in the upper layer.
+        assert_eq!(ns.read_file("/net/sw1/id", &r).unwrap(), b"1");
+        ns.write_file("/net/sw1/id", b"2", &r).unwrap();
+        assert_eq!(ns.read_file("/net/sw1/id", &r).unwrap(), b"2");
+        assert_eq!(fs.read_file("/net/switches/sw1/id", &r).unwrap(), b"1");
+        // Deleting through the mount leaves a whiteout, not a base change.
+        ns.unlink("/net/sw1/id", &r).unwrap();
+        assert!(!ns.exists("/net/sw1/id", &r));
+        assert!(fs.exists("/net/switches/sw1/id", &r));
+        // Renames across mounts are EXDEV.
+        assert_eq!(
+            ns.rename("/net/sw1", "/elsewhere", &r).unwrap_err().errno,
+            Errno::EXDEV
+        );
+        // The mount table reports the overlay row with live counters.
+        let rows = ns.mount_table();
+        let ovrow = rows.iter().find(|m| m.kind == "overlay").unwrap();
+        assert_eq!(ovrow.at, "/net");
+        assert_eq!(ovrow.detail, "/net/switches -> /views/t1");
+        let st = ovrow.stats.unwrap();
+        assert_eq!(st.copy_ups, 1);
+        assert_eq!(st.whiteouts, 1);
     }
 }

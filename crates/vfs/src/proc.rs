@@ -63,6 +63,9 @@ impl Drop for ProcDepth {
 struct ProcState {
     mounts: Vec<String>,
     files: HashMap<String, ProcRender>,
+    /// Per-namespace mount-table renderers (`vfs/mounts`), keyed by the
+    /// name the namespace registered under.
+    mount_tables: HashMap<String, ProcRender>,
 }
 
 /// Registry of proc mounts and their rendered files; one per
@@ -121,6 +124,40 @@ impl ProcRegistry {
     /// The render closure for `path`, if one is registered.
     pub fn render(&self, path: &str) -> Option<ProcRender> {
         self.state.read().files.get(path).cloned()
+    }
+
+    /// Register (or replace) a namespace's mount-table renderer under
+    /// `name`; it becomes a section of the `vfs/mounts` proc file.
+    pub fn register_mount_table(&self, name: &str, render: ProcRender) {
+        self.state
+            .write()
+            .mount_tables
+            .insert(name.to_string(), render);
+    }
+
+    /// Render every registered mount table, sorted by namespace name,
+    /// each row prefixed with that name.
+    pub fn render_mount_tables(&self) -> String {
+        let tables: Vec<(String, ProcRender)> = {
+            let state = self.state.read();
+            let mut v: Vec<_> = state
+                .mount_tables
+                .iter()
+                .map(|(k, r)| (k.clone(), r.clone()))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let mut out = String::new();
+        for (name, render) in tables {
+            for line in render().lines() {
+                out.push_str(&name);
+                out.push(' ');
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// Registered file paths, sorted.

@@ -446,6 +446,204 @@ fn restored_fs_journals_only_after_reenable() {
 }
 
 // ----------------------------------------------------------------------
+// Overlay torture: copy-up/whiteout histories and the mid-commit cut
+// ----------------------------------------------------------------------
+
+/// One step of a seeded overlay history. Every overlay-specific journal
+/// shape is reachable: copy-up batches (`Commit` frames from writes over
+/// lower files), whiteout creation (unlink of lower files), opaque
+/// directories (mkdir over a whiteout), staged renames, and symlinks.
+#[derive(Debug, Clone)]
+enum OvOp {
+    Write(String, Vec<u8>),
+    Unlink(String),
+    Mkdir(String),
+    Rename(String, String),
+    Symlink(String, String),
+    Chmod(String, u16),
+    Rmdir(String),
+}
+
+fn gen_ov_op(rng: &mut Rng) -> OvOp {
+    let dir = ["/d0", "/d1", "/d2"][rng.below(3) as usize];
+    let name = NAMES[rng.below(6) as usize];
+    let file = format!("{dir}/{name}");
+    match rng.below(100) {
+        0..=39 => {
+            let len = 1 + rng.below(40) as usize;
+            OvOp::Write(file, vec![rng.below(256) as u8; len])
+        }
+        40..=54 => OvOp::Unlink(file),
+        55..=64 => OvOp::Mkdir(format!("{dir}/{}", SUBS[rng.below(3) as usize])),
+        65..=79 => {
+            let to = format!(
+                "{}/{}",
+                ["/d0", "/d1", "/d2"][rng.below(3) as usize],
+                NAMES[rng.below(6) as usize]
+            );
+            OvOp::Rename(file, to)
+        }
+        80..=86 => OvOp::Symlink(file, format!("{dir}/l{}", rng.below(3))),
+        87..=93 => OvOp::Chmod(file, 0o600 + rng.below(64) as u16),
+        _ => OvOp::Rmdir(format!("{dir}/{}", SUBS[rng.below(3) as usize])),
+    }
+}
+
+fn apply_ov_op(ov: &yanc_vfs::Overlay, op: &OvOp) -> VfsResult<()> {
+    let root = Credentials::root();
+    match op {
+        OvOp::Write(p, data) => ov.write_file(p, data, &root),
+        OvOp::Unlink(p) => ov.unlink(p, &root),
+        OvOp::Mkdir(p) => ov.mkdir(p, Mode::DIR_DEFAULT, &root),
+        OvOp::Rename(f, t) => ov.rename(f, t, &root),
+        OvOp::Symlink(t, l) => ov.symlink(t, l, &root),
+        OvOp::Chmod(p, m) => ov.chmod(p, Mode(*m), &root),
+        OvOp::Rmdir(p) => ov.rmdir(p, &root),
+    }
+}
+
+/// A journaled base + pre-populated lower tree and a view over it.
+fn overlay_world() -> (Arc<Filesystem>, yanc_vfs::Overlay) {
+    let fs = Arc::new(Filesystem::with_options(Limits::default(), 1, false));
+    fs.enable_journal();
+    let root = Credentials::root();
+    for d in ["/d0", "/d1", "/d2"] {
+        fs.mkdir_all(&format!("/base{d}"), Mode::DIR_DEFAULT, &root)
+            .unwrap();
+        for n in &NAMES[..3] {
+            fs.write_file(
+                &format!("/base{d}/{n}"),
+                format!("lower-{n}").as_bytes(),
+                &root,
+            )
+            .unwrap();
+        }
+    }
+    let ov = yanc_vfs::Overlay::new(fs.clone(), &["/base"], "/staging");
+    ov.ensure_upper(&root).unwrap();
+    (fs, ov)
+}
+
+/// Crash-at-every-frame over a 200-op overlay history. Overlay mutations
+/// are multi-record transactions (copy-up chains, whiteout pairs), so the
+/// journal is dense with `Commit` frames; every frame-boundary cut must
+/// restore deterministically to a structurally sound tree, and cuts that
+/// land on overlay-op boundaries must reproduce the op-boundary digest.
+#[test]
+fn overlay_history_crashes_at_every_frame_boundary() {
+    let (fs, ov) = overlay_world();
+    let mut rng = Rng::new(0x007e_11a7);
+    let mut digests = HashMap::new();
+    digests.insert(fs.journal_stats().bytes as usize, fs.tree_digest());
+    for _ in 0..200 {
+        let _ = apply_ov_op(&ov, &gen_ov_op(&mut rng));
+        digests.insert(fs.journal_stats().bytes as usize, fs.tree_digest());
+    }
+    let bytes = fs.journal_bytes();
+    let frames = scan_frames(&bytes);
+    let mut op_boundaries = 0usize;
+    for f in &frames {
+        let cut = &bytes[..f.end];
+        let (fsr, report) = restore(cut);
+        assert_eq!(report.tail_dropped_bytes, 0);
+        fsr.check_invariants()
+            .unwrap_or_else(|e| panic!("overlay restore at byte {} broke invariants: {e}", f.end));
+        if let Some(&d) = digests.get(&f.end) {
+            op_boundaries += 1;
+            assert_eq!(
+                fsr.tree_digest(),
+                d,
+                "restore at overlay-op boundary (byte {}) diverged",
+                f.end
+            );
+        } else {
+            let (fsr2, report2) = restore(cut);
+            assert_eq!(report, report2);
+            assert_eq!(fsr.tree_digest(), fsr2.tree_digest());
+        }
+    }
+    assert!(
+        op_boundaries > 100,
+        "most frames should end overlay ops, got {op_boundaries}"
+    );
+}
+
+/// THE overlay durability claim: a view commit is one journal frame, so a
+/// crash anywhere inside it yields the complete pre-commit world and a
+/// crash after it yields the complete post-commit world — never a base
+/// tree with half a view merged in.
+#[test]
+fn mid_commit_cut_is_all_or_nothing() {
+    let (fs, ov) = overlay_world();
+    let root = Credentials::root();
+    // A staged view touching several directories: new files, an
+    // overwrite, a whiteout, an opaque-ish subtree and a staged rename.
+    ov.write_file("/d0/a", b"rewritten\n", &root).unwrap();
+    ov.write_file("/d1/fresh", b"born in the view\n", &root)
+        .unwrap();
+    ov.unlink("/d2/b", &root).unwrap();
+    ov.mkdir("/d0/s0", Mode::DIR_DEFAULT, &root).unwrap();
+    ov.write_file("/d0/s0/inner", b"nested\n", &root).unwrap();
+    ov.rename("/d1/c", "/d2/c2", &root).unwrap();
+
+    let pre_digest = fs.tree_digest();
+    let pre_bytes = fs.journal_stats().bytes as usize;
+    let report = ov.commit(&root).unwrap();
+    assert!(report.records >= 6, "commit too small to torture");
+    let post_digest = fs.tree_digest();
+    let bytes = fs.journal_bytes();
+
+    // The commit appended exactly ONE frame.
+    let commit_frames: Vec<_> = scan_frames(&bytes)
+        .into_iter()
+        .filter(|f| f.start >= pre_bytes)
+        .collect();
+    assert_eq!(
+        commit_frames.len(),
+        1,
+        "a view commit must be a single journal frame"
+    );
+    let f = &commit_frames[0];
+    assert_eq!(f.end, bytes.len());
+
+    // Every cut inside the frame restores the complete pre-commit world.
+    let span = f.end - f.start;
+    for cut in [
+        f.start,
+        f.start + 1,
+        f.start + span / 3,
+        f.start + span / 2,
+        f.end - 1,
+    ] {
+        let (fsr, _) = restore(&bytes[..cut]);
+        assert_eq!(
+            fsr.tree_digest(),
+            pre_digest,
+            "cut at byte {cut} (inside the commit frame) leaked a partial commit"
+        );
+        // Spot-check the tell-tale names: staged state intact, base
+        // untouched — not merely digest-equal.
+        assert_eq!(fsr.read_to_string("/base/d0/a", &root).unwrap(), "lower-a");
+        assert!(fsr.exists("/base/d2/b", &root));
+        assert_eq!(
+            fsr.read_to_string("/staging/d0/a", &root).unwrap(),
+            "rewritten\n"
+        );
+    }
+    // The complete frame restores the complete post-commit world.
+    let (fsr, _) = restore(&bytes);
+    assert_eq!(fsr.tree_digest(), post_digest);
+    assert_eq!(
+        fsr.read_to_string("/base/d0/a", &root).unwrap(),
+        "rewritten\n"
+    );
+    assert_eq!(fsr.read_to_string("/base/d2/c2", &root).unwrap(), "lower-c");
+    assert!(!fsr.exists("/base/d2/b", &root));
+    assert!(!fsr.exists("/base/d1/c", &root));
+    assert!(fsr.readdir("/staging", &root).unwrap().is_empty());
+}
+
+// ----------------------------------------------------------------------
 // E23: warm restart vs E19 cold restart
 // ----------------------------------------------------------------------
 

@@ -406,6 +406,134 @@ fn rename_heavy_histories_agree_on_one_shard() {
 }
 
 // ---------------------------------------------------------------------
+// Part 1c: overlay transparency — merged-view replay vs direct replay
+// ---------------------------------------------------------------------
+
+/// Apply one file op either through an overlay view (paths relative to
+/// the view) or directly against a base prefix, returning a comparable
+/// result: `Ok(payload bytes)` or the errno. Exact agreement between the
+/// two spellings is the overlay transparency claim.
+enum Target<'a> {
+    Plain(&'a Filesystem, &'a str),
+    View(&'a yanc_vfs::Overlay),
+}
+
+fn apply_overlay_op(
+    t: &Target<'_>,
+    creds: &Credentials,
+    op: &(OpKindL, String, String, Vec<u8>),
+) -> Result<Vec<u8>, Errno> {
+    let (kind, src, dst, data) = op;
+    let (src, dst) = match t {
+        Target::Plain(_, pre) => (format!("{pre}{src}"), format!("{pre}{dst}")),
+        Target::View(_) => (src.clone(), dst.clone()),
+    };
+    let unit = |r: yanc_vfs::VfsResult<()>| r.map(|_| Vec::new()).map_err(|e| e.errno);
+    match (kind, t) {
+        (OpKindL::Write, Target::Plain(fs, _)) => unit(fs.write_file(&src, data, creds)),
+        (OpKindL::Write, Target::View(ov)) => unit(ov.write_file(&src, data, creds)),
+        (OpKindL::Read, Target::Plain(fs, _)) => fs.read_file(&src, creds).map_err(|e| e.errno),
+        (OpKindL::Read, Target::View(ov)) => ov.read_file(&src, creds).map_err(|e| e.errno),
+        (OpKindL::Unlink, Target::Plain(fs, _)) => unit(fs.unlink(&src, creds)),
+        (OpKindL::Unlink, Target::View(ov)) => unit(ov.unlink(&src, creds)),
+        (OpKindL::Rename, Target::Plain(fs, _)) => unit(fs.rename(&src, &dst, creds)),
+        (OpKindL::Rename, Target::View(ov)) => unit(ov.rename(&src, &dst, creds)),
+        (OpKindL::Link | OpKindL::Exists, Target::Plain(fs, _)) => {
+            Ok(vec![fs.exists(&src, creds) as u8])
+        }
+        (OpKindL::Link | OpKindL::Exists, Target::View(ov)) => {
+            Ok(vec![ov.exists(&src, creds) as u8])
+        }
+    }
+}
+
+/// One seeded history replayed twice — directly against `/base` on one
+/// filesystem, and through a copy-on-write overlay view of an identical
+/// `/base` on another — must agree op-for-op (same payloads, same
+/// errnos). After a final atomic commit of the view, the two `/base`
+/// trees must be structurally identical: the staged history collapses to
+/// exactly the directly-applied one.
+fn run_overlay_pair(seed: u64) {
+    let creds = Credentials::root();
+    let mk = || {
+        let fs = Filesystem::with_options(Limits::default(), 4, true);
+        for d in DIRS {
+            fs.mkdir_all(&format!("/base{d}"), Mode::DIR_DEFAULT, &creds)
+                .unwrap();
+        }
+        // A seeded pre-population, so unlink/rename hit lower files too.
+        let mut rng = Rng::new(seed ^ 0x5eed);
+        for d in DIRS {
+            for n in NAMES {
+                if rng.below(2) == 0 {
+                    fs.write_file(
+                        &format!("/base{d}/{n}"),
+                        format!("pre-{d}-{n}").as_bytes(),
+                        &creds,
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        fs
+    };
+    let fs_plain = mk();
+    let fs_ov = Arc::new(mk());
+    let ov = yanc_vfs::Overlay::new(fs_ov.clone(), &["/base"], "/staging");
+    ov.ensure_upper(&creds).unwrap();
+
+    let mut rng = Rng::new(seed.wrapping_mul(977));
+    for step in 0..40 {
+        let op = gen_op_heavy(&mut rng);
+        if op.0 == OpKindL::Link {
+            continue; // overlays have no hard links (documented deviation)
+        }
+        if op.0 == OpKindL::Rename && op.1 == op.2 {
+            continue;
+        }
+        let direct = apply_overlay_op(&Target::Plain(&fs_plain, "/base"), &creds, &op);
+        let viewed = apply_overlay_op(&Target::View(&ov), &creds, &op);
+        assert_eq!(
+            direct, viewed,
+            "seed {seed} step {step}: {op:?} diverged between direct and overlay replay"
+        );
+    }
+
+    // Commit the staged history; the two base trees must now match
+    // structurally (names + contents — inode numbers and clocks differ
+    // by construction, so the comparison is a walk, not a digest).
+    ov.commit(&creds).unwrap();
+    for d in DIRS {
+        let list = |fs: &Filesystem| -> Vec<String> {
+            fs.readdir(&format!("/base{d}"), &creds)
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect()
+        };
+        let a = list(&fs_plain);
+        assert_eq!(a, list(&fs_ov), "seed {seed}: /base{d} listing diverged");
+        for name in a {
+            let p = format!("/base{d}/{name}");
+            assert_eq!(
+                fs_plain.read_file(&p, &creds).unwrap(),
+                fs_ov.read_file(&p, &creds).unwrap(),
+                "seed {seed}: {p} content diverged after commit"
+            );
+        }
+    }
+    fs_plain.check_invariants().unwrap();
+    fs_ov.check_invariants().unwrap();
+}
+
+#[test]
+fn overlay_histories_agree_with_direct_histories() {
+    for seed in 0..200 {
+        run_overlay_pair(seed);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Part 2: real threads, atomic-register semantics over rename
 // ---------------------------------------------------------------------
 

@@ -183,3 +183,91 @@ fn e7_stacked_views_slice_over_big_switch() {
     let total: usize = (1..=3).map(|d| rt.net.switches[&d].flow_count()).sum();
     assert_eq!(total, 3);
 }
+
+/// Regression for the `bind_ro` symlink-escape audit (namespace module
+/// docs): a read-only bind refuses *every* mutation on its visible paths
+/// — including paths that resolve through an absolute symlink to a
+/// target **outside** the bound subtree. The EROFS check runs on the
+/// visible path before any delegation, so the symlink's target is never
+/// even consulted for a write.
+#[test]
+fn bind_ro_refuses_writes_through_escaping_symlinks() {
+    use yanc_vfs::{Credentials, Filesystem, Mode};
+    let fs = std::sync::Arc::new(Filesystem::new());
+    let root = Credentials::root();
+    fs.mkdir_all("/net/switches/sw1", Mode::DIR_DEFAULT, &root)
+        .unwrap();
+    fs.write_file("/net/switches/sw1/id", b"0x1\n", &root)
+        .unwrap();
+    fs.mkdir_all("/secret", Mode::DIR_DEFAULT, &root).unwrap();
+    fs.write_file("/secret/key", b"s3cr3t\n", &root).unwrap();
+    // Absolute symlinks planted inside the bound subtree: one escapes
+    // the subtree entirely, one stays within it.
+    fs.symlink("/secret/key", "/net/esc", &root).unwrap();
+    fs.symlink("/net/switches/sw1/id", "/net/inside", &root)
+        .unwrap();
+
+    let ns = Namespace::new(fs.clone()).bind_ro("/jail", "/net");
+    // Reading through the links is ordinary symlink resolution...
+    assert_eq!(ns.read_to_string("/jail/inside", &root).unwrap(), "0x1\n");
+    // ...but every mutation spelling is EROFS on the visible path, for
+    // escaping and non-escaping links alike, before delegation happens.
+    for p in ["/jail/esc", "/jail/inside", "/jail/switches/sw1/id"] {
+        assert_eq!(
+            ns.write_file(p, b"evil", &root).unwrap_err().errno,
+            Errno::EROFS,
+            "{p}: write must be refused"
+        );
+        assert_eq!(
+            ns.truncate(p, 0, &root).unwrap_err().errno,
+            Errno::EROFS,
+            "{p}: truncate must be refused"
+        );
+        assert_eq!(
+            ns.unlink(p, &root).unwrap_err().errno,
+            Errno::EROFS,
+            "{p}: unlink must be refused"
+        );
+        assert_eq!(
+            ns.chmod(p, yanc_vfs::Mode(0o777), &root).unwrap_err().errno,
+            Errno::EROFS,
+            "{p}: chmod must be refused"
+        );
+    }
+    assert_eq!(
+        ns.symlink("/secret", "/jail/newlink", &root)
+            .unwrap_err()
+            .errno,
+        Errno::EROFS,
+        "planting new symlinks in a ro bind must be refused"
+    );
+    // Nothing leaked through: the escape target is untouched.
+    assert_eq!(fs.read_to_string("/secret/key", &root).unwrap(), "s3cr3t\n");
+    assert_eq!(
+        fs.read_to_string("/net/switches/sw1/id", &root).unwrap(),
+        "0x1\n"
+    );
+}
+
+/// The writable-bind contrast, pinned as documented behaviour: like
+/// `mount --bind`, a read-write bind follows absolute symlinks wherever
+/// they point, so handing a tenant a writable bind of a tree containing
+/// attacker-plantable symlinks is an escape. Confinement wants
+/// `bind_ro` or an overlay mount, never a writable bind of a shared tree.
+#[test]
+fn writable_bind_follows_absolute_symlinks_like_mount_bind() {
+    use yanc_vfs::{Credentials, Filesystem, Mode};
+    let fs = std::sync::Arc::new(Filesystem::new());
+    let root = Credentials::root();
+    fs.mkdir_all("/net", Mode::DIR_DEFAULT, &root).unwrap();
+    fs.mkdir_all("/secret", Mode::DIR_DEFAULT, &root).unwrap();
+    fs.write_file("/secret/key", b"s3cr3t\n", &root).unwrap();
+    fs.symlink("/secret/key", "/net/esc", &root).unwrap();
+
+    let ns = Namespace::new(fs.clone()).bind("/rw", "/net");
+    ns.write_file("/rw/esc", b"replaced\n", &root).unwrap();
+    assert_eq!(
+        fs.read_to_string("/secret/key", &root).unwrap(),
+        "replaced\n"
+    );
+}
