@@ -40,6 +40,15 @@ pub enum YancError {
     },
     /// A libyanc fastpath ring rejected ops; see [`RingFull`].
     RingFull(RingFull),
+    /// A read-fastpath ring (stat queries, telemetry) rejected an item.
+    /// Unlike [`RingFull`] there is no op payload worth carrying back —
+    /// the caller re-issues the query once the peer drains.
+    Busy {
+        /// `ENOSPC` (ring already full) following the vfs errno model.
+        errno: Errno,
+        /// Which channel rejected the item.
+        what: String,
+    },
 }
 
 impl YancError {
@@ -63,12 +72,21 @@ impl YancError {
         YancError::RingFull(RingFull { errno, rejected })
     }
 
+    /// Construct a busy error for a payload-free fastpath ring.
+    pub fn busy(errno: Errno, what: impl Into<String>) -> Self {
+        YancError::Busy {
+            errno,
+            what: what.into(),
+        }
+    }
+
     /// The errno, when this error has one (vfs and ring-full errors do).
     /// Lets supervisors treat `EAGAIN` uniformly across both paths.
     pub fn errno(&self) -> Option<Errno> {
         match self {
             YancError::Vfs(e) => Some(e.errno),
             YancError::RingFull(r) => Some(r.errno),
+            YancError::Busy { errno, .. } => Some(*errno),
             _ => None,
         }
     }
@@ -88,6 +106,7 @@ impl fmt::Display for YancError {
                     r.rejected.len()
                 )
             }
+            YancError::Busy { errno, what } => write!(f, "busy: {errno:?} ({what})"),
         }
     }
 }

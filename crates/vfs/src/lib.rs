@@ -59,6 +59,7 @@ pub mod path;
 pub mod poll;
 pub mod proc;
 pub mod rctl;
+mod readpath;
 mod shard;
 pub mod types;
 
@@ -80,6 +81,7 @@ pub use path::{valid_name, VPath, NAME_MAX, PATH_MAX};
 pub use poll::{Interest, PollEvent, PollSet, PollSource, PollToken};
 pub use proc::{ProcHook, ProcRegistry, ProcRender};
 pub use rctl::{AppLimits, RctlTable, RctlUsage};
+pub use readpath::ReadPathStats;
 pub use types::{
     Access, Clock, Credentials, DirEntry, Fd, FileStat, FileType, Gid, Ino, Mode, OpenFlags,
     Timestamp, Uid, ROOT_INO,

@@ -22,6 +22,16 @@
 //!   when it moved — optimistic concurrency exactly like `rename()`'s
 //!   lookup/lock/recheck dance in the kernel.
 //!
+//! A third discipline rides on top of these (PR 8, DESIGN.md §12):
+//!
+//! * **Optimistic lock-free reads** ([`crate::readpath`]): each shard
+//!   carries a seqlock counter, bumped to odd by every write-lock
+//!   acquisition and back to even on release. Hot read paths serve
+//!   published attribute/handle blocks with **zero** table locks and
+//!   validate the counter afterwards, falling back to the locked path on
+//!   any conflict. [`Tables::lock_acquisition_count`] makes the win
+//!   deterministic ("0 locks per warm stat", E25).
+//!
 //! With `shards = 1` the table degenerates to the old single global lock
 //! and every operation is serialized — the deterministic mode the pinned
 //! experiment tables (E4/E5/E19) run under.
@@ -120,6 +130,17 @@ pub(crate) struct Shard {
 /// inode or fd number identifies its shard for its whole lifetime.
 pub(crate) struct Tables {
     shards: Box<[RwLock<Shard>]>,
+    /// Per-shard sequence counters (seqlock discipline): **odd while a
+    /// writer holds the shard's write lock, even otherwise**. [`Tables::lock`]
+    /// / [`Tables::lock_all`] bump each acquired shard's counter to odd;
+    /// dropping the [`ShardSet`] bumps it back to even *before* the write
+    /// guards release. An optimistic reader (see [`crate::readpath`])
+    /// snapshots the counter, reads published data without any lock, and
+    /// validates that the counter is still the same even value — any
+    /// intervening write-lock acquisition is therefore detected, even if the
+    /// writer mutated nothing. Counters start at 2 so that 0 can serve as a
+    /// never-published sentinel in readpath stamps.
+    seqs: Box<[AtomicU64]>,
     next_ino: AtomicU64,
     next_fd: AtomicU64,
     /// Open handles across all shards, maintained at insert/remove time so
@@ -129,6 +150,14 @@ pub(crate) struct Tables {
     /// deterministic cost metric behind the E22 dcache claim (a warm cached
     /// walk takes far fewer of these than a cold hop-by-hop one).
     inode_reads: AtomicU64,
+    /// Every shard-lock acquisition on these tables: one per
+    /// [`Tables::with_inode`] / [`Tables::with_handle`] /
+    /// [`Tables::read_shard`] call and one per shard write-locked by
+    /// [`Tables::lock`] / [`Tables::lock_all`]. This is the deterministic
+    /// cost metric behind the E25 lock-free read path ("0 locks per warm
+    /// stat"); dcache-internal stripe locks and rctl bucket locks are
+    /// deliberately excluded — the contended scaling wall is here.
+    lock_acquisitions: AtomicU64,
 }
 
 impl Tables {
@@ -136,16 +165,32 @@ impl Tables {
         let n = shards.max(1);
         Tables {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            seqs: (0..n).map(|_| AtomicU64::new(2)).collect(),
             next_ino: AtomicU64::new(2),
             next_fd: AtomicU64::new(3),
             handle_count: AtomicUsize::new(0),
             inode_reads: AtomicU64::new(0),
+            lock_acquisitions: AtomicU64::new(0),
         }
     }
 
     /// Total [`Tables::with_inode`] read-lock acquisitions so far.
     pub fn inode_read_count(&self) -> u64 {
         self.inode_reads.load(Ordering::Relaxed)
+    }
+
+    /// Total shard-lock acquisitions (read + write) so far.
+    pub fn lock_acquisition_count(&self) -> u64 {
+        self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Current seqlock value of the shard covering `ino`. Even = no writer
+    /// holds the shard; odd = a write-locked mutation is in flight.
+    /// `SeqCst` so an optimistic reader's snapshot/validate pair can never
+    /// be reordered around its lock-free data reads.
+    #[inline]
+    pub fn seq_of_ino(&self, ino: Ino) -> u64 {
+        self.seqs[self.shard_of_ino(ino)].load(Ordering::SeqCst)
     }
 
     pub fn shard_count(&self) -> usize {
@@ -225,29 +270,46 @@ impl Tables {
     }
 
     pub fn read_shard(&self, idx: usize) -> RwLockReadGuard<'_, Shard> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
         self.shards[idx].read()
     }
 
     /// Copy data out of one inode under its shard's read lock. The closure
     /// MUST NOT take any other lock. `EIO` when the inode is gone.
     pub fn with_inode<R>(&self, ino: Ino, f: impl FnOnce(&Inode) -> R) -> VfsResult<R> {
+        self.with_inode_at(ino, |n, _| f(n))
+    }
+
+    /// [`Tables::with_inode`], also handing the closure the shard's current
+    /// seqlock value. While the read lock is held no writer can hold the
+    /// shard, so the value is even and stable for the whole closure — it is
+    /// the stamp an optimistic-cache fill publishes under (see
+    /// [`crate::readpath`]): the filled block stays valid exactly until the
+    /// next write-lock acquisition bumps the counter.
+    pub fn with_inode_at<R>(&self, ino: Ino, f: impl FnOnce(&Inode, u64) -> R) -> VfsResult<R> {
         self.inode_reads.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shards[self.shard_of_ino(ino)].read();
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let idx = self.shard_of_ino(ino);
+        let shard = self.shards[idx].read();
+        let seq = self.seqs[idx].load(Ordering::SeqCst);
         match shard.inodes.get(&ino.0) {
-            Some(n) => Ok(f(n)),
+            Some(n) => Ok(f(n, seq)),
             None => Err(VfsError::new(Errno::EIO, format!("{ino}"))),
         }
     }
 
     /// Copy data out of one open handle under its shard's read lock.
     pub fn with_handle<R>(&self, fd: u64, f: impl FnOnce(&OpenFile) -> R) -> Option<R> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
         let shard = self.shards[self.shard_of_fd(fd)].read();
         shard.handles.get(&fd).map(f)
     }
 
     /// Write-lock the shards covering `keys`, in ascending shard order
     /// (the canonical order — every multi-shard writer uses it, so no
-    /// deadlock is possible).
+    /// deadlock is possible). Each acquired shard's seqlock is bumped to
+    /// odd; dropping the returned set bumps it back to even before the
+    /// guards release.
     pub fn lock(&self, keys: &[LockKey]) -> ShardSet<'_> {
         let mut idxs: Vec<usize> = keys
             .iter()
@@ -260,7 +322,12 @@ impl Tables {
         idxs.dedup();
         let guards = idxs
             .into_iter()
-            .map(|i| (i, self.shards[i].write()))
+            .map(|i| {
+                self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+                let g = self.shards[i].write();
+                self.seqs[i].fetch_add(1, Ordering::SeqCst); // → odd: writer in
+                (i, g)
+            })
             .collect();
         ShardSet {
             tables: self,
@@ -274,7 +341,12 @@ impl Tables {
         ShardSet {
             tables: self,
             guards: (0..self.shards.len())
-                .map(|i| (i, self.shards[i].write()))
+                .map(|i| {
+                    self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+                    let g = self.shards[i].write();
+                    self.seqs[i].fetch_add(1, Ordering::SeqCst); // → odd
+                    (i, g)
+                })
                 .collect(),
         }
     }
@@ -293,6 +365,18 @@ pub(crate) enum LockKey {
 pub(crate) struct ShardSet<'a> {
     tables: &'a Tables,
     guards: Vec<(usize, RwLockWriteGuard<'a, Shard>)>,
+}
+
+impl Drop for ShardSet<'_> {
+    fn drop(&mut self) {
+        // Writer out: restore each shard's seqlock to even while the write
+        // guards are still held (the guards in `self.guards` drop after this
+        // body), so an odd counter always means "write lock held" and a
+        // counter observed even at two points brackets a writer-free window.
+        for (i, _) in &self.guards {
+            self.tables.seqs[*i].fetch_add(1, Ordering::SeqCst);
+        }
+    }
 }
 
 impl ShardSet<'_> {
@@ -488,6 +572,63 @@ mod tests {
         t.release_handle_slot();
         assert!(t.try_reserve_handle(2));
         assert_eq!(t.handle_count(), 2);
+    }
+
+    #[test]
+    fn seqlock_is_odd_exactly_while_write_locked() {
+        let t = Tables::new(4);
+        let ino = Ino(6); // shard 2
+        let s0 = t.seq_of_ino(ino);
+        assert_eq!(s0 % 2, 0, "quiescent seq must be even");
+        assert_eq!(s0, 2, "seqs start at 2 (0 = never-published sentinel)");
+        {
+            let set = t.lock(&[LockKey::Ino(ino)]);
+            assert_eq!(t.seq_of_ino(ino), s0 + 1, "odd while write-locked");
+            // Untouched shards keep their counters.
+            assert_eq!(t.seq_of_ino(Ino(7)), 2);
+            drop(set);
+        }
+        assert_eq!(t.seq_of_ino(ino), s0 + 2, "even again after drop");
+        // lock_all bumps every shard once (odd), drop restores all.
+        drop(t.lock_all());
+        for raw in 0..4u64 {
+            assert_eq!(t.seq_of_ino(Ino(raw)) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn lock_acquisitions_count_reads_and_per_shard_writes() {
+        let t = Tables::new(4);
+        let base = t.lock_acquisition_count();
+        let ino = t.alloc_ino();
+        {
+            let mut set = t.lock(&[LockKey::Ino(ino)]);
+            set.insert_inode(ino, inode());
+        }
+        assert_eq!(t.lock_acquisition_count(), base + 1); // one shard write
+        t.with_inode(ino, |_| ()).unwrap();
+        assert_eq!(t.lock_acquisition_count(), base + 2);
+        let _ = t.with_handle(99, |_| ());
+        assert_eq!(t.lock_acquisition_count(), base + 3);
+        // A two-shard write set is two acquisitions; lock_all is one per shard.
+        drop(t.lock(&[LockKey::Ino(Ino(4)), LockKey::Ino(Ino(5))]));
+        assert_eq!(t.lock_acquisition_count(), base + 5);
+        drop(t.lock_all());
+        assert_eq!(t.lock_acquisition_count(), base + 9);
+    }
+
+    #[test]
+    fn with_inode_at_sees_a_stable_even_seq() {
+        let t = Tables::new(2);
+        let ino = t.alloc_ino();
+        {
+            let mut set = t.lock(&[LockKey::Ino(ino)]);
+            set.insert_inode(ino, inode());
+        }
+        let outside = t.seq_of_ino(ino);
+        let inside = t.with_inode_at(ino, |_, seq| seq).unwrap();
+        assert_eq!(inside, outside);
+        assert_eq!(inside % 2, 0);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Flake audit: test code must not read the wall clock.
+//!
+//! Everything this repo pins — lock budgets, syscall budgets, cache
+//! ratios, retry ladders — is pinned against deterministic counters
+//! precisely because wall-clock assertions flake on a loaded 1-core CI
+//! host. PR 6 converted the last timing assertion (poll.rs's test-side
+//! wait); this test finishes the sweep and then *keeps* the test tree
+//! clean: any new `Instant::now`/`SystemTime`/`sleep`/`elapsed` in test
+//! sources fails here with the offending file and line.
+//!
+//! Deliberately out of scope:
+//! * `crates/vfs/src/poll.rs` — the `wait(timeout)` *implementation*
+//!   needs a deadline clock; its tests assert on counters, not time;
+//! * `crates/bench/benches/vfs_parallel.rs` — wall-clock throughput is
+//!   *reported* as context there, never asserted; every BENCH_*.json
+//!   marks the deterministic counter as the primary metric.
+
+use std::fs;
+use std::path::Path;
+
+/// Tokens that make a test schedule- or load-dependent. Matched after
+/// stripping `//` comments, so prose may mention them freely.
+const FORBIDDEN: [&str; 5] = [
+    "Instant::now",
+    "SystemTime",
+    "thread::sleep",
+    "sleep(",
+    ".elapsed()",
+];
+
+/// (file name, token) pairs that are allowed anyway. Empty today; add
+/// entries only with a comment explaining why the use is deterministic.
+const ALLOWLIST: [(&str, &str); 0] = [];
+
+fn audit_dir(dir: &Path, violations: &mut Vec<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return, // crate without a tests/ dir
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().map_or(true, |e| e != "rs") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if name == "flake_audit.rs" {
+            continue; // the FORBIDDEN list itself spells the tokens out
+        }
+        let src = fs::read_to_string(&path).unwrap();
+        for (lineno, line) in src.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or("");
+            for tok in FORBIDDEN {
+                if code.contains(tok) && !ALLOWLIST.iter().any(|(f, t)| *f == name && *t == tok) {
+                    violations.push(format!("{name}:{}: {tok}: {}", lineno + 1, line.trim()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn test_sources_never_read_the_wall_clock() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    // The root integration suites plus every per-crate tests/ dir.
+    audit_dir(&here.join("../../tests"), &mut violations);
+    let crates = here.join("..");
+    for entry in fs::read_dir(&crates).unwrap().flatten() {
+        audit_dir(&entry.path().join("tests"), &mut violations);
+    }
+    assert!(
+        violations.is_empty(),
+        "wall-clock constructs in test code (pin a counter instead, or \
+         extend the audit ALLOWLIST with a justification):\n{}",
+        violations.join("\n")
+    );
+}
+
+/// The audit itself must be looking at real code: if the directories
+/// moved, the scan above would vacuously pass.
+#[test]
+fn audit_scans_a_nonempty_test_tree() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = fs::read_dir(here.join("../../tests"))
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "rs"))
+        .count();
+    assert!(files >= 10, "expected the root test suites, found {files}");
+}

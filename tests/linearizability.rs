@@ -406,6 +406,240 @@ fn rename_heavy_histories_agree_on_one_shard() {
 }
 
 // ---------------------------------------------------------------------
+// Part 1d: read-path coherence — lockfree-on vs lockfree-off paired
+// replay. The optimistic seqlock read path (E25) serves warm stat/fstat/
+// read metadata without taking shard locks; these histories are tilted
+// toward the reads it serves, interleaved with exactly the mutations
+// that invalidate it (rename/unlink/chmod). The lockfree-off filesystem
+// always takes the locked path, so op-for-op equality — payloads, every
+// FileStat field, exact errnos — is the "no torn entry" claim: a stale
+// name with a new ino, or perms from a different generation, would show
+// up as a field diverging from the always-locked twin.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKindR {
+    Stat,
+    ReadFd,
+    Readdir,
+    Write,
+    Rename,
+    Unlink,
+    Chmod,
+}
+
+const MODES: [u16; 5] = [0o600, 0o640, 0o644, 0o444, 0o755];
+
+/// Read-heavy op stream: over half the draws are reads the optimistic
+/// path serves; the rest are the writers that must invalidate it.
+fn gen_op_read_heavy(rng: &mut Rng) -> (OpKindR, String, String, Vec<u8>, Mode) {
+    let kind = match rng.below(12) {
+        0..=2 => OpKindR::Stat,
+        3..=4 => OpKindR::ReadFd,
+        5 => OpKindR::Readdir,
+        6 => OpKindR::Write,
+        7..=8 => OpKindR::Rename,
+        9 => OpKindR::Unlink,
+        _ => OpKindR::Chmod,
+    };
+    let src = format!(
+        "{}/{}",
+        DIRS[rng.below(DIRS.len())],
+        NAMES[rng.below(NAMES.len())]
+    );
+    let dst = format!(
+        "{}/{}",
+        DIRS[rng.below(DIRS.len())],
+        NAMES[rng.below(NAMES.len())]
+    );
+    let data = format!("v{}", rng.next() % 1_000_000).into_bytes();
+    let mode = Mode(MODES[rng.below(MODES.len())]);
+    (kind, src, dst, data, mode)
+}
+
+/// Replay one read-heavy seeded history against a lockfree-on and a
+/// lockfree-off filesystem in lockstep, asserting exact agreement after
+/// every single op. Both replays allocate inodes, descriptors and clock
+/// ticks identically, so even `ino`/`mtime`/`ctime` must match.
+fn run_history_pair_lockfree(seed: u64, shards: usize) {
+    let fs_on = Filesystem::with_features(Limits::default(), shards, true, true);
+    let fs_off = Filesystem::with_features(Limits::default(), shards, true, false);
+    let creds = Credentials::root();
+    for d in DIRS {
+        fs_on.mkdir_all(d, Mode::DIR_DEFAULT, &creds).unwrap();
+        fs_off.mkdir_all(d, Mode::DIR_DEFAULT, &creds).unwrap();
+    }
+    let threads = 3;
+    let steps_per_thread = 12;
+    let mut streams: Vec<Rng> = (0..threads)
+        .map(|t| Rng::new(seed.wrapping_mul(257).wrapping_add(t as u64)))
+        .collect();
+    let mut budget: Vec<usize> = vec![steps_per_thread; threads];
+    let mut sched = Rng::new(seed ^ 0x0bad_f00d);
+    let mut step = 0usize;
+    while budget.iter().any(|&b| b > 0) {
+        let runnable: Vec<usize> = (0..threads).filter(|&t| budget[t] > 0).collect();
+        let t = runnable[sched.below(runnable.len())];
+        budget[t] -= 1;
+        let (kind, src, dst, data, mode) = gen_op_read_heavy(&mut streams[t]);
+        let ctx = |what: &str| format!("seed {seed} step {step}: {kind:?} {src} -> {dst}: {what}");
+        match kind {
+            OpKindR::Stat => match (fs_on.stat(&src, &creds), fs_off.stat(&src, &creds)) {
+                // Every field: a torn optimistic entry (perms from one
+                // generation, size from another) diverges right here.
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{}", ctx("stat fields")),
+                (Err(a), Err(b)) => assert_eq!(a.errno, b.errno, "{}", ctx("stat errno")),
+                (a, b) => panic!("{} (on {a:?} vs off {b:?})", ctx("stat")),
+            },
+            OpKindR::ReadFd => {
+                let open_on = fs_on.open(&src, OpenFlags::read_only(), &creds);
+                let open_off = fs_off.open(&src, OpenFlags::read_only(), &creds);
+                match (open_on, open_off) {
+                    (Ok(f_on), Ok(f_off)) => {
+                        assert_eq!(f_on, f_off, "{}", ctx("fd allocation"));
+                        assert_eq!(
+                            fs_on.fstat(f_on).unwrap(),
+                            fs_off.fstat(f_off).unwrap(),
+                            "{}",
+                            ctx("fstat fields")
+                        );
+                        assert_eq!(
+                            fs_on.read(f_on, 4096).unwrap(),
+                            fs_off.read(f_off, 4096).unwrap(),
+                            "{}",
+                            ctx("read payload")
+                        );
+                        fs_on.close(f_on, &creds).unwrap();
+                        fs_off.close(f_off, &creds).unwrap();
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a.errno, b.errno, "{}", ctx("open errno")),
+                    (a, b) => panic!("{} (on {a:?} vs off {b:?})", ctx("open")),
+                }
+            }
+            OpKindR::Readdir => {
+                let parent = src.rsplit_once('/').unwrap().0.to_string();
+                let fd_on = fs_on.open_dir(&parent, &creds).unwrap();
+                let fd_off = fs_off.open_dir(&parent, &creds).unwrap();
+                // Entry-for-entry: a stale name with a new ino, or a
+                // kind from a dead generation, diverges here.
+                assert_eq!(
+                    fs_on.readdir_fd(fd_on).unwrap(),
+                    fs_off.readdir_fd(fd_off).unwrap(),
+                    "{}",
+                    ctx("readdir entries")
+                );
+                fs_on.close(fd_on, &creds).unwrap();
+                fs_off.close(fd_off, &creds).unwrap();
+            }
+            OpKindR::Write => {
+                let a = fs_on.write_file(&src, &data, &creds);
+                let b = fs_off.write_file(&src, &data, &creds);
+                assert_eq!(
+                    a.map_err(|e| e.errno),
+                    b.map_err(|e| e.errno),
+                    "{}",
+                    ctx("write")
+                );
+            }
+            OpKindR::Rename => {
+                if src == dst {
+                    continue;
+                }
+                let a = fs_on.rename(&src, &dst, &creds);
+                let b = fs_off.rename(&src, &dst, &creds);
+                assert_eq!(
+                    a.map_err(|e| e.errno),
+                    b.map_err(|e| e.errno),
+                    "{}",
+                    ctx("rename")
+                );
+            }
+            OpKindR::Unlink => {
+                let a = fs_on.unlink(&src, &creds);
+                let b = fs_off.unlink(&src, &creds);
+                assert_eq!(
+                    a.map_err(|e| e.errno),
+                    b.map_err(|e| e.errno),
+                    "{}",
+                    ctx("unlink")
+                );
+            }
+            OpKindR::Chmod => {
+                let a = fs_on.chmod(&src, mode, &creds);
+                let b = fs_off.chmod(&src, mode, &creds);
+                assert_eq!(
+                    a.map_err(|e| e.errno),
+                    b.map_err(|e| e.errno),
+                    "{}",
+                    ctx("chmod")
+                );
+                // The narrowing (or widening) must be visible to the very
+                // next optimistic stat — never perms from the generation
+                // before the chmod.
+                match (fs_on.stat(&src, &creds), fs_off.stat(&src, &creds)) {
+                    (Ok(x), Ok(y)) => {
+                        assert_eq!(x, y, "{}", ctx("post-chmod stat"));
+                        assert_eq!(x.mode, mode, "{}", ctx("post-chmod mode"));
+                    }
+                    (Err(x), Err(y)) => {
+                        assert_eq!(x.errno, y.errno, "{}", ctx("post-chmod errno"))
+                    }
+                    (x, y) => panic!("{} (on {x:?} vs off {y:?})", ctx("post-chmod")),
+                }
+            }
+        }
+        step += 1;
+    }
+    // Indistinguishable from outside, bit for bit.
+    assert_eq!(
+        fs_on.tree_digest(),
+        fs_off.tree_digest(),
+        "seed {seed}: tree digest diverged between read-path modes"
+    );
+    fs_on
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("seed {seed}: lockfree-on invariants violated: {e}"));
+    fs_off
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("seed {seed}: lockfree-off invariants violated: {e}"));
+    // The comparison was real: the optimistic path actually served reads
+    // on one side and never woke up on the other.
+    let on = fs_on.readpath_stats();
+    assert!(
+        on.optimistic_hits > 0,
+        "seed {seed}: lockfree-on replay never served an optimistic read"
+    );
+    let off = fs_off.readpath_stats();
+    assert_eq!(
+        (
+            off.optimistic_hits,
+            off.optimistic_retries,
+            off.fallbacks,
+            off.attr_fills,
+            off.handle_publishes
+        ),
+        (0, 0, 0, 0, 0),
+        "seed {seed}: lockfree-off filesystem touched its read path"
+    );
+}
+
+#[test]
+fn read_heavy_histories_agree_lockfree_on_vs_off() {
+    for seed in 0..200 {
+        run_history_pair_lockfree(seed, 8);
+    }
+}
+
+#[test]
+fn read_heavy_histories_agree_lockfree_on_one_shard() {
+    // shards=1 maximizes seqlock invalidation cross-talk: every mutation
+    // anywhere invalidates every attribute block. Agreement must hold.
+    for seed in 0..60 {
+        run_history_pair_lockfree(seed, 1);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Part 1c: overlay transparency — merged-view replay vs direct replay
 // ---------------------------------------------------------------------
 

@@ -481,3 +481,75 @@ fn notify_batch_accounting_loses_and_duplicates_nothing() {
     assert_eq!(delivered, m + received);
     assert_eq!(dropped, m - received);
 }
+
+/// The PR 5 "hits can't widen access" law, extended to the optimistic
+/// seqlock read path (E25): serving metadata without locks must never
+/// serve *permissions from a dead generation*. A `chmod`/`set_acl`
+/// narrowing invalidates every attribute block in the shard (the writer
+/// bumped the shard seq inside its write lock), so the very next access
+/// check — even one issued immediately after a warm optimistic hit —
+/// re-resolves through the locked path and re-denies.
+#[test]
+fn optimistic_reads_cannot_widen_access_across_narrowing() {
+    use yanc_vfs::{Acl, Errno, Uid};
+
+    let fs = Filesystem::new();
+    assert!(fs.readpath_enabled());
+    let root = Credentials::root();
+    let bob = Credentials::user(1001, 1001);
+    fs.mkdir_all("/sec/d", Mode(0o755), &root).unwrap();
+    fs.write_file("/sec/d/f", b"payload", &root).unwrap();
+
+    // Warm the optimistic path as bob while access is allowed: stat is
+    // served lock-free from here on.
+    fs.stat("/sec/d/f", &bob).unwrap();
+    let h0 = fs.readpath_stats().optimistic_hits;
+    let st = fs.stat("/sec/d/f", &bob).unwrap();
+    assert_eq!(st.mode, Mode(0o644));
+    assert!(
+        fs.readpath_stats().optimistic_hits > h0,
+        "warm stat was expected to be an optimistic hit"
+    );
+
+    // chmod narrowing: the next read_file as bob must be denied, and the
+    // next stat must show the narrowed mode — never 0o644 again.
+    fs.chmod("/sec/d/f", Mode(0o600), &root).unwrap();
+    assert_eq!(
+        fs.read_file("/sec/d/f", &bob).unwrap_err().errno,
+        Errno::EACCES,
+        "chmod narrowing must deny immediately, warm blocks notwithstanding"
+    );
+    assert_eq!(fs.stat("/sec/d/f", &bob).unwrap().mode, Mode(0o600));
+
+    // Directory-exec narrowing: a chmod on the *parent* may live in a
+    // different shard than the file's attribute block, so the block can
+    // still be warm — but resolution walks the parent first, and the
+    // parent's dcache generation bump forces the locked, re-checked walk.
+    fs.chmod("/sec/d/f", Mode(0o644), &root).unwrap();
+    fs.stat("/sec/d/f", &bob).unwrap(); // re-warm
+    fs.chmod("/sec/d", Mode(0o700), &root).unwrap();
+    assert_eq!(
+        fs.stat("/sec/d/f", &bob).unwrap_err().errno,
+        Errno::EACCES,
+        "parent-exec narrowing must deny a warm optimistic stat"
+    );
+
+    // ACL narrowing: grant bob explicitly, warm, then mask him out. The
+    // warm hit must re-deny exactly like the locked path would.
+    fs.chmod("/sec/d", Mode(0o755), &root).unwrap();
+    fs.chmod("/sec/d/f", Mode(0o600), &root).unwrap();
+    let mut acl = Acl::new();
+    acl.set_user(Uid(1001), 0o4);
+    fs.set_acl("/sec/d/f", Some(acl), &root).unwrap();
+    fs.read_file("/sec/d/f", &bob).unwrap();
+    fs.stat("/sec/d/f", &bob).unwrap(); // warm post-ACL block
+    fs.set_acl("/sec/d/f", None, &root).unwrap();
+    assert_eq!(
+        fs.read_file("/sec/d/f", &bob).unwrap_err().errno,
+        Errno::EACCES,
+        "ACL removal must deny immediately, warm blocks notwithstanding"
+    );
+
+    // And root, of course, still passes everywhere.
+    fs.read_file("/sec/d/f", &root).unwrap();
+}
