@@ -238,7 +238,7 @@ mod tests {
 
     fn settle(rt: &mut Runtime, fw: &mut Firewall) {
         loop {
-            let a = rt.pump();
+            let a = rt.pump().unwrap();
             let b = fw.run_once();
             if a <= 1 && !b {
                 break;
@@ -265,7 +265,7 @@ mod tests {
         let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
         rt.net.attach_host(h1, (0x1, 1), None);
         rt.net.attach_host(h2, (0x1, 2), None);
-        rt.pump();
+        rt.pump().unwrap();
         // Baseline forwarding so traffic *would* flow.
         let fwd = FlowSpec {
             m: FlowMatch::any(),
@@ -274,7 +274,7 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow("sw1", "flood", &fwd).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
 
         let mut fw = Firewall::new(rt.yfs.clone(), 0).unwrap();
         // Edit the rules file the way an admin would.
@@ -319,7 +319,7 @@ mod tests {
         rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_0], Version::V1_0);
         let h1 = rt.net.add_host("h1", ip("10.0.0.1"));
         rt.net.attach_host(h1, (0x1, 1), None);
-        rt.pump();
+        rt.pump().unwrap();
         let mut fw = Firewall::new(rt.yfs.clone(), 3).unwrap();
         // h1 scans: many misses (no flows installed → every probe misses).
         let h1mac = rt.net.hosts[&h1].mac;

@@ -148,7 +148,7 @@ mod tests {
 
     fn settle(rt: &mut Runtime, app: &mut LearningSwitch) {
         loop {
-            let a = rt.pump();
+            let a = rt.pump().unwrap();
             let b = app.run_once();
             if a <= 1 && !b {
                 break;
@@ -164,7 +164,7 @@ mod tests {
         let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
         rt.net.attach_host(h1, (0x5, 1), None);
         rt.net.attach_host(h2, (0x5, 2), None);
-        rt.pump();
+        rt.pump().unwrap();
         let mut app = LearningSwitch::new(rt.yfs.clone()).unwrap();
         rt.net.host_ping(h1, ip("10.0.0.2"), 1);
         settle(&mut rt, &mut app);

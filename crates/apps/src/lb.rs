@@ -283,7 +283,7 @@ mod tests {
 
     fn settle(rt: &mut Runtime, lb: &mut LoadBalancer) {
         loop {
-            let a = rt.pump();
+            let a = rt.pump().unwrap();
             let b = lb.run_once();
             if a <= 1 && !b {
                 break;
@@ -316,7 +316,7 @@ mod tests {
         rt.net.attach_host(client, (0x1, 1), None);
         rt.net.attach_host(s1, (0x1, 2), None);
         rt.net.attach_host(s2, (0x1, 3), None);
-        rt.pump();
+        rt.pump().unwrap();
         let vip = ip("10.0.0.100");
         let backends = [
             Backend {

@@ -360,7 +360,7 @@ mod tests {
         let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
         rt.net.attach_host(h1, (0x9, 1), None);
         rt.net.attach_host(h2, (0x9, 2), None);
-        rt.pump();
+        rt.pump().unwrap();
         // Register h2 so the daemon can answer for it.
         let h2mac = rt.net.hosts[&h2].mac;
         register_host(&rt.yfs, "h2", ip("10.0.0.2"), h2mac).unwrap();
@@ -368,7 +368,7 @@ mod tests {
         // h1 pings h2: the initial ARP goes to the controller (table miss).
         rt.net.host_ping(h1, ip("10.0.0.2"), 1);
         loop {
-            let a = rt.pump();
+            let a = rt.pump().unwrap();
             let b = arpd.run_once();
             if a <= 1 && !b {
                 break;
@@ -388,7 +388,7 @@ mod tests {
         rt.add_switch_with_driver(0x9, 2, 1, vec![Version::V1_3], Version::V1_3);
         let h1 = rt.net.add_host("h1", ip("0.0.0.0"));
         rt.net.attach_host(h1, (0x9, 1), None);
-        rt.pump();
+        rt.pump().unwrap();
         let mut dhcpd =
             DhcpDaemon::new(rt.yfs.clone(), ip("10.0.0.1"), ip("10.0.0.100"), 10).unwrap();
         let h1mac = rt.net.hosts[&h1].mac;
@@ -427,7 +427,7 @@ mod tests {
         .encode();
         rt.net.inject(0x9, 1, frame);
         loop {
-            let a = rt.pump();
+            let a = rt.pump().unwrap();
             let b = dhcpd.run_once();
             if a <= 1 && !b {
                 break;
@@ -479,7 +479,7 @@ mod tests {
         };
         rt.net.inject(0x9, 1, frame2);
         loop {
-            let a = rt.pump();
+            let a = rt.pump().unwrap();
             let b = dhcpd.run_once();
             if a <= 1 && !b {
                 break;

@@ -256,7 +256,7 @@ mod tests {
     /// Pump runtime + router until quiescent.
     fn settle(rt: &mut Runtime, router: &mut RouterDaemon) {
         loop {
-            let a = rt.pump();
+            let a = rt.pump().unwrap();
             let b = router.run_once();
             if a <= 1 && !b {
                 break;
@@ -272,7 +272,7 @@ mod tests {
         let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
         rt.net.attach_host(h1, (0x1, 1), None);
         rt.net.attach_host(h2, (0x1, 2), None);
-        rt.pump();
+        rt.pump().unwrap();
         let mut router = RouterDaemon::new(rt.yfs.clone()).unwrap();
         rt.net.host_ping(h1, ip("10.0.0.2"), 1);
         settle(&mut rt, &mut router);
@@ -313,7 +313,7 @@ mod tests {
         let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
         rt.net.attach_host(h1, (1, 1), None);
         rt.net.attach_host(h2, (3, 2), None);
-        rt.pump();
+        rt.pump().unwrap();
         // Record topology in the fs (as the topology daemon would).
         rt.yfs.set_peer("sw1", 3, "sw2", 1).unwrap();
         rt.yfs.set_peer("sw2", 1, "sw1", 3).unwrap();

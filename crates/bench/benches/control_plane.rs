@@ -52,7 +52,7 @@ fn bench_flow_commit(c: &mut Criterion) {
     for k in [1usize, 4, 7, 10] {
         let mut rt = Runtime::new();
         rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
-        rt.pump();
+        rt.pump().unwrap();
         rt.enable_introspection().unwrap();
         let before = rt.yfs.filesystem().counters().snapshot();
         rt.yfs.write_flow("sw1", "f", &spec_with_fields(k)).unwrap();
@@ -82,14 +82,14 @@ fn bench_flow_commit(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("fields", k), &k, |b, &k| {
             let mut rt = Runtime::new();
             rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
-            rt.pump();
+            rt.pump().unwrap();
             let mut i = 0u32;
             b.iter(|| {
                 i += 1;
                 rt.yfs
                     .write_flow("sw1", &format!("f{i}"), &spec_with_fields(k))
                     .unwrap();
-                rt.pump();
+                rt.pump().unwrap();
             })
         });
     }

@@ -17,7 +17,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use yanc::{FlowSpec, YancFs};
 use yanc_openflow::{Action, FlowMatch, Ipv4Prefix};
 use yanc_packet::MacAddr;
-use yanc_vfs::{Filesystem, Limits, Mode};
+use yanc_vfs::{Filesystem, Mode};
 
 fn spec(i: usize) -> FlowSpec {
     FlowSpec {
@@ -37,7 +37,7 @@ fn spec(i: usize) -> FlowSpec {
 
 /// A switch with `n` installed flows on the given filesystem flavour.
 fn world(dcache: bool, n: usize) -> YancFs {
-    let fs = Filesystem::with_options(Limits::default(), 8, dcache);
+    let fs = Filesystem::builder().dcache(dcache).build();
     let yfs = YancFs::init(Arc::new(fs), "/net").unwrap();
     yfs.create_switch("sw0", 0x21, 0, 0, 0, 1).unwrap();
     let flows = yfs.open_flows_dir("sw0").unwrap();

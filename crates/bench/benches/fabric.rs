@@ -1,0 +1,246 @@
+//! E26 — data-center fabric at scale: a k=32 fat tree (1280 switches,
+//! 8192 hosts, 40960 ports) brought up, stormed with packet-ins,
+//! bulk-programmed and then left idle — every phase reported as exact,
+//! machine-independent counts (the BENCH_fabric.json payload).
+//!
+//! The four claims, matching `tests/fabric_scale.rs` at small k:
+//!
+//! - bring-up costs exactly `14·switches + 2·ports` charged syscalls
+//!   (batched switch + port materialization);
+//! - a packet-in storm costs a fixed number of syscalls per packet-in,
+//!   independent of fabric size;
+//! - bulk flow install through the descriptor fast path costs exactly
+//!   6 syscalls per flow plus open/close per switch, and a fixed number
+//!   of notify events per flow;
+//! - the idle fabric costs **zero** runtime iterations — 1280 quiesced
+//!   drivers are free under the event-driven scheduler
+//!   (`/net/.proc/driver/sched`).
+//!
+//! The criterion series puts wall-clock next to the counts: bring-up
+//! time vs k, and one storm round on the big fabric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use yanc::FlowSpec;
+use yanc_dataplane::{FabricTier, FatTree};
+use yanc_driver::Runtime;
+use yanc_harness::build_fabric;
+use yanc_openflow::{Action, FlowMatch, Version};
+use yanc_vfs::EventMask;
+
+const K: u16 = 32;
+
+fn total_syscalls(rt: &Runtime) -> u64 {
+    rt.yfs.filesystem().counters().total()
+}
+
+fn sched_counter(rt: &Runtime, key: &str) -> u64 {
+    let text = rt
+        .yfs
+        .filesystem()
+        .read_to_string("/net/.proc/driver/sched", rt.yfs.creds())
+        .unwrap();
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let ft = FatTree::new(K);
+    let n_sw = ft.n_switches();
+    let n_ports = n_sw * K as usize;
+
+    // ---- Phase 1: bring-up --------------------------------------------
+    let mut rt = Runtime::new();
+    rt.enable_introspection().unwrap();
+    let base = total_syscalls(&rt);
+    let topo = build_fabric(&mut rt, K, Version::V1_3);
+    let bringup = total_syscalls(&rt) - base;
+    assert_eq!(topo.switches.len(), 1280);
+    assert_eq!(topo.hosts.len(), 8192);
+    assert_eq!(
+        bringup,
+        (14 * n_sw + 2 * n_ports) as u64,
+        "bring-up budget drifted from 14/switch + 2/port"
+    );
+
+    // ---- Phase 2: packet-in storm -------------------------------------
+    // One ping per edge switch, no flows installed anywhere: every ping
+    // ARPs, misses, and becomes exactly one packet-in at its edge. A
+    // subscriber drains them so the fan-out path is exercised too.
+    let sub = rt.yfs.subscribe_events("storm").unwrap();
+    let half = (K / 2) as usize;
+    let n_edges = K as usize * half; // 512
+    let before = total_syscalls(&rt);
+    for e in 0..n_edges {
+        // hosts are pod-major, k/2 consecutive slots per edge
+        let (src, _) = topo.hosts[e * half];
+        let (_, dst_ip) = topo.hosts[e * half + 1];
+        rt.net.host_ping(src, dst_ip, 1);
+    }
+    rt.pump().unwrap();
+    let storm_syscalls = total_syscalls(&rt) - before;
+    let storm_packetins = sub.poll().len();
+    assert_eq!(storm_packetins, n_edges, "one packet-in per stormed edge");
+    assert_eq!(
+        storm_syscalls % storm_packetins as u64,
+        0,
+        "storm cost must be an exact per-packet-in rate"
+    );
+    let syscalls_per_packetin = storm_syscalls / storm_packetins as u64;
+    drop(sub);
+
+    // ---- Phase 3: bulk flow install -----------------------------------
+    // 4 flows per edge switch (2048 total) through the descriptor fast
+    // path, with a subtree watch counting the notify traffic.
+    const FLOWS_PER_EDGE: usize = 4;
+    let edges: Vec<String> = ft
+        .switches()
+        .iter()
+        .filter(|s| s.tier == FabricTier::Edge)
+        .map(|s| s.name.clone())
+        .collect();
+    let watch = rt
+        .yfs
+        .filesystem()
+        .watch("/net/switches")
+        .subtree()
+        .mask(EventMask::ALL)
+        .register()
+        .unwrap();
+    let before = total_syscalls(&rt);
+    for sw in &edges {
+        let fd = rt.yfs.open_flows_dir(sw).unwrap();
+        for i in 0..FLOWS_PER_EDGE {
+            let spec = FlowSpec {
+                m: FlowMatch {
+                    in_port: Some(1 + i as u16),
+                    ..Default::default()
+                },
+                actions: vec![Action::out(K / 2 + 1)], // first uplink
+                priority: 200 + i as u16,
+                ..Default::default()
+            };
+            rt.yfs.write_flow_at(fd, &format!("up{i}"), &spec).unwrap();
+        }
+        rt.yfs.filesystem().close(fd, rt.yfs.creds()).unwrap();
+    }
+    let install_syscalls = total_syscalls(&rt) - before;
+    let n_flows = edges.len() * FLOWS_PER_EDGE;
+    assert_eq!(
+        install_syscalls,
+        (edges.len() * (2 + 6 * FLOWS_PER_EDGE)) as u64,
+        "bulk install budget drifted from 6/flow + open/close per switch"
+    );
+    let notify_events = watch.receiver().try_iter().count();
+    assert_eq!(
+        notify_events % n_flows,
+        0,
+        "notify traffic must be an exact per-flow rate"
+    );
+    let events_per_flow = notify_events / n_flows;
+    drop(watch);
+    rt.pump().unwrap(); // drivers pick the installs up
+
+    // ---- Phase 4: idle fabric -----------------------------------------
+    let runs_before = sched_counter(&rt, "runs");
+    let idle_before = sched_counter(&rt, "idle_pumps");
+    let iterations = rt.pump().unwrap();
+    assert_eq!(iterations, 0, "idle fabric must cost zero sweeps");
+    assert_eq!(sched_counter(&rt, "runs"), runs_before);
+    assert_eq!(sched_counter(&rt, "idle_pumps"), idle_before + 1);
+
+    println!("\nE26: k={K} fat tree — {n_sw} switches, 8192 hosts");
+    println!("{:>32} {:>12}", "metric", "value");
+    println!("{:>32} {:>12}", "bring-up syscalls", bringup);
+    println!(
+        "{:>32} {:>12}",
+        "  per switch (14 + 2/port)",
+        bringup / n_sw as u64
+    );
+    println!("{:>32} {:>12}", "storm packet-ins", storm_packetins);
+    println!(
+        "{:>32} {:>12}",
+        "  syscalls/packet-in", syscalls_per_packetin
+    );
+    println!("{:>32} {:>12}", "flows installed", n_flows);
+    println!("{:>32} {:>12}", "  syscalls/flow", 6);
+    println!("{:>32} {:>12}", "  notify events/flow", events_per_flow);
+    println!("{:>32} {:>12}", "idle pump iterations", iterations);
+
+    yanc_harness::write_bench_report(
+        "fabric",
+        rt.yfs.filesystem(),
+        &[
+            (
+                "experiment",
+                "\"E26 data-center fabric at scale\"".to_string(),
+            ),
+            ("k", K.to_string()),
+            ("switches", n_sw.to_string()),
+            ("hosts", topo.hosts.len().to_string()),
+            ("ports", n_ports.to_string()),
+            ("bringup_syscalls", bringup.to_string()),
+            (
+                "bringup_syscalls_per_switch",
+                (bringup / n_sw as u64).to_string(),
+            ),
+            (
+                "bringup_model",
+                "\"14 per switch + 2 per port\"".to_string(),
+            ),
+            ("storm_packetins", storm_packetins.to_string()),
+            (
+                "storm_syscalls_per_packetin",
+                syscalls_per_packetin.to_string(),
+            ),
+            ("bulk_flows", n_flows.to_string()),
+            ("install_syscalls_per_flow", "6".to_string()),
+            ("notify_events_per_flow", events_per_flow.to_string()),
+            ("idle_pump_iterations", iterations.to_string()),
+            ("sched_runs", sched_counter(&rt, "runs").to_string()),
+            ("sched_skips", sched_counter(&rt, "skips").to_string()),
+            (
+                "sched_idle_pumps",
+                sched_counter(&rt, "idle_pumps").to_string(),
+            ),
+            (
+                "note",
+                "\"counts are deterministic; criterion series is machine-dependent\"".to_string(),
+            ),
+        ],
+    );
+
+    // ---- Wall-clock series --------------------------------------------
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(10);
+    for k in [4u16, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("bringup", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rt = Runtime::new();
+                build_fabric(&mut rt, k, Version::V1_3)
+            })
+        });
+    }
+    g.bench_function("storm_round_k8", |b| {
+        let mut rt = Runtime::new();
+        let topo = build_fabric(&mut rt, 8, Version::V1_3);
+        let mut seq = 1u16;
+        b.iter(|| {
+            for e in 0..32usize {
+                let (src, _) = topo.hosts[e * 4];
+                let (_, dst_ip) = topo.hosts[e * 4 + 1];
+                rt.net.host_ping(src, dst_ip, seq);
+            }
+            seq = seq.wrapping_add(1);
+            rt.pump().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

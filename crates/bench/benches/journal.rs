@@ -41,7 +41,7 @@ fn spec(i: usize) -> FlowSpec {
 /// cold restart actually pays when it re-runs discovery without the batch
 /// descriptor plumbing warmed up.
 fn world(journal: bool, batched: bool, n: usize) -> YancFs {
-    let fs = Filesystem::with_options(Limits::default(), 8, true);
+    let fs = Filesystem::builder().build();
     if journal {
         fs.enable_journal();
     }

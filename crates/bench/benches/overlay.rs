@@ -22,7 +22,7 @@ const VIEWS: usize = 1000;
 
 /// One shared base: a switch with three flows, three key files each.
 fn base_world(journal: bool) -> Arc<Filesystem> {
-    let fs = Arc::new(Filesystem::with_options(Limits::default(), 8, true));
+    let fs = Arc::new(Filesystem::builder().build());
     if journal {
         fs.enable_journal();
     }

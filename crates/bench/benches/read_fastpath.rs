@@ -19,7 +19,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use yanc::{FlowSpec, YancFs};
 use yanc_openflow::{Action, FlowMatch, Ipv4Prefix};
 use yanc_packet::MacAddr;
-use yanc_vfs::{Filesystem, Limits, Mode};
+use yanc_vfs::{Filesystem, Mode};
 
 fn spec(i: usize) -> FlowSpec {
     FlowSpec {
@@ -40,7 +40,7 @@ fn spec(i: usize) -> FlowSpec {
 /// A switch with `n` installed flows, dcache always on, readpath
 /// per-flavour.
 fn world(readpath: bool, n: usize) -> YancFs {
-    let fs = Filesystem::with_features(Limits::default(), 8, true, readpath);
+    let fs = Filesystem::builder().readpath(readpath).build();
     let yfs = YancFs::init(Arc::new(fs), "/net").unwrap();
     yfs.create_switch("sw0", 0x25, 0, 0, 0, 1).unwrap();
     let flows = yfs.open_flows_dir("sw0").unwrap();

@@ -74,7 +74,7 @@ impl YancApp for Crasher {
 fn restart_storm(base: u64, max_restarts: u32) -> Vec<(u64, u64)> {
     let mut rt = Runtime::new();
     rt.add_switch_with_driver(0x1, 2, 1, vec![Version::V1_0], Version::V1_0);
-    rt.pump();
+    rt.pump().unwrap();
     rt.yfs.enable_introspection().unwrap();
     let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
     let pid = sup

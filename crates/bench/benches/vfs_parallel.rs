@@ -58,7 +58,7 @@ fn mixed_iter(fs: &Filesystem, dir: &str, i: usize, creds: &Credentials) {
 /// filesystem with `shards` lock shards; return ops/sec (counted syscalls
 /// per wall-clock second).
 fn run_mixed(shards: usize, threads: usize, iters: usize) -> f64 {
-    let fs = Arc::new(Filesystem::with_shards(shards));
+    let fs = Arc::new(Filesystem::builder().shards(shards).build());
     prepare(&fs, threads);
     let before = fs.counters().total();
     let barrier = Arc::new(Barrier::new(threads + 1));
@@ -112,7 +112,7 @@ fn bench_vfs_parallel(c: &mut Criterion) {
 
     // Machine-readable artifact; the kernel metrics come from a fresh
     // deterministic single-threaded pass so the report tail is stable.
-    let fs = Filesystem::with_shards(8);
+    let fs = Filesystem::builder().build();
     prepare(&fs, 1);
     let creds = Credentials::root();
     for i in 0..64 {

@@ -56,4 +56,4 @@ pub use flowspec::{parse_port_token, port_token, FlowOp, FlowSpec};
 pub use hook::YancHook;
 pub use schema::{classify, valid_flow_file, SchemaPos, NET_ROOT};
 pub use views::{ViewConfig, ViewKind};
-pub use yancfs::{hex_decode, hex_encode, EventSubscription, PacketInRecord, YancFs};
+pub use yancfs::{hex_decode, hex_encode, EventSubscription, PacketInRecord, PortSpec, YancFs};

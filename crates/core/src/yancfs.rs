@@ -100,6 +100,25 @@ impl EventSubscription {
     }
 }
 
+/// One port's worth of materialization input for
+/// [`YancFs::create_ports_batch`]: what a features reply or port
+/// description carries, minus the wire framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortSpec {
+    /// OpenFlow port number (`ports/p<n>`).
+    pub port_no: u16,
+    /// MAC address, already rendered (`aa:bb:...`).
+    pub hw_addr: String,
+    /// Current speed in kbps.
+    pub curr_speed: u32,
+    /// Max speed in kbps.
+    pub max_speed: u32,
+    /// Physical link state (`config.port_status`).
+    pub link_up: bool,
+    /// Administratively disabled on the switch side.
+    pub config_down: bool,
+}
+
 /// Typed access to a yanc tree rooted at some mount point (usually `/net`).
 #[derive(Clone)]
 pub struct YancFs {
@@ -329,6 +348,110 @@ impl YancFs {
                     .write_file(dir.join(f).as_str(), v.as_bytes(), &self.creds)?;
             }
         }
+        Ok(())
+    }
+
+    /// [`Self::create_switch`] with a fixed syscall budget, independent of
+    /// how many metadata files the schema carries: `open_dir` on
+    /// `switches/`, one `mkdirat` (the schema hook builds `counters/`,
+    /// `flows/` and `ports/`), one `write_batch_at` landing all six files
+    /// (including `protocol`), `close` — **4 charged syscalls per switch**
+    /// where the path-addressed sequence pays ~10. Re-running on an
+    /// existing switch (driver swap, §4.1 re-handshake) refreshes the
+    /// files in place.
+    #[allow(clippy::too_many_arguments)] // mirrors the features reply, field for field
+    pub fn create_switch_batch(
+        &self,
+        name: &str,
+        dpid: u64,
+        capabilities: u32,
+        actions: u32,
+        num_buffers: u32,
+        num_tables: u8,
+        protocol: &str,
+    ) -> YancResult<()> {
+        let switches = self
+            .fs
+            .open_dir(self.switches_dir().as_str(), &self.creds)?;
+        match self
+            .fs
+            .mkdirat(switches, name, Mode::DIR_DEFAULT, &self.creds)
+        {
+            Ok(()) => {}
+            Err(e) if e.errno == Errno::EEXIST => {}
+            Err(e) => {
+                let _ = self.fs.close(switches, &self.creds);
+                return Err(e.into());
+            }
+        }
+        let files: [(String, String); 6] = [
+            (format!("{name}/id"), format!("0x{dpid:016x}")),
+            (
+                format!("{name}/capabilities"),
+                format!("0x{capabilities:x}"),
+            ),
+            (format!("{name}/actions"), format!("0x{actions:x}")),
+            (format!("{name}/num_buffers"), num_buffers.to_string()),
+            (format!("{name}/num_tables"), num_tables.to_string()),
+            (format!("{name}/protocol"), protocol.to_string()),
+        ];
+        let borrowed: Vec<(&str, &[u8])> = files
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_bytes()))
+            .collect();
+        let res = self.fs.write_batch_at(switches, &borrowed, &self.creds);
+        let _ = self.fs.close(switches, &self.creds);
+        res?;
+        Ok(())
+    }
+
+    /// Materialize every port of a switch in one descriptor-relative
+    /// sweep: `open_dir` on the switch, one `mkdirat` per port (the hook
+    /// seeds each port's `counters/`), one `write_batch_at` for all port
+    /// files, `close` — **ports + 3 charged syscalls** for the whole set,
+    /// where [`Self::create_port`] pays ~7 per port. Admin state
+    /// (`config.port_down`) is seeded on fresh ports and preserved on
+    /// re-materialization unless the switch reports the port disabled —
+    /// the same contract as `create_port` + `set_port_down`.
+    pub fn create_ports_batch(&self, sw: &str, ports: &[PortSpec]) -> YancResult<()> {
+        if ports.is_empty() {
+            return Ok(());
+        }
+        let dir = self
+            .fs
+            .open_dir(self.switch_dir(sw).as_str(), &self.creds)?;
+        let mut entries: Vec<(String, String)> = Vec::with_capacity(ports.len() * 5);
+        for p in ports {
+            let rel = format!("ports/p{}", p.port_no);
+            let fresh = match self.fs.mkdirat(dir, &rel, Mode::DIR_DEFAULT, &self.creds) {
+                Ok(()) => true,
+                Err(e) if e.errno == Errno::EEXIST => false,
+                Err(e) => {
+                    let _ = self.fs.close(dir, &self.creds);
+                    return Err(e.into());
+                }
+            };
+            entries.push((format!("{rel}/hw_addr"), p.hw_addr.clone()));
+            entries.push((format!("{rel}/curr_speed"), p.curr_speed.to_string()));
+            entries.push((format!("{rel}/max_speed"), p.max_speed.to_string()));
+            entries.push((
+                format!("{rel}/config.port_status"),
+                if p.link_up { "up" } else { "down" }.to_string(),
+            ));
+            if fresh || p.config_down {
+                entries.push((
+                    format!("{rel}/config.port_down"),
+                    if p.config_down { "1" } else { "0" }.to_string(),
+                ));
+            }
+        }
+        let borrowed: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_bytes()))
+            .collect();
+        let res = self.fs.write_batch_at(dir, &borrowed, &self.creds);
+        let _ = self.fs.close(dir, &self.creds);
+        res?;
         Ok(())
     }
 
@@ -619,6 +742,34 @@ impl YancFs {
         Ok(self
             .fs
             .write_file(p.as_str(), value.to_string().as_bytes(), &self.creds)?)
+    }
+
+    /// Land many counter values under one object tree in a single charged
+    /// write: `open_dir` + one [`yanc_vfs::Filesystem::write_batch_at`] +
+    /// `close` — three syscalls total no matter how many counters a stats
+    /// reply carries (compare [`Self::write_counter`]: one charged write
+    /// *per counter*). Entry paths are relative to `base_dir` (e.g.
+    /// `ports/p3/counters/rx_packets`); every intermediate directory must
+    /// already exist, which `create_switch`/`create_port` and the flow
+    /// mkdir hook guarantee for the driver's uses.
+    pub fn write_counters_batch(
+        &self,
+        base_dir: &VPath,
+        entries: &[(String, u64)],
+    ) -> YancResult<usize> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let dir = self.fs.open_dir(base_dir.as_str(), &self.creds)?;
+        let rendered: Vec<(&str, Vec<u8>)> = entries
+            .iter()
+            .map(|(p, v)| (p.as_str(), v.to_string().into_bytes()))
+            .collect();
+        let borrowed: Vec<(&str, &[u8])> =
+            rendered.iter().map(|(p, b)| (*p, b.as_slice())).collect();
+        let res = self.fs.write_batch_at(dir, &borrowed, &self.creds);
+        let _ = self.fs.close(dir, &self.creds);
+        Ok(res?)
     }
 
     /// Read a counter file (0 when absent).
@@ -972,7 +1123,7 @@ mod tests {
             .unwrap();
         assert_eq!(via_proc, y.shard_count());
         // A single-shard filesystem is the deterministic configuration.
-        let solo = YancFs::init(Arc::new(Filesystem::with_shards(1)), "/net").unwrap();
+        let solo = YancFs::init(Arc::new(Filesystem::builder().shards(1).build()), "/net").unwrap();
         assert_eq!(solo.shard_count(), 1);
     }
 

@@ -11,12 +11,14 @@
 #![forbid(unsafe_code)]
 
 pub mod actions;
+pub mod fabric;
 pub mod flow_table;
 pub mod host;
 pub mod net;
 pub mod switch;
 
 pub use actions::{apply_actions, ActionOutcome};
+pub use fabric::{FabricHost, FabricLink, FabricSwitch, FabricTier, FatTree};
 pub use flow_table::{entry, FlowEntry, FlowTable, RemovedFlow};
 pub use host::{ReceivedUdp, SimHost};
 pub use net::{ControlHandle, Endpoint, Link, NetStats, Network};

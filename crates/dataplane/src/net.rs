@@ -416,6 +416,19 @@ impl Network {
         moved
     }
 
+    /// Work queued for the next [`Network::pump`], without consuming any
+    /// of it: scheduled frame events plus undrained controller→switch
+    /// bytes. Reads queue lengths only — free, so an event-driven runtime
+    /// can skip an idle network entirely.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+            + self
+                .control
+                .values()
+                .map(|w| w.from_ctrl.len())
+                .sum::<usize>()
+    }
+
     /// Process every due event and any controller bytes, repeatedly, until
     /// the network is quiescent. Advances the clock through in-flight frame
     /// latencies. Returns the number of events processed.

@@ -15,7 +15,7 @@ use yanc_openflow::{
     decode, encode, port_no, FlowMod, FlowModCommand, FlowStats, Message, PacketInReason, PortDesc,
     PortReason, PortStats, StatsReply, StatsRequest, SwitchFeatures, Version,
 };
-use yanc_openflow::{flow_mod_flags, FrameCodec};
+use yanc_openflow::{flow_mod_flags, multipart, FrameCodec};
 use yanc_packet::{MacAddr, PacketSummary};
 
 use crate::actions::apply_actions;
@@ -109,7 +109,13 @@ pub struct SimSwitch {
     miss_send_len: u16,
     codec: FrameCodec,
     next_xid: u32,
+    stats_page_size: usize,
 }
+
+/// Default entries-per-segment for multipart stats replies. Small enough
+/// that a fabric-scale flow dump exercises REPLY_MORE continuation, large
+/// enough that modest topologies still answer in one frame.
+pub const DEFAULT_STATS_PAGE: usize = 64;
 
 impl SimSwitch {
     /// Create a switch with `n_ports` ports and `n_tables` flow tables,
@@ -150,7 +156,14 @@ impl SimSwitch {
             miss_send_len: 128,
             codec: FrameCodec::new(),
             next_xid: 1,
+            stats_page_size: DEFAULT_STATS_PAGE,
         }
+    }
+
+    /// Cap multipart stats segments at `page` entries (`0` = 1). Lets
+    /// tests force REPLY_MORE continuation on small topologies.
+    pub fn set_stats_page(&mut self, page: usize) {
+        self.stats_page_size = page.max(1);
     }
 
     /// The negotiated protocol version, if the handshake completed.
@@ -651,7 +664,21 @@ impl SimSwitch {
                 StatsReply::PortDesc(self.ports.values().map(SimPort::desc).collect())
             }
         };
-        self.ctrl(&Message::StatsReply(rep)).into_iter().collect()
+        // Stream the reply in multipart segments: every part shares one
+        // xid, all-but-last carry REPLY_MORE. Single-page replies are
+        // byte-identical to an unsegmented encode.
+        let Some(v) = self.negotiated else {
+            return Vec::new();
+        };
+        let xid = self.xid();
+        multipart::paginate(&rep, self.stats_page_size)
+            .into_iter()
+            .filter_map(|p| {
+                multipart::encode_part(v, &p.reply, p.more, xid)
+                    .ok()
+                    .map(Effect::Control)
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------

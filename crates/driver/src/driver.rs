@@ -24,13 +24,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
 
 use libyanc::{FlowChannel, FlowOp};
-use yanc::{FlowSpec, PacketInRecord, SchemaPos, YancFs};
+use yanc::{FlowSpec, PacketInRecord, PortSpec, SchemaPos, YancFs};
 use yanc_dataplane::ControlHandle;
 use yanc_openflow::{
-    decode, encode, FlowMod, FlowModCommand, Message, PacketInReason, PortDesc, StatsReply,
-    StatsRequest, SwitchFeatures, Version,
+    decode, encode, multipart, FlowMod, FlowModCommand, Message, PacketInReason, PortDesc,
+    Reassembler, StatsReply, StatsRequest, SwitchFeatures, Version,
 };
 use yanc_openflow::{flow_mod_flags, port_no, FrameCodec};
 use yanc_vfs::{Event, EventKind, EventMask, LatencyHistogram, WatchGuard};
@@ -111,6 +113,33 @@ impl DriverStats {
     }
 }
 
+/// Readiness probe for one driver: how much work is queued across its
+/// three input channels (switch bytes, fastpath ring, fs watch). Shared
+/// with the runtime's poll set so an event-driven scheduler can skip
+/// idle drivers without calling into them — the check reads channel
+/// lengths only and costs zero simulated syscalls, exactly like the
+/// kernel consulting its run queue.
+pub struct DriverReadiness {
+    rx: Receiver<Bytes>,
+    fastpath: Mutex<Option<FlowChannel>>,
+    watch: Mutex<Option<Receiver<Event>>>,
+}
+
+impl DriverReadiness {
+    /// Queued work units (frames + flow ops + fs events). Non-zero means
+    /// the driver's next `run_once` will make progress.
+    pub fn pending(&self) -> usize {
+        let mut n = self.rx.len();
+        if let Some(ch) = &*self.fastpath.lock() {
+            n += ch.pending();
+        }
+        if let Some(rx) = &*self.watch.lock() {
+            n += rx.len();
+        }
+        n
+    }
+}
+
 /// One driver instance: one switch, one protocol version.
 pub struct OpenFlowDriver {
     /// The protocol version this driver speaks.
@@ -142,12 +171,21 @@ pub struct OpenFlowDriver {
     fault_drop: u32,
     /// Pending fault: reorder the next pair of switch→driver frames.
     fault_reorder: bool,
+    /// Merges multipart stats segments back into whole replies.
+    reassembler: Reassembler,
+    /// Shared with the runtime's poll set (see [`DriverReadiness`]).
+    readiness: Arc<DriverReadiness>,
 }
 
 impl OpenFlowDriver {
     /// Create a driver for `version` over an attached control channel and
     /// start the handshake.
     pub fn new(version: Version, yfs: YancFs, handle: ControlHandle) -> Self {
+        let readiness = Arc::new(DriverReadiness {
+            rx: handle.rx.clone(),
+            fastpath: Mutex::new(None),
+            watch: Mutex::new(None),
+        });
         let mut d = OpenFlowDriver {
             version,
             yfs,
@@ -167,15 +205,23 @@ impl OpenFlowDriver {
             offered_version: None,
             fault_drop: 0,
             fault_reorder: false,
+            reassembler: Reassembler::new(),
+            readiness,
         };
         d.send(&Message::Hello);
         d
+    }
+
+    /// This driver's readiness probe, for registration in a poll set.
+    pub fn readiness(&self) -> Arc<DriverReadiness> {
+        self.readiness.clone()
     }
 
     /// Attach a libyanc [`FlowChannel`]; ops pushed there are drained on
     /// every [`OpenFlowDriver::run_once`] and translated straight to
     /// FlowMods — zero simulated syscalls.
     pub fn attach_fastpath(&mut self, ch: FlowChannel) {
+        *self.readiness.fastpath.lock() = Some(ch.clone());
         self.fastpath = Some(ch);
         if self.switch_name.is_some() {
             // Already registered in `.proc`: refresh so the ring counters
@@ -328,6 +374,20 @@ impl OpenFlowDriver {
                     self.on_hello(raw.version);
                     continue;
                 }
+                // Stats replies may arrive segmented (REPLY_MORE): feed
+                // them through the reassembler and dispatch only whole
+                // replies. A malformed stream (type switch, forged flag)
+                // drops the partial reply; the next poll starts clean.
+                if multipart::is_stats_reply(&raw) {
+                    self.stats.msgs_rx.fetch_add(1, Ordering::Relaxed);
+                    match multipart::decode_part(&raw).and_then(|part| self.reassembler.push(part))
+                    {
+                        Ok(Some(rep)) => self.on_message(Message::StatsReply(rep)),
+                        Ok(None) => {} // more segments on the way
+                        Err(_) => self.reassembler.reset(),
+                    }
+                    continue;
+                }
                 if let Ok(msg) = decode(&raw) {
                     self.stats.msgs_rx.fetch_add(1, Ordering::Relaxed);
                     self.on_message(msg);
@@ -471,20 +531,18 @@ impl OpenFlowDriver {
             return;
         }
         let name = format!("sw{:x}", f.datapath_id);
-        let _ = self.yfs.create_switch(
+        // Batched materialization: skeleton mkdir + one write_batch_at
+        // carrying every metadata file (including `protocol`) — a fixed
+        // 4-syscall budget per switch, which is what keeps data-center
+        // fabrics (§8) affordable to bring up.
+        let _ = self.yfs.create_switch_batch(
             &name,
             f.datapath_id,
             f.capabilities,
             f.actions,
             f.n_buffers,
             f.n_tables,
-        );
-        // Record which protocol manages this switch.
-        let proto = self.yfs.switch_dir(&name).join("protocol");
-        let _ = self.yfs.filesystem().write_file(
-            proto.as_str(),
-            self.version.to_string().as_bytes(),
-            self.yfs.creds(),
+            &self.version.to_string(),
         );
         self.switch_name = Some(name.clone());
         let ports = f.ports.clone();
@@ -511,18 +569,21 @@ impl OpenFlowDriver {
             Some(s) => s.clone(),
             None => return,
         };
+        // One descriptor-relative sweep for the whole port set: ports + 3
+        // charged syscalls instead of ~7 per port.
+        let specs: Vec<PortSpec> = ports
+            .iter()
+            .map(|p| PortSpec {
+                port_no: p.port_no,
+                hw_addr: p.hw_addr.to_string(),
+                curr_speed: p.curr_speed,
+                max_speed: p.max_speed,
+                link_up: !p.link_down,
+                config_down: p.config_down,
+            })
+            .collect();
+        let _ = self.yfs.create_ports_batch(&sw, &specs);
         for p in ports {
-            let _ = self.yfs.create_port(
-                &sw,
-                p.port_no,
-                &p.hw_addr.to_string(),
-                p.curr_speed,
-                p.max_speed,
-            );
-            let _ = self.yfs.set_port_status(&sw, p.port_no, !p.link_down);
-            if p.config_down {
-                let _ = self.yfs.set_port_down(&sw, p.port_no, true);
-            }
             self.port_down.insert(p.port_no, p.config_down);
         }
     }
@@ -545,6 +606,7 @@ impl OpenFlowDriver {
             .mask(EventMask::ALL)
             .register()
             .ok();
+        *self.readiness.watch.lock() = self.fs_watch.as_ref().map(|w| w.receiver().clone());
         self.set_state(DriverState::Ready);
         self.stats.ready.store(true, Ordering::Relaxed);
         // Install any flows that already exist in the tree (e.g. written
@@ -587,16 +649,28 @@ impl OpenFlowDriver {
             Some(s) => s.clone(),
             None => return,
         };
+        // Every counter in the (reassembled) reply lands through a single
+        // open + write_batch_at + close against the switch directory —
+        // three charged syscalls per stats delivery, independent of the
+        // number of ports or flows reported.
+        let mut entries: Vec<(String, u64)> = Vec::new();
         match rep {
             StatsReply::Port(ports) => {
-                for p in ports {
-                    let dir = self.yfs.port_dir(&sw, p.port_no);
-                    let _ = self.yfs.write_counter(&dir, "rx_packets", p.rx_packets);
-                    let _ = self.yfs.write_counter(&dir, "tx_packets", p.tx_packets);
-                    let _ = self.yfs.write_counter(&dir, "rx_bytes", p.rx_bytes);
-                    let _ = self.yfs.write_counter(&dir, "tx_bytes", p.tx_bytes);
-                    let _ = self.yfs.write_counter(&dir, "rx_dropped", p.rx_dropped);
-                    let _ = self.yfs.write_counter(&dir, "tx_dropped", p.tx_dropped);
+                for p in &ports {
+                    // Ports never materialized in the fs can't land
+                    // counters (the per-file path just failed silently);
+                    // the port_down cache tracks exactly the materialized
+                    // set, so the check is free.
+                    if !self.port_down.contains_key(&p.port_no) {
+                        continue;
+                    }
+                    let base = format!("ports/p{}/counters", p.port_no);
+                    entries.push((format!("{base}/rx_packets"), p.rx_packets));
+                    entries.push((format!("{base}/tx_packets"), p.tx_packets));
+                    entries.push((format!("{base}/rx_bytes"), p.rx_bytes));
+                    entries.push((format!("{base}/tx_bytes"), p.tx_bytes));
+                    entries.push((format!("{base}/rx_dropped"), p.rx_dropped));
+                    entries.push((format!("{base}/tx_dropped"), p.tx_dropped));
                 }
             }
             StatsReply::Flow(flows) => {
@@ -605,26 +679,30 @@ impl OpenFlowDriver {
                 for fstat in &flows {
                     total_pkts += fstat.packet_count;
                     total_bytes += fstat.byte_count;
+                    // Version >= 1 means the flow exists as a directory in
+                    // the fs; fastpath-only flows (version 0) have nowhere
+                    // to land per-flow counters.
                     let name = self
                         .installed
                         .iter()
-                        .find(|(_, (_, s))| s.m == fstat.m && s.priority == fstat.priority)
+                        .find(|(_, (v, s))| {
+                            *v >= 1 && s.m == fstat.m && s.priority == fstat.priority
+                        })
                         .map(|(n, _)| n.clone());
                     if let Some(name) = name {
-                        let dir = self.yfs.flow_dir(&sw, &name);
-                        let _ = self.yfs.write_counter(&dir, "packets", fstat.packet_count);
-                        let _ = self.yfs.write_counter(&dir, "bytes", fstat.byte_count);
-                        let _ =
-                            self.yfs
-                                .write_counter(&dir, "duration_sec", fstat.duration_sec.into());
+                        let base = format!("flows/{name}/counters");
+                        entries.push((format!("{base}/packets"), fstat.packet_count));
+                        entries.push((format!("{base}/bytes"), fstat.byte_count));
+                        entries.push((format!("{base}/duration_sec"), fstat.duration_sec.into()));
                     }
                 }
-                let dir = self.yfs.switch_dir(&sw);
-                let _ = self.yfs.write_counter(&dir, "flow_packets", total_pkts);
-                let _ = self.yfs.write_counter(&dir, "flow_bytes", total_bytes);
+                entries.push(("counters/flow_packets".to_string(), total_pkts));
+                entries.push(("counters/flow_bytes".to_string(), total_bytes));
             }
-            _ => {}
+            _ => return,
         }
+        let dir = self.yfs.switch_dir(&sw);
+        let _ = self.yfs.write_counters_batch(&dir, &entries);
     }
 
     // ------------------------------------------------------------------

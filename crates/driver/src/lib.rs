@@ -11,5 +11,7 @@
 pub mod driver;
 pub mod runtime;
 
-pub use driver::{parse_packet_out_line, DriverState, DriverStats, OpenFlowDriver};
-pub use runtime::Runtime;
+pub use driver::{
+    parse_packet_out_line, DriverReadiness, DriverState, DriverStats, OpenFlowDriver,
+};
+pub use runtime::{Runtime, SchedStats};

@@ -6,15 +6,16 @@
 //! quiescent. Applications remain plain file-system programs — they never
 //! see the runtime.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use yanc::YancFs;
+use yanc::{YancError, YancFs, YancResult};
 use yanc_dataplane::Network;
 use yanc_openflow::Version;
-use yanc_vfs::Filesystem;
+use yanc_vfs::{Errno, Filesystem, PollSet};
 
-use crate::driver::{DriverState, OpenFlowDriver};
+use crate::driver::{DriverReadiness, DriverState, OpenFlowDriver};
 
 /// Atomic mirror of [`yanc_dataplane::NetStats`], refreshed at the end of
 /// every [`Runtime::pump`] so proc render closures (which cannot borrow the
@@ -26,6 +27,35 @@ struct SharedNetStats {
     events: AtomicU64,
 }
 
+/// Scheduler counters for the event-driven pump, rendered at
+/// `/net/.proc/driver/sched` (same discipline as the supervisor's
+/// skip-non-ready app scheduling): how often drivers were dispatched vs
+/// skipped, and how many whole pumps found nothing to do at all.
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    /// Ready drivers dispatched (`run_once` called).
+    pub runs: AtomicU64,
+    /// Drivers skipped because their readiness probe reported no work.
+    pub skips: AtomicU64,
+    /// `pump()` calls that found a fully idle system: zero iterations,
+    /// zero driver sweeps — the idle-fabric-costs-nothing guarantee.
+    pub idle_pumps: AtomicU64,
+    /// Poll-set rebuilds after the driver set changed.
+    pub rebuilds: AtomicU64,
+}
+
+impl SchedStats {
+    fn render(&self) -> String {
+        format!(
+            "runs {}\nskips {}\nidle_pumps {}\nrebuilds {}\n",
+            self.runs.load(Ordering::Relaxed),
+            self.skips.load(Ordering::Relaxed),
+            self.idle_pumps.load(Ordering::Relaxed),
+            self.rebuilds.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Network + file system + drivers, pumped together.
 pub struct Runtime {
     /// The simulated network.
@@ -35,6 +65,13 @@ pub struct Runtime {
     /// The yanc file tree.
     pub yfs: YancFs,
     shared_stats: Arc<SharedNetStats>,
+    sched: Arc<SchedStats>,
+    /// Readiness sources for the current driver set: one probe per driver
+    /// in a vfs poll set, scanned free per sweep (the kernel walking its
+    /// run queue). Rebuilt whenever the driver set changes.
+    poll: Option<PollSet>,
+    poll_probes: Vec<Arc<DriverReadiness>>,
+    poll_index: HashMap<u64, usize>,
 }
 
 impl Runtime {
@@ -47,6 +84,10 @@ impl Runtime {
             drivers: Vec::new(),
             yfs,
             shared_stats: Arc::new(SharedNetStats::default()),
+            sched: Arc::new(SchedStats::default()),
+            poll: None,
+            poll_probes: Vec::new(),
+            poll_index: HashMap::new(),
         }
     }
 
@@ -59,7 +100,17 @@ impl Runtime {
             drivers: Vec::new(),
             yfs,
             shared_stats: Arc::new(SharedNetStats::default()),
+            sched: Arc::new(SchedStats::default()),
+            poll: None,
+            poll_probes: Vec::new(),
+            poll_index: HashMap::new(),
         }
+    }
+
+    /// The event-driven scheduler's counters (also rendered at
+    /// `/net/.proc/driver/sched` once introspection is on).
+    pub fn sched_stats(&self) -> Arc<SchedStats> {
+        self.sched.clone()
     }
 
     /// Mount `/net/.proc` (via [`YancFs::enable_introspection`]) and expose
@@ -81,6 +132,11 @@ impl Runtime {
                 format!("{}\n", get(&st).load(Ordering::Relaxed))
             })?;
         }
+        let sched = self.sched.clone();
+        fs.proc_file(
+            self.yfs.proc_dir().join("driver").join("sched").as_str(),
+            move || sched.render(),
+        )?;
         self.sync_shared_stats();
         for d in &self.drivers {
             d.register_proc();
@@ -190,37 +246,104 @@ impl Runtime {
         hit
     }
 
-    /// Pump network and drivers until nothing moves. Returns iterations.
-    pub fn pump(&mut self) -> u32 {
-        let mut iterations = 0;
+    /// Rebuild the readiness poll set iff the driver set changed since the
+    /// last pump (tests mutate `drivers` directly, so this is detected by
+    /// identity, not tracked by mutation). One probe per driver; the set
+    /// registers in the vfs pollset registry like any app's.
+    fn refresh_poll(&mut self) {
+        let unchanged = self.poll.is_some()
+            && self.poll_probes.len() == self.drivers.len()
+            && self
+                .drivers
+                .iter()
+                .zip(&self.poll_probes)
+                .all(|(d, p)| Arc::ptr_eq(&d.readiness(), p));
+        if unchanged {
+            return;
+        }
+        let poll = self.yfs.filesystem().poll_create(self.yfs.creds());
+        self.poll_probes = self.drivers.iter().map(|d| d.readiness()).collect();
+        self.poll_index.clear();
+        for (i, (d, r)) in self.drivers.iter().zip(&self.poll_probes).enumerate() {
+            let r = r.clone();
+            let token = poll.add_probe(&format!("driver/dpid{:x}", d.dpid()), move || r.pending());
+            self.poll_index.insert(token.0, i);
+        }
+        self.poll = Some(poll);
+        self.sched.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pump network and drivers until nothing moves, event-driven: each
+    /// sweep dispatches only drivers whose readiness probes report queued
+    /// work (free scans — the kernel consulting its run queue), and a
+    /// fully idle system costs **zero** iterations. Scheduling decisions
+    /// are counted in [`SchedStats`] / `/net/.proc/driver/sched`.
+    ///
+    /// Returns the number of sweeps, or a `Busy` (`EAGAIN`) error if the
+    /// system fails to quiesce within a budget that scales with the
+    /// driver count — mutually-feeding drivers are reported, not panicked
+    /// over.
+    pub fn pump(&mut self) -> YancResult<u32> {
+        self.refresh_poll();
+        let budget = 10_000 + 64 * self.drivers.len() as u64;
+        let mut iterations: u32 = 0;
         loop {
-            let net_events = self.net.pump();
-            let mut driver_work = false;
-            for d in &mut self.drivers {
-                driver_work |= d.run_once();
-            }
-            iterations += 1;
-            if net_events == 0 && !driver_work {
+            let net_events = if self.net.pending_events() > 0 {
+                self.net.pump()
+            } else {
+                0
+            };
+            // Scan *after* the network moved: frames it just delivered
+            // make drivers ready in this sweep, not the next.
+            let ready_events = match &self.poll {
+                Some(p) => p.poll_ready(self.drivers.len()),
+                None => Vec::new(),
+            };
+            if net_events == 0 && ready_events.is_empty() {
+                if iterations == 0 {
+                    self.sched.idle_pumps.fetch_add(1, Ordering::Relaxed);
+                }
                 break;
             }
-            assert!(iterations < 10_000, "runtime failed to quiesce");
+            let mut ready = vec![false; self.drivers.len()];
+            for ev in &ready_events {
+                if let Some(&i) = self.poll_index.get(&ev.token.0) {
+                    ready[i] = true;
+                }
+            }
+            for (i, d) in self.drivers.iter_mut().enumerate() {
+                if ready[i] {
+                    self.sched.runs.fetch_add(1, Ordering::Relaxed);
+                    d.run_once();
+                } else {
+                    self.sched.skips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            iterations += 1;
+            if u64::from(iterations) >= budget {
+                self.sync_shared_stats();
+                return Err(YancError::busy(
+                    Errno::EAGAIN,
+                    "runtime failed to quiesce within its sweep budget",
+                ));
+            }
         }
         self.sync_shared_stats();
-        iterations
+        Ok(iterations)
     }
 
     /// Advance virtual time (expiring flow timeouts) and pump.
-    pub fn advance(&mut self, seconds: u64) {
+    pub fn advance(&mut self, seconds: u64) -> YancResult<u32> {
         self.net.advance(seconds);
-        self.pump();
+        self.pump()
     }
 
     /// Ask every driver to refresh stats counters, then pump.
-    pub fn poll_stats(&mut self) {
+    pub fn poll_stats(&mut self) -> YancResult<u32> {
         for d in &mut self.drivers {
             d.poll_stats();
         }
-        self.pump();
+        self.pump()
     }
 }
 
@@ -248,7 +371,7 @@ mod tests {
         let h2 = rt.net.add_host("h2", ip("10.0.0.2"));
         rt.net.attach_host(h1, (0xa, 1), None);
         rt.net.attach_host(h2, (0xa, 2), None);
-        rt.pump();
+        rt.pump().unwrap();
         (rt, name, h1, h2)
     }
 
@@ -281,10 +404,10 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "flood", &spec).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
         rt.net.host_ping(h1, ip("10.0.0.2"), 1);
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.hosts[&h1].ping_replies, vec![(ip("10.0.0.2"), 1)]);
     }
 
@@ -312,7 +435,7 @@ mod tests {
             &creds,
         )
         .unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(
             rt.net.switches[&0xa].flow_count(),
             0,
@@ -321,7 +444,7 @@ mod tests {
         // Commit: bump version.
         fs.write_file("/net/switches/swa/flows/partial/version", b"1", &creds)
             .unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
         let _ = name;
     }
@@ -339,10 +462,10 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "ssh", &spec).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
         rt.yfs.delete_flow(&name, "ssh").unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xa].flow_count(), 0);
     }
 
@@ -351,7 +474,7 @@ mod tests {
         let (mut rt, _name, h1, _h2) = two_host_rt(Version::V1_3);
         let sub = rt.yfs.subscribe_events("router").unwrap();
         rt.net.host_ping(h1, ip("10.0.0.2"), 1); // table miss
-        rt.pump();
+        rt.pump().unwrap();
         let pkts: Vec<PacketInRecord> = sub.drain_all();
         assert!(!pkts.is_empty());
         assert_eq!(pkts[0].switch, "swa");
@@ -363,10 +486,10 @@ mod tests {
     fn port_down_file_write_reaches_switch() {
         let (mut rt, name, _h1, _h2) = two_host_rt(Version::V1_0);
         rt.yfs.set_port_down(&name, 2, true).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert!(rt.net.switches[&0xa].ports[&2].config_down);
         rt.yfs.set_port_down(&name, 2, false).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert!(!rt.net.switches[&0xa].ports[&2].config_down);
     }
 
@@ -380,7 +503,7 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "multi", &spec).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xa].flow_count(), 0);
         let err = rt
             .yfs
@@ -391,7 +514,7 @@ mod tests {
 
         let (mut rt13, name13, _h1, _h2) = two_host_rt(Version::V1_3);
         rt13.yfs.write_flow(&name13, "multi", &spec).unwrap();
-        rt13.pump();
+        rt13.pump().unwrap();
         assert_eq!(rt13.net.switches[&0xa].flow_count(), 1);
         assert!(!rt13
             .yfs
@@ -409,14 +532,14 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "temp", &spec).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
         assert!(rt
             .yfs
             .list_flows(&name)
             .unwrap()
             .contains(&"temp".to_string()));
-        rt.advance(10);
+        rt.advance(10).unwrap();
         assert_eq!(rt.net.switches[&0xa].flow_count(), 0);
         assert!(
             rt.yfs.list_flows(&name).unwrap().is_empty(),
@@ -433,10 +556,10 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "flood", &spec).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         rt.net.host_ping(h1, ip("10.0.0.2"), 1);
-        rt.pump();
-        rt.poll_stats();
+        rt.pump().unwrap();
+        rt.poll_stats().unwrap();
         let port_dir = rt.yfs.port_dir(&name, 1);
         assert!(rt.yfs.read_counter(&port_dir, "rx_packets") > 0);
         let flow_dir = rt.yfs.flow_dir(&name, "flood");
@@ -473,7 +596,7 @@ mod tests {
                 rt.yfs.creds(),
             )
             .unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.hosts[&h2].udp_received.len(), 1);
         assert_eq!(rt.net.hosts[&h2].udp_received[0].dst_port, 5678);
     }
@@ -484,7 +607,7 @@ mod tests {
         // written to the fs keep flowing after the swap.
         let mut rt = Runtime::new();
         let name = rt.add_switch_with_driver(0xb, 2, 2, vec![Version::V1_0], Version::V1_0);
-        rt.pump();
+        rt.pump().unwrap();
         assert!(rt.drivers[0].ready());
         let spec = FlowSpec {
             m: FlowMatch::any(),
@@ -492,7 +615,7 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "f", &spec).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xb].flow_count(), 1);
 
         // Firmware upgrade: switch now speaks both, re-attach a 1.3 driver.
@@ -502,7 +625,7 @@ mod tests {
             .unwrap()
             .set_supported(vec![Version::V1_0, Version::V1_3]);
         rt.swap_driver(0xb, Version::V1_3);
-        rt.pump();
+        rt.pump().unwrap();
         let d = rt.drivers.last().unwrap();
         assert!(d.ready());
         assert_eq!(d.version, Version::V1_3);
@@ -517,7 +640,7 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "multi", &multi).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.net.switches[&0xb].flow_count(), 2);
         // The fs shows the new protocol.
         let proto = rt
@@ -538,9 +661,9 @@ mod tests {
             ..Default::default()
         };
         rt.yfs.write_flow(&name, "flood", &spec).unwrap();
-        rt.pump();
+        rt.pump().unwrap();
         rt.net.host_ping(h1, ip("10.0.0.2"), 1);
-        rt.pump();
+        rt.pump().unwrap();
         let read = |p: &str| {
             rt.yfs
                 .filesystem()
@@ -580,11 +703,101 @@ mod tests {
     }
 
     #[test]
+    fn idle_pump_costs_zero_iterations() {
+        let (mut rt, _name, _h1, _h2) = two_host_rt(Version::V1_0);
+        rt.pump().unwrap(); // quiesce fully
+        let sched = rt.sched_stats();
+        let idle_before = sched.idle_pumps.load(Ordering::Relaxed);
+        let runs_before = sched.runs.load(Ordering::Relaxed);
+        let sweeps = rt.pump().unwrap();
+        assert_eq!(sweeps, 0, "idle system must cost zero sweeps");
+        assert_eq!(sched.idle_pumps.load(Ordering::Relaxed), idle_before + 1);
+        assert_eq!(
+            sched.runs.load(Ordering::Relaxed),
+            runs_before,
+            "no driver dispatched on an idle pump"
+        );
+    }
+
+    #[test]
+    fn sched_counters_render_in_proc() {
+        let (mut rt, name, h1, _h2) = two_host_rt(Version::V1_0);
+        rt.enable_introspection().unwrap();
+        rt.yfs
+            .write_flow(
+                &name,
+                "flood",
+                &FlowSpec {
+                    m: FlowMatch::any(),
+                    actions: vec![Action::out(port_no::FLOOD)],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        rt.pump().unwrap();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1);
+        rt.pump().unwrap();
+        rt.pump().unwrap(); // one guaranteed idle pump
+        let text = rt
+            .yfs
+            .filesystem()
+            .read_to_string("/net/.proc/driver/sched", rt.yfs.creds())
+            .unwrap();
+        let field = |k: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix(k).map(|v| v.trim().parse().unwrap()))
+                .unwrap_or_else(|| panic!("{k} missing from {text}"))
+        };
+        assert!(field("runs ") > 0, "{text}");
+        assert!(field("idle_pumps ") > 0, "{text}");
+        assert!(field("rebuilds ") > 0, "{text}");
+    }
+
+    #[test]
+    fn segmented_stats_reassemble_and_land() {
+        // Force every stats reply into 1-entry multipart segments: the
+        // driver must reassemble the stream before landing counters.
+        let (mut rt, name, h1, _h2) = two_host_rt(Version::V1_3);
+        rt.net.switches.get_mut(&0xa).unwrap().set_stats_page(1);
+        rt.yfs
+            .write_flow(
+                &name,
+                "flood",
+                &FlowSpec {
+                    m: FlowMatch::any(),
+                    actions: vec![Action::out(port_no::FLOOD)],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        rt.pump().unwrap();
+        rt.net.host_ping(h1, ip("10.0.0.2"), 1);
+        rt.pump().unwrap();
+        rt.poll_stats().unwrap();
+        // All four ports' stats arrived as four REPLY_MORE-chained parts
+        // and still landed: per-port counters exist for every port.
+        for p in 1..=4u16 {
+            let dir = rt.yfs.port_dir(&name, p);
+            assert!(
+                rt.yfs.filesystem().exists(
+                    dir.join("counters").join("rx_packets").as_str(),
+                    rt.yfs.creds()
+                ),
+                "port {p} counters missing"
+            );
+        }
+        let port_dir = rt.yfs.port_dir(&name, 1);
+        assert!(rt.yfs.read_counter(&port_dir, "rx_packets") > 0);
+        let flow_dir = rt.yfs.flow_dir(&name, "flood");
+        assert!(rt.yfs.read_counter(&flow_dir, "packets") > 0);
+    }
+
+    #[test]
     fn wrong_version_driver_fails_cleanly() {
         let mut rt = Runtime::new();
         // Switch speaks only 1.0; driver insists on 1.3.
         rt.add_switch_with_driver(0xc, 2, 1, vec![Version::V1_0], Version::V1_3);
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(rt.drivers[0].state(), crate::driver::DriverState::Failed);
         assert!(rt.yfs.list_switches().unwrap().is_empty());
     }

@@ -110,7 +110,7 @@ fn main() {
                 }
             }
             ["stats"] => {
-                rt.poll_stats();
+                rt.poll_stats().unwrap();
                 println!("counters refreshed — try: cat switches/sw1/counters/flow_packets");
             }
             _ => {

@@ -41,7 +41,7 @@ impl PumpApp for LearningSwitch {
 pub fn settle(rt: &mut Runtime, apps: &mut [&mut dyn PumpApp]) {
     let mut idle_rounds = 0;
     while idle_rounds < 2 {
-        let net = rt.pump();
+        let net = rt.pump().unwrap();
         let mut worked = false;
         for a in apps.iter_mut() {
             worked |= a.pump_once();
@@ -134,7 +134,7 @@ pub fn build_line(rt: &mut Runtime, n: usize, version: Version) -> Topo {
         rt.net.attach_host(h, (sw, 1), None);
         hosts.push((h, ip));
     }
-    rt.pump();
+    rt.pump().unwrap();
     Topo {
         name: format!("line-{n}"),
         switches,
@@ -163,7 +163,7 @@ pub fn build_ring(rt: &mut Runtime, n: usize, version: Version) -> Topo {
         rt.net.attach_host(h, (sw, 1), None);
         hosts.push((h, ip));
     }
-    rt.pump();
+    rt.pump().unwrap();
     Topo {
         name: format!("ring-{n}"),
         switches,
@@ -212,7 +212,7 @@ pub fn build_tree(rt: &mut Runtime, depth: u32, fanout: u16, version: Version) -
             hosts.push((h, ip));
         }
     }
-    rt.pump();
+    rt.pump().unwrap();
     Topo {
         name: format!("tree-d{depth}f{fanout}"),
         switches,
@@ -266,9 +266,38 @@ pub fn build_fat_tree(rt: &mut Runtime, pods: usize, version: Version) -> Topo {
         switches.extend(edges);
     }
     switches.extend(core);
-    rt.pump();
+    rt.pump().unwrap();
     Topo {
         name: format!("fat-tree-{pods}pods"),
+        switches,
+        hosts,
+    }
+}
+
+/// A full k-ary fat-tree fabric ([`yanc_dataplane::FatTree`]) with one
+/// driver per switch: `5k²/4` switches, `k³/4` hosts, full bisection
+/// wiring — the data-center-scale shape (§8). The single `pump` at the
+/// end runs every handshake to quiescence, so on return the whole fabric
+/// is materialized under `/net/switches`.
+pub fn build_fabric(rt: &mut Runtime, k: u16, version: Version) -> Topo {
+    let ft = yanc_dataplane::FatTree::new(k);
+    let mut switches = Vec::with_capacity(ft.n_switches());
+    for s in ft.switches() {
+        rt.add_switch_with_driver(s.dpid, s.n_ports, 1, vec![version], version);
+        switches.push(s.dpid);
+    }
+    for &(a, b) in ft.links() {
+        rt.net.link_switches(a, b, None);
+    }
+    let mut hosts = Vec::with_capacity(ft.n_hosts());
+    for h in ft.hosts() {
+        let id = rt.net.add_host(&h.name, h.ip);
+        rt.net.attach_host(id, h.edge, None);
+        hosts.push((id, h.ip));
+    }
+    rt.pump().unwrap();
+    Topo {
+        name: format!("fabric-k{k}"),
         switches,
         hosts,
     }
@@ -436,6 +465,20 @@ mod tests {
     }
 
     #[test]
+    fn fabric_builds_and_materializes() {
+        let mut rt = Runtime::new();
+        let topo = build_fabric(&mut rt, 4, Version::V1_3);
+        assert_eq!(topo.switches.len(), 20); // 4 core + 4 pods x (2+2)
+        assert_eq!(topo.hosts.len(), 16);
+        assert_eq!(rt.yfs.list_switches().unwrap().len(), 20);
+        for &d in &topo.switches {
+            let sw = format!("sw{d:x}");
+            assert_eq!(rt.yfs.list_ports(&sw).unwrap().len(), 4);
+            assert_eq!(rt.yfs.switch_dpid(&sw).unwrap(), d);
+        }
+    }
+
+    #[test]
     fn end_to_end_router_on_line() {
         let mut rt = Runtime::new();
         let topo = build_line(&mut rt, 3, Version::V1_0);
@@ -451,7 +494,7 @@ mod tests {
     fn metrics_json_is_well_formed_and_deterministic() {
         let mut rt = Runtime::new();
         rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
-        rt.pump();
+        rt.pump().unwrap();
         let fs = rt.yfs.filesystem();
         let a = metrics_json(fs);
         let b = metrics_json(fs);

@@ -599,7 +599,7 @@ impl Supervisor {
     pub fn step(&mut self, rt: &mut Runtime) -> bool {
         let fired = self.apply_faults(rt);
         let reattached = self.supervise_drivers(rt);
-        let pumped = rt.pump();
+        let pumped = rt.pump().unwrap();
         let ticked = self.tick();
         fired > 0 || reattached > 0 || pumped > 1 || ticked
     }

@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod multipart;
 pub mod types;
 pub mod v10;
 pub mod v13;
 pub mod wire;
 
+pub use multipart::{Reassembler, StatsPart, REPLY_MORE};
 pub use types::{
     flow_mod_flags, port_no, Action, FlowMatch, FlowMod, FlowModCommand, FlowRemovedReason,
     FlowStats, Ipv4Prefix, Message, PacketInReason, PortDesc, PortReason, PortStats, StatsReply,

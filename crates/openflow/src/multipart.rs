@@ -1,0 +1,406 @@
+//! Multipart stats streaming: paginate large [`StatsReply`] bodies into
+//! wire segments and reassemble them on the controller side.
+//!
+//! OpenFlow caps every frame at 64 KiB, so a fabric-scale switch cannot
+//! answer a flow-stats request in one message. Both protocol generations
+//! solve this the same way: the stats-reply body carries a `flags` word
+//! whose low bit (`OFPSF_REPLY_MORE` in 1.0, `OFPMPF_REPLY_MORE` in 1.3)
+//! marks "another segment with the same xid follows". This module is the
+//! version-independent home for that mechanism:
+//!
+//! * [`paginate`] splits a reply into page-sized [`StatsPart`]s,
+//! * [`encode_part`] encodes one part, patching the REPLY_MORE flag into
+//!   the already-encoded frame (both codecs place `flags` at body offset
+//!   2, directly after the 16-bit stats type),
+//! * [`decode_part`] recovers a part and its continuation bit,
+//! * [`Reassembler`] merges a segment stream back into one reply,
+//!   surfacing protocol violations (mid-stream type switches,
+//!   continuation of unpageable types) as [`CodecError`]s — never panics.
+//!
+//! Single-part replies encode byte-identically to the non-segmented path:
+//! `more = false` leaves the flags word at its existing zero value.
+
+use bytes::Bytes;
+
+use crate::types::{Message, StatsReply, Version};
+use crate::wire::{CodecError, CodecResult, RawFrame, HEADER_LEN};
+
+/// The "another segment follows" bit in the stats-reply `flags` word
+/// (`OFPSF_REPLY_MORE` / `OFPMPF_REPLY_MORE` — same value in both).
+pub const REPLY_MORE: u16 = 0x0001;
+
+/// One segment of a (possibly multi-part) stats reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsPart {
+    /// The entries carried by this segment.
+    pub reply: StatsReply,
+    /// True when the sender will follow with another segment (same xid).
+    pub more: bool,
+}
+
+/// The wire message-type byte of a stats reply for `version`
+/// (`OFPT_STATS_REPLY` = 17 in 1.0, `OFPT_MULTIPART_REPLY` = 19 in 1.3).
+pub fn stats_reply_type(version: Version) -> u8 {
+    match version {
+        Version::V1_0 => 17,
+        Version::V1_3 => 19,
+    }
+}
+
+/// Is this raw frame a stats/multipart reply for its own version?
+pub fn is_stats_reply(frame: &RawFrame) -> bool {
+    match frame.protocol() {
+        Some(v) => frame.msg_type == stats_reply_type(v),
+        None => false,
+    }
+}
+
+/// Read the `flags` word of a stats-reply frame without decoding the body.
+///
+/// Both codecs lay the body out as `stype: u16, flags: u16, ...`, so the
+/// flags live at body offset 2 regardless of version.
+pub fn part_flags(frame: &RawFrame) -> CodecResult<u16> {
+    if !is_stats_reply(frame) {
+        return Err(CodecError::new(
+            "multipart",
+            format!(
+                "not a stats reply: version 0x{:02x} msg_type {}",
+                frame.version, frame.msg_type
+            ),
+        ));
+    }
+    if frame.body.len() < 4 {
+        return Err(CodecError::new(
+            "multipart",
+            format!("stats reply body truncated: {} bytes", frame.body.len()),
+        ));
+    }
+    Ok(u16::from_be_bytes([frame.body[2], frame.body[3]]))
+}
+
+fn chunked<T: Clone>(
+    items: &[T],
+    page: usize,
+    wrap: impl Fn(Vec<T>) -> StatsReply,
+) -> Vec<StatsPart> {
+    if items.len() <= page {
+        return vec![StatsPart {
+            reply: wrap(items.to_vec()),
+            more: false,
+        }];
+    }
+    let mut parts: Vec<StatsPart> = items
+        .chunks(page)
+        .map(|c| StatsPart {
+            reply: wrap(c.to_vec()),
+            more: true,
+        })
+        .collect();
+    parts.last_mut().expect("chunks is non-empty").more = false;
+    parts
+}
+
+/// Split `reply` into segments of at most `page` entries.
+///
+/// List-shaped replies (`Flow`, `Port`, `PortDesc`) are chunked; scalar
+/// replies (`Desc`, `Aggregate`) are inherently single-part. An empty
+/// list still yields one (empty, final) part so the requester always
+/// gets an answer. `page == 0` is treated as 1.
+pub fn paginate(reply: &StatsReply, page: usize) -> Vec<StatsPart> {
+    let page = page.max(1);
+    match reply {
+        StatsReply::Flow(v) => chunked(v, page, StatsReply::Flow),
+        StatsReply::Port(v) => chunked(v, page, StatsReply::Port),
+        StatsReply::PortDesc(v) => chunked(v, page, StatsReply::PortDesc),
+        other => vec![StatsPart {
+            reply: other.clone(),
+            more: false,
+        }],
+    }
+}
+
+/// Encode one segment: encode the reply normally, then patch the
+/// REPLY_MORE bit into the flags word at body offset 2.
+///
+/// With `more = false` the output is byte-identical to
+/// [`crate::encode`] of the same reply.
+pub fn encode_part(
+    version: Version,
+    reply: &StatsReply,
+    more: bool,
+    xid: u32,
+) -> CodecResult<Bytes> {
+    let bytes = crate::encode(version, &Message::StatsReply(reply.clone()), xid)?;
+    if !more {
+        return Ok(bytes);
+    }
+    let off = HEADER_LEN + 2;
+    if bytes.len() < off + 2 {
+        return Err(CodecError::new(
+            "multipart",
+            "encoded stats reply too short to carry flags",
+        ));
+    }
+    let mut buf = bytes.to_vec();
+    buf[off..off + 2].copy_from_slice(&REPLY_MORE.to_be_bytes());
+    Ok(Bytes::from(buf))
+}
+
+/// Decode one segment of a stats reply, preserving its continuation bit.
+pub fn decode_part(frame: &RawFrame) -> CodecResult<StatsPart> {
+    let flags = part_flags(frame)?;
+    match crate::decode(frame)? {
+        Message::StatsReply(reply) => Ok(StatsPart {
+            reply,
+            more: flags & REPLY_MORE != 0,
+        }),
+        other => Err(CodecError::new(
+            "multipart",
+            format!("stats-reply frame decoded to {other:?}"),
+        )),
+    }
+}
+
+/// Merges a stream of [`StatsPart`]s back into whole [`StatsReply`]s.
+///
+/// Feed each arriving part to [`Reassembler::push`]; it returns
+/// `Ok(Some(reply))` when a reply completes, `Ok(None)` while segments
+/// are still outstanding, and `Err` on protocol violations. Errors leave
+/// the reassembler empty, so a stream can recover after a bad sender.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    pending: Option<StatsReply>,
+}
+
+impl Reassembler {
+    /// Fresh reassembler with nothing in flight.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while a multi-part reply is partially received.
+    pub fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Drop any partially-assembled reply (e.g. on channel reconnect).
+    pub fn reset(&mut self) {
+        self.pending = None;
+    }
+
+    /// Accept the next segment.
+    pub fn push(&mut self, part: StatsPart) -> CodecResult<Option<StatsReply>> {
+        let merged = match (self.pending.take(), part.reply) {
+            (None, reply) => reply,
+            (Some(StatsReply::Flow(mut acc)), StatsReply::Flow(next)) => {
+                acc.extend(next);
+                StatsReply::Flow(acc)
+            }
+            (Some(StatsReply::Port(mut acc)), StatsReply::Port(next)) => {
+                acc.extend(next);
+                StatsReply::Port(acc)
+            }
+            (Some(StatsReply::PortDesc(mut acc)), StatsReply::PortDesc(next)) => {
+                acc.extend(next);
+                StatsReply::PortDesc(acc)
+            }
+            (Some(acc), next) => {
+                return Err(CodecError::new(
+                    "multipart",
+                    format!(
+                        "segment type switched mid-stream: had {}, got {}",
+                        variant_name(&acc),
+                        variant_name(&next)
+                    ),
+                ));
+            }
+        };
+        if part.more {
+            match merged {
+                StatsReply::Flow(_) | StatsReply::Port(_) | StatsReply::PortDesc(_) => {
+                    self.pending = Some(merged);
+                    Ok(None)
+                }
+                other => Err(CodecError::new(
+                    "multipart",
+                    format!(
+                        "REPLY_MORE set on unpageable stats type {}",
+                        variant_name(&other)
+                    ),
+                )),
+            }
+        } else {
+            Ok(Some(merged))
+        }
+    }
+}
+
+fn variant_name(r: &StatsReply) -> &'static str {
+    match r {
+        StatsReply::Desc { .. } => "Desc",
+        StatsReply::Flow(_) => "Flow",
+        StatsReply::Port(_) => "Port",
+        StatsReply::PortDesc(_) => "PortDesc",
+        StatsReply::Aggregate { .. } => "Aggregate",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FlowMatch, FlowStats, PortStats};
+    use crate::wire::FrameCodec;
+
+    fn flow(i: u16) -> FlowStats {
+        FlowStats {
+            table_id: 0,
+            m: FlowMatch {
+                dl_type: Some(0x0800),
+                nw_proto: Some(6),
+                tp_dst: Some(i),
+                ..Default::default()
+            },
+            priority: i,
+            cookie: u64::from(i),
+            duration_sec: 1,
+            packet_count: u64::from(i) * 10,
+            byte_count: u64::from(i) * 100,
+        }
+    }
+
+    fn port(i: u16) -> PortStats {
+        PortStats {
+            port_no: i,
+            rx_packets: u64::from(i),
+            tx_packets: u64::from(i) + 1,
+            rx_bytes: 64 * u64::from(i),
+            tx_bytes: 64 * (u64::from(i) + 1),
+            rx_dropped: 0,
+            tx_dropped: 0,
+        }
+    }
+
+    fn reframe(bytes: &Bytes) -> RawFrame {
+        let mut codec = FrameCodec::new();
+        codec.feed(bytes);
+        let frame = codec.next_frame().unwrap().expect("one whole frame");
+        assert_eq!(codec.buffered(), 0, "exactly one frame in the buffer");
+        frame
+    }
+
+    #[test]
+    fn single_part_is_byte_identical_to_plain_encode() {
+        for v in [Version::V1_0, Version::V1_3] {
+            let rep = StatsReply::Flow(vec![flow(1), flow(2)]);
+            let plain = crate::encode(v, &Message::StatsReply(rep.clone()), 7).unwrap();
+            let part = encode_part(v, &rep, false, 7).unwrap();
+            assert_eq!(plain, part, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn paginate_chunks_and_marks_continuations() {
+        let rep = StatsReply::Flow((0..10).map(flow).collect());
+        let parts = paginate(&rep, 4);
+        assert_eq!(parts.len(), 3);
+        assert!(parts[0].more && parts[1].more && !parts[2].more);
+        let sizes: Vec<usize> = parts
+            .iter()
+            .map(|p| match &p.reply {
+                StatsReply::Flow(v) => v.len(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn empty_list_yields_one_final_part() {
+        let parts = paginate(&StatsReply::Port(Vec::new()), 8);
+        assert_eq!(parts.len(), 1);
+        assert!(!parts[0].more);
+    }
+
+    #[test]
+    fn scalar_replies_are_single_part() {
+        let agg = StatsReply::Aggregate {
+            packet_count: 1,
+            byte_count: 2,
+            flow_count: 3,
+        };
+        let parts = paginate(&agg, 1);
+        assert_eq!(parts.len(), 1);
+        assert!(!parts[0].more);
+    }
+
+    #[test]
+    fn roundtrip_segments_through_wire_and_reassembler() {
+        for v in [Version::V1_0, Version::V1_3] {
+            let original = StatsReply::Port((1..=9).map(port).collect());
+            let mut asm = Reassembler::new();
+            let mut out = None;
+            for p in paginate(&original, 2) {
+                let bytes = encode_part(v, &p.reply, p.more, 42).unwrap();
+                let frame = reframe(&bytes);
+                assert!(is_stats_reply(&frame));
+                let got = decode_part(&frame).unwrap();
+                assert_eq!(got.more, p.more);
+                out = asm.push(got).unwrap();
+            }
+            assert_eq!(out, Some(original), "{v:?}");
+            assert!(!asm.in_flight());
+        }
+    }
+
+    #[test]
+    fn type_switch_mid_stream_is_an_error() {
+        let mut asm = Reassembler::new();
+        assert!(asm
+            .push(StatsPart {
+                reply: StatsReply::Flow(vec![flow(1)]),
+                more: true,
+            })
+            .unwrap()
+            .is_none());
+        let err = asm
+            .push(StatsPart {
+                reply: StatsReply::Port(vec![port(1)]),
+                more: false,
+            })
+            .unwrap_err();
+        assert!(err.reason.contains("mid-stream"), "{err}");
+        assert!(!asm.in_flight(), "error must leave the reassembler empty");
+    }
+
+    #[test]
+    fn more_on_unpageable_type_is_an_error() {
+        let mut asm = Reassembler::new();
+        let err = asm
+            .push(StatsPart {
+                reply: StatsReply::Desc {
+                    description: "x".into(),
+                },
+                more: true,
+            })
+            .unwrap_err();
+        assert!(err.reason.contains("unpageable"), "{err}");
+    }
+
+    #[test]
+    fn part_flags_rejects_short_or_foreign_frames() {
+        let short = RawFrame {
+            version: 0x01,
+            msg_type: 17,
+            xid: 1,
+            body: Bytes::from_static(&[0, 0]),
+        };
+        assert!(part_flags(&short).is_err());
+        let not_stats = RawFrame {
+            version: 0x01,
+            msg_type: 10,
+            xid: 1,
+            body: Bytes::from_static(&[0, 0, 0, 0]),
+        };
+        assert!(part_flags(&not_stats).is_err());
+    }
+}

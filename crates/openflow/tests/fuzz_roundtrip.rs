@@ -7,8 +7,8 @@
 
 use bytes::Bytes;
 use yanc_openflow::{
-    decode, encode, Action, FlowMatch, FlowMod, FrameCodec, Ipv4Prefix, Message, RawFrame, Version,
-    HEADER_LEN,
+    decode, encode, multipart, Action, FlowMatch, FlowMod, FlowStats, FrameCodec, Ipv4Prefix,
+    Message, PortDesc, PortStats, RawFrame, Reassembler, StatsReply, Version, HEADER_LEN,
 };
 use yanc_packet::MacAddr;
 
@@ -215,6 +215,170 @@ fn single_byte_corruption_never_panics() {
                 c.next_frame().is_err(),
                 "seed {seed}: sub-header length accepted"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multipart segmentation fuzz (tentpole: batched stats streaming).
+// ---------------------------------------------------------------------
+
+fn gen_flow_stats(rng: &mut Rng) -> FlowStats {
+    FlowStats {
+        table_id: rng.below(4) as u8,
+        m: gen_match(rng),
+        priority: rng.next() as u16,
+        cookie: rng.next(),
+        duration_sec: rng.next() as u32,
+        packet_count: rng.next(),
+        byte_count: rng.next(),
+    }
+}
+
+fn gen_port_stats(rng: &mut Rng) -> PortStats {
+    PortStats {
+        port_no: 1 + rng.below(999) as u16,
+        rx_packets: rng.next(),
+        tx_packets: rng.next(),
+        rx_bytes: rng.next(),
+        tx_bytes: rng.next(),
+        rx_dropped: rng.next(),
+        tx_dropped: rng.next(),
+    }
+}
+
+fn gen_port_desc(rng: &mut Rng) -> PortDesc {
+    let n = 1 + rng.below(999) as u16;
+    PortDesc {
+        port_no: n,
+        hw_addr: rng.mac(),
+        name: format!("eth{n}"),
+        config_down: rng.chance(),
+        link_down: rng.chance(),
+        curr_speed: rng.next() as u32,
+        max_speed: rng.next() as u32,
+    }
+}
+
+/// A pageable stats reply with `n` entries, restricted to what `v` can
+/// express (1.0 has no PortDesc multipart).
+fn gen_pageable_reply(rng: &mut Rng, v: Version, n: usize) -> StatsReply {
+    let kinds = if v == Version::V1_0 { 2 } else { 3 };
+    match rng.below(kinds) {
+        0 => StatsReply::Flow((0..n).map(|_| gen_flow_stats(rng)).collect()),
+        1 => StatsReply::Port((0..n).map(|_| gen_port_stats(rng)).collect()),
+        _ => StatsReply::PortDesc((0..n).map(|_| gen_port_desc(rng)).collect()),
+    }
+}
+
+fn reply_len(r: &StatsReply) -> usize {
+    match r {
+        StatsReply::Flow(v) => v.len(),
+        StatsReply::Port(v) => v.len(),
+        StatsReply::PortDesc(v) => v.len(),
+        _ => 1,
+    }
+}
+
+#[test]
+fn multipart_split_reassemble_roundtrips() {
+    for seed in 0..150u64 {
+        let mut rng = Rng::new(seed ^ 0x5eed);
+        for v in [Version::V1_0, Version::V1_3] {
+            let n = rng.below(40);
+            let page = 1 + rng.below(9);
+            let original = gen_pageable_reply(&mut rng, v, n);
+            let parts = multipart::paginate(&original, page);
+            assert_eq!(parts.len(), n.div_ceil(page).max(1), "seed {seed} {v:?}");
+            let mut asm = Reassembler::new();
+            let mut done = None;
+            for (i, p) in parts.iter().enumerate() {
+                assert!(done.is_none(), "seed {seed}: reply completed early");
+                let bytes = multipart::encode_part(v, &p.reply, p.more, 3).unwrap();
+                let frame = reassemble(&bytes);
+                assert!(multipart::is_stats_reply(&frame));
+                let flags = multipart::part_flags(&frame).unwrap();
+                assert_eq!(
+                    flags & multipart::REPLY_MORE != 0,
+                    i + 1 < parts.len(),
+                    "seed {seed} {v:?} part {i}: REPLY_MORE wrong on the wire"
+                );
+                done = asm.push(multipart::decode_part(&frame).unwrap()).unwrap();
+            }
+            let got = done.unwrap_or_else(|| panic!("seed {seed} {v:?}: stream never completed"));
+            assert_eq!(reply_len(&got), n, "seed {seed} {v:?}");
+            assert_eq!(got, original, "seed {seed} {v:?}: reassembly diverged");
+            assert!(!asm.in_flight());
+        }
+    }
+}
+
+#[test]
+fn multipart_truncated_final_part_errors_never_panics() {
+    for seed in 0..60u64 {
+        let mut rng = Rng::new(seed ^ 0x70f0);
+        for v in [Version::V1_0, Version::V1_3] {
+            let n = 3 + rng.below(6);
+            let original = gen_pageable_reply(&mut rng, v, n);
+            let parts = multipart::paginate(&original, 2);
+            let last = parts.last().unwrap();
+            let bytes = multipart::encode_part(v, &last.reply, last.more, 5).unwrap();
+            let whole = reassemble(&bytes);
+            // Every proper prefix of the final part's body: decode_part
+            // must return (usually Err), never panic or index OOB.
+            for cut in 0..whole.body.len() {
+                let hacked = RawFrame {
+                    body: whole.body.slice(0..cut),
+                    ..whole.clone()
+                };
+                let _ = multipart::decode_part(&hacked);
+                let _ = multipart::part_flags(&hacked);
+            }
+        }
+    }
+}
+
+#[test]
+fn multipart_flag_mismatch_is_an_error_never_a_panic() {
+    for seed in 0..60u64 {
+        let mut rng = Rng::new(seed ^ 0xf1a6);
+        for v in [Version::V1_0, Version::V1_3] {
+            // A continuation whose follow-up switches type mid-stream.
+            let mut asm = Reassembler::new();
+            let first = StatsReply::Flow(vec![gen_flow_stats(&mut rng)]);
+            let second = StatsReply::Port(vec![gen_port_stats(&mut rng)]);
+            let b1 = multipart::encode_part(v, &first, true, 8).unwrap();
+            let b2 = multipart::encode_part(v, &second, false, 8).unwrap();
+            assert!(asm
+                .push(multipart::decode_part(&reassemble(&b1)).unwrap())
+                .unwrap()
+                .is_none());
+            let err = asm
+                .push(multipart::decode_part(&reassemble(&b2)).unwrap())
+                .unwrap_err();
+            assert!(err.reason.contains("mid-stream"), "seed {seed}: {err}");
+
+            // REPLY_MORE forged onto an unpageable reply: the flag survives
+            // the wire and the reassembler rejects it typed, not by panic.
+            let agg = StatsReply::Aggregate {
+                packet_count: rng.next(),
+                byte_count: rng.next(),
+                flow_count: rng.next() as u32,
+            };
+            let forged = multipart::encode_part(v, &agg, true, 9).unwrap();
+            let part = multipart::decode_part(&reassemble(&forged)).unwrap();
+            assert!(part.more);
+            let err = Reassembler::new().push(part).unwrap_err();
+            assert!(err.reason.contains("unpageable"), "seed {seed}: {err}");
+
+            // Random bit-flips in the flags word never panic anything.
+            let bytes = multipart::encode_part(v, &first, rng.chance(), 10).unwrap();
+            let mut buf = bytes.to_vec();
+            buf[HEADER_LEN + 2 + rng.below(2)] ^= 1 << rng.below(8);
+            let frame = reassemble(&buf);
+            if let Ok(p) = multipart::decode_part(&frame) {
+                let _ = Reassembler::new().push(p);
+            }
         }
     }
 }

@@ -221,64 +221,81 @@ impl Default for Filesystem {
     }
 }
 
-impl Filesystem {
-    /// An empty filesystem containing only the root directory (`0o755`,
-    /// owned by root).
-    pub fn new() -> Self {
-        Self::with_limits(Limits::default())
+/// Construction-time configuration for a [`Filesystem`], built with
+/// [`Filesystem::builder`]. Every feature switch the old constructor
+/// matrix (`with_shards`/`with_config`/`with_options`/`with_features`/
+/// `without_dcache`/`without_readpath`) spelled as a positional argument
+/// is a named setter here, so the next feature flag extends this struct
+/// instead of adding a seventh constructor. Defaults match
+/// [`Filesystem::new`]: default limits, [`DEFAULT_SHARDS`] lock shards,
+/// dentry cache on, optimistic read path on, journal off.
+#[derive(Debug, Clone)]
+pub struct FsBuilder {
+    limits: Limits,
+    shards: usize,
+    dcache: bool,
+    readpath: bool,
+    journal: bool,
+}
+
+impl Default for FsBuilder {
+    fn default() -> Self {
+        FsBuilder {
+            limits: Limits::default(),
+            shards: DEFAULT_SHARDS,
+            dcache: true,
+            readpath: true,
+            journal: false,
+        }
+    }
+}
+
+impl FsBuilder {
+    /// Resource limits (max file size, directory entries, open files).
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
     }
 
-    /// An empty filesystem with explicit resource limits.
-    pub fn with_limits(limits: Limits) -> Self {
-        Self::with_config(limits, DEFAULT_SHARDS)
+    /// Lock-shard count. `1` gives the fully serialized (global-lock)
+    /// deterministic mode the replay suites use as the reference.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
-    /// An empty filesystem with an explicit lock-shard count. `1` gives the
-    /// fully serialized (global-lock) deterministic mode.
-    pub fn with_shards(shards: usize) -> Self {
-        Self::with_config(Limits::default(), shards)
+    /// Dentry cache on/off. Off: every resolution walks the inode table
+    /// hop by hop, exactly as before the cache existed — the coherence
+    /// suites' reference mode and the benches' cold baseline.
+    pub fn dcache(mut self, enabled: bool) -> Self {
+        self.dcache = enabled;
+        self
     }
 
-    /// An empty filesystem with explicit limits and lock-shard count.
-    pub fn with_config(limits: Limits, shards: usize) -> Self {
-        Self::with_options(limits, shards, true)
+    /// Optimistic lock-free read path on/off. Off: every read takes its
+    /// shard read locks, exactly as before the seqlock scheme existed —
+    /// the linearizability suite's (Part 1d) reference mode and the E25
+    /// bench's locked baseline.
+    pub fn readpath(mut self, enabled: bool) -> Self {
+        self.readpath = enabled;
+        self
     }
 
-    /// An empty filesystem with the dentry cache switched off: every
-    /// resolution walks the inode table hop by hop, exactly as before the
-    /// cache existed. The coherence suites replay identical histories in
-    /// this mode as the reference behaviour, and benches use it as the
-    /// cold baseline.
-    pub fn without_dcache() -> Self {
-        Self::with_options(Limits::default(), DEFAULT_SHARDS, false)
+    /// Start with the write-ahead journal enabled: the built filesystem
+    /// has already captured its anchor snapshot (of the empty tree) and
+    /// logs every mutation from the first one on — equivalent to calling
+    /// [`Filesystem::enable_journal`] immediately after construction.
+    pub fn journal(mut self, enabled: bool) -> Self {
+        self.journal = enabled;
+        self
     }
 
-    /// An empty filesystem with the optimistic lock-free read path switched
-    /// off: every read takes its shard read locks exactly as before the
-    /// seqlock scheme existed. The linearizability suite (Part 1d) replays
-    /// identical histories in this mode as the reference behaviour, and the
-    /// E25 bench uses it as the locked baseline.
-    pub fn without_readpath() -> Self {
-        Self::with_features(Limits::default(), DEFAULT_SHARDS, true, false)
-    }
-
-    /// An empty filesystem with explicit limits, lock-shard count and
-    /// dentry-cache enablement (the optimistic read path stays on).
-    pub fn with_options(limits: Limits, shards: usize, dcache_enabled: bool) -> Self {
-        Self::with_features(limits, shards, dcache_enabled, true)
-    }
-
-    /// An empty filesystem with every feature switch explicit: resource
-    /// limits, lock-shard count, dentry cache, optimistic read path.
-    pub fn with_features(
-        limits: Limits,
-        shards: usize,
-        dcache_enabled: bool,
-        readpath_enabled: bool,
-    ) -> Self {
+    /// Build the filesystem: an empty tree containing only the root
+    /// directory (`0o755`, owned by root), with the configured features.
+    pub fn build(self) -> Filesystem {
         let clock = Clock::new();
         let now = clock.tick();
-        let tables = Tables::new(shards);
+        let tables = Tables::new(self.shards);
         {
             let mut set = tables.lock(&[LockKey::Ino(ROOT_INO)]);
             set.insert_inode(
@@ -300,9 +317,9 @@ impl Filesystem {
                 },
             );
         }
-        Filesystem {
-            dcache: Arc::new(Dcache::new(tables.shard_count(), dcache_enabled)),
-            readpath: Arc::new(ReadPath::new(readpath_enabled)),
+        let fs = Filesystem {
+            dcache: Arc::new(Dcache::new(tables.shard_count(), self.dcache)),
+            readpath: Arc::new(ReadPath::new(self.readpath)),
             tables: Arc::new(tables),
             clock,
             counters: Arc::new(SyscallCounters::new()),
@@ -310,12 +327,89 @@ impl Filesystem {
             notify: Arc::new(NotifyHub::new()),
             proc: Arc::new(ProcRegistry::new()),
             hooks: RwLock::new(Vec::new()),
-            limits,
+            limits: self.limits,
             rctl: Arc::new(RctlTable::new()),
             polls: Arc::new(PollRegistry::new()),
             journal: Arc::new(crate::journal::Journal::new()),
             rename_lock: Mutex::new(()),
+        };
+        if self.journal {
+            fs.enable_journal();
         }
+        fs
+    }
+}
+
+impl Filesystem {
+    /// An empty filesystem containing only the root directory (`0o755`,
+    /// owned by root).
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Start configuring a filesystem; see [`FsBuilder`].
+    pub fn builder() -> FsBuilder {
+        FsBuilder::default()
+    }
+
+    /// An empty filesystem with explicit resource limits.
+    #[deprecated(note = "use Filesystem::builder().limits(..).build()")]
+    pub fn with_limits(limits: Limits) -> Self {
+        Self::builder().limits(limits).build()
+    }
+
+    /// An empty filesystem with an explicit lock-shard count. `1` gives the
+    /// fully serialized (global-lock) deterministic mode.
+    #[deprecated(note = "use Filesystem::builder().shards(..).build()")]
+    pub fn with_shards(shards: usize) -> Self {
+        Self::builder().shards(shards).build()
+    }
+
+    /// An empty filesystem with explicit limits and lock-shard count.
+    #[deprecated(note = "use Filesystem::builder().limits(..).shards(..).build()")]
+    pub fn with_config(limits: Limits, shards: usize) -> Self {
+        Self::builder().limits(limits).shards(shards).build()
+    }
+
+    /// An empty filesystem with the dentry cache switched off.
+    #[deprecated(note = "use Filesystem::builder().dcache(false).build()")]
+    pub fn without_dcache() -> Self {
+        Self::builder().dcache(false).build()
+    }
+
+    /// An empty filesystem with the optimistic lock-free read path switched
+    /// off.
+    #[deprecated(note = "use Filesystem::builder().readpath(false).build()")]
+    pub fn without_readpath() -> Self {
+        Self::builder().readpath(false).build()
+    }
+
+    /// An empty filesystem with explicit limits, lock-shard count and
+    /// dentry-cache enablement (the optimistic read path stays on).
+    #[deprecated(note = "use Filesystem::builder().dcache(..).build()")]
+    pub fn with_options(limits: Limits, shards: usize, dcache_enabled: bool) -> Self {
+        Self::builder()
+            .limits(limits)
+            .shards(shards)
+            .dcache(dcache_enabled)
+            .build()
+    }
+
+    /// An empty filesystem with every feature switch explicit: resource
+    /// limits, lock-shard count, dentry cache, optimistic read path.
+    #[deprecated(note = "use Filesystem::builder() with named setters")]
+    pub fn with_features(
+        limits: Limits,
+        shards: usize,
+        dcache_enabled: bool,
+        readpath_enabled: bool,
+    ) -> Self {
+        Self::builder()
+            .limits(limits)
+            .shards(shards)
+            .dcache(dcache_enabled)
+            .readpath(readpath_enabled)
+            .build()
     }
 
     /// Dentry-cache counters (hits/misses/negative hits/invalidations/
@@ -358,7 +452,7 @@ impl Filesystem {
     }
 
     /// Whether the optimistic lock-free read path participates in hot
-    /// reads (see [`Filesystem::without_readpath`]).
+    /// reads (see [`FsBuilder::readpath`]).
     pub fn readpath_enabled(&self) -> bool {
         self.readpath.enabled()
     }
@@ -4118,11 +4212,13 @@ mod tests {
 
     #[test]
     fn limits_enforced() {
-        let f = Filesystem::with_limits(Limits {
-            max_file_size: 4,
-            max_dir_entries: 2,
-            max_open_files: 1,
-        });
+        let f = Filesystem::builder()
+            .limits(Limits {
+                max_file_size: 4,
+                max_dir_entries: 2,
+                max_open_files: 1,
+            })
+            .build();
         let r = root();
         assert_eq!(
             f.write_file("/big", b"12345", &r).unwrap_err().errno,
@@ -4289,7 +4385,7 @@ mod tests {
     #[test]
     fn dcache_disabled_filesystem_resolves_identically() {
         let on = Filesystem::new();
-        let off = Filesystem::without_dcache();
+        let off = Filesystem::builder().dcache(false).build();
         assert!(on.dcache_enabled());
         assert!(!off.dcache_enabled());
         for f in [&on, &off] {

@@ -1140,7 +1140,11 @@ impl Filesystem {
         shards: usize,
         dcache: bool,
     ) -> (Filesystem, ReplayReport) {
-        let fs = Filesystem::with_options(limits, shards, dcache);
+        let fs = Filesystem::builder()
+            .limits(limits)
+            .shards(shards)
+            .dcache(dcache)
+            .build();
         let frames = scan_frames(bytes);
         let mut report = ReplayReport {
             bytes_scanned: frames.last().map(|f| f.end as u64).unwrap_or(0),
@@ -2294,7 +2298,7 @@ mod tests {
 
     #[test]
     fn torn_tail_is_invisible() {
-        let fs = Filesystem::with_options(Limits::default(), 1, true);
+        let fs = Filesystem::builder().shards(1).build();
         fs.enable_journal();
         let root = Credentials::root();
         fs.mkdir("/a", Mode::DIR_DEFAULT, &root).unwrap();
@@ -2311,7 +2315,7 @@ mod tests {
 
     #[test]
     fn restore_matches_live_digest() {
-        let fs = Filesystem::with_options(Limits::default(), 1, true);
+        let fs = Filesystem::builder().shards(1).build();
         fs.enable_journal();
         let root = Credentials::root();
         fs.mkdir_all("/a/b", Mode::DIR_DEFAULT, &root).unwrap();
@@ -2331,7 +2335,7 @@ mod tests {
 
     #[test]
     fn compaction_drops_only_covered_bytes() {
-        let fs = Filesystem::with_options(Limits::default(), 1, true);
+        let fs = Filesystem::builder().shards(1).build();
         fs.enable_journal();
         let root = Credentials::root();
         for i in 0..10 {

@@ -68,7 +68,7 @@ pub use counter::{CounterSnapshot, OpKind, SyscallCounters};
 pub use dcache::DcacheStats;
 pub use error::{Errno, VfsError, VfsResult};
 pub use fs::{
-    FdInfo, Filesystem, FsCheckReport, Limits, ReclaimReport, WatchBuilder, WatchGuard,
+    FdInfo, Filesystem, FsBuilder, FsCheckReport, Limits, ReclaimReport, WatchBuilder, WatchGuard,
     MAX_SYMLINK_HOPS,
 };
 pub use hooks::SemanticHook;

@@ -1226,10 +1226,9 @@ impl std::fmt::Debug for Overlay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fs::Limits;
 
     fn setup() -> (Arc<Filesystem>, Overlay, Credentials) {
-        let fs = Arc::new(Filesystem::with_options(Limits::default(), 1, true));
+        let fs = Arc::new(Filesystem::builder().shards(1).build());
         let root = Credentials::root();
         fs.mkdir_all("/base/sw1/flows", Mode::DIR_DEFAULT, &root)
             .unwrap();
@@ -1391,7 +1390,7 @@ mod tests {
 
     #[test]
     fn multi_lower_merging_and_priority() {
-        let fs = Arc::new(Filesystem::with_options(Limits::default(), 1, true));
+        let fs = Arc::new(Filesystem::builder().shards(1).build());
         let root = Credentials::root();
         fs.mkdir_all("/l0/d", Mode::DIR_DEFAULT, &root).unwrap();
         fs.mkdir_all("/l1/d", Mode::DIR_DEFAULT, &root).unwrap();

@@ -251,6 +251,20 @@ impl PollSet {
         sources.iter().any(|s| s.readiness(&self.inner.tables) > 0)
     }
 
+    /// Scheduler-side scan: which sources are ready, up to `max_events`,
+    /// rotating the fairness cursor exactly as [`PollSet::wait`] does.
+    /// Free — charges no syscall — for the same reason [`PollSet::is_ready`]
+    /// is: this is the kernel walking its own run queue, not a process
+    /// making a call. An event-driven runtime uses it to dispatch only
+    /// ready drivers; a *process* waiting on data still pays via `wait`.
+    /// A reclaimed set reports nothing ready.
+    pub fn poll_ready(&self, max_events: usize) -> Vec<PollEvent> {
+        if self.inner.dead.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        self.scan(max_events)
+    }
+
     /// Wait for readiness: one charged [`OpKind::Poll`] syscall, however
     /// many sources fire. Level-triggered; returns up to `max_events`
     /// ready sources starting from the fairness cursor. With a zero

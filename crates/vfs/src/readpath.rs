@@ -175,7 +175,7 @@ fn unpack_flags(bits: u64) -> OpenFlags {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReadPathStats {
     /// Whether the optimistic path participates at all (see
-    /// [`crate::Filesystem::without_readpath`]).
+    /// [`crate::FsBuilder::readpath`]).
     pub enabled: bool,
     /// Reads served entirely lock-free from a validated block.
     pub optimistic_hits: u64,

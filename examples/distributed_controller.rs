@@ -27,7 +27,7 @@ fn run_backend(backend: Backend, label: &str) {
     let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
     rt.net.attach_host(h1, (0xd, 1), None);
     rt.net.attach_host(h2, (0xd, 2), None);
-    rt.pump();
+    rt.pump().unwrap();
     cluster.pump(); // replicate the switch skeleton everywhere
 
     // Every node sees the switch the driver materialized on node 0.
@@ -53,11 +53,11 @@ fn run_backend(backend: Backend, label: &str) {
         cluster.pump();
         cluster.now_us() - start
     };
-    rt.pump(); // node 0's driver reacts to the replicated commit
+    rt.pump().unwrap(); // node 0's driver reacts to the replicated commit
 
     // Traffic proves the flow reached hardware.
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 1);
-    rt.pump();
+    rt.pump().unwrap();
     let ok = rt.net.hosts[&h1].ping_replies.len() == 1;
 
     println!(

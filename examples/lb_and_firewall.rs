@@ -27,7 +27,7 @@ fn main() {
     rt.net.attach_host(attacker, (0x1, 2), None);
     rt.net.attach_host(s1, (0x1, 3), None);
     rt.net.attach_host(s2, (0x1, 4), None);
-    rt.pump();
+    rt.pump().unwrap();
 
     // ---- the load balancer: a VIP over two backends --------------------
     let vip = "10.0.0.100".parse().unwrap();
@@ -51,7 +51,7 @@ fn main() {
     let mut fw = Firewall::new(rt.yfs.clone(), 4).unwrap();
 
     let settle = |rt: &mut Runtime, lb: &mut LoadBalancer, fw: &mut Firewall| loop {
-        let a = rt.pump();
+        let a = rt.pump().unwrap();
         let b = lb.run_once();
         let c = fw.run_once();
         if a <= 1 && !b && !c {

@@ -24,7 +24,7 @@ fn main() {
     let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
     rt.net.attach_host(h1, (0x1, 1), None);
     rt.net.attach_host(h2, (0x2, 1), None);
-    rt.pump();
+    rt.pump().unwrap();
     record_topology(&mut rt);
 
     let mut sh = Shell::new(rt.yfs.filesystem().clone());
@@ -59,7 +59,7 @@ fn main() {
         };
         rt.yfs.write_flow(sw, "flood_all", &fwd).unwrap();
     }
-    rt.pump();
+    rt.pump().unwrap();
     println!("$ cat /net/switches/sw1/flows/arp_flow/match.dl_type");
     print!(
         "{}",
@@ -74,7 +74,7 @@ fn main() {
 
     // --- real traffic runs over them -------------------------------------
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 1);
-    rt.pump();
+    rt.pump().unwrap();
     println!(
         "h1 ping 10.0.0.2 -> {} reply(ies)",
         rt.net.hosts[&h1].ping_replies.len()
@@ -84,13 +84,13 @@ fn main() {
     println!();
     println!("$ echo 1 > /net/switches/sw1/ports/p2/config.port_down");
     sh.run("echo 1 > /net/switches/sw1/ports/p2/config.port_down");
-    rt.pump();
+    rt.pump().unwrap();
     println!(
         "trunk port on sw1 is now administratively down: {}",
         rt.net.switches[&0x1].ports[&2].config_down
     );
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 2);
-    rt.pump();
+    rt.pump().unwrap();
     println!(
         "second ping gets {} new replies (path severed through the fs)",
         rt.net.hosts[&h1].ping_replies.len() - 1

@@ -62,7 +62,7 @@ fn main() {
         .write_flow("sw1", "fwd_everything", &spec)
         .unwrap();
     slicer.run_once();
-    rt.pump();
+    rt.pump().unwrap();
     // …which the slicer confines to the ssh header space.
     let phys = rt.yfs.read_flow("sw1", "ssh-slice.fwd_everything").unwrap();
     println!("\ntenant wrote a match-all flow; physically installed as:");
@@ -133,7 +133,7 @@ fn main() {
         .write_flow(BIG_SWITCH, "cross_fabric", &cross)
         .unwrap();
     big.run_once();
-    rt.pump();
+    rt.pump().unwrap();
     println!("one virtual flow compiled into per-hop physical flows:");
     for d in 1..=4u64 {
         let flows = rt.yfs.list_flows(&format!("sw{d}")).unwrap();

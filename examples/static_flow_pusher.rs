@@ -24,7 +24,7 @@ switch=sw1 flow=punt priority=1 action.out=controller
 fn main() {
     let mut rt = Runtime::new();
     let sw = rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_0], Version::V1_0);
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(sw, "sw1");
 
     println!("flow description:\n{FLOWS}");
@@ -33,7 +33,7 @@ fn main() {
 
     let mut sh = Shell::new(rt.yfs.filesystem().clone());
     let n = push(&mut sh, "/net", FLOWS).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     println!(
         "pushed {n} flows; switch hardware now has {} entries",
         rt.net.switches[&0x1].flow_count()

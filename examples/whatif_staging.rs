@@ -16,7 +16,7 @@ use yanc_vfs::Credentials;
 fn main() {
     let mut rt = Runtime::new();
     let sw = rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_0], Version::V1_0);
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(sw, "sw1");
     let fs = rt.yfs.filesystem().clone();
     fs.enable_journal();
@@ -57,7 +57,7 @@ fn main() {
 
     // While staging, the hardware is untouched: the edits live in the
     // private upper layer only.
-    rt.pump();
+    rt.pump().unwrap();
     let before = rt.net.switches[&0x1].flow_count();
     println!("switch hardware during staging: {before} flow entries");
     assert_eq!(before, 0);
@@ -65,7 +65,7 @@ fn main() {
     // Commit publishes the whole view as one linearization point and one
     // journal frame; the driver then installs the new flow.
     let rep = session.commit().unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     let after = rt.net.switches[&0x1].flow_count();
     println!(
         "committed {} records atomically; switch hardware now has {after} flow entries",

@@ -11,7 +11,7 @@ fn world() -> (Runtime, Shell) {
     for d in 1..=3u64 {
         rt.add_switch_with_driver(d, 4, 1, vec![Version::V1_0], Version::V1_0);
     }
-    rt.pump();
+    rt.pump().unwrap();
     // An ssh flow on sw1 and sw3 so the find example has something to find.
     for sw in ["sw1", "sw3"] {
         let spec = FlowSpec {
@@ -26,7 +26,7 @@ fn world() -> (Runtime, Shell) {
         };
         rt.yfs.write_flow(sw, "ssh_fwd", &spec).unwrap();
     }
-    rt.pump();
+    rt.pump().unwrap();
     let sh = Shell::new(rt.yfs.filesystem().clone());
     (rt, sh)
 }
@@ -79,7 +79,7 @@ echo 1 > /net/switches/sw2/ports/p3/config.port_down
     assert!(out.success(), "{}", out.err);
     assert!(out.out.contains('3'));
     assert!(out.out.contains("OpenFlow 1.0"));
-    rt.pump();
+    rt.pump().unwrap();
     assert!(rt.net.switches[&2].ports[&3].config_down);
 }
 

@@ -20,7 +20,7 @@ use yanc_vfs::Credentials;
 
 fn settle(rt: &mut Runtime, app: &mut LearningSwitch, cluster: &mut Cluster) {
     loop {
-        let a = rt.pump();
+        let a = rt.pump().unwrap();
         let b = app.run_once();
         let c = cluster.pump();
         if a <= 1 && !b && c == 0 {
@@ -41,7 +41,7 @@ fn device_local_app_with_remote_visibility_and_policy() {
     let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
     rt.net.attach_host(h1, (0x1, 1), None);
     rt.net.attach_host(h2, (0x1, 2), None);
-    rt.pump();
+    rt.pump().unwrap();
     let mut local_app = LearningSwitch::new(rt.yfs.clone()).unwrap();
 
     // Local traffic is handled entirely on the device.
@@ -92,7 +92,7 @@ fn device_local_app_with_remote_visibility_and_policy() {
 
     // And the device's own bookkeeping flows back to the operator: counters
     // polled on the device are readable remotely.
-    rt.poll_stats();
+    rt.poll_stats().unwrap();
     settle(&mut rt, &mut local_app, &mut cluster);
     let remote_count = remote.filesystem().read_to_string(
         "/net/switches/sw1/counters/flow_packets",

@@ -81,7 +81,7 @@ fn e8_discovery_mixed_protocol_fabric() {
     for d in 1..=3u64 {
         rt.net.link_switches((d, 2), (d + 1, 3), None);
     }
-    rt.pump();
+    rt.pump().unwrap();
     let want = truth(&rt);
     let got = discover(&mut rt);
     assert_eq!(got, want);
@@ -118,7 +118,7 @@ fn e6_live_upgrade_under_traffic() {
             .unwrap()
             .set_supported(vec![Version::V1_0, Version::V1_3]);
         rt.swap_driver(d, Version::V1_3);
-        rt.pump();
+        rt.pump().unwrap();
         let proto = rt
             .yfs
             .filesystem()
@@ -154,7 +154,7 @@ fn e13_reactive_router_all_pairs_on_fat_tree() {
     assert!(router.paths_installed > 0);
     // Paths are exact-match entries with idle timeouts: advancing virtual
     // time far enough empties the tables (and the fs flow dirs).
-    rt.advance(3600);
+    rt.advance(3600).unwrap();
     settle(&mut rt, &mut [&mut router as &mut dyn PumpApp]);
     let remaining: usize = topo
         .switches

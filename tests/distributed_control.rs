@@ -22,7 +22,7 @@ fn world(n: usize, backend: Backend) -> (Cluster, Runtime) {
     let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
     rt.net.attach_host(h1, (0xd, 1), None);
     rt.net.attach_host(h2, (0xd, 2), None);
-    rt.pump();
+    rt.pump().unwrap();
     cluster.pump();
     (cluster, rt)
 }
@@ -46,16 +46,16 @@ fn remote_write_programs_switch(backend: Backend) {
     };
     remote.write_flow("swd", "flood", &spec).unwrap();
     cluster.pump();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0xd].flow_count(), 1, "{backend:?}");
     // Traffic flows.
     rt.net.host_ping(1, "10.0.0.2".parse().unwrap(), 1);
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.hosts[&1].ping_replies.len(), 1, "{backend:?}");
     // Flow delete on the remote node reaches hardware too.
     remote.delete_flow("swd", "flood").unwrap();
     cluster.pump();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0xd].flow_count(), 0, "{backend:?}");
 }
 
@@ -183,7 +183,7 @@ fn e11_node_failure_does_not_block_the_rest() {
     };
     remote.write_flow("swd", "resilient", &spec).unwrap();
     cluster.pump();
-    rt.pump();
+    rt.pump().unwrap();
     // The path's DHT owner may be any node. With node 1 down some ops can
     // be lost (no retransmit in this model — documented); if the *commit*
     // (version=1) made it to node 0 the flow must be in hardware. (The
@@ -204,7 +204,7 @@ fn e11_node_failure_does_not_block_the_rest() {
     cluster.set_up(1);
     remote.write_flow("swd", "after_heal", &spec).unwrap();
     cluster.pump();
-    rt.pump();
+    rt.pump().unwrap();
     let ok = cluster.nodes[1].fs.exists(
         "/net/switches/swd/flows/after_heal/version",
         &Credentials::root(),

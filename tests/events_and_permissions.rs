@@ -12,13 +12,13 @@ fn e5_fanout_to_n_subscribers() {
     rt.add_switch_with_driver(0x1, 2, 1, vec![Version::V1_3], Version::V1_3);
     let h = rt.net.add_host("h1", "10.0.0.1".parse().unwrap());
     rt.net.attach_host(h, (0x1, 1), None);
-    rt.pump();
+    rt.pump().unwrap();
     let subs: Vec<_> = (0..8)
         .map(|i| rt.yfs.subscribe_events(&format!("app{i}")).unwrap())
         .collect();
     // One table miss.
     rt.net.host_ping(h, "10.0.0.9".parse().unwrap(), 1);
-    rt.pump();
+    rt.pump().unwrap();
     // "our current design concurrently feeds packet-in messages to all
     // applications interested in such events."
     for (i, sub) in subs.iter().enumerate() {
@@ -54,7 +54,7 @@ fn e9_unauthorized_app_cannot_touch_protected_switch() {
     let rt = {
         let mut rt = Runtime::new();
         rt.add_switch_with_driver(0x1, 2, 1, vec![Version::V1_0], Version::V1_0);
-        rt.pump();
+        rt.pump().unwrap();
         rt
     };
     let fs = rt.yfs.filesystem();
@@ -76,7 +76,7 @@ fn e9_unauthorized_app_cannot_touch_protected_switch() {
 fn e9_acl_grants_one_app_access() {
     let mut rt = Runtime::new();
     rt.add_switch_with_driver(0x1, 2, 1, vec![Version::V1_0], Version::V1_0);
-    rt.pump();
+    rt.pump().unwrap();
     let fs = rt.yfs.filesystem();
     let admin = Credentials::root();
     fs.chmod("/net/switches/sw1", Mode(0o700), &admin).unwrap();
@@ -95,7 +95,7 @@ fn e9_acl_grants_one_app_access() {
         ..Default::default()
     };
     trusted.write_flow("sw1", "granted", &spec).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
     // A different app is still locked out.
     let other = rt.yfs.with_creds(Credentials::user(2001, 2001));

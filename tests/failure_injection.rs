@@ -15,7 +15,7 @@ fn two_hosts() -> (Runtime, u64, u64) {
     let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
     rt.net.attach_host(h1, (0x1, 1), None);
     rt.net.attach_host(h2, (0x1, 2), None);
-    rt.pump();
+    rt.pump().unwrap();
     rt.yfs
         .write_flow(
             "sw1",
@@ -28,7 +28,7 @@ fn two_hosts() -> (Runtime, u64, u64) {
             },
         )
         .unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     (rt, h1, h2)
 }
 
@@ -36,7 +36,7 @@ fn two_hosts() -> (Runtime, u64, u64) {
 fn controller_crash_and_recovery() {
     let (mut rt, h1, _h2) = two_hosts();
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 1);
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.hosts[&h1].ping_replies.len(), 1);
 
     // Controller dies: driver dropped, channel detached.
@@ -44,7 +44,7 @@ fn controller_crash_and_recovery() {
     rt.net.detach_controller(0x1);
     // Existing hardware flows keep forwarding (headless data plane).
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 2);
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(
         rt.net.hosts[&h1].ping_replies.len(),
         2,
@@ -67,7 +67,7 @@ fn controller_crash_and_recovery() {
             },
         )
         .unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
 
     // New controller: re-handshake; the driver resyncs fs state into the
@@ -75,7 +75,7 @@ fn controller_crash_and_recovery() {
     let handle = rt.net.attach_controller(0x1);
     rt.drivers
         .push(OpenFlowDriver::new(Version::V1_0, rt.yfs.clone(), handle));
-    rt.pump();
+    rt.pump().unwrap();
     assert!(rt.drivers[0].ready());
     assert_eq!(
         rt.net.switches[&0x1].flow_count(),
@@ -83,7 +83,7 @@ fn controller_crash_and_recovery() {
         "fs flows resynced after recovery"
     );
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 3);
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.hosts[&h1].ping_replies.len(), 3);
 }
 
@@ -102,7 +102,7 @@ fn malformed_committed_flow_reports_error_file() {
     .unwrap();
     fs.write_file("/net/switches/sw1/flows/bad/version", b"1", &creds)
         .unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     // Not installed; the reason is in the directory.
     assert_eq!(rt.net.switches[&0x1].flow_count(), 1); // just the flood flow
     let err = fs
@@ -123,17 +123,21 @@ fn garbage_packet_out_lines_are_ignored() {
         &creds,
     )
     .unwrap();
-    rt.pump(); // no panic, nothing sent
+    rt.pump().unwrap(); // no panic, nothing sent
     assert_eq!(rt.net.hosts[&h2].frames_received, delivered_before);
 }
 
 #[test]
 fn quota_exhaustion_surfaces_as_enospc() {
-    let fs = std::sync::Arc::new(Filesystem::with_limits(Limits {
-        max_file_size: 1 << 20,
-        max_dir_entries: 12,
-        max_open_files: 1 << 10,
-    }));
+    let fs = std::sync::Arc::new(
+        Filesystem::builder()
+            .limits(Limits {
+                max_file_size: 1 << 20,
+                max_dir_entries: 12,
+                max_open_files: 1 << 10,
+            })
+            .build(),
+    );
     let yfs = yanc::YancFs::init(fs, "/net").unwrap();
     yfs.create_switch("sw1", 1, 0, 0, 0, 1).unwrap();
     // Filling the flows directory eventually hits EDQUOT, reported as a
@@ -170,21 +174,21 @@ fn link_flap_is_reported_through_port_status_files() {
         yanc_dataplane::Endpoint::Switch { dpid: 0x1, port: 2 },
         false,
     );
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(status(&rt), "down");
     // Traffic toward the dead link goes nowhere, quietly.
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 9);
-    rt.pump();
+    rt.pump().unwrap();
     assert!(rt.net.hosts[&h1].ping_replies.is_empty());
     // Link heals.
     rt.net.set_link_up(
         yanc_dataplane::Endpoint::Switch { dpid: 0x1, port: 2 },
         true,
     );
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(status(&rt), "up");
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 10);
-    rt.pump();
+    rt.pump().unwrap();
     // Both pings complete: the one queued behind the unresolved ARP during
     // the outage flushes as soon as resolution succeeds, plus the new one.
     assert_eq!(rt.net.hosts[&h1].ping_replies.len(), 2);
@@ -205,6 +209,6 @@ fn unwritable_flow_dir_denies_but_never_wedges_the_driver() {
     assert!(matches!(err, yanc::YancError::Vfs(e) if e.errno == Errno::EACCES));
     // …and the driver keeps serving traffic afterwards.
     rt.net.host_ping(h1, "10.0.0.2".parse().unwrap(), 1);
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.hosts[&h1].ping_replies.len(), 1);
 }

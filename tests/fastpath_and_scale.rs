@@ -27,7 +27,7 @@ fn spec(p: u16) -> FlowSpec {
 fn e14_fastpath_installs_with_zero_syscalls() {
     let mut rt = Runtime::new();
     rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_3], Version::V1_3);
-    rt.pump();
+    rt.pump().unwrap();
     let ch = FlowChannel::new(1024);
     rt.drivers[0].attach_fastpath(ch.clone());
 
@@ -36,7 +36,7 @@ fn e14_fastpath_installs_with_zero_syscalls() {
     for i in 0..50u16 {
         ch.install("sw1", &format!("f{i}"), spec(i)).unwrap();
     }
-    rt.pump();
+    rt.pump().unwrap();
     let used = fs.counters().snapshot().since(&before);
     assert_eq!(rt.net.switches[&0x1].flow_count(), 50);
     assert_eq!(
@@ -53,7 +53,7 @@ fn e14_fastpath_installs_with_zero_syscalls() {
             .write_flow("sw1", &format!("slow{i}"), &spec(1000 + i))
             .unwrap();
     }
-    rt.pump();
+    rt.pump().unwrap();
     let slow = fs.counters().snapshot().since(&before);
     assert_eq!(rt.net.switches[&0x1].flow_count(), 100);
     assert!(
@@ -67,19 +67,19 @@ fn e14_fastpath_installs_with_zero_syscalls() {
 fn e14_fastpath_delete_and_replace() {
     let mut rt = Runtime::new();
     rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_3], Version::V1_3);
-    rt.pump();
+    rt.pump().unwrap();
     let ch = FlowChannel::new(64);
     rt.drivers[0].attach_fastpath(ch.clone());
     ch.install("sw1", "a", spec(22)).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
     // Replace with a different match: old entry goes away.
     ch.install("sw1", "a", spec(23)).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
     // Delete by name.
     ch.delete("sw1", "a").unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 0);
 }
 
@@ -87,12 +87,12 @@ fn e14_fastpath_delete_and_replace() {
 fn e14_batch_install() {
     let mut rt = Runtime::new();
     rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_3], Version::V1_3);
-    rt.pump();
+    rt.pump().unwrap();
     let ch = FlowChannel::new(4096);
     rt.drivers[0].attach_fastpath(ch.clone());
     let flows: Vec<(String, FlowSpec)> = (0..500u16).map(|i| (format!("b{i}"), spec(i))).collect();
     ch.install_batch("sw1", flows).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 500);
 }
 
@@ -148,16 +148,16 @@ fn e14_fs_commit_supersedes_fastpath_flow_of_same_name() {
     // of the same flow name (the fs, as the durable view, wins).
     let mut rt = Runtime::new();
     rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_3], Version::V1_3);
-    rt.pump();
+    rt.pump().unwrap();
     let ch = FlowChannel::new(16);
     rt.drivers[0].attach_fastpath(ch.clone());
     ch.install("sw1", "shared", spec(22)).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
     // Now the same name is committed through the file system with a
     // different match: hardware must follow the fs.
     rt.yfs.write_flow("sw1", "shared", &spec(23)).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0x1].flow_count(), 1);
     let entry = rt.net.switches[&0x1]
         .table(0)

@@ -58,7 +58,7 @@ fn rich_spec(i: usize) -> FlowSpec {
 fn e21_fd_relative_install_is_at_least_5x_cheaper_than_path_per_call() {
     let mut rt = Runtime::new();
     let sw = rt.add_switch_with_driver(0x21, 4, 1, vec![Version::V1_0], Version::V1_0);
-    rt.pump();
+    rt.pump().unwrap();
     let fs = rt.yfs.filesystem().clone();
     const N: usize = 1000;
 

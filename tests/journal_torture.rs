@@ -196,7 +196,7 @@ struct JournaledRun {
 }
 
 fn run_journaled(ops: &[Op], snapshot_at: &[usize]) -> JournaledRun {
-    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    let fs = Filesystem::builder().shards(1).dcache(false).build();
     fs.enable_journal();
     let mut digests = vec![fs.tree_digest()];
     let mut results = Vec::with_capacity(ops.len());
@@ -368,7 +368,7 @@ fn crash_mid_snapshot_falls_back_to_previous_boundary() {
 #[test]
 fn compaction_preserves_restore_equivalence() {
     let ops = build_history(0xD15C_0004, 200);
-    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    let fs = Filesystem::builder().shards(1).dcache(false).build();
     fs.enable_journal();
     for op in &ops[..150] {
         let _ = apply_op(&fs, op);
@@ -396,7 +396,7 @@ fn compaction_preserves_restore_equivalence() {
 #[test]
 fn readdir_fd_after_restore_is_ebadf() {
     let root = Credentials::root();
-    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    let fs = Filesystem::builder().shards(1).dcache(false).build();
     fs.enable_journal();
     fs.mkdir_all("/t/d0", Mode::DIR_DEFAULT, &root).unwrap();
     fs.write_file("/t/d0/a", b"hello", &root).unwrap();
@@ -428,7 +428,7 @@ fn readdir_fd_after_restore_is_ebadf() {
 #[test]
 fn restored_fs_journals_only_after_reenable() {
     let root = Credentials::root();
-    let fs = Filesystem::with_options(Limits::default(), 1, false);
+    let fs = Filesystem::builder().shards(1).dcache(false).build();
     fs.enable_journal();
     fs.mkdir("/t", Mode::DIR_DEFAULT, &root).unwrap();
     let (fsr, _) = restore(&fs.journal_bytes());
@@ -504,7 +504,7 @@ fn apply_ov_op(ov: &yanc_vfs::Overlay, op: &OvOp) -> VfsResult<()> {
 
 /// A journaled base + pre-populated lower tree and a view over it.
 fn overlay_world() -> (Arc<Filesystem>, yanc_vfs::Overlay) {
-    let fs = Arc::new(Filesystem::with_options(Limits::default(), 1, false));
+    let fs = Arc::new(Filesystem::builder().shards(1).dcache(false).build());
     fs.enable_journal();
     let root = Credentials::root();
     for d in ["/d0", "/d1", "/d2"] {

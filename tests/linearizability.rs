@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use yanc_vfs::{Credentials, DcacheStats, Errno, Filesystem, Limits, Mode, OpenFlags};
+use yanc_vfs::{Credentials, DcacheStats, Errno, Filesystem, Mode, OpenFlags};
 
 // ---------------------------------------------------------------------
 // Deterministic PRNG (splitmix64): the whole history is a function of
@@ -209,7 +209,7 @@ fn apply_op(
 /// Run one seeded history: `threads` logical op streams interleaved by a
 /// seeded scheduler, then a full-tree equivalence check.
 fn run_history(seed: u64, shards: usize) {
-    let fs = Filesystem::with_shards(shards);
+    let fs = Filesystem::builder().shards(shards).build();
     let creds = Credentials::root();
     for d in DIRS {
         fs.mkdir_all(d, Mode::DIR_DEFAULT, &creds).unwrap();
@@ -312,8 +312,8 @@ fn gen_op_heavy(rng: &mut Rng) -> (OpKindL, String, String, Vec<u8>) {
 /// filesystems *directly* — same trees, same contents — and checks the
 /// structural invariants of both.
 fn run_history_pair(seed: u64, shards: usize) {
-    let fs_on = Filesystem::with_options(Limits::default(), shards, true);
-    let fs_off = Filesystem::with_options(Limits::default(), shards, false);
+    let fs_on = Filesystem::builder().shards(shards).build();
+    let fs_off = Filesystem::builder().shards(shards).dcache(false).build();
     let creds = Credentials::root();
     for d in DIRS {
         fs_on.mkdir_all(d, Mode::DIR_DEFAULT, &creds).unwrap();
@@ -462,8 +462,8 @@ fn gen_op_read_heavy(rng: &mut Rng) -> (OpKindR, String, String, Vec<u8>, Mode) 
 /// every single op. Both replays allocate inodes, descriptors and clock
 /// ticks identically, so even `ino`/`mtime`/`ctime` must match.
 fn run_history_pair_lockfree(seed: u64, shards: usize) {
-    let fs_on = Filesystem::with_features(Limits::default(), shards, true, true);
-    let fs_off = Filesystem::with_features(Limits::default(), shards, true, false);
+    let fs_on = Filesystem::builder().shards(shards).build();
+    let fs_off = Filesystem::builder().shards(shards).readpath(false).build();
     let creds = Credentials::root();
     for d in DIRS {
         fs_on.mkdir_all(d, Mode::DIR_DEFAULT, &creds).unwrap();
@@ -690,7 +690,7 @@ fn apply_overlay_op(
 fn run_overlay_pair(seed: u64) {
     let creds = Credentials::root();
     let mk = || {
-        let fs = Filesystem::with_options(Limits::default(), 4, true);
+        let fs = Filesystem::builder().shards(4).build();
         for d in DIRS {
             fs.mkdir_all(&format!("/base{d}"), Mode::DIR_DEFAULT, &creds)
                 .unwrap();
@@ -773,7 +773,7 @@ fn overlay_histories_agree_with_direct_histories() {
 
 #[test]
 fn concurrent_rename_publishes_are_never_torn() {
-    let fs = Arc::new(Filesystem::with_shards(8));
+    let fs = Arc::new(Filesystem::builder().build());
     let creds = Credentials::root();
     fs.mkdir_all("/reg", Mode::DIR_DEFAULT, &creds).unwrap();
     fs.write_file("/reg/key", b"w0-0", &creds).unwrap();
@@ -917,7 +917,7 @@ fn openat_agrees_with_absolute_resolution() {
 /// flickers in and out of existence (only ever as ENOENT).
 #[test]
 fn openat_survives_concurrent_directory_renames() {
-    let fs = Arc::new(Filesystem::with_shards(8));
+    let fs = Arc::new(Filesystem::builder().build());
     let creds = Credentials::root();
     fs.mkdir_all("/t/d", Mode::DIR_DEFAULT, &creds).unwrap();
     fs.write_file("/t/d/a", b"stable", &creds).unwrap();

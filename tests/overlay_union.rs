@@ -11,12 +11,11 @@ use yanc_driver::Runtime;
 use yanc_harness::settle_supervised;
 use yanc_init::{ProcessCtx, ProcessSpec, ProcessState, RestartPolicy, Supervisor};
 use yanc_vfs::{
-    AppLimits, Credentials, Errno, EventMask, Filesystem, Gid, Limits, Mode, Namespace, Overlay,
-    Uid,
+    AppLimits, Credentials, Errno, EventMask, Filesystem, Gid, Mode, Namespace, Overlay, Uid,
 };
 
 fn world() -> Arc<Filesystem> {
-    let fs = Arc::new(Filesystem::with_options(Limits::default(), 4, true));
+    let fs = Arc::new(Filesystem::builder().shards(4).build());
     let r = Credentials::root();
     fs.mkdir_all("/net/switches/sw1/flows", Mode::DIR_DEFAULT, &r)
         .unwrap();

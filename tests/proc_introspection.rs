@@ -11,7 +11,7 @@ use yanc_vfs::{Credentials, Errno, Namespace};
 fn runtime_with_proc() -> Runtime {
     let mut rt = Runtime::new();
     rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
-    rt.pump();
+    rt.pump().unwrap();
     rt.enable_introspection().unwrap();
     rt
 }

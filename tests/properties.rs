@@ -375,7 +375,7 @@ fn mix(mut z: u64) -> u64 {
 /// to the inode — all enforced by `check_invariants` over the final tree.
 #[test]
 fn concurrent_rename_link_unlink_preserve_structure() {
-    let fs = Arc::new(Filesystem::with_shards(8));
+    let fs = Arc::new(Filesystem::builder().build());
     let creds = Credentials::root();
     for d in 0..4 {
         fs.mkdir_all(&format!("/p/d{d}"), Mode::DIR_DEFAULT, &creds)

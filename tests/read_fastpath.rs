@@ -69,7 +69,7 @@ fn warm_stat_takes_zero_locks() {
 /// one shard the budget is schedule-independent).
 #[test]
 fn warm_read_ops_have_pinned_lock_budgets() {
-    let fs = Filesystem::with_shards(1);
+    let fs = Filesystem::builder().shards(1).build();
     let creds = root();
     fs.mkdir_all("/b/d", Mode::DIR_DEFAULT, &creds).unwrap();
     fs.write_file("/b/d/f", b"0123456789", &creds).unwrap();
@@ -176,7 +176,7 @@ fn proc_readpath_files_exist_and_agree_with_accessors() {
 /// single-threaded retry oracle — no schedules, no sleeps.
 #[test]
 fn invalidation_forces_exactly_one_fallback_then_rewarms() {
-    let fs = Filesystem::with_shards(1);
+    let fs = Filesystem::builder().shards(1).build();
     fs.mount_proc("/net/.proc").unwrap();
     let creds = root();
     fs.mkdir_all("/o/d", Mode::DIR_DEFAULT, &creds).unwrap();
@@ -213,7 +213,7 @@ fn invalidation_forces_exactly_one_fallback_then_rewarms() {
 /// (no livelock). Fallbacks are then pinned > 0 via proc.
 #[test]
 fn retry_storm_converges_with_bounded_retries() {
-    let fs = Arc::new(Filesystem::with_shards(8));
+    let fs = Arc::new(Filesystem::builder().build());
     fs.mount_proc("/net/.proc").unwrap();
     let creds = root();
     fs.mkdir_all("/storm/d", Mode::DIR_DEFAULT, &creds).unwrap();
@@ -306,7 +306,7 @@ fn retry_storm_converges_with_bounded_retries() {
 #[test]
 fn disabled_readpath_stats_identically_but_pays_locks() {
     let on = Filesystem::new();
-    let off = Filesystem::without_readpath();
+    let off = Filesystem::builder().readpath(false).build();
     assert!(on.readpath_enabled());
     assert!(!off.readpath_enabled());
     let creds = root();

@@ -12,7 +12,7 @@ fn rt_with_switch(v: Version) -> Runtime {
     rt.add_switch_with_driver(0xa, 4, 2, vec![v], v);
     let h = rt.net.add_host("h1", "10.0.0.1".parse().unwrap());
     rt.net.attach_host(h, (0xa, 1), None);
-    rt.pump();
+    rt.pump().unwrap();
     rt
 }
 
@@ -23,10 +23,10 @@ fn e3_echo_port_down_reaches_hardware() {
     // The paper's §3.1 example, verbatim (modulo the absolute path).
     let out = sh.run("echo 1 > /net/switches/swa/ports/p2/config.port_down");
     assert!(out.success(), "{}", out.err);
-    rt.pump();
+    rt.pump().unwrap();
     assert!(rt.net.switches[&0xa].ports[&2].config_down);
     sh.run("echo 0 > /net/switches/swa/ports/p2/config.port_down");
-    rt.pump();
+    rt.pump().unwrap();
     assert!(!rt.net.switches[&0xa].ports[&2].config_down);
 }
 
@@ -57,7 +57,7 @@ fn e3_recursive_switch_rmdir() {
         .yfs
         .filesystem()
         .exists("/net/switches/swa", rt.yfs.creds()));
-    rt.pump();
+    rt.pump().unwrap();
 }
 
 #[test]
@@ -113,7 +113,7 @@ fn e4_commit_is_atomic_with_respect_to_the_driver() {
         assert!(sh
             .run(&format!("echo {v} > /net/switches/swa/flows/staged/{k}"))
             .success());
-        rt.pump();
+        rt.pump().unwrap();
         assert_eq!(
             rt.net.switches[&0xa].flow_count(),
             0,
@@ -122,7 +122,7 @@ fn e4_commit_is_atomic_with_respect_to_the_driver() {
     }
     // Commit.
     sh.run("echo 1 > /net/switches/swa/flows/staged/version");
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
     let entry = rt.net.switches[&0xa]
         .table(0)
@@ -154,7 +154,7 @@ fn e4_recommit_replaces_switch_state() {
         ..Default::default()
     };
     y.write_flow("swa", "f", &spec).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
     // Rewrite with a different match: old hardware entry must be replaced,
     // not accumulated.
@@ -170,7 +170,7 @@ fn e4_recommit_replaces_switch_state() {
         ..Default::default()
     };
     rt.yfs.write_flow("swa", "f", &spec2).unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(rt.net.switches[&0xa].flow_count(), 1);
     let entry = rt.net.switches[&0xa]
         .table(0)

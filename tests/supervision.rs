@@ -129,7 +129,7 @@ fn rate_limited_app_is_throttled_without_starving_the_rest() {
     let h2 = rt.net.add_host("h2", "10.0.0.2".parse().unwrap());
     rt.net.attach_host(h1, (0x1, 1), None);
     rt.net.attach_host(h2, (0x1, 2), None);
-    rt.pump();
+    rt.pump().unwrap();
     rt.yfs.enable_introspection().unwrap();
     let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
 
@@ -191,7 +191,7 @@ fn failed_driver_is_detached_and_reattached_compatibly() {
     // Switch speaks only 1.0; the first driver insists on 1.3 and dies.
     rt.add_switch_with_driver(0xc, 2, 1, vec![Version::V1_0], Version::V1_3);
     rt.yfs.enable_introspection().unwrap();
-    rt.pump();
+    rt.pump().unwrap();
     let fs = rt.yfs.filesystem().clone();
     let root = Credentials::root();
     // The terminal state is visible in the introspection tree (the driver
@@ -206,7 +206,7 @@ fn failed_driver_is_detached_and_reattached_compatibly() {
 
     let mut sup = Supervisor::new(rt.yfs.clone()).unwrap();
     assert_eq!(sup.supervise_drivers(&mut rt), 1);
-    rt.pump();
+    rt.pump().unwrap();
     // The replacement negotiated the best version the switch implements.
     assert_eq!(rt.yfs.list_switches().unwrap(), vec!["swc".to_string()]);
     assert_eq!(
@@ -291,7 +291,7 @@ proptest! {
     ) {
         let mut rt = Runtime::new();
         rt.add_switch_with_driver(0x1, 2, 1, vec![Version::V1_0], Version::V1_0);
-        rt.pump();
+        rt.pump().unwrap();
         rt.yfs.enable_introspection().unwrap();
         let fs = rt.yfs.filesystem().clone();
         let root = Credentials::root();

@@ -58,7 +58,7 @@ fn e4_commit_syscall_budget_via_proc() {
     for (k, expected) in [(1usize, 23u64), (4, 32), (7, 41), (10, 50)] {
         let mut rt = Runtime::new();
         rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
-        rt.pump();
+        rt.pump().unwrap();
         rt.enable_introspection().unwrap();
         let fs = rt.yfs.filesystem();
         let before = proc_u64(fs, "/net/.proc/vfs/syscalls/total");
@@ -110,7 +110,7 @@ fn e4_budget_is_unchanged_by_introspection() {
     let run = |introspect: bool| -> u64 {
         let mut rt = Runtime::new();
         rt.add_switch_with_driver(1, 4, 1, vec![Version::V1_0], Version::V1_0);
-        rt.pump();
+        rt.pump().unwrap();
         if introspect {
             rt.enable_introspection().unwrap();
         }

@@ -59,7 +59,7 @@ fn e7_slice_carries_ssh_but_not_http() {
     virt.write_flow("sw1", "up", &fwd1).unwrap();
     virt.write_flow("sw2", "down", &fwd2).unwrap();
     slicer.run_once();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(slicer.pushed, 2);
 
     // ssh SYN crosses, http SYN doesn't (no matching flow → miss → drop,
@@ -73,7 +73,7 @@ fn e7_slice_carries_ssh_but_not_http() {
     let _ = m1;
     rt.net.host_send_tcp_syn(h1, ip2, 40001, 22);
     rt.net.host_send_tcp_syn(h1, ip2, 40002, 80);
-    rt.pump();
+    rt.pump().unwrap();
     let syns = &rt.net.hosts[&h2].tcp_syns_received;
     assert_eq!(syns.len(), 1, "only the ssh SYN crossed: {syns:?}");
     assert_eq!(syns[0].1, 22);
@@ -172,7 +172,7 @@ fn e7_stacked_views_slice_over_big_switch() {
     };
     virt.write_flow(BIG_SWITCH, "ssh_cross", &spec).unwrap();
     big.run_once();
-    rt.pump();
+    rt.pump().unwrap();
     assert_eq!(big.pushed, 1);
     // Physical flows exist on every hop and retain the ssh match.
     for d in 1..=3u64 {
