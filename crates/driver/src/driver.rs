@@ -175,6 +175,10 @@ pub struct OpenFlowDriver {
     reassembler: Reassembler,
     /// Shared with the runtime's poll set (see [`DriverReadiness`]).
     readiness: Arc<DriverReadiness>,
+    /// Optional stats fan-in sink (see [`crate::par`]): when attached,
+    /// counter aggregates are buffered there instead of being flushed
+    /// per reply, and the runtime lands one batch per epoch.
+    fanin: Option<crate::par::FanInHandle>,
 }
 
 impl OpenFlowDriver {
@@ -207,6 +211,7 @@ impl OpenFlowDriver {
             fault_reorder: false,
             reassembler: Reassembler::new(),
             readiness,
+            fanin: None,
         };
         d.send(&Message::Hello);
         d
@@ -228,6 +233,13 @@ impl OpenFlowDriver {
             // show up under `.proc/drivers/<sw>/fastpath`.
             self.register_proc();
         }
+    }
+
+    /// Route this driver's stats aggregates through a fan-in combiner
+    /// (see [`crate::par::FanIn`]) instead of one
+    /// `write_counters_batch` per multipart reply.
+    pub fn attach_fanin(&mut self, h: crate::par::FanInHandle) {
+        self.fanin = Some(h);
     }
 
     /// Current lifecycle state.
@@ -701,8 +713,15 @@ impl OpenFlowDriver {
             }
             _ => return,
         }
-        let dir = self.yfs.switch_dir(&sw);
-        let _ = self.yfs.write_counters_batch(&dir, &entries);
+        match &mut self.fanin {
+            // Fan-in attached: buffer worker-locally; the runtime lands
+            // everything in one batched flush per epoch.
+            Some(h) => h.push(&sw, entries),
+            None => {
+                let dir = self.yfs.switch_dir(&sw);
+                let _ = self.yfs.write_counters_batch(&dir, &entries);
+            }
+        }
     }
 
     // ------------------------------------------------------------------

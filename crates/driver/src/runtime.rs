@@ -19,12 +19,45 @@ use crate::driver::{DriverReadiness, DriverState, OpenFlowDriver};
 
 /// Atomic mirror of [`yanc_dataplane::NetStats`], refreshed at the end of
 /// every [`Runtime::pump`] so proc render closures (which cannot borrow the
-/// mutably-owned `Network`) read consistent figures.
+/// mutably-owned `Network`) read consistent figures. Shared with the
+/// parallel executor ([`crate::par::ParRuntime`]), which has the same
+/// borrow problem on its coordinator thread.
 #[derive(Debug, Default)]
-struct SharedNetStats {
+pub(crate) struct SharedNetStats {
     frames_delivered: AtomicU64,
     control_deliveries: AtomicU64,
     events: AtomicU64,
+}
+
+impl SharedNetStats {
+    /// Refresh the mirror from the network's live counters.
+    pub(crate) fn sync_from(&self, s: &yanc_dataplane::NetStats) {
+        self.frames_delivered
+            .store(s.frames_delivered, Ordering::Relaxed);
+        self.control_deliveries
+            .store(s.control_deliveries, Ordering::Relaxed);
+        self.events.store(s.events, Ordering::Relaxed);
+    }
+
+    /// Expose the mirror under `<proc>/dataplane/{events,frames_delivered,
+    /// control_deliveries}`.
+    pub(crate) fn register_proc(self: &Arc<Self>, yfs: &YancFs) -> yanc::YancResult<()> {
+        let base = yfs.proc_dir().join("dataplane");
+        let fs = yfs.filesystem();
+        type Getter = fn(&SharedNetStats) -> &AtomicU64;
+        let counters: [(&str, Getter); 3] = [
+            ("events", |s| &s.events),
+            ("frames_delivered", |s| &s.frames_delivered),
+            ("control_deliveries", |s| &s.control_deliveries),
+        ];
+        for (file, get) in counters {
+            let st = self.clone();
+            fs.proc_file(base.join(file).as_str(), move || {
+                format!("{}\n", get(&st).load(Ordering::Relaxed))
+            })?;
+        }
+        Ok(())
+    }
 }
 
 /// Scheduler counters for the event-driven pump, rendered at
@@ -45,7 +78,7 @@ pub struct SchedStats {
 }
 
 impl SchedStats {
-    fn render(&self) -> String {
+    pub(crate) fn render(&self) -> String {
         format!(
             "runs {}\nskips {}\nidle_pumps {}\nrebuilds {}\n",
             self.runs.load(Ordering::Relaxed),
@@ -53,6 +86,84 @@ impl SchedStats {
             self.idle_pumps.load(Ordering::Relaxed),
             self.rebuilds.load(Ordering::Relaxed),
         )
+    }
+}
+
+/// Poll-set bookkeeping shared by the serial [`Runtime`] and the parallel
+/// [`crate::par::ParRuntime`]: one readiness probe per driver registered
+/// in a vfs poll set, plus the token→driver-index map a scan needs to
+/// attribute readiness back to drivers.
+///
+/// The identity check runs **every sweep**, not just at pump entry: a
+/// driver attached mid-pump (a reattach fired from a worker thread, a
+/// staged test injection) shifts or extends the driver vector, and a
+/// poll set built at pump entry would keep reporting through the *old*
+/// token map — at best attributing readiness to the wrong driver, at
+/// worst dropping the new driver's edge entirely so the pump quiesces
+/// with work still queued. Re-checking per sweep is free when nothing
+/// changed (length compare + pairwise `Arc::ptr_eq`).
+pub(crate) struct PollBook {
+    poll: Option<PollSet>,
+    probes: Vec<Arc<DriverReadiness>>,
+    index: HashMap<u64, usize>,
+}
+
+impl PollBook {
+    pub(crate) fn new() -> Self {
+        PollBook {
+            poll: None,
+            probes: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Rebuild iff the driver set changed since the last call (detected by
+    /// probe identity, not tracked by mutation — callers mutate driver
+    /// vectors directly). Counted in [`SchedStats::rebuilds`].
+    pub(crate) fn refresh(
+        &mut self,
+        yfs: &YancFs,
+        probes: Vec<Arc<DriverReadiness>>,
+        dpids: &[u64],
+        sched: &SchedStats,
+    ) {
+        let unchanged = self.poll.is_some()
+            && self.probes.len() == probes.len()
+            && probes
+                .iter()
+                .zip(&self.probes)
+                .all(|(a, b)| Arc::ptr_eq(a, b));
+        if unchanged {
+            return;
+        }
+        let poll = yfs.filesystem().poll_create(yfs.creds());
+        self.index.clear();
+        for (i, (p, dpid)) in probes.iter().zip(dpids).enumerate() {
+            let p = p.clone();
+            let token = poll.add_probe(&format!("driver/dpid{dpid:x}"), move || p.pending());
+            self.index.insert(token.0, i);
+        }
+        self.probes = probes;
+        self.poll = Some(poll);
+        sched.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One free readiness scan: `ready[i]` is whether driver `i` has
+    /// queued work. The scan rotates the poll set's fairness cursor but
+    /// the result is index-addressed, so dispatch order stays the
+    /// driver-vector order — deterministic across runs.
+    pub(crate) fn scan(&self, n_drivers: usize) -> Vec<bool> {
+        let mut ready = vec![false; n_drivers];
+        if let Some(p) = &self.poll {
+            for ev in p.poll_ready(n_drivers) {
+                if let Some(&i) = self.index.get(&ev.token.0) {
+                    if i < n_drivers {
+                        ready[i] = true;
+                    }
+                }
+            }
+        }
+        ready
     }
 }
 
@@ -69,9 +180,7 @@ pub struct Runtime {
     /// Readiness sources for the current driver set: one probe per driver
     /// in a vfs poll set, scanned free per sweep (the kernel walking its
     /// run queue). Rebuilt whenever the driver set changes.
-    poll: Option<PollSet>,
-    poll_probes: Vec<Arc<DriverReadiness>>,
-    poll_index: HashMap<u64, usize>,
+    book: PollBook,
 }
 
 impl Runtime {
@@ -85,9 +194,7 @@ impl Runtime {
             yfs,
             shared_stats: Arc::new(SharedNetStats::default()),
             sched: Arc::new(SchedStats::default()),
-            poll: None,
-            poll_probes: Vec::new(),
-            poll_index: HashMap::new(),
+            book: PollBook::new(),
         }
     }
 
@@ -101,9 +208,7 @@ impl Runtime {
             yfs,
             shared_stats: Arc::new(SharedNetStats::default()),
             sched: Arc::new(SchedStats::default()),
-            poll: None,
-            poll_probes: Vec::new(),
-            poll_index: HashMap::new(),
+            book: PollBook::new(),
         }
     }
 
@@ -118,22 +223,9 @@ impl Runtime {
     /// attach later register themselves as part of their handshake.
     pub fn enable_introspection(&mut self) -> yanc::YancResult<()> {
         self.yfs.enable_introspection()?;
-        let base = self.yfs.proc_dir().join("dataplane");
-        let fs = self.yfs.filesystem();
-        type Getter = fn(&SharedNetStats) -> &AtomicU64;
-        let counters: [(&str, Getter); 3] = [
-            ("events", |s| &s.events),
-            ("frames_delivered", |s| &s.frames_delivered),
-            ("control_deliveries", |s| &s.control_deliveries),
-        ];
-        for (file, get) in counters {
-            let st = self.shared_stats.clone();
-            fs.proc_file(base.join(file).as_str(), move || {
-                format!("{}\n", get(&st).load(Ordering::Relaxed))
-            })?;
-        }
+        self.shared_stats.register_proc(&self.yfs)?;
         let sched = self.sched.clone();
-        fs.proc_file(
+        self.yfs.filesystem().proc_file(
             self.yfs.proc_dir().join("driver").join("sched").as_str(),
             move || sched.render(),
         )?;
@@ -145,14 +237,7 @@ impl Runtime {
     }
 
     fn sync_shared_stats(&self) {
-        let s = &self.net.stats;
-        self.shared_stats
-            .frames_delivered
-            .store(s.frames_delivered, Ordering::Relaxed);
-        self.shared_stats
-            .control_deliveries
-            .store(s.control_deliveries, Ordering::Relaxed);
-        self.shared_stats.events.store(s.events, Ordering::Relaxed);
+        self.shared_stats.sync_from(&self.net.stats);
     }
 
     /// Add a switch to the network and attach a driver speaking
@@ -247,30 +332,14 @@ impl Runtime {
     }
 
     /// Rebuild the readiness poll set iff the driver set changed since the
-    /// last pump (tests mutate `drivers` directly, so this is detected by
+    /// last sweep (tests mutate `drivers` directly, so this is detected by
     /// identity, not tracked by mutation). One probe per driver; the set
     /// registers in the vfs pollset registry like any app's.
     fn refresh_poll(&mut self) {
-        let unchanged = self.poll.is_some()
-            && self.poll_probes.len() == self.drivers.len()
-            && self
-                .drivers
-                .iter()
-                .zip(&self.poll_probes)
-                .all(|(d, p)| Arc::ptr_eq(&d.readiness(), p));
-        if unchanged {
-            return;
-        }
-        let poll = self.yfs.filesystem().poll_create(self.yfs.creds());
-        self.poll_probes = self.drivers.iter().map(|d| d.readiness()).collect();
-        self.poll_index.clear();
-        for (i, (d, r)) in self.drivers.iter().zip(&self.poll_probes).enumerate() {
-            let r = r.clone();
-            let token = poll.add_probe(&format!("driver/dpid{:x}", d.dpid()), move || r.pending());
-            self.poll_index.insert(token.0, i);
-        }
-        self.poll = Some(poll);
-        self.sched.rebuilds.fetch_add(1, Ordering::Relaxed);
+        let probes: Vec<Arc<DriverReadiness>> =
+            self.drivers.iter().map(|d| d.readiness()).collect();
+        let dpids: Vec<u64> = self.drivers.iter().map(|d| d.dpid()).collect();
+        self.book.refresh(&self.yfs, probes, &dpids, &self.sched);
     }
 
     /// Pump network and drivers until nothing moves, event-driven: each
@@ -279,15 +348,20 @@ impl Runtime {
     /// fully idle system costs **zero** iterations. Scheduling decisions
     /// are counted in [`SchedStats`] / `/net/.proc/driver/sched`.
     ///
+    /// The poll-set identity check runs per sweep, not per pump: drivers
+    /// attached while the pump is in flight (supervised reattach, a test's
+    /// staged injection) get their readiness edges scanned on the very
+    /// next sweep instead of being silently dropped until the next pump.
+    ///
     /// Returns the number of sweeps, or a `Busy` (`EAGAIN`) error if the
     /// system fails to quiesce within a budget that scales with the
     /// driver count — mutually-feeding drivers are reported, not panicked
     /// over.
     pub fn pump(&mut self) -> YancResult<u32> {
-        self.refresh_poll();
-        let budget = 10_000 + 64 * self.drivers.len() as u64;
         let mut iterations: u32 = 0;
         loop {
+            self.refresh_poll();
+            let budget = 10_000 + 64 * self.drivers.len() as u64;
             let net_events = if self.net.pending_events() > 0 {
                 self.net.pump()
             } else {
@@ -295,21 +369,12 @@ impl Runtime {
             };
             // Scan *after* the network moved: frames it just delivered
             // make drivers ready in this sweep, not the next.
-            let ready_events = match &self.poll {
-                Some(p) => p.poll_ready(self.drivers.len()),
-                None => Vec::new(),
-            };
-            if net_events == 0 && ready_events.is_empty() {
+            let ready = self.book.scan(self.drivers.len());
+            if net_events == 0 && !ready.iter().any(|&r| r) {
                 if iterations == 0 {
                     self.sched.idle_pumps.fetch_add(1, Ordering::Relaxed);
                 }
                 break;
-            }
-            let mut ready = vec![false; self.drivers.len()];
-            for ev in &ready_events {
-                if let Some(&i) = self.poll_index.get(&ev.token.0) {
-                    ready[i] = true;
-                }
             }
             for (i, d) in self.drivers.iter_mut().enumerate() {
                 if ready[i] {
@@ -350,6 +415,54 @@ impl Runtime {
 impl Default for Runtime {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl crate::ControlRuntime for Runtime {
+    fn yfs(&self) -> &YancFs {
+        &self.yfs
+    }
+
+    fn network(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn add_switch_with_driver(
+        &mut self,
+        dpid: u64,
+        n_ports: u16,
+        n_tables: u8,
+        switch_versions: Vec<Version>,
+        driver_version: Version,
+    ) -> String {
+        Runtime::add_switch_with_driver(
+            self,
+            dpid,
+            n_ports,
+            n_tables,
+            switch_versions,
+            driver_version,
+        )
+    }
+
+    fn pump(&mut self) -> YancResult<u32> {
+        Runtime::pump(self)
+    }
+
+    fn advance(&mut self, seconds: u64) -> YancResult<u32> {
+        Runtime::advance(self, seconds)
+    }
+
+    fn poll_stats(&mut self) -> YancResult<u32> {
+        Runtime::poll_stats(self)
+    }
+
+    fn reattach_failed(&mut self) -> usize {
+        Runtime::reattach_failed(self)
+    }
+
+    fn inject_channel_fault(&mut self, dpid: u64, drop_frames: u32, reorder: bool) -> bool {
+        Runtime::inject_channel_fault(self, dpid, drop_frames, reorder)
     }
 }
 

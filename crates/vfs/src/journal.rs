@@ -1126,6 +1126,61 @@ impl Filesystem {
         fnv64(&snap.encode_body())
     }
 
+    /// Content-only digest of the reachable tree (proc subtrees excluded):
+    /// a canonical path-ordered walk over names, modes, owners, xattrs,
+    /// ACLs, link/file/dir payloads — but **not** inode numbers, link
+    /// counts or `mtime`/`ctime` ticks. Those come from global allocation
+    /// counters, so they encode the *schedule* that built the tree, not
+    /// what the tree says. Two trees built by different interleavings of
+    /// the same logical writes (e.g. different pump worker counts)
+    /// compare equal here; [`Filesystem::tree_digest`] additionally pins
+    /// the schedule and is the right check for exact-replay claims.
+    pub fn content_digest(&self) -> u64 {
+        let set = self.tables.lock_all();
+        let snap = self.capture_snapshot(&set);
+        drop(set);
+        let by_ino: std::collections::HashMap<u64, &SnapNode> =
+            snap.nodes.iter().map(|n| (n.ino, n)).collect();
+        fn walk(e: &mut Enc, by_ino: &std::collections::HashMap<u64, &SnapNode>, ino: u64) {
+            let n = match by_ino.get(&ino) {
+                Some(n) => n,
+                None => return,
+            };
+            e.u16(n.mode.0);
+            e.u32(n.uid.0);
+            e.u32(n.gid.0);
+            e.u32(n.xattrs.len() as u32);
+            for (k, v) in &n.xattrs {
+                e.str(k);
+                e.bytes(v);
+            }
+            enc_acl_opt(e, &n.acl);
+            match &n.payload {
+                SnapPayload::File(d) => {
+                    e.u8(0);
+                    e.bytes(d);
+                }
+                SnapPayload::Dir { entries, .. } => {
+                    e.u8(1);
+                    let mut entries: Vec<&(String, u64)> = entries.iter().collect();
+                    entries.sort_by(|a, b| a.0.cmp(&b.0));
+                    e.u32(entries.len() as u32);
+                    for (name, child) in entries {
+                        e.str(name);
+                        walk(e, by_ino, *child);
+                    }
+                }
+                SnapPayload::Symlink(t) => {
+                    e.u8(2);
+                    e.str(t);
+                }
+            }
+        }
+        let mut e = Enc::new();
+        walk(&mut e, &by_ino, ROOT_INO.0);
+        fnv64(&e.0)
+    }
+
     /// Rebuild a filesystem from journal `bytes`: install the last complete
     /// snapshot (if any), then replay the record suffix by direct state
     /// application — no hooks run, no events fire, and each applied record

@@ -14,9 +14,10 @@
 
 use yanc::FlowSpec;
 use yanc_dataplane::{FabricTier, FatTree};
-use yanc_driver::Runtime;
+use yanc_driver::{ControlRuntime, ParRuntime, Runtime};
 use yanc_harness::build_fabric;
 use yanc_openflow::{port_no, Action, FlowMatch, Version};
+use yanc_vfs::OpKind;
 
 /// Build a k-fabric and return (total syscalls, switches, total ports).
 fn bringup_cost(k: u16) -> (u64, usize, usize) {
@@ -118,6 +119,254 @@ fn bulk_install_costs_two_syscalls_per_flow() {
         }
     }
     drop(topo);
+}
+
+// ---------------------------------------------------------------------
+// Multi-core pump: paired serial-vs-parallel replay (§5 scheduler).
+//
+// The same seeded workload is replayed on the serial Runtime and on
+// ParRuntime at several worker counts; everything observable must be
+// bit-identical — sweep counts, scheduler ledger, per-op syscall
+// totals, and the `/net` tree digest. The ready set is frozen by the
+// coordinator's scan each sweep and drivers own disjoint per-switch
+// subtrees, so worker count may only change *which thread* runs a
+// driver, never what runs or what it writes.
+// ---------------------------------------------------------------------
+
+/// The replay workload: bring up a k=4 fabric, packet-in storm from
+/// every host, bulk flow installs through the fs, a stats poll, and a
+/// final guaranteed-idle pump. Returns per-phase sweep counts.
+fn replay_workload<R: ControlRuntime>(rt: &mut R) -> Vec<u32> {
+    let mut sweeps = Vec::new();
+    let topo = build_fabric(rt, 4, Version::V1_3);
+    let hosts = topo.hosts.clone();
+    for (i, &(h, _)) in hosts.iter().enumerate() {
+        let (_, dst) = hosts[(i + 1) % hosts.len()];
+        rt.network().host_ping(h, dst, (i + 1) as u16);
+    }
+    sweeps.push(rt.pump().unwrap());
+    // Targeted (non-flooding) flows: a fat tree has loops, so fabric-wide
+    // flood rules would turn the second storm into a broadcast storm.
+    for &d in &topo.switches {
+        let sw = format!("sw{d:x}");
+        let spec = FlowSpec {
+            m: FlowMatch {
+                tp_dst: Some(4022),
+                ..Default::default()
+            },
+            actions: vec![Action::out(1)],
+            priority: 50,
+            ..Default::default()
+        };
+        rt.yfs().write_flow(&sw, "steer", &spec).unwrap();
+    }
+    sweeps.push(rt.pump().unwrap());
+    for (i, &(h, _)) in hosts.iter().enumerate() {
+        let (_, dst) = hosts[(i + 3) % hosts.len()];
+        rt.network().host_ping(h, dst, (100 + i) as u16);
+    }
+    sweeps.push(rt.pump().unwrap());
+    sweeps.push(rt.poll_stats().unwrap());
+    sweeps.push(rt.pump().unwrap());
+    sweeps
+}
+
+/// Everything the replay pins: per-phase sweeps, the sched ledger,
+/// per-op charged syscall counts, and two digests of `/net` — `content`
+/// (names + bytes + ownership, schedule-independent) and `schedule`
+/// (full `tree_digest`, which additionally pins inode numbers and
+/// mtime/ctime ticks, i.e. the exact order the tree was built in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ReplayTrace {
+    sweeps: Vec<u32>,
+    runs: u64,
+    skips: u64,
+    idle_pumps: u64,
+    rebuilds: u64,
+    per_op: Vec<(&'static str, u64)>,
+    content: u64,
+    schedule: u64,
+}
+
+impl ReplayTrace {
+    /// The trace minus the exact-schedule digest: what must stay
+    /// invariant when only the worker count changes. (Real parallelism
+    /// reorders metadata ticks; content and syscall totals may not.)
+    fn schedule_free(&self) -> ReplayTrace {
+        ReplayTrace {
+            schedule: 0,
+            ..self.clone()
+        }
+    }
+}
+
+fn trace<R: ControlRuntime>(rt: &mut R, sched: &yanc_driver::SchedStats) -> ReplayTrace {
+    use std::sync::atomic::Ordering;
+    let sweeps = replay_workload(rt);
+    let snap = rt.yfs().filesystem().counters().snapshot();
+    ReplayTrace {
+        sweeps,
+        runs: sched.runs.load(Ordering::Relaxed),
+        skips: sched.skips.load(Ordering::Relaxed),
+        idle_pumps: sched.idle_pumps.load(Ordering::Relaxed),
+        rebuilds: sched.rebuilds.load(Ordering::Relaxed),
+        per_op: OpKind::all()
+            .iter()
+            .map(|op| (op.name(), snap.get(*op)))
+            .collect(),
+        content: rt.yfs().filesystem().content_digest(),
+        schedule: rt.yfs().filesystem().tree_digest(),
+    }
+}
+
+#[test]
+fn parallel_one_worker_replays_exact_serial_schedule() {
+    let mut serial = Runtime::new();
+    let serial_sched = serial.sched_stats();
+    let a = trace(&mut serial, &serial_sched);
+
+    let mut par = ParRuntime::with_workers(1);
+    let par_sched = par.sched_stats();
+    let b = trace(&mut par, &par_sched);
+
+    assert_eq!(a, b, "with_workers(1) must replay the serial schedule");
+}
+
+#[test]
+fn worker_count_is_invisible_to_syscalls_and_digest() {
+    let mut one = ParRuntime::with_workers(1);
+    let one_sched = one.sched_stats();
+    let a = trace(&mut one, &one_sched);
+
+    for workers in [2, 4, 8] {
+        let mut many = ParRuntime::with_workers(workers);
+        let many_sched = many.sched_stats();
+        let b = trace(&mut many, &many_sched);
+        assert_eq!(
+            a.schedule_free(),
+            b.schedule_free(),
+            "workers={workers} diverged from the single-worker replay"
+        );
+        // The whole ready set was dispatched by the pool, no more, no
+        // less: per-worker ledger runs sum to the sched ledger.
+        let pool_runs: u64 = many
+            .worker_stats()
+            .iter()
+            .map(|w| w.runs.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        assert_eq!(pool_runs, b.runs, "pool ran a different set of drivers");
+    }
+}
+
+#[test]
+fn fanin_batches_are_identical_across_worker_counts() {
+    let run = |workers: usize| -> (ReplayTrace, u64, u64) {
+        let mut rt = ParRuntime::with_workers(workers);
+        let fanin = rt.enable_fanin(0);
+        let sched = rt.sched_stats();
+        let t = trace(&mut rt, &sched);
+        (t, fanin.flushes(), fanin.replies())
+    };
+    let (a, flushes_a, replies_a) = run(1);
+    assert!(replies_a > 0, "stats poll produced no fan-in replies");
+    assert!(flushes_a > 0, "fan-in never flushed");
+    for workers in [2, 4] {
+        let (b, flushes_b, replies_b) = run(workers);
+        assert_eq!(
+            a.schedule_free(),
+            b.schedule_free(),
+            "fan-in landing diverged at workers={workers}"
+        );
+        assert_eq!(flushes_a, flushes_b);
+        assert_eq!(replies_a, replies_b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poll-set rebuild during pump: a driver attached while the pump is in
+// flight (a worker-side registration) must have its readiness edge
+// scanned on the very sweep it appears — not silently dropped until the
+// next pump() call.
+// ---------------------------------------------------------------------
+
+#[test]
+fn driver_attached_mid_pump_is_scanned_same_pump() {
+    use std::sync::atomic::Ordering;
+    for workers in [1, 2] {
+        let mut rt = ParRuntime::with_workers(workers);
+        rt.add_switch_with_driver(0x1, 4, 1, vec![Version::V1_3], Version::V1_3);
+        rt.pump().unwrap();
+        let sched = rt.sched_stats();
+        let rebuilds_before = sched.rebuilds.load(Ordering::Relaxed);
+
+        // Queue work so the pump sweeps at least twice, and stage an
+        // attach for sweep 1 — it lands *inside* the running pump.
+        rt.yfs().write_flow("sw1", "flood", &flood()).unwrap();
+        rt.stage_attach_at_sweep(1, 0x99, 4, 1, vec![Version::V1_3], Version::V1_3);
+        let sweeps = rt.pump().unwrap();
+        assert!(sweeps >= 2, "staged attach needs a multi-sweep pump");
+
+        // The staged driver handshook to Ready within the same pump:
+        // its HELLO bytes were only reachable through a readiness edge
+        // registered mid-pump.
+        let d = rt.drivers.last().unwrap().lock();
+        assert!(d.ready(), "mid-pump driver never ran (workers={workers})");
+        drop(d);
+        assert!(
+            rt.yfs()
+                .list_switches()
+                .unwrap()
+                .contains(&"sw99".to_string()),
+            "mid-pump switch not materialized (workers={workers})"
+        );
+        assert!(
+            sched.rebuilds.load(Ordering::Relaxed) > rebuilds_before,
+            "poll set was not rebuilt mid-pump (workers={workers})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Work stealing: route every ready driver to one injected straggler;
+// the other workers must steal all of it (the straggler is gated until
+// its queue is empty, so every dispatch that sweep is a steal).
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_straggler_forces_steals() {
+    use std::sync::atomic::Ordering;
+    let mut rt = ParRuntime::with_workers(4);
+    let topo = build_fabric(&mut rt, 4, Version::V1_3);
+    rt.inject_straggler(Some(0));
+    let ledger_total = |rt: &ParRuntime,
+                        f: fn(&yanc_driver::WorkerStats) -> &std::sync::atomic::AtomicU64|
+     -> u64 {
+        rt.worker_stats()
+            .iter()
+            .map(|w| f(w).load(Ordering::Relaxed))
+            .sum()
+    };
+    let runs_before = ledger_total(&rt, |w| &w.runs);
+    let steals_before = ledger_total(&rt, |w| &w.steals);
+    let straggler_runs_before = rt.worker_stats()[0].runs.load(Ordering::Relaxed);
+    let hosts = topo.hosts.clone();
+    for (i, &(h, _)) in hosts.iter().enumerate() {
+        let (_, dst) = hosts[(i + 1) % hosts.len()];
+        rt.net.host_ping(h, dst, (i + 1) as u16);
+    }
+    rt.pump().unwrap();
+    let runs = ledger_total(&rt, |w| &w.runs) - runs_before;
+    let steals = ledger_total(&rt, |w| &w.steals) - steals_before;
+    assert!(runs > 0, "storm dispatched no drivers");
+    assert!(steals >= 1, "straggler produced no steals");
+    // Every dispatch under the straggler came from a steal, and the
+    // straggler itself ran nothing.
+    assert_eq!(steals, runs, "non-stolen dispatches under straggler");
+    assert_eq!(
+        rt.worker_stats()[0].runs.load(Ordering::Relaxed),
+        straggler_runs_before,
+        "the gated straggler must not run drivers"
+    );
 }
 
 #[test]

@@ -76,6 +76,38 @@ fn test_sources_never_read_the_wall_clock() {
     );
 }
 
+/// The parallel pump scheduler is *runtime* code, but it gets the same
+/// audit as the tests: every wait in `par.rs` must be a condvar parked
+/// on deterministic state (generation counters, queue emptiness), never
+/// a clock. `wait_timeout` is forbidden on top of the usual tokens —
+/// a timed wait is a sleep in disguise, and the straggler gate proved
+/// the lost-wakeup-safe pattern works without one.
+#[test]
+fn parallel_scheduler_never_reads_the_wall_clock() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let src = fs::read_to_string(here.join("../driver/src/par.rs")).unwrap();
+    assert!(
+        src.contains("Condvar"),
+        "par.rs no longer uses condvars; re-point this audit at the new \
+         scheduler blocking primitive"
+    );
+    let mut violations = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let code = line.split("//").next().unwrap_or("");
+        for tok in FORBIDDEN.iter().copied().chain(["wait_timeout"]) {
+            if code.contains(tok) {
+                violations.push(format!("par.rs:{}: {tok}: {}", lineno + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "wall-clock or timed-wait constructs in the parallel scheduler \
+         (park on a counter-gated condvar instead):\n{}",
+        violations.join("\n")
+    );
+}
+
 /// The audit itself must be looking at real code: if the directories
 /// moved, the scan above would vacuously pass.
 #[test]
